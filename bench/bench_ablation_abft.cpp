@@ -1,0 +1,122 @@
+/// \file bench_ablation_abft.cpp
+/// \brief The paper's prior-work comparison quantified (Section III-B):
+/// invariant-bound detection (this paper) vs Chen-style Online-ABFT
+/// recomputation (its reference [18]).
+///
+/// Two axes:
+///  1. *coverage* -- which fault classes each scheme detects, swept over
+///     the FT-GMRES injection sites of Fig. 3;
+///  2. *cost* -- wall time of a fixed 25-iteration inner solve with no
+///     hook, with the bound detector, and with the ABFT monitor at check
+///     periods 1 and 5.
+///
+/// Expected trade (and the paper's argument): the bound check is
+/// effectively free and catches exactly the theory-violating faults; the
+/// ABFT orthogonality check also catches the small (class-2/3) faults the
+/// bound provably cannot see, but pays one extra SpMV + O(j) dot products
+/// per check -- precisely the "additional computation and parallel
+/// communication" the paper sets out to avoid.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "experiment/sweep.hpp"
+#include "krylov/gmres.hpp"
+#include "sdc/abft.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+/// Fraction of fired faults each scheme detects over a site sweep.
+void coverage_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
+                    const sdc::FaultModel& model, const char* fault_name,
+                    std::size_t stride) {
+  const krylov::CsrOperator op(A);
+  krylov::FtGmresOptions solver;
+  solver.outer.tol = 1e-8;
+  solver.outer.max_outer = 300;
+  const auto baseline = krylov::ft_gmres(A, b, solver);
+
+  std::size_t fired = 0, bound_hits = 0, abft_hits = 0;
+  for (std::size_t site = 0; site < baseline.total_inner_iterations;
+       site += stride) {
+    sdc::FaultCampaign campaign(
+        sdc::InjectionPlan::hessenberg(site, sdc::MgsPosition::Last, model));
+    sdc::HessenbergBoundDetector bound(A.frobenius_norm());
+    sdc::AbftMonitor abft(op);
+    krylov::HookChain chain({&campaign, &bound, &abft});
+    (void)krylov::ft_gmres(A, b, solver, &chain);
+    if (!campaign.fired()) continue;
+    ++fired;
+    if (bound.triggered()) ++bound_hits;
+    if (abft.triggered()) ++abft_hits;
+  }
+  std::cout << "  " << fault_name << ": fired " << fired
+            << ", bound detector caught " << bound_hits
+            << ", ABFT caught " << abft_hits << "\n";
+}
+
+double time_inner_solve(const krylov::LinearOperator& op, const la::Vector& b,
+                        krylov::ArnoldiHook* hook, int repeats) {
+  krylov::GmresOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    const auto res =
+        krylov::gmres(op, b, la::Vector(op.cols()), opts, hook, 0);
+    (void)res;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         repeats;
+}
+
+} // namespace
+
+int main() {
+  benchcfg::print_mode_banner(
+      "bench_ablation_abft (bound detector vs Online-ABFT recomputation)");
+  const auto A = benchcfg::poisson_matrix();
+  const auto b = benchcfg::poisson_rhs(A);
+  const krylov::CsrOperator op(A);
+  const std::size_t stride = benchcfg::sweep_stride(5);
+
+  std::cout << "Coverage over Fig. 3-style sweeps (fault on the last MGS "
+               "step):\n";
+  coverage_sweep(A, b, sdc::fault_classes::very_large(),
+                 "h x 1e+150 (class 1)", stride);
+  coverage_sweep(A, b, sdc::fault_classes::slightly_smaller(),
+                 "h x 10^-0.5 (class 2)", stride);
+  coverage_sweep(A, b, sdc::fault_classes::nearly_zero(),
+                 "h x 1e-300 (class 3)", stride);
+
+  std::cout << "\nCost of one 25-iteration inner solve (ms, averaged):\n";
+  const int repeats = benchcfg::full_scale() ? 20 : 50;
+  std::cout << "  no checking:            "
+            << time_inner_solve(op, b, nullptr, repeats) << "\n";
+  sdc::HessenbergBoundDetector bound(A.frobenius_norm());
+  std::cout << "  bound detector:         "
+            << time_inner_solve(op, b, &bound, repeats) << "\n";
+  sdc::AbftOptions every;
+  sdc::AbftMonitor abft1(op, every);
+  std::cout << "  ABFT (check period 1):  "
+            << time_inner_solve(op, b, &abft1, repeats) << "\n";
+  sdc::AbftOptions sparse_checks;
+  sparse_checks.check_period = 5;
+  sdc::AbftMonitor abft5(op, sparse_checks);
+  std::cout << "  ABFT (check period 5):  "
+            << time_inner_solve(op, b, &abft5, repeats) << "\n";
+
+  std::cout
+      << "\nReading: the bound check is free and catches every fault that\n"
+         "violates the theory (class 1); ABFT's orthogonality check also\n"
+         "catches class 2/3 faults on nonzero coefficients, but pays an\n"
+         "extra SpMV plus O(j) dot products per checked iteration -- the\n"
+         "communication/computation the paper's detector avoids.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file bench_ablation_lsq.cpp
+/// \brief Ablation for Section VI-D: the three policies for solving the
+/// projected system R y = z inside the (faulty) inner GMRES.
+///
+///   1. standard       -- plain triangular solve (Saad & Schultz)
+///   2. fallback       -- triangular solve, SVD retry only on Inf/NaN
+///   3. rank-revealing -- always truncated-SVD minimum-norm solve
+///
+/// The policies differ when a fault drives the projected problem (nearly)
+/// singular: policy 1 emits Inf/NaN (loud, then filtered by the reliable
+/// outer phase); policy 2 conceals huge-but-finite coefficients; policy 3
+/// bounds the update coefficients.  The paper recommends 1 or 3.
+///
+/// Harness: the Fig. 3/4 class-1 and NaN-fault sweeps, repeated per inner
+/// policy; reported are outer-iteration penalties plus how often the outer
+/// reliable phase had to discard an inner result.
+
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "dense/lsq_policies.hpp"
+#include "experiment/report.hpp"
+#include "experiment/sweep.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+void run_policy_sweep(const char* fault_name, const sparse::CsrMatrix& A,
+                      const la::Vector& b, const sdc::FaultModel& model,
+                      std::size_t stride) {
+  std::cout << "fault: " << fault_name << "\n";
+  for (const auto policy :
+       {dense::LsqPolicy::Standard, dense::LsqPolicy::Fallback,
+        dense::LsqPolicy::RankRevealing}) {
+    experiment::SweepConfig config;
+    config.solver.inner.max_iters = 25;
+    config.solver.inner.lsq_policy = policy;
+    config.solver.outer.tol = 1e-8;
+    config.solver.outer.max_outer = 500;
+    config.position = sdc::MgsPosition::First;
+    config.model = model;
+    config.stride = stride;
+    const auto sweep = experiment::run_injection_sweep(A, b, config);
+    std::size_t sanitized = 0;
+    for (const auto& p : sweep.points) sanitized += p.sanitized_outputs;
+    std::cout << "  inner policy " << dense::to_string(policy) << ": ";
+    experiment::print_sweep_summary(std::cout, "", sweep);
+    std::cout << "    inner results filtered by the reliable phase: "
+              << sanitized << "\n";
+  }
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  benchcfg::print_mode_banner(
+      "bench_ablation_lsq (projected least-squares policies 1/2/3)");
+  const auto A = benchcfg::poisson_matrix();
+  const auto b = benchcfg::poisson_rhs(A);
+  const std::size_t stride = benchcfg::sweep_stride(4);
+
+  run_policy_sweep("h x 1e+150 (class 1)", A, b,
+                   sdc::fault_classes::very_large(), stride);
+  run_policy_sweep("h x 1e-300 (class 3)", A, b,
+                   sdc::fault_classes::nearly_zero(), stride);
+  run_policy_sweep("h := NaN (worst-case SDC)", A, b,
+                   sdc::FaultModel::set_value(
+                       std::numeric_limits<double>::quiet_NaN()),
+                   stride);
+
+  std::cout
+      << "Reading: every policy runs through every fault (failed = 0);\n"
+         "'filtered' counts inner results the reliable outer phase had to\n"
+         "discard.  Under class-1 faults the rank-revealing policy\n"
+         "truncates everything below the 1e150 outlier, so its inner\n"
+         "update degenerates and is discarded by the host -- with the\n"
+         "detector attached (the paper's actual recommendation) the fault\n"
+         "is caught before the projected solve ever sees it.  Policy 2\n"
+         "behaves like policy 1 except it hides huge-but-finite\n"
+         "coefficients (paper: avoid it).\n";
+  return 0;
+}

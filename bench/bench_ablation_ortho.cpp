@@ -1,0 +1,91 @@
+/// \file bench_ablation_ortho.cpp
+/// \brief Ablation for Section VII-E-1 (the paper's future work,
+/// implemented here): does extra robustness in the first inner solve --
+/// CGS2 re-orthogonalization -- remove the early-solve vulnerability?
+///
+/// Mechanism: a single multiplicative fault in a first-pass projection
+/// coefficient leaves the basis vector under/over-projected; CGS2's silent
+/// second pass recomputes the residual projection, so both the basis
+/// vector and the *total* stored coefficient come out correct -- for
+/// *moderate* faults.  For 1e150-scaled faults the second-pass correction
+/// cancels catastrophically and leaves roundoff garbage instead (see the
+/// Reading note printed at the end) -- measuring exactly this boundary is
+/// the point of the ablation.
+///
+/// Compared configurations, on the class-1 and class-2 sweeps restricted
+/// to the FIRST inner solve (the paper's "universally bad" region):
+///   * MGS everywhere (the paper's baseline)
+///   * MGS + robust_first_inner (CGS2 in inner solve 0 only)
+///   * CGS2 everywhere (upper bound on the mitigation)
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "experiment/report.hpp"
+#include "experiment/sweep.hpp"
+#include "krylov/orthogonalize.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+struct Config {
+  const char* name;
+  krylov::Orthogonalization ortho;
+  bool robust_first;
+};
+
+void run(const sparse::CsrMatrix& A, const la::Vector& b,
+         const sdc::FaultModel& model, const char* fault_name) {
+  const Config configs[] = {
+      {"MGS everywhere          ", krylov::Orthogonalization::MGS, false},
+      {"MGS + robust first inner", krylov::Orthogonalization::MGS, true},
+      {"CGS2 everywhere         ", krylov::Orthogonalization::CGS2, false},
+  };
+  std::cout << "fault: " << fault_name
+            << ", injected into the FIRST inner solve only\n";
+  for (const Config& cfg : configs) {
+    experiment::SweepConfig config;
+    config.solver.inner.max_iters = 25;
+    config.solver.inner.ortho = cfg.ortho;
+    config.solver.robust_first_inner = cfg.robust_first;
+    config.solver.outer.tol = 1e-8;
+    config.solver.outer.max_outer = 400;
+    config.position = sdc::MgsPosition::First;
+    config.model = model;
+    config.stride = 1;
+    config.site_limit = 25; // the first inner solve's sites only
+    const auto sweep = experiment::run_injection_sweep(A, b, config);
+    experiment::print_sweep_summary(std::cout, std::string("  ") + cfg.name,
+                                    sweep);
+  }
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  benchcfg::print_mode_banner(
+      "bench_ablation_ortho (robust first inner solve, Section VII-E-1)");
+  const auto circuit = benchcfg::circuit_matrix();
+  const auto cb = benchcfg::circuit_rhs(circuit);
+  run(circuit, cb, sdc::fault_classes::very_large(), "h x 1e+150 (class 1)");
+  run(circuit, cb, sdc::fault_classes::slightly_smaller(),
+      "h x 10^-0.5 (class 2)");
+
+  const auto poisson = benchcfg::poisson_matrix();
+  const auto pb = benchcfg::poisson_rhs(poisson);
+  run(poisson, pb, sdc::fault_classes::very_large(), "h x 1e+150 (class 1)");
+
+  std::cout
+      << "Reading: CGS2's second pass heals *moderate* multiplicative\n"
+         "faults (class 2/3): the re-projection restores both the basis\n"
+         "vector and the total coefficient, removing the first-solve\n"
+         "penalty.  For class-1 (1e150x) faults the correction cancels\n"
+         "catastrophically (the healed vector is ~1e134*eps garbage), so\n"
+         "re-orthogonalization does NOT replace the invariant detector --\n"
+         "the two mechanisms are complementary: CGS2 heals what the\n"
+         "detector cannot see, the detector catches what CGS2 cannot\n"
+         "heal.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file bench_detector_bounds.cpp
+/// \brief Table I lists two "potential fault detectors": the (estimated)
+/// two-norm sigma_max(A) and the Frobenius norm.  This harness maps each
+/// bound's detection frontier: the smallest multiplicative fault magnitude
+/// it can catch, per matrix.
+///
+/// The tighter sigma_max bound detects strictly more faults (everything
+/// between sigma_max and ||A||_F), at the cost of a norm *estimate* rather
+/// than an exact one-pass computation.  Both have zero false positives by
+/// Eq. (3).
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "krylov/arnoldi.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+#include "sparse/norms.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+la::Vector generic_vector(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(1.7 * static_cast<double>(i) + 0.3) + 0.01;
+  }
+  return v;
+}
+
+/// Does a fault of the given magnitude (applied to the last MGS
+/// coefficient of iteration 1) trigger a detector with this bound?
+bool detected_at(const sparse::CsrMatrix& A, double magnitude, double bound) {
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      1, sdc::MgsPosition::Last, sdc::FaultModel::scale(magnitude)));
+  sdc::HessenbergBoundDetector detector(bound);
+  krylov::HookChain chain({&campaign, &detector});
+  (void)krylov::arnoldi(op, generic_vector(A.rows()), 4,
+                        krylov::Orthogonalization::MGS, &chain);
+  return detector.triggered();
+}
+
+/// Bisect the smallest detectable multiplicative magnitude in [1, 1e160].
+double detection_frontier(const sparse::CsrMatrix& A, double bound) {
+  double lo = 1.0, hi = 1e160;
+  if (detected_at(A, lo, bound)) return lo;
+  if (!detected_at(A, hi, bound)) return std::nan("");
+  for (int it = 0; it < 60; ++it) {
+    const double mid = std::sqrt(lo * hi); // geometric bisection
+    if (detected_at(A, mid, bound)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+void report(const char* name, const sparse::CsrMatrix& A) {
+  const double fro = A.frobenius_norm();
+  const double two = sparse::estimate_two_norm(A).value;
+  std::cout << name << ": ||A||_2 ~= " << two << ", ||A||_F = " << fro
+            << " (ratio " << fro / two << ")\n";
+  std::cout << std::scientific << std::setprecision(3);
+  const double oneinf = sparse::sqrt_one_inf_bound(A);
+  const double frontier_fro = detection_frontier(A, fro);
+  const double frontier_oneinf = detection_frontier(A, oneinf);
+  const double frontier_two = detection_frontier(A, two * 1.0001);
+  std::cout << "  smallest detectable fault with bound ||A||_F:              "
+            << frontier_fro << "x\n";
+  std::cout << "  smallest detectable fault with sqrt(||A||_1 ||A||_inf):    "
+            << frontier_oneinf << "x  (one-pass, rigorous)\n";
+  std::cout << "  smallest detectable fault with estimated ||A||_2:          "
+            << frontier_two << "x\n";
+  std::cout << std::defaultfloat << "  frontier improvement from the tighter "
+            << "bound: " << frontier_fro / frontier_two << "x\n\n";
+}
+
+} // namespace
+
+int main() {
+  benchcfg::print_mode_banner(
+      "bench_detector_bounds (Table I's two detector bounds compared)");
+  report("Poisson", benchcfg::poisson_matrix());
+  report("circuit-like", benchcfg::circuit_matrix());
+  std::cout
+      << "Reading: the sigma_max bound catches multiplicative faults\n"
+         "||A||_F / ||A||_2 times smaller than the Frobenius bound (the\n"
+         "improvement factor above), with zero false positives for either\n"
+         "bound by Eq. (3).  The gap matters most for large matrices,\n"
+         "where ||A||_F grows like sqrt(n) relative to sigma_max.\n";
+  return 0;
+}

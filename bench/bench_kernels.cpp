@@ -1,0 +1,164 @@
+/// \file bench_kernels.cpp
+/// \brief google-benchmark timings for the computational kernels, with the
+/// headline measurement the paper's "filtering values is cheap" claim
+/// (Section VII-E-2): the detector's per-coefficient bound check adds
+/// negligible cost to the orthogonalization kernel.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dense/hessenberg_qr.hpp"
+#include "dense/svd.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/arnoldi.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+la::Vector generic_vector(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(1.7 * static_cast<double>(i) + 0.3) + 0.01;
+  }
+  return v;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const auto A = gen::poisson2d(static_cast<std::size_t>(state.range(0)));
+  const la::Vector x = generic_vector(A.rows());
+  la::Vector y(A.rows());
+  for (auto _ : state) {
+    A.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(A.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Vector x = generic_vector(n);
+  const la::Vector y = generic_vector(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::dot(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_Axpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Vector x = generic_vector(n);
+  la::Vector y = generic_vector(n);
+  for (auto _ : state) {
+    la::axpy(1e-6, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Axpy)->Arg(10000)->Arg(1000000);
+
+/// Arnoldi without any hook: the baseline the detector overhead is
+/// measured against.
+void BM_ArnoldiNoDetector(benchmark::State& state) {
+  const auto A = gen::poisson2d(64);
+  const krylov::CsrOperator op(A);
+  const la::Vector v0 = generic_vector(A.rows());
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto res = krylov::arnoldi(op, v0, m);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_ArnoldiNoDetector)->Arg(10)->Arg(25)->Arg(50);
+
+/// The same Arnoldi run with the invariant detector attached: the paper's
+/// "cheap to evaluate" claim quantified.
+void BM_ArnoldiWithDetector(benchmark::State& state) {
+  const auto A = gen::poisson2d(64);
+  const krylov::CsrOperator op(A);
+  const la::Vector v0 = generic_vector(A.rows());
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  for (auto _ : state) {
+    auto res = krylov::arnoldi(op, v0, m, krylov::Orthogonalization::MGS,
+                               &detector);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_ArnoldiWithDetector)->Arg(10)->Arg(25)->Arg(50);
+
+/// Bare detector check throughput (one comparison + counter).
+void BM_DetectorCheck(benchmark::State& state) {
+  sdc::HessenbergBoundDetector detector(100.0);
+  krylov::ArnoldiContext ctx{};
+  double h = 1.5;
+  for (auto _ : state) {
+    detector.on_projection_coefficient(ctx, 0, 1, h);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DetectorCheck);
+
+void BM_HessenbergQrColumn(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> col(m + 1, 0.5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    dense::HessenbergQr qr(m, 1.0);
+    state.ResumeTiming();
+    for (std::size_t j = 0; j < m; ++j) {
+      benchmark::DoNotOptimize(
+          qr.add_column({col.data(), j + 2}));
+    }
+  }
+}
+BENCHMARK(BM_HessenbergQrColumn)->Arg(25)->Arg(100);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  la::DenseMatrix A(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      A(i, j) = std::sin(static_cast<double>(i * n + j) * 0.7) + 0.1;
+    }
+  }
+  for (auto _ : state) {
+    auto svd = dense::jacobi_svd(A);
+    benchmark::DoNotOptimize(svd.sigma.data());
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(10)->Arg(25)->Arg(50);
+
+/// Full inner-solve cost (25 fixed GMRES iterations), with and without the
+/// detector -- the end-to-end version of the overhead claim.
+void BM_InnerSolve(benchmark::State& state) {
+  const auto A = gen::poisson2d(64);
+  const krylov::CsrOperator op(A);
+  const la::Vector b = generic_vector(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const bool with_detector = state.range(0) != 0;
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  for (auto _ : state) {
+    auto res = krylov::gmres(op, b, la::Vector(A.cols()), opts,
+                             with_detector ? &detector : nullptr, 0);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_InnerSolve)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

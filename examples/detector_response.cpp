@@ -1,0 +1,81 @@
+/// \file detector_response.cpp
+/// \brief Demonstrates the invariant detector and the projected
+/// least-squares policies from Sections V-D and VI-D of the paper.
+///
+/// Shows, for one large fault: (a) observation mode recording the
+/// violation; (b) abort mode cutting the tainted inner solve short; and
+/// (c) how the three R y = z policies behave when the fault drives the
+/// projected problem singular.
+
+#include <iostream>
+
+#include "dense/lsq_policies.hpp"
+#include "gen/convection_diffusion.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+void run_with_detector(const sparse::CsrMatrix& A, const la::Vector& b,
+                       sdc::DetectorResponse response, const char* label) {
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      12, sdc::MgsPosition::Last, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm(), response);
+  krylov::HookChain chain({&campaign, &detector});
+  const auto res = krylov::ft_gmres(A, b, opts, &chain);
+  std::cout << label << ": " << res.outer_iterations
+            << " outer iterations, status " << krylov::to_string(res.status)
+            << ", detections " << detector.detections() << "\n";
+  for (const auto& event : detector.log().events()) {
+    std::cout << "    " << event.description << " (bound " << event.bound
+              << ")\n";
+  }
+}
+
+} // namespace
+
+int main() {
+  const sparse::CsrMatrix A = gen::convection_diffusion2d(20, 15.0, -5.0);
+  const la::Vector b = la::ones(A.rows());
+  std::cout << "Detector demo on convection-diffusion (n = " << A.rows()
+            << "), bound ||A||_F = " << A.frobenius_norm() << "\n\n";
+
+  // Failure-free baseline.
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  std::cout << "failure-free: " << baseline.outer_iterations
+            << " outer iterations\n\n";
+
+  run_with_detector(A, b, sdc::DetectorResponse::RecordOnly,
+                    "record-only  ");
+  run_with_detector(A, b, sdc::DetectorResponse::AbortSolve,
+                    "abort-solve  ");
+
+  // --- The three R y = z policies under a singular projected problem. ---
+  std::cout << "\nProjected least-squares policies on a singular R:\n";
+  la::DenseMatrix R(3, 3);
+  R(0, 0) = 2.0; R(0, 1) = 1.0; R(0, 2) = 0.5;
+  R(1, 1) = 1.0; R(1, 2) = 1.0;
+  R(2, 2) = 0.0; // the fault zeroed the last pivot
+  const la::Vector z{1.0, 1.0, 1.0};
+  for (const auto policy :
+       {dense::LsqPolicy::Standard, dense::LsqPolicy::Fallback,
+        dense::LsqPolicy::RankRevealing}) {
+    const auto out = dense::solve_projected(R, z, policy, 1e-12);
+    std::cout << "  " << dense::to_string(policy) << ": y = [" << out.y[0]
+              << ", " << out.y[1] << ", " << out.y[2] << "], rank "
+              << out.effective_rank
+              << (out.fallback_triggered ? " (fallback fired)" : "")
+              << (out.nonfinite ? " (non-finite!)" : "") << "\n";
+  }
+  std::cout << "\nThe paper recommends policy 1 or 3; policy 2 conceals the\n"
+               "natural IEEE-754 error signal without bounding the error.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "dense/givens.hpp"
+
+#include <cmath>
+
+namespace sdcgmres::dense {
+
+GivensRotation make_givens(double a, double b) noexcept {
+  GivensRotation g;
+  if (b == 0.0) {
+    g.c = 1.0;
+    g.s = 0.0;
+    return g;
+  }
+  if (a == 0.0) {
+    g.c = 0.0;
+    g.s = (b > 0.0) ? 1.0 : -1.0;
+    return g;
+  }
+  // std::hypot avoids overflow/underflow of a*a + b*b for extreme inputs.
+  const double r = std::hypot(a, b);
+  g.c = a / r;
+  g.s = b / r;
+  return g;
+}
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,31 @@
+#pragma once
+/// \file givens.hpp
+/// \brief Givens plane rotations, the workhorse of the Hessenberg QR update.
+
+namespace sdcgmres::dense {
+
+/// A 2x2 plane rotation [c s; -s c] chosen to zero the second component of
+/// a two-vector.
+struct GivensRotation {
+  double c = 1.0;
+  double s = 0.0;
+
+  /// Apply the rotation to the pair (a, b) in place:
+  ///   a' =  c*a + s*b
+  ///   b' = -s*a + c*b
+  void apply(double& a, double& b) const noexcept {
+    const double ta = c * a + s * b;
+    const double tb = -s * a + c * b;
+    a = ta;
+    b = tb;
+  }
+};
+
+/// Compute the rotation that maps (a, b) to (r, 0) with r = hypot(a, b).
+/// Uses the LAPACK dlartg-style branch-free-overflow formulation: safe for
+/// huge and tiny inputs (including the paper's 1e+150-scaled faulty
+/// Hessenberg entries, whose squares would overflow a naive c = a/sqrt(a^2
+/// + b^2)).
+[[nodiscard]] GivensRotation make_givens(double a, double b) noexcept;
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,78 @@
+#include "dense/hessenberg_qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdcgmres::dense {
+
+HessenbergQr::HessenbergQr(std::size_t max_cols, double beta)
+    : max_cols_(max_cols), r_(max_cols, max_cols), g_(max_cols + 1, 0.0) {
+  if (max_cols == 0) {
+    throw std::invalid_argument("HessenbergQr: max_cols must be positive");
+  }
+  rotations_.reserve(max_cols);
+  g_[0] = beta;
+}
+
+double HessenbergQr::add_column(std::span<const double> h_col) {
+  if (k_ >= max_cols_) {
+    throw std::length_error("HessenbergQr: capacity exhausted");
+  }
+  if (h_col.size() != k_ + 2) {
+    throw std::invalid_argument(
+        "HessenbergQr: column must have size() + 2 entries");
+  }
+  // Work on a local copy of the new column.
+  std::vector<double> col(h_col.begin(), h_col.end());
+  // Apply all previous rotations.
+  for (std::size_t i = 0; i < k_; ++i) {
+    rotations_[i].apply(col[i], col[i + 1]);
+  }
+  // New rotation annihilates the subdiagonal entry.
+  const GivensRotation rot = make_givens(col[k_], col[k_ + 1]);
+  rotations_.push_back(rot);
+  rot.apply(col[k_], col[k_ + 1]);
+  // Store the triangular column and rotate the rhs.
+  for (std::size_t i = 0; i <= k_; ++i) {
+    r_(i, k_) = col[i];
+  }
+  rot.apply(g_[k_], g_[k_ + 1]);
+  ++k_;
+  return residual_estimate();
+}
+
+void HessenbergQr::pop_column() {
+  if (k_ == 0) {
+    throw std::logic_error("HessenbergQr::pop_column: no columns");
+  }
+  --k_;
+  // Undo the rhs rotation with the transposed (inverse) rotation; the
+  // stored R column becomes dead storage governed by k_.
+  const GivensRotation rot = rotations_.back();
+  const double a = g_[k_];
+  const double b = g_[k_ + 1];
+  g_[k_] = rot.c * a - rot.s * b;
+  g_[k_ + 1] = rot.s * a + rot.c * b;
+  rotations_.pop_back();
+}
+
+double HessenbergQr::residual_estimate() const noexcept {
+  return std::abs(g_[k_]);
+}
+
+double HessenbergQr::r(std::size_t i, std::size_t j) const {
+  if (j >= k_ || i > j) {
+    throw std::out_of_range("HessenbergQr::r: not in the upper triangle");
+  }
+  return r_(i, j);
+}
+
+la::DenseMatrix HessenbergQr::r_block() const { return r_.top_left(k_, k_); }
+
+la::Vector HessenbergQr::rhs_block() const {
+  la::Vector z(k_);
+  for (std::size_t i = 0; i < k_; ++i) z[i] = g_[i];
+  return z;
+}
+
+} // namespace sdcgmres::dense

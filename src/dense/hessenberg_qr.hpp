@@ -1,0 +1,64 @@
+#pragma once
+/// \file hessenberg_qr.hpp
+/// \brief Incremental QR factorization of the GMRES upper-Hessenberg matrix.
+///
+/// GMRES solves min_y || H_k y - beta*e1 ||_2 where H_k is (k+1) x k upper
+/// Hessenberg.  Appending one column per iteration and updating with Givens
+/// rotations keeps the per-iteration cost O(k) and makes the current
+/// residual norm available for free as |g_{k+1}| (Saad & Schultz).  This
+/// class owns the rotations, the triangular factor R, and the transformed
+/// right-hand side g.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dense/givens.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::dense {
+
+class HessenbergQr {
+public:
+  /// \param max_cols maximum number of columns (restart length)
+  /// \param beta norm of the initial residual; the rhs starts as beta*e1
+  HessenbergQr(std::size_t max_cols, double beta);
+
+  /// Append the next Hessenberg column.  \p h_col must contain the k+2
+  /// entries H(0..k+1, k) where k = size() is the index of the new column.
+  /// Returns the updated least-squares residual norm |g_{k+1}|.
+  double add_column(std::span<const double> h_col);
+
+  /// Remove the most recently appended column, restoring the factorization
+  /// and the transformed right-hand side to their prior state exactly (the
+  /// Givens update is orthogonal, so it is undone by the transposed
+  /// rotation).  Used by FGMRES to discard a degenerate preconditioned
+  /// direction and retry the iteration.
+  void pop_column();
+
+  /// Number of columns appended so far.
+  [[nodiscard]] std::size_t size() const noexcept { return k_; }
+
+  /// Current least-squares residual norm |g_{k+1}| (equals beta before any
+  /// column is added).  This is the GMRES residual norm in exact arithmetic.
+  [[nodiscard]] double residual_estimate() const noexcept;
+
+  /// R(i, j) of the triangular factor, for i <= j < size().
+  [[nodiscard]] double r(std::size_t i, std::size_t j) const;
+
+  /// Leading k x k block of the triangular factor as a dense matrix.
+  [[nodiscard]] la::DenseMatrix r_block() const;
+
+  /// First k entries of the transformed right-hand side g.
+  [[nodiscard]] la::Vector rhs_block() const;
+
+private:
+  std::size_t max_cols_;
+  std::size_t k_ = 0;
+  la::DenseMatrix r_;                   // (max_cols) x (max_cols), upper part
+  std::vector<GivensRotation> rotations_;
+  std::vector<double> g_;               // transformed rhs, length max_cols+1
+};
+
+} // namespace sdcgmres::dense

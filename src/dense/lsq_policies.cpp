@@ -1,0 +1,59 @@
+#include "dense/lsq_policies.hpp"
+
+#include <cmath>
+
+#include "dense/svd.hpp"
+#include "dense/triangular.hpp"
+
+namespace sdcgmres::dense {
+
+namespace {
+
+bool has_nonfinite(const la::Vector& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+} // namespace
+
+const char* to_string(LsqPolicy policy) noexcept {
+  switch (policy) {
+    case LsqPolicy::Standard: return "standard";
+    case LsqPolicy::Fallback: return "fallback-on-nonfinite";
+    case LsqPolicy::RankRevealing: return "rank-revealing";
+  }
+  return "unknown";
+}
+
+ProjectedSolve solve_projected(const la::DenseMatrix& R, const la::Vector& z,
+                               LsqPolicy policy, double truncation_tol) {
+  ProjectedSolve out;
+  switch (policy) {
+    case LsqPolicy::Standard: {
+      out.y = back_substitute(R, z);
+      out.effective_rank = R.cols();
+      out.nonfinite = has_nonfinite(out.y);
+      return out;
+    }
+    case LsqPolicy::Fallback: {
+      out.y = back_substitute(R, z);
+      out.effective_rank = R.cols();
+      if (has_nonfinite(out.y)) {
+        out.fallback_triggered = true;
+        out.y = svd_least_squares(R, z, truncation_tol, &out.effective_rank);
+      }
+      out.nonfinite = has_nonfinite(out.y);
+      return out;
+    }
+    case LsqPolicy::RankRevealing: {
+      out.y = svd_least_squares(R, z, truncation_tol, &out.effective_rank);
+      out.nonfinite = has_nonfinite(out.y);
+      return out;
+    }
+  }
+  return out;
+}
+
+} // namespace sdcgmres::dense

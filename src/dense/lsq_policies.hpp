@@ -1,0 +1,50 @@
+#pragma once
+/// \file lsq_policies.hpp
+/// \brief The paper's three policies for solving the projected system Ry=z.
+///
+/// Section VI-D of the paper: after the Givens reduction, GMRES computes
+/// the solution-update coefficients from the triangular system R y = z.
+/// A (nearly) singular R -- which faults can cause -- makes the standard
+/// triangular solve produce unboundedly large or non-finite coefficients.
+/// The paper implements and compares three policies:
+///   1. Standard       -- plain back-substitution (Saad & Schultz)
+///   2. Fallback       -- back-substitution, redone with a rank-revealing
+///                        SVD only if the result contains Inf/NaN
+///   3. RankRevealing  -- always solve via truncated SVD (minimum-norm)
+/// The paper recommends 1 or 3; policy 2 "conceals the natural error
+/// detection that comes with IEEE-754" without bounding the error.
+
+#include <cstddef>
+
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::dense {
+
+/// Least-squares update policy (paper Section VI-D).
+enum class LsqPolicy {
+  Standard,      ///< policy 1: plain triangular solve
+  Fallback,      ///< policy 2: triangular solve, SVD retry on Inf/NaN
+  RankRevealing, ///< policy 3: always truncated-SVD minimum-norm solve
+};
+
+/// Human-readable policy name (for reports).
+[[nodiscard]] const char* to_string(LsqPolicy policy) noexcept;
+
+/// Outcome of a projected solve.
+struct ProjectedSolve {
+  la::Vector y;                ///< update coefficients
+  std::size_t effective_rank = 0; ///< columns kept (== n for Standard
+                               ///< solves that succeed)
+  bool fallback_triggered = false; ///< policy 2 only: SVD retry happened
+  bool nonfinite = false;      ///< final y still contains Inf/NaN
+};
+
+/// Solve R y = z under \p policy.  \p truncation_tol is the relative
+/// singular-value cutoff used by the rank-revealing path.
+[[nodiscard]] ProjectedSolve solve_projected(const la::DenseMatrix& R,
+                                             const la::Vector& z,
+                                             LsqPolicy policy,
+                                             double truncation_tol = 1e-12);
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,129 @@
+#include "dense/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sdcgmres::dense {
+
+SvdResult jacobi_svd(const la::DenseMatrix& A, std::size_t max_sweeps,
+                     double tol) {
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  if (m < n) {
+    throw std::invalid_argument("jacobi_svd: requires rows >= cols");
+  }
+  SvdResult out;
+  out.u = A; // working copy; columns orthogonalized in place
+  out.v = la::DenseMatrix::identity(n);
+  out.sigma = la::Vector(n);
+
+  // One-sided Jacobi: repeatedly rotate column pairs (p, q) of U so they
+  // become orthogonal, accumulating the rotations into V.
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = out.u.col(p);
+        const double* cq = out.u.col(q);
+        for (std::size_t i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        const double denom = std::sqrt(app * aqq);
+        if (denom == 0.0 || std::abs(apq) <= tol * denom) continue;
+        off = std::max(off, std::abs(apq) / denom);
+        // Classic Jacobi rotation angle.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        double* up = out.u.col(p);
+        double* uq = out.u.col(q);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double a = up[i];
+          const double b = uq[i];
+          up[i] = c * a - s * b;
+          uq[i] = s * a + c * b;
+        }
+        double* vp = out.v.col(p);
+        double* vq = out.v.col(q);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double a = vp[i];
+          const double b = vq[i];
+          vp[i] = c * a - s * b;
+          vq[i] = s * a + c * b;
+        }
+      }
+    }
+    out.sweeps = sweep + 1;
+    if (off <= tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    double* cj = out.u.col(j);
+    for (std::size_t i = 0; i < m; ++i) norm += cj[i] * cj[i];
+    norm = std::sqrt(norm);
+    out.sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) cj[i] /= norm;
+    }
+  }
+
+  // Sort singular values descending; permute U and V columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.sigma[a] > out.sigma[b];
+  });
+  la::DenseMatrix us(m, n), vs(n, n);
+  la::Vector ss(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    ss[j] = out.sigma[src];
+    for (std::size_t i = 0; i < m; ++i) us(i, j) = out.u(i, src);
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = out.v(i, src);
+  }
+  out.u = std::move(us);
+  out.v = std::move(vs);
+  out.sigma = std::move(ss);
+  return out;
+}
+
+la::Vector svd_least_squares(const la::DenseMatrix& A, const la::Vector& b,
+                             double rel_tol, std::size_t* effective_rank) {
+  if (b.size() != A.rows()) {
+    throw std::invalid_argument("svd_least_squares: rhs size mismatch");
+  }
+  const SvdResult svd = jacobi_svd(A);
+  const std::size_t n = A.cols();
+  const double cutoff = (n == 0) ? 0.0 : rel_tol * svd.sigma[0];
+  la::Vector y(n);
+  std::size_t rank = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (svd.sigma[j] <= cutoff || svd.sigma[j] == 0.0) continue;
+    ++rank;
+    // coefficient = (u_j . b) / sigma_j
+    double uj_b = 0.0;
+    const double* uj = svd.u.col(j);
+    for (std::size_t i = 0; i < A.rows(); ++i) uj_b += uj[i] * b[i];
+    const double coeff = uj_b / svd.sigma[j];
+    const double* vj = svd.v.col(j);
+    for (std::size_t i = 0; i < n; ++i) y[i] += coeff * vj[i];
+  }
+  if (effective_rank != nullptr) *effective_rank = rank;
+  return y;
+}
+
+} // namespace sdcgmres::dense

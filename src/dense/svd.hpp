@@ -1,0 +1,45 @@
+#pragma once
+/// \file svd.hpp
+/// \brief One-sided Jacobi SVD for small dense matrices.
+///
+/// The paper regularizes the projected least-squares problem with a
+/// rank-revealing decomposition; its authors used an SVD "as an easier to
+/// implement and no more accurate substitute" for Stewart's updating ULV.
+/// We follow them.  The projected problems have dimension <= the restart
+/// length (tens), so an O(n^3)-per-sweep one-sided Jacobi is more than fast
+/// enough and has excellent relative accuracy for small singular values --
+/// which is exactly what rank truncation relies on.
+
+#include <cstddef>
+
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::dense {
+
+/// Thin SVD A = U * diag(sigma) * V^T of an m x n matrix with m >= n.
+struct SvdResult {
+  la::DenseMatrix u;   ///< m x n, orthonormal columns
+  la::Vector sigma;    ///< n singular values, descending, nonnegative
+  la::DenseMatrix v;   ///< n x n orthogonal
+  std::size_t sweeps = 0; ///< Jacobi sweeps used
+  bool converged = false; ///< off-diagonal convergence reached
+};
+
+/// Compute the thin SVD by one-sided Jacobi rotations.
+/// Throws std::invalid_argument when m < n.
+[[nodiscard]] SvdResult jacobi_svd(const la::DenseMatrix& A,
+                                   std::size_t max_sweeps = 60,
+                                   double tol = 1e-14);
+
+/// Minimum-norm least-squares solution of min ||A y - b|| via the SVD,
+/// truncating singular values below rel_tol * sigma_max (the paper's
+/// regularization policy, Section VI-D).
+/// \returns the solution; \p effective_rank (optional out) receives the
+/// number of singular values kept.
+[[nodiscard]] la::Vector svd_least_squares(const la::DenseMatrix& A,
+                                           const la::Vector& b,
+                                           double rel_tol = 1e-12,
+                                           std::size_t* effective_rank = nullptr);
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,39 @@
+#include "dense/triangular.hpp"
+
+#include <stdexcept>
+
+namespace sdcgmres::dense {
+
+la::Vector back_substitute(const la::DenseMatrix& R, const la::Vector& z) {
+  const std::size_t n = R.rows();
+  if (R.cols() != n || z.size() != n) {
+    throw std::invalid_argument("back_substitute: dimension mismatch");
+  }
+  la::Vector y(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      sum -= R(ii, j) * y[j];
+    }
+    y[ii] = sum / R(ii, ii);
+  }
+  return y;
+}
+
+la::Vector forward_substitute(const la::DenseMatrix& L, const la::Vector& z) {
+  const std::size_t n = L.rows();
+  if (L.cols() != n || z.size() != n) {
+    throw std::invalid_argument("forward_substitute: dimension mismatch");
+  }
+  la::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = z[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= L(i, j) * y[j];
+    }
+    y[i] = sum / L(i, i);
+  }
+  return y;
+}
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,23 @@
+#pragma once
+/// \file triangular.hpp
+/// \brief Dense triangular solves (Saad & Schultz's standard GMRES update).
+
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::dense {
+
+/// Solve the upper-triangular system R y = z by back-substitution.
+/// R must be square and match z's length.  No singularity guard: division
+/// by a zero diagonal produces Inf/NaN exactly as IEEE-754 prescribes --
+/// this is deliberate, because the paper's least-squares Policy 2 relies on
+/// observing those non-finite values (Section VI-D).
+[[nodiscard]] la::Vector back_substitute(const la::DenseMatrix& R,
+                                         const la::Vector& z);
+
+/// Solve the lower-triangular system L y = z by forward substitution
+/// (same IEEE semantics as back_substitute).
+[[nodiscard]] la::Vector forward_substitute(const la::DenseMatrix& L,
+                                            const la::Vector& z);
+
+} // namespace sdcgmres::dense

@@ -1,0 +1,135 @@
+#include "experiment/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sparse/norms.hpp"
+
+namespace sdcgmres::experiment {
+
+MatrixReport characterize(const std::string& name, const sparse::CsrMatrix& A,
+                          bool estimate_condition) {
+  MatrixReport report;
+  report.name = name;
+  report.properties = sparse::analyze(A);
+  report.positive_definite =
+      report.properties.numerically_symmetric &&
+      sparse::probe_positive_definite(A);
+  report.two_norm_estimate = sparse::estimate_two_norm(A).value;
+  report.frobenius_norm = A.frobenius_norm();
+  report.condition_estimate =
+      estimate_condition ? sparse::estimate_condition_number(A) : 0.0;
+  return report;
+}
+
+namespace {
+
+void print_row(std::ostream& out, const std::string& label,
+               const std::vector<std::string>& cells) {
+  out << std::left << std::setw(28) << label;
+  for (const std::string& c : cells) {
+    out << std::right << std::setw(18) << c;
+  }
+  out << '\n';
+}
+
+std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+std::string sci(double v, int precision = 4) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+} // namespace
+
+void print_table1(std::ostream& out,
+                  const std::vector<MatrixReport>& reports) {
+  std::vector<std::string> cells;
+  const auto collect = [&](auto&& fn) {
+    cells.clear();
+    for (const MatrixReport& r : reports) cells.push_back(fn(r));
+    return cells;
+  };
+  out << "TABLE I: Sample Matrices\n";
+  print_row(out, "Properties", collect([](const MatrixReport& r) {
+              return r.name;
+            }));
+  print_row(out, "number of rows", collect([](const MatrixReport& r) {
+              return std::to_string(r.properties.rows);
+            }));
+  print_row(out, "number of columns", collect([](const MatrixReport& r) {
+              return std::to_string(r.properties.cols);
+            }));
+  print_row(out, "nonzeros", collect([](const MatrixReport& r) {
+              return std::to_string(r.properties.nnz);
+            }));
+  print_row(out, "structural full rank?", collect([](const MatrixReport& r) {
+              return yes_no(r.properties.has_full_structural_rank);
+            }));
+  print_row(out, "nonzero pattern symmetry", collect([](const MatrixReport& r) {
+              return r.properties.pattern_symmetric ? "symmetric"
+                                                    : "nonsymmetric";
+            }));
+  print_row(out, "type", collect([](const MatrixReport&) {
+              return std::string("real");
+            }));
+  print_row(out, "positive definite?", collect([](const MatrixReport& r) {
+              return yes_no(r.positive_definite);
+            }));
+  print_row(out, "Condition Number", collect([](const MatrixReport& r) {
+              return r.condition_estimate > 0.0 ? sci(r.condition_estimate)
+                                                : std::string("(skipped)");
+            }));
+  out << "Potential Fault Detectors\n";
+  print_row(out, "||A||_2", collect([](const MatrixReport& r) {
+              return sci(r.two_norm_estimate);
+            }));
+  print_row(out, "||A||_F", collect([](const MatrixReport& r) {
+              return sci(r.frobenius_norm);
+            }));
+}
+
+void print_sweep_series(std::ostream& out, const std::string& title,
+                        const SweepResult& sweep,
+                        std::size_t inner_per_outer) {
+  out << title << '\n';
+  out << "failure-free outer iterations = " << sweep.baseline_outer
+      << ", injection sites = " << sweep.baseline_total_inner << '\n';
+  out << "site : outer iterations ('|' marks a new inner solve, '*' = fault "
+         "did not fire, 'D' = detected, 'X' = no convergence)\n";
+  std::size_t col = 0;
+  for (const SweepPoint& p : sweep.points) {
+    if (inner_per_outer > 0 && p.aggregate_iteration % inner_per_outer == 0) {
+      out << "| ";
+    }
+    out << p.aggregate_iteration << ':' << p.outer_iterations;
+    if (!p.injected) out << '*';
+    if (p.detected) out << 'D';
+    if (!p.converged) out << 'X';
+    out << ' ';
+    if (++col % 12 == 0) out << '\n';
+  }
+  out << '\n';
+}
+
+void write_sweep_csv(std::ostream& out, const SweepResult& sweep) {
+  out << "site,outer_iterations,converged,injected,detected,residual\n";
+  for (const SweepPoint& p : sweep.points) {
+    out << p.aggregate_iteration << ',' << p.outer_iterations << ','
+        << (p.converged ? 1 : 0) << ',' << (p.injected ? 1 : 0) << ','
+        << (p.detected ? 1 : 0) << ',' << sci(p.residual_norm) << '\n';
+  }
+}
+
+void print_sweep_summary(std::ostream& out, const std::string& title,
+                         const SweepResult& sweep) {
+  out << std::left << std::setw(56) << title << " baseline="
+      << sweep.baseline_outer << " max_increase=" << sweep.max_outer_increase()
+      << " unchanged=" << sweep.unchanged_runs() << "/" << sweep.points.size()
+      << " failed=" << sweep.failed_runs()
+      << " detected=" << sweep.detected_runs() << '\n';
+}
+
+} // namespace sdcgmres::experiment

@@ -1,0 +1,50 @@
+#pragma once
+/// \file report.hpp
+/// \brief Printers that render experiment results the way the paper does.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/sweep.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::experiment {
+
+/// One column of the Table I reproduction.
+struct MatrixReport {
+  std::string name;
+  sparse::MatrixProperties properties;
+  bool positive_definite = false;
+  double two_norm_estimate = 0.0;  ///< potential fault detector sigma_max
+  double frobenius_norm = 0.0;     ///< potential fault detector ||A||_F
+  double condition_estimate = 0.0; ///< 0 when not computed
+};
+
+/// Gather everything Table I reports about \p A.
+/// \param estimate_condition inverse iteration on A^T A is expensive for
+///        ill-conditioned matrices; pass false to skip it.
+[[nodiscard]] MatrixReport characterize(const std::string& name,
+                                        const sparse::CsrMatrix& A,
+                                        bool estimate_condition = true);
+
+/// Print the Table I layout (one column per matrix).
+void print_table1(std::ostream& out, const std::vector<MatrixReport>& reports);
+
+/// Print one sweep as the paper's figure series: aggregate injection site
+/// vs outer iterations, with the failure-free baseline in the header and
+/// '|' separators at inner solve boundaries mirroring the figures'
+/// vertical bars.
+void print_sweep_series(std::ostream& out, const std::string& title,
+                        const SweepResult& sweep,
+                        std::size_t inner_per_outer);
+
+/// Write a sweep as CSV: site,outer_iterations,converged,injected,detected.
+void write_sweep_csv(std::ostream& out, const SweepResult& sweep);
+
+/// Compact per-sweep summary line (max increase, unchanged runs, ...).
+void print_sweep_summary(std::ostream& out, const std::string& title,
+                         const SweepResult& sweep);
+
+} // namespace sdcgmres::experiment

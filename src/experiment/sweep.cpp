@@ -1,0 +1,101 @@
+#include "experiment/sweep.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace sdcgmres::experiment {
+
+std::size_t SweepResult::max_outer_increase() const {
+  std::size_t worst = 0;
+  for (const SweepPoint& p : points) {
+    if (p.outer_iterations > baseline_outer) {
+      worst = std::max(worst, p.outer_iterations - baseline_outer);
+    }
+  }
+  return worst;
+}
+
+std::size_t SweepResult::unchanged_runs() const {
+  return static_cast<std::size_t>(
+      std::count_if(points.begin(), points.end(), [this](const SweepPoint& p) {
+        return p.converged && p.outer_iterations <= baseline_outer;
+      }));
+}
+
+std::size_t SweepResult::failed_runs() const {
+  return static_cast<std::size_t>(std::count_if(
+      points.begin(), points.end(),
+      [](const SweepPoint& p) { return !p.converged; }));
+}
+
+std::size_t SweepResult::detected_runs() const {
+  return static_cast<std::size_t>(std::count_if(
+      points.begin(), points.end(),
+      [](const SweepPoint& p) { return p.detected; }));
+}
+
+krylov::FtGmresResult run_baseline(const sparse::CsrMatrix& A,
+                                   const la::Vector& b,
+                                   const krylov::FtGmresOptions& opts) {
+  return krylov::ft_gmres(A, b, opts, nullptr);
+}
+
+SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
+                                const la::Vector& b,
+                                const SweepConfig& config) {
+  if (config.with_detector && config.detector_bound <= 0.0) {
+    throw std::invalid_argument(
+        "run_injection_sweep: detector enabled but bound not set");
+  }
+  if (config.stride == 0) {
+    throw std::invalid_argument("run_injection_sweep: stride must be >= 1");
+  }
+
+  SweepResult result;
+
+  // --- Failure-free baseline: learns the injection-site count. ---
+  const krylov::FtGmresResult baseline =
+      krylov::ft_gmres(A, b, config.solver, nullptr);
+  result.baseline_outer = baseline.outer_iterations;
+  result.baseline_total_inner = baseline.total_inner_iterations;
+  result.baseline_converged =
+      baseline.status == krylov::FgmresStatus::Converged ||
+      baseline.status == krylov::FgmresStatus::InvariantSubspace;
+
+  // --- One faulty solve per (sampled) injection site. ---
+  std::size_t last_site = result.baseline_total_inner;
+  if (config.site_limit > 0) {
+    last_site = std::min(last_site, config.site_limit);
+  }
+  result.points.reserve(last_site / config.stride + 1);
+  for (std::size_t site = 0; site < last_site; site += config.stride) {
+    sdc::FaultCampaign campaign(
+        sdc::InjectionPlan::hessenberg(site, config.position, config.model));
+    std::unique_ptr<sdc::HessenbergBoundDetector> detector;
+    krylov::HookChain chain;
+    chain.add(&campaign);
+    if (config.with_detector) {
+      detector = std::make_unique<sdc::HessenbergBoundDetector>(
+          config.detector_bound, config.detector_response);
+      chain.add(detector.get());
+    }
+
+    const krylov::FtGmresResult run =
+        krylov::ft_gmres(A, b, config.solver, &chain);
+
+    SweepPoint point;
+    point.aggregate_iteration = site;
+    point.outer_iterations = run.outer_iterations;
+    point.converged = run.status == krylov::FgmresStatus::Converged ||
+                      run.status == krylov::FgmresStatus::InvariantSubspace;
+    point.injected = campaign.fired();
+    point.detected = detector != nullptr && detector->triggered();
+    point.sanitized_outputs = run.sanitized_outputs;
+    point.residual_norm = run.residual_norm;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+} // namespace sdcgmres::experiment

@@ -1,0 +1,84 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief The paper's experiment protocol: one solve per injection site.
+///
+/// Section VII-B: first run failure-free to learn the baseline outer
+/// iteration count and the number of injectable sites (total inner
+/// iterations); then re-solve the same system once per site, injecting a
+/// single fault at that aggregate inner iteration, and record the outer
+/// iterations to convergence.  Figures 3 and 4 plot exactly these series.
+
+#include <cstddef>
+#include <vector>
+
+#include "krylov/ft_gmres.hpp"
+#include "la/vector.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/fault_model.hpp"
+#include "sdc/injection.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::experiment {
+
+/// Configuration of one injection sweep (one sub-plot of Fig. 3/4).
+struct SweepConfig {
+  krylov::FtGmresOptions solver;    ///< nested solver configuration
+  sdc::MgsPosition position = sdc::MgsPosition::First; ///< MGS step faulted
+  sdc::FaultModel model = sdc::FaultModel::scale(1e150); ///< fault class
+  std::size_t stride = 1;           ///< sample every stride-th site (1 =
+                                    ///< every site, the paper's protocol)
+  std::size_t site_limit = 0;       ///< only sweep sites < site_limit
+                                    ///< (0 = all sites); e.g. 25 restricts
+                                    ///< the sweep to the first inner solve
+  bool with_detector = false;       ///< attach the Hessenberg bound detector
+  double detector_bound = 0.0;      ///< bound (e.g. ||A||_F); required when
+                                    ///< with_detector is set
+  sdc::DetectorResponse detector_response =
+      sdc::DetectorResponse::AbortSolve;
+};
+
+/// Outcome of one faulty solve.
+struct SweepPoint {
+  std::size_t aggregate_iteration = 0; ///< injection site
+  std::size_t outer_iterations = 0;    ///< outer iterations to convergence
+  bool converged = false;
+  bool injected = false;  ///< the fault actually fired (it may not, e.g.
+                          ///< when the perturbed run ends sooner)
+  bool detected = false;  ///< detector flagged the fault
+  std::size_t sanitized_outputs = 0; ///< inner results the reliable outer
+                                     ///< phase had to filter (Inf/NaN/zero)
+  double residual_norm = 0.0; ///< explicit final residual
+};
+
+/// Result of a full sweep.
+struct SweepResult {
+  std::size_t baseline_outer = 0;        ///< failure-free outer iterations
+  std::size_t baseline_total_inner = 0;  ///< number of injectable sites
+  bool baseline_converged = false;
+  std::vector<SweepPoint> points;
+
+  /// Largest outer-iteration increase over the baseline (0 when all runs
+  /// match the failure-free count).
+  [[nodiscard]] std::size_t max_outer_increase() const;
+  /// Number of runs with no increase in outer iterations.
+  [[nodiscard]] std::size_t unchanged_runs() const;
+  /// Number of runs that failed to converge.
+  [[nodiscard]] std::size_t failed_runs() const;
+  /// Number of runs where the detector fired.
+  [[nodiscard]] std::size_t detected_runs() const;
+};
+
+/// Run the failure-free baseline followed by one faulty solve per
+/// injection site.  \p b is the right-hand side; the initial guess is zero
+/// for every run (paper: "same matrix, right-hand side, and initial
+/// guess").
+[[nodiscard]] SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
+                                              const la::Vector& b,
+                                              const SweepConfig& config);
+
+/// Just the failure-free baseline (also used by examples).
+[[nodiscard]] krylov::FtGmresResult run_baseline(
+    const sparse::CsrMatrix& A, const la::Vector& b,
+    const krylov::FtGmresOptions& opts);
+
+} // namespace sdcgmres::experiment

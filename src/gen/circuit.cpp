@@ -1,0 +1,106 @@
+#include "gen/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace sdcgmres::gen {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+
+CsrMatrix circuit_like(const CircuitOptions& opts) {
+  const std::size_t n = opts.nodes;
+  if (n < 4) throw std::invalid_argument("circuit_like: need at least 4 nodes");
+  if (opts.weak_nodes >= n) {
+    throw std::invalid_argument("circuit_like: weak_nodes must be < nodes");
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_real_distribution<double> gdist(opts.base_conductance_min,
+                                               opts.base_conductance_max);
+  std::uniform_int_distribution<std::size_t> node_dist(0, n - 1);
+
+  // --- Edge set: ring + random shortcuts (dedup via hashed pair key). ---
+  struct Edge {
+    std::size_t a, b;
+    bool shortcut;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * (1 + opts.shortcut_edges_per_node));
+  std::unordered_set<std::size_t> seen;
+  const auto key = [n](std::size_t a, std::size_t b) { return a * n + b; };
+  const auto try_add = [&](std::size_t a, std::size_t b, bool shortcut) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    if (seen.insert(key(a, b)).second) edges.push_back({a, b, shortcut});
+  };
+  for (std::size_t i = 0; i < n; ++i) try_add(i, (i + 1) % n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < opts.shortcut_edges_per_node; ++e) {
+      try_add(i, node_dist(rng), true);
+    }
+  }
+
+  // --- Node scaling: a few "weak" nodes get tiny scale factors, log-
+  // uniformly distributed across [weak_scale_min, weak_scale_max].  Scaling
+  // row i and column i of the conductance matrix by s_i models a subcircuit
+  // reachable only through extremely large resistances, and creates one
+  // tiny singular value per weak node. ---
+  std::vector<double> scale(n, 1.0);
+  if (opts.weak_nodes > 0) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    const double lo = std::log(opts.weak_scale_min);
+    const double hi = std::log(opts.weak_scale_max);
+    for (std::size_t k = 0; k < opts.weak_nodes; ++k) {
+      const double t = (opts.weak_nodes == 1)
+                           ? 0.0
+                           : static_cast<double>(k) /
+                                 static_cast<double>(opts.weak_nodes - 1);
+      scale[order[k]] = std::exp(lo + t * (hi - lo));
+    }
+  }
+
+  // --- Stamp the MNA-style matrix. ---
+  CooMatrix coo(n, n);
+  coo.reserve(4 * edges.size() + n);
+  for (const Edge& e : edges) {
+    const double g =
+        gdist(rng) * (e.shortcut ? opts.shortcut_conductance_scale : 1.0);
+    const double sab = scale[e.a] * scale[e.b];
+    coo.accumulate(e.a, e.a, g * scale[e.a] * scale[e.a]);
+    coo.accumulate(e.b, e.b, g * scale[e.b] * scale[e.b]);
+    coo.accumulate(e.a, e.b, -g * sab);
+    coo.accumulate(e.b, e.a, -g * sab);
+    if (unif(rng) < opts.coupling_fraction) {
+      // One-sided coupling stamp (VCCS): current into node a controlled by
+      // the voltage at a third node c -- contributes to (a, c) only, with
+      // no mirrored (c, a) entry, so the nonzero *pattern* becomes
+      // nonsymmetric exactly as in real modified-nodal-analysis matrices.
+      const std::size_t ctrl = node_dist(rng);
+      if (ctrl != e.a) {
+        const double c = opts.coupling_strength * g *
+                         (unif(rng) < 0.5 ? 1.0 : -1.0);
+        coo.accumulate(e.a, ctrl, c * scale[e.a] * scale[ctrl]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.accumulate(i, i, opts.ground_leak * scale[i] * scale[i]);
+  }
+
+  CsrMatrix A(std::move(coo));
+  if (opts.target_frobenius_norm > 0.0) {
+    const double fro = A.frobenius_norm();
+    if (fro > 0.0) A = A.scaled(opts.target_frobenius_norm / fro);
+  }
+  return A;
+}
+
+} // namespace sdcgmres::gen

@@ -1,0 +1,82 @@
+#include "gen/random_sparse.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace sdcgmres::gen {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+
+CsrMatrix random_sparse(const RandomSparseOptions& opts) {
+  if (opts.rows == 0 || opts.cols == 0) {
+    throw std::invalid_argument("random_sparse: empty dimensions");
+  }
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<std::size_t> col_dist(0, opts.cols - 1);
+  std::uniform_real_distribution<double> val_dist(opts.value_min,
+                                                  opts.value_max);
+  CooMatrix coo(opts.rows, opts.cols);
+  coo.reserve(opts.rows * (opts.nnz_per_row + 1));
+  for (std::size_t i = 0; i < opts.rows; ++i) {
+    for (std::size_t k = 0; k < opts.nnz_per_row; ++k) {
+      coo.accumulate(i, col_dist(rng), val_dist(rng));
+    }
+  }
+  // Structural diagonal (value may be zero before the shift).
+  const std::size_t n = std::min(opts.rows, opts.cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.accumulate(i, i, opts.diagonal_shift);
+  }
+  CsrMatrix A(std::move(coo));
+  if (opts.symmetric) {
+    if (opts.rows != opts.cols) {
+      throw std::invalid_argument("random_sparse: symmetric needs square");
+    }
+    const CsrMatrix At = A.transposed();
+    CooMatrix sym(opts.rows, opts.cols);
+    sym.reserve(2 * A.nnz());
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      const auto cols = A.row_cols(i);
+      const auto vals = A.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        sym.accumulate(i, cols[k], 0.5 * vals[k]);
+      }
+      const auto tcols = At.row_cols(i);
+      const auto tvals = At.row_values(i);
+      for (std::size_t k = 0; k < tcols.size(); ++k) {
+        sym.accumulate(i, tcols[k], 0.5 * tvals[k]);
+      }
+    }
+    A = CsrMatrix(std::move(sym));
+  }
+  return A;
+}
+
+CsrMatrix random_diag_dominant(std::size_t n, unsigned seed) {
+  RandomSparseOptions opts;
+  opts.rows = n;
+  opts.cols = n;
+  opts.nnz_per_row = 6;
+  opts.value_min = -1.0;
+  opts.value_max = 1.0;
+  // 6 entries in [-1, 1]: row sum of magnitudes <= 6 < shift.
+  opts.diagonal_shift = 8.0;
+  opts.seed = seed;
+  return random_sparse(opts);
+}
+
+CsrMatrix random_spd(std::size_t n, unsigned seed) {
+  RandomSparseOptions opts;
+  opts.rows = n;
+  opts.cols = n;
+  opts.nnz_per_row = 6;
+  opts.value_min = -1.0;
+  opts.value_max = 1.0;
+  opts.symmetric = true;
+  opts.diagonal_shift = 8.0;
+  opts.seed = seed;
+  return random_sparse(opts);
+}
+
+} // namespace sdcgmres::gen

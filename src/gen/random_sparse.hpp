@@ -1,0 +1,37 @@
+#pragma once
+/// \file random_sparse.hpp
+/// \brief Random sparse test matrices (for property-based tests).
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::gen {
+
+/// Parameters of a random sparse matrix.
+struct RandomSparseOptions {
+  std::size_t rows = 100;
+  std::size_t cols = 100;
+  std::size_t nnz_per_row = 8;   ///< off-diagonal entries sampled per row
+  double value_min = -1.0;
+  double value_max = 1.0;
+  bool symmetric = false;        ///< symmetrize as (A + A^T)/2
+  double diagonal_shift = 0.0;   ///< added to every diagonal entry; a shift
+                                 ///< larger than the row sums makes the
+                                 ///< matrix diagonally dominant
+  unsigned seed = 42;
+};
+
+/// Generate a random sparse matrix.  The diagonal is always structurally
+/// present (possibly zero-valued) so the Jacobi preconditioner is defined.
+[[nodiscard]] sparse::CsrMatrix random_sparse(const RandomSparseOptions& opts);
+
+/// Shorthand: random diagonally dominant nonsymmetric matrix of size n,
+/// suitable as a well-conditioned GMRES test problem.
+[[nodiscard]] sparse::CsrMatrix random_diag_dominant(std::size_t n,
+                                                     unsigned seed = 42);
+
+/// Shorthand: random SPD matrix of size n (symmetrized + dominant shift).
+[[nodiscard]] sparse::CsrMatrix random_spd(std::size_t n, unsigned seed = 42);
+
+} // namespace sdcgmres::gen

@@ -1,0 +1,36 @@
+#pragma once
+/// \file arnoldi.hpp
+/// \brief Standalone Arnoldi process (basis + Hessenberg matrix).
+///
+/// Used directly by the property tests (orthonormality, the Arnoldi
+/// relation A Q_k = Q_{k+1} H_k, and the paper's Eq. 3 bound) and by the
+/// Fig. 2 structure benchmark; GMRES embeds the same kernels but interleaves
+/// the least-squares update.
+
+#include <cstddef>
+#include <vector>
+
+#include "krylov/hooks.hpp"
+#include "krylov/operator.hpp"
+#include "krylov/orthogonalize.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Result of running the Arnoldi process for up to m steps.
+struct ArnoldiResult {
+  std::vector<la::Vector> q; ///< k+1 orthonormal basis vectors
+  la::DenseMatrix h;         ///< (k+1) x k upper Hessenberg
+  std::size_t steps = 0;     ///< k, the number of completed steps
+  bool breakdown = false;    ///< happy breakdown occurred at step `steps`
+};
+
+/// Run m steps of Arnoldi with start vector \p v0 (need not be normalized).
+/// Stops early on happy breakdown (subdiagonal below \p breakdown_tol).
+[[nodiscard]] ArnoldiResult arnoldi(
+    const LinearOperator& A, const la::Vector& v0, std::size_t m,
+    Orthogonalization ortho = Orthogonalization::MGS,
+    ArnoldiHook* hook = nullptr, double breakdown_tol = 1e-14);
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,148 @@
+#include "krylov/fcg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "krylov/ft_gmres.hpp"
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+const char* to_string(FcgStatus status) noexcept {
+  switch (status) {
+    case FcgStatus::Converged: return "converged";
+    case FcgStatus::MaxIterations: return "max-iterations";
+    case FcgStatus::Indefinite: return "indefinite";
+  }
+  return "unknown";
+}
+
+FcgResult fcg(const LinearOperator& A, const la::Vector& b,
+              const la::Vector& x0, const FcgOptions& opts,
+              FlexiblePreconditioner& M) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("fcg: operator must be square");
+  }
+  if (b.size() != A.rows() || x0.size() != A.cols()) {
+    throw std::invalid_argument("fcg: vector size mismatch");
+  }
+  if (opts.max_outer == 0) {
+    throw std::invalid_argument("fcg: max_outer must be positive");
+  }
+
+  FcgResult result;
+  result.x = x0;
+  const std::size_t n = A.rows();
+  const double bnorm = la::nrm2(b);
+  const double abs_target = opts.tol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  la::Vector r(n);
+  A.apply(result.x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  result.residual_norm = la::nrm2(r);
+  if (result.residual_norm <= abs_target) {
+    result.status = FcgStatus::Converged;
+    return result;
+  }
+
+  const auto sanitize = [&](la::Vector& z) {
+    if (!opts.sanitize_preconditioner_output) return;
+    if (!la::all_finite(z) || la::nrm2(z) == 0.0) {
+      la::copy(r, z); // identity-preconditioner fallback
+      ++result.sanitized_outputs;
+    }
+  };
+
+  la::Vector z(n);
+  M.apply(r, 0, z); // unreliable phase
+  sanitize(z);
+  la::Vector p = z;
+  la::Vector ap(n);
+  la::Vector r_prev(n);
+  double rz = la::dot(r, z);
+
+  for (std::size_t k = 0; k < opts.max_outer; ++k) {
+    A.apply(p, ap);
+    const double pap = la::dot(p, ap);
+    if (!(pap > 0.0)) { // catches <= 0 and NaN
+      result.status = FcgStatus::Indefinite;
+      return result;
+    }
+    const double alpha = rz / pap;
+    la::copy(r, r_prev);
+    la::axpy(alpha, p, result.x);
+    la::axpy(-alpha, ap, r);
+    result.residual_norm = la::nrm2(r);
+    result.residual_history.push_back(result.residual_norm);
+    result.outer_iterations = k + 1;
+
+    if (result.residual_norm <= abs_target) {
+      if (!opts.verify_with_explicit_residual) {
+        result.status = FcgStatus::Converged;
+        return result;
+      }
+      // Reliable phase: trust only the explicit residual.
+      la::Vector true_r(n);
+      A.apply(result.x, true_r);
+      la::waxpby(1.0, b, -1.0, true_r, true_r);
+      const double true_norm = la::nrm2(true_r);
+      if (true_norm <= abs_target) {
+        result.residual_norm = true_norm;
+        result.status = FcgStatus::Converged;
+        return result;
+      }
+      la::copy(true_r, r); // resynchronize the recurrence and continue
+      result.residual_norm = true_norm;
+    }
+
+    // Unreliable phase: apply the (flexible) preconditioner.
+    M.apply(r, k + 1, z);
+    sanitize(z);
+
+    // Flexible (Polak-Ribiere style) beta keeps directions useful when
+    // M changes between iterations; plain CG's <z,r>/<z_prev,r_prev>
+    // assumes a fixed M.
+    la::Vector dr = r;
+    la::axpy(-1.0, r_prev, dr);
+    const double zdr = la::dot(z, dr);
+    const double beta = (rz != 0.0) ? zdr / rz : 0.0;
+    la::waxpby(1.0, z, beta, p, p);
+    rz = la::dot(r, z);
+    if (!(std::abs(rz) > 0.0) || !std::isfinite(rz)) {
+      // <r, z> collapsed; restart the direction from the current residual
+      // preconditioned output (equivalent to a fresh CG start).
+      la::copy(z, p);
+      rz = la::dot(r, z);
+      if (rz == 0.0) rz = la::dot(r, r); // last resort: steepest descent
+    }
+  }
+  result.status = result.residual_norm <= abs_target ? FcgStatus::Converged
+                                                     : FcgStatus::MaxIterations;
+  return result;
+}
+
+FtCgResult ft_cg(const LinearOperator& A, const la::Vector& b,
+                 const FtCgOptions& opts, ArnoldiHook* inner_hook) {
+  InnerGmresPreconditioner inner(A, opts.inner, inner_hook);
+  const FcgResult outer = fcg(A, b, la::Vector(A.cols()), opts.outer, inner);
+
+  FtCgResult result;
+  result.x = outer.x;
+  result.status = outer.status;
+  result.outer_iterations = outer.outer_iterations;
+  result.residual_norm = outer.residual_norm;
+  result.residual_history = outer.residual_history;
+  result.sanitized_outputs = outer.sanitized_outputs;
+  for (const InnerSolveRecord& rec : inner.records()) {
+    result.total_inner_iterations += rec.iterations;
+  }
+  return result;
+}
+
+FtCgResult ft_cg(const sparse::CsrMatrix& A, const la::Vector& b,
+                 const FtCgOptions& opts, ArnoldiHook* inner_hook) {
+  const CsrOperator op(A);
+  return ft_cg(op, b, opts, inner_hook);
+}
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,201 @@
+#include "krylov/fgmres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dense/hessenberg_qr.hpp"
+#include "dense/svd.hpp"
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+const char* to_string(FgmresStatus status) noexcept {
+  switch (status) {
+    case FgmresStatus::Converged: return "converged";
+    case FgmresStatus::InvariantSubspace: return "invariant-subspace";
+    case FgmresStatus::RankDeficient: return "rank-deficient";
+    case FgmresStatus::MaxIterations: return "max-iterations";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// sigma_min / sigma_max of the current triangular factor; 0 for singular.
+double sigma_ratio(const dense::HessenbergQr& qr) {
+  const auto svd = dense::jacobi_svd(qr.r_block());
+  const std::size_t k = qr.size();
+  if (k == 0) return 1.0;
+  const double smax = svd.sigma[0];
+  const double smin = svd.sigma[k - 1];
+  if (smax == 0.0) return 0.0;
+  return smin / smax;
+}
+
+/// x := x0 + Z y for the current projected solution.
+void form_iterate(const la::Vector& x0, const std::vector<la::Vector>& zbasis,
+                  const dense::HessenbergQr& qr, const FgmresOptions& opts,
+                  la::Vector& x) {
+  x = x0;
+  const std::size_t k = qr.size();
+  if (k == 0) return;
+  const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
+                                            opts.lsq_policy,
+                                            opts.truncation_tol);
+  for (std::size_t i = 0; i < k; ++i) {
+    la::axpy(solve.y[i], zbasis[i], x);
+  }
+}
+
+} // namespace
+
+FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
+                    const la::Vector& x0, const FgmresOptions& opts,
+                    FlexiblePreconditioner& M) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("fgmres: operator must be square");
+  }
+  if (b.size() != A.rows() || x0.size() != A.cols()) {
+    throw std::invalid_argument("fgmres: vector size mismatch");
+  }
+  if (opts.max_outer == 0) {
+    throw std::invalid_argument("fgmres: max_outer must be positive");
+  }
+
+  FgmresResult result;
+  result.x = x0;
+  const std::size_t n = A.rows();
+  const double bnorm = la::nrm2(b);
+  const double abs_target = opts.tol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  // Reliable initial residual.
+  la::Vector r(n);
+  A.apply(x0, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  const double beta = la::nrm2(r);
+  result.residual_norm = beta;
+  if (beta <= abs_target) {
+    result.status = FgmresStatus::Converged;
+    return result;
+  }
+
+  std::vector<la::Vector> q;      // orthonormal basis
+  std::vector<la::Vector> zbasis; // preconditioned directions
+  q.reserve(opts.max_outer + 1);
+  zbasis.reserve(opts.max_outer);
+  q.push_back(r);
+  la::scal(1.0 / beta, q[0]);
+
+  dense::HessenbergQr qr(opts.max_outer, beta);
+  la::Vector v(n);
+  std::vector<double> hcol(opts.max_outer + 2, 0.0);
+
+  for (std::size_t j = 0; j < opts.max_outer; ++j) {
+    // --- Unreliable phase: apply the (flexible) preconditioner. ---
+    la::Vector z(n);
+    M.apply(q[j], j, z);
+
+    // --- Reliable phase resumes: sanitize, expand, orthogonalize. ---
+    if (opts.sanitize_preconditioner_output &&
+        (!la::all_finite(z) || la::nrm2(z) == 0.0)) {
+      // The sandbox guest produced theoretically impossible values (Inf or
+      // NaN), or returned the zero vector -- impossible for any nonsingular
+      // preconditioner.  Fall back to the identity preconditioner for this
+      // step (z := q_j).
+      la::copy(q[j], z);
+      ++result.sanitized_outputs;
+    }
+    zbasis.push_back(std::move(z));
+
+    double hnext = 0.0;
+    double est = 0.0;
+    double ratio = 1.0;
+    bool subdiag_small = false;
+    bool rank_deficient = false;
+    // At most two attempts: the guest's direction, then (when sanitizing)
+    // the identity-preconditioner fallback.  A direction that is
+    // (numerically) linearly dependent on the existing basis -- e.g. an
+    // inner solve whose faulty projected problem truncated to a ~zero
+    // update -- is discarded and the iteration retried; a second failure
+    // is then a property of A itself and is reported loudly below.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      A.apply(zbasis[j], v);
+      const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
+      orthogonalize(opts.ortho, q, j + 1, v, hcol, nullptr, ctx);
+      hnext = la::nrm2(v);
+      hcol[j + 1] = hnext;
+      est = qr.add_column({hcol.data(), j + 2});
+      result.outer_iterations = j + 1;
+
+      // --- Rank-revealing bookkeeping (trichotomy, Section VI-C). ---
+      ratio = 1.0;
+      subdiag_small = hnext <= opts.breakdown_tol * beta;
+      if (opts.rank_check_every_iteration || subdiag_small) {
+        ratio = sigma_ratio(qr);
+        ++result.rank_checks;
+        result.min_sigma_ratio = std::min(result.min_sigma_ratio, ratio);
+      }
+      rank_deficient = subdiag_small && ratio <= opts.rank_tol;
+      if (!rank_deficient) break;
+      if (!opts.sanitize_preconditioner_output || attempt == 1) break;
+      ++result.sanitized_outputs;
+      qr.pop_column();
+      la::copy(q[j], zbasis[j]);
+    }
+    if (subdiag_small) {
+      if (rank_deficient) {
+        // Saad's Proposition 2.2 case: loud failure, never a wrong answer.
+        result.residual_history.push_back(est);
+        form_iterate(x0, zbasis, qr, opts, result.x);
+        A.apply(result.x, r);
+        la::waxpby(1.0, b, -1.0, r, r);
+        result.residual_norm = la::nrm2(r);
+        result.status = FgmresStatus::RankDeficient;
+        return result;
+      }
+      result.residual_history.push_back(est);
+      form_iterate(x0, zbasis, qr, opts, result.x);
+      A.apply(result.x, r);
+      la::waxpby(1.0, b, -1.0, r, r);
+      result.residual_norm = la::nrm2(r);
+      result.status = result.residual_norm <= abs_target
+                          ? FgmresStatus::Converged
+                          : FgmresStatus::InvariantSubspace;
+      return result;
+    }
+
+    result.residual_history.push_back(est);
+    q.push_back(v);
+    la::scal(1.0 / hnext, q[j + 1]);
+
+    if (est <= abs_target) {
+      form_iterate(x0, zbasis, qr, opts, result.x);
+      if (!opts.verify_with_explicit_residual) {
+        result.residual_norm = est;
+        result.status = FgmresStatus::Converged;
+        return result;
+      }
+      A.apply(result.x, r);
+      la::waxpby(1.0, b, -1.0, r, r);
+      result.residual_norm = la::nrm2(r);
+      if (result.residual_norm <= abs_target) {
+        result.status = FgmresStatus::Converged;
+        return result;
+      }
+      // Estimate was optimistic (can happen with truncated updates);
+      // keep iterating.
+    }
+  }
+
+  form_iterate(x0, zbasis, qr, opts, result.x);
+  A.apply(result.x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  result.residual_norm = la::nrm2(r);
+  result.status = result.residual_norm <= abs_target
+                      ? FgmresStatus::Converged
+                      : FgmresStatus::MaxIterations;
+  return result;
+}
+
+} // namespace sdcgmres::krylov

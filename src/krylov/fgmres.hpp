@@ -1,0 +1,77 @@
+#pragma once
+/// \file fgmres.hpp
+/// \brief Flexible GMRES (Saad 1993), Algorithm 2 of the paper.
+///
+/// FGMRES allows the preconditioner to change on every iteration, which is
+/// what lets FT-GMRES model a faulty inner solve as "a different
+/// preconditioner".  The implementation realizes the paper's trichotomy
+/// (Section VI-C): it either converges, correctly detects an invariant
+/// subspace (happy breakdown with full-rank H), or loudly reports rank
+/// deficiency of H -- it never silently returns a wrong answer.
+
+#include <cstddef>
+#include <vector>
+
+#include "dense/lsq_policies.hpp"
+#include "krylov/operator.hpp"
+#include "krylov/orthogonalize.hpp"
+#include "krylov/precond.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Terminal state of an FGMRES solve (the trichotomy, plus budget
+/// exhaustion).
+enum class FgmresStatus {
+  Converged,         ///< explicit residual reached the tolerance
+  InvariantSubspace, ///< happy breakdown with full-rank H: solution exact
+  RankDeficient,     ///< H(1:j,1:j) rank-deficient: loud failure report
+  MaxIterations,     ///< outer budget exhausted
+};
+
+/// Human-readable status (for reports).
+[[nodiscard]] const char* to_string(FgmresStatus status) noexcept;
+
+/// Configuration of an FGMRES solve.
+struct FgmresOptions {
+  std::size_t max_outer = 200;  ///< outer iteration budget (also basis size)
+  double tol = 1e-8;            ///< relative residual target (vs ||b||)
+  Orthogonalization ortho = Orthogonalization::MGS;
+  dense::LsqPolicy lsq_policy = dense::LsqPolicy::RankRevealing;
+  double truncation_tol = 1e-12; ///< SVD cutoff for the update coefficients
+  double breakdown_tol = 1e-12;  ///< happy-breakdown threshold (relative to
+                                 ///< the initial residual norm)
+  double rank_tol = 1e-12;       ///< sigma_min/sigma_max threshold declaring
+                                 ///< H rank-deficient
+  bool rank_check_every_iteration = true; ///< maintain the rank-revealing
+                                 ///< decomposition each iteration (paper
+                                 ///< Section VI-C); false checks only at
+                                 ///< breakdown
+  bool sanitize_preconditioner_output = true; ///< reliable-phase filter: a
+                                 ///< z_j with Inf/NaN (a guest that ran
+                                 ///< wild) is replaced by q_j, i.e. the
+                                 ///< identity preconditioner for that step
+  bool verify_with_explicit_residual = true; ///< on estimated convergence,
+                                 ///< recompute b - A*x reliably and keep
+                                 ///< iterating if it disagrees
+};
+
+/// Result of an FGMRES solve.
+struct FgmresResult {
+  la::Vector x;                 ///< final iterate
+  FgmresStatus status = FgmresStatus::MaxIterations;
+  std::size_t outer_iterations = 0;
+  double residual_norm = 0.0;   ///< explicit ||b - A*x|| at exit
+  std::vector<double> residual_history; ///< estimate after each iteration
+  std::size_t sanitized_outputs = 0;    ///< z_j replaced due to Inf/NaN
+  std::size_t rank_checks = 0;          ///< rank-revealing updates performed
+  double min_sigma_ratio = 1.0;         ///< smallest sigma_min/sigma_max seen
+};
+
+/// Solve A x = b with flexible preconditioner \p M, starting from \p x0.
+[[nodiscard]] FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
+                                  const la::Vector& x0,
+                                  const FgmresOptions& opts,
+                                  FlexiblePreconditioner& M);
+
+} // namespace sdcgmres::krylov

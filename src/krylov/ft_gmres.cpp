@@ -1,0 +1,50 @@
+#include "krylov/ft_gmres.hpp"
+
+namespace sdcgmres::krylov {
+
+void InnerGmresPreconditioner::apply(const la::Vector& q,
+                                     std::size_t outer_index, la::Vector& z) {
+  GmresOptions opts = opts_;
+  if (robust_first_solve_ && outer_index == 0) {
+    // Paper Section VII-E-1: spend extra effort where faults hurt most.
+    // CGS2's silent second pass restores the correct total projection
+    // coefficient after a single multiplicative fault in the first pass.
+    opts.ortho = Orthogonalization::CGS2;
+  }
+  const GmresResult inner =
+      gmres(*a_, q, la::Vector(a_->cols()), opts, hook_, outer_index);
+  records_.push_back({.outer_index = outer_index,
+                      .status = inner.status,
+                      .iterations = inner.iterations,
+                      .residual_norm = inner.residual_norm});
+  z = inner.x;
+}
+
+FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
+                       const FtGmresOptions& opts, ArnoldiHook* inner_hook) {
+  InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
+                                 opts.robust_first_inner);
+  const FgmresResult outer =
+      fgmres(A, b, la::Vector(A.cols()), opts.outer, inner);
+
+  FtGmresResult result;
+  result.x = outer.x;
+  result.status = outer.status;
+  result.outer_iterations = outer.outer_iterations;
+  result.residual_norm = outer.residual_norm;
+  result.residual_history = outer.residual_history;
+  result.inner_solves = inner.records();
+  result.sanitized_outputs = outer.sanitized_outputs;
+  for (const InnerSolveRecord& rec : result.inner_solves) {
+    result.total_inner_iterations += rec.iterations;
+  }
+  return result;
+}
+
+FtGmresResult ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,
+                       const FtGmresOptions& opts, ArnoldiHook* inner_hook) {
+  const CsrOperator op(A);
+  return ft_gmres(op, b, opts, inner_hook);
+}
+
+} // namespace sdcgmres::krylov

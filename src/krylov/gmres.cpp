@@ -1,0 +1,224 @@
+#include "krylov/gmres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dense/hessenberg_qr.hpp"
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::HappyBreakdown: return "happy-breakdown";
+    case SolveStatus::AbortedByDetector: return "aborted-by-detector";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One restart cycle of GMRES.  Returns true when the whole solve should
+/// stop (converged / breakdown / abort); false means "restart and go on".
+struct CycleOutcome {
+  bool stop = false;
+  SolveStatus status = SolveStatus::MaxIterations;
+};
+
+CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
+                       la::Vector& x, const GmresOptions& opts,
+                       std::size_t cycle_len, double abs_target,
+                       ArnoldiHook* hook, std::size_t solve_index,
+                       GmresResult& result) {
+  CycleOutcome outcome;
+  const std::size_t n = A.rows();
+
+  // Reliable residual at cycle start: r = b - A*x.
+  la::Vector r(n);
+  A.apply(x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  const double beta = la::nrm2(r);
+  result.residual_norm = beta;
+  if (beta == 0.0 || (abs_target > 0.0 && beta <= abs_target)) {
+    outcome.stop = true;
+    outcome.status = SolveStatus::Converged;
+    return outcome;
+  }
+  if (!std::isfinite(beta)) {
+    // A non-finite iterate cannot improve; report and stop.
+    outcome.stop = true;
+    outcome.status = SolveStatus::MaxIterations;
+    return outcome;
+  }
+
+  std::vector<la::Vector> q;
+  q.reserve(cycle_len + 1);
+  q.push_back(r);
+  la::scal(1.0 / beta, q[0]);
+
+  dense::HessenbergQr qr(cycle_len, beta);
+  la::Vector v(n);
+  la::Vector z(n); // preconditioned direction when right_precond is set
+  std::vector<double> hcol(cycle_len + 2, 0.0);
+
+  bool aborted = false;
+  bool breakdown = false;
+  bool converged = false;
+  bool qr_pop_pending = false;
+  while (qr.size() < cycle_len && result.iterations < opts.max_iters) {
+    const std::size_t j = qr.size();
+    const ArnoldiContext ctx{.solve_index = solve_index, .iteration = j};
+    if (hook != nullptr) hook->on_iteration_begin(ctx);
+
+    // v := A q_j (right-preconditioned: v := A M^{-1} q_j).
+    if (opts.right_precond != nullptr) {
+      opts.right_precond->apply(q[j], z);
+      A.apply(z, v);
+    } else {
+      A.apply(q[j], v);
+    }
+    if (hook != nullptr) hook->on_matvec_result(ctx, v);
+    const double w_norm = la::nrm2(v); // scale reference for breakdown test
+
+    orthogonalize(opts.ortho, q, j + 1, v, hcol, hook, ctx);
+    if (hook != nullptr && hook->abort_requested()) {
+      // Drop the tainted column entirely; solve with the j columns that
+      // were accepted before the detector fired.
+      aborted = true;
+      break;
+    }
+
+    double hnext = la::nrm2(v);
+    if (hook != nullptr) hook->on_subdiagonal(ctx, hnext);
+    if (hook != nullptr && hook->abort_requested()) {
+      aborted = true;
+      break;
+    }
+
+    hcol[j + 1] = hnext;
+    const double est =
+        qr.add_column({hcol.data(), j + 2});
+    result.residual_history.push_back(est);
+    ++result.iterations;
+    result.residual_norm = est;
+
+    if (hnext <= opts.breakdown_tol * (w_norm > 0.0 ? w_norm : 1.0)) {
+      breakdown = true;
+      break;
+    }
+    la::Vector qnext = v;
+    la::scal(1.0 / hnext, qnext);
+    q.push_back(std::move(qnext));
+
+    if (hook != nullptr) {
+      const ArnoldiIterationView view{
+          .basis = {q.data(), j + 2},
+          .h_column = {hcol.data(), j + 2},
+      };
+      hook->on_iteration_end(ctx, view);
+      if (hook->abort_requested()) {
+        // The whole-iteration check rejected this column (Online-ABFT
+        // style); drop it and stop, as for coefficient-level aborts.
+        aborted = true;
+        q.pop_back();
+        // The column is already in the QR factorization; the projected
+        // solve below must not use it.
+        result.residual_history.pop_back();
+        --result.iterations;
+        qr_pop_pending = true;
+        break;
+      }
+    }
+
+    if (abs_target > 0.0 && est <= abs_target) {
+      converged = true;
+      break;
+    }
+  }
+
+  // Form the update x += (M^{-1}) Q_k y from the accepted columns.
+  if (qr_pop_pending) {
+    qr.pop_column();
+    result.residual_norm = qr.residual_estimate();
+  }
+  const std::size_t k = qr.size();
+  if (k > 0) {
+    const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
+                                              opts.lsq_policy,
+                                              opts.truncation_tol);
+    result.lsq_effective_rank = solve.effective_rank;
+    result.lsq_fallback_triggered = solve.fallback_triggered;
+    la::Vector update(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      la::axpy(solve.y[i], q[i], update);
+    }
+    if (opts.right_precond != nullptr) {
+      opts.right_precond->apply(update, z);
+      la::axpy(1.0, z, x);
+    } else {
+      la::axpy(1.0, update, x);
+    }
+  }
+
+  if (aborted) {
+    outcome.stop = true;
+    outcome.status = SolveStatus::AbortedByDetector;
+  } else if (breakdown) {
+    outcome.stop = true;
+    outcome.status = SolveStatus::HappyBreakdown;
+  } else if (converged) {
+    outcome.stop = true;
+    outcome.status = SolveStatus::Converged;
+  } else {
+    outcome.stop = result.iterations >= opts.max_iters;
+    outcome.status = SolveStatus::MaxIterations;
+  }
+  return outcome;
+}
+
+} // namespace
+
+GmresResult gmres(const LinearOperator& A, const la::Vector& b,
+                  const la::Vector& x0, const GmresOptions& opts,
+                  ArnoldiHook* hook, std::size_t solve_index) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("gmres: operator must be square");
+  }
+  if (b.size() != A.rows() || x0.size() != A.cols()) {
+    throw std::invalid_argument("gmres: vector size mismatch");
+  }
+  if (opts.max_iters == 0) {
+    throw std::invalid_argument("gmres: max_iters must be positive");
+  }
+
+  GmresResult result;
+  result.x = x0;
+  result.residual_history.reserve(opts.max_iters);
+
+  const double bnorm = la::nrm2(b);
+  const double abs_target =
+      (opts.tol > 0.0) ? opts.tol * (bnorm > 0.0 ? bnorm : 1.0) : 0.0;
+  const std::size_t cycle_len =
+      (opts.restart == 0) ? opts.max_iters : opts.restart;
+
+  if (hook != nullptr) hook->on_solve_begin(solve_index);
+  while (true) {
+    const CycleOutcome outcome = run_cycle(A, b, result.x, opts, cycle_len,
+                                           abs_target, hook, solve_index,
+                                           result);
+    result.status = outcome.status;
+    if (outcome.stop) break;
+  }
+  return result;
+}
+
+GmresResult gmres(const sparse::CsrMatrix& A, const la::Vector& b,
+                  const GmresOptions& opts, ArnoldiHook* hook) {
+  const CsrOperator op(A);
+  return gmres(op, b, la::Vector(A.cols()), opts, hook, 0);
+}
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,76 @@
+#pragma once
+/// \file gmres.hpp
+/// \brief GMRES (Saad & Schultz 1986) with restart, pluggable
+/// orthogonalization, least-squares policies, and Arnoldi hooks.
+///
+/// This is Algorithm 1 of the paper.  The hook parameter is the seam where
+/// the SDC framework injects faults into the projection coefficients and
+/// where the invariant detector checks |h(i,j)| <= ||A||_F; passing no hook
+/// gives the plain solver.
+
+#include <cstddef>
+#include <vector>
+
+#include "dense/lsq_policies.hpp"
+#include "krylov/hooks.hpp"
+#include "krylov/operator.hpp"
+#include "krylov/orthogonalize.hpp"
+#include "krylov/precond.hpp"
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Terminal state of a (possibly restarted) GMRES solve.
+enum class SolveStatus {
+  Converged,         ///< residual estimate reached the tolerance
+  MaxIterations,     ///< iteration budget exhausted
+  HappyBreakdown,    ///< invariant subspace found; solution is exact
+  AbortedByDetector, ///< an attached hook requested abort (fault detected)
+};
+
+/// Human-readable status (for reports).
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// Configuration of a GMRES solve.
+struct GmresOptions {
+  std::size_t max_iters = 100; ///< total iteration budget (across restarts)
+  std::size_t restart = 0;     ///< restart cycle length; 0 = no restart
+  double tol = 1e-8;           ///< relative residual target (vs ||b||);
+                               ///< 0 disables the convergence test, giving
+                               ///< the paper's fixed-iteration inner solves
+  Orthogonalization ortho = Orthogonalization::MGS;
+  dense::LsqPolicy lsq_policy = dense::LsqPolicy::Standard;
+  double truncation_tol = 1e-12; ///< SVD cutoff for rank-revealing policies
+  double breakdown_tol = 1e-14;  ///< happy-breakdown threshold, relative to
+                                 ///< the norm of the unorthogonalized vector
+  const Preconditioner* right_precond = nullptr; ///< optional fixed M;
+                                 ///< solves A M^{-1} u = b, x = M^{-1} u
+};
+
+/// Result of a GMRES solve.
+struct GmresResult {
+  la::Vector x;                     ///< final iterate
+  SolveStatus status = SolveStatus::MaxIterations;
+  std::size_t iterations = 0;       ///< Arnoldi iterations performed
+  double residual_norm = 0.0;       ///< final least-squares residual estimate
+  std::vector<double> residual_history; ///< estimate after each iteration
+  std::size_t lsq_effective_rank = 0;   ///< rank used by the final update
+  bool lsq_fallback_triggered = false;  ///< policy-2 fallback fired
+};
+
+/// Solve A x = b starting from \p x0.
+/// \param hook optional Arnoldi hook (fault injection / detection)
+/// \param solve_index forwarded to the hook as the solve identifier; in
+///        FT-GMRES this is the outer iteration owning the inner solve.
+[[nodiscard]] GmresResult gmres(const LinearOperator& A, const la::Vector& b,
+                                const la::Vector& x0, const GmresOptions& opts,
+                                ArnoldiHook* hook = nullptr,
+                                std::size_t solve_index = 0);
+
+/// Convenience overload for CSR matrices with a zero initial guess.
+[[nodiscard]] GmresResult gmres(const sparse::CsrMatrix& A, const la::Vector& b,
+                                const GmresOptions& opts,
+                                ArnoldiHook* hook = nullptr);
+
+} // namespace sdcgmres::krylov

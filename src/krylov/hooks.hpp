@@ -1,0 +1,144 @@
+#pragma once
+/// \file hooks.hpp
+/// \brief Observation/mutation points inside the Arnoldi process.
+///
+/// The SDC framework (src/sdc) needs to (a) corrupt individual projection
+/// coefficients h(i,j) exactly where the paper does -- between the dot
+/// product and the axpy of the Modified Gram-Schmidt loop -- and (b) check
+/// the invariant |h(i,j)| <= ||A||_F at the same points.  Rather than
+/// baking either concern into the solvers, the Arnoldi kernel exposes this
+/// hook interface; fault campaigns and detectors implement it.  The solver
+/// layer has no dependency on the SDC layer.
+///
+/// All indices are 0-based: iteration j builds Hessenberg column j, whose
+/// projection coefficients are h(0..j, j) and whose subdiagonal entry is
+/// h(j+1, j).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/vector.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Where in a nested solve an Arnoldi event happens.
+struct ArnoldiContext {
+  std::size_t solve_index = 0; ///< which (inner) solve since hook attach;
+                               ///< equals the outer iteration in FT-GMRES
+  std::size_t iteration = 0;   ///< Arnoldi iteration j within this solve
+};
+
+/// Read-only snapshot of the Arnoldi state at the end of iteration j,
+/// for hooks that verify whole-iteration invariants (e.g. the Chen-style
+/// Online-ABFT comparator re-checks the relation
+/// A q_j = sum_{i<=j+1} h(i,j) q_i, which needs the basis itself).
+struct ArnoldiIterationView {
+  std::span<const la::Vector> basis; ///< q_0 .. q_{j+1} (j+2 vectors; the
+                                     ///< new vector is already normalized)
+  std::span<const double> h_column;  ///< h(0..j+1, j), j+2 entries
+};
+
+/// Interface for observing and (for fault injection) mutating the Arnoldi
+/// process.  Default implementations do nothing, so implementors override
+/// only the events they care about.
+class ArnoldiHook {
+public:
+  virtual ~ArnoldiHook() = default;
+
+  /// A new solve is starting (FT-GMRES: a new inner solve).
+  virtual void on_solve_begin(std::size_t solve_index) { (void)solve_index; }
+
+  /// Arnoldi iteration \p ctx.iteration is starting.
+  virtual void on_iteration_begin(const ArnoldiContext& ctx) { (void)ctx; }
+
+  /// The candidate basis vector v = A*q_j has been computed, before
+  /// orthogonalization.  May mutate \p v (models faults in the matvec).
+  virtual void on_matvec_result(const ArnoldiContext& ctx, la::Vector& v) {
+    (void)ctx;
+    (void)v;
+  }
+
+  /// Projection coefficient h(i, j) has been computed by the dot product
+  /// and has not yet been used to update v.  May mutate \p h; the mutated
+  /// value is what the algorithm stores and uses (this reproduces the
+  /// paper's injection site between Lines 6 and 7 of Algorithm 1).
+  /// \p i runs 0..j; \p mgs_steps == j+1 lets implementors identify the
+  /// first (i == 0) and last (i == mgs_steps-1) MGS step.
+  virtual void on_projection_coefficient(const ArnoldiContext& ctx,
+                                         std::size_t i, std::size_t mgs_steps,
+                                         double& h) {
+    (void)ctx;
+    (void)i;
+    (void)mgs_steps;
+    (void)h;
+  }
+
+  /// The subdiagonal entry h(j+1, j) = ||v|| has been computed and not yet
+  /// used for the breakdown test or normalization.  May mutate \p h.
+  virtual void on_subdiagonal(const ArnoldiContext& ctx, double& h) {
+    (void)ctx;
+    (void)h;
+  }
+
+  /// Iteration j completed: the basis has been extended and normalized.
+  /// Not called when the iteration ends in breakdown or abort.  Intended
+  /// for whole-iteration invariant checks (Online-ABFT style); such
+  /// checks cost O(n) or more, unlike the O(1) coefficient bound check.
+  virtual void on_iteration_end(const ArnoldiContext& ctx,
+                                const ArnoldiIterationView& view) {
+    (void)ctx;
+    (void)view;
+  }
+
+  /// Polled by the solver after each hook event; returning true makes the
+  /// solver stop this solve immediately and return its best current
+  /// iterate (detector response "abort the inner solve").
+  [[nodiscard]] virtual bool abort_requested() const { return false; }
+};
+
+/// Composite hook: forwards every event to each child, in order.  Typical
+/// use: chain [fault campaign, detector] so the detector sees the corrupted
+/// coefficients, exactly as real hardware faults would be observed.
+class HookChain final : public ArnoldiHook {
+public:
+  HookChain() = default;
+  explicit HookChain(std::vector<ArnoldiHook*> hooks)
+      : hooks_(std::move(hooks)) {}
+
+  void add(ArnoldiHook* hook) { hooks_.push_back(hook); }
+
+  void on_solve_begin(std::size_t solve_index) override {
+    for (ArnoldiHook* h : hooks_) h->on_solve_begin(solve_index);
+  }
+  void on_iteration_begin(const ArnoldiContext& ctx) override {
+    for (ArnoldiHook* h : hooks_) h->on_iteration_begin(ctx);
+  }
+  void on_matvec_result(const ArnoldiContext& ctx, la::Vector& v) override {
+    for (ArnoldiHook* h : hooks_) h->on_matvec_result(ctx, v);
+  }
+  void on_projection_coefficient(const ArnoldiContext& ctx, std::size_t i,
+                                 std::size_t mgs_steps, double& h) override {
+    for (ArnoldiHook* hk : hooks_) {
+      hk->on_projection_coefficient(ctx, i, mgs_steps, h);
+    }
+  }
+  void on_subdiagonal(const ArnoldiContext& ctx, double& h) override {
+    for (ArnoldiHook* hk : hooks_) hk->on_subdiagonal(ctx, h);
+  }
+  void on_iteration_end(const ArnoldiContext& ctx,
+                        const ArnoldiIterationView& view) override {
+    for (ArnoldiHook* hk : hooks_) hk->on_iteration_end(ctx, view);
+  }
+  [[nodiscard]] bool abort_requested() const override {
+    for (const ArnoldiHook* h : hooks_) {
+      if (h->abort_requested()) return true;
+    }
+    return false;
+  }
+
+private:
+  std::vector<ArnoldiHook*> hooks_;
+};
+
+} // namespace sdcgmres::krylov

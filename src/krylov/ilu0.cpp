@@ -1,0 +1,92 @@
+#include "krylov/ilu0.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdcgmres::krylov {
+
+Ilu0Preconditioner::Ilu0Preconditioner(const sparse::CsrMatrix& A) : a_(&A) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("Ilu0Preconditioner: matrix must be square");
+  }
+  const std::size_t n = A.rows();
+  const auto& row_ptr = A.row_ptr();
+  const auto& col_idx = A.col_idx();
+  lu_ = A.values();
+  diag_pos_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool found = false;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] == i) {
+        diag_pos_[i] = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "Ilu0Preconditioner: missing structural diagonal entry");
+    }
+  }
+
+  // IKJ-variant incomplete elimination restricted to A's pattern.
+  // Column lookup scratch: position of column j in the current row, or
+  // npos when the position is outside the pattern.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> col_pos(n, npos);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      col_pos[col_idx[k]] = k;
+    }
+    // Eliminate using previous rows k < i present in row i's pattern.
+    for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+      const std::size_t k = col_idx[kk];
+      if (k >= i) break; // columns are sorted; past the strict lower part
+      const double pivot = lu_[diag_pos_[k]];
+      if (pivot == 0.0 || !std::isfinite(pivot)) {
+        throw std::invalid_argument("Ilu0Preconditioner: zero pivot");
+      }
+      const double lik = lu_[kk] / pivot;
+      lu_[kk] = lik;
+      // Subtract lik * U(k, j) for j > k, only where row i has pattern.
+      for (std::size_t jj = diag_pos_[k] + 1; jj < row_ptr[k + 1]; ++jj) {
+        const std::size_t pos = col_pos[col_idx[jj]];
+        if (pos != npos) lu_[pos] -= lik * lu_[jj];
+      }
+    }
+    if (lu_[diag_pos_[i]] == 0.0) {
+      throw std::invalid_argument("Ilu0Preconditioner: zero pivot");
+    }
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      col_pos[col_idx[k]] = npos;
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  const std::size_t n = a_->rows();
+  if (r.size() != n) {
+    throw std::invalid_argument("Ilu0Preconditioner: size mismatch");
+  }
+  z.resize(n);
+  const auto& row_ptr = a_->row_ptr();
+  const auto& col_idx = a_->col_idx();
+  // Forward solve L y = r (unit diagonal), in place in z.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = r[i];
+    for (std::size_t k = row_ptr[i]; k < diag_pos_[i]; ++k) {
+      sum -= lu_[k] * z[col_idx[k]];
+    }
+    z[i] = sum;
+  }
+  // Backward solve U z = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = diag_pos_[ii] + 1; k < row_ptr[ii + 1]; ++k) {
+      sum -= lu_[k] * z[col_idx[k]];
+    }
+    z[ii] = sum / lu_[diag_pos_[ii]];
+  }
+}
+
+} // namespace sdcgmres::krylov

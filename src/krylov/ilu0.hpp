@@ -1,0 +1,43 @@
+#pragma once
+/// \file ilu0.hpp
+/// \brief ILU(0): incomplete LU factorization with zero fill-in.
+///
+/// The standard strong fixed preconditioner for sparse nonsymmetric
+/// systems, completing the preconditioner lineup (identity, Jacobi,
+/// Neumann polynomial, inner Krylov solve).  The factorization keeps
+/// exactly the sparsity pattern of A: L is unit lower triangular, U upper
+/// triangular, both stored in a single CSR-shaped value array.
+
+#include <cstddef>
+#include <vector>
+
+#include "krylov/precond.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::krylov {
+
+/// ILU(0) preconditioner: z = U^{-1} L^{-1} r.
+///
+/// Construction throws std::invalid_argument when the matrix is not
+/// square, lacks a structural diagonal entry in some row, or a zero pivot
+/// appears during elimination (no pivoting is performed, as usual for
+/// ILU(0); diagonally dominant and M-matrices are safe).
+class Ilu0Preconditioner final : public Preconditioner {
+public:
+  explicit Ilu0Preconditioner(const sparse::CsrMatrix& A);
+
+  void apply(const la::Vector& r, la::Vector& z) const override;
+
+  /// Access to the combined LU values (tests / diagnostics); layout
+  /// matches the input matrix's CSR arrays.
+  [[nodiscard]] const std::vector<double>& lu_values() const noexcept {
+    return lu_;
+  }
+
+private:
+  const sparse::CsrMatrix* a_; // pattern provider (non-owning)
+  std::vector<double> lu_;     // factor values on A's pattern
+  std::vector<std::size_t> diag_pos_; // index of the diagonal in each row
+};
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,12 @@
+#include "krylov/operator.hpp"
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+void ScaledOperator::apply(const la::Vector& x, la::Vector& y) const {
+  a_->apply(x, y);
+  la::scal(alpha_, y);
+}
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,65 @@
+#pragma once
+/// \file operator.hpp
+/// \brief Abstract linear operator, the solver-facing matrix interface.
+///
+/// Mirrors the role of Tpetra::Operator in the paper's Trilinos
+/// implementation: solvers see only y = A*x.
+
+#include <cstddef>
+
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Abstract y = A*x.
+class LinearOperator {
+public:
+  virtual ~LinearOperator() = default;
+
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  [[nodiscard]] virtual std::size_t cols() const = 0;
+
+  /// y := A*x.  Implementations must resize y as needed.
+  virtual void apply(const la::Vector& x, la::Vector& y) const = 0;
+
+  /// Convenience: A*x by value.
+  [[nodiscard]] la::Vector operator()(const la::Vector& x) const {
+    la::Vector y(rows());
+    apply(x, y);
+    return y;
+  }
+};
+
+/// Adapter exposing a CSR matrix as a LinearOperator (non-owning).
+class CsrOperator final : public LinearOperator {
+public:
+  explicit CsrOperator(const sparse::CsrMatrix& A) : a_(&A) {}
+
+  [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
+  [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
+  void apply(const la::Vector& x, la::Vector& y) const override {
+    a_->spmv(x, y);
+  }
+
+  [[nodiscard]] const sparse::CsrMatrix& matrix() const { return *a_; }
+
+private:
+  const sparse::CsrMatrix* a_;
+};
+
+/// Operator scaled by a constant: y = alpha * A * x (used in tests).
+class ScaledOperator final : public LinearOperator {
+public:
+  ScaledOperator(const LinearOperator& A, double alpha) : a_(&A), alpha_(alpha) {}
+
+  [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
+  [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
+  void apply(const la::Vector& x, la::Vector& y) const override;
+
+private:
+  const LinearOperator* a_;
+  double alpha_;
+};
+
+} // namespace sdcgmres::krylov

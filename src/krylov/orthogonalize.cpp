@@ -1,0 +1,76 @@
+#include "krylov/orthogonalize.hpp"
+
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+const char* to_string(Orthogonalization kind) noexcept {
+  switch (kind) {
+    case Orthogonalization::MGS: return "mgs";
+    case Orthogonalization::CGS: return "cgs";
+    case Orthogonalization::CGS2: return "cgs2";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void mgs_pass(std::span<const la::Vector> q, std::size_t k, la::Vector& v,
+              std::span<double> h, ArnoldiHook* hook,
+              const ArnoldiContext& ctx, bool fire_hook) {
+  for (std::size_t i = 0; i < k; ++i) {
+    double hij = la::dot(q[i], v);
+    if (fire_hook && hook != nullptr) {
+      hook->on_projection_coefficient(ctx, i, k, hij);
+    }
+    h[i] += hij;
+    la::axpy(-hij, q[i], v);
+  }
+}
+
+void cgs_pass(std::span<const la::Vector> q, std::size_t k, la::Vector& v,
+              std::span<double> h, ArnoldiHook* hook,
+              const ArnoldiContext& ctx, bool fire_hook) {
+  std::vector<double> coeffs(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    double hij = la::dot(q[i], v);
+    if (fire_hook && hook != nullptr) {
+      hook->on_projection_coefficient(ctx, i, k, hij);
+    }
+    coeffs[i] = hij;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    h[i] += coeffs[i];
+    la::axpy(-coeffs[i], q[i], v);
+  }
+}
+
+} // namespace
+
+void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
+                   std::size_t k, la::Vector& v, std::span<double> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  if (q.size() < k) {
+    throw std::invalid_argument("orthogonalize: fewer basis vectors than k");
+  }
+  if (h.size() < k) {
+    throw std::invalid_argument("orthogonalize: coefficient span too small");
+  }
+  for (std::size_t i = 0; i < k; ++i) h[i] = 0.0;
+  switch (kind) {
+    case Orthogonalization::MGS:
+      mgs_pass(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      break;
+    case Orthogonalization::CGS:
+      cgs_pass(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      break;
+    case Orthogonalization::CGS2:
+      cgs_pass(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      cgs_pass(q, k, v, h, /*hook=*/nullptr, ctx, /*fire_hook=*/false);
+      break;
+  }
+}
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,49 @@
+#pragma once
+/// \file orthogonalize.hpp
+/// \brief Orthogonalization kernels for the Arnoldi process.
+///
+/// The paper's analysis (Section V-B) is deliberately invariant of the
+/// orthogonalization algorithm: the bound |h(i,j)| <= ||A||_2 holds for
+/// Modified Gram-Schmidt, Classical Gram-Schmidt, and Householder alike.
+/// We provide MGS (the paper's choice), CGS, and re-orthogonalized CGS2.
+///
+/// Hook semantics: on_projection_coefficient fires for every first-pass
+/// coefficient, after its dot product and before it is applied to v.  For
+/// MGS this reproduces the paper's injection site exactly (a corrupted
+/// h(i,j) taints all subsequent MGS steps of the same column, the paper's
+/// "worst-case scenario").  CGS2's second-pass corrections are applied
+/// silently (they refine, not define, the coefficients).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "krylov/hooks.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Which Gram-Schmidt variant the Arnoldi process uses.
+enum class Orthogonalization {
+  MGS,  ///< Modified Gram-Schmidt (the paper's choice)
+  CGS,  ///< Classical Gram-Schmidt (one pass)
+  CGS2, ///< Classical Gram-Schmidt with full re-orthogonalization
+};
+
+/// Human-readable name (for reports).
+[[nodiscard]] const char* to_string(Orthogonalization kind) noexcept;
+
+/// Orthogonalize \p v against the \p k basis vectors \p q[0..k-1], writing
+/// the projection coefficients into \p h (length >= k).  On return v is
+/// (approximately) orthogonal to span{q_0..q_{k-1}} and h[i] holds the
+/// total coefficient of q_i removed from v.
+///
+/// \param hook optional Arnoldi hook (may be nullptr); receives
+///        on_projection_coefficient for every first-pass coefficient.
+/// \param ctx context forwarded to the hook.
+void orthogonalize(Orthogonalization kind,
+                   std::span<const la::Vector> q, std::size_t k,
+                   la::Vector& v, std::span<double> h, ArnoldiHook* hook,
+                   const ArnoldiContext& ctx);
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,64 @@
+#include "krylov/precond.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+void IdentityPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  la::copy(r, z);
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const sparse::CsrMatrix& A) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("JacobiPreconditioner: matrix must be square");
+  }
+  inv_diag_ = A.diagonal();
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) {
+    if (inv_diag_[i] == 0.0 || !std::isfinite(inv_diag_[i])) {
+      throw std::invalid_argument(
+          "JacobiPreconditioner: zero or non-finite diagonal entry");
+    }
+    inv_diag_[i] = 1.0 / inv_diag_[i];
+  }
+}
+
+void JacobiPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  if (r.size() != inv_diag_.size()) {
+    throw std::invalid_argument("JacobiPreconditioner: size mismatch");
+  }
+  la::hadamard(r, inv_diag_, z);
+}
+
+NeumannPolynomialPreconditioner::NeumannPolynomialPreconditioner(
+    const LinearOperator& A, std::size_t degree, double omega)
+    : a_(&A), degree_(degree), omega_(omega) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument(
+        "NeumannPolynomialPreconditioner: matrix must be square");
+  }
+  if (omega <= 0.0) {
+    throw std::invalid_argument(
+        "NeumannPolynomialPreconditioner: omega must be positive");
+  }
+}
+
+void NeumannPolynomialPreconditioner::apply(const la::Vector& r,
+                                            la::Vector& z) const {
+  // z = w * sum_{k=0}^{d} (I - w A)^k r, built by Horner-style recurrence:
+  //   t_0 = r;  t_{k+1} = t_k - w*A*t_k;  z += w * t_k.
+  la::Vector t = r;
+  la::Vector at(a_->rows());
+  z.resize(r.size());
+  z.fill(0.0);
+  for (std::size_t k = 0; k <= degree_; ++k) {
+    la::axpy(omega_, t, z);
+    if (k == degree_) break;
+    a_->apply(t, at);
+    la::axpy(-omega_, at, t);
+  }
+}
+
+} // namespace sdcgmres::krylov

@@ -1,0 +1,84 @@
+#pragma once
+/// \file precond.hpp
+/// \brief Stationary preconditioners and the flexible-preconditioner
+/// interface used by FGMRES.
+
+#include <cstddef>
+#include <memory>
+
+#include "krylov/operator.hpp"
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Fixed (non-flexible) preconditioner: z = M^{-1} r.
+class Preconditioner {
+public:
+  virtual ~Preconditioner() = default;
+
+  /// z := M^{-1} r.
+  virtual void apply(const la::Vector& r, la::Vector& z) const = 0;
+};
+
+/// Identity preconditioner (no-op copy).
+class IdentityPreconditioner final : public Preconditioner {
+public:
+  void apply(const la::Vector& r, la::Vector& z) const override;
+};
+
+/// Jacobi (diagonal) preconditioner: z_i = r_i / a_ii.
+/// Throws std::invalid_argument at construction when a diagonal entry is 0.
+class JacobiPreconditioner final : public Preconditioner {
+public:
+  explicit JacobiPreconditioner(const sparse::CsrMatrix& A);
+  void apply(const la::Vector& r, la::Vector& z) const override;
+
+private:
+  la::Vector inv_diag_;
+};
+
+/// Truncated Neumann-series polynomial preconditioner:
+///   M^{-1} = sum_{k=0}^{degree} (I - w A)^k * w,
+/// valid when ||I - w A|| < 1.  Cheap, matrix-free, and a genuinely
+/// different operator per degree -- a useful fixed preconditioner baseline.
+class NeumannPolynomialPreconditioner final : public Preconditioner {
+public:
+  NeumannPolynomialPreconditioner(const LinearOperator& A, std::size_t degree,
+                                  double omega);
+  void apply(const la::Vector& r, la::Vector& z) const override;
+
+private:
+  const LinearOperator* a_;
+  std::size_t degree_;
+  double omega_;
+};
+
+/// Flexible preconditioner: may differ arbitrarily on each application.
+/// This is the contract FGMRES needs (Saad 1993) and the seam where
+/// FT-GMRES plugs in its *unreliable inner solver* (the sandbox guest).
+class FlexiblePreconditioner {
+public:
+  virtual ~FlexiblePreconditioner() = default;
+
+  /// z := M_j^{-1} q where j = \p outer_index; called once per outer
+  /// iteration.
+  virtual void apply(const la::Vector& q, std::size_t outer_index,
+                     la::Vector& z) = 0;
+};
+
+/// Adapts a fixed Preconditioner to the flexible interface.
+class FixedFlexibleAdapter final : public FlexiblePreconditioner {
+public:
+  explicit FixedFlexibleAdapter(const Preconditioner& M) : m_(&M) {}
+  void apply(const la::Vector& q, std::size_t outer_index,
+             la::Vector& z) override {
+    (void)outer_index;
+    m_->apply(q, z);
+  }
+
+private:
+  const Preconditioner* m_;
+};
+
+} // namespace sdcgmres::krylov

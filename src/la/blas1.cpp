@@ -1,0 +1,120 @@
+#include "la/blas1.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sdcgmres::la {
+
+namespace {
+
+void require_same_size(const Vector& x, const Vector& y, const char* what) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string("la::") + what +
+                                ": vector size mismatch");
+  }
+}
+
+// OpenMP reductions use signed loop indices; sizes in this project are far
+// below 2^63 so the narrowing is safe.
+std::int64_t ssize(const Vector& x) { return static_cast<std::int64_t>(x.size()); }
+
+} // namespace
+
+double dot(const Vector& x, const Vector& y) {
+  require_same_size(x, y, "dot");
+  double sum = 0.0;
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for reduction(+ : sum) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+double nrm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+double nrm1(const Vector& x) {
+  double sum = 0.0;
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for reduction(+ : sum) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += std::abs(x[static_cast<std::size_t>(i)]);
+  }
+  return sum;
+}
+
+double nrminf(const Vector& x) {
+  double best = 0.0;
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for reduction(max : best) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double a = std::abs(x[static_cast<std::size_t>(i)]);
+    if (a > best) best = a;
+  }
+  return best;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  require_same_size(x, y, "axpy");
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void waxpby(double alpha, const Vector& x, double beta, const Vector& y,
+            Vector& w) {
+  require_same_size(x, y, "waxpby");
+  if (w.size() != x.size()) w.resize(x.size());
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    w[k] = alpha * x[k] + beta * y[k];
+  }
+}
+
+void scal(double alpha, Vector& x) {
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] *= alpha;
+  }
+}
+
+void copy(const Vector& x, Vector& y) {
+  if (y.size() != x.size()) y.resize(x.size());
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+  }
+}
+
+void hadamard(const Vector& x, const Vector& y, Vector& z) {
+  require_same_size(x, y, "hadamard");
+  if (z.size() != x.size()) z.resize(x.size());
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    z[k] = x[k] * y[k];
+  }
+}
+
+bool all_finite(const Vector& x) { return count_nonfinite(x) == 0; }
+
+std::size_t count_nonfinite(const Vector& x) {
+  std::int64_t bad = 0;
+  const std::int64_t n = ssize(x);
+#pragma omp parallel for reduction(+ : bad) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[static_cast<std::size_t>(i)])) ++bad;
+  }
+  return static_cast<std::size_t>(bad);
+}
+
+} // namespace sdcgmres::la

@@ -1,0 +1,52 @@
+#pragma once
+/// \file blas1.hpp
+/// \brief Level-1 dense kernels (dot, axpy, norms, ...) on la::Vector.
+///
+/// These are the only vector kernels the Krylov solvers use, so they are the
+/// natural unit for OpenMP parallelism.  All functions validate dimensions
+/// with exceptions rather than assertions so that misuse is loud in Release
+/// builds too (faults in *metadata* are out of the paper's scope, but bugs
+/// are not faults).
+
+#include <cstddef>
+
+#include "la/vector.hpp"
+
+namespace sdcgmres::la {
+
+/// Euclidean inner product x.y.  Throws std::invalid_argument on size
+/// mismatch.
+[[nodiscard]] double dot(const Vector& x, const Vector& y);
+
+/// 2-norm of \p x, computed as sqrt(dot(x, x)).
+[[nodiscard]] double nrm2(const Vector& x);
+
+/// 1-norm (sum of absolute values).
+[[nodiscard]] double nrm1(const Vector& x);
+
+/// Infinity-norm (max absolute value); 0 for the empty vector.
+[[nodiscard]] double nrminf(const Vector& x);
+
+/// y := alpha*x + y.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// w := alpha*x + beta*y (three-operand update; w may alias x or y).
+void waxpby(double alpha, const Vector& x, double beta, const Vector& y,
+            Vector& w);
+
+/// x := alpha*x.
+void scal(double alpha, Vector& x);
+
+/// y := x (sizes must already match).
+void copy(const Vector& x, Vector& y);
+
+/// Element-wise product z := x .* y.
+void hadamard(const Vector& x, const Vector& y, Vector& z);
+
+/// True when every entry is finite (no Inf, no NaN).
+[[nodiscard]] bool all_finite(const Vector& x);
+
+/// Number of entries that are NaN or infinite.
+[[nodiscard]] std::size_t count_nonfinite(const Vector& x);
+
+} // namespace sdcgmres::la

@@ -1,0 +1,89 @@
+#include "la/blas2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdcgmres::la {
+
+void gemv(double alpha, const DenseMatrix& A, const Vector& x, double beta,
+          Vector& y) {
+  if (x.size() != A.cols()) {
+    throw std::invalid_argument("la::gemv: x size must equal A.cols()");
+  }
+  if (y.size() != A.rows()) {
+    throw std::invalid_argument("la::gemv: y size must equal A.rows()");
+  }
+  for (std::size_t i = 0; i < A.rows(); ++i) y[i] *= beta;
+  // Column-major storage: run down each column for unit-stride access.
+  for (std::size_t j = 0; j < A.cols(); ++j) {
+    const double axj = alpha * x[j];
+    const double* colj = A.col(j);
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      y[i] += axj * colj[i];
+    }
+  }
+}
+
+void gemv_t(double alpha, const DenseMatrix& A, const Vector& x, double beta,
+            Vector& y) {
+  if (x.size() != A.rows()) {
+    throw std::invalid_argument("la::gemv_t: x size must equal A.rows()");
+  }
+  if (y.size() != A.cols()) {
+    throw std::invalid_argument("la::gemv_t: y size must equal A.cols()");
+  }
+  for (std::size_t j = 0; j < A.cols(); ++j) {
+    double sum = 0.0;
+    const double* colj = A.col(j);
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      sum += colj[i] * x[i];
+    }
+    y[j] = alpha * sum + beta * y[j];
+  }
+}
+
+void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C) {
+  if (A.cols() != B.rows()) {
+    throw std::invalid_argument("la::gemm: inner dimensions must agree");
+  }
+  C.reshape(A.rows(), B.cols());
+  for (std::size_t j = 0; j < B.cols(); ++j) {
+    for (std::size_t k = 0; k < A.cols(); ++k) {
+      const double bkj = B(k, j);
+      if (bkj == 0.0) continue;
+      const double* colk = A.col(k);
+      double* coutj = C.col(j);
+      for (std::size_t i = 0; i < A.rows(); ++i) {
+        coutj[i] += colk[i] * bkj;
+      }
+    }
+  }
+}
+
+double frobenius_norm(const DenseMatrix& A) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < A.cols(); ++j) {
+    const double* colj = A.col(j);
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      sum += colj[i] * colj[i];
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double orthonormality_defect(const DenseMatrix& A) {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < A.cols(); ++j) {
+    for (std::size_t k = j; k < A.cols(); ++k) {
+      double sum = 0.0;
+      const double* cj = A.col(j);
+      const double* ck = A.col(k);
+      for (std::size_t i = 0; i < A.rows(); ++i) sum += cj[i] * ck[i];
+      const double target = (j == k) ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(sum - target));
+    }
+  }
+  return worst;
+}
+
+} // namespace sdcgmres::la

@@ -1,0 +1,28 @@
+#pragma once
+/// \file blas2.hpp
+/// \brief Dense level-2 kernels on DenseMatrix / Vector.
+
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::la {
+
+/// y := alpha*A*x + beta*y.
+void gemv(double alpha, const DenseMatrix& A, const Vector& x, double beta,
+          Vector& y);
+
+/// y := alpha*A^T*x + beta*y.
+void gemv_t(double alpha, const DenseMatrix& A, const Vector& x, double beta,
+            Vector& y);
+
+/// C := A*B (no accumulation; C is reshaped as needed).
+void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C);
+
+/// Frobenius norm of a dense matrix.
+[[nodiscard]] double frobenius_norm(const DenseMatrix& A);
+
+/// Maximum absolute deviation of A^T*A from the identity; measures loss of
+/// orthonormality of A's columns (used by the Arnoldi property tests).
+[[nodiscard]] double orthonormality_defect(const DenseMatrix& A);
+
+} // namespace sdcgmres::la

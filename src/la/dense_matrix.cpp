@@ -1,0 +1,36 @@
+#include "la/dense_matrix.hpp"
+
+#include <stdexcept>
+
+namespace sdcgmres::la {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix I(n, n);
+  for (std::size_t i = 0; i < n; ++i) I(i, i) = 1.0;
+  return I;
+}
+
+DenseMatrix DenseMatrix::top_left(std::size_t r, std::size_t c) const {
+  if (r > rows_ || c > cols_) {
+    throw std::out_of_range("DenseMatrix::top_left: block exceeds matrix");
+  }
+  DenseMatrix B(r, c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < r; ++i) {
+      B(i, j) = (*this)(i, j);
+    }
+  }
+  return B;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix T(cols_, rows_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T(j, i) = (*this)(i, j);
+    }
+  }
+  return T;
+}
+
+} // namespace sdcgmres::la

@@ -1,0 +1,73 @@
+#pragma once
+/// \file dense_matrix.hpp
+/// \brief Small dense column-major matrix used for the projected problems.
+///
+/// GMRES projects the large sparse problem onto a (k+1) x k upper-Hessenberg
+/// matrix with k <= restart length, so this type is deliberately simple:
+/// column-major contiguous storage, no expression templates.  It is also the
+/// carrier for the rank-revealing SVD in dense/svd.hpp.
+
+#include <cstddef>
+#include <vector>
+
+namespace sdcgmres::la {
+
+/// Column-major dense matrix of doubles.
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[j * rows_ + i];
+  }
+  [[nodiscard]] const double& operator()(std::size_t i,
+                                         std::size_t j) const noexcept {
+    return data_[j * rows_ + i];
+  }
+
+  /// Pointer to the first element of column \p j.
+  [[nodiscard]] double* col(std::size_t j) noexcept {
+    return data_.data() + j * rows_;
+  }
+  [[nodiscard]] const double* col(std::size_t j) const noexcept {
+    return data_.data() + j * rows_;
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// Reshape to rows x cols, zeroing all entries.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Set every entry to \p value.
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// rows x rows identity.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+  /// Leading block view copy: rows [0, r) x cols [0, c).
+  [[nodiscard]] DenseMatrix top_left(std::size_t r, std::size_t c) const;
+
+  /// Transposed copy.
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  bool operator==(const DenseMatrix& other) const = default;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+} // namespace sdcgmres::la

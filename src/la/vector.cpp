@@ -1,0 +1,28 @@
+#include "la/vector.hpp"
+
+#include <stdexcept>
+
+namespace sdcgmres::la {
+
+Vector zeros(std::size_t n) { return Vector(n); }
+
+Vector ones(std::size_t n) { return Vector(n, 1.0); }
+
+Vector unit(std::size_t n, std::size_t i) {
+  if (i >= n) {
+    throw std::out_of_range("la::unit: index out of range");
+  }
+  Vector e(n);
+  e[i] = 1.0;
+  return e;
+}
+
+Vector iota(std::size_t n, double step) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(i) * step;
+  }
+  return v;
+}
+
+} // namespace sdcgmres::la

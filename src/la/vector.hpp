@@ -1,0 +1,84 @@
+#pragma once
+/// \file vector.hpp
+/// \brief Dense double-precision vector type used throughout sdcgmres.
+///
+/// A thin, RAII-managed wrapper over contiguous storage.  All numerical
+/// kernels that operate on vectors live in blas1.hpp; this header only
+/// defines the container and simple element-wise constructors so that the
+/// container stays cheap to include.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace sdcgmres::la {
+
+/// Dense vector of doubles.
+///
+/// Invariants: storage is contiguous, size is fixed after construction
+/// unless resize() is called explicitly.  Elements are value-initialized
+/// (zero) by the sizing constructor.
+class Vector {
+public:
+  Vector() = default;
+
+  /// Create a vector of length \p n, all entries zero.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Create a vector of length \p n with every entry equal to \p value.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+
+  /// Create from an explicit list of entries, e.g. `Vector{1.0, 2.0}`.
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  /// Number of entries.
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// True when the vector has no entries.
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const double& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// Raw contiguous storage (mutable).
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  /// Raw contiguous storage (read-only).
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// View of the storage as a std::span.
+  [[nodiscard]] std::span<double> span() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const double> span() const noexcept { return {data_}; }
+
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  /// Resize to \p n entries; new entries are zero.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  /// Set every entry to \p value.
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Vector& other) const = default;
+
+private:
+  std::vector<double> data_;
+};
+
+/// Vector of length \p n with all entries zero.
+[[nodiscard]] Vector zeros(std::size_t n);
+
+/// Vector of length \p n with all entries one.
+[[nodiscard]] Vector ones(std::size_t n);
+
+/// Standard basis vector e_i of length \p n (0-based index \p i).
+[[nodiscard]] Vector unit(std::size_t n, std::size_t i);
+
+/// Vector with entries 0, 1, ..., n-1 scaled by \p step (useful in tests).
+[[nodiscard]] Vector iota(std::size_t n, double step = 1.0);
+
+} // namespace sdcgmres::la

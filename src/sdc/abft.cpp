@@ -1,0 +1,91 @@
+#include "sdc/abft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::sdc {
+
+AbftMonitor::AbftMonitor(const krylov::LinearOperator& A, AbftOptions opts)
+    : a_(&A), opts_(opts) {
+  if (opts_.check_period == 0) {
+    throw std::invalid_argument("AbftMonitor: check_period must be positive");
+  }
+}
+
+void AbftMonitor::on_solve_begin(std::size_t solve_index) {
+  (void)solve_index;
+  abort_pending_ = false;
+}
+
+void AbftMonitor::on_iteration_end(const krylov::ArnoldiContext& ctx,
+                                   const krylov::ArnoldiIterationView& view) {
+  if (ctx.iteration % opts_.check_period != 0) return;
+  ++checks_;
+  const std::size_t j = ctx.iteration;
+  const std::size_t cols = view.basis.size(); // j + 2
+
+  // --- Arnoldi relation: r = A q_j - sum_i h(i,j) q_i must be ~0. ---
+  ++extra_spmv_;
+  la::Vector r(a_->rows());
+  a_->apply(view.basis[j], r);
+  double h_scale = 0.0;
+  for (std::size_t i = 0; i < cols; ++i) {
+    la::axpy(-view.h_column[i], view.basis[i], r);
+    h_scale = std::max(h_scale, std::abs(view.h_column[i]));
+  }
+  const double defect = la::nrm2(r);
+  const double rel_defect = (h_scale > 0.0) ? defect / h_scale : defect;
+  worst_defect_ = std::max(worst_defect_, rel_defect);
+  const bool relation_bad =
+      !(rel_defect <= opts_.relation_tol); // NaN-safe: NaN fails <=
+
+  // --- Orthonormality of the newest vector. ---
+  bool ortho_bad = false;
+  double worst_dot = 0.0;
+  const la::Vector& q_new = view.basis[cols - 1];
+  for (std::size_t i = 0; i + 1 < cols; ++i) {
+    const double d = std::abs(la::dot(view.basis[i], q_new));
+    worst_dot = std::max(worst_dot, d);
+    if (!(d <= opts_.ortho_tol)) ortho_bad = true;
+  }
+  // Normality: a corrupted subdiagonal norm is self-consistent with the
+  // Arnoldi relation but leaves ||q_new|| != 1.
+  const double norm_defect = std::abs(la::nrm2(q_new) - 1.0);
+  worst_dot = std::max(worst_dot, norm_defect);
+  if (!(norm_defect <= opts_.ortho_tol)) ortho_bad = true;
+
+  if (!relation_bad && !ortho_bad) return;
+  ++detections_;
+  if (opts_.response == DetectorResponse::AbortSolve) abort_pending_ = true;
+  std::ostringstream desc;
+  if (relation_bad) {
+    desc << "Arnoldi relation defect " << rel_defect << " at column " << j;
+  }
+  if (ortho_bad) {
+    if (relation_bad) desc << "; ";
+    desc << "orthogonality defect " << worst_dot << " at column " << j;
+  }
+  log_.record({.kind = EventKind::Detection,
+               .solve_index = ctx.solve_index,
+               .iteration = j,
+               .coefficient = 0,
+               .value_before = rel_defect,
+               .value_after = worst_dot,
+               .bound = opts_.relation_tol,
+               .description = desc.str()});
+}
+
+void AbftMonitor::reset() {
+  checks_ = 0;
+  detections_ = 0;
+  extra_spmv_ = 0;
+  worst_defect_ = 0.0;
+  abort_pending_ = false;
+  log_.clear();
+}
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,56 @@
+#include "sdc/bits.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdcgmres::sdc {
+
+std::uint64_t to_bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+double from_bits(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+double flip_bit(double x, unsigned bit) {
+  if (bit > 63) {
+    throw std::out_of_range("flip_bit: bit index must be in [0, 63]");
+  }
+  return from_bits(to_bits(x) ^ (std::uint64_t{1} << bit));
+}
+
+ValueClass classify(double x) noexcept {
+  switch (std::fpclassify(x)) {
+    case FP_ZERO: return ValueClass::Zero;
+    case FP_SUBNORMAL: return ValueClass::Subnormal;
+    case FP_NORMAL: return ValueClass::Normal;
+    case FP_INFINITE: return ValueClass::Infinite;
+    default: return ValueClass::NaN;
+  }
+}
+
+const char* to_string(ValueClass c) noexcept {
+  switch (c) {
+    case ValueClass::Zero: return "zero";
+    case ValueClass::Subnormal: return "subnormal";
+    case ValueClass::Normal: return "normal";
+    case ValueClass::Infinite: return "infinite";
+    case ValueClass::NaN: return "nan";
+  }
+  return "unknown";
+}
+
+std::string bit_pattern(double x) {
+  const std::uint64_t bits = to_bits(x);
+  std::string s;
+  s.reserve(66);
+  for (int i = 63; i >= 0; --i) {
+    s.push_back(((bits >> i) & 1u) ? '1' : '0');
+    if (i == 63 || i == 52) s.push_back('|');
+  }
+  return s;
+}
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,43 @@
+#pragma once
+/// \file bits.hpp
+/// \brief IEEE-754 bit-level utilities for the bit-flip fault model.
+///
+/// The paper argues (Section III-A-2) that injecting bit flips is
+/// unnecessary because any flip just produces some representable value --
+/// but the library still provides the bit-flip model so users can compare
+/// the generalized numerical-error model against the classic one.
+
+#include <cstdint>
+#include <string>
+
+namespace sdcgmres::sdc {
+
+/// Reinterpret a double's bits as a 64-bit integer.
+[[nodiscard]] std::uint64_t to_bits(double x) noexcept;
+
+/// Reinterpret a 64-bit integer as a double.
+[[nodiscard]] double from_bits(std::uint64_t bits) noexcept;
+
+/// Flip bit \p bit (0 = least-significant mantissa bit, 51 = top mantissa
+/// bit, 52-62 = exponent, 63 = sign) of \p x.
+[[nodiscard]] double flip_bit(double x, unsigned bit);
+
+/// Coarse classification of a double, used by event reporting.
+enum class ValueClass {
+  Zero,
+  Subnormal,
+  Normal,
+  Infinite,
+  NaN,
+};
+
+/// Classify \p x per IEEE-754.
+[[nodiscard]] ValueClass classify(double x) noexcept;
+
+/// Human-readable class name.
+[[nodiscard]] const char* to_string(ValueClass c) noexcept;
+
+/// 64-character binary string (sign | exponent | mantissa) for diagnostics.
+[[nodiscard]] std::string bit_pattern(double x);
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,65 @@
+#include "sdc/detector.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdcgmres::sdc {
+
+HessenbergBoundDetector::HessenbergBoundDetector(double bound,
+                                                 DetectorResponse response)
+    : bound_(bound), response_(response) {
+  if (!(bound > 0.0) || !std::isfinite(bound)) {
+    throw std::invalid_argument(
+        "HessenbergBoundDetector: bound must be positive and finite");
+  }
+}
+
+void HessenbergBoundDetector::on_solve_begin(std::size_t solve_index) {
+  (void)solve_index;
+  // A new (inner) solve starts with fresh, fault-free state; any abort
+  // request belonged to the previous solve.
+  abort_pending_ = false;
+}
+
+void HessenbergBoundDetector::check(const krylov::ArnoldiContext& ctx,
+                                    std::size_t coefficient, double value) {
+  ++checks_;
+  // NaN comparisons are false, so test the invariant in the form
+  // "|h| <= bound" and flag anything that fails it -- this catches NaN too.
+  if (std::abs(value) <= bound_) return;
+  ++detections_;
+  if (response_ == DetectorResponse::AbortSolve) abort_pending_ = true;
+  std::ostringstream desc;
+  desc << "|h(" << coefficient << "," << ctx.iteration
+       << ")| > bound: " << value;
+  log_.record({.kind = EventKind::Detection,
+               .solve_index = ctx.solve_index,
+               .iteration = ctx.iteration,
+               .coefficient = coefficient,
+               .value_before = value,
+               .value_after = value,
+               .bound = bound_,
+               .description = desc.str()});
+}
+
+void HessenbergBoundDetector::on_projection_coefficient(
+    const krylov::ArnoldiContext& ctx, std::size_t i, std::size_t mgs_steps,
+    double& h) {
+  (void)mgs_steps;
+  check(ctx, i, h);
+}
+
+void HessenbergBoundDetector::on_subdiagonal(const krylov::ArnoldiContext& ctx,
+                                             double& h) {
+  check(ctx, ctx.iteration + 1, h);
+}
+
+void HessenbergBoundDetector::reset() {
+  checks_ = 0;
+  detections_ = 0;
+  abort_pending_ = false;
+  log_.clear();
+}
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,78 @@
+#pragma once
+/// \file detector.hpp
+/// \brief The paper's invariant-based SDC detector (Section V).
+///
+/// Every projection coefficient satisfies |h(i,j)| <= ||A||_2 <= ||A||_F
+/// (Eq. 3), because it is the dot product of a unit vector with a vector no
+/// longer than ||A q_j|| <= ||A||_2.  The same bound holds for the
+/// subdiagonal norm h(j+1,j) = ||v||, since orthogonal projection never
+/// lengthens a vector.  Checking the bound costs one comparison per
+/// coefficient and needs no communication.  By construction the detector
+/// catches *exactly* the errors that push a coefficient past the bound --
+/// we know precisely what is and is not detectable.
+
+#include <cstddef>
+
+#include "krylov/hooks.hpp"
+#include "sdc/event_log.hpp"
+
+namespace sdcgmres::sdc {
+
+/// What the detector does when the invariant is violated.
+enum class DetectorResponse {
+  RecordOnly, ///< log the event and continue (observation mode)
+  AbortSolve, ///< request that the current (inner) solve stop immediately
+              ///< and return its pre-fault iterate ("restart the inner
+              ///< solve" response from the paper's Section VII-B-1)
+};
+
+/// Arnoldi hook checking |h| <= bound on every coefficient.
+class HessenbergBoundDetector final : public krylov::ArnoldiHook {
+public:
+  /// \param bound the invariant bound; the paper uses ||A||_F (always an
+  ///        upper bound) or a sigma_max estimate
+  /// \param response action on violation
+  explicit HessenbergBoundDetector(
+      double bound, DetectorResponse response = DetectorResponse::RecordOnly);
+
+  // --- krylov::ArnoldiHook ---
+  void on_solve_begin(std::size_t solve_index) override;
+  void on_projection_coefficient(const krylov::ArnoldiContext& ctx,
+                                 std::size_t i, std::size_t mgs_steps,
+                                 double& h) override;
+  void on_subdiagonal(const krylov::ArnoldiContext& ctx, double& h) override;
+  [[nodiscard]] bool abort_requested() const override {
+    return abort_pending_;
+  }
+
+  /// The bound in force.
+  [[nodiscard]] double bound() const noexcept { return bound_; }
+
+  /// Number of coefficients checked so far.
+  [[nodiscard]] std::size_t checks() const noexcept { return checks_; }
+
+  /// Number of violations flagged so far.
+  [[nodiscard]] std::size_t detections() const noexcept { return detections_; }
+
+  /// True when at least one violation was flagged.
+  [[nodiscard]] bool triggered() const noexcept { return detections_ > 0; }
+
+  /// Detection event records.
+  [[nodiscard]] const EventLog& log() const noexcept { return log_; }
+
+  /// Clear counters and the log (reuse between experiment runs).
+  void reset();
+
+private:
+  void check(const krylov::ArnoldiContext& ctx, std::size_t coefficient,
+             double value);
+
+  double bound_;
+  DetectorResponse response_;
+  EventLog log_;
+  std::size_t checks_ = 0;
+  std::size_t detections_ = 0;
+  bool abort_pending_ = false;
+};
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,13 @@
+#include "sdc/event_log.hpp"
+
+#include <algorithm>
+
+namespace sdcgmres::sdc {
+
+std::size_t EventLog::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+} // namespace sdcgmres::sdc

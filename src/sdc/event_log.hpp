@@ -1,0 +1,55 @@
+#pragma once
+/// \file event_log.hpp
+/// \brief Record of injection and detection events during a solve.
+///
+/// Every fault campaign and detector appends to an EventLog, so an
+/// experiment can afterwards answer: was the fault injected, where, what
+/// value did it turn into, and did the detector catch it?
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdcgmres::sdc {
+
+/// What happened.
+enum class EventKind {
+  Injection, ///< a fault model was applied to a value
+  Detection, ///< a detector flagged a value as theoretically impossible
+};
+
+/// One injection or detection event.
+struct Event {
+  EventKind kind = EventKind::Injection;
+  std::size_t solve_index = 0;     ///< inner solve / outer iteration
+  std::size_t iteration = 0;       ///< Arnoldi iteration j within the solve
+  std::size_t coefficient = 0;     ///< MGS step i (row of h(i,j))
+  double value_before = 0.0;       ///< pre-injection / checked value
+  double value_after = 0.0;        ///< post-injection value (== before for
+                                   ///< detections)
+  double bound = 0.0;              ///< detector bound (detections only)
+  std::string description;         ///< human-readable summary
+};
+
+/// Append-only event container shared by hooks.
+class EventLog {
+public:
+  void record(Event e) { events_.push_back(std::move(e)); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of events of the given kind.
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Drop all events (reuse between experiment runs).
+  void clear() { events_.clear(); }
+
+private:
+  std::vector<Event> events_;
+};
+
+} // namespace sdcgmres::sdc

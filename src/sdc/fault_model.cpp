@@ -1,0 +1,39 @@
+#include "sdc/fault_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sdc/bits.hpp"
+
+namespace sdcgmres::sdc {
+
+double FaultModel::apply(double value) const {
+  switch (kind) {
+    case FaultKind::Scale: return value * payload;
+    case FaultKind::SetValue: return payload;
+    case FaultKind::BitFlip: return flip_bit(value, bit);
+    case FaultKind::AddValue: return value + payload;
+  }
+  return value;
+}
+
+std::string to_string(const FaultModel& model) {
+  std::ostringstream ss;
+  switch (model.kind) {
+    case FaultKind::Scale: ss << "scale(" << model.payload << ")"; break;
+    case FaultKind::SetValue: ss << "set(" << model.payload << ")"; break;
+    case FaultKind::BitFlip: ss << "bitflip(" << model.bit << ")"; break;
+    case FaultKind::AddValue: ss << "add(" << model.payload << ")"; break;
+  }
+  return ss.str();
+}
+
+namespace fault_classes {
+
+FaultModel slightly_smaller() {
+  return FaultModel::scale(std::pow(10.0, -0.5));
+}
+
+} // namespace fault_classes
+
+} // namespace sdcgmres::sdc

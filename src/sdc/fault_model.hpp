@@ -1,0 +1,63 @@
+#pragma once
+/// \file fault_model.hpp
+/// \brief Models of what an SDC event does to a floating-point value.
+///
+/// The paper's experiments use multiplicative faults relative to the
+/// correct value (classes 1-3: x1e+150, x10^-0.5, x1e-300); the general
+/// SDC model also admits absolute replacement and bit flips.
+
+#include <cstdint>
+#include <string>
+
+namespace sdcgmres::sdc {
+
+/// What kind of corruption a fault applies.
+enum class FaultKind {
+  Scale,    ///< value *= factor (the paper's experiment classes)
+  SetValue, ///< value := payload (arbitrary SDC, incl. Inf/NaN)
+  BitFlip,  ///< flip one bit of the IEEE-754 representation
+  AddValue, ///< value += payload (offset corruption)
+};
+
+/// A fault model: one corruption rule for one double.
+struct FaultModel {
+  FaultKind kind = FaultKind::Scale;
+  double payload = 1.0;  ///< factor (Scale), replacement (SetValue),
+                         ///< offset (AddValue)
+  unsigned bit = 0;      ///< bit index (BitFlip only)
+
+  /// Apply the corruption to \p value.
+  [[nodiscard]] double apply(double value) const;
+
+  /// The paper's class-1 fault: h * 1e+150.
+  [[nodiscard]] static FaultModel scale(double factor) {
+    return {FaultKind::Scale, factor, 0};
+  }
+  /// Replace with an arbitrary value (e.g. NaN or Inf).
+  [[nodiscard]] static FaultModel set_value(double v) {
+    return {FaultKind::SetValue, v, 0};
+  }
+  /// Flip one bit of the binary64 representation.
+  [[nodiscard]] static FaultModel bit_flip(unsigned bit) {
+    return {FaultKind::BitFlip, 0.0, bit};
+  }
+  /// Add a constant offset.
+  [[nodiscard]] static FaultModel add_value(double v) {
+    return {FaultKind::AddValue, v, 0};
+  }
+};
+
+/// Human-readable description, e.g. "scale(1e+150)".
+[[nodiscard]] std::string to_string(const FaultModel& model);
+
+/// The paper's three experiment fault classes (Section VII-B-1).
+namespace fault_classes {
+/// Class 1: very large, h * 10^+150.
+[[nodiscard]] inline FaultModel very_large() { return FaultModel::scale(1e150); }
+/// Class 2: slightly smaller, h * 10^-0.5.
+[[nodiscard]] FaultModel slightly_smaller();
+/// Class 3: nearly zero, h * 10^-300.
+[[nodiscard]] inline FaultModel nearly_zero() { return FaultModel::scale(1e-300); }
+} // namespace fault_classes
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,40 @@
+#include "sdc/sandbox.hpp"
+
+#include <exception>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::sdc {
+
+void Sandbox::apply(const la::Vector& q, std::size_t outer_index,
+                    la::Vector& z) {
+  ++stats_.invocations;
+  bool crashed = false;
+  if (opts_.catch_exceptions) {
+    try {
+      guest_->apply(q, outer_index, z);
+    } catch (const std::exception&) {
+      crashed = true;
+    }
+  } else {
+    guest_->apply(q, outer_index, z);
+  }
+  if (crashed) {
+    // The guest crashed; the sandbox still returns *something*.  Identity
+    // output keeps the outer iteration mathematically valid (M_j = I).
+    ++stats_.exceptions;
+    la::copy(q, z);
+    return;
+  }
+  if (z.size() != q.size()) {
+    ++stats_.wrong_shape_outputs;
+    la::copy(q, z);
+    return;
+  }
+  if (opts_.replace_nonfinite && !la::all_finite(z)) {
+    ++stats_.nonfinite_outputs;
+    la::copy(q, z);
+  }
+}
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,58 @@
+#pragma once
+/// \file sandbox.hpp
+/// \brief The sandbox reliability model (paper Section IV).
+///
+/// The sandbox makes exactly two promises about its unreliable guest: it
+/// returns *something*, and it returns in finite time.  This wrapper
+/// enforces both around any FlexiblePreconditioner guest (in FT-GMRES, the
+/// faulty inner GMRES solve): exceptions escaping the guest -- crashes, in
+/// the taxonomy of Fig. 1 -- are converted into soft faults by substituting
+/// a fallback result, and non-finite guest output can optionally be
+/// filtered the same way.  Finite time is the guest's own iteration bound;
+/// the host additionally re-checks output size, since a guest gone astray
+/// may return a vector of the wrong shape.
+
+#include <cstddef>
+
+#include "krylov/precond.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::sdc {
+
+/// Host-side policy for handling misbehaving guests.
+struct SandboxOptions {
+  bool replace_nonfinite = true; ///< filter Inf/NaN guest output (reliable
+                                 ///< host introspection); fallback is q
+  bool catch_exceptions = true;  ///< convert guest crashes into soft faults
+};
+
+/// Per-sandbox statistics.
+struct SandboxStats {
+  std::size_t invocations = 0;      ///< guest calls
+  std::size_t nonfinite_outputs = 0; ///< outputs filtered for Inf/NaN
+  std::size_t wrong_shape_outputs = 0; ///< outputs resized by the host
+  std::size_t exceptions = 0;       ///< guest crashes converted to soft faults
+};
+
+/// Wraps a guest flexible preconditioner in the sandbox contract.
+class Sandbox final : public krylov::FlexiblePreconditioner {
+public:
+  explicit Sandbox(krylov::FlexiblePreconditioner& guest,
+                   SandboxOptions opts = {})
+      : guest_(&guest), opts_(opts) {}
+
+  void apply(const la::Vector& q, std::size_t outer_index,
+             la::Vector& z) override;
+
+  [[nodiscard]] const SandboxStats& stats() const noexcept { return stats_; }
+
+  /// Clear statistics (reuse between experiment runs).
+  void reset() { stats_ = {}; }
+
+private:
+  krylov::FlexiblePreconditioner* guest_;
+  SandboxOptions opts_;
+  SandboxStats stats_;
+};
+
+} // namespace sdcgmres::sdc

@@ -1,0 +1,109 @@
+#include "sparse/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::sparse {
+
+MatrixProperties analyze(const CsrMatrix& A) {
+  MatrixProperties p;
+  p.rows = A.rows();
+  p.cols = A.cols();
+  p.nnz = A.nnz();
+  p.pattern_symmetric = is_pattern_symmetric(A);
+  p.numerically_symmetric = is_numerically_symmetric(A);
+  p.has_full_structural_rank = has_nonempty_rows_and_cols(A);
+  p.diagonally_dominant = is_diagonally_dominant(A);
+  p.bandwidth = bandwidth(A);
+  return p;
+}
+
+bool is_pattern_symmetric(const CsrMatrix& A) {
+  if (A.rows() != A.cols()) return false;
+  const CsrMatrix At = A.transposed();
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto a = A.row_cols(i);
+    const auto b = At.row_cols(i);
+    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) return false;
+  }
+  return true;
+}
+
+bool is_numerically_symmetric(const CsrMatrix& A, double tol) {
+  if (A.rows() != A.cols()) return false;
+  const CsrMatrix At = A.transposed();
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto ac = A.row_cols(i);
+    const auto av = A.row_values(i);
+    const auto bc = At.row_cols(i);
+    const auto bv = At.row_values(i);
+    if (!std::equal(ac.begin(), ac.end(), bc.begin(), bc.end())) return false;
+    for (std::size_t k = 0; k < av.size(); ++k) {
+      if (std::abs(av[k] - bv[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool has_nonempty_rows_and_cols(const CsrMatrix& A) {
+  std::vector<bool> col_hit(A.cols(), false);
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    if (cols.empty()) return false;
+    for (const std::size_t j : cols) col_hit[j] = true;
+  }
+  return std::all_of(col_hit.begin(), col_hit.end(), [](bool b) { return b; });
+}
+
+bool is_diagonally_dominant(const CsrMatrix& A) {
+  if (A.rows() != A.cols()) return false;
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    const auto vals = A.row_values(i);
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = std::abs(vals[k]);
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    // Small relative slack: upwind stencils are dominant by construction
+    // but the two sides are summed in different orders.
+    if (diag < off * (1.0 - 1e-14) - 1e-300) return false;
+  }
+  return true;
+}
+
+std::size_t bandwidth(const CsrMatrix& A) {
+  std::size_t bw = 0;
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (const std::size_t j : A.row_cols(i)) {
+      const std::size_t d = (i > j) ? i - j : j - i;
+      bw = std::max(bw, d);
+    }
+  }
+  return bw;
+}
+
+bool probe_positive_definite(const CsrMatrix& A, std::size_t trials,
+                             unsigned seed) {
+  if (A.rows() != A.cols() || A.rows() == 0) return false;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  la::Vector x(A.rows());
+  la::Vector y(A.rows());
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = dist(rng);
+    A.spmv(x, y);
+    if (la::dot(x, y) <= 0.0) return false;
+  }
+  return true;
+}
+
+} // namespace sdcgmres::sparse

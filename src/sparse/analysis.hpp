@@ -1,0 +1,57 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Structural and numerical analysis of sparse matrices.
+///
+/// Provides the characteristics the paper reports in Table I: symmetry of
+/// the nonzero pattern, numerical symmetry, positive-definiteness probes,
+/// structural rank heuristics, and bandwidth.
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::sparse {
+
+/// Summary of a matrix's structural/numerical properties (Table I rows).
+struct MatrixProperties {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nnz = 0;
+  bool pattern_symmetric = false;   ///< nonzero pattern equals its transpose
+  bool numerically_symmetric = false; ///< A == A^T entry-wise (exact)
+  bool has_full_structural_rank = false; ///< every row and column nonempty
+  bool diagonally_dominant = false; ///< weak row diagonal dominance
+  std::size_t bandwidth = 0;        ///< max |i-j| over stored entries
+};
+
+/// Compute all properties in one pass over A and A^T.
+[[nodiscard]] MatrixProperties analyze(const CsrMatrix& A);
+
+/// True when the nonzero *pattern* of A is symmetric.
+[[nodiscard]] bool is_pattern_symmetric(const CsrMatrix& A);
+
+/// True when A equals its transpose exactly (entry-wise), within
+/// absolute tolerance \p tol.
+[[nodiscard]] bool is_numerically_symmetric(const CsrMatrix& A,
+                                            double tol = 0.0);
+
+/// Cheap necessary condition for full structural rank: every row and every
+/// column holds at least one nonzero.  (A true maximum-matching structural
+/// rank is not needed for the paper's matrices, both of which satisfy this.)
+[[nodiscard]] bool has_nonempty_rows_and_cols(const CsrMatrix& A);
+
+/// Weak row diagonal dominance: |a_ii| >= sum_{j != i} |a_ij| for all i.
+[[nodiscard]] bool is_diagonally_dominant(const CsrMatrix& A);
+
+/// Max |i - j| over stored entries.
+[[nodiscard]] std::size_t bandwidth(const CsrMatrix& A);
+
+/// Monte-Carlo positive-definiteness probe: checks x^T A x > 0 for
+/// \p trials random vectors.  Returns false at the first non-positive
+/// quadratic form.  (A necessary condition only; sufficient in practice for
+/// the generated test matrices.)
+[[nodiscard]] bool probe_positive_definite(const CsrMatrix& A,
+                                           std::size_t trials = 16,
+                                           unsigned seed = 0x5DCu);
+
+} // namespace sdcgmres::sparse

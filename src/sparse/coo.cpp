@@ -1,0 +1,33 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdcgmres::sparse {
+
+void CooMatrix::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("CooMatrix::add: index outside matrix");
+  }
+  entries_.push_back({row, col, value});
+}
+
+void CooMatrix::compress() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const Triplet& t : entries_) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+} // namespace sdcgmres::sparse

@@ -1,0 +1,157 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sdcgmres::sparse {
+
+CsrMatrix::CsrMatrix(CooMatrix coo) : rows_(coo.rows()), cols_(coo.cols()) {
+  coo.compress();
+  const auto& entries = coo.entries();
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (const Triplet& t : entries) {
+    ++row_ptr_[t.row + 1];
+    col_idx_.push_back(t.col);
+    values_.push_back(t.value);
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    row_ptr_[i + 1] += row_ptr_[i];
+  }
+  validate();
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  validate();
+}
+
+void CsrMatrix::validate() const {
+  if (row_ptr_.size() != rows_ + 1) {
+    throw std::invalid_argument("CsrMatrix: row_ptr size must be rows+1");
+  }
+  if (row_ptr_.front() != 0 || row_ptr_.back() != values_.size() ||
+      col_idx_.size() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent CSR arrays");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (row_ptr_[i] > row_ptr_[i + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr must be nondecreasing");
+    }
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] >= cols_) {
+        throw std::invalid_argument("CsrMatrix: column index out of range");
+      }
+      if (k > row_ptr_[i] && col_idx_[k] <= col_idx_[k - 1]) {
+        throw std::invalid_argument(
+            "CsrMatrix: column indices must be strictly increasing per row");
+      }
+    }
+  }
+}
+
+std::span<const std::size_t> CsrMatrix::row_cols(std::size_t i) const {
+  if (i >= rows_) throw std::out_of_range("CsrMatrix::row_cols");
+  return {col_idx_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t i) const {
+  if (i >= rows_) throw std::out_of_range("CsrMatrix::row_values");
+  return {values_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+}
+
+double CsrMatrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("CsrMatrix::at");
+  const auto cols = row_cols(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return values_[row_ptr_[i] + static_cast<std::size_t>(it - cols.begin())];
+}
+
+void CsrMatrix::spmv(const la::Vector& x, la::Vector& y) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("CsrMatrix::spmv: x size mismatch");
+  }
+  if (y.size() != rows_) y.resize(rows_);
+  const auto n = static_cast<std::int64_t>(rows_);
+#pragma omp parallel for schedule(static) if (n > 2048)
+  for (std::int64_t ii = 0; ii < n; ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::spmv_transpose: x size mismatch");
+  }
+  y.resize(cols_);
+  y.fill(0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xi;
+    }
+  }
+}
+
+la::Vector CsrMatrix::apply(const la::Vector& x) const {
+  la::Vector y(rows_);
+  spmv(x, y);
+  return y;
+}
+
+la::Vector CsrMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  la::Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CooMatrix coo(cols_, rows_);
+  coo.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      coo.add(col_idx_[k], i, values_[k]);
+    }
+  }
+  return CsrMatrix(std::move(coo));
+}
+
+double CsrMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+CsrMatrix CsrMatrix::scaled(double alpha) const {
+  CsrMatrix out = *this;
+  for (double& v : out.values_) v *= alpha;
+  return out;
+}
+
+CooMatrix CsrMatrix::to_coo() const {
+  CooMatrix coo(rows_, cols_);
+  coo.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      coo.add(i, col_idx_[k], values_[k]);
+    }
+  }
+  return coo;
+}
+
+} // namespace sdcgmres::sparse

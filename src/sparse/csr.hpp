@@ -1,0 +1,88 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrix: the compute format for all solvers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/vector.hpp"
+#include "sparse/coo.hpp"
+
+namespace sdcgmres::sparse {
+
+/// Immutable CSR sparse matrix.
+///
+/// Construction goes through CooMatrix (which sums duplicates), so the row
+/// pointer / column index invariants hold by construction: for each row the
+/// column indices are strictly increasing.
+class CsrMatrix {
+public:
+  CsrMatrix() = default;
+
+  /// Build from a coordinate matrix.  \p coo is compressed (sorted,
+  /// duplicates summed) as part of the conversion; explicit zeros are kept.
+  explicit CsrMatrix(CooMatrix coo);
+
+  /// Build directly from raw CSR arrays (validated).
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Column indices of row \p i.
+  [[nodiscard]] std::span<const std::size_t> row_cols(std::size_t i) const;
+  /// Values of row \p i.
+  [[nodiscard]] std::span<const double> row_values(std::size_t i) const;
+
+  /// Value at (i, j); 0.0 when the position is not stored.
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  /// y := A*x.  Sizes must match; OpenMP-parallel over rows.
+  void spmv(const la::Vector& x, la::Vector& y) const;
+
+  /// y := A^T*x (sequential scatter; used by norm estimation).
+  void spmv_transpose(const la::Vector& x, la::Vector& y) const;
+
+  /// Convenience: returns A*x by value.
+  [[nodiscard]] la::Vector apply(const la::Vector& x) const;
+
+  /// Main diagonal as a dense vector (missing entries are 0).
+  [[nodiscard]] la::Vector diagonal() const;
+
+  /// Transposed copy.
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Exact Frobenius norm: sqrt(sum of squares of stored values).
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Scale all values by \p alpha (returns a new matrix).
+  [[nodiscard]] CsrMatrix scaled(double alpha) const;
+
+  /// Back to coordinate format (for I/O and tests).
+  [[nodiscard]] CooMatrix to_coo() const;
+
+private:
+  void validate() const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+} // namespace sdcgmres::sparse

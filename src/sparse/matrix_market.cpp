@@ -1,0 +1,146 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdcgmres::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+struct Header {
+  bool pattern = false;
+  enum class Symmetry { General, Symmetric, SkewSymmetric } symmetry =
+      Symmetry::General;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream ss(line);
+  std::string banner, object, format, field, symmetry;
+  ss >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw std::runtime_error("matrix_market: missing %%MatrixMarket banner");
+  }
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    throw std::runtime_error(
+        "matrix_market: only 'matrix coordinate' files are supported");
+  }
+  Header h;
+  const std::string f = lower(field);
+  if (f == "real" || f == "integer") {
+    h.pattern = false;
+  } else if (f == "pattern") {
+    h.pattern = true;
+  } else {
+    throw std::runtime_error("matrix_market: unsupported field '" + field +
+                             "' (complex matrices are out of scope)");
+  }
+  const std::string s = lower(symmetry);
+  if (s == "general") {
+    h.symmetry = Header::Symmetry::General;
+  } else if (s == "symmetric") {
+    h.symmetry = Header::Symmetry::Symmetric;
+  } else if (s == "skew-symmetric") {
+    h.symmetry = Header::Symmetry::SkewSymmetric;
+  } else {
+    throw std::runtime_error("matrix_market: unsupported symmetry '" +
+                             symmetry + "'");
+  }
+  return h;
+}
+
+} // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("matrix_market: empty stream");
+  }
+  const Header header = parse_header(line);
+
+  // Skip comments and blank lines until the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz)) {
+    throw std::runtime_error("matrix_market: malformed size line");
+  }
+
+  CooMatrix coo(rows, cols);
+  coo.reserve(header.symmetry == Header::Symmetry::General ? nnz : 2 * nnz);
+  std::size_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    std::size_t i = 0, j = 0;
+    double v = 1.0;
+    if (!(entry >> i >> j)) {
+      throw std::runtime_error("matrix_market: malformed entry line");
+    }
+    if (!header.pattern && !(entry >> v)) {
+      throw std::runtime_error("matrix_market: entry missing value");
+    }
+    if (i == 0 || j == 0 || i > rows || j > cols) {
+      throw std::runtime_error("matrix_market: index out of range");
+    }
+    coo.add(i - 1, j - 1, v);
+    if (i != j) {
+      if (header.symmetry == Header::Symmetry::Symmetric) {
+        coo.add(j - 1, i - 1, v);
+      } else if (header.symmetry == Header::Symmetry::SkewSymmetric) {
+        coo.add(j - 1, i - 1, -v);
+      }
+    }
+    ++seen;
+  }
+  if (seen != nnz) {
+    throw std::runtime_error("matrix_market: fewer entries than declared");
+  }
+  return CsrMatrix(std::move(coo));
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("matrix_market: cannot open '" + path + "'");
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& A) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by sdcgmres\n";
+  out << A.rows() << ' ' << A.cols() << ' ' << A.nnz() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    const auto vals = A.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& A) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("matrix_market: cannot open '" + path +
+                             "' for writing");
+  }
+  write_matrix_market(out, A);
+}
+
+} // namespace sdcgmres::sparse

@@ -1,0 +1,202 @@
+#include "sparse/norms.hpp"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::sparse {
+
+namespace {
+
+la::Vector random_unit_vector(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(rng);
+  const double norm = la::nrm2(v);
+  if (norm > 0.0) la::scal(1.0 / norm, v);
+  return v;
+}
+
+// Internal conjugate-gradient solve of the normal equations
+// (A^T A) x = b (CGNR).  Self-contained so that the sparse layer does not
+// depend on the Krylov layer above it.
+bool cgnr_solve(const CsrMatrix& A, const la::Vector& b, la::Vector& x,
+                double tol, std::size_t max_iters) {
+  const std::size_t n = A.cols();
+  x.resize(n);
+  x.fill(0.0);
+  la::Vector tmp(A.rows());
+  la::Vector r = b; // r = b - A^T A x, with x = 0
+  la::Vector p = r;
+  la::Vector q(n);
+  double rho = la::dot(r, r);
+  const double stop = tol * tol * la::dot(b, b);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    if (rho <= stop) return true;
+    A.spmv(p, tmp);
+    A.spmv_transpose(tmp, q);
+    const double pq = la::dot(p, q);
+    if (pq <= 0.0 || !std::isfinite(pq)) return false;
+    const double alpha = rho / pq;
+    la::axpy(alpha, p, x);
+    la::axpy(-alpha, q, r);
+    const double rho_next = la::dot(r, r);
+    const double beta = rho_next / rho;
+    la::waxpby(1.0, r, beta, p, p);
+    rho = rho_next;
+  }
+  return rho <= stop;
+}
+
+} // namespace
+
+NormEstimate estimate_two_norm(const CsrMatrix& A, std::size_t max_iters,
+                               double tol, unsigned seed) {
+  NormEstimate est;
+  if (A.rows() == 0 || A.cols() == 0 || A.nnz() == 0) {
+    est.converged = true;
+    return est;
+  }
+  la::Vector v = random_unit_vector(A.cols(), seed);
+  la::Vector Av(A.rows());
+  la::Vector AtAv(A.cols());
+  double sigma = 0.0;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    A.spmv(v, Av);
+    A.spmv_transpose(Av, AtAv);
+    const double lambda = la::nrm2(AtAv); // ~ sigma^2 since ||v|| = 1
+    est.iterations = it + 1;
+    const double sigma_next = std::sqrt(lambda);
+    if (lambda == 0.0) {
+      est.value = 0.0;
+      est.converged = true;
+      return est;
+    }
+    la::copy(AtAv, v);
+    la::scal(1.0 / lambda, v);
+    if (it > 0 && std::abs(sigma_next - sigma) <= tol * sigma_next) {
+      est.value = sigma_next;
+      est.converged = true;
+      return est;
+    }
+    sigma = sigma_next;
+  }
+  est.value = sigma;
+  est.converged = false;
+  return est;
+}
+
+NormEstimate estimate_smallest_singular_value(const CsrMatrix& A,
+                                              std::size_t max_iters,
+                                              double solve_tol,
+                                              std::size_t solve_max_iters,
+                                              unsigned seed) {
+  NormEstimate est;
+  if (A.rows() == 0 || A.cols() == 0) {
+    est.converged = true;
+    return est;
+  }
+  la::Vector v = random_unit_vector(A.cols(), seed);
+  la::Vector w(A.cols());
+  double sigma = 0.0;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    // Inverse iteration on A^T A: solve (A^T A) w = v.
+    if (!cgnr_solve(A, v, w, solve_tol, solve_max_iters)) {
+      // Normal-equations solve failed (numerically singular);
+      // report the current estimate as non-converged.
+      est.value = sigma;
+      est.converged = false;
+      est.iterations = it;
+      return est;
+    }
+    const double mu = la::nrm2(w); // ~ 1 / sigma_min^2
+    est.iterations = it + 1;
+    if (mu == 0.0) {
+      est.value = std::numeric_limits<double>::infinity();
+      est.converged = false;
+      return est;
+    }
+    const double sigma_next = 1.0 / std::sqrt(mu);
+    la::copy(w, v);
+    la::scal(1.0 / mu, v);
+    if (it > 0 && std::abs(sigma_next - sigma) <= 1e-8 * sigma_next) {
+      est.value = sigma_next;
+      est.converged = true;
+      return est;
+    }
+    sigma = sigma_next;
+  }
+  est.value = sigma;
+  est.converged = false;
+  return est;
+}
+
+double estimate_condition_number(const CsrMatrix& A, unsigned seed) {
+  const NormEstimate hi = estimate_two_norm(A, 500, 1e-12, seed);
+  const NormEstimate lo = estimate_smallest_singular_value(
+      A, 30, 1e-12, 4 * std::max<std::size_t>(A.rows(), 100), seed);
+  if (lo.value == 0.0) return std::numeric_limits<double>::infinity();
+  return hi.value / lo.value;
+}
+
+double min_column_norm(const CsrMatrix& A) {
+  std::vector<double> colsq(A.cols(), 0.0);
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    const auto vals = A.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      colsq[cols[k]] += vals[k] * vals[k];
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const double s : colsq) best = std::min(best, s);
+  return std::sqrt(best);
+}
+
+double one_norm(const CsrMatrix& A) {
+  std::vector<double> colsum(A.cols(), 0.0);
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    const auto vals = A.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      colsum[cols[k]] += std::abs(vals[k]);
+    }
+  }
+  double best = 0.0;
+  for (const double s : colsum) best = std::max(best, s);
+  return best;
+}
+
+double inf_norm(const CsrMatrix& A) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    double sum = 0.0;
+    for (const double v : A.row_values(i)) sum += std::abs(v);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double sqrt_one_inf_bound(const CsrMatrix& A) {
+  return std::sqrt(one_norm(A) * inf_norm(A));
+}
+
+double gershgorin_bound(const CsrMatrix& A) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    double radius = 0.0;
+    for (const double v : A.row_values(i)) radius += std::abs(v);
+    best = std::max(best, radius);
+  }
+  return best;
+}
+
+double cheapest_detector_bound(const CsrMatrix& A) {
+  return std::min(A.frobenius_norm(), sqrt_one_inf_bound(A));
+}
+
+} // namespace sdcgmres::sparse

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/givens.hpp"
+
+namespace dense = sdcgmres::dense;
+
+TEST(Givens, ZeroBGivesIdentity) {
+  const auto g = dense::make_givens(3.0, 0.0);
+  EXPECT_EQ(g.c, 1.0);
+  EXPECT_EQ(g.s, 0.0);
+}
+
+TEST(Givens, ZeroAGivesSwap) {
+  const auto g = dense::make_givens(0.0, 2.0);
+  EXPECT_EQ(g.c, 0.0);
+  EXPECT_EQ(g.s, 1.0);
+}
+
+TEST(Givens, AnnihilatesSecondComponent) {
+  double a = 3.0, b = 4.0;
+  const auto g = dense::make_givens(a, b);
+  g.apply(a, b);
+  EXPECT_NEAR(a, 5.0, 1e-15);
+  EXPECT_NEAR(b, 0.0, 1e-15);
+}
+
+TEST(Givens, PreservesTwoNorm) {
+  double a = -7.25, b = 2.5;
+  const double norm_before = std::hypot(a, b);
+  const auto g = dense::make_givens(a, b);
+  g.apply(a, b);
+  EXPECT_NEAR(std::hypot(a, b), norm_before, 1e-14);
+}
+
+TEST(Givens, RotationIsOrthogonal) {
+  const auto g = dense::make_givens(1.5, -2.5);
+  EXPECT_NEAR(g.c * g.c + g.s * g.s, 1.0, 1e-15);
+}
+
+TEST(Givens, HandlesHugeInputsWithoutOverflow) {
+  // A naive sqrt(a^2 + b^2) overflows for the paper's 1e150-scaled faulty
+  // entries; the hypot formulation must not.
+  double a = 1e200, b = 1e200;
+  const auto g = dense::make_givens(a, b);
+  EXPECT_TRUE(std::isfinite(g.c));
+  EXPECT_TRUE(std::isfinite(g.s));
+  g.apply(a, b);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_NEAR(b, 0.0, 1e185); // relative to the 1e200 scale
+}
+
+TEST(Givens, HandlesTinyInputsWithoutUnderflow) {
+  double a = 1e-300, b = 1e-300;
+  const auto g = dense::make_givens(a, b);
+  EXPECT_NEAR(g.c * g.c + g.s * g.s, 1.0, 1e-15);
+  g.apply(a, b);
+  EXPECT_NEAR(b, 0.0, 1e-310);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Givens, SignConventionKeepsRNonNegativeForPositiveA) {
+  double a = 2.0, b = -1.0;
+  const auto g = dense::make_givens(a, b);
+  g.apply(a, b);
+  EXPECT_GT(a, 0.0);
+  EXPECT_NEAR(b, 0.0, 1e-15);
+}
+
+TEST(Givens, ApplyRotatesArbitraryPair) {
+  const auto g = dense::make_givens(1.0, 1.0); // 45-degree rotation
+  double x = 1.0, y = 0.0;
+  g.apply(x, y);
+  EXPECT_NEAR(x, std::sqrt(0.5), 1e-15);
+  EXPECT_NEAR(y, -std::sqrt(0.5), 1e-15);
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/lsq_policies.hpp"
+
+namespace dense = sdcgmres::dense;
+namespace la = sdcgmres::la;
+
+namespace {
+
+la::DenseMatrix well_conditioned() {
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 2.0;
+  R(0, 1) = 1.0;
+  R(1, 1) = 3.0;
+  return R;
+}
+
+la::DenseMatrix singular_r() {
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(0, 1) = 1.0;
+  R(1, 1) = 0.0; // exactly singular
+  return R;
+}
+
+} // namespace
+
+TEST(LsqPolicies, NamesAreStable) {
+  EXPECT_STREQ(dense::to_string(dense::LsqPolicy::Standard), "standard");
+  EXPECT_STREQ(dense::to_string(dense::LsqPolicy::Fallback),
+               "fallback-on-nonfinite");
+  EXPECT_STREQ(dense::to_string(dense::LsqPolicy::RankRevealing),
+               "rank-revealing");
+}
+
+TEST(LsqPolicies, AllPoliciesAgreeOnWellConditionedSystem) {
+  const la::DenseMatrix R = well_conditioned();
+  const la::Vector z{4.0, 6.0}; // solution [1; 2]
+  for (const auto policy :
+       {dense::LsqPolicy::Standard, dense::LsqPolicy::Fallback,
+        dense::LsqPolicy::RankRevealing}) {
+    const auto out = dense::solve_projected(R, z, policy);
+    EXPECT_NEAR(out.y[0], 1.0, 1e-12) << dense::to_string(policy);
+    EXPECT_NEAR(out.y[1], 2.0, 1e-12) << dense::to_string(policy);
+    EXPECT_FALSE(out.nonfinite);
+    EXPECT_FALSE(out.fallback_triggered);
+  }
+}
+
+TEST(LsqPolicies, StandardProducesNonfiniteOnSingularR) {
+  const auto out = dense::solve_projected(singular_r(), la::Vector{1.0, 1.0},
+                                          dense::LsqPolicy::Standard);
+  EXPECT_TRUE(out.nonfinite);
+}
+
+TEST(LsqPolicies, FallbackRecoversFromSingularR) {
+  const auto out = dense::solve_projected(singular_r(), la::Vector{1.0, 1.0},
+                                          dense::LsqPolicy::Fallback);
+  EXPECT_TRUE(out.fallback_triggered);
+  EXPECT_FALSE(out.nonfinite);
+  EXPECT_LT(out.effective_rank, 2u);
+}
+
+TEST(LsqPolicies, FallbackDoesNotTriggerWhenStandardSucceeds) {
+  const auto out = dense::solve_projected(well_conditioned(),
+                                          la::Vector{1.0, 1.0},
+                                          dense::LsqPolicy::Fallback);
+  EXPECT_FALSE(out.fallback_triggered);
+  EXPECT_EQ(out.effective_rank, 2u);
+}
+
+TEST(LsqPolicies, RankRevealingTruncatesSingularDirection) {
+  const auto out = dense::solve_projected(singular_r(), la::Vector{1.0, 1.0},
+                                          dense::LsqPolicy::RankRevealing);
+  EXPECT_FALSE(out.nonfinite);
+  EXPECT_EQ(out.effective_rank, 1u);
+  EXPECT_TRUE(std::isfinite(out.y[0]));
+  EXPECT_TRUE(std::isfinite(out.y[1]));
+}
+
+TEST(LsqPolicies, RankRevealingBoundsNearlySingularCoefficients) {
+  // Paper Section VI-D: a nearly singular R must not produce unboundedly
+  // large update coefficients under the rank-revealing policy.
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(0, 1) = 1.0;
+  R(1, 1) = 1e-14;
+  const la::Vector z{1.0, 1.0};
+
+  const auto standard =
+      dense::solve_projected(R, z, dense::LsqPolicy::Standard);
+  EXPECT_GT(std::abs(standard.y[1]), 1e13); // unbounded coefficients
+
+  const auto robust =
+      dense::solve_projected(R, z, dense::LsqPolicy::RankRevealing, 1e-8);
+  EXPECT_LT(std::abs(robust.y[0]) + std::abs(robust.y[1]), 10.0);
+}
+
+TEST(LsqPolicies, FallbackConcealsLargeButFiniteCoefficients) {
+  // The paper's criticism of policy 2: when the standard solve produces
+  // huge-but-finite coefficients, the fallback never fires and the error
+  // is not bounded.
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(0, 1) = 1.0;
+  R(1, 1) = 1e-14;
+  const auto out = dense::solve_projected(R, la::Vector{1.0, 1.0},
+                                          dense::LsqPolicy::Fallback, 1e-8);
+  EXPECT_FALSE(out.fallback_triggered);
+  EXPECT_GT(std::abs(out.y[1]), 1e13);
+}
+
+TEST(LsqPolicies, TruncationToleranceIsRespected) {
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(1, 1) = 1e-4;
+  const la::Vector z{1.0, 1.0};
+  // Loose cutoff truncates the 1e-4 singular value...
+  const auto loose =
+      dense::solve_projected(R, z, dense::LsqPolicy::RankRevealing, 1e-2);
+  EXPECT_EQ(loose.effective_rank, 1u);
+  // ...a tight cutoff keeps it.
+  const auto tight =
+      dense::solve_projected(R, z, dense::LsqPolicy::RankRevealing, 1e-6);
+  EXPECT_EQ(tight.effective_rank, 2u);
+  EXPECT_NEAR(tight.y[1], 1e4, 1.0);
+}

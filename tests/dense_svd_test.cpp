@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "dense/svd.hpp"
+#include "la/blas2.hpp"
+
+namespace dense = sdcgmres::dense;
+namespace la = sdcgmres::la;
+
+namespace {
+
+la::DenseMatrix random_matrix(std::size_t m, std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  la::DenseMatrix A(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) A(i, j) = dist(rng);
+  }
+  return A;
+}
+
+/// ||A - U S V^T||_F.
+double reconstruction_error(const la::DenseMatrix& A,
+                            const dense::SvdResult& svd) {
+  double err = 0.0;
+  for (std::size_t j = 0; j < A.cols(); ++j) {
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < A.cols(); ++k) {
+        sum += svd.u(i, k) * svd.sigma[k] * svd.v(j, k);
+      }
+      err += (A(i, j) - sum) * (A(i, j) - sum);
+    }
+  }
+  return std::sqrt(err);
+}
+
+} // namespace
+
+TEST(JacobiSvd, DiagonalMatrix) {
+  la::DenseMatrix A(3, 3);
+  A(0, 0) = 1.0;
+  A(1, 1) = 5.0;
+  A(2, 2) = 3.0;
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_TRUE(svd.converged);
+  EXPECT_NEAR(svd.sigma[0], 5.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[1], 3.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[2], 1.0, 1e-12);
+}
+
+TEST(JacobiSvd, SingularValuesSortedDescending) {
+  const auto A = random_matrix(8, 5, 7);
+  const auto svd = dense::jacobi_svd(A);
+  for (std::size_t j = 1; j < 5; ++j) {
+    EXPECT_GE(svd.sigma[j - 1], svd.sigma[j]);
+  }
+}
+
+TEST(JacobiSvd, ReconstructsMatrix) {
+  const auto A = random_matrix(6, 6, 11);
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_LT(reconstruction_error(A, svd), 1e-11);
+}
+
+TEST(JacobiSvd, TallMatrixReconstruction) {
+  const auto A = random_matrix(12, 4, 13);
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_LT(reconstruction_error(A, svd), 1e-11);
+}
+
+TEST(JacobiSvd, UHasOrthonormalColumns) {
+  const auto A = random_matrix(9, 4, 17);
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_LT(la::orthonormality_defect(svd.u), 1e-12);
+}
+
+TEST(JacobiSvd, VIsOrthogonal) {
+  const auto A = random_matrix(7, 7, 19);
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_LT(la::orthonormality_defect(svd.v), 1e-12);
+}
+
+TEST(JacobiSvd, WideMatrixThrows) {
+  la::DenseMatrix A(2, 3);
+  EXPECT_THROW((void)dense::jacobi_svd(A), std::invalid_argument);
+}
+
+TEST(JacobiSvd, RankDeficientMatrixHasZeroSigma) {
+  la::DenseMatrix A(3, 2);
+  // Second column = 2 * first column.
+  A(0, 0) = 1.0; A(1, 0) = 1.0; A(2, 0) = 1.0;
+  A(0, 1) = 2.0; A(1, 1) = 2.0; A(2, 1) = 2.0;
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_NEAR(svd.sigma[1], 0.0, 1e-12);
+  EXPECT_GT(svd.sigma[0], 1.0);
+}
+
+TEST(JacobiSvd, RelativeAccuracyForTinySingularValues) {
+  // One-sided Jacobi computes small singular values to high relative
+  // accuracy -- the property the truncation policy depends on.
+  // (1e-150 squares to 1e-300, still a normal double; smaller values would
+  // underflow in the column-norm accumulation.)
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(1, 1) = 1e-150;
+  const auto svd = dense::jacobi_svd(A);
+  EXPECT_NEAR(svd.sigma[1] / 1e-150, 1.0, 1e-10);
+}
+
+TEST(SvdLeastSquares, ExactSolveForWellConditionedSystem) {
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 2.0; A(0, 1) = 1.0;
+  A(1, 0) = 1.0; A(1, 1) = 3.0;
+  // b = A * [1; 2]
+  const la::Vector b{4.0, 7.0};
+  const la::Vector y = dense::svd_least_squares(A, b);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 2.0, 1e-12);
+}
+
+TEST(SvdLeastSquares, MinimumNormSolutionForSingularSystem) {
+  // A = [1 1; 1 1] (rank 1), b = [2; 2].  Solutions: y1 + y2 = 2; the
+  // minimum-norm solution is [1; 1].
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 1.0; A(0, 1) = 1.0;
+  A(1, 0) = 1.0; A(1, 1) = 1.0;
+  std::size_t rank = 0;
+  const la::Vector y =
+      dense::svd_least_squares(A, la::Vector{2.0, 2.0}, 1e-12, &rank);
+  EXPECT_EQ(rank, 1u);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+}
+
+TEST(SvdLeastSquares, TruncationBoundsCoefficients) {
+  // Nearly singular system: without truncation the coefficients blow up to
+  // ~1/eps; with a relative cutoff of 1e-8 they stay bounded by
+  // sigma_max/sigma_kept.
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(1, 1) = 1e-14;
+  const la::Vector b{1.0, 1.0};
+  std::size_t rank = 0;
+  const la::Vector y = dense::svd_least_squares(A, b, 1e-8, &rank);
+  EXPECT_EQ(rank, 1u);
+  EXPECT_LT(std::abs(y[1]), 1e-6);
+
+  const la::Vector y_full = dense::svd_least_squares(A, b, 0.0, &rank);
+  EXPECT_EQ(rank, 2u);
+  EXPECT_GT(std::abs(y_full[1]), 1e13);
+}
+
+TEST(SvdLeastSquares, RhsSizeMismatchThrows) {
+  la::DenseMatrix A(3, 2);
+  EXPECT_THROW((void)dense::svd_least_squares(A, la::Vector(2)),
+               std::invalid_argument);
+}
+
+TEST(SvdLeastSquares, OverdeterminedResidualIsOrthogonalToRange) {
+  const auto A = random_matrix(6, 3, 23);
+  const la::Vector b{1.0, -1.0, 2.0, 0.5, -0.25, 3.0};
+  const la::Vector y = dense::svd_least_squares(A, b);
+  // r = b - A y must satisfy A^T r = 0.
+  la::Vector r = b;
+  la::gemv(-1.0, A, y, 1.0, r);
+  la::Vector atr(3);
+  la::gemv_t(1.0, A, r, 0.0, atr);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(atr[i], 0.0, 1e-12);
+  }
+}

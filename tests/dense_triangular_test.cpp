@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dense/triangular.hpp"
+
+namespace dense = sdcgmres::dense;
+namespace la = sdcgmres::la;
+
+TEST(BackSubstitute, SolvesDiagonalSystem) {
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 2.0;
+  R(1, 1) = 4.0;
+  const la::Vector y = dense::back_substitute(R, la::Vector{2.0, 8.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(BackSubstitute, SolvesUpperTriangularSystem) {
+  // R = [1 2; 0 3], z = [5; 6] -> y = [1; 2].
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(0, 1) = 2.0;
+  R(1, 1) = 3.0;
+  const la::Vector y = dense::back_substitute(R, la::Vector{5.0, 6.0});
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+}
+
+TEST(BackSubstitute, DimensionMismatchThrows) {
+  la::DenseMatrix R(2, 3);
+  EXPECT_THROW((void)dense::back_substitute(R, la::Vector(2)),
+               std::invalid_argument);
+  la::DenseMatrix S(2, 2);
+  EXPECT_THROW((void)dense::back_substitute(S, la::Vector(3)),
+               std::invalid_argument);
+}
+
+TEST(BackSubstitute, SingularDiagonalProducesIeeeInf) {
+  // Deliberate design (paper Section VI-D, policy 2): a zero pivot must
+  // surface as Inf/NaN, not as an exception.
+  la::DenseMatrix R(2, 2);
+  R(0, 0) = 1.0;
+  R(0, 1) = 1.0;
+  R(1, 1) = 0.0;
+  const la::Vector y = dense::back_substitute(R, la::Vector{1.0, 1.0});
+  EXPECT_TRUE(std::isinf(y[1]));
+  EXPECT_FALSE(std::isfinite(y[0])); // Inf propagates into the other entry
+}
+
+TEST(BackSubstitute, ZeroOverZeroProducesNaN) {
+  la::DenseMatrix R(1, 1);
+  R(0, 0) = 0.0;
+  const la::Vector y = dense::back_substitute(R, la::Vector{0.0});
+  EXPECT_TRUE(std::isnan(y[0]));
+}
+
+TEST(ForwardSubstitute, SolvesLowerTriangularSystem) {
+  // L = [2 0; 1 4], z = [2; 9] -> y = [1; 2].
+  la::DenseMatrix L(2, 2);
+  L(0, 0) = 2.0;
+  L(1, 0) = 1.0;
+  L(1, 1) = 4.0;
+  const la::Vector y = dense::forward_substitute(L, la::Vector{2.0, 9.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(ForwardSubstitute, DimensionMismatchThrows) {
+  la::DenseMatrix L(3, 2);
+  EXPECT_THROW((void)dense::forward_substitute(L, la::Vector(3)),
+               std::invalid_argument);
+}
+
+TEST(TriangularRoundTrip, ForwardThenBackRecoversIdentityAction) {
+  // Solve R^T (R y) = R^T z via forward+back; for R nonsingular this is
+  // just a consistency exercise between the two kernels.
+  la::DenseMatrix R(3, 3);
+  R(0, 0) = 2.0; R(0, 1) = 1.0; R(0, 2) = -1.0;
+  R(1, 1) = 3.0; R(1, 2) = 0.5;
+  R(2, 2) = 1.5;
+  const la::Vector z{1.0, 2.0, 3.0};
+  const la::Vector y = dense::back_substitute(R, z);
+  // Verify R*y == z.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = i; j < 3; ++j) sum += R(i, j) * y[j];
+    EXPECT_NEAR(sum, z[i], 1e-14);
+  }
+}

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "experiment/report.hpp"
+#include "experiment/sweep.hpp"
+#include "gen/poisson.hpp"
+#include "la/blas1.hpp"
+
+namespace experiment = sdcgmres::experiment;
+namespace krylov = sdcgmres::krylov;
+namespace sdc = sdcgmres::sdc;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+experiment::SweepConfig small_config() {
+  experiment::SweepConfig config;
+  config.solver.inner.max_iters = 5;
+  config.solver.outer.tol = 1e-8;
+  config.solver.outer.max_outer = 120;
+  return config;
+}
+
+} // namespace
+
+TEST(Sweep, BaselineMatchesDirectSolve) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  const auto config = small_config();
+  const auto direct = experiment::run_baseline(A, b, config.solver);
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  EXPECT_TRUE(sweep.baseline_converged);
+  EXPECT_EQ(sweep.baseline_outer, direct.outer_iterations);
+  EXPECT_EQ(sweep.baseline_total_inner, direct.total_inner_iterations);
+}
+
+TEST(Sweep, OnePointPerInjectionSite) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  const auto sweep = experiment::run_injection_sweep(A, b, small_config());
+  EXPECT_EQ(sweep.points.size(), sweep.baseline_total_inner);
+  for (std::size_t s = 0; s < sweep.points.size(); ++s) {
+    EXPECT_EQ(sweep.points[s].aggregate_iteration, s);
+  }
+}
+
+TEST(Sweep, StrideSamplesSites) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.stride = 4;
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(sweep.points.size(),
+            (sweep.baseline_total_inner + 3) / 4);
+  EXPECT_EQ(sweep.points[1].aggregate_iteration, 4u);
+}
+
+TEST(Sweep, SiteLimitRestrictsSweep) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.site_limit = 7;
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  ASSERT_EQ(sweep.points.size(), 7u);
+  EXPECT_EQ(sweep.points.back().aggregate_iteration, 6u);
+  // The baseline is still the full failure-free run.
+  EXPECT_GT(sweep.baseline_total_inner, 7u);
+}
+
+TEST(Sweep, ZeroStrideThrows) {
+  const auto A = gen::poisson2d(4);
+  auto config = small_config();
+  config.stride = 0;
+  EXPECT_THROW(
+      (void)experiment::run_injection_sweep(A, la::ones(16), config),
+      std::invalid_argument);
+}
+
+TEST(Sweep, DetectorWithoutBoundThrows) {
+  const auto A = gen::poisson2d(4);
+  auto config = small_config();
+  config.with_detector = true;
+  config.detector_bound = 0.0;
+  EXPECT_THROW(
+      (void)experiment::run_injection_sweep(A, la::ones(16), config),
+      std::invalid_argument);
+}
+
+TEST(Sweep, SmallFaultsBarelyPerturbConvergence) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.model = sdc::fault_classes::nearly_zero();
+  config.stride = 3;
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(sweep.failed_runs(), 0u);
+  EXPECT_LE(sweep.max_outer_increase(), 3u);
+}
+
+TEST(Sweep, DetectorCatchesAllFiredClass1Faults) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.model = sdc::fault_classes::very_large();
+  config.position = sdc::MgsPosition::Last; // diagonal coefficients: nonzero
+  config.with_detector = true;
+  config.detector_bound = A.frobenius_norm();
+  config.stride = 3;
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  for (const auto& p : sweep.points) {
+    if (p.injected) {
+      EXPECT_TRUE(p.detected) << "site " << p.aggregate_iteration;
+    }
+    EXPECT_TRUE(p.converged) << "site " << p.aggregate_iteration;
+  }
+  EXPECT_GT(sweep.detected_runs(), 0u);
+}
+
+TEST(Sweep, SummaryCountsAreConsistent) {
+  const auto A = gen::poisson2d(5);
+  const la::Vector b = la::ones(25);
+  auto config = small_config();
+  config.stride = 2;
+  const auto sweep = experiment::run_injection_sweep(A, b, config);
+  EXPECT_LE(sweep.unchanged_runs(), sweep.points.size());
+  EXPECT_LE(sweep.failed_runs(), sweep.points.size());
+  EXPECT_EQ(sweep.detected_runs(), 0u); // no detector attached
+}
+
+TEST(Report, Table1ContainsHeadersAndNames) {
+  const auto A = gen::poisson2d(5);
+  const auto report = experiment::characterize("poisson-5", A,
+                                               /*estimate_condition=*/false);
+  std::ostringstream out;
+  experiment::print_table1(out, {report});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("TABLE I"), std::string::npos);
+  EXPECT_NE(text.find("poisson-5"), std::string::npos);
+  EXPECT_NE(text.find("||A||_F"), std::string::npos);
+  EXPECT_NE(text.find("symmetric"), std::string::npos);
+}
+
+TEST(Report, CharacterizeMatchesMatrixFacts) {
+  const auto A = gen::poisson2d(5);
+  const auto report = experiment::characterize("p", A, false);
+  EXPECT_EQ(report.properties.rows, 25u);
+  EXPECT_TRUE(report.positive_definite);
+  EXPECT_NEAR(report.frobenius_norm, A.frobenius_norm(), 1e-12);
+  EXPECT_GT(report.two_norm_estimate, 0.0);
+  EXPECT_EQ(report.condition_estimate, 0.0); // skipped
+}
+
+TEST(Report, SweepCsvHasHeaderAndRows) {
+  const auto A = gen::poisson2d(4);
+  auto config = small_config();
+  config.stride = 5;
+  const auto sweep =
+      experiment::run_injection_sweep(A, la::ones(16), config);
+  std::ostringstream out;
+  experiment::write_sweep_csv(out, sweep);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("site,outer_iterations"), std::string::npos);
+  // header + one line per point
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, sweep.points.size() + 1);
+}
+
+TEST(Report, SeriesAndSummaryDoNotThrow) {
+  const auto A = gen::poisson2d(4);
+  auto config = small_config();
+  config.stride = 5;
+  const auto sweep =
+      experiment::run_injection_sweep(A, la::ones(16), config);
+  std::ostringstream out;
+  EXPECT_NO_THROW(experiment::print_sweep_series(out, "title", sweep, 5));
+  EXPECT_NO_THROW(experiment::print_sweep_summary(out, "title", sweep));
+  EXPECT_NE(out.str().find("failure-free outer iterations"),
+            std::string::npos);
+}

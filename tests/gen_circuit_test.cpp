@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/circuit.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/norms.hpp"
+
+namespace gen = sdcgmres::gen;
+namespace sparse = sdcgmres::sparse;
+
+namespace {
+
+gen::CircuitOptions small_options() {
+  gen::CircuitOptions opts;
+  opts.nodes = 500;
+  return opts;
+}
+
+} // namespace
+
+TEST(Circuit, DimensionsMatchOptions) {
+  auto opts = small_options();
+  const auto A = gen::circuit_like(opts);
+  EXPECT_EQ(A.rows(), opts.nodes);
+  EXPECT_EQ(A.cols(), opts.nodes);
+  EXPECT_GT(A.nnz(), 3u * opts.nodes); // ring + shortcuts stamped
+}
+
+TEST(Circuit, DeterministicForFixedSeed) {
+  const auto A = gen::circuit_like(small_options());
+  const auto B = gen::circuit_like(small_options());
+  ASSERT_EQ(A.nnz(), B.nnz());
+  for (std::size_t k = 0; k < A.values().size(); ++k) {
+    EXPECT_EQ(A.values()[k], B.values()[k]);
+  }
+}
+
+TEST(Circuit, DifferentSeedsGiveDifferentMatrices) {
+  auto opts = small_options();
+  const auto A = gen::circuit_like(opts);
+  opts.seed += 1;
+  const auto B = gen::circuit_like(opts);
+  bool any_difference = (A.nnz() != B.nnz());
+  if (!any_difference) {
+    for (std::size_t k = 0; k < A.values().size(); ++k) {
+      if (A.values()[k] != B.values()[k]) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Circuit, PatternIsNonsymmetric) {
+  // The one-sided VCCS stamps must break pattern symmetry (this is what
+  // makes the Arnoldi H genuinely upper Hessenberg, Fig. 2 right).
+  const auto A = gen::circuit_like(small_options());
+  EXPECT_FALSE(sparse::is_pattern_symmetric(A));
+  EXPECT_FALSE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(Circuit, FrobeniusNormCalibratedToTable1) {
+  const auto A = gen::circuit_like(small_options());
+  EXPECT_NEAR(A.frobenius_norm(), 42.4179, 1e-6);
+}
+
+TEST(Circuit, NormalizationCanBeDisabled) {
+  auto opts = small_options();
+  opts.target_frobenius_norm = 0.0;
+  const auto A = gen::circuit_like(opts);
+  EXPECT_GT(A.frobenius_norm(), 0.0);
+}
+
+TEST(Circuit, SeverelyIllConditioned) {
+  // Weak nodes spanning [1e-7, 1e-3] node scalings should produce a
+  // condition number of at least ~1e10 (the paper's matrix has 7.3e13).
+  auto opts = small_options();
+  const auto A = gen::circuit_like(opts);
+  const double sigma_max = sparse::estimate_two_norm(A).value;
+  // Upper bound on sigma_min: |A e_w| for a weak node's unit vector is at
+  // most the norm of that node's row/column entries.  Use the analysis
+  // helper indirectly: the diagonal contains g * s_w^2 entries.
+  double min_diag = 1e300;
+  const auto d = A.diagonal();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] != 0.0) min_diag = std::min(min_diag, std::abs(d[i]));
+  }
+  // sigma_min <= ||A e_i|| ~ column norm; the diagonal alone bounds the
+  // order of magnitude here.
+  EXPECT_GT(sigma_max / min_diag, 1e10);
+}
+
+TEST(Circuit, FullStructuralRank) {
+  const auto A = gen::circuit_like(small_options());
+  EXPECT_TRUE(sparse::has_nonempty_rows_and_cols(A));
+}
+
+TEST(Circuit, WeakNodeCountValidation) {
+  auto opts = small_options();
+  opts.weak_nodes = opts.nodes;
+  EXPECT_THROW((void)gen::circuit_like(opts), std::invalid_argument);
+}
+
+TEST(Circuit, TooFewNodesThrows) {
+  gen::CircuitOptions opts;
+  opts.nodes = 2;
+  EXPECT_THROW((void)gen::circuit_like(opts), std::invalid_argument);
+}
+
+TEST(Circuit, NoWeakNodesGivesModerateConditioning) {
+  auto opts = small_options();
+  opts.weak_nodes = 0;
+  const auto A = gen::circuit_like(opts);
+  const double cond = sparse::estimate_condition_number(A);
+  EXPECT_LT(cond, 1e6); // without weak nodes the network is benign
+}

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/convection_diffusion.hpp"
+#include "sparse/analysis.hpp"
+
+namespace gen = sdcgmres::gen;
+namespace sparse = sdcgmres::sparse;
+
+TEST(ConvectionDiffusion, ZeroConvectionRecoversSymmetry) {
+  const auto A = gen::convection_diffusion2d(6, 0.0, 0.0);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(ConvectionDiffusion, NonzeroConvectionBreaksSymmetry) {
+  const auto A = gen::convection_diffusion2d(6, 15.0, 5.0);
+  EXPECT_TRUE(sparse::is_pattern_symmetric(A));
+  EXPECT_FALSE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(ConvectionDiffusion, UpwindingKeepsDiagonalDominance) {
+  // First-order upwinding adds |c| to the diagonal; the matrix stays
+  // weakly diagonally dominant for any convection strength.
+  for (const double beta : {0.0, 10.0, 100.0, 1000.0}) {
+    const auto A = gen::convection_diffusion2d(8, beta, beta / 2);
+    EXPECT_TRUE(sparse::is_diagonally_dominant(A)) << "beta = " << beta;
+  }
+}
+
+TEST(ConvectionDiffusion, StencilOrientationFollowsSign) {
+  // Positive beta_x biases the west (upwind) coefficient.
+  const std::size_t n = 5;
+  const auto Apos = gen::convection_diffusion2d(n, 50.0, 0.0);
+  const auto Aneg = gen::convection_diffusion2d(n, -50.0, 0.0);
+  const std::size_t center = 2 * n + 2;
+  EXPECT_LT(Apos.at(center, center - 1), Aneg.at(center, center - 1));
+  EXPECT_GT(Apos.at(center, center + 1), Aneg.at(center, center + 1));
+}
+
+TEST(ConvectionDiffusion, SizeAndPattern) {
+  const auto A = gen::convection_diffusion2d(7, 1.0, 1.0);
+  EXPECT_EQ(A.rows(), 49u);
+  EXPECT_EQ(A.nnz(), 5u * 49u - 4u * 7u);
+}
+
+TEST(ConvectionDiffusion, ZeroSizeThrows) {
+  EXPECT_THROW((void)gen::convection_diffusion2d(0, 1.0, 1.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/poisson.hpp"
+#include "sparse/analysis.hpp"
+
+namespace gen = sdcgmres::gen;
+namespace sparse = sdcgmres::sparse;
+
+TEST(Poisson1d, Stencil) {
+  const auto A = gen::poisson1d(4);
+  EXPECT_EQ(A.rows(), 4u);
+  EXPECT_EQ(A.nnz(), 3u * 4u - 2u);
+  EXPECT_EQ(A.at(0, 0), 2.0);
+  EXPECT_EQ(A.at(0, 1), -1.0);
+  EXPECT_EQ(A.at(1, 0), -1.0);
+  EXPECT_EQ(A.at(0, 3), 0.0);
+}
+
+TEST(Poisson1d, ZeroSizeThrows) {
+  EXPECT_THROW((void)gen::poisson1d(0), std::invalid_argument);
+}
+
+TEST(Poisson2d, MatchesGalleryDimensions) {
+  // The paper's matrix: gallery('poisson', 100) -> 10,000 rows and
+  // 49,600 nonzeros (Table I).
+  const auto A = gen::poisson2d(100);
+  EXPECT_EQ(A.rows(), 10000u);
+  EXPECT_EQ(A.cols(), 10000u);
+  EXPECT_EQ(A.nnz(), 49600u);
+}
+
+TEST(Poisson2d, FrobeniusNormMatchesTable1) {
+  // Table I reports ||A||_F = 446 for the Poisson matrix.
+  const auto A = gen::poisson2d(100);
+  EXPECT_NEAR(A.frobenius_norm(), 446.0, 1.0);
+}
+
+TEST(Poisson2d, StencilValues) {
+  const auto A = gen::poisson2d(3);
+  EXPECT_EQ(A.at(4, 4), 4.0);  // center point
+  EXPECT_EQ(A.at(4, 3), -1.0); // west
+  EXPECT_EQ(A.at(4, 5), -1.0); // east
+  EXPECT_EQ(A.at(4, 1), -1.0); // south
+  EXPECT_EQ(A.at(4, 7), -1.0); // north
+  EXPECT_EQ(A.at(0, 8), 0.0);  // corner-to-corner: no coupling
+}
+
+TEST(Poisson2d, BoundaryRowsHaveFewerNeighbors) {
+  const auto A = gen::poisson2d(3);
+  EXPECT_EQ(A.row_cols(0).size(), 3u); // corner: self + 2 neighbors
+  EXPECT_EQ(A.row_cols(1).size(), 4u); // edge: self + 3 neighbors
+  EXPECT_EQ(A.row_cols(4).size(), 5u); // interior: self + 4 neighbors
+}
+
+TEST(Poisson2d, IsSpd) {
+  const auto A = gen::poisson2d(8);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A));
+  EXPECT_TRUE(sparse::probe_positive_definite(A));
+}
+
+TEST(Poisson3d, DimensionsAndStencil) {
+  const auto A = gen::poisson3d(4);
+  EXPECT_EQ(A.rows(), 64u);
+  EXPECT_EQ(A.at(21, 21), 6.0); // interior point of the 4x4x4 grid
+  EXPECT_EQ(A.row_cols(21).size(), 7u);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(Poisson3d, NonzeroCount) {
+  // nnz = 7n^3 - 6n^2 for the 7-point stencil on an n^3 grid.
+  const std::size_t n = 5;
+  const auto A = gen::poisson3d(n);
+  EXPECT_EQ(A.nnz(), 7u * n * n * n - 6u * n * n);
+}
+
+TEST(Anisotropic2d, ReducesToPoissonAtUnitCoefficients) {
+  const auto A = gen::anisotropic2d(6, 1.0, 1.0);
+  const auto B = gen::poisson2d(6);
+  EXPECT_EQ(A.nnz(), B.nnz());
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (const std::size_t j : A.row_cols(i)) {
+      EXPECT_EQ(A.at(i, j), B.at(i, j));
+    }
+  }
+}
+
+TEST(Anisotropic2d, AnisotropyShowsInStencil) {
+  const auto A = gen::anisotropic2d(3, 10.0, 1.0);
+  EXPECT_EQ(A.at(4, 4), 22.0); // 2*(10 + 1)
+  EXPECT_EQ(A.at(4, 3), -10.0);
+  EXPECT_EQ(A.at(4, 1), -1.0);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A));
+}

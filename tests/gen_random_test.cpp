@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/random_sparse.hpp"
+#include "sparse/analysis.hpp"
+
+namespace gen = sdcgmres::gen;
+namespace sparse = sdcgmres::sparse;
+
+TEST(RandomSparse, ShapeMatchesOptions) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 40;
+  opts.cols = 30;
+  const auto A = gen::random_sparse(opts);
+  EXPECT_EQ(A.rows(), 40u);
+  EXPECT_EQ(A.cols(), 30u);
+  EXPECT_GT(A.nnz(), 0u);
+}
+
+TEST(RandomSparse, Deterministic) {
+  gen::RandomSparseOptions opts;
+  const auto A = gen::random_sparse(opts);
+  const auto B = gen::random_sparse(opts);
+  ASSERT_EQ(A.nnz(), B.nnz());
+  for (std::size_t k = 0; k < A.values().size(); ++k) {
+    EXPECT_EQ(A.values()[k], B.values()[k]);
+  }
+}
+
+TEST(RandomSparse, DiagonalAlwaysStructurallyPresent) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 25;
+  opts.cols = 25;
+  const auto A = gen::random_sparse(opts);
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    const auto cols = A.row_cols(i);
+    bool has_diag = false;
+    for (const std::size_t j : cols) {
+      if (j == i) has_diag = true;
+    }
+    EXPECT_TRUE(has_diag) << "row " << i;
+  }
+}
+
+TEST(RandomSparse, SymmetricOptionProducesSymmetry) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 30;
+  opts.cols = 30;
+  opts.symmetric = true;
+  const auto A = gen::random_sparse(opts);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A, 1e-15));
+}
+
+TEST(RandomSparse, SymmetricRequiresSquare) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 4;
+  opts.cols = 5;
+  opts.symmetric = true;
+  EXPECT_THROW((void)gen::random_sparse(opts), std::invalid_argument);
+}
+
+TEST(RandomSparse, EmptyDimensionsThrow) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 0;
+  EXPECT_THROW((void)gen::random_sparse(opts), std::invalid_argument);
+}
+
+TEST(RandomDiagDominant, IsDiagonallyDominant) {
+  const auto A = gen::random_diag_dominant(60);
+  EXPECT_TRUE(sparse::is_diagonally_dominant(A));
+}
+
+TEST(RandomSpd, IsSymmetricAndPositiveDefinite) {
+  const auto A = gen::random_spd(60);
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A, 1e-15));
+  EXPECT_TRUE(sparse::probe_positive_definite(A));
+}
+
+TEST(RandomSpd, DifferentSeedsDiffer) {
+  const auto A = gen::random_spd(20, 1);
+  const auto B = gen::random_spd(20, 2);
+  bool differ = A.nnz() != B.nnz();
+  if (!differ) {
+    for (std::size_t k = 0; k < A.values().size(); ++k) {
+      if (A.values()[k] != B.values()[k]) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gen/circuit.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace sdc = sdcgmres::sdc;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+double explicit_residual(const sdcgmres::sparse::CsrMatrix& A,
+                         const la::Vector& b, const la::Vector& x) {
+  la::Vector r(A.rows());
+  A.spmv(x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  return la::nrm2(r);
+}
+
+krylov::FtGmresOptions paper_options() {
+  krylov::FtGmresOptions opts;
+  opts.inner.max_iters = 25;
+  opts.inner.tol = 0.0;
+  opts.outer.tol = 1e-8;
+  opts.outer.max_outer = 150;
+  return opts;
+}
+
+} // namespace
+
+/// End-to-end reproduction of the paper's headline claim: FT-GMRES "runs
+/// through" a single SDC of almost any magnitude in the orthogonalization
+/// phase and still returns the right answer, without rollback.
+TEST(Integration, RunsThroughAllThreeFaultClassesOnPoisson) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  const auto opts = paper_options();
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+
+  for (const auto model : {sdc::fault_classes::very_large(),
+                           sdc::fault_classes::slightly_smaller(),
+                           sdc::fault_classes::nearly_zero()}) {
+    for (const auto position :
+         {sdc::MgsPosition::First, sdc::MgsPosition::Last}) {
+      sdc::FaultCampaign campaign(
+          sdc::InjectionPlan::hessenberg(10, position, model));
+      const auto res = krylov::ft_gmres(A, b, opts, &campaign);
+      EXPECT_EQ(res.status, krylov::FgmresStatus::Converged)
+          << sdc::to_string(model);
+      EXPECT_TRUE(campaign.fired());
+      EXPECT_LE(explicit_residual(A, b, res.x), 1e-8 * la::nrm2(b) * 1.1)
+          << sdc::to_string(model);
+    }
+  }
+}
+
+TEST(Integration, FaultyRunStillProducesCorrectSolution) {
+  // Compare the faulty-run solution against the failure-free solution:
+  // both must solve A x = b to tolerance (the answers may differ slightly
+  // but both are *correct* in the residual sense).
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  const auto opts = paper_options();
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      3, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  const auto faulty = krylov::ft_gmres(A, b, opts, &campaign);
+  ASSERT_TRUE(campaign.fired());
+  ASSERT_EQ(faulty.status, krylov::FgmresStatus::Converged);
+  EXPECT_LE(explicit_residual(A, b, faulty.x), 1e-7);
+}
+
+TEST(Integration, DetectorAbortNeverHurtsConvergence) {
+  // With the detector aborting tainted inner solves, large faults cost at
+  // most a couple of extra outer iterations.
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  const auto opts = paper_options();
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  // Pick a site that is guaranteed to be reached (the middle of the run).
+  const std::size_t site = baseline.total_inner_iterations / 2;
+
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      site, sdc::MgsPosition::Last, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm(),
+                                        sdc::DetectorResponse::AbortSolve);
+  krylov::HookChain chain({&campaign, &detector});
+  const auto res = krylov::ft_gmres(A, b, opts, &chain);
+  ASSERT_EQ(res.status, krylov::FgmresStatus::Converged);
+  ASSERT_TRUE(campaign.fired());
+  EXPECT_TRUE(detector.triggered());
+  EXPECT_LE(res.outer_iterations, baseline.outer_iterations + 2);
+}
+
+TEST(Integration, NonsymmetricIllConditionedProblemConverges) {
+  gen::CircuitOptions copts;
+  copts.nodes = 400;
+  const auto A = gen::circuit_like(copts);
+  // b = A * ones: with kappa ~ 1e13 an arbitrary right-hand side would
+  // demand solution components of size ~1e13, beyond what double-precision
+  // residuals can certify to 1e-8; a consistent rhs with moderate solution
+  // keeps the experiment in the regime the paper ran in.
+  const la::Vector b = A.apply(la::ones(A.rows()));
+  auto opts = paper_options();
+  opts.outer.max_outer = 400;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged)
+      << "residual " << baseline.residual_norm;
+
+  // One fault in the middle of the run; the solver must still converge.
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      baseline.total_inner_iterations / 2, sdc::MgsPosition::First,
+      sdc::fault_classes::slightly_smaller()));
+  const auto faulty = krylov::ft_gmres(A, b, opts, &campaign);
+  EXPECT_TRUE(campaign.fired());
+  EXPECT_EQ(faulty.status, krylov::FgmresStatus::Converged);
+}
+
+TEST(Integration, NaNInjectionIsSurvivedViaSanitization) {
+  // Worst-case SDC: the coefficient becomes NaN, the inner solution is
+  // poisoned, and the reliable outer phase must filter it and recover.
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  const auto opts = paper_options();
+  sdc::InjectionPlan plan;
+  plan.aggregate_iteration = 5;
+  plan.model =
+      sdc::FaultModel::set_value(std::numeric_limits<double>::quiet_NaN());
+  sdc::FaultCampaign campaign(plan);
+  const auto res = krylov::ft_gmres(A, b, opts, &campaign);
+  ASSERT_TRUE(campaign.fired());
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_GE(res.sanitized_outputs, 1u);
+  EXPECT_LE(explicit_residual(A, b, res.x), 1e-7);
+}
+
+TEST(Integration, EveryInjectionSiteOnTinyProblemConverges) {
+  // Exhaustive miniature version of the paper's Fig. 3 protocol.
+  const auto A = gen::poisson2d(5);
+  const la::Vector b = la::ones(25);
+  krylov::FtGmresOptions opts;
+  opts.inner.max_iters = 5;
+  opts.outer.tol = 1e-8;
+  opts.outer.max_outer = 200;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+
+  std::size_t worst_increase = 0;
+  for (std::size_t site = 0; site < baseline.total_inner_iterations; ++site) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        site, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+    const auto res = krylov::ft_gmres(A, b, opts, &campaign);
+    ASSERT_EQ(res.status, krylov::FgmresStatus::Converged)
+        << "site " << site;
+    if (res.outer_iterations > baseline.outer_iterations) {
+      worst_increase = std::max(
+          worst_increase, res.outer_iterations - baseline.outer_iterations);
+    }
+  }
+  // "Run through": bounded damage everywhere, no failures.
+  EXPECT_LE(worst_increase, baseline.outer_iterations * 3);
+}

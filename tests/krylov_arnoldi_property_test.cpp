@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "gen/circuit.hpp"
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "gen/random_sparse.hpp"
+#include "krylov/arnoldi.hpp"
+#include "la/blas1.hpp"
+#include "sparse/norms.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+namespace sparse = sdcgmres::sparse;
+
+namespace {
+
+/// Named matrix factory so failures identify the family.
+struct MatrixCase {
+  std::string name;
+  sparse::CsrMatrix matrix;
+};
+
+
+/// Start vector exciting (generically) all eigenvectors; a constant vector
+/// spans a tiny invariant subspace on the Poisson grids.
+la::Vector generic_vector(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(1.7 * static_cast<double>(i) + 0.3) +
+           0.01 * static_cast<double>(i % 13);
+  }
+  return v;
+}
+
+MatrixCase make_case(const std::string& name) {
+  if (name == "poisson2d") return {name, gen::poisson2d(9)};
+  if (name == "poisson3d") return {name, gen::poisson3d(4)};
+  if (name == "anisotropic") return {name, gen::anisotropic2d(8, 25.0, 1.0)};
+  if (name == "convection") {
+    return {name, gen::convection_diffusion2d(8, 40.0, -10.0)};
+  }
+  if (name == "circuit") {
+    gen::CircuitOptions opts;
+    opts.nodes = 300;
+    return {name, gen::circuit_like(opts)};
+  }
+  if (name == "random_spd") return {name, gen::random_spd(80, 3)};
+  return {name, gen::random_diag_dominant(80, 5)};
+}
+
+using ParamT = std::tuple<std::string, krylov::Orthogonalization>;
+
+class ArnoldiProperty : public ::testing::TestWithParam<ParamT> {};
+
+} // namespace
+
+/// The paper's Eq. (3): every upper-Hessenberg entry obeys
+/// |h(i,j)| <= ||A||_2 <= ||A||_F -- for every matrix family and every
+/// orthogonalization variant.
+TEST_P(ArnoldiProperty, HessenbergEntriesObeyFrobeniusBound) {
+  const auto [name, ortho] = GetParam();
+  const auto [label, A] = make_case(name);
+  const krylov::CsrOperator op(A);
+  const double bound = A.frobenius_norm();
+
+  const auto res = krylov::arnoldi(op, generic_vector(A.rows()), 15, ortho);
+  for (std::size_t j = 0; j < res.steps; ++j) {
+    for (std::size_t i = 0; i <= j + 1; ++i) {
+      EXPECT_LE(std::abs(res.h(i, j)), bound * (1.0 + 1e-12))
+          << label << " h(" << i << "," << j << ")";
+    }
+  }
+}
+
+/// The tighter form of the invariant: |h(i,j)| <= ||A||_2 (estimated).
+TEST_P(ArnoldiProperty, HessenbergEntriesObeyTwoNormBound) {
+  const auto [name, ortho] = GetParam();
+  const auto [label, A] = make_case(name);
+  const krylov::CsrOperator op(A);
+  // Power iteration converges from below; pad by a small factor so the
+  // check cannot fail merely because the estimate is slightly low.
+  const double bound = sparse::estimate_two_norm(A, 500, 1e-12).value * 1.01;
+
+  const auto res = krylov::arnoldi(op, generic_vector(A.rows()), 15, ortho);
+  for (std::size_t j = 0; j < res.steps; ++j) {
+    for (std::size_t i = 0; i <= j + 1; ++i) {
+      EXPECT_LE(std::abs(res.h(i, j)), bound)
+          << label << " h(" << i << "," << j << ")";
+    }
+  }
+}
+
+/// Basis orthonormality must hold across families and orthogonalizers.
+TEST_P(ArnoldiProperty, BasisOrthonormal) {
+  const auto [name, ortho] = GetParam();
+  const auto [label, A] = make_case(name);
+  const krylov::CsrOperator op(A);
+  // 10 steps: past that the diagonally dominant families have nearly
+  // converged Krylov spaces (tiny subdiagonals), and MGS/CGS orthogonality
+  // degrades as O(eps / h_{j+1,j}) -- expected behaviour, not a defect.
+  const auto res = krylov::arnoldi(op, generic_vector(A.rows()), 10, ortho);
+  for (std::size_t a = 0; a < res.q.size(); ++a) {
+    for (std::size_t b = a; b < res.q.size(); ++b) {
+      const double target = (a == b) ? 1.0 : 0.0;
+      EXPECT_NEAR(la::dot(res.q[a], res.q[b]), target, 1e-6)
+          << label << " <q" << a << ", q" << b << ">";
+    }
+  }
+}
+
+/// The Arnoldi relation A Q_k = Q_{k+1} H_k holds for every variant.
+TEST_P(ArnoldiProperty, HessenbergRelation) {
+  const auto [name, ortho] = GetParam();
+  const auto [label, A] = make_case(name);
+  const krylov::CsrOperator op(A);
+  const auto res = krylov::arnoldi(op, generic_vector(A.rows()), 12, ortho);
+  const double scale = A.frobenius_norm();
+  for (std::size_t j = 0; j < res.steps; ++j) {
+    la::Vector aq(A.rows());
+    op.apply(res.q[j], aq);
+    for (std::size_t i = 0; i <= j + 1 && i < res.q.size(); ++i) {
+      la::axpy(-res.h(i, j), res.q[i], aq);
+    }
+    EXPECT_LE(la::nrm2(aq), 1e-10 * scale) << label << " column " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAndOrthogonalizers, ArnoldiProperty,
+    ::testing::Combine(
+        ::testing::Values("poisson2d", "poisson3d", "anisotropic",
+                          "convection", "circuit", "random_spd",
+                          "random_nonsym"),
+        ::testing::Values(krylov::Orthogonalization::MGS,
+                          krylov::Orthogonalization::CGS,
+                          krylov::Orthogonalization::CGS2)),
+    [](const ::testing::TestParamInfo<ParamT>& info) {
+      return std::get<0>(info.param) + "_" +
+             krylov::to_string(std::get<1>(info.param));
+    });

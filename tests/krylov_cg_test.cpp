@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/poisson.hpp"
+#include "gen/random_sparse.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+double explicit_residual(const sdcgmres::sparse::CsrMatrix& A,
+                         const la::Vector& b, const la::Vector& x) {
+  la::Vector r(A.rows());
+  A.spmv(x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  return la::nrm2(r);
+}
+
+} // namespace
+
+TEST(Cg, SolvesPoisson) {
+  const auto A = gen::poisson2d(12);
+  const la::Vector b = la::ones(A.rows());
+  krylov::CgOptions opts;
+  opts.tol = 1e-10;
+  const auto res = krylov::cg(A, b, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(res.indefinite);
+  EXPECT_LE(explicit_residual(A, b, res.x), 1e-8);
+}
+
+TEST(Cg, AgreesWithGmresOnSpdSystem) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::CgOptions copts;
+  copts.tol = 1e-12;
+  const auto rc = krylov::cg(A, b, copts);
+  krylov::GmresOptions gopts;
+  gopts.max_iters = 300;
+  gopts.tol = 1e-12;
+  const auto rg = krylov::gmres(A, b, gopts);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_EQ(rg.status, krylov::SolveStatus::Converged);
+  la::Vector diff = rc.x;
+  la::axpy(-1.0, rg.x, diff);
+  EXPECT_LE(la::nrm2(diff), 1e-8 * la::nrm2(rc.x));
+}
+
+TEST(Cg, JacobiPreconditioningReducesIterations) {
+  // Anisotropic Laplacian: badly scaled; Jacobi helps.
+  const auto A = gen::anisotropic2d(16, 100.0, 1.0);
+  const la::Vector b = la::ones(A.rows());
+  krylov::CgOptions plain;
+  plain.tol = 1e-10;
+  plain.max_iters = 5000;
+  const auto res_plain = krylov::cg(A, b, plain);
+
+  const krylov::JacobiPreconditioner jacobi(A);
+  krylov::CgOptions pre = plain;
+  pre.precond = &jacobi;
+  const auto res_pre = krylov::cg(A, b, pre);
+
+  ASSERT_TRUE(res_plain.converged);
+  ASSERT_TRUE(res_pre.converged);
+  EXPECT_LE(res_pre.iterations, res_plain.iterations);
+}
+
+TEST(Cg, DetectsIndefiniteMatrix) {
+  // -Laplacian is negative definite: p^T A p < 0 on the first iteration.
+  const auto A = gen::poisson2d(6).scaled(-1.0);
+  const auto res = krylov::cg(A, la::ones(36), krylov::CgOptions{});
+  EXPECT_TRUE(res.indefinite);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Cg, ExactInitialGuessConvergesWithoutIterating) {
+  const auto A = gen::poisson2d(5);
+  const la::Vector x_true = la::ones(25);
+  const la::Vector b = A.apply(x_true);
+  const krylov::CsrOperator op(A);
+  const auto res = krylov::cg(op, b, x_true, krylov::CgOptions{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Cg, KrylovOptimalityFiniteTermination) {
+  // CG on an n-dimensional SPD system terminates in at most n iterations
+  // (exact arithmetic); allow a tiny slack for rounding.
+  const auto A = gen::random_spd(30, 21);
+  const la::Vector b = la::ones(30);
+  krylov::CgOptions opts;
+  opts.tol = 1e-10;
+  opts.max_iters = 40;
+  const auto res = krylov::cg(A, b, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 35u);
+}
+
+TEST(Cg, InvalidArgumentsThrow) {
+  const auto A = gen::poisson1d(4);
+  const krylov::CsrOperator op(A);
+  EXPECT_THROW((void)krylov::cg(op, la::ones(5), la::zeros(4),
+                                krylov::CgOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Cg, ResidualHistoryRecorded) {
+  const auto A = gen::poisson2d(6);
+  krylov::CgOptions opts;
+  opts.tol = 1e-8;
+  const auto res = krylov::cg(A, la::ones(36), opts);
+  EXPECT_EQ(res.residual_history.size(), res.iterations);
+}

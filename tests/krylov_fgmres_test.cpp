@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/fgmres.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// Flexible preconditioner that alternates between Jacobi-like scaling and
+/// identity -- a legitimate "changing preconditioner" workload for FGMRES.
+class AlternatingPreconditioner final : public krylov::FlexiblePreconditioner {
+public:
+  explicit AlternatingPreconditioner(const la::Vector& inv_diag)
+      : inv_diag_(inv_diag) {}
+  void apply(const la::Vector& q, std::size_t outer_index,
+             la::Vector& z) override {
+    if (outer_index % 2 == 0) {
+      la::hadamard(q, inv_diag_, z);
+    } else {
+      la::copy(q, z);
+    }
+  }
+
+private:
+  la::Vector inv_diag_;
+};
+
+/// Guest that returns NaN-poisoned output on one chosen invocation.
+class PoisonedPreconditioner final : public krylov::FlexiblePreconditioner {
+public:
+  explicit PoisonedPreconditioner(std::size_t poisoned_call)
+      : poisoned_(poisoned_call) {}
+  void apply(const la::Vector& q, std::size_t outer_index,
+             la::Vector& z) override {
+    la::copy(q, z);
+    if (outer_index == poisoned_) {
+      z[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+private:
+  std::size_t poisoned_;
+};
+
+double explicit_residual(const sdcgmres::sparse::CsrMatrix& A,
+                         const la::Vector& b, const la::Vector& x) {
+  la::Vector r(A.rows());
+  A.spmv(x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  return la::nrm2(r);
+}
+
+} // namespace
+
+TEST(Fgmres, IdentityPreconditionerMatchesGmres) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(A.rows());
+  const krylov::CsrOperator op(A);
+
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  krylov::FgmresOptions opts;
+  opts.max_outer = 200;
+  opts.tol = 1e-10;
+  const auto flex = krylov::fgmres(op, b, la::zeros(64), opts, M);
+
+  krylov::GmresOptions gopts;
+  gopts.max_iters = 200;
+  gopts.tol = 1e-10;
+  const auto plain = krylov::gmres(A, b, gopts);
+
+  ASSERT_EQ(flex.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(plain.status, krylov::SolveStatus::Converged);
+  // With M = I, FGMRES *is* GMRES: same iteration counts.
+  EXPECT_EQ(flex.outer_iterations, plain.iterations);
+}
+
+TEST(Fgmres, ConvergesWithChangingPreconditioner) {
+  const auto A = gen::convection_diffusion2d(9, 10.0, 5.0);
+  const la::Vector b = la::ones(A.rows());
+  const krylov::CsrOperator op(A);
+  la::Vector inv_diag = A.diagonal();
+  for (std::size_t i = 0; i < inv_diag.size(); ++i) {
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+  AlternatingPreconditioner M(inv_diag);
+  krylov::FgmresOptions opts;
+  opts.max_outer = 150;
+  opts.tol = 1e-10;
+  const auto res = krylov::fgmres(op, b, la::zeros(81), opts, M);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_LE(explicit_residual(A, b, res.x), 1e-8);
+}
+
+TEST(Fgmres, ExplicitResidualIsReportedAtExit) {
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(49);
+  const krylov::CsrOperator op(A);
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  krylov::FgmresOptions opts;
+  opts.tol = 1e-9;
+  const auto res = krylov::fgmres(op, b, la::zeros(49), opts, M);
+  EXPECT_NEAR(res.residual_norm, explicit_residual(A, b, res.x),
+              1e-12 * la::nrm2(b));
+}
+
+TEST(Fgmres, SanitizesNonFinitePreconditionerOutput) {
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(49);
+  const krylov::CsrOperator op(A);
+  PoisonedPreconditioner M(2); // third outer iteration returns NaN
+  krylov::FgmresOptions opts;
+  opts.max_outer = 120;
+  opts.tol = 1e-9;
+  const auto res = krylov::fgmres(op, b, la::zeros(49), opts, M);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.sanitized_outputs, 1u);
+  EXPECT_LE(explicit_residual(A, b, res.x), 1e-7);
+}
+
+TEST(Fgmres, SanitizationCanBeDisabled) {
+  const auto A = gen::poisson2d(5);
+  const la::Vector b = la::ones(25);
+  const krylov::CsrOperator op(A);
+  PoisonedPreconditioner M(0);
+  krylov::FgmresOptions opts;
+  opts.sanitize_preconditioner_output = false;
+  opts.max_outer = 10;
+  const auto res = krylov::fgmres(op, b, la::zeros(25), opts, M);
+  // NaN floods the iteration; the solver must not claim convergence.
+  EXPECT_NE(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.sanitized_outputs, 0u);
+}
+
+TEST(Fgmres, DegenerateGuestDirectionIsRetriedWithIdentity) {
+  // A guest returning a ~zero (but nonzero, finite) vector creates a
+  // numerically rank-deficient Hessenberg column.  The reliable phase
+  // must discard it and retry with the identity preconditioner rather
+  // than declaring rank deficiency (this is how FT-GMRES runs through a
+  // fault whose truncated projected solve degenerates the inner update).
+  class TinyGuest final : public krylov::FlexiblePreconditioner {
+  public:
+    void apply(const la::Vector& q, std::size_t outer_index,
+               la::Vector& z) override {
+      la::copy(q, z);
+      if (outer_index == 1) la::scal(1e-150, z);
+    }
+  };
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  TinyGuest M;
+  krylov::FgmresOptions opts;
+  opts.max_outer = 120;
+  opts.tol = 1e-8;
+  const auto res = krylov::fgmres(op, la::ones(36), la::zeros(36), opts, M);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_GE(res.sanitized_outputs, 1u);
+}
+
+TEST(Fgmres, DegenerateDirectionIsLoudFailureWhenSanitizationOff) {
+  class TinyGuest final : public krylov::FlexiblePreconditioner {
+  public:
+    void apply(const la::Vector& q, std::size_t outer_index,
+               la::Vector& z) override {
+      la::copy(q, z);
+      if (outer_index == 1) la::scal(1e-150, z);
+    }
+  };
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  TinyGuest M;
+  krylov::FgmresOptions opts;
+  opts.max_outer = 20;
+  opts.tol = 1e-8;
+  opts.sanitize_preconditioner_output = false;
+  const auto res = krylov::fgmres(op, la::ones(36), la::zeros(36), opts, M);
+  // Trichotomy: never a silent wrong answer -- the degenerate basis is
+  // reported loudly.
+  EXPECT_EQ(res.status, krylov::FgmresStatus::RankDeficient);
+}
+
+TEST(Fgmres, ZeroInitialResidualReturnsImmediately) {
+  const auto A = gen::poisson2d(5);
+  const la::Vector x_true = la::ones(25);
+  const la::Vector b = A.apply(x_true);
+  const krylov::CsrOperator op(A);
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  const auto res = krylov::fgmres(op, b, x_true, krylov::FgmresOptions{}, M);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.outer_iterations, 0u);
+}
+
+TEST(Fgmres, TracksRankChecks) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  krylov::FgmresOptions opts;
+  opts.tol = 1e-8;
+  opts.rank_check_every_iteration = true;
+  const auto res = krylov::fgmres(op, la::ones(36), la::zeros(36), opts, M);
+  EXPECT_EQ(res.rank_checks, res.outer_iterations);
+  EXPECT_GT(res.min_sigma_ratio, 0.0);
+  EXPECT_LE(res.min_sigma_ratio, 1.0);
+}
+
+TEST(Fgmres, MaxIterationsReportedWhenBudgetTooSmall) {
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  krylov::FgmresOptions opts;
+  opts.max_outer = 3;
+  opts.tol = 1e-12;
+  const auto res = krylov::fgmres(op, la::ones(100), la::zeros(100), opts, M);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::MaxIterations);
+  EXPECT_EQ(res.outer_iterations, 3u);
+  // Even without convergence the best iterate is returned.
+  EXPECT_LT(res.residual_norm, la::nrm2(la::ones(100)));
+}
+
+TEST(Fgmres, InvalidArgumentsThrow) {
+  const auto A = gen::poisson1d(4);
+  const krylov::CsrOperator op(A);
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  krylov::FgmresOptions opts;
+  EXPECT_THROW(
+      (void)krylov::fgmres(op, la::ones(5), la::zeros(4), opts, M),
+      std::invalid_argument);
+  opts.max_outer = 0;
+  EXPECT_THROW(
+      (void)krylov::fgmres(op, la::ones(4), la::zeros(4), opts, M),
+      std::invalid_argument);
+}
+
+TEST(Fgmres, StatusNamesAreStable) {
+  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::Converged),
+               "converged");
+  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::InvariantSubspace),
+               "invariant-subspace");
+  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::RankDeficient),
+               "rank-deficient");
+  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::MaxIterations),
+               "max-iterations");
+}

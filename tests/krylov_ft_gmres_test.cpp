@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/injection.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace sdc = sdcgmres::sdc;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+double explicit_residual(const sdcgmres::sparse::CsrMatrix& A,
+                         const la::Vector& b, const la::Vector& x) {
+  la::Vector r(A.rows());
+  A.spmv(x, r);
+  la::waxpby(1.0, b, -1.0, r, r);
+  return la::nrm2(r);
+}
+
+} // namespace
+
+TEST(FtGmres, DefaultOptionsMatchPaperInnerSolve) {
+  const krylov::FtGmresOptions opts;
+  EXPECT_EQ(opts.inner.max_iters, 25u);
+  EXPECT_EQ(opts.inner.tol, 0.0);
+}
+
+TEST(FtGmres, SolvesPoissonFailureFree) {
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(A.rows());
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  const auto res = krylov::ft_gmres(A, b, opts);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_LE(explicit_residual(A, b, res.x), 1e-8 * la::nrm2(b) * 1.01);
+}
+
+TEST(FtGmres, SolvesNonsymmetricFailureFree) {
+  const auto A = gen::convection_diffusion2d(9, 25.0, -10.0);
+  const la::Vector b = la::ones(A.rows());
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  const auto res = krylov::ft_gmres(A, b, opts);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+}
+
+TEST(FtGmres, InnerSolveBookkeepingIsConsistent) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::FtGmresOptions opts;
+  opts.inner.max_iters = 10;
+  const auto res = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(res.inner_solves.size(), res.outer_iterations);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < res.inner_solves.size(); ++j) {
+    EXPECT_EQ(res.inner_solves[j].outer_index, j);
+    EXPECT_EQ(res.inner_solves[j].iterations, 10u);
+    total += res.inner_solves[j].iterations;
+  }
+  EXPECT_EQ(res.total_inner_iterations, total);
+}
+
+TEST(FtGmres, FewerOuterIterationsThanUnpreconditionedGmres) {
+  // The inner solve is a powerful preconditioner: the outer count must be
+  // far below plain GMRES's iteration count.
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(100);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  const auto nested = krylov::ft_gmres(A, b, opts);
+
+  krylov::GmresOptions plain;
+  plain.max_iters = 500;
+  plain.tol = 1e-8;
+  const auto flat = krylov::gmres(A, b, plain);
+
+  ASSERT_EQ(nested.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(flat.status, krylov::SolveStatus::Converged);
+  EXPECT_LT(nested.outer_iterations, flat.iterations / 2);
+}
+
+TEST(FtGmres, LongerInnerSolvesReduceOuterIterations) {
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(100);
+  krylov::FtGmresOptions weak;
+  weak.inner.max_iters = 5;
+  krylov::FtGmresOptions strong;
+  strong.inner.max_iters = 40;
+  const auto res_weak = krylov::ft_gmres(A, b, weak);
+  const auto res_strong = krylov::ft_gmres(A, b, strong);
+  ASSERT_EQ(res_weak.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(res_strong.status, krylov::FgmresStatus::Converged);
+  EXPECT_LT(res_strong.outer_iterations, res_weak.outer_iterations);
+}
+
+TEST(FtGmres, HookObservesEveryInnerIteration) {
+  class CountingHook final : public krylov::ArnoldiHook {
+  public:
+    std::size_t solves = 0;
+    std::size_t iterations = 0;
+    void on_solve_begin(std::size_t) override { ++solves; }
+    void on_iteration_begin(const krylov::ArnoldiContext&) override {
+      ++iterations;
+    }
+  };
+  const auto A = gen::poisson2d(8);
+  krylov::FtGmresOptions opts;
+  opts.inner.max_iters = 7;
+  CountingHook hook;
+  const auto res = krylov::ft_gmres(A, la::ones(64), opts, &hook);
+  EXPECT_EQ(hook.solves, res.outer_iterations);
+  EXPECT_EQ(hook.iterations, res.total_inner_iterations);
+}
+
+TEST(FtGmres, RobustFirstInnerHealsModerateFaultInFirstSolve) {
+  // Section VII-E-1 implemented: CGS2 in the first inner solve restores
+  // the correct total coefficient after a single moderate multiplicative
+  // fault, so the faulty run matches the failure-free outer count.
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.robust_first_inner = true;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+
+  for (std::size_t site : {0u, 3u, 11u, 24u}) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        site, sdc::MgsPosition::First,
+        sdc::fault_classes::slightly_smaller()));
+    const auto res = krylov::ft_gmres(A, b, opts, &campaign);
+    ASSERT_TRUE(campaign.fired());
+    EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+    EXPECT_EQ(res.outer_iterations, baseline.outer_iterations)
+        << "site " << site;
+  }
+}
+
+TEST(FtGmres, OperatorOverloadAgreesWithCsrOverload) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  krylov::FtGmresOptions opts;
+  const auto r1 = krylov::ft_gmres(A, la::ones(36), opts);
+  const auto r2 = krylov::ft_gmres(op, la::ones(36), opts);
+  EXPECT_EQ(r1.outer_iterations, r2.outer_iterations);
+  EXPECT_EQ(r1.status, r2.status);
+}

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "krylov/hooks.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// Records the order of events and optionally mutates/aborts.
+class TraceHook final : public krylov::ArnoldiHook {
+public:
+  explicit TraceHook(std::string tag, std::vector<std::string>* trace)
+      : tag_(std::move(tag)), trace_(trace) {}
+
+  double add_on_coefficient = 0.0;
+  bool abort = false;
+
+  void on_solve_begin(std::size_t solve_index) override {
+    trace_->push_back(tag_ + ":solve" + std::to_string(solve_index));
+  }
+  void on_iteration_begin(const krylov::ArnoldiContext& ctx) override {
+    trace_->push_back(tag_ + ":iter" + std::to_string(ctx.iteration));
+  }
+  void on_matvec_result(const krylov::ArnoldiContext&,
+                        la::Vector& v) override {
+    trace_->push_back(tag_ + ":matvec");
+    (void)v;
+  }
+  void on_projection_coefficient(const krylov::ArnoldiContext&, std::size_t i,
+                                 std::size_t, double& h) override {
+    trace_->push_back(tag_ + ":h" + std::to_string(i));
+    h += add_on_coefficient;
+  }
+  void on_subdiagonal(const krylov::ArnoldiContext&, double& h) override {
+    trace_->push_back(tag_ + ":sub");
+    (void)h;
+  }
+  [[nodiscard]] bool abort_requested() const override { return abort; }
+
+private:
+  std::string tag_;
+  std::vector<std::string>* trace_;
+};
+
+} // namespace
+
+TEST(HookChain, ForwardsEventsInOrder) {
+  std::vector<std::string> trace;
+  TraceHook a("a", &trace);
+  TraceHook b("b", &trace);
+  krylov::HookChain chain({&a, &b});
+
+  chain.on_solve_begin(0);
+  krylov::ArnoldiContext ctx{.solve_index = 0, .iteration = 2};
+  chain.on_iteration_begin(ctx);
+  double h = 1.0;
+  chain.on_projection_coefficient(ctx, 0, 1, h);
+  chain.on_subdiagonal(ctx, h);
+
+  const std::vector<std::string> expected = {
+      "a:solve0", "b:solve0", "a:iter2", "b:iter2",
+      "a:h0",     "b:h0",     "a:sub",   "b:sub",
+  };
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(HookChain, MutationsComposeLeftToRight) {
+  // Chain [inject, detect] semantics rely on the left hook's mutation
+  // being visible to the right hook.
+  std::vector<std::string> trace;
+  TraceHook injector("i", &trace);
+  injector.add_on_coefficient = 10.0;
+
+  class Checker final : public krylov::ArnoldiHook {
+  public:
+    double seen = 0.0;
+    void on_projection_coefficient(const krylov::ArnoldiContext&, std::size_t,
+                                   std::size_t, double& h) override {
+      seen = h;
+    }
+  } checker;
+
+  krylov::HookChain chain;
+  chain.add(&injector);
+  chain.add(&checker);
+  double h = 1.0;
+  chain.on_projection_coefficient({}, 0, 1, h);
+  EXPECT_EQ(h, 11.0);
+  EXPECT_EQ(checker.seen, 11.0); // checker saw the corrupted value
+}
+
+TEST(HookChain, AbortPropagatesFromAnyChild) {
+  std::vector<std::string> trace;
+  TraceHook a("a", &trace);
+  TraceHook b("b", &trace);
+  krylov::HookChain chain({&a, &b});
+  EXPECT_FALSE(chain.abort_requested());
+  b.abort = true;
+  EXPECT_TRUE(chain.abort_requested());
+  b.abort = false;
+  a.abort = true;
+  EXPECT_TRUE(chain.abort_requested());
+}
+
+TEST(HookChain, EmptyChainIsInert) {
+  krylov::HookChain chain;
+  double h = 5.0;
+  chain.on_projection_coefficient({}, 0, 1, h);
+  la::Vector v{1.0};
+  chain.on_matvec_result({}, v);
+  EXPECT_EQ(h, 5.0);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_FALSE(chain.abort_requested());
+}
+
+TEST(ArnoldiHook, DefaultImplementationsAreNoOps) {
+  class Minimal final : public krylov::ArnoldiHook {
+  } hook;
+  double h = 3.0;
+  hook.on_solve_begin(0);
+  hook.on_iteration_begin({});
+  hook.on_projection_coefficient({}, 0, 1, h);
+  hook.on_subdiagonal({}, h);
+  la::Vector v{2.0};
+  hook.on_matvec_result({}, v);
+  EXPECT_EQ(h, 3.0);
+  EXPECT_EQ(v[0], 2.0);
+  EXPECT_FALSE(hook.abort_requested());
+}

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "krylov/orthogonalize.hpp"
+#include "la/blas1.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// Records every coefficient the hook sees; can also corrupt one of them.
+class RecordingHook final : public krylov::ArnoldiHook {
+public:
+  struct Seen {
+    std::size_t i;
+    std::size_t mgs_steps;
+    double value;
+  };
+  std::vector<Seen> seen;
+  std::size_t corrupt_index = SIZE_MAX; ///< i to corrupt (if seen)
+  double corrupt_factor = 1.0;
+
+  void on_projection_coefficient(const krylov::ArnoldiContext&, std::size_t i,
+                                 std::size_t mgs_steps, double& h) override {
+    seen.push_back({i, mgs_steps, h});
+    if (i == corrupt_index) h *= corrupt_factor;
+  }
+};
+
+std::vector<la::Vector> standard_basis(std::size_t n, std::size_t k) {
+  std::vector<la::Vector> q;
+  for (std::size_t i = 0; i < k; ++i) q.push_back(la::unit(n, i));
+  return q;
+}
+
+} // namespace
+
+TEST(Orthogonalize, NamesAreStable) {
+  EXPECT_STREQ(krylov::to_string(krylov::Orthogonalization::MGS), "mgs");
+  EXPECT_STREQ(krylov::to_string(krylov::Orthogonalization::CGS), "cgs");
+  EXPECT_STREQ(krylov::to_string(krylov::Orthogonalization::CGS2), "cgs2");
+}
+
+TEST(Orthogonalize, MgsAgainstStandardBasisExtractsCoefficients) {
+  const auto q = standard_basis(4, 2);
+  la::Vector v{3.0, -2.0, 5.0, 1.0};
+  std::vector<double> h(2, 0.0);
+  krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 2, v, h, nullptr,
+                        {});
+  EXPECT_DOUBLE_EQ(h[0], 3.0);
+  EXPECT_DOUBLE_EQ(h[1], -2.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(Orthogonalize, AllVariantsProduceOrthogonalResult) {
+  // Non-orthogonal input direction vs an orthonormal basis: v must come
+  // out orthogonal to every basis vector for each variant.
+  const std::size_t n = 20;
+  std::vector<la::Vector> q;
+  // Build a small orthonormal basis by Gram-Schmidt on fixed vectors.
+  q.push_back(la::Vector(n));
+  for (std::size_t i = 0; i < n; ++i) q[0][i] = 1.0;
+  la::scal(1.0 / la::nrm2(q[0]), q[0]);
+  q.push_back(la::Vector(n));
+  for (std::size_t i = 0; i < n; ++i) q[1][i] = static_cast<double>(i);
+  const double proj = la::dot(q[0], q[1]);
+  la::axpy(-proj, q[0], q[1]);
+  la::scal(1.0 / la::nrm2(q[1]), q[1]);
+
+  for (const auto kind :
+       {krylov::Orthogonalization::MGS, krylov::Orthogonalization::CGS,
+        krylov::Orthogonalization::CGS2}) {
+    la::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = std::sin(static_cast<double>(i) + 1.0);
+    }
+    std::vector<double> h(2, 0.0);
+    krylov::orthogonalize(kind, q, 2, v, h, nullptr, {});
+    EXPECT_NEAR(la::dot(q[0], v), 0.0, 1e-12) << krylov::to_string(kind);
+    EXPECT_NEAR(la::dot(q[1], v), 0.0, 1e-12) << krylov::to_string(kind);
+  }
+}
+
+TEST(Orthogonalize, HookSeesEveryFirstPassCoefficient) {
+  const auto q = standard_basis(5, 3);
+  la::Vector v{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> h(3, 0.0);
+  RecordingHook hook;
+  krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 3, v, h, &hook, {});
+  ASSERT_EQ(hook.seen.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hook.seen[i].i, i);
+    EXPECT_EQ(hook.seen[i].mgs_steps, 3u);
+  }
+}
+
+TEST(Orthogonalize, HookMutationIsAppliedMgs) {
+  // Corrupting h[0] in MGS must taint the vector update: v keeps a
+  // component along q_0 proportional to the (un)removed amount.
+  const auto q = standard_basis(3, 2);
+  la::Vector v{4.0, 2.0, 1.0};
+  std::vector<double> h(2, 0.0);
+  RecordingHook hook;
+  hook.corrupt_index = 0;
+  hook.corrupt_factor = 0.5; // removes half of the q_0 component
+  krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 2, v, h, &hook, {});
+  EXPECT_DOUBLE_EQ(h[0], 2.0); // the stored (faulty) coefficient
+  EXPECT_DOUBLE_EQ(v[0], 2.0); // residual q_0 component not removed
+}
+
+TEST(Orthogonalize, Cgs2SecondPassRepairsCorruption) {
+  // With CGS2, a fault in the first pass is (mostly) corrected by the
+  // silent second pass -- the final v is orthogonal even though h is
+  // tainted.  This distinguishes the variants' fault sensitivity.
+  const auto q = standard_basis(3, 2);
+  la::Vector v{4.0, 2.0, 1.0};
+  std::vector<double> h(2, 0.0);
+  RecordingHook hook;
+  hook.corrupt_index = 0;
+  hook.corrupt_factor = 0.5;
+  krylov::orthogonalize(krylov::Orthogonalization::CGS2, q, 2, v, h, &hook,
+                        {});
+  EXPECT_NEAR(v[0], 0.0, 1e-14); // repaired
+  EXPECT_DOUBLE_EQ(h[0], 4.0);   // total removed ends up correct: 2 + 2
+}
+
+TEST(Orthogonalize, MgsTaintPropagatesToLaterCoefficients) {
+  // The paper's worst case: corrupting the *first* MGS coefficient changes
+  // the vector that later dot products see.  Use a non-orthogonal pair of
+  // basis directions... they must be orthonormal for the invariant, so
+  // instead check on a basis where q_1 overlaps the q_0 direction removed:
+  // q_0 = e_0, q_1 = (e_0 + e_1)/sqrt(2).
+  std::vector<la::Vector> q;
+  q.push_back(la::unit(3, 0));
+  la::Vector q1{1.0, 1.0, 0.0};
+  la::scal(1.0 / la::nrm2(q1), q1);
+  q.push_back(q1);
+
+  la::Vector v{2.0, 2.0, 0.0};
+  std::vector<double> h_clean(2, 0.0);
+  {
+    la::Vector vc = v;
+    krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 2, vc, h_clean,
+                          nullptr, {});
+  }
+  std::vector<double> h_faulty(2, 0.0);
+  RecordingHook hook;
+  hook.corrupt_index = 0;
+  hook.corrupt_factor = 100.0;
+  la::Vector vf = v;
+  krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 2, vf, h_faulty,
+                        &hook, {});
+  EXPECT_NE(h_faulty[1], h_clean[1]); // taint reached the second step
+}
+
+TEST(Orthogonalize, SpanSizeValidation) {
+  const auto q = standard_basis(3, 2);
+  la::Vector v(3);
+  std::vector<double> h(1, 0.0); // too small for k = 2
+  EXPECT_THROW(krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 2, v,
+                                     h, nullptr, {}),
+               std::invalid_argument);
+}
+
+TEST(Orthogonalize, CgsAndMgsAgreeOnOrthonormalBasis) {
+  // Against an exactly orthonormal basis, CGS and MGS compute identical
+  // coefficients in exact arithmetic.
+  const auto q = standard_basis(6, 4);
+  la::Vector v{1.0, -2.0, 3.0, -4.0, 5.0, -6.0};
+  std::vector<double> h_mgs(4, 0.0), h_cgs(4, 0.0);
+  la::Vector v1 = v, v2 = v;
+  krylov::orthogonalize(krylov::Orthogonalization::MGS, q, 4, v1, h_mgs,
+                        nullptr, {});
+  krylov::orthogonalize(krylov::Orthogonalization::CGS, q, 4, v2, h_cgs,
+                        nullptr, {});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(h_mgs[i], h_cgs[i]);
+  }
+}

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/poisson.hpp"
+#include "krylov/precond.hpp"
+#include "la/blas1.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+TEST(IdentityPreconditioner, CopiesInput) {
+  krylov::IdentityPreconditioner M;
+  const la::Vector r{1.0, -2.0, 3.0};
+  la::Vector z;
+  M.apply(r, z);
+  EXPECT_EQ(z, r);
+}
+
+TEST(JacobiPreconditioner, InvertsDiagonal) {
+  sdcgmres::sparse::CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 4.0);
+  coo.add(2, 2, 0.5);
+  coo.add(0, 1, 7.0); // off-diagonal ignored by Jacobi
+  const sdcgmres::sparse::CsrMatrix A{std::move(coo)};
+  const krylov::JacobiPreconditioner M(A);
+  la::Vector z;
+  M.apply(la::Vector{2.0, 4.0, 1.0}, z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 1.0);
+  EXPECT_DOUBLE_EQ(z[2], 2.0);
+}
+
+TEST(JacobiPreconditioner, RejectsZeroDiagonal) {
+  sdcgmres::sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0); // row 1 has no diagonal entry
+  const sdcgmres::sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_THROW(krylov::JacobiPreconditioner{A}, std::invalid_argument);
+}
+
+TEST(JacobiPreconditioner, RejectsRectangular) {
+  sdcgmres::sparse::CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  const sdcgmres::sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_THROW(krylov::JacobiPreconditioner{A}, std::invalid_argument);
+}
+
+TEST(JacobiPreconditioner, SizeMismatchThrows) {
+  const auto A = gen::poisson1d(4);
+  const krylov::JacobiPreconditioner M(A);
+  la::Vector z;
+  EXPECT_THROW(M.apply(la::Vector(5), z), std::invalid_argument);
+}
+
+TEST(NeumannPreconditioner, DegreeZeroIsScaledIdentity) {
+  const auto A = gen::poisson1d(6);
+  const krylov::CsrOperator op(A);
+  const krylov::NeumannPolynomialPreconditioner M(op, 0, 0.2);
+  la::Vector z;
+  M.apply(la::ones(6), z);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(z[i], 0.2);
+  }
+}
+
+TEST(NeumannPreconditioner, HigherDegreeImprovesApproximateInverse) {
+  // Measure || I - M^{-1} A || action on a probe vector; more terms of the
+  // Neumann series must reduce it.
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  const double omega = 0.24; // < 2 / lambda_max(Poisson) = 0.25
+  const la::Vector probe = la::ones(36);
+  const la::Vector ap = A.apply(probe);
+
+  double err_prev = 1e300;
+  for (const std::size_t degree : {0u, 2u, 6u}) {
+    const krylov::NeumannPolynomialPreconditioner M(op, degree, omega);
+    la::Vector z;
+    M.apply(ap, z); // z ~ A^{-1} (A probe) = probe
+    la::Vector diff = z;
+    la::axpy(-1.0, probe, diff);
+    const double err = la::nrm2(diff);
+    EXPECT_LT(err, err_prev);
+    err_prev = err;
+  }
+}
+
+TEST(NeumannPreconditioner, ValidatesArguments) {
+  const auto A = gen::poisson1d(4);
+  const krylov::CsrOperator op(A);
+  EXPECT_THROW(krylov::NeumannPolynomialPreconditioner(op, 2, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(krylov::NeumannPolynomialPreconditioner(op, 2, -1.0),
+               std::invalid_argument);
+}
+
+TEST(FixedFlexibleAdapter, ForwardsIgnoringOuterIndex) {
+  krylov::IdentityPreconditioner ident;
+  krylov::FixedFlexibleAdapter M(ident);
+  la::Vector z;
+  M.apply(la::Vector{5.0}, 3, z);
+  EXPECT_EQ(z[0], 5.0);
+  M.apply(la::Vector{5.0}, 99, z);
+  EXPECT_EQ(z[0], 5.0);
+}
+
+TEST(ScaledOperator, ScalesApply) {
+  const auto A = gen::poisson1d(4);
+  const krylov::CsrOperator op(A);
+  const krylov::ScaledOperator half(op, 0.5);
+  la::Vector y1(4), y2(4);
+  op.apply(la::ones(4), y1);
+  half.apply(la::ones(4), y2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(y2[i], 0.5 * y1[i]);
+  }
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace la = sdcgmres::la;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+} // namespace
+
+TEST(Blas1Dot, OrthogonalVectorsGiveZero) {
+  la::Vector x{1.0, 0.0};
+  la::Vector y{0.0, 5.0};
+  EXPECT_EQ(la::dot(x, y), 0.0);
+}
+
+TEST(Blas1Dot, MatchesHandComputedValue) {
+  la::Vector x{1.0, 2.0, 3.0};
+  la::Vector y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(la::dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Blas1Dot, SizeMismatchThrows) {
+  la::Vector x(3);
+  la::Vector y(4);
+  EXPECT_THROW((void)la::dot(x, y), std::invalid_argument);
+}
+
+TEST(Blas1Dot, LargeVectorParallelPathAgreesWithSerialSum) {
+  const std::size_t n = 100000; // above the OpenMP threshold
+  la::Vector x(n, 1.0);
+  la::Vector y(n, 2.0);
+  EXPECT_DOUBLE_EQ(la::dot(x, y), 2.0 * static_cast<double>(n));
+}
+
+TEST(Blas1Norms, Nrm2OfUnitAxisVector) {
+  EXPECT_DOUBLE_EQ(la::nrm2(la::unit(7, 3)), 1.0);
+}
+
+TEST(Blas1Norms, Nrm2Pythagorean) {
+  la::Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(la::nrm2(v), 5.0);
+}
+
+TEST(Blas1Norms, Nrm1SumsAbsoluteValues) {
+  la::Vector v{-1.0, 2.0, -3.0};
+  EXPECT_DOUBLE_EQ(la::nrm1(v), 6.0);
+}
+
+TEST(Blas1Norms, NrmInfPicksLargestMagnitude) {
+  la::Vector v{-7.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(la::nrminf(v), 7.0);
+}
+
+TEST(Blas1Norms, NrmInfOfEmptyIsZero) {
+  la::Vector v;
+  EXPECT_EQ(la::nrminf(v), 0.0);
+}
+
+TEST(Blas1Axpy, BasicUpdate) {
+  la::Vector x{1.0, 2.0};
+  la::Vector y{10.0, 20.0};
+  la::axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[1], 24.0);
+}
+
+TEST(Blas1Axpy, SizeMismatchThrows) {
+  la::Vector x(2);
+  la::Vector y(3);
+  EXPECT_THROW(la::axpy(1.0, x, y), std::invalid_argument);
+}
+
+TEST(Blas1Waxpby, ThreeOperandForm) {
+  la::Vector x{1.0, 2.0};
+  la::Vector y{3.0, 4.0};
+  la::Vector w;
+  la::waxpby(2.0, x, -1.0, y, w);
+  EXPECT_EQ(w[0], -1.0);
+  EXPECT_EQ(w[1], 0.0);
+}
+
+TEST(Blas1Waxpby, OutputMayAliasInput) {
+  la::Vector x{1.0, 2.0};
+  la::Vector y{3.0, 4.0};
+  la::waxpby(1.0, x, 1.0, y, y); // y := x + y
+  EXPECT_EQ(y[0], 4.0);
+  EXPECT_EQ(y[1], 6.0);
+}
+
+TEST(Blas1Scal, ScalesInPlace) {
+  la::Vector x{1.0, -2.0};
+  la::scal(-3.0, x);
+  EXPECT_EQ(x[0], -3.0);
+  EXPECT_EQ(x[1], 6.0);
+}
+
+TEST(Blas1Copy, ResizesDestination) {
+  la::Vector x{1.0, 2.0, 3.0};
+  la::Vector y;
+  la::copy(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Blas1Hadamard, ElementWiseProduct) {
+  la::Vector x{1.0, 2.0, 3.0};
+  la::Vector y{2.0, 0.5, -1.0};
+  la::Vector z;
+  la::hadamard(x, y, z);
+  EXPECT_EQ(z[0], 2.0);
+  EXPECT_EQ(z[1], 1.0);
+  EXPECT_EQ(z[2], -3.0);
+}
+
+TEST(Blas1Finite, AllFiniteOnCleanVector) {
+  la::Vector v{1.0, -2.0, 0.0};
+  EXPECT_TRUE(la::all_finite(v));
+  EXPECT_EQ(la::count_nonfinite(v), 0u);
+}
+
+TEST(Blas1Finite, DetectsInf) {
+  la::Vector v{1.0, kInf, 0.0};
+  EXPECT_FALSE(la::all_finite(v));
+  EXPECT_EQ(la::count_nonfinite(v), 1u);
+}
+
+TEST(Blas1Finite, DetectsNaN) {
+  la::Vector v{kNaN, kNaN, 0.0};
+  EXPECT_FALSE(la::all_finite(v));
+  EXPECT_EQ(la::count_nonfinite(v), 2u);
+}
+
+TEST(Blas1Finite, NegativeInfCounts) {
+  la::Vector v{-kInf};
+  EXPECT_EQ(la::count_nonfinite(v), 1u);
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas2.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace la = sdcgmres::la;
+
+TEST(DenseMatrix, ZeroInitialized) {
+  la::DenseMatrix m(2, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_EQ(m(i, j), 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, ColumnMajorStorage) {
+  la::DenseMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 0) = 2.0;
+  m(0, 1) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_EQ(m.data()[0], 1.0);
+  EXPECT_EQ(m.data()[1], 2.0); // same column, next row
+  EXPECT_EQ(m.data()[2], 3.0); // next column
+  EXPECT_EQ(m.col(1)[1], 4.0);
+}
+
+TEST(DenseMatrix, Identity) {
+  const auto I = la::DenseMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(I(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, TopLeftBlock) {
+  la::DenseMatrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m(i, j) = static_cast<double>(10 * i + j);
+    }
+  }
+  const auto b = m.top_left(2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_EQ(b(1, 1), 11.0);
+}
+
+TEST(DenseMatrix, TopLeftOutOfRangeThrows) {
+  la::DenseMatrix m(2, 2);
+  EXPECT_THROW((void)m.top_left(3, 1), std::out_of_range);
+}
+
+TEST(DenseMatrix, Transposed) {
+  la::DenseMatrix m(2, 3);
+  m(0, 2) = 5.0;
+  m(1, 0) = -1.0;
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 5.0);
+  EXPECT_EQ(t(0, 1), -1.0);
+}
+
+TEST(DenseMatrix, ReshapeZeroes) {
+  la::DenseMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m.reshape(3, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Blas2Gemv, IdentityActsAsCopy) {
+  const auto I = la::DenseMatrix::identity(3);
+  la::Vector x{1.0, 2.0, 3.0};
+  la::Vector y(3);
+  la::gemv(1.0, I, x, 0.0, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Blas2Gemv, AlphaBetaCombination) {
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(0, 1) = 2.0;
+  A(1, 0) = 3.0;
+  A(1, 1) = 4.0;
+  la::Vector x{1.0, 1.0};
+  la::Vector y{10.0, 10.0};
+  la::gemv(2.0, A, x, 0.5, y); // y = 2*A*[1,1] + 0.5*[10,10]
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 3.0 + 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 * 7.0 + 5.0);
+}
+
+TEST(Blas2Gemv, DimensionMismatchThrows) {
+  la::DenseMatrix A(2, 3);
+  la::Vector x(2);
+  la::Vector y(2);
+  EXPECT_THROW(la::gemv(1.0, A, x, 0.0, y), std::invalid_argument);
+}
+
+TEST(Blas2GemvT, TransposeAction) {
+  la::DenseMatrix A(2, 2);
+  A(0, 1) = 1.0; // A = [0 1; 0 0]
+  la::Vector x{3.0, 0.0};
+  la::Vector y(2);
+  la::gemv_t(1.0, A, x, 0.0, y); // y = A^T x = [0; 3]
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[1], 3.0);
+}
+
+TEST(Blas2Gemm, MatchesHandComputedProduct) {
+  la::DenseMatrix A(2, 2), B(2, 2), C;
+  A(0, 0) = 1.0; A(0, 1) = 2.0; A(1, 0) = 3.0; A(1, 1) = 4.0;
+  B(0, 0) = 5.0; B(0, 1) = 6.0; B(1, 0) = 7.0; B(1, 1) = 8.0;
+  la::gemm(A, B, C);
+  EXPECT_DOUBLE_EQ(C(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(C(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(C(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(C(1, 1), 50.0);
+}
+
+TEST(Blas2Gemm, InnerDimensionMismatchThrows) {
+  la::DenseMatrix A(2, 3), B(2, 2), C;
+  EXPECT_THROW(la::gemm(A, B, C), std::invalid_argument);
+}
+
+TEST(Blas2Frobenius, KnownValue) {
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 3.0;
+  A(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(la::frobenius_norm(A), 5.0);
+}
+
+TEST(Blas2Orthonormality, IdentityHasZeroDefect) {
+  const auto I = la::DenseMatrix::identity(4);
+  EXPECT_EQ(la::orthonormality_defect(I), 0.0);
+}
+
+TEST(Blas2Orthonormality, ScaledColumnsHaveDefect) {
+  la::DenseMatrix A = la::DenseMatrix::identity(2);
+  A(0, 0) = 2.0; // first column has norm 2 -> defect |4 - 1| = 3
+  EXPECT_DOUBLE_EQ(la::orthonormality_defect(A), 3.0);
+}

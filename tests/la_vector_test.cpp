@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "la/vector.hpp"
+
+namespace la = sdcgmres::la;
+
+TEST(Vector, DefaultConstructedIsEmpty) {
+  la::Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizingConstructorZeroInitializes) {
+  la::Vector v(5);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], 0.0);
+  }
+}
+
+TEST(Vector, FillConstructor) {
+  la::Vector v(4, 2.5);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], 2.5);
+  }
+}
+
+TEST(Vector, InitializerList) {
+  la::Vector v{1.0, -2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(Vector, ElementAssignment) {
+  la::Vector v(3);
+  v[1] = 7.0;
+  EXPECT_EQ(v[1], 7.0);
+}
+
+TEST(Vector, ResizePreservesAndZeroFills) {
+  la::Vector v{1.0, 2.0};
+  v.resize(4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 0.0);
+  EXPECT_EQ(v[3], 0.0);
+}
+
+TEST(Vector, FillOverwritesAll) {
+  la::Vector v{1.0, 2.0, 3.0};
+  v.fill(-1.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], -1.0);
+  }
+}
+
+TEST(Vector, SpanSeesStorage) {
+  la::Vector v{1.0, 2.0};
+  auto s = v.span();
+  s[0] = 9.0;
+  EXPECT_EQ(v[0], 9.0);
+}
+
+TEST(Vector, EqualityIsElementWise) {
+  la::Vector a{1.0, 2.0};
+  la::Vector b{1.0, 2.0};
+  la::Vector c{1.0, 2.5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Vector, RangeBasedIteration) {
+  la::Vector v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  EXPECT_EQ(sum, 6.0);
+}
+
+TEST(VectorFactories, Zeros) {
+  const la::Vector z = la::zeros(3);
+  EXPECT_EQ(z, la::Vector(3));
+}
+
+TEST(VectorFactories, Ones) {
+  const la::Vector o = la::ones(3);
+  for (const double x : o) EXPECT_EQ(x, 1.0);
+}
+
+TEST(VectorFactories, UnitVector) {
+  const la::Vector e = la::unit(4, 2);
+  EXPECT_EQ(e[0], 0.0);
+  EXPECT_EQ(e[1], 0.0);
+  EXPECT_EQ(e[2], 1.0);
+  EXPECT_EQ(e[3], 0.0);
+}
+
+TEST(VectorFactories, UnitVectorOutOfRangeThrows) {
+  EXPECT_THROW((void)la::unit(3, 3), std::out_of_range);
+}
+
+TEST(VectorFactories, IotaWithStep) {
+  const la::Vector v = la::iota(3, 0.5);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[1], 0.5);
+  EXPECT_EQ(v[2], 1.0);
+}

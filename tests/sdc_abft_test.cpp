@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/arnoldi.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/abft.hpp"
+#include "sdc/injection.hpp"
+
+namespace sdc = sdcgmres::sdc;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+la::Vector generic_vector(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(1.7 * static_cast<double>(i) + 0.3) + 0.01;
+  }
+  return v;
+}
+
+} // namespace
+
+TEST(Abft, ZeroPeriodThrows) {
+  const auto A = gen::poisson2d(4);
+  const krylov::CsrOperator op(A);
+  sdc::AbftOptions opts;
+  opts.check_period = 0;
+  EXPECT_THROW(sdc::AbftMonitor(op, opts), std::invalid_argument);
+}
+
+TEST(Abft, NoFalsePositivesOnCleanRun) {
+  const auto A = gen::convection_diffusion2d(8, 20.0, -5.0);
+  const krylov::CsrOperator op(A);
+  sdc::AbftMonitor monitor(op);
+  (void)krylov::arnoldi(op, generic_vector(64), 15,
+                        krylov::Orthogonalization::MGS, &monitor);
+  EXPECT_EQ(monitor.checks(), 15u);
+  EXPECT_EQ(monitor.detections(), 0u);
+  EXPECT_LT(monitor.worst_relation_defect(), 1e-10);
+}
+
+TEST(Abft, CheckPeriodIsRespected) {
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::AbftOptions opts;
+  opts.check_period = 4;
+  sdc::AbftMonitor monitor(op, opts);
+  (void)krylov::arnoldi(op, generic_vector(64), 12,
+                        krylov::Orthogonalization::MGS, &monitor);
+  EXPECT_EQ(monitor.checks(), 3u); // iterations 0, 4, 8
+  EXPECT_EQ(monitor.extra_spmv(), 3u);
+}
+
+TEST(Abft, DetectsAllThreeFaultClassesOnNonzeroCoefficient) {
+  // The key coverage difference vs the bound detector: the orthogonality
+  // check sees the un-removed basis component, so even the *undetectable*
+  // (by magnitude) class-2 and class-3 faults are caught.
+  const auto A = gen::convection_diffusion2d(8, 20.0, -5.0);
+  const krylov::CsrOperator op(A);
+  for (const auto model : {sdc::fault_classes::very_large(),
+                           sdc::fault_classes::slightly_smaller(),
+                           sdc::fault_classes::nearly_zero()}) {
+    sdc::FaultCampaign campaign(
+        sdc::InjectionPlan::hessenberg(2, sdc::MgsPosition::Last, model));
+    sdc::AbftMonitor monitor(op);
+    krylov::HookChain chain({&campaign, &monitor});
+    (void)krylov::arnoldi(op, generic_vector(64), 8,
+                          krylov::Orthogonalization::MGS, &chain);
+    ASSERT_TRUE(campaign.fired()) << sdc::to_string(model);
+    EXPECT_TRUE(monitor.triggered()) << sdc::to_string(model);
+  }
+}
+
+TEST(Abft, MgsCoefficientFaultIsSelfConsistentWithArnoldiRelation) {
+  // Documented property: the corrupted coefficient is both stored and
+  // applied, so the relation check alone stays clean -- detection comes
+  // from the orthogonality check.
+  const auto A = gen::convection_diffusion2d(8, 20.0, -5.0);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      2, sdc::MgsPosition::Last, sdc::fault_classes::slightly_smaller()));
+  sdc::AbftOptions opts;
+  opts.ortho_tol = 1e300; // disable the orthonormality check
+  sdc::AbftMonitor monitor(op, opts);
+  krylov::HookChain chain({&campaign, &monitor});
+  (void)krylov::arnoldi(op, generic_vector(64), 8,
+                        krylov::Orthogonalization::MGS, &chain);
+  ASSERT_TRUE(campaign.fired());
+  EXPECT_FALSE(monitor.triggered());
+  EXPECT_LT(monitor.worst_relation_defect(), 1e-10);
+}
+
+TEST(Abft, DetectsSubdiagonalFaultViaNormality) {
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::InjectionPlan plan;
+  plan.target = sdc::InjectionTarget::SubdiagonalNorm;
+  plan.aggregate_iteration = 3;
+  plan.model = sdc::FaultModel::scale(2.0); // modest -- bound can't see it
+  sdc::FaultCampaign campaign(plan);
+  sdc::AbftMonitor monitor(op);
+  krylov::HookChain chain({&campaign, &monitor});
+  (void)krylov::arnoldi(op, generic_vector(64), 8,
+                        krylov::Orthogonalization::MGS, &chain);
+  ASSERT_TRUE(campaign.fired());
+  EXPECT_TRUE(monitor.triggered());
+}
+
+TEST(Abft, AbortResponseStopsGmres) {
+  const auto A = gen::convection_diffusion2d(8, 20.0, -5.0);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      4, sdc::MgsPosition::Last, sdc::fault_classes::slightly_smaller()));
+  sdc::AbftOptions opts;
+  opts.response = sdc::DetectorResponse::AbortSolve;
+  sdc::AbftMonitor monitor(op, opts);
+  krylov::HookChain chain({&campaign, &monitor});
+  krylov::GmresOptions gopts;
+  gopts.max_iters = 20;
+  gopts.tol = 0.0;
+  const auto res =
+      krylov::gmres(op, la::ones(64), la::zeros(64), gopts, &chain, 0);
+  EXPECT_EQ(res.status, krylov::SolveStatus::AbortedByDetector);
+  // The tainted column (iteration 4) is dropped: only 4 columns used.
+  EXPECT_EQ(res.iterations, 4u);
+  EXPECT_TRUE(la::all_finite(res.x));
+}
+
+TEST(Abft, ResetClearsState) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  sdc::AbftMonitor monitor(op);
+  (void)krylov::arnoldi(op, generic_vector(36), 5,
+                        krylov::Orthogonalization::MGS, &monitor);
+  ASSERT_GT(monitor.checks(), 0u);
+  monitor.reset();
+  EXPECT_EQ(monitor.checks(), 0u);
+  EXPECT_EQ(monitor.extra_spmv(), 0u);
+  EXPECT_EQ(monitor.worst_relation_defect(), 0.0);
+}

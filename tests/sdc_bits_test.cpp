@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sdc/bits.hpp"
+
+namespace sdc = sdcgmres::sdc;
+
+TEST(Bits, RoundTripThroughInteger) {
+  const double x = -123.456;
+  EXPECT_EQ(sdc::from_bits(sdc::to_bits(x)), x);
+}
+
+TEST(Bits, SignBitFlipNegates) {
+  EXPECT_EQ(sdc::flip_bit(1.5, 63), -1.5);
+  EXPECT_EQ(sdc::flip_bit(-2.0, 63), 2.0);
+}
+
+TEST(Bits, FlipIsInvolution) {
+  const double x = 3.14159;
+  for (const unsigned bit : {0u, 17u, 52u, 62u, 63u}) {
+    EXPECT_EQ(sdc::flip_bit(sdc::flip_bit(x, bit), bit), x);
+  }
+}
+
+TEST(Bits, TopExponentFlipOfOneGivesInfinity) {
+  // 1.0 has biased exponent 0x3FF (01111111111); setting bit 62 makes the
+  // exponent all-ones with a zero mantissa, which is exactly +Inf -- the
+  // classic "flip a high exponent bit, get a non-numeric value" SDC.
+  const double y = sdc::flip_bit(1.0, 62);
+  EXPECT_TRUE(std::isinf(y));
+  EXPECT_GT(y, 0.0);
+}
+
+TEST(Bits, SecondExponentBitFlipIsTinyButFinite) {
+  // Bit 61 of 1.0 is set (exponent 0x3FF); clearing it drops the exponent
+  // to 0x1FF, a 2^-512 scale change that stays representable.
+  const double y = sdc::flip_bit(1.0, 61);
+  EXPECT_TRUE(std::isfinite(y));
+  EXPECT_GT(y, 0.0);
+  EXPECT_LT(y, 1e-150);
+}
+
+TEST(Bits, MantissaFlipIsSmallRelativePerturbation) {
+  const double x = 1.0;
+  const double y = sdc::flip_bit(x, 0); // least significant mantissa bit
+  EXPECT_NE(x, y);
+  EXPECT_NEAR(y, x, 1e-15);
+}
+
+TEST(Bits, OutOfRangeBitThrows) {
+  EXPECT_THROW((void)sdc::flip_bit(1.0, 64), std::out_of_range);
+}
+
+TEST(Bits, ClassifyCoversAllClasses) {
+  EXPECT_EQ(sdc::classify(0.0), sdc::ValueClass::Zero);
+  EXPECT_EQ(sdc::classify(5e-310), sdc::ValueClass::Subnormal);
+  EXPECT_EQ(sdc::classify(1.0), sdc::ValueClass::Normal);
+  EXPECT_EQ(sdc::classify(std::numeric_limits<double>::infinity()),
+            sdc::ValueClass::Infinite);
+  EXPECT_EQ(sdc::classify(std::nan("")), sdc::ValueClass::NaN);
+}
+
+TEST(Bits, ClassNamesAreStable) {
+  EXPECT_STREQ(sdc::to_string(sdc::ValueClass::Zero), "zero");
+  EXPECT_STREQ(sdc::to_string(sdc::ValueClass::NaN), "nan");
+  EXPECT_STREQ(sdc::to_string(sdc::ValueClass::Infinite), "infinite");
+}
+
+TEST(Bits, BitPatternLayout) {
+  // 1.0 = 0 | 01111111111 | 52 zeros.
+  const std::string s = sdc::bit_pattern(1.0);
+  ASSERT_EQ(s.size(), 66u); // 64 bits + 2 separators
+  EXPECT_EQ(s[0], '0');     // sign
+  EXPECT_EQ(s[1], '|');
+  EXPECT_EQ(s.substr(2, 11), "01111111111"); // exponent 0x3FF
+  EXPECT_EQ(s[13], '|');
+}
+
+TEST(Bits, PaperClaimBitFlipsAreJustValues) {
+  // The paper's argument (Section III-A-2): any flipped double is a
+  // representable value (number, Inf, or NaN) -- the fault's *effect* is a
+  // value change that SetValue could reproduce.
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const double y = sdc::flip_bit(0.75, bit);
+    const auto c = sdc::classify(y);
+    EXPECT_TRUE(c == sdc::ValueClass::Zero || c == sdc::ValueClass::Normal ||
+                c == sdc::ValueClass::Subnormal ||
+                c == sdc::ValueClass::Infinite || c == sdc::ValueClass::NaN);
+  }
+}

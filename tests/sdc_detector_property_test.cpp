@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "gen/circuit.hpp"
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/arnoldi.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+
+namespace sdc = sdcgmres::sdc;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+namespace sparse = sdcgmres::sparse;
+
+namespace {
+
+
+/// Start vector exciting (generically) all eigenvectors; a constant vector
+/// spans a tiny invariant subspace on the Poisson grids.
+la::Vector generic_vector(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(1.7 * static_cast<double>(i) + 0.3) +
+           0.01 * static_cast<double>(i % 13);
+  }
+  return v;
+}
+
+sparse::CsrMatrix make_matrix(const std::string& name) {
+  if (name == "poisson") return gen::poisson2d(8);
+  if (name == "convection") return gen::convection_diffusion2d(8, 30.0, -5.0);
+  gen::CircuitOptions opts;
+  opts.nodes = 200;
+  return gen::circuit_like(opts);
+}
+
+} // namespace
+
+/// Completeness sweep: a class-1 fault injected at *any* site and either
+/// MGS position is always detected (when the faulted coefficient is not
+/// one of the structurally-zero tridiagonal entries, whose scaled value
+/// remains below the bound -- those faults are inert, not missed).
+class DetectorCompleteness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(DetectorCompleteness, Class1FaultsDetectedOrInert) {
+  const auto [name, pos_int] = GetParam();
+  const auto position = static_cast<sdc::MgsPosition>(pos_int);
+  const auto A = make_matrix(name);
+  const krylov::CsrOperator op(A);
+  const double bound = A.frobenius_norm();
+  const std::size_t steps = 12;
+
+  // Sites: every Arnoldi iteration of a 12-step run.
+  for (std::size_t site = 0; site < steps; ++site) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        site, position, sdc::fault_classes::very_large()));
+    sdc::HessenbergBoundDetector detector(bound);
+    krylov::HookChain chain({&campaign, &detector});
+    (void)krylov::arnoldi(op, generic_vector(A.rows()), steps,
+                          krylov::Orthogonalization::MGS, &chain);
+    if (!campaign.fired()) continue;
+    const auto& e = campaign.log().events()[0];
+    const bool fault_escaped_bound = std::abs(e.value_after) > bound;
+    EXPECT_EQ(detector.triggered(), fault_escaped_bound)
+        << name << " site " << site;
+    // And whenever the corrupted value exceeds the bound, it IS caught:
+    if (fault_escaped_bound) {
+      EXPECT_TRUE(detector.triggered());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatricesBothPositions, DetectorCompleteness,
+    ::testing::Combine(::testing::Values("poisson", "convection", "circuit"),
+                       ::testing::Values(0, 1)), // First, Last
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) +
+             (std::get<1>(info.param) == 0 ? "_first" : "_last");
+    });
+
+/// Soundness sweep: with no faults, the detector never fires, for any
+/// matrix family, orthogonalization variant, and basis size.
+class DetectorSoundness
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, krylov::Orthogonalization, std::size_t>> {};
+
+TEST_P(DetectorSoundness, NoFalsePositivesEver) {
+  const auto [name, ortho, steps] = GetParam();
+  const auto A = make_matrix(name);
+  const krylov::CsrOperator op(A);
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  (void)krylov::arnoldi(op, generic_vector(A.rows()), steps, ortho, &detector);
+  EXPECT_EQ(detector.detections(), 0u)
+      << name << "/" << krylov::to_string(ortho) << "/" << steps;
+  EXPECT_GT(detector.checks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetectorSoundness,
+    ::testing::Combine(::testing::Values("poisson", "convection", "circuit"),
+                       ::testing::Values(krylov::Orthogonalization::MGS,
+                                         krylov::Orthogonalization::CGS,
+                                         krylov::Orthogonalization::CGS2),
+                       ::testing::Values(std::size_t{5}, std::size_t{25})),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, krylov::Orthogonalization, std::size_t>>&
+           info) {
+      return std::get<0>(info.param) + "_" +
+             krylov::to_string(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+/// Detectability frontier: scan fault magnitudes; detection must be
+/// monotone in the scale factor -- exactly the "we know what we can and
+/// cannot detect" property (paper Section V-C).
+class DetectorFrontier : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetectorFrontier, DetectionIsMonotoneInFaultMagnitude) {
+  const auto A = make_matrix(GetParam());
+  const krylov::CsrOperator op(A);
+  const double bound = A.frobenius_norm();
+  bool previously_detected = false;
+  // Increasing multiplicative magnitudes on the *last* MGS coefficient of
+  // iteration 1 (a genuinely nonzero coefficient).
+  for (const double magnitude : {1e-2, 1.0, 1e2, 1e4, 1e8, 1e16, 1e100}) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        1, sdc::MgsPosition::Last, sdc::FaultModel::scale(magnitude)));
+    sdc::HessenbergBoundDetector detector(bound);
+    krylov::HookChain chain({&campaign, &detector});
+    (void)krylov::arnoldi(op, generic_vector(A.rows()), 4,
+                          krylov::Orthogonalization::MGS, &chain);
+    ASSERT_TRUE(campaign.fired());
+    if (previously_detected) {
+      EXPECT_TRUE(detector.triggered())
+          << "detection lost at larger magnitude " << magnitude;
+    }
+    previously_detected = detector.triggered();
+  }
+  EXPECT_TRUE(previously_detected); // the largest fault is always caught
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, DetectorFrontier,
+                         ::testing::Values("poisson", "convection",
+                                           "circuit"));

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "gen/poisson.hpp"
+#include "krylov/arnoldi.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/injection.hpp"
+
+namespace sdc = sdcgmres::sdc;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+TEST(Detector, RejectsInvalidBound) {
+  EXPECT_THROW(sdc::HessenbergBoundDetector(0.0), std::invalid_argument);
+  EXPECT_THROW(sdc::HessenbergBoundDetector(-1.0), std::invalid_argument);
+  EXPECT_THROW(
+      sdc::HessenbergBoundDetector(std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(Detector, NoFalsePositivesOnCleanSolve) {
+  // Soundness on a fault-free run: the invariant |h| <= ||A||_F can never
+  // fire (this is Eq. 3 of the paper).
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  (void)krylov::arnoldi(op, la::ones(64), 20, krylov::Orthogonalization::MGS,
+                        &detector);
+  EXPECT_GT(detector.checks(), 0u);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(Detector, CatchesClass1Fault) {
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      1, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  krylov::HookChain chain({&campaign, &detector});
+  (void)krylov::arnoldi(op, la::ones(64), 10, krylov::Orthogonalization::MGS,
+                        &chain);
+  EXPECT_TRUE(campaign.fired());
+  EXPECT_TRUE(detector.triggered());
+  ASSERT_GE(detector.log().size(), 1u);
+  const auto& e = detector.log().events()[0];
+  EXPECT_EQ(e.kind, sdc::EventKind::Detection);
+  EXPECT_EQ(e.iteration, 1u);
+  EXPECT_GT(std::abs(e.value_before), e.bound);
+}
+
+TEST(Detector, MissesClass2And3FaultsByDesign) {
+  // The paper is explicit: we know precisely what is *not* detectable.
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  for (const auto model : {sdc::fault_classes::slightly_smaller(),
+                           sdc::fault_classes::nearly_zero()}) {
+    sdc::FaultCampaign campaign(
+        sdc::InjectionPlan::hessenberg(1, sdc::MgsPosition::First, model));
+    sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+    krylov::HookChain chain({&campaign, &detector});
+    (void)krylov::arnoldi(op, la::ones(64), 10,
+                          krylov::Orthogonalization::MGS, &chain);
+    EXPECT_TRUE(campaign.fired());
+    EXPECT_FALSE(detector.triggered()) << sdc::to_string(model);
+  }
+}
+
+TEST(Detector, FlagsNaN) {
+  // NaN fails |h| <= bound because all NaN comparisons are false.
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  sdc::InjectionPlan plan;
+  plan.aggregate_iteration = 2;
+  plan.model =
+      sdc::FaultModel::set_value(std::numeric_limits<double>::quiet_NaN());
+  sdc::FaultCampaign campaign(plan);
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  krylov::HookChain chain({&campaign, &detector});
+  (void)krylov::arnoldi(op, la::ones(36), 6, krylov::Orthogonalization::MGS,
+                        &chain);
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(Detector, FlagsInfinity) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  sdc::InjectionPlan plan;
+  plan.aggregate_iteration = 2;
+  plan.model =
+      sdc::FaultModel::set_value(std::numeric_limits<double>::infinity());
+  sdc::FaultCampaign campaign(plan);
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  krylov::HookChain chain({&campaign, &detector});
+  (void)krylov::arnoldi(op, la::ones(36), 6, krylov::Orthogonalization::MGS,
+                        &chain);
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(Detector, ChecksSubdiagonalToo) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  sdc::InjectionPlan plan;
+  plan.target = sdc::InjectionTarget::SubdiagonalNorm;
+  plan.aggregate_iteration = 1;
+  plan.model = sdc::FaultModel::scale(1e200);
+  sdc::FaultCampaign campaign(plan);
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm());
+  krylov::HookChain chain({&campaign, &detector});
+  (void)krylov::arnoldi(op, la::ones(36), 6, krylov::Orthogonalization::MGS,
+                        &chain);
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(Detector, AbortResponseStopsInnerGmres) {
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      4, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm(),
+                                        sdc::DetectorResponse::AbortSolve);
+  krylov::HookChain chain({&campaign, &detector});
+  krylov::GmresOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const auto res =
+      krylov::gmres(op, la::ones(64), la::zeros(64), opts, &chain, 0);
+  EXPECT_EQ(res.status, krylov::SolveStatus::AbortedByDetector);
+  // The fault hit aggregate iteration 4 -> the solve used only the 4
+  // clean columns built before the tainted one.
+  EXPECT_EQ(res.iterations, 4u);
+  EXPECT_TRUE(la::all_finite(res.x));
+}
+
+TEST(Detector, RecordOnlyResponseDoesNotAbort) {
+  // In observation mode the solver continues past the fault.  (A huge
+  // fault makes the next basis vector nearly parallel to q_0, so the run
+  // may legitimately end in a *false* happy breakdown a couple of
+  // iterations later -- the failure mode the FGMRES rank check exists
+  // for.  What must NOT happen here is an abort.)
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      4, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(A.frobenius_norm(),
+                                        sdc::DetectorResponse::RecordOnly);
+  krylov::HookChain chain({&campaign, &detector});
+  krylov::GmresOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const auto res =
+      krylov::gmres(op, la::ones(64), la::zeros(64), opts, &chain, 0);
+  EXPECT_NE(res.status, krylov::SolveStatus::AbortedByDetector);
+  EXPECT_GT(res.iterations, 4u); // continued past the fault
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(Detector, FalseHappyBreakdownAfterUndetectedResponseToHugeFault) {
+  // Companion to the test above, pinning down the observed degenerate
+  // mechanism: h(0,4) *= 1e150 leaves v ~ -1e150*q_0, so q_5 ~ -q_0 and
+  // A*q_5 lies in the existing span -- a spurious invariant subspace.
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      4, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  krylov::GmresOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 0.0;
+  const auto res =
+      krylov::gmres(op, la::ones(64), la::zeros(64), opts, &campaign, 0);
+  EXPECT_EQ(res.status, krylov::SolveStatus::HappyBreakdown);
+  EXPECT_LT(res.iterations, 10u);
+}
+
+TEST(Detector, AbortFlagClearsOnNextSolve) {
+  sdc::HessenbergBoundDetector detector(1.0,
+                                        sdc::DetectorResponse::AbortSolve);
+  krylov::ArnoldiContext ctx{};
+  double bad = 100.0;
+  detector.on_projection_coefficient(ctx, 0, 1, bad);
+  EXPECT_TRUE(detector.abort_requested());
+  detector.on_solve_begin(1);
+  EXPECT_FALSE(detector.abort_requested());
+  EXPECT_EQ(detector.detections(), 1u); // history preserved
+}
+
+TEST(Detector, ResetClearsEverything) {
+  sdc::HessenbergBoundDetector detector(1.0);
+  krylov::ArnoldiContext ctx{};
+  double bad = 5.0;
+  detector.on_projection_coefficient(ctx, 0, 1, bad);
+  ASSERT_EQ(detector.detections(), 1u);
+  detector.reset();
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_EQ(detector.checks(), 0u);
+  EXPECT_TRUE(detector.log().empty());
+}
+
+TEST(Detector, BoundaryValueExactlyAtBoundPasses) {
+  sdc::HessenbergBoundDetector detector(2.0);
+  krylov::ArnoldiContext ctx{};
+  double h = 2.0;
+  detector.on_projection_coefficient(ctx, 0, 1, h);
+  EXPECT_FALSE(detector.triggered());
+  h = -2.0;
+  detector.on_projection_coefficient(ctx, 0, 1, h);
+  EXPECT_FALSE(detector.triggered());
+  h = 2.0000001;
+  detector.on_projection_coefficient(ctx, 0, 1, h);
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(Detector, DoesNotMutateCheckedValues) {
+  sdc::HessenbergBoundDetector detector(1.0);
+  krylov::ArnoldiContext ctx{};
+  double h = 42.0;
+  detector.on_projection_coefficient(ctx, 0, 1, h);
+  EXPECT_EQ(h, 42.0); // detection, not correction
+}

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sdc/event_log.hpp"
+
+namespace sdc = sdcgmres::sdc;
+
+TEST(EventLog, StartsEmpty) {
+  sdc::EventLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.count(sdc::EventKind::Injection), 0u);
+}
+
+TEST(EventLog, RecordsInOrder) {
+  sdc::EventLog log;
+  log.record({.kind = sdc::EventKind::Injection,
+              .solve_index = 1,
+              .iteration = 2,
+              .coefficient = 0,
+              .value_before = 1.0,
+              .value_after = 2.0,
+              .bound = 0.0,
+              .description = "first"});
+  log.record({.kind = sdc::EventKind::Detection,
+              .solve_index = 1,
+              .iteration = 2,
+              .coefficient = 0,
+              .value_before = 2.0,
+              .value_after = 2.0,
+              .bound = 1.5,
+              .description = "second"});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].description, "first");
+  EXPECT_EQ(log.events()[1].description, "second");
+  EXPECT_EQ(log.events()[1].bound, 1.5);
+}
+
+TEST(EventLog, CountsByKind) {
+  sdc::EventLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.record({.kind = sdc::EventKind::Injection,
+                .solve_index = 0,
+                .iteration = 0,
+                .coefficient = 0,
+                .value_before = 0,
+                .value_after = 0,
+                .bound = 0,
+                .description = ""});
+  }
+  log.record({.kind = sdc::EventKind::Detection,
+              .solve_index = 0,
+              .iteration = 0,
+              .coefficient = 0,
+              .value_before = 0,
+              .value_after = 0,
+              .bound = 0,
+              .description = ""});
+  EXPECT_EQ(log.count(sdc::EventKind::Injection), 3u);
+  EXPECT_EQ(log.count(sdc::EventKind::Detection), 1u);
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  sdc::EventLog log;
+  log.record({});
+  ASSERT_FALSE(log.empty());
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}

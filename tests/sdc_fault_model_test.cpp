@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sdc/fault_model.hpp"
+
+namespace sdc = sdcgmres::sdc;
+
+TEST(FaultModel, ScaleMultiplies) {
+  const auto f = sdc::FaultModel::scale(10.0);
+  EXPECT_DOUBLE_EQ(f.apply(2.5), 25.0);
+  EXPECT_DOUBLE_EQ(f.apply(-1.0), -10.0);
+}
+
+TEST(FaultModel, ScaleOfZeroStaysZero) {
+  // A multiplicative fault on an exactly zero coefficient has no effect --
+  // relevant for the tridiagonal "should be zero" entries of SPD problems.
+  const auto f = sdc::FaultModel::scale(1e150);
+  EXPECT_EQ(f.apply(0.0), 0.0);
+}
+
+TEST(FaultModel, SetValueReplaces) {
+  const auto f = sdc::FaultModel::set_value(-7.0);
+  EXPECT_EQ(f.apply(123.0), -7.0);
+}
+
+TEST(FaultModel, SetValueCanInjectNaN) {
+  const auto f =
+      sdc::FaultModel::set_value(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(f.apply(1.0)));
+}
+
+TEST(FaultModel, AddValueOffsets) {
+  const auto f = sdc::FaultModel::add_value(0.5);
+  EXPECT_DOUBLE_EQ(f.apply(1.0), 1.5);
+}
+
+TEST(FaultModel, BitFlipDelegatesToBits) {
+  const auto f = sdc::FaultModel::bit_flip(63);
+  EXPECT_EQ(f.apply(4.0), -4.0);
+}
+
+TEST(FaultModel, ScaleOverflowProducesInf) {
+  const auto f = sdc::FaultModel::scale(1e308);
+  EXPECT_TRUE(std::isinf(f.apply(1e10)));
+}
+
+TEST(FaultModel, ScaleUnderflowFlushesTowardZero) {
+  const auto f = sdc::FaultModel::scale(1e-300);
+  const double y = f.apply(1e-100);
+  EXPECT_EQ(y, 0.0); // 1e-400 is below the subnormal range
+}
+
+TEST(FaultClasses, MatchPaperDefinitions) {
+  EXPECT_DOUBLE_EQ(sdc::fault_classes::very_large().payload, 1e150);
+  EXPECT_DOUBLE_EQ(sdc::fault_classes::slightly_smaller().payload,
+                   std::pow(10.0, -0.5));
+  EXPECT_DOUBLE_EQ(sdc::fault_classes::nearly_zero().payload, 1e-300);
+}
+
+TEST(FaultClasses, Class1ViolatesAnyReasonableBoundClass23DoNot) {
+  // For a coefficient of typical magnitude ~1 and a bound ~40-450 (the
+  // paper's matrices), class 1 is detectable, classes 2 and 3 are not.
+  const double h = 1.7;
+  const double bound = 42.4;
+  EXPECT_GT(std::abs(sdc::fault_classes::very_large().apply(h)), bound);
+  EXPECT_LE(std::abs(sdc::fault_classes::slightly_smaller().apply(h)), bound);
+  EXPECT_LE(std::abs(sdc::fault_classes::nearly_zero().apply(h)), bound);
+}
+
+TEST(FaultModel, ToStringDescribesModel) {
+  EXPECT_EQ(sdc::to_string(sdc::FaultModel::scale(2.0)), "scale(2)");
+  EXPECT_EQ(sdc::to_string(sdc::FaultModel::bit_flip(5)), "bitflip(5)");
+  EXPECT_EQ(sdc::to_string(sdc::FaultModel::set_value(3.0)), "set(3)");
+  EXPECT_EQ(sdc::to_string(sdc::FaultModel::add_value(1.0)), "add(1)");
+}

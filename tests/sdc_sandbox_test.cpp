@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "gen/poisson.hpp"
+#include "krylov/fgmres.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "la/blas1.hpp"
+#include "sdc/sandbox.hpp"
+
+namespace sdc = sdcgmres::sdc;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+class WellBehavedGuest final : public krylov::FlexiblePreconditioner {
+public:
+  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
+    la::copy(q, z);
+    la::scal(2.0, z);
+  }
+};
+
+class NaNGuest final : public krylov::FlexiblePreconditioner {
+public:
+  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
+    z.resize(q.size());
+    z.fill(std::numeric_limits<double>::quiet_NaN());
+  }
+};
+
+class CrashingGuest final : public krylov::FlexiblePreconditioner {
+public:
+  void apply(const la::Vector&, std::size_t, la::Vector&) override {
+    throw std::runtime_error("guest crashed");
+  }
+};
+
+class WrongShapeGuest final : public krylov::FlexiblePreconditioner {
+public:
+  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
+    z.resize(q.size() + 3);
+  }
+};
+
+} // namespace
+
+TEST(Sandbox, PassesThroughGoodOutput) {
+  WellBehavedGuest guest;
+  sdc::Sandbox box(guest);
+  la::Vector z;
+  box.apply(la::Vector{1.0, 2.0}, 0, z);
+  EXPECT_EQ(z[0], 2.0);
+  EXPECT_EQ(z[1], 4.0);
+  EXPECT_EQ(box.stats().invocations, 1u);
+  EXPECT_EQ(box.stats().nonfinite_outputs, 0u);
+}
+
+TEST(Sandbox, FiltersNonFiniteOutput) {
+  NaNGuest guest;
+  sdc::Sandbox box(guest);
+  la::Vector z;
+  const la::Vector q{3.0, 4.0};
+  box.apply(q, 0, z);
+  EXPECT_EQ(z, q); // identity fallback
+  EXPECT_EQ(box.stats().nonfinite_outputs, 1u);
+}
+
+TEST(Sandbox, NonFiniteFilterCanBeDisabled) {
+  NaNGuest guest;
+  sdc::SandboxOptions opts;
+  opts.replace_nonfinite = false;
+  sdc::Sandbox box(guest, opts);
+  la::Vector z;
+  box.apply(la::Vector{1.0}, 0, z);
+  EXPECT_FALSE(la::all_finite(z));
+  EXPECT_EQ(box.stats().nonfinite_outputs, 0u);
+}
+
+TEST(Sandbox, ConvertsCrashIntoSoftFault) {
+  CrashingGuest guest;
+  sdc::Sandbox box(guest);
+  la::Vector z;
+  const la::Vector q{5.0, 6.0};
+  EXPECT_NO_THROW(box.apply(q, 0, z));
+  EXPECT_EQ(z, q);
+  EXPECT_EQ(box.stats().exceptions, 1u);
+}
+
+TEST(Sandbox, CrashPropagatesWhenCatchingDisabled) {
+  CrashingGuest guest;
+  sdc::SandboxOptions opts;
+  opts.catch_exceptions = false;
+  sdc::Sandbox box(guest, opts);
+  la::Vector z;
+  EXPECT_THROW(box.apply(la::Vector{1.0}, 0, z), std::runtime_error);
+}
+
+TEST(Sandbox, FixesWrongShapeOutput) {
+  WrongShapeGuest guest;
+  sdc::Sandbox box(guest);
+  la::Vector z;
+  const la::Vector q{1.0, 2.0, 3.0};
+  box.apply(q, 0, z);
+  EXPECT_EQ(z.size(), q.size());
+  EXPECT_EQ(box.stats().wrong_shape_outputs, 1u);
+}
+
+TEST(Sandbox, ResetClearsStats) {
+  NaNGuest guest;
+  sdc::Sandbox box(guest);
+  la::Vector z;
+  box.apply(la::Vector{1.0}, 0, z);
+  ASSERT_EQ(box.stats().invocations, 1u);
+  box.reset();
+  EXPECT_EQ(box.stats().invocations, 0u);
+  EXPECT_EQ(box.stats().nonfinite_outputs, 0u);
+}
+
+TEST(Sandbox, OuterSolverConvergesDespiteCrashingGuest) {
+  // The sandbox turns every guest crash into an identity preconditioner
+  // application, so FGMRES degenerates to plain GMRES and still converges:
+  // the paper's "eventual convergence" promise in its most extreme form.
+  const auto A = gen::poisson2d(7);
+  const krylov::CsrOperator op(A);
+  CrashingGuest guest;
+  sdc::Sandbox box(guest);
+  krylov::FgmresOptions opts;
+  opts.max_outer = 200;
+  opts.tol = 1e-8;
+  const auto res = krylov::fgmres(op, la::ones(49), la::zeros(49), opts, box);
+  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(box.stats().exceptions, res.outer_iterations);
+}
+
+TEST(Sandbox, WrapsInnerGmresTransparently) {
+  // Sandbox around the real inner solver must not change the failure-free
+  // iteration counts.
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator op(A);
+  const la::Vector b = la::ones(64);
+
+  krylov::FtGmresOptions nested_opts;
+  const auto direct = krylov::ft_gmres(A, b, nested_opts);
+
+  krylov::InnerGmresPreconditioner inner(op, nested_opts.inner);
+  sdc::Sandbox box(inner);
+  const auto sandboxed =
+      krylov::fgmres(op, b, la::zeros(64), nested_opts.outer, box);
+
+  ASSERT_EQ(direct.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(sandboxed.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(sandboxed.outer_iterations, direct.outer_iterations);
+  EXPECT_EQ(box.stats().invocations, sandboxed.outer_iterations);
+}

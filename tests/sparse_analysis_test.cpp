@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "sparse/analysis.hpp"
+
+namespace sparse = sdcgmres::sparse;
+namespace gen = sdcgmres::gen;
+
+namespace {
+
+sparse::CsrMatrix nonsymmetric_pattern() {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0); // no (1, 0) entry
+  coo.add(1, 1, 1.0);
+  return sparse::CsrMatrix(std::move(coo));
+}
+
+} // namespace
+
+TEST(Analysis, PoissonPatternIsSymmetric) {
+  const auto A = gen::poisson2d(5);
+  EXPECT_TRUE(sparse::is_pattern_symmetric(A));
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(Analysis, ConvectionDiffusionIsNonsymmetricButPatternSymmetric) {
+  const auto A = gen::convection_diffusion2d(5, 20.0, 0.0);
+  EXPECT_TRUE(sparse::is_pattern_symmetric(A));
+  EXPECT_FALSE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(Analysis, DetectsNonsymmetricPattern) {
+  const auto A = nonsymmetric_pattern();
+  EXPECT_FALSE(sparse::is_pattern_symmetric(A));
+  EXPECT_FALSE(sparse::is_numerically_symmetric(A));
+}
+
+TEST(Analysis, NumericalSymmetryHonorsTolerance) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0 + 1e-12);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_FALSE(sparse::is_numerically_symmetric(A, 0.0));
+  EXPECT_TRUE(sparse::is_numerically_symmetric(A, 1e-10));
+}
+
+TEST(Analysis, RectangularMatrixIsNotSymmetric) {
+  sparse::CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_FALSE(sparse::is_pattern_symmetric(A));
+}
+
+TEST(Analysis, FullStructuralRankNeedsNonemptyRowsAndCols) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0); // row 1 and column 1 empty
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_FALSE(sparse::has_nonempty_rows_and_cols(A));
+  EXPECT_TRUE(sparse::has_nonempty_rows_and_cols(gen::poisson2d(4)));
+}
+
+TEST(Analysis, PoissonIsDiagonallyDominant) {
+  EXPECT_TRUE(sparse::is_diagonally_dominant(gen::poisson2d(6)));
+}
+
+TEST(Analysis, NonDominantMatrixDetected) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 5.0);
+  coo.add(1, 1, 1.0);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_FALSE(sparse::is_diagonally_dominant(A));
+}
+
+TEST(Analysis, BandwidthOfPoisson1d) {
+  EXPECT_EQ(sparse::bandwidth(gen::poisson1d(10)), 1u);
+}
+
+TEST(Analysis, BandwidthOfPoisson2dEqualsGridWidth) {
+  EXPECT_EQ(sparse::bandwidth(gen::poisson2d(7)), 7u);
+}
+
+TEST(Analysis, PositiveDefiniteProbeAcceptsPoisson) {
+  EXPECT_TRUE(sparse::probe_positive_definite(gen::poisson2d(6)));
+}
+
+TEST(Analysis, PositiveDefiniteProbeRejectsNegativeDefinite) {
+  const auto A = gen::poisson2d(6).scaled(-1.0);
+  EXPECT_FALSE(sparse::probe_positive_definite(A));
+}
+
+TEST(Analysis, AnalyzeAggregatesFields) {
+  const auto A = gen::poisson2d(10);
+  const auto p = sparse::analyze(A);
+  EXPECT_EQ(p.rows, 100u);
+  EXPECT_EQ(p.cols, 100u);
+  EXPECT_EQ(p.nnz, 5u * 100u - 4u * 10u);
+  EXPECT_TRUE(p.pattern_symmetric);
+  EXPECT_TRUE(p.numerically_symmetric);
+  EXPECT_TRUE(p.has_full_structural_rank);
+  EXPECT_TRUE(p.diagonally_dominant);
+  EXPECT_EQ(p.bandwidth, 10u);
+}

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace sparse = sdcgmres::sparse;
+
+TEST(Coo, EmptyMatrix) {
+  sparse::CooMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(Coo, AddStoresTriplet) {
+  sparse::CooMatrix m(2, 2);
+  m.add(0, 1, 2.5);
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.entries()[0], (sparse::Triplet{0, 1, 2.5}));
+}
+
+TEST(Coo, OutOfRangeRowThrows) {
+  sparse::CooMatrix m(2, 2);
+  EXPECT_THROW(m.add(2, 0, 1.0), std::out_of_range);
+}
+
+TEST(Coo, OutOfRangeColThrows) {
+  sparse::CooMatrix m(2, 2);
+  EXPECT_THROW(m.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(Coo, CompressSortsByRowThenCol) {
+  sparse::CooMatrix m(2, 2);
+  m.add(1, 1, 4.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 0, 3.0);
+  m.add(0, 0, 1.0);
+  m.compress();
+  ASSERT_EQ(m.nnz(), 4u);
+  EXPECT_EQ(m.entries()[0], (sparse::Triplet{0, 0, 1.0}));
+  EXPECT_EQ(m.entries()[1], (sparse::Triplet{0, 1, 2.0}));
+  EXPECT_EQ(m.entries()[2], (sparse::Triplet{1, 0, 3.0}));
+  EXPECT_EQ(m.entries()[3], (sparse::Triplet{1, 1, 4.0}));
+}
+
+TEST(Coo, CompressSumsDuplicates) {
+  sparse::CooMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, 2.0);
+  m.add(0, 0, -0.5);
+  m.compress();
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.entries()[0].value, 2.5);
+}
+
+TEST(Coo, CompressKeepsExplicitZeros) {
+  sparse::CooMatrix m(1, 1);
+  m.add(0, 0, 0.0);
+  m.compress();
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(Coo, DuplicatesCancellingToZeroRemainStored) {
+  sparse::CooMatrix m(1, 2);
+  m.add(0, 1, 3.0);
+  m.add(0, 1, -3.0);
+  m.compress();
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.entries()[0].value, 0.0);
+}
+
+TEST(Coo, AccumulateAliasBehavesLikeAdd) {
+  sparse::CooMatrix m(2, 2);
+  m.accumulate(1, 1, 5.0);
+  m.accumulate(1, 1, 1.0);
+  m.compress();
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.entries()[0].value, 6.0);
+}

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparse = sdcgmres::sparse;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// 2x2 example [1 2; 0 3].
+sparse::CsrMatrix small_matrix() {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 1, 3.0);
+  return sparse::CsrMatrix(std::move(coo));
+}
+
+} // namespace
+
+TEST(Csr, FromCooBasicShape) {
+  const auto A = small_matrix();
+  EXPECT_EQ(A.rows(), 2u);
+  EXPECT_EQ(A.cols(), 2u);
+  EXPECT_EQ(A.nnz(), 3u);
+}
+
+TEST(Csr, RowPointersConsistent) {
+  const auto A = small_matrix();
+  const auto& rp = A.row_ptr();
+  ASSERT_EQ(rp.size(), 3u);
+  EXPECT_EQ(rp[0], 0u);
+  EXPECT_EQ(rp[1], 2u);
+  EXPECT_EQ(rp[2], 3u);
+}
+
+TEST(Csr, AtReturnsStoredAndImplicitZero) {
+  const auto A = small_matrix();
+  EXPECT_EQ(A.at(0, 0), 1.0);
+  EXPECT_EQ(A.at(0, 1), 2.0);
+  EXPECT_EQ(A.at(1, 0), 0.0);
+  EXPECT_EQ(A.at(1, 1), 3.0);
+}
+
+TEST(Csr, AtOutOfRangeThrows) {
+  const auto A = small_matrix();
+  EXPECT_THROW((void)A.at(2, 0), std::out_of_range);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  sparse::CooMatrix coo(1, 1);
+  coo.add(0, 0, 1.5);
+  coo.add(0, 0, 2.5);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_EQ(A.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 4.0);
+}
+
+TEST(Csr, SpmvMatchesHandComputation) {
+  const auto A = small_matrix();
+  la::Vector x{1.0, 10.0};
+  la::Vector y(2);
+  A.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[1], 30.0);
+}
+
+TEST(Csr, SpmvSizeMismatchThrows) {
+  const auto A = small_matrix();
+  la::Vector x(3);
+  la::Vector y(2);
+  EXPECT_THROW(A.spmv(x, y), std::invalid_argument);
+}
+
+TEST(Csr, SpmvTransposeMatchesTransposedSpmv) {
+  const auto A = small_matrix();
+  const auto At = A.transposed();
+  la::Vector x{2.0, -1.0};
+  la::Vector y1(2), y2(2);
+  A.spmv_transpose(x, y1);
+  At.spmv(x, y2);
+  EXPECT_DOUBLE_EQ(y1[0], y2[0]);
+  EXPECT_DOUBLE_EQ(y1[1], y2[1]);
+}
+
+TEST(Csr, ApplyReturnsByValue) {
+  const auto A = small_matrix();
+  const la::Vector y = A.apply(la::Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  const auto A = small_matrix();
+  const la::Vector d = A.diagonal();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_EQ(d[1], 3.0);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const auto A = small_matrix();
+  const auto Att = A.transposed().transposed();
+  EXPECT_EQ(Att.nnz(), A.nnz());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(Att.at(i, j), A.at(i, j));
+    }
+  }
+}
+
+TEST(Csr, FrobeniusNorm) {
+  const auto A = small_matrix();
+  EXPECT_DOUBLE_EQ(A.frobenius_norm(), std::sqrt(1.0 + 4.0 + 9.0));
+}
+
+TEST(Csr, ScaledMultipliesValues) {
+  const auto A = small_matrix().scaled(2.0);
+  EXPECT_EQ(A.at(0, 1), 4.0);
+  EXPECT_EQ(A.at(1, 1), 6.0);
+}
+
+TEST(Csr, ToCooRoundTrip) {
+  const auto A = small_matrix();
+  const sparse::CsrMatrix B{A.to_coo()};
+  EXPECT_EQ(B.nnz(), A.nnz());
+  EXPECT_EQ(B.at(0, 1), A.at(0, 1));
+}
+
+TEST(Csr, RawConstructorValidatesRowPtr) {
+  EXPECT_THROW(sparse::CsrMatrix(2, 2, {0, 1}, {0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, RawConstructorValidatesColumnOrder) {
+  // Columns within a row must strictly increase.
+  EXPECT_THROW(sparse::CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, RawConstructorValidatesColumnRange) {
+  EXPECT_THROW(sparse::CsrMatrix(1, 2, {0, 1}, {2}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, RawConstructorAcceptsValidInput) {
+  const sparse::CsrMatrix A(2, 2, {0, 1, 2}, {0, 1}, {5.0, 6.0});
+  EXPECT_EQ(A.at(0, 0), 5.0);
+  EXPECT_EQ(A.at(1, 1), 6.0);
+}
+
+TEST(Csr, RowSpansMatchStorage) {
+  const auto A = small_matrix();
+  const auto cols = A.row_cols(0);
+  const auto vals = A.row_values(0);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[1], 1u);
+  EXPECT_EQ(vals[1], 2.0);
+}

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/matrix_market.hpp"
+
+namespace sparse = sdcgmres::sparse;
+
+TEST(MatrixMarket, ReadsGeneralRealMatrix) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "2 2 3\n"
+      "1 1 1.0\n"
+      "1 2 2.0\n"
+      "2 2 3.0\n");
+  const auto A = sparse::read_matrix_market(in);
+  EXPECT_EQ(A.rows(), 2u);
+  EXPECT_EQ(A.cols(), 2u);
+  EXPECT_EQ(A.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 2.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 4.0\n"
+      "2 1 -1.0\n");
+  const auto A = sparse::read_matrix_market(in);
+  EXPECT_EQ(A.nnz(), 3u); // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetricWithSignFlip) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 5.0\n");
+  const auto A = sparse::read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -5.0);
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto A = sparse::read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("not a banner\n1 1 0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 1.0 0.0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  sparse::CooMatrix coo(3, 2);
+  coo.add(0, 0, 1.25);
+  coo.add(2, 1, -7.5e-3);
+  const sparse::CsrMatrix A{std::move(coo)};
+  std::stringstream buffer;
+  sparse::write_matrix_market(buffer, A);
+  const auto B = sparse::read_matrix_market(buffer);
+  EXPECT_EQ(B.rows(), A.rows());
+  EXPECT_EQ(B.cols(), A.cols());
+  EXPECT_EQ(B.nnz(), A.nnz());
+  EXPECT_DOUBLE_EQ(B.at(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(B.at(2, 1), -7.5e-3);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((void)sparse::read_matrix_market_file("/nonexistent/path.mtx"),
+               std::runtime_error);
+}

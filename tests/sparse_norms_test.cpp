@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/poisson.hpp"
+#include "sparse/norms.hpp"
+
+namespace sparse = sdcgmres::sparse;
+namespace gen = sdcgmres::gen;
+
+namespace {
+
+sparse::CsrMatrix diagonal(std::initializer_list<double> values) {
+  const std::size_t n = values.size();
+  sparse::CooMatrix coo(n, n);
+  std::size_t i = 0;
+  for (const double v : values) {
+    coo.add(i, i, v);
+    ++i;
+  }
+  return sparse::CsrMatrix(std::move(coo));
+}
+
+} // namespace
+
+TEST(Norms, TwoNormOfDiagonalIsLargestEntry) {
+  const auto A = diagonal({1.0, -4.0, 2.0});
+  const auto est = sparse::estimate_two_norm(A);
+  EXPECT_TRUE(est.converged);
+  EXPECT_NEAR(est.value, 4.0, 1e-8);
+}
+
+TEST(Norms, TwoNormOfPoisson1dMatchesAnalyticEigenvalue) {
+  // 1-D Laplacian eigenvalues: 2 - 2 cos(k*pi/(n+1)); max ~ 4 for large n.
+  const std::size_t n = 50;
+  const auto A = gen::poisson1d(n);
+  const double analytic =
+      2.0 - 2.0 * std::cos(static_cast<double>(n) * M_PI /
+                           static_cast<double>(n + 1));
+  const auto est = sparse::estimate_two_norm(A, 2000, 1e-12);
+  EXPECT_NEAR(est.value, analytic, 1e-6);
+}
+
+TEST(Norms, TwoNormOfPoisson2dApproachesEight) {
+  const auto A = gen::poisson2d(30);
+  const auto est = sparse::estimate_two_norm(A, 3000, 1e-12);
+  EXPECT_GT(est.value, 7.8);
+  EXPECT_LT(est.value, 8.0); // the paper's Table I reports ||A||_2 = 8
+}
+
+TEST(Norms, TwoNormNeverExceedsFrobenius) {
+  const auto A = gen::poisson2d(12);
+  const auto est = sparse::estimate_two_norm(A);
+  EXPECT_LE(est.value, A.frobenius_norm() * (1.0 + 1e-12));
+}
+
+TEST(Norms, EmptyMatrixHasZeroNorm) {
+  const sparse::CsrMatrix A;
+  const auto est = sparse::estimate_two_norm(A);
+  EXPECT_EQ(est.value, 0.0);
+  EXPECT_TRUE(est.converged);
+}
+
+TEST(Norms, SmallestSingularValueOfDiagonal) {
+  const auto A = diagonal({1.0, 0.25, 8.0});
+  const auto est = sparse::estimate_smallest_singular_value(A);
+  EXPECT_NEAR(est.value, 0.25, 1e-6);
+}
+
+TEST(Norms, ConditionNumberOfDiagonal) {
+  const auto A = diagonal({10.0, 1.0, 0.1});
+  const double cond = sparse::estimate_condition_number(A);
+  EXPECT_NEAR(cond, 100.0, 1.0);
+}
+
+TEST(Norms, ConditionNumberOfPoisson1dMatchesAnalytic) {
+  const std::size_t n = 30;
+  const auto A = gen::poisson1d(n);
+  const double lam = [](std::size_t k, std::size_t n_) {
+    return 2.0 - 2.0 * std::cos(static_cast<double>(k) * M_PI /
+                                static_cast<double>(n_ + 1));
+  }(1, n);
+  const double lam_max =
+      2.0 - 2.0 * std::cos(static_cast<double>(n) * M_PI /
+                           static_cast<double>(n + 1));
+  const double analytic = lam_max / lam;
+  const double cond = sparse::estimate_condition_number(A);
+  EXPECT_NEAR(cond / analytic, 1.0, 0.05);
+}
+
+TEST(Norms, MinColumnNormOfDiagonalIsSmallestEntry) {
+  const auto A = diagonal({3.0, 0.5, 2.0});
+  EXPECT_DOUBLE_EQ(sparse::min_column_norm(A), 0.5);
+}
+
+TEST(Norms, MinColumnNormBoundsSigmaMinFromAbove) {
+  // sigma_min <= min_j ||A e_j||, so sigma_max / min_column_norm is a
+  // rigorous lower bound on the condition number.
+  const auto A = gen::poisson1d(20);
+  const auto smin = sparse::estimate_smallest_singular_value(A);
+  EXPECT_LE(smin.value, sparse::min_column_norm(A) * (1.0 + 1e-10));
+}
+
+TEST(Norms, OneNormIsMaxColumnSum) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, -3.0);
+  coo.add(0, 1, 2.0);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_DOUBLE_EQ(sparse::one_norm(A), 4.0);
+}
+
+TEST(Norms, InfNormIsMaxRowSum) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, -3.0);
+  coo.add(1, 1, 2.0);
+  const sparse::CsrMatrix A{std::move(coo)};
+  EXPECT_DOUBLE_EQ(sparse::inf_norm(A), 4.0);
+}
+
+TEST(Norms, SqrtOneInfBoundsSigmaMax) {
+  // sigma_max <= sqrt(||A||_1 ||A||_inf) for any A (Hoelder).
+  for (const unsigned seed : {1u, 2u, 3u}) {
+    const auto A = gen::poisson2d(6 + seed);
+    const double sigma = sparse::estimate_two_norm(A).value;
+    EXPECT_LE(sigma, sparse::sqrt_one_inf_bound(A) * (1.0 + 1e-12));
+  }
+}
+
+TEST(Norms, SqrtOneInfIsExactForPoisson) {
+  // For the Poisson matrix ||A||_1 = ||A||_inf = 8, so the bound is 8 --
+  // equal to the paper's Table I value of ||A||_2 (at the paper's scale
+  // it is 56x tighter than ||A||_F = 446; the gap grows like sqrt(n)).
+  const auto A = gen::poisson2d(30);
+  EXPECT_DOUBLE_EQ(sparse::sqrt_one_inf_bound(A), 8.0);
+  EXPECT_LT(sparse::sqrt_one_inf_bound(A), A.frobenius_norm() / 10.0);
+}
+
+TEST(Norms, GershgorinBoundsSpectrumOfSymmetricMatrix) {
+  const auto A = gen::poisson2d(10);
+  const double sigma = sparse::estimate_two_norm(A).value;
+  EXPECT_LE(sigma, sparse::gershgorin_bound(A) * (1.0 + 1e-12));
+  EXPECT_DOUBLE_EQ(sparse::gershgorin_bound(A), 8.0);
+}
+
+TEST(Norms, CheapestDetectorBoundIsValidAndMinimal) {
+  const auto A = gen::poisson2d(12);
+  const double bound = sparse::cheapest_detector_bound(A);
+  EXPECT_DOUBLE_EQ(bound, std::min(A.frobenius_norm(),
+                                   sparse::sqrt_one_inf_bound(A)));
+  EXPECT_GE(bound, sparse::estimate_two_norm(A).value * (1.0 - 1e-12));
+}
+
+TEST(Norms, PoissonNormIdentitiesHold) {
+  // For symmetric A: ||A||_1 == ||A||_inf, and ||A||_2 <= both.
+  const auto A = gen::poisson2d(8);
+  EXPECT_DOUBLE_EQ(sparse::one_norm(A), sparse::inf_norm(A));
+  EXPECT_LE(sparse::estimate_two_norm(A).value,
+            sparse::one_norm(A) * (1.0 + 1e-12));
+}
