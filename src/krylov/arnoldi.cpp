@@ -22,9 +22,9 @@ ArnoldiResult arnoldi(const LinearOperator& A, const la::Vector& v0,
     throw std::invalid_argument("arnoldi: start vector must be nonzero");
   }
   out.h.reshape(m + 1, m);
-  out.q.reserve(m + 1);
-  out.q.push_back(v0);
-  la::scal(1.0 / beta, out.q[0]);
+  out.q = la::KrylovBasis(A.rows(), m + 1);
+  out.q.append(v0);
+  la::scal(1.0 / beta, out.q.col(0));
 
   if (hook != nullptr) hook->on_solve_begin(0);
   la::Vector v(A.rows());
@@ -32,7 +32,7 @@ ArnoldiResult arnoldi(const LinearOperator& A, const la::Vector& v0,
   for (std::size_t j = 0; j < m; ++j) {
     const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
     if (hook != nullptr) hook->on_iteration_begin(ctx);
-    A.apply(out.q[j], v);
+    A.apply(out.q.col(j), v);
     if (hook != nullptr) hook->on_matvec_result(ctx, v);
     orthogonalize(ortho, out.q, j + 1, v, hcol, hook, ctx);
     for (std::size_t i = 0; i <= j; ++i) out.h(i, j) = hcol[i];
@@ -45,13 +45,12 @@ ArnoldiResult arnoldi(const LinearOperator& A, const la::Vector& v0,
       out.breakdown = true;
       break;
     }
-    la::Vector qnext = v;
-    la::scal(1.0 / hnext, qnext);
-    out.q.push_back(std::move(qnext));
+    out.q.append(v.span());
+    la::scal(1.0 / hnext, out.q.col(j + 1));
     if (hook != nullptr) {
       hcol[j + 1] = hnext;
       const ArnoldiIterationView view{
-          .basis = {out.q.data(), j + 2},
+          .basis = out.q.view(j + 2),
           .h_column = {hcol.data(), j + 2},
       };
       hook->on_iteration_end(ctx, view);

@@ -14,16 +14,18 @@
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "la/dense_matrix.hpp"
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
 
 /// Result of running the Arnoldi process for up to m steps.
 struct ArnoldiResult {
-  std::vector<la::Vector> q; ///< k+1 orthonormal basis vectors
-  la::DenseMatrix h;         ///< (k+1) x k upper Hessenberg
-  std::size_t steps = 0;     ///< k, the number of completed steps
-  bool breakdown = false;    ///< happy breakdown occurred at step `steps`
+  la::KrylovBasis q;      ///< k+1 orthonormal basis columns (contiguous,
+                          ///< column-major; q.col(j) views column j)
+  la::DenseMatrix h;      ///< (k+1) x k upper Hessenberg
+  std::size_t steps = 0;  ///< k, the number of completed steps
+  bool breakdown = false; ///< happy breakdown occurred at step `steps`
 };
 
 /// Run m steps of Arnoldi with start vector \p v0 (need not be normalized).

@@ -7,6 +7,8 @@
 #include "dense/hessenberg_qr.hpp"
 #include "dense/svd.hpp"
 #include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/krylov_basis.hpp"
 
 namespace sdcgmres::krylov {
 
@@ -33,8 +35,9 @@ double sigma_ratio(const dense::HessenbergQr& qr) {
   return smin / smax;
 }
 
-/// x := x0 + Z y for the current projected solution.
-void form_iterate(const la::Vector& x0, const std::vector<la::Vector>& zbasis,
+/// x := x0 + Z y for the current projected solution (one gemv over the
+/// contiguous preconditioned-direction block).
+void form_iterate(const la::Vector& x0, const la::KrylovBasis& zbasis,
                   const dense::HessenbergQr& qr, const FgmresOptions& opts,
                   la::Vector& x) {
   x = x0;
@@ -43,9 +46,8 @@ void form_iterate(const la::Vector& x0, const std::vector<la::Vector>& zbasis,
   const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
                                             opts.lsq_policy,
                                             opts.truncation_tol);
-  for (std::size_t i = 0; i < k; ++i) {
-    la::axpy(solve.y[i], zbasis[i], x);
-  }
+  la::gemv(1.0, zbasis.view(k), std::span<const double>(solve.y.data(), k),
+           1.0, x.span());
 }
 
 } // namespace
@@ -80,21 +82,23 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
     return result;
   }
 
-  std::vector<la::Vector> q;      // orthonormal basis
-  std::vector<la::Vector> zbasis; // preconditioned directions
-  q.reserve(opts.max_outer + 1);
-  zbasis.reserve(opts.max_outer);
-  q.push_back(r);
-  la::scal(1.0 / beta, q[0]);
+  // Both bases live in contiguous column-major arenas: q feeds the fused
+  // orthogonalization kernels, zbasis feeds the gemv in form_iterate.
+  la::KrylovBasis q(n, opts.max_outer + 1);      // orthonormal basis
+  la::KrylovBasis zbasis(n, opts.max_outer);     // preconditioned directions
+  q.append(r);
+  la::scal(1.0 / beta, q.col(0));
 
   dense::HessenbergQr qr(opts.max_outer, beta);
   la::Vector v(n);
+  la::Vector qj(n); // owning copy of q_j for the preconditioner interface
   std::vector<double> hcol(opts.max_outer + 2, 0.0);
 
   for (std::size_t j = 0; j < opts.max_outer; ++j) {
     // --- Unreliable phase: apply the (flexible) preconditioner. ---
     la::Vector z(n);
-    M.apply(q[j], j, z);
+    la::copy(q.col(j), qj.span());
+    M.apply(qj, j, z);
 
     // --- Reliable phase resumes: sanitize, expand, orthogonalize. ---
     if (opts.sanitize_preconditioner_output &&
@@ -103,10 +107,10 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
       // NaN), or returned the zero vector -- impossible for any nonsingular
       // preconditioner.  Fall back to the identity preconditioner for this
       // step (z := q_j).
-      la::copy(q[j], z);
+      la::copy(qj, z);
       ++result.sanitized_outputs;
     }
-    zbasis.push_back(std::move(z));
+    zbasis.append(z.span());
 
     double hnext = 0.0;
     double est = 0.0;
@@ -120,7 +124,7 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
     // update -- is discarded and the iteration retried; a second failure
     // is then a property of A itself and is reported loudly below.
     for (int attempt = 0; attempt < 2; ++attempt) {
-      A.apply(zbasis[j], v);
+      A.apply(zbasis.col(j), v);
       const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
       orthogonalize(opts.ortho, q, j + 1, v, hcol, nullptr, ctx);
       hnext = la::nrm2(v);
@@ -141,7 +145,7 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
       if (!opts.sanitize_preconditioner_output || attempt == 1) break;
       ++result.sanitized_outputs;
       qr.pop_column();
-      la::copy(q[j], zbasis[j]);
+      la::copy(q.col(j), zbasis.col(j));
     }
     if (subdiag_small) {
       if (rank_deficient) {
@@ -166,8 +170,8 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
     }
 
     result.residual_history.push_back(est);
-    q.push_back(v);
-    la::scal(1.0 / hnext, q[j + 1]);
+    q.append(v.span());
+    la::scal(1.0 / hnext, q.col(j + 1));
 
     if (est <= abs_target) {
       form_iterate(x0, zbasis, qr, opts, result.x);

@@ -6,6 +6,8 @@
 
 #include "dense/hessenberg_qr.hpp"
 #include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/krylov_basis.hpp"
 
 namespace sdcgmres::krylov {
 
@@ -54,14 +56,16 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
     return outcome;
   }
 
-  std::vector<la::Vector> q;
-  q.reserve(cycle_len + 1);
-  q.push_back(r);
-  la::scal(1.0 / beta, q[0]);
+  // Contiguous column-major basis arena: the whole cycle's basis lives in
+  // one buffer so orthogonalization runs as fused block kernels.
+  la::KrylovBasis q(n, cycle_len + 1);
+  q.append(r);
+  la::scal(1.0 / beta, q.col(0));
 
   dense::HessenbergQr qr(cycle_len, beta);
   la::Vector v(n);
-  la::Vector z(n); // preconditioned direction when right_precond is set
+  la::Vector z(n);  // preconditioned direction when right_precond is set
+  la::Vector qj(n); // owning copy of q_j for the preconditioner interface
   std::vector<double> hcol(cycle_len + 2, 0.0);
 
   bool aborted = false;
@@ -75,10 +79,11 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
 
     // v := A q_j (right-preconditioned: v := A M^{-1} q_j).
     if (opts.right_precond != nullptr) {
-      opts.right_precond->apply(q[j], z);
+      la::copy(q.col(j), qj.span());
+      opts.right_precond->apply(qj, z);
       A.apply(z, v);
     } else {
-      A.apply(q[j], v);
+      A.apply(q.col(j), v);
     }
     if (hook != nullptr) hook->on_matvec_result(ctx, v);
     const double w_norm = la::nrm2(v); // scale reference for breakdown test
@@ -109,13 +114,12 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
       breakdown = true;
       break;
     }
-    la::Vector qnext = v;
-    la::scal(1.0 / hnext, qnext);
-    q.push_back(std::move(qnext));
+    q.append(v.span());
+    la::scal(1.0 / hnext, q.col(j + 1));
 
     if (hook != nullptr) {
       const ArnoldiIterationView view{
-          .basis = {q.data(), j + 2},
+          .basis = q.view(j + 2),
           .h_column = {hcol.data(), j + 2},
       };
       hook->on_iteration_end(ctx, view);
@@ -151,10 +155,10 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
                                               opts.truncation_tol);
     result.lsq_effective_rank = solve.effective_rank;
     result.lsq_fallback_triggered = solve.fallback_triggered;
+    // update := Q_k y as one gemv over the contiguous block.
     la::Vector update(n);
-    for (std::size_t i = 0; i < k; ++i) {
-      la::axpy(solve.y[i], q[i], update);
-    }
+    la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k), 0.0,
+             update.span());
     if (opts.right_precond != nullptr) {
       opts.right_precond->apply(update, z);
       la::axpy(1.0, z, x);

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
@@ -34,9 +35,10 @@ struct ArnoldiContext {
 /// Online-ABFT comparator re-checks the relation
 /// A q_j = sum_{i<=j+1} h(i,j) q_i, which needs the basis itself).
 struct ArnoldiIterationView {
-  std::span<const la::Vector> basis; ///< q_0 .. q_{j+1} (j+2 vectors; the
-                                     ///< new vector is already normalized)
-  std::span<const double> h_column;  ///< h(0..j+1, j), j+2 entries
+  la::BasisView basis;              ///< q_0 .. q_{j+1} (j+2 columns of the
+                                    ///< contiguous basis; the new column is
+                                    ///< already normalized)
+  std::span<const double> h_column; ///< h(0..j+1, j), j+2 entries
 };
 
 /// Interface for observing and (for fault injection) mutating the Arnoldi

@@ -1,8 +1,16 @@
 #include "krylov/operator.hpp"
 
+#include <algorithm>
+
 #include "la/blas1.hpp"
 
 namespace sdcgmres::krylov {
+
+void LinearOperator::apply(std::span<const double> x, la::Vector& y) const {
+  la::Vector tmp(x.size());
+  std::copy(x.begin(), x.end(), tmp.begin());
+  apply(tmp, y);
+}
 
 void ScaledOperator::apply(const la::Vector& x, la::Vector& y) const {
   a_->apply(x, y);

@@ -6,6 +6,7 @@
 /// implementation: solvers see only y = A*x.
 
 #include <cstddef>
+#include <span>
 
 #include "la/vector.hpp"
 #include "sparse/csr.hpp"
@@ -22,6 +23,11 @@ public:
 
   /// y := A*x.  Implementations must resize y as needed.
   virtual void apply(const la::Vector& x, la::Vector& y) const = 0;
+
+  /// y := A*x for a span operand (a column of a contiguous KrylovBasis).
+  /// The default copies into a temporary la::Vector; zero-copy-capable
+  /// operators (CsrOperator) override it.
+  virtual void apply(std::span<const double> x, la::Vector& y) const;
 
   /// Convenience: A*x by value.
   [[nodiscard]] la::Vector operator()(const la::Vector& x) const {
@@ -41,6 +47,10 @@ public:
   void apply(const la::Vector& x, la::Vector& y) const override {
     a_->spmv(x, y);
   }
+  /// Zero-copy SpMV straight from a basis column.
+  void apply(std::span<const double> x, la::Vector& y) const override {
+    a_->spmv(x, y);
+  }
 
   [[nodiscard]] const sparse::CsrMatrix& matrix() const { return *a_; }
 
@@ -52,6 +62,8 @@ private:
 class ScaledOperator final : public LinearOperator {
 public:
   ScaledOperator(const LinearOperator& A, double alpha) : a_(&A), alpha_(alpha) {}
+
+  using LinearOperator::apply; // keep the span overload visible
 
   [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
   [[nodiscard]] std::size_t cols() const override { return a_->cols(); }

@@ -1,8 +1,10 @@
 #include "krylov/orthogonalize.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "la/blas1.hpp"
+#include "la/blas2.hpp"
 
 namespace sdcgmres::krylov {
 
@@ -47,17 +49,65 @@ void cgs_pass(std::span<const la::Vector> q, std::size_t k, la::Vector& v,
   }
 }
 
-} // namespace
+// --- Fused kernels over the contiguous basis -------------------------------
 
-void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
-                   std::size_t k, la::Vector& v, std::span<double> h,
-                   ArnoldiHook* hook, const ArnoldiContext& ctx) {
-  if (q.size() < k) {
+/// MGS over the arena: each column streams through the fused dot_axpy
+/// kernel (one parallel region per column instead of two); the hook's
+/// mutation point sits between the dot and the correction, exactly as in
+/// the reference path.
+void mgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
+                    std::span<double> h, ArnoldiHook* hook,
+                    const ArnoldiContext& ctx) {
+  for (std::size_t i = 0; i < k; ++i) {
+    double hij;
+    if (hook != nullptr) {
+      hij = la::dot_axpy(q.col(i), v.span(), [&](double& c) {
+        hook->on_projection_coefficient(ctx, i, k, c);
+      });
+    } else {
+      hij = la::dot_axpy(q.col(i), v.span());
+    }
+    h[i] += hij;
+  }
+}
+
+/// One classical Gram-Schmidt pass over the arena: coefficients via a
+/// single gemv_t over the basis block, correction via a single gemv.
+void cgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
+                    std::span<double> h, ArnoldiHook* hook,
+                    const ArnoldiContext& ctx, bool fire_hook) {
+  std::vector<double> coeffs(k, 0.0);
+  const la::BasisView block = q.view(k);
+  la::gemv_t(1.0, block, v.span(), 0.0, coeffs);
+  if (fire_hook && hook != nullptr) {
+    // All first-pass coefficients are dot products against the SAME
+    // (untouched) v, so firing after the blocked projection preserves the
+    // reference path's (i, mgs_steps) sequence, with values bitwise equal
+    // whenever the reference dot runs serially.
+    for (std::size_t i = 0; i < k; ++i) {
+      hook->on_projection_coefficient(ctx, i, k, coeffs[i]);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) h[i] += coeffs[i];
+  la::gemv(-1.0, block, coeffs, 1.0, v.span());
+}
+
+void validate_args(std::size_t basis_cols, std::size_t k,
+                   std::span<double> h) {
+  if (basis_cols < k) {
     throw std::invalid_argument("orthogonalize: fewer basis vectors than k");
   }
   if (h.size() < k) {
     throw std::invalid_argument("orthogonalize: coefficient span too small");
   }
+}
+
+} // namespace
+
+void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
+                   std::size_t k, la::Vector& v, std::span<double> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  validate_args(q.size(), k, h);
   for (std::size_t i = 0; i < k; ++i) h[i] = 0.0;
   switch (kind) {
     case Orthogonalization::MGS:
@@ -69,6 +119,28 @@ void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
     case Orthogonalization::CGS2:
       cgs_pass(q, k, v, h, hook, ctx, /*fire_hook=*/true);
       cgs_pass(q, k, v, h, /*hook=*/nullptr, ctx, /*fire_hook=*/false);
+      break;
+  }
+}
+
+void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
+                   std::size_t k, la::Vector& v, std::span<double> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  validate_args(q.cols(), k, h);
+  if (v.size() != q.rows()) {
+    throw std::invalid_argument("orthogonalize: v size must equal basis rows");
+  }
+  for (std::size_t i = 0; i < k; ++i) h[i] = 0.0;
+  switch (kind) {
+    case Orthogonalization::MGS:
+      mgs_pass_fused(q, k, v, h, hook, ctx);
+      break;
+    case Orthogonalization::CGS:
+      cgs_pass_fused(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      break;
+    case Orthogonalization::CGS2:
+      cgs_pass_fused(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      cgs_pass_fused(q, k, v, h, /*hook=*/nullptr, ctx, /*fire_hook=*/false);
       break;
   }
 }

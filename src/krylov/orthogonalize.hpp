@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "krylov/hooks.hpp"
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
@@ -38,6 +39,11 @@ enum class Orthogonalization {
 /// (approximately) orthogonal to span{q_0..q_{k-1}} and h[i] holds the
 /// total coefficient of q_i removed from v.
 ///
+/// This is the per-vector REFERENCE path (k separate dot+axpy kernels over
+/// scattered la::Vector buffers).  The solvers use the contiguous-basis
+/// overload below; this one is kept as the baseline for the equivalence
+/// tests and the old-vs-new kernel benchmark.
+///
 /// \param hook optional Arnoldi hook (may be nullptr); receives
 ///        on_projection_coefficient for every first-pass coefficient.
 /// \param ctx context forwarded to the hook.
@@ -45,5 +51,23 @@ void orthogonalize(Orthogonalization kind,
                    std::span<const la::Vector> q, std::size_t k,
                    la::Vector& v, std::span<double> h, ArnoldiHook* hook,
                    const ArnoldiContext& ctx);
+
+/// Fused orthogonalization over a contiguous KrylovBasis.  Semantics match
+/// the reference overload:
+///   - the hook fires once per first-pass coefficient with the same
+///     (i, mgs_steps) sequence, each coefficient computed from the same
+///     operands, and hook mutations are applied identically;
+///   - in serial execution (or below la::dot's OpenMP threshold) the hook
+///     values are bitwise identical to the reference path; with multiple
+///     OpenMP threads the reference path's parallel reductions combine in
+///     thread-arrival order, so values agree to reduction roundoff;
+///   - CGS2's second-pass corrections remain silent.
+/// The kernels differ: CGS/CGS2 projections run as one gemv_t + one gemv
+/// over the basis block, and MGS streams each column through the fused
+/// la::dot_axpy kernel.  The CORRECTION rounding can also differ from the
+/// reference (blocked column combination), i.e. v agrees to roundoff.
+void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
+                   std::size_t k, la::Vector& v, std::span<double> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx);
 
 } // namespace sdcgmres::krylov

@@ -20,17 +20,109 @@ void require_same_size(const Vector& x, const Vector& y, const char* what) {
 // below 2^63 so the narrowing is safe.
 std::int64_t ssize(const Vector& x) { return static_cast<std::int64_t>(x.size()); }
 
+void require_same_size(std::span<const double> x, std::span<const double> y,
+                       const char* what) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string("la::") + what +
+                                ": span size mismatch");
+  }
+}
+
 } // namespace
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  require_same_size(x, y, "dot");
+  double sum = 0.0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  const double* py = y.data();
+#pragma omp parallel for reduction(+ : sum) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += px[i] * py[i];
+  }
+  return sum;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require_same_size(x, y, "axpy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  double* py = y.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] += alpha * px[i];
+  }
+}
+
+void scal(double alpha, std::span<double> x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* px = x.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    px[i] *= alpha;
+  }
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  require_same_size(x, y, "copy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  double* py = y.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] = px[i];
+  }
+}
+
+namespace {
+
+double dot_axpy_impl(std::span<const double> x, std::span<double> y,
+                     const std::function<void(double&)>* adjust) {
+  require_same_size(x, std::span<const double>(y), "dot_axpy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  double* py = y.data();
+  double h = 0.0;
+#pragma omp parallel if (n > 4096) default(shared)
+  {
+#pragma omp for reduction(+ : h) schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      h += px[i] * py[i];
+    }
+    // The reduction is complete at the barrier above; the hook point runs
+    // exactly once, between the dot and the correction, and may mutate h.
+#pragma omp single
+    {
+      if (adjust != nullptr) (*adjust)(h);
+    }
+    // Private copy: h is shared in the outlined region, and a shared
+    // variable read inside the loop defeats register allocation.
+    const double hh = h;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      py[i] -= hh * px[i];
+    }
+  }
+  return h;
+}
+
+} // namespace
+
+double dot_axpy(std::span<const double> x, std::span<double> y) {
+  return dot_axpy_impl(x, y, nullptr);
+}
+
+double dot_axpy(std::span<const double> x, std::span<double> y,
+                const std::function<void(double&)>& adjust) {
+  return dot_axpy_impl(x, y, &adjust);
+}
 
 double dot(const Vector& x, const Vector& y) {
   require_same_size(x, y, "dot");
-  double sum = 0.0;
-  const std::int64_t n = ssize(x);
-#pragma omp parallel for reduction(+ : sum) schedule(static) if (n > 4096)
-  for (std::int64_t i = 0; i < n; ++i) {
-    sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
-  }
-  return sum;
+  return dot(std::span<const double>(x.span()),
+             std::span<const double>(y.span()));
 }
 
 double nrm2(const Vector& x) { return std::sqrt(dot(x, x)); }

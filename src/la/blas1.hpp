@@ -9,6 +9,8 @@
 /// are not faults).
 
 #include <cstddef>
+#include <functional>
+#include <span>
 
 #include "la/vector.hpp"
 
@@ -17,6 +19,48 @@ namespace sdcgmres::la {
 /// Euclidean inner product x.y.  Throws std::invalid_argument on size
 /// mismatch.
 [[nodiscard]] double dot(const Vector& x, const Vector& y);
+
+// --- Span kernels -----------------------------------------------------------
+//
+// The contiguous KrylovBasis exposes its columns as std::span views; these
+// overloads let every kernel run on a basis column without materializing an
+// owning la::Vector.  The Vector overloads forward here, so both entry
+// points share one implementation (and one summation order: results are
+// bitwise identical between the two).
+
+/// Euclidean inner product over spans (sequential accumulation order,
+/// identical to the Vector overload).
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// 2-norm of a span.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// y := alpha*x + y over spans.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x := alpha*x over a span.
+void scal(double alpha, std::span<double> x);
+
+/// y := x over spans (sizes must match).
+void copy(std::span<const double> x, std::span<double> y);
+
+/// Fused MGS step: computes h = x.y, then y := y - h*x, in one kernel
+/// (single parallel region; one fork/join instead of two, and x is hot in
+/// cache for the correction).  The dot uses the same loop and reduction as
+/// dot(), so in serial execution (or below the parallel threshold) the
+/// returned coefficient is bitwise identical to the unfused dot+axpy
+/// sequence; with multiple OpenMP threads, separate reductions may combine
+/// partials in different orders, so agreement is to reduction roundoff.
+/// Returns h.
+double dot_axpy(std::span<const double> x, std::span<double> y);
+
+/// Instrumented variant: \p adjust runs once with the freshly computed
+/// coefficient BEFORE it is applied to y, and may mutate it; the mutated
+/// value is what gets subtracted (and returned).  This is the projection-
+/// coefficient hook point of the Arnoldi process (SDC injection/detection
+/// site), preserved inside the fused kernel.
+double dot_axpy(std::span<const double> x, std::span<double> y,
+                const std::function<void(double&)>& adjust);
 
 /// 2-norm of \p x, computed as sqrt(dot(x, x)).
 [[nodiscard]] double nrm2(const Vector& x);

@@ -1,11 +1,51 @@
 #pragma once
 /// \file blas2.hpp
-/// \brief Dense level-2 kernels on DenseMatrix / Vector.
+/// \brief Dense level-2 kernels on DenseMatrix / Vector and on contiguous
+/// column-major blocks (KrylovBasis views).
+///
+/// The raw kernels are blocked over columns: gemv_t interleaves four
+/// independent per-column accumulator chains (4x the instruction-level
+/// parallelism of a single latency-bound dot product, and x is streamed
+/// once per block instead of once per column), and gemv updates each y
+/// chunk once per four columns instead of once per column.  Each column's
+/// accumulation stays in plain sequential order, bitwise identical to a
+/// sequential dot product -- so the Arnoldi hook protocol observes the
+/// same projection coefficients through the fused CGS path as through the
+/// per-vector reference path: exactly, when the reference dot runs
+/// serially (below la::dot's parallel threshold, or one thread); to
+/// reduction roundoff when it runs as a multi-threaded OpenMP reduction
+/// (combine order is thread-arrival-dependent).
+
+#include <cstddef>
+#include <span>
 
 #include "la/dense_matrix.hpp"
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::la {
+
+/// y := alpha*B*x + beta*y over a column-major block (\p rows x \p cols,
+/// leading dimension \p lda >= rows).  x has cols entries, y has rows
+/// entries.
+void gemv(double alpha, std::size_t rows, std::size_t cols, const double* b,
+          std::size_t lda, const double* x, double beta, double* y);
+
+/// y := alpha*B^T*x + beta*y over the same block layout.  x has rows
+/// entries, y has cols entries.  Each y[j] accumulates column j
+/// sequentially, bitwise identical to a sequential dot(col_j, x).
+void gemv_t(double alpha, std::size_t rows, std::size_t cols, const double* b,
+            std::size_t lda, const double* x, double beta, double* y);
+
+/// y := alpha*Q*x + beta*y for a basis view (x.size() == Q.cols(),
+/// y.size() == Q.rows()).
+void gemv(double alpha, const BasisView& q, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// y := alpha*Q^T*x + beta*y for a basis view (x.size() == Q.rows(),
+/// y.size() == Q.cols()).
+void gemv_t(double alpha, const BasisView& q, std::span<const double> x,
+            double beta, std::span<double> y);
 
 /// y := alpha*A*x + beta*y.
 void gemv(double alpha, const DenseMatrix& A, const Vector& x, double beta,
@@ -24,5 +64,8 @@ void gemm(const DenseMatrix& A, const DenseMatrix& B, DenseMatrix& C);
 /// Maximum absolute deviation of A^T*A from the identity; measures loss of
 /// orthonormality of A's columns (used by the Arnoldi property tests).
 [[nodiscard]] double orthonormality_defect(const DenseMatrix& A);
+
+/// Same measure over a contiguous basis view.
+[[nodiscard]] double orthonormality_defect(const BasisView& q);
 
 } // namespace sdcgmres::la

@@ -1,0 +1,130 @@
+#pragma once
+/// \file krylov_basis.hpp
+/// \brief Contiguous column-major arena for a growing Krylov basis.
+///
+/// The per-iteration hot path of every GMRES variant orthogonalizes the new
+/// candidate vector against the whole current basis.  Storing the basis as
+/// `std::vector<la::Vector>` (one heap allocation per column) forces the
+/// projection and correction to run as k separate dot/axpy kernels over
+/// scattered buffers.  KrylovBasis instead owns ONE flat buffer of
+/// rows x capacity doubles, laid out column-major with leading dimension ==
+/// rows, so that
+///   - the CGS/CGS2 projection is a single gemv_t over the block,
+///   - the correction is a single gemv,
+///   - MGS streams each column once through the fused la::dot_axpy kernel,
+/// exactly as production Krylov codes (Trilinos/Belos-style blocked CGS2)
+/// arrange it.  Columns are exposed as std::span views, which all blas1/2
+/// kernels accept.
+///
+/// The capacity is fixed at construction: growing would reallocate and
+/// silently invalidate column spans held by callers (solvers always know
+/// their restart length up front).  append() past capacity throws.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::la {
+
+/// Non-owning read-only view of the leading columns of a contiguous
+/// column-major block (leading dimension >= rows).  This is what the
+/// fused kernels and the Arnoldi hook protocol consume; it is trivially
+/// copyable and valid as long as the underlying basis is alive and not
+/// shrunk below `cols` columns.
+class BasisView {
+public:
+  BasisView() = default;
+  BasisView(const double* data, std::size_t rows, std::size_t cols,
+            std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Leading dimension (distance in doubles between column starts).
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return cols_ == 0; }
+
+  /// Column \p j as a contiguous span of length rows().
+  [[nodiscard]] std::span<const double> col(std::size_t j) const noexcept {
+    return {data_ + j * ld_, rows_};
+  }
+
+  /// Start of the flat column-major storage.
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+
+private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+/// Contiguous column-major Krylov basis arena.
+class KrylovBasis {
+public:
+  KrylovBasis() = default;
+
+  /// Arena for up to \p capacity vectors of length \p rows; allocates the
+  /// whole buffer once, zero-initialized, with zero current columns.
+  KrylovBasis(std::size_t rows, std::size_t capacity);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  /// Number of columns currently in the basis.
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return cols_ == 0; }
+  /// Leading dimension: rows() plus a small pad when a rows-sized stride
+  /// would be a multiple of the 4 KiB page (all columns congruent modulo
+  /// every cache-set stride -> conflict misses on every kernel).
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+
+  /// Append a zero column and return a mutable view of it.  Throws
+  /// std::length_error when the arena is full.
+  std::span<double> append();
+
+  /// Append a copy of \p v (length must equal rows()).
+  void append(std::span<const double> v);
+  void append(const Vector& v);
+
+  /// Drop the last column (its storage is re-zeroed so a later append()
+  /// starts clean).  Throws std::out_of_range when empty.
+  void pop_back();
+
+  /// Drop all columns; the arena stays allocated.
+  void clear();
+
+  /// Column \p j as a span (no bounds check beyond debug assertions).
+  [[nodiscard]] std::span<double> col(std::size_t j) noexcept {
+    return {data_.data() + j * ld_, rows_};
+  }
+  [[nodiscard]] std::span<const double> col(std::size_t j) const noexcept {
+    return {data_.data() + j * ld_, rows_};
+  }
+
+  /// Copy of column \p j as an owning la::Vector (compat / test helper).
+  [[nodiscard]] Vector col_copy(std::size_t j) const;
+
+  /// View of the first \p k columns (k <= cols()).
+  [[nodiscard]] BasisView view(std::size_t k) const;
+  /// View of all current columns.
+  [[nodiscard]] BasisView view() const { return view(cols_); }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// Dense copy (rows x cols) of the current basis, for tests that measure
+  /// orthonormality with the DenseMatrix helpers.
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t ld_ = 0;
+  std::vector<double> data_;
+};
+
+} // namespace sdcgmres::la

@@ -26,15 +26,15 @@ void AbftMonitor::on_iteration_end(const krylov::ArnoldiContext& ctx,
   if (ctx.iteration % opts_.check_period != 0) return;
   ++checks_;
   const std::size_t j = ctx.iteration;
-  const std::size_t cols = view.basis.size(); // j + 2
+  const std::size_t cols = view.basis.cols(); // j + 2
 
   // --- Arnoldi relation: r = A q_j - sum_i h(i,j) q_i must be ~0. ---
   ++extra_spmv_;
   la::Vector r(a_->rows());
-  a_->apply(view.basis[j], r);
+  a_->apply(view.basis.col(j), r);
   double h_scale = 0.0;
   for (std::size_t i = 0; i < cols; ++i) {
-    la::axpy(-view.h_column[i], view.basis[i], r);
+    la::axpy(-view.h_column[i], view.basis.col(i), r.span());
     h_scale = std::max(h_scale, std::abs(view.h_column[i]));
   }
   const double defect = la::nrm2(r);
@@ -46,9 +46,9 @@ void AbftMonitor::on_iteration_end(const krylov::ArnoldiContext& ctx,
   // --- Orthonormality of the newest vector. ---
   bool ortho_bad = false;
   double worst_dot = 0.0;
-  const la::Vector& q_new = view.basis[cols - 1];
+  const std::span<const double> q_new = view.basis.col(cols - 1);
   for (std::size_t i = 0; i + 1 < cols; ++i) {
-    const double d = std::abs(la::dot(view.basis[i], q_new));
+    const double d = std::abs(la::dot(view.basis.col(i), q_new));
     worst_dot = std::max(worst_dot, d);
     if (!(d <= opts_.ortho_tol)) ortho_bad = true;
   }

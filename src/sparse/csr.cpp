@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <stdexcept>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace sdcgmres::sparse {
 
 CsrMatrix::CsrMatrix(CooMatrix coo) : rows_(coo.rows()), cols_(coo.cols()) {
@@ -75,21 +79,26 @@ double CsrMatrix::at(std::size_t i, std::size_t j) const {
   return values_[row_ptr_[i] + static_cast<std::size_t>(it - cols.begin())];
 }
 
-void CsrMatrix::spmv(const la::Vector& x, la::Vector& y) const {
+void CsrMatrix::spmv(std::span<const double> x, la::Vector& y) const {
   if (x.size() != cols_) {
     throw std::invalid_argument("CsrMatrix::spmv: x size mismatch");
   }
   if (y.size() != rows_) y.resize(rows_);
+  const double* px = x.data();
   const auto n = static_cast<std::int64_t>(rows_);
 #pragma omp parallel for schedule(static) if (n > 2048)
   for (std::int64_t ii = 0; ii < n; ++ii) {
     const auto i = static_cast<std::size_t>(ii);
     double sum = 0.0;
     for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
+      sum += values_[k] * px[col_idx_[k]];
     }
     y[i] = sum;
   }
+}
+
+void CsrMatrix::spmv(const la::Vector& x, la::Vector& y) const {
+  spmv(x.span(), y);
 }
 
 void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
@@ -97,6 +106,44 @@ void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
     throw std::invalid_argument("CsrMatrix::spmv_transpose: x size mismatch");
   }
   y.resize(cols_);
+#ifdef _OPENMP
+  const int max_threads = omp_get_max_threads();
+  // Per-thread dense accumulation buffers cost threads*cols doubles; only
+  // worth it when the scatter itself dominates.
+  if (max_threads > 1 && nnz() > 16384) {
+    std::vector<double> scratch(static_cast<std::size_t>(max_threads) * cols_,
+                                0.0);
+    const auto n = static_cast<std::int64_t>(rows_);
+    const auto m = static_cast<std::int64_t>(cols_);
+#pragma omp parallel num_threads(max_threads)
+    {
+      double* buf =
+          scratch.data() +
+          static_cast<std::size_t>(omp_get_thread_num()) * cols_;
+#pragma omp for schedule(static)
+      for (std::int64_t ii = 0; ii < n; ++ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          buf[col_idx_[k]] += values_[k] * xi;
+        }
+      }
+      // Implicit barrier above: every thread's scatter is complete.
+      const int nt = omp_get_num_threads();
+#pragma omp for schedule(static)
+      for (std::int64_t jj = 0; jj < m; ++jj) {
+        const auto j = static_cast<std::size_t>(jj);
+        double sum = 0.0;
+        for (int t = 0; t < nt; ++t) {
+          sum += scratch[static_cast<std::size_t>(t) * cols_ + j];
+        }
+        y[j] = sum;
+      }
+    }
+    return;
+  }
+#endif
   y.fill(0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double xi = x[i];
@@ -116,19 +163,39 @@ la::Vector CsrMatrix::apply(const la::Vector& x) const {
 la::Vector CsrMatrix::diagonal() const {
   const std::size_t n = std::min(rows_, cols_);
   la::Vector d(n);
-  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  // Single pass over the stored entries; column indices are strictly
+  // increasing per row, so the scan can stop at the first index >= i.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) {
+        if (j == i) d[i] = values_[k];
+        break;
+      }
+    }
+  }
   return d;
 }
 
 CsrMatrix CsrMatrix::transposed() const {
-  CooMatrix coo(cols_, rows_);
-  coo.reserve(nnz());
+  // Counting-sort transpose: O(nnz), no COO round-trip, no re-sort.  The
+  // result's per-row column indices are increasing by construction (rows
+  // are visited in order), so the CSR invariants hold without validate().
+  std::vector<std::size_t> t_row_ptr(cols_ + 1, 0);
+  for (const std::size_t j : col_idx_) ++t_row_ptr[j + 1];
+  for (std::size_t j = 0; j < cols_; ++j) t_row_ptr[j + 1] += t_row_ptr[j];
+  std::vector<std::size_t> t_col_idx(nnz());
+  std::vector<double> t_values(nnz());
+  std::vector<std::size_t> next(t_row_ptr.begin(), t_row_ptr.end() - 1);
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      coo.add(col_idx_[k], i, values_[k]);
+      const std::size_t pos = next[col_idx_[k]]++;
+      t_col_idx[pos] = i;
+      t_values[pos] = values_[k];
     }
   }
-  return CsrMatrix(std::move(coo));
+  return CsrMatrix(Prevalidated{}, cols_, rows_, std::move(t_row_ptr),
+                   std::move(t_col_idx), std::move(t_values));
 }
 
 double CsrMatrix::frobenius_norm() const {
@@ -138,9 +205,10 @@ double CsrMatrix::frobenius_norm() const {
 }
 
 CsrMatrix CsrMatrix::scaled(double alpha) const {
-  CsrMatrix out = *this;
-  for (double& v : out.values_) v *= alpha;
-  return out;
+  std::vector<double> vals = values_;
+  for (double& v : vals) v *= alpha;
+  return CsrMatrix(Prevalidated{}, rows_, cols_, row_ptr_, col_idx_,
+                   std::move(vals));
 }
 
 CooMatrix CsrMatrix::to_coo() const {

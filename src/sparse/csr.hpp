@@ -54,7 +54,13 @@ public:
   /// y := A*x.  Sizes must match; OpenMP-parallel over rows.
   void spmv(const la::Vector& x, la::Vector& y) const;
 
-  /// y := A^T*x (sequential scatter; used by norm estimation).
+  /// y := A*x for a span operand (zero-copy from a KrylovBasis column).
+  void spmv(std::span<const double> x, la::Vector& y) const;
+
+  /// y := A^T*x.  OpenMP-parallel over row blocks with per-thread
+  /// accumulation buffers (each thread scatters into its own dense buffer,
+  /// then the buffers are reduced column-wise); serial fallback without
+  /// OpenMP or for small matrices.
   void spmv_transpose(const la::Vector& x, la::Vector& y) const;
 
   /// Convenience: returns A*x by value.
@@ -76,6 +82,17 @@ public:
   [[nodiscard]] CooMatrix to_coo() const;
 
 private:
+  /// Tag for internal constructions whose CSR invariants hold by
+  /// construction (scaled copies, counting-sort transposes); skips the
+  /// O(nnz) validate() pass that the public constructors run.
+  struct Prevalidated {};
+
+  CsrMatrix(Prevalidated, std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values) noexcept
+      : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)), values_(std::move(values)) {}
+
   void validate() const;
 
   std::size_t rows_ = 0;

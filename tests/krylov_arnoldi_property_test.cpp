@@ -104,10 +104,10 @@ TEST_P(ArnoldiProperty, BasisOrthonormal) {
   // converged Krylov spaces (tiny subdiagonals), and MGS/CGS orthogonality
   // degrades as O(eps / h_{j+1,j}) -- expected behaviour, not a defect.
   const auto res = krylov::arnoldi(op, generic_vector(A.rows()), 10, ortho);
-  for (std::size_t a = 0; a < res.q.size(); ++a) {
-    for (std::size_t b = a; b < res.q.size(); ++b) {
+  for (std::size_t a = 0; a < res.q.cols(); ++a) {
+    for (std::size_t b = a; b < res.q.cols(); ++b) {
       const double target = (a == b) ? 1.0 : 0.0;
-      EXPECT_NEAR(la::dot(res.q[a], res.q[b]), target, 1e-6)
+      EXPECT_NEAR(la::dot(res.q.col(a), res.q.col(b)), target, 1e-6)
           << label << " <q" << a << ", q" << b << ">";
     }
   }
@@ -122,9 +122,9 @@ TEST_P(ArnoldiProperty, HessenbergRelation) {
   const double scale = A.frobenius_norm();
   for (std::size_t j = 0; j < res.steps; ++j) {
     la::Vector aq(A.rows());
-    op.apply(res.q[j], aq);
-    for (std::size_t i = 0; i <= j + 1 && i < res.q.size(); ++i) {
-      la::axpy(-res.h(i, j), res.q[i], aq);
+    op.apply(res.q.col(j), aq);
+    for (std::size_t i = 0; i <= j + 1 && i < res.q.cols(); ++i) {
+      la::axpy(-res.h(i, j), res.q.col(i), aq.span());
     }
     EXPECT_LE(la::nrm2(aq), 1e-10 * scale) << label << " column " << j;
   }

@@ -33,9 +33,9 @@ double hessenberg_relation_error(const krylov::LinearOperator& A,
   double worst = 0.0;
   for (std::size_t j = 0; j < res.steps; ++j) {
     la::Vector aq(A.rows());
-    A.apply(res.q[j], aq);
-    for (std::size_t i = 0; i <= j + 1 && i < res.q.size(); ++i) {
-      la::axpy(-res.h(i, j), res.q[i], aq);
+    A.apply(res.q.col(j), aq);
+    for (std::size_t i = 0; i <= j + 1 && i < res.q.cols(); ++i) {
+      la::axpy(-res.h(i, j), res.q.col(i), aq.span());
     }
     worst = std::max(worst, la::nrm2(aq));
   }
@@ -44,10 +44,11 @@ double hessenberg_relation_error(const krylov::LinearOperator& A,
 
 double basis_orthonormality_defect(const krylov::ArnoldiResult& res) {
   double worst = 0.0;
-  for (std::size_t a = 0; a < res.q.size(); ++a) {
-    for (std::size_t b = a; b < res.q.size(); ++b) {
+  for (std::size_t a = 0; a < res.q.cols(); ++a) {
+    for (std::size_t b = a; b < res.q.cols(); ++b) {
       const double target = (a == b) ? 1.0 : 0.0;
-      worst = std::max(worst, std::abs(la::dot(res.q[a], res.q[b]) - target));
+      worst = std::max(worst,
+                       std::abs(la::dot(res.q.col(a), res.q.col(b)) - target));
     }
   }
   return worst;

@@ -139,3 +139,83 @@ TEST(Blas1Finite, NegativeInfCounts) {
   la::Vector v{-kInf};
   EXPECT_EQ(la::count_nonfinite(v), 1u);
 }
+
+// --- Fused dot_axpy (the MGS hot-path kernel) -------------------------------
+
+TEST(Blas1DotAxpy, BitwiseMatchesUnfusedDotThenAxpyAtSerialSize) {
+  // Below the OpenMP threshold both kernels accumulate in plain sequential
+  // order, so equality is bitwise.  (Above the threshold the reduction's
+  // combine order is thread-arrival-dependent; see the test below.)
+  const std::size_t n = 4000;
+  la::Vector q(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = std::sin(0.31 * static_cast<double>(i));
+    v[i] = std::cos(0.17 * static_cast<double>(i)) + 0.2;
+  }
+  la::Vector v_ref = v;
+  const double h_ref = la::dot(q, v_ref);
+  la::axpy(-h_ref, q, v_ref);
+
+  const double h = la::dot_axpy(q.span(), v.span());
+  EXPECT_EQ(h, h_ref);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(v[i], v_ref[i]) << "i=" << i;
+  }
+}
+
+TEST(Blas1DotAxpy, MatchesUnfusedDotThenAxpyAboveParallelThreshold) {
+  // Crosses the OpenMP threshold: with several threads, two separate
+  // parallel reductions may combine partials in different orders, so only
+  // near-equality (to reduction roundoff) is guaranteed here.
+  const std::size_t n = 5000;
+  la::Vector q(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = std::sin(0.31 * static_cast<double>(i));
+    v[i] = std::cos(0.17 * static_cast<double>(i)) + 0.2;
+  }
+  la::Vector v_ref = v;
+  const double h_ref = la::dot(q, v_ref);
+  la::axpy(-h_ref, q, v_ref);
+
+  const double h = la::dot_axpy(q.span(), v.span());
+  EXPECT_NEAR(h, h_ref, 1e-12 * (1.0 + std::abs(h_ref)));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(v[i], v_ref[i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Blas1DotAxpy, AdjustRunsOnceBetweenDotAndCorrection) {
+  la::Vector q{1.0, 0.0, 0.0};
+  la::Vector v{4.0, 2.0, 1.0};
+  int calls = 0;
+  const double h =
+      la::dot_axpy(q.span(), v.span(), [&](double& c) {
+        ++calls;
+        EXPECT_DOUBLE_EQ(c, 4.0); // the freshly computed coefficient
+        c = 1.0;                  // mutate: only 1.0 of the component removed
+      });
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(h, 1.0);      // returns the mutated coefficient
+  EXPECT_DOUBLE_EQ(v[0], 3.0);   // 4 - 1: mutated value applied
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(Blas1DotAxpy, SizeMismatchThrows) {
+  la::Vector q(3), v(4);
+  EXPECT_THROW((void)la::dot_axpy(q.span(), v.span()), std::invalid_argument);
+}
+
+TEST(Blas1SpanOverloads, MatchVectorOverloadsBitwise) {
+  const std::size_t n = 4100;
+  la::Vector x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<double>(i) * 0.7);
+    y[i] = std::cos(static_cast<double>(i) * 0.3);
+  }
+  EXPECT_EQ(la::dot(x.span(), y.span()), la::dot(x, y));
+  EXPECT_EQ(la::nrm2(x.span()), la::nrm2(x));
+  la::Vector y1 = y, y2 = y;
+  la::axpy(0.37, x, y1);
+  la::axpy(0.37, x.span(), y2.span());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+#include "la/krylov_basis.hpp"
+
+namespace la = sdcgmres::la;
+
+TEST(KrylovBasis, StartsEmptyWithRequestedGeometry) {
+  la::KrylovBasis b(8, 3);
+  EXPECT_EQ(b.rows(), 8u);
+  EXPECT_EQ(b.cols(), 0u);
+  EXPECT_EQ(b.capacity(), 3u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(KrylovBasis, AppendedColumnsAreContiguousColumnMajor) {
+  la::KrylovBasis b(3, 2);
+  b.append(la::Vector{1.0, 2.0, 3.0});
+  b.append(la::Vector{4.0, 5.0, 6.0});
+  ASSERT_EQ(b.cols(), 2u);
+  // Column-major with leading dimension == rows: col 1 starts at data+3.
+  const double* d = b.data();
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_EQ(d[2], 3.0);
+  EXPECT_EQ(d[3], 4.0);
+  EXPECT_EQ(d[5], 6.0);
+  EXPECT_EQ(b.col(1).data(), b.col(0).data() + 3);
+}
+
+TEST(KrylovBasis, AppendReturnsWritableZeroColumn) {
+  la::KrylovBasis b(4, 1);
+  std::span<double> c = b.append();
+  for (const double v : c) EXPECT_EQ(v, 0.0);
+  c[2] = 7.0;
+  EXPECT_EQ(b.col(0)[2], 7.0);
+}
+
+TEST(KrylovBasis, AppendPastCapacityThrows) {
+  la::KrylovBasis b(2, 1);
+  b.append(la::Vector{1.0, 1.0});
+  EXPECT_THROW(b.append(), std::length_error);
+}
+
+TEST(KrylovBasis, AppendLengthMismatchThrows) {
+  la::KrylovBasis b(2, 1);
+  EXPECT_THROW(b.append(la::Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(KrylovBasis, PopBackRezeroesStorage) {
+  la::KrylovBasis b(2, 1);
+  b.append(la::Vector{9.0, 9.0});
+  b.pop_back();
+  EXPECT_EQ(b.cols(), 0u);
+  std::span<double> c = b.append();
+  EXPECT_EQ(c[0], 0.0);
+  EXPECT_EQ(c[1], 0.0);
+}
+
+TEST(KrylovBasis, PopBackOnEmptyThrows) {
+  la::KrylovBasis b(2, 1);
+  EXPECT_THROW(b.pop_back(), std::out_of_range);
+}
+
+TEST(KrylovBasis, ClearKeepsArenaAndRezeroes) {
+  la::KrylovBasis b(2, 2);
+  b.append(la::Vector{1.0, 2.0});
+  b.append(la::Vector{3.0, 4.0});
+  b.clear();
+  EXPECT_EQ(b.cols(), 0u);
+  EXPECT_EQ(b.capacity(), 2u);
+  EXPECT_EQ(b.data()[0], 0.0);
+  EXPECT_EQ(b.data()[3], 0.0);
+}
+
+TEST(KrylovBasis, ColCopyMatchesColumnView) {
+  la::KrylovBasis b(3, 1);
+  b.append(la::Vector{1.5, -2.5, 3.5});
+  const la::Vector v = b.col_copy(0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.5);
+  EXPECT_THROW((void)b.col_copy(1), std::out_of_range);
+}
+
+TEST(KrylovBasis, ViewExposesLeadingColumns) {
+  la::KrylovBasis b(2, 3);
+  b.append(la::Vector{1.0, 0.0});
+  b.append(la::Vector{0.0, 1.0});
+  const la::BasisView v = b.view(1);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_EQ(v.col(0)[0], 1.0);
+  EXPECT_THROW((void)b.view(3), std::out_of_range);
+}
+
+TEST(KrylovBasis, ToDenseRoundTrip) {
+  la::KrylovBasis b(2, 2);
+  b.append(la::Vector{1.0, 2.0});
+  b.append(la::Vector{3.0, 4.0});
+  const la::DenseMatrix m = b.to_dense();
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(KrylovBasis, ColumnsWorkWithBlas1Kernels) {
+  la::KrylovBasis b(4, 2);
+  b.append(la::Vector{1.0, 0.0, 0.0, 0.0});
+  b.append(la::Vector{0.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(la::dot(b.col(0), b.col(1)), 0.0);
+  EXPECT_DOUBLE_EQ(la::nrm2(b.col(0)), 1.0);
+}
