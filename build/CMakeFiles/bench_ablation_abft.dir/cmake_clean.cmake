@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abft.dir/bench/bench_ablation_abft.cpp.o"
+  "CMakeFiles/bench_ablation_abft.dir/bench/bench_ablation_abft.cpp.o.d"
+  "bench_ablation_abft"
+  "bench_ablation_abft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

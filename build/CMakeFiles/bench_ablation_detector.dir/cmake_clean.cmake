@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_detector.dir/bench/bench_ablation_detector.cpp.o"
+  "CMakeFiles/bench_ablation_detector.dir/bench/bench_ablation_detector.cpp.o.d"
+  "bench_ablation_detector"
+  "bench_ablation_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lsq.dir/bench/bench_ablation_lsq.cpp.o"
+  "CMakeFiles/bench_ablation_lsq.dir/bench/bench_ablation_lsq.cpp.o.d"
+  "bench_ablation_lsq"
+  "bench_ablation_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

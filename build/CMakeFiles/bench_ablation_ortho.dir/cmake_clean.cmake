@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ortho.dir/bench/bench_ablation_ortho.cpp.o"
+  "CMakeFiles/bench_ablation_ortho.dir/bench/bench_ablation_ortho.cpp.o.d"
+  "bench_ablation_ortho"
+  "bench_ablation_ortho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ortho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

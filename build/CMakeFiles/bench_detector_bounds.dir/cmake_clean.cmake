@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_bounds.dir/bench/bench_detector_bounds.cpp.o"
+  "CMakeFiles/bench_detector_bounds.dir/bench/bench_detector_bounds.cpp.o.d"
+  "bench_detector_bounds"
+  "bench_detector_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_structure.dir/bench/bench_fig2_structure.cpp.o"
+  "CMakeFiles/bench_fig2_structure.dir/bench/bench_fig2_structure.cpp.o.d"
+  "bench_fig2_structure"
+  "bench_fig2_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_givens_test.dir/tests/dense_givens_test.cpp.o"
+  "CMakeFiles/dense_givens_test.dir/tests/dense_givens_test.cpp.o.d"
+  "dense_givens_test"
+  "dense_givens_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_givens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_hessenberg_qr_test.dir/tests/dense_hessenberg_qr_test.cpp.o"
+  "CMakeFiles/dense_hessenberg_qr_test.dir/tests/dense_hessenberg_qr_test.cpp.o.d"
+  "dense_hessenberg_qr_test"
+  "dense_hessenberg_qr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_hessenberg_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_lsq_policies_test.dir/tests/dense_lsq_policies_test.cpp.o"
+  "CMakeFiles/dense_lsq_policies_test.dir/tests/dense_lsq_policies_test.cpp.o.d"
+  "dense_lsq_policies_test"
+  "dense_lsq_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_lsq_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_svd_test.dir/tests/dense_svd_test.cpp.o"
+  "CMakeFiles/dense_svd_test.dir/tests/dense_svd_test.cpp.o.d"
+  "dense_svd_test"
+  "dense_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

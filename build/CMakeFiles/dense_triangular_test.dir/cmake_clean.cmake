@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_triangular_test.dir/tests/dense_triangular_test.cpp.o"
+  "CMakeFiles/dense_triangular_test.dir/tests/dense_triangular_test.cpp.o.d"
+  "dense_triangular_test"
+  "dense_triangular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_triangular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_detector_response.dir/examples/detector_response.cpp.o"
+  "CMakeFiles/example_detector_response.dir/examples/detector_response.cpp.o.d"
+  "example_detector_response"
+  "example_detector_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_detector_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_injection_study.dir/examples/fault_injection_study.cpp.o"
+  "CMakeFiles/example_fault_injection_study.dir/examples/fault_injection_study.cpp.o.d"
+  "example_fault_injection_study"
+  "example_fault_injection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_injection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fault_injection_study.
+# This may be replaced when dependencies are built.

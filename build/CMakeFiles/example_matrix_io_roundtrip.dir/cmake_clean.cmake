@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_io_roundtrip.dir/examples/matrix_io_roundtrip.cpp.o"
+  "CMakeFiles/example_matrix_io_roundtrip.dir/examples/matrix_io_roundtrip.cpp.o.d"
+  "example_matrix_io_roundtrip"
+  "example_matrix_io_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_io_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solve_mtx.dir/examples/solve_mtx.cpp.o"
+  "CMakeFiles/example_solve_mtx.dir/examples/solve_mtx.cpp.o.d"
+  "example_solve_mtx"
+  "example_solve_mtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solve_mtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_solve_mtx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_sweep_test.dir/tests/experiment_sweep_test.cpp.o"
+  "CMakeFiles/experiment_sweep_test.dir/tests/experiment_sweep_test.cpp.o.d"
+  "experiment_sweep_test"
+  "experiment_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_circuit_test.dir/tests/gen_circuit_test.cpp.o"
+  "CMakeFiles/gen_circuit_test.dir/tests/gen_circuit_test.cpp.o.d"
+  "gen_circuit_test"
+  "gen_circuit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_convection_test.dir/tests/gen_convection_test.cpp.o"
+  "CMakeFiles/gen_convection_test.dir/tests/gen_convection_test.cpp.o.d"
+  "gen_convection_test"
+  "gen_convection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_convection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_poisson_test.dir/tests/gen_poisson_test.cpp.o"
+  "CMakeFiles/gen_poisson_test.dir/tests/gen_poisson_test.cpp.o.d"
+  "gen_poisson_test"
+  "gen_poisson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

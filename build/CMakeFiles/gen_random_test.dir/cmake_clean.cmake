@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_random_test.dir/tests/gen_random_test.cpp.o"
+  "CMakeFiles/gen_random_test.dir/tests/gen_random_test.cpp.o.d"
+  "gen_random_test"
+  "gen_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_ft_gmres_faults_test.dir/tests/integration_ft_gmres_faults_test.cpp.o"
+  "CMakeFiles/integration_ft_gmres_faults_test.dir/tests/integration_ft_gmres_faults_test.cpp.o.d"
+  "integration_ft_gmres_faults_test"
+  "integration_ft_gmres_faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_ft_gmres_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

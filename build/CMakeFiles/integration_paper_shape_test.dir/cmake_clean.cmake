@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_shape_test.dir/tests/integration_paper_shape_test.cpp.o"
+  "CMakeFiles/integration_paper_shape_test.dir/tests/integration_paper_shape_test.cpp.o.d"
+  "integration_paper_shape_test"
+  "integration_paper_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

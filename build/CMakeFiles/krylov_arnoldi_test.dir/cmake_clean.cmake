@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_arnoldi_test.dir/tests/krylov_arnoldi_test.cpp.o"
+  "CMakeFiles/krylov_arnoldi_test.dir/tests/krylov_arnoldi_test.cpp.o.d"
+  "krylov_arnoldi_test"
+  "krylov_arnoldi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_arnoldi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_basis_ortho_test.dir/tests/krylov_basis_ortho_test.cpp.o"
+  "CMakeFiles/krylov_basis_ortho_test.dir/tests/krylov_basis_ortho_test.cpp.o.d"
+  "krylov_basis_ortho_test"
+  "krylov_basis_ortho_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_basis_ortho_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

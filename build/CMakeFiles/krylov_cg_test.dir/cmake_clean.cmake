@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_cg_test.dir/tests/krylov_cg_test.cpp.o"
+  "CMakeFiles/krylov_cg_test.dir/tests/krylov_cg_test.cpp.o.d"
+  "krylov_cg_test"
+  "krylov_cg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_cg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_fcg_test.dir/tests/krylov_fcg_test.cpp.o"
+  "CMakeFiles/krylov_fcg_test.dir/tests/krylov_fcg_test.cpp.o.d"
+  "krylov_fcg_test"
+  "krylov_fcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_fcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_fgmres_test.dir/tests/krylov_fgmres_test.cpp.o"
+  "CMakeFiles/krylov_fgmres_test.dir/tests/krylov_fgmres_test.cpp.o.d"
+  "krylov_fgmres_test"
+  "krylov_fgmres_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_fgmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

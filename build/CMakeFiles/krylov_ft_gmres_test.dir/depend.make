@@ -1,0 +1,2 @@
+# Empty dependencies file for krylov_ft_gmres_test.
+# This may be replaced when dependencies are built.

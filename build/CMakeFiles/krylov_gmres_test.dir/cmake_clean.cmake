@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_gmres_test.dir/tests/krylov_gmres_test.cpp.o"
+  "CMakeFiles/krylov_gmres_test.dir/tests/krylov_gmres_test.cpp.o.d"
+  "krylov_gmres_test"
+  "krylov_gmres_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_gmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

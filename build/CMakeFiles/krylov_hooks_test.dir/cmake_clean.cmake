@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_hooks_test.dir/tests/krylov_hooks_test.cpp.o"
+  "CMakeFiles/krylov_hooks_test.dir/tests/krylov_hooks_test.cpp.o.d"
+  "krylov_hooks_test"
+  "krylov_hooks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_hooks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_ilu0_test.dir/tests/krylov_ilu0_test.cpp.o"
+  "CMakeFiles/krylov_ilu0_test.dir/tests/krylov_ilu0_test.cpp.o.d"
+  "krylov_ilu0_test"
+  "krylov_ilu0_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_ilu0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

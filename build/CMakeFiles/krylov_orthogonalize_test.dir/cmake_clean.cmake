@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_orthogonalize_test.dir/tests/krylov_orthogonalize_test.cpp.o"
+  "CMakeFiles/krylov_orthogonalize_test.dir/tests/krylov_orthogonalize_test.cpp.o.d"
+  "krylov_orthogonalize_test"
+  "krylov_orthogonalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_orthogonalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov_precond_test.dir/tests/krylov_precond_test.cpp.o"
+  "CMakeFiles/krylov_precond_test.dir/tests/krylov_precond_test.cpp.o.d"
+  "krylov_precond_test"
+  "krylov_precond_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov_precond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_blas2_test.dir/tests/la_blas2_test.cpp.o"
+  "CMakeFiles/la_blas2_test.dir/tests/la_blas2_test.cpp.o.d"
+  "la_blas2_test"
+  "la_blas2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_blas2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

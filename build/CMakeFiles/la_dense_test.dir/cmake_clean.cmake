@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_dense_test.dir/tests/la_dense_test.cpp.o"
+  "CMakeFiles/la_dense_test.dir/tests/la_dense_test.cpp.o.d"
+  "la_dense_test"
+  "la_dense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_krylov_basis_test.dir/tests/la_krylov_basis_test.cpp.o"
+  "CMakeFiles/la_krylov_basis_test.dir/tests/la_krylov_basis_test.cpp.o.d"
+  "la_krylov_basis_test"
+  "la_krylov_basis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_krylov_basis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

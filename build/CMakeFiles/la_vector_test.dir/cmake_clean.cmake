@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_vector_test.dir/tests/la_vector_test.cpp.o"
+  "CMakeFiles/la_vector_test.dir/tests/la_vector_test.cpp.o.d"
+  "la_vector_test"
+  "la_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_abft_test.dir/tests/sdc_abft_test.cpp.o"
+  "CMakeFiles/sdc_abft_test.dir/tests/sdc_abft_test.cpp.o.d"
+  "sdc_abft_test"
+  "sdc_abft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_abft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

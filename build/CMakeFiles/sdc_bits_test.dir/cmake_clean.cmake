@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_bits_test.dir/tests/sdc_bits_test.cpp.o"
+  "CMakeFiles/sdc_bits_test.dir/tests/sdc_bits_test.cpp.o.d"
+  "sdc_bits_test"
+  "sdc_bits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_detector_property_test.dir/tests/sdc_detector_property_test.cpp.o"
+  "CMakeFiles/sdc_detector_property_test.dir/tests/sdc_detector_property_test.cpp.o.d"
+  "sdc_detector_property_test"
+  "sdc_detector_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_detector_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_event_log_test.dir/tests/sdc_event_log_test.cpp.o"
+  "CMakeFiles/sdc_event_log_test.dir/tests/sdc_event_log_test.cpp.o.d"
+  "sdc_event_log_test"
+  "sdc_event_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

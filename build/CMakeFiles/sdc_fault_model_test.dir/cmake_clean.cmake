@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_fault_model_test.dir/tests/sdc_fault_model_test.cpp.o"
+  "CMakeFiles/sdc_fault_model_test.dir/tests/sdc_fault_model_test.cpp.o.d"
+  "sdc_fault_model_test"
+  "sdc_fault_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_fault_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

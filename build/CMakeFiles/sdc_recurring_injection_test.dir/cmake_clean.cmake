@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_recurring_injection_test.dir/tests/sdc_recurring_injection_test.cpp.o"
+  "CMakeFiles/sdc_recurring_injection_test.dir/tests/sdc_recurring_injection_test.cpp.o.d"
+  "sdc_recurring_injection_test"
+  "sdc_recurring_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_recurring_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

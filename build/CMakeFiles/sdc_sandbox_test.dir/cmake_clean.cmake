@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_sandbox_test.dir/tests/sdc_sandbox_test.cpp.o"
+  "CMakeFiles/sdc_sandbox_test.dir/tests/sdc_sandbox_test.cpp.o.d"
+  "sdc_sandbox_test"
+  "sdc_sandbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_sandbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dense/givens.cpp" "CMakeFiles/sdcgmres.dir/src/dense/givens.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/dense/givens.cpp.o.d"
+  "/root/repo/src/dense/hessenberg_qr.cpp" "CMakeFiles/sdcgmres.dir/src/dense/hessenberg_qr.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/dense/hessenberg_qr.cpp.o.d"
+  "/root/repo/src/dense/lsq_policies.cpp" "CMakeFiles/sdcgmres.dir/src/dense/lsq_policies.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/dense/lsq_policies.cpp.o.d"
+  "/root/repo/src/dense/svd.cpp" "CMakeFiles/sdcgmres.dir/src/dense/svd.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/dense/svd.cpp.o.d"
+  "/root/repo/src/dense/triangular.cpp" "CMakeFiles/sdcgmres.dir/src/dense/triangular.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/dense/triangular.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "CMakeFiles/sdcgmres.dir/src/experiment/report.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/experiment/report.cpp.o.d"
+  "/root/repo/src/experiment/sweep.cpp" "CMakeFiles/sdcgmres.dir/src/experiment/sweep.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/experiment/sweep.cpp.o.d"
+  "/root/repo/src/gen/circuit.cpp" "CMakeFiles/sdcgmres.dir/src/gen/circuit.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/gen/circuit.cpp.o.d"
+  "/root/repo/src/gen/convection_diffusion.cpp" "CMakeFiles/sdcgmres.dir/src/gen/convection_diffusion.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/gen/convection_diffusion.cpp.o.d"
+  "/root/repo/src/gen/poisson.cpp" "CMakeFiles/sdcgmres.dir/src/gen/poisson.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/gen/poisson.cpp.o.d"
+  "/root/repo/src/gen/random_sparse.cpp" "CMakeFiles/sdcgmres.dir/src/gen/random_sparse.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/gen/random_sparse.cpp.o.d"
+  "/root/repo/src/krylov/arnoldi.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/arnoldi.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/arnoldi.cpp.o.d"
+  "/root/repo/src/krylov/cg.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/cg.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/cg.cpp.o.d"
+  "/root/repo/src/krylov/fcg.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/fcg.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/fcg.cpp.o.d"
+  "/root/repo/src/krylov/fgmres.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/fgmres.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/fgmres.cpp.o.d"
+  "/root/repo/src/krylov/ft_gmres.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/ft_gmres.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/ft_gmres.cpp.o.d"
+  "/root/repo/src/krylov/gmres.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/gmres.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/gmres.cpp.o.d"
+  "/root/repo/src/krylov/ilu0.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/ilu0.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/ilu0.cpp.o.d"
+  "/root/repo/src/krylov/operator.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/operator.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/operator.cpp.o.d"
+  "/root/repo/src/krylov/orthogonalize.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/orthogonalize.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/orthogonalize.cpp.o.d"
+  "/root/repo/src/krylov/precond.cpp" "CMakeFiles/sdcgmres.dir/src/krylov/precond.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/krylov/precond.cpp.o.d"
+  "/root/repo/src/la/blas1.cpp" "CMakeFiles/sdcgmres.dir/src/la/blas1.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/la/blas1.cpp.o.d"
+  "/root/repo/src/la/blas2.cpp" "CMakeFiles/sdcgmres.dir/src/la/blas2.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/la/blas2.cpp.o.d"
+  "/root/repo/src/la/dense_matrix.cpp" "CMakeFiles/sdcgmres.dir/src/la/dense_matrix.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/la/dense_matrix.cpp.o.d"
+  "/root/repo/src/la/krylov_basis.cpp" "CMakeFiles/sdcgmres.dir/src/la/krylov_basis.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/la/krylov_basis.cpp.o.d"
+  "/root/repo/src/la/vector.cpp" "CMakeFiles/sdcgmres.dir/src/la/vector.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/la/vector.cpp.o.d"
+  "/root/repo/src/sdc/abft.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/abft.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/abft.cpp.o.d"
+  "/root/repo/src/sdc/bits.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/bits.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/bits.cpp.o.d"
+  "/root/repo/src/sdc/detector.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/detector.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/detector.cpp.o.d"
+  "/root/repo/src/sdc/event_log.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/event_log.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/event_log.cpp.o.d"
+  "/root/repo/src/sdc/fault_model.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/fault_model.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/fault_model.cpp.o.d"
+  "/root/repo/src/sdc/injection.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/injection.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/injection.cpp.o.d"
+  "/root/repo/src/sdc/sandbox.cpp" "CMakeFiles/sdcgmres.dir/src/sdc/sandbox.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sdc/sandbox.cpp.o.d"
+  "/root/repo/src/sparse/analysis.cpp" "CMakeFiles/sdcgmres.dir/src/sparse/analysis.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sparse/analysis.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "CMakeFiles/sdcgmres.dir/src/sparse/coo.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "CMakeFiles/sdcgmres.dir/src/sparse/csr.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "CMakeFiles/sdcgmres.dir/src/sparse/matrix_market.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sparse/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/norms.cpp" "CMakeFiles/sdcgmres.dir/src/sparse/norms.cpp.o" "gcc" "CMakeFiles/sdcgmres.dir/src/sparse/norms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

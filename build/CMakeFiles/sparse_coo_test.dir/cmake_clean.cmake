@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_coo_test.dir/tests/sparse_coo_test.cpp.o"
+  "CMakeFiles/sparse_coo_test.dir/tests/sparse_coo_test.cpp.o.d"
+  "sparse_coo_test"
+  "sparse_coo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_coo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

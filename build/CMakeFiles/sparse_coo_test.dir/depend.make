@@ -1,0 +1,2 @@
+# Empty dependencies file for sparse_coo_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_csr_test.dir/tests/sparse_csr_test.cpp.o"
+  "CMakeFiles/sparse_csr_test.dir/tests/sparse_csr_test.cpp.o.d"
+  "sparse_csr_test"
+  "sparse_csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

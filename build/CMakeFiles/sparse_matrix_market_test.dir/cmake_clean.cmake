@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_matrix_market_test.dir/tests/sparse_matrix_market_test.cpp.o"
+  "CMakeFiles/sparse_matrix_market_test.dir/tests/sparse_matrix_market_test.cpp.o.d"
+  "sparse_matrix_market_test"
+  "sparse_matrix_market_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_matrix_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

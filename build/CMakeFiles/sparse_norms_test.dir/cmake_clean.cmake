@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_norms_test.dir/tests/sparse_norms_test.cpp.o"
+  "CMakeFiles/sparse_norms_test.dir/tests/sparse_norms_test.cpp.o.d"
+  "sparse_norms_test"
+  "sparse_norms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_norms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
