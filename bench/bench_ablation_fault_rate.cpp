@@ -8,12 +8,28 @@
 /// class-1 or class-2 fault recurs every `period` aggregate inner
 /// iterations, and we record outer iterations to convergence as the
 /// period shrinks (rate grows), with and without the invariant detector.
+///
+/// Flags:
+///   --threads N   run the per-period solves with N worker threads
+///                 (0 = all hardware threads).  Each period owns its own
+///                 campaign/detector/workspace; rows print in period
+///                 order regardless of completion order.
 
+#include <cstdint>
+#include <exception>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "bench_common.hpp"
 #include "krylov/ft_gmres.hpp"
+#include "krylov/workspace.hpp"
 #include "sdc/detector.hpp"
 #include "sdc/injection.hpp"
 
@@ -22,7 +38,8 @@ using namespace sdcgmres;
 namespace {
 
 void run_rate_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
-                    const sdc::FaultModel& model, const char* fault_name) {
+                    const sdc::FaultModel& model, const char* fault_name,
+                    std::size_t threads) {
   krylov::FtGmresOptions opts;
   opts.outer.tol = 1e-8;
   opts.outer.max_outer = 400;
@@ -33,45 +50,75 @@ void run_rate_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
   std::cout << "  period | faults | outer (no detector) | outer (detector "
                "abort) | detections\n";
 
-  for (const std::size_t period : {200u, 100u, 50u, 25u, 10u, 5u, 2u, 1u}) {
-    sdc::RecurringFaultCampaign plain(/*first_iteration=*/3, period,
-                                      sdc::MgsPosition::Last, model);
-    const auto no_detector = krylov::ft_gmres(A, b, opts, &plain);
+  const std::size_t periods[] = {200u, 100u, 50u, 25u, 10u, 5u, 2u, 1u};
+  constexpr std::int64_t n_rows =
+      static_cast<std::int64_t>(sizeof(periods) / sizeof(periods[0]));
+  std::vector<std::string> rows(static_cast<std::size_t>(n_rows));
 
-    sdc::RecurringFaultCampaign guarded_faults(3, period,
-                                               sdc::MgsPosition::Last, model);
-    sdc::HessenbergBoundDetector detector(A.frobenius_norm(),
-                                          sdc::DetectorResponse::AbortSolve);
-    krylov::HookChain chain({&guarded_faults, &detector});
-    const auto with_detector = krylov::ft_gmres(A, b, opts, &chain);
+  int workers = 1;
+#ifdef _OPENMP
+  workers = threads == 0 ? omp_get_max_threads() : static_cast<int>(threads);
+  if (workers < 1) workers = 1;
+#endif
+  std::exception_ptr error;
+#pragma omp parallel num_threads(workers)
+  {
+#ifdef _OPENMP
+    omp_set_num_threads(1); // solver kernels stay serial inside a worker
+#endif
+    krylov::FtGmresWorkspace ws;
+#pragma omp for schedule(dynamic)
+    for (std::int64_t r = 0; r < n_rows; ++r) {
+      try {
+        const std::size_t period = periods[r];
+        sdc::RecurringFaultCampaign plain(/*first_iteration=*/3, period,
+                                          sdc::MgsPosition::Last, model);
+        const auto no_detector = krylov::ft_gmres(A, b, opts, &plain, &ws);
 
-    const auto show = [](const krylov::FtGmresResult& r) {
-      std::string s = std::to_string(r.outer_iterations);
-      if (r.status != krylov::FgmresStatus::Converged) {
-        s += std::string(" (") + krylov::to_string(r.status) + ")";
+        sdc::RecurringFaultCampaign guarded_faults(3, period,
+                                                   sdc::MgsPosition::Last, model);
+        sdc::HessenbergBoundDetector detector(
+            A.frobenius_norm(), sdc::DetectorResponse::AbortSolve);
+        krylov::HookChain chain({&guarded_faults, &detector});
+        const auto with_detector = krylov::ft_gmres(A, b, opts, &chain, &ws);
+
+        const auto show = [](const krylov::FtGmresResult& res) {
+          std::string s = std::to_string(res.outer_iterations);
+          if (res.status != krylov::FgmresStatus::Converged) {
+            s += std::string(" (") + krylov::to_string(res.status) + ")";
+          }
+          return s;
+        };
+        std::ostringstream row;
+        row << "  " << std::setw(6) << period << " | " << std::setw(6)
+            << plain.fault_count() << " | " << std::setw(19)
+            << show(no_detector) << " | " << std::setw(21)
+            << show(with_detector) << " | " << detector.detections() << '\n';
+        rows[static_cast<std::size_t>(r)] = row.str();
+      } catch (...) {
+        // Exceptions may not cross the OpenMP region boundary.
+#pragma omp critical(fault_rate_error)
+        if (!error) error = std::current_exception();
       }
-      return s;
-    };
-    std::cout << "  " << std::setw(6) << period << " | " << std::setw(6)
-              << plain.fault_count() << " | " << std::setw(19)
-              << show(no_detector) << " | " << std::setw(21)
-              << show(with_detector) << " | " << detector.detections()
-              << '\n';
+    }
   }
+  if (error) std::rethrow_exception(error);
+  for (const std::string& row : rows) std::cout << row;
   std::cout << '\n';
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   benchcfg::print_mode_banner(
       "bench_ablation_fault_rate (recurring SDC, beyond the paper's model)");
+  const std::size_t threads = benchcfg::threads_arg(argc, argv);
   const auto A = benchcfg::poisson_matrix();
   const auto b = benchcfg::poisson_rhs(A);
   run_rate_sweep(A, b, sdc::fault_classes::very_large(),
-                 "h x 1e+150 (class 1)");
+                 "h x 1e+150 (class 1)", threads);
   run_rate_sweep(A, b, sdc::fault_classes::slightly_smaller(),
-                 "h x 10^-0.5 (class 2)");
+                 "h x 10^-0.5 (class 2)", threads);
   std::cout
       << "Reading: occasional events (period >= 25) cost at most ~1 outer\n"
          "iteration with or without the detector -- the single-event\n"

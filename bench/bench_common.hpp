@@ -73,6 +73,24 @@ inline std::string csv_dir() {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+/// Value following \p flag on the command line, or nullptr.
+inline const char* arg_value(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Worker-thread count from `--threads N` (default 1 = serial).  Passed to
+/// SweepConfig::threads / the bench's own parallel loops; 0 means "all
+/// hardware threads".
+inline std::size_t threads_arg(int argc, char** argv) {
+  if (const char* v = arg_value(argc, argv, "--threads")) {
+    return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+  }
+  return 1;
+}
+
 /// Print the standard mode banner.
 inline void print_mode_banner(const char* bench_name) {
   std::cout << "=== " << bench_name << " ===\n"

@@ -13,10 +13,22 @@
 ///  * 3b (last MGS step): worst case ~1 extra outer iteration.
 /// The detector (|h| <= ||A||_F) would catch every class-1 event, making
 /// the top plot impossible (see bench_ablation_detector).
+///
+/// Flags:
+///   --threads N      run each sweep with N worker threads (0 = all
+///                    hardware threads; results are identical to serial)
+///   --sweep-json F   instead of the figure series, time one class-1
+///                    sweep serial vs parallel and write the wall-clock
+///                    comparison to F (machine-readable perf trace)
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "bench_common.hpp"
 #include "experiment/report.hpp"
@@ -24,11 +36,82 @@
 
 using namespace sdcgmres;
 
-int main() {
+namespace {
+
+double run_timed(const sparse::CsrMatrix& A, const la::Vector& b,
+                 experiment::SweepConfig config, std::size_t threads,
+                 experiment::SweepResult& out) {
+  config.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  out = experiment::run_injection_sweep(A, b, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Serial-vs-parallel wall-clock for one representative sweep (class 1,
+/// first MGS position), verifying the parallel result is identical.
+int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
+                 std::size_t inner, std::size_t threads, const char* path) {
+  std::size_t hw = 1;
+#ifdef _OPENMP
+  hw = static_cast<std::size_t>(omp_get_max_threads());
+#endif
+  if (threads == 0) threads = hw;
+  if (threads <= 1) threads = hw; // comparing 1 vs 1 tells nothing
+
+  experiment::SweepConfig config;
+  config.solver.inner.max_iters = inner;
+  config.solver.outer.tol = 1e-8;
+  config.solver.outer.max_outer = 300;
+  config.position = sdc::MgsPosition::First;
+  config.model = sdc::fault_classes::very_large();
+  config.stride = benchcfg::sweep_stride(1);
+
+  experiment::SweepResult serial;
+  experiment::SweepResult parallel;
+  const double t_serial = run_timed(A, b, config, 1, serial);
+  const double t_parallel = run_timed(A, b, config, threads, parallel);
+  const bool identical =
+      serial.points == parallel.points &&
+      serial.baseline_outer == parallel.baseline_outer &&
+      serial.baseline_total_inner == parallel.baseline_total_inner;
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"bench_fig3 injection sweep\",\n"
+       << "  \"matrix\": \"poisson\",\n"
+       << "  \"n\": " << A.rows() << ",\n"
+       << "  \"sites\": " << serial.points.size() << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_seconds\": " << t_serial << ",\n"
+       << "  \"parallel_seconds\": " << t_parallel << ",\n"
+       << "  \"speedup\": " << (t_parallel > 0.0 ? t_serial / t_parallel : 0.0)
+       << ",\n"
+       << "  \"identical_results\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << json.str();
+  if (std::ofstream out(path); out) {
+    out << json.str();
+  } else {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  return identical ? 0 : 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
   benchcfg::print_mode_banner("bench_fig3 (Poisson, Figs. 3a/3b)");
   const auto A = benchcfg::poisson_matrix();
   const auto b = benchcfg::poisson_rhs(A);
   const std::size_t inner = 25;
+  const std::size_t threads = benchcfg::threads_arg(argc, argv);
+
+  if (const char* json = benchcfg::arg_value(argc, argv, "--sweep-json")) {
+    return sweep_timing(A, b, inner, threads, json);
+  }
 
   const struct {
     const char* name;
@@ -60,6 +143,7 @@ int main() {
       config.position = pos.position;
       config.model = cls.model;
       config.stride = benchcfg::sweep_stride(1);
+      config.threads = threads;
       const auto sweep = experiment::run_injection_sweep(A, b, config);
       experiment::print_sweep_series(std::cout, cls.name, sweep, inner);
       experiment::print_sweep_summary(std::cout, cls.name, sweep);

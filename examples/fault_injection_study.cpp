@@ -6,7 +6,7 @@
 /// This is the same protocol as bench/bench_fig3 but on a smaller grid so
 /// it finishes in seconds; use it as a template for custom studies.
 ///
-/// Usage: ./fault_injection_study [grid_size] [inner_iters]
+/// Usage: ./fault_injection_study [grid_size] [inner_iters] [threads]
 
 #include <cstdlib>
 #include <iostream>
@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   const std::size_t grid = (argc > 1) ? std::strtoul(argv[1], nullptr, 10) : 20;
   const std::size_t inner =
       (argc > 2) ? std::strtoul(argv[2], nullptr, 10) : 10;
+  // 1 = serial, 0 = all hardware threads; the sweep result is identical
+  // either way (deterministic site merge).
+  const std::size_t threads =
+      (argc > 3) ? std::strtoul(argv[3], nullptr, 10) : 1;
 
   const sparse::CsrMatrix A = gen::poisson2d(grid);
   const la::Vector b = la::ones(A.rows());
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
       config.solver.outer.max_outer = 250;
       config.position = pos.position;
       config.model = cls.model;
+      config.threads = threads;
       const auto sweep = experiment::run_injection_sweep(A, b, config);
       experiment::print_sweep_summary(std::cout, cls.name, sweep);
     }

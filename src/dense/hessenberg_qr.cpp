@@ -1,16 +1,31 @@
 #include "dense/hessenberg_qr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace sdcgmres::dense {
 
-HessenbergQr::HessenbergQr(std::size_t max_cols, double beta)
-    : max_cols_(max_cols), r_(max_cols, max_cols), g_(max_cols + 1, 0.0) {
+HessenbergQr::HessenbergQr(std::size_t max_cols, double beta) {
+  reset(max_cols, beta);
+}
+
+void HessenbergQr::reset(std::size_t max_cols, double beta) {
   if (max_cols == 0) {
     throw std::invalid_argument("HessenbergQr: max_cols must be positive");
   }
-  rotations_.reserve(max_cols);
+  if (max_cols > max_cols_) {
+    // DenseMatrix::reshape and vector::resize keep capacity when shrinking
+    // and only allocate on growth, so repeated resets of one shape are free.
+    r_.reshape(max_cols, max_cols);
+    rotations_.reserve(max_cols);
+    g_.resize(max_cols + 1);
+    col_.resize(max_cols + 1);
+    max_cols_ = max_cols;
+  }
+  k_ = 0;
+  rotations_.clear();
+  std::fill(g_.begin(), g_.end(), 0.0);
   g_[0] = beta;
 }
 
@@ -22,8 +37,10 @@ double HessenbergQr::add_column(std::span<const double> h_col) {
     throw std::invalid_argument(
         "HessenbergQr: column must have size() + 2 entries");
   }
-  // Work on a local copy of the new column.
-  std::vector<double> col(h_col.begin(), h_col.end());
+  // Work on a scratch copy of the new column (member storage: add_column
+  // is allocation-free after construction/reset).
+  std::span<double> col(col_.data(), k_ + 2);
+  std::copy(h_col.begin(), h_col.end(), col.begin());
   // Apply all previous rotations.
   for (std::size_t i = 0; i < k_; ++i) {
     rotations_[i].apply(col[i], col[i + 1]);

@@ -21,9 +21,20 @@ namespace sdcgmres::dense {
 
 class HessenbergQr {
 public:
+  /// Empty factorization; reset() must be called before use.  Exists so a
+  /// HessenbergQr can live inside a reusable solver workspace.
+  HessenbergQr() = default;
+
   /// \param max_cols maximum number of columns (restart length)
   /// \param beta norm of the initial residual; the rhs starts as beta*e1
   HessenbergQr(std::size_t max_cols, double beta);
+
+  /// Restart the factorization for a new solve: capacity at least
+  /// \p max_cols (never shrinks), rhs beta*e1, zero columns.  Reuses the
+  /// existing storage when the capacity fits (no heap allocation), so a
+  /// workspace-held factorization is allocation-free across repeated
+  /// solves of the same shape.
+  void reset(std::size_t max_cols, double beta);
 
   /// Append the next Hessenberg column.  \p h_col must contain the k+2
   /// entries H(0..k+1, k) where k = size() is the index of the new column.
@@ -54,11 +65,12 @@ public:
   [[nodiscard]] la::Vector rhs_block() const;
 
 private:
-  std::size_t max_cols_;
+  std::size_t max_cols_ = 0;
   std::size_t k_ = 0;
   la::DenseMatrix r_;                   // (max_cols) x (max_cols), upper part
   std::vector<GivensRotation> rotations_;
   std::vector<double> g_;               // transformed rhs, length max_cols+1
+  std::vector<double> col_;             // add_column scratch, max_cols+1
 };
 
 } // namespace sdcgmres::dense

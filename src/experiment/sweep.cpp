@@ -1,8 +1,16 @@
 #include "experiment/sweep.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <exception>
 #include <memory>
 #include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "krylov/workspace.hpp"
 
 namespace sdcgmres::experiment {
 
@@ -35,11 +43,75 @@ std::size_t SweepResult::detected_runs() const {
       [](const SweepPoint& p) { return p.detected; }));
 }
 
+namespace {
+
+/// Run \p fn inside a 1-thread OpenMP region with kernel threading pinned
+/// to 1 (the sweep determinism contract), converting any escaping
+/// exception back into a normal throw -- an exception crossing an OpenMP
+/// region boundary would call std::terminate.
+template <typename Fn>
+void run_pinned(Fn&& fn) {
+  std::exception_ptr error;
+#pragma omp parallel num_threads(1)
+  {
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+} // namespace
+
 krylov::FtGmresResult run_baseline(const sparse::CsrMatrix& A,
                                    const la::Vector& b,
                                    const krylov::FtGmresOptions& opts) {
-  return krylov::ft_gmres(A, b, opts, nullptr);
+  // Pinned like every sweep solve, so run_baseline always agrees with
+  // run_injection_sweep's baseline fields exactly.
+  krylov::FtGmresResult baseline;
+  run_pinned([&] { baseline = krylov::ft_gmres(A, b, opts, nullptr); });
+  return baseline;
 }
+
+namespace {
+
+/// One faulty solve at one injection site.  All mutable state (campaign,
+/// detector, event logs, workspace) is owned by the caller's thread.
+SweepPoint run_site(const sparse::CsrMatrix& A, const la::Vector& b,
+                    const SweepConfig& config, std::size_t site,
+                    krylov::FtGmresWorkspace& ws) {
+  sdc::FaultCampaign campaign(
+      sdc::InjectionPlan::hessenberg(site, config.position, config.model));
+  std::unique_ptr<sdc::HessenbergBoundDetector> detector;
+  krylov::HookChain chain;
+  chain.add(&campaign);
+  if (config.with_detector) {
+    detector = std::make_unique<sdc::HessenbergBoundDetector>(
+        config.detector_bound, config.detector_response);
+    chain.add(detector.get());
+  }
+
+  const krylov::FtGmresResult run =
+      krylov::ft_gmres(A, b, config.solver, &chain, &ws);
+
+  SweepPoint point;
+  point.aggregate_iteration = site;
+  point.outer_iterations = run.outer_iterations;
+  point.converged = run.status == krylov::FgmresStatus::Converged ||
+                    run.status == krylov::FgmresStatus::InvariantSubspace;
+  point.injected = campaign.fired();
+  point.detected = detector != nullptr && detector->triggered();
+  point.sanitized_outputs = run.sanitized_outputs;
+  point.residual_norm = run.residual_norm;
+  return point;
+}
+
+} // namespace
 
 SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
                                 const la::Vector& b,
@@ -54,9 +126,16 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
 
   SweepResult result;
 
+  // Determinism contract: the sweep owns ALL parallelism.  Every solve
+  // (baseline included) runs inside a sweep-created OpenMP region with its
+  // per-thread kernel threading pinned to 1, so the low-level dot/spmv
+  // reductions accumulate in one fixed (sequential) order no matter how
+  // many sweep workers run.  A sweep at threads == N is therefore bitwise
+  // identical to threads == 1: same points, same order, same doubles.
+  // (nthreads-var is a per-region ICV: the pin dies with the region.)
+
   // --- Failure-free baseline: learns the injection-site count. ---
-  const krylov::FtGmresResult baseline =
-      krylov::ft_gmres(A, b, config.solver, nullptr);
+  const krylov::FtGmresResult baseline = run_baseline(A, b, config.solver);
   result.baseline_outer = baseline.outer_iterations;
   result.baseline_total_inner = baseline.total_inner_iterations;
   result.baseline_converged =
@@ -68,33 +147,43 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   if (config.site_limit > 0) {
     last_site = std::min(last_site, config.site_limit);
   }
-  result.points.reserve(last_site / config.stride + 1);
-  for (std::size_t site = 0; site < last_site; site += config.stride) {
-    sdc::FaultCampaign campaign(
-        sdc::InjectionPlan::hessenberg(site, config.position, config.model));
-    std::unique_ptr<sdc::HessenbergBoundDetector> detector;
-    krylov::HookChain chain;
-    chain.add(&campaign);
-    if (config.with_detector) {
-      detector = std::make_unique<sdc::HessenbergBoundDetector>(
-          config.detector_bound, config.detector_response);
-      chain.add(detector.get());
+  const std::size_t n_points = (last_site + config.stride - 1) / config.stride;
+  result.points.resize(n_points);
+
+  int workers = 1;
+#ifdef _OPENMP
+  workers = config.threads == 0 ? omp_get_max_threads()
+                                : static_cast<int>(config.threads);
+  if (workers < 1) workers = 1;
+#endif
+
+  SweepPoint* points = result.points.data();
+  std::exception_ptr error;
+#pragma omp parallel num_threads(workers)
+  {
+#ifdef _OPENMP
+    omp_set_num_threads(1); // solver kernels stay serial inside a worker
+#endif
+    // One reusable nested solver workspace per worker thread: after its
+    // first site, a worker's solves are allocation-free on the iteration
+    // path.
+    krylov::FtGmresWorkspace ws;
+#pragma omp for schedule(dynamic)
+    for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(n_points);
+         ++idx) {
+      try {
+        const std::size_t site =
+            static_cast<std::size_t>(idx) * config.stride;
+        points[idx] = run_site(A, b, config, site, ws);
+      } catch (...) {
+        // An exception may not cross the region boundary (std::terminate);
+        // keep the first one and rethrow it on the calling thread.
+#pragma omp critical(sdcgmres_sweep_error)
+        if (!error) error = std::current_exception();
+      }
     }
-
-    const krylov::FtGmresResult run =
-        krylov::ft_gmres(A, b, config.solver, &chain);
-
-    SweepPoint point;
-    point.aggregate_iteration = site;
-    point.outer_iterations = run.outer_iterations;
-    point.converged = run.status == krylov::FgmresStatus::Converged ||
-                      run.status == krylov::FgmresStatus::InvariantSubspace;
-    point.injected = campaign.fired();
-    point.detected = detector != nullptr && detector->triggered();
-    point.sanitized_outputs = run.sanitized_outputs;
-    point.residual_norm = run.residual_norm;
-    result.points.push_back(point);
   }
+  if (error) std::rethrow_exception(error);
   return result;
 }
 

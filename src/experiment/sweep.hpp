@@ -35,6 +35,23 @@ struct SweepConfig {
                                     ///< with_detector is set
   sdc::DetectorResponse detector_response =
       sdc::DetectorResponse::AbortSolve;
+  std::size_t threads = 1;          ///< worker threads for the per-site
+                                    ///< solves: 1 = serial, 0 = all
+                                    ///< hardware threads.  Every thread
+                                    ///< checks out its own solver
+                                    ///< workspace, fault campaign, and
+                                    ///< detector/event log; results merge
+                                    ///< deterministically by site, and the
+                                    ///< SweepResult is identical to the
+                                    ///< serial run (see sweep.cpp).  Note:
+                                    ///< the sweep parallelizes across
+                                    ///< SITES only -- kernel-level OpenMP
+                                    ///< inside each solve is pinned to one
+                                    ///< thread at every `threads` setting
+                                    ///< (that pin is what makes the
+                                    ///< results mode-independent), so on
+                                    ///< multi-core machines use threads
+                                    ///< != 1 to recover parallelism.
 };
 
 /// Outcome of one faulty solve.
@@ -48,6 +65,8 @@ struct SweepPoint {
   std::size_t sanitized_outputs = 0; ///< inner results the reliable outer
                                      ///< phase had to filter (Inf/NaN/zero)
   double residual_norm = 0.0; ///< explicit final residual
+
+  bool operator==(const SweepPoint&) const = default;
 };
 
 /// Result of a full sweep.

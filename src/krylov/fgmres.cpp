@@ -1,5 +1,6 @@
 #include "krylov/fgmres.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -54,7 +55,7 @@ void form_iterate(const la::Vector& x0, const la::KrylovBasis& zbasis,
 
 FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
                     const la::Vector& x0, const FgmresOptions& opts,
-                    FlexiblePreconditioner& M) {
+                    FlexiblePreconditioner& M, KrylovWorkspace* ws) {
   if (A.rows() != A.cols()) {
     throw std::invalid_argument("fgmres: operator must be square");
   }
@@ -71,10 +72,14 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   const double bnorm = la::nrm2(b);
   const double abs_target = opts.tol * (bnorm > 0.0 ? bnorm : 1.0);
 
+  KrylovWorkspace local;
+  KrylovWorkspace& w = (ws != nullptr) ? *ws : local;
+  w.arena.reserve(n, opts.max_outer);
+
   // Reliable initial residual.
-  la::Vector r(n);
-  A.apply(x0, r);
-  la::waxpby(1.0, b, -1.0, r, r);
+  la::Vector& r = w.arena.scratch(0);
+  A.apply(x0.span(), r.span());
+  la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
   const double beta = la::nrm2(r);
   result.residual_norm = beta;
   if (beta <= abs_target) {
@@ -82,35 +87,43 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
     return result;
   }
 
-  // Both bases live in contiguous column-major arenas: q feeds the fused
-  // orthogonalization kernels, zbasis feeds the gemv in form_iterate.
-  la::KrylovBasis q(n, opts.max_outer + 1);      // orthonormal basis
-  la::KrylovBasis zbasis(n, opts.max_outer);     // preconditioned directions
+  // Both bases live in contiguous column-major workspace arenas: q feeds
+  // the fused orthogonalization kernels, zbasis feeds the gemv in
+  // form_iterate.  The preconditioner reads q's columns and writes z's
+  // columns directly -- the whole per-iteration data plane is spans over
+  // these two arenas plus two scratch vectors.
+  la::KrylovBasis& q = w.arena.basis();           // orthonormal basis
+  la::KrylovBasis& zbasis = w.arena.directions(); // preconditioned directions
+  q.clear();
+  zbasis.clear();
   q.append(r);
   la::scal(1.0 / beta, q.col(0));
 
-  dense::HessenbergQr qr(opts.max_outer, beta);
-  la::Vector v(n);
-  la::Vector qj(n); // owning copy of q_j for the preconditioner interface
-  std::vector<double> hcol(opts.max_outer + 2, 0.0);
+  dense::HessenbergQr& qr = w.qr;
+  qr.reset(opts.max_outer, beta);
+  la::Vector& v = w.arena.scratch(1);
+  std::vector<double>& hcol = w.arena.h_column();
+  std::fill(hcol.begin(),
+            hcol.begin() + static_cast<std::ptrdiff_t>(opts.max_outer + 2),
+            0.0);
 
   for (std::size_t j = 0; j < opts.max_outer; ++j) {
-    // --- Unreliable phase: apply the (flexible) preconditioner. ---
-    la::Vector z(n);
-    la::copy(q.col(j), qj.span());
-    M.apply(qj, j, z);
+    // --- Unreliable phase: apply the (flexible) preconditioner straight
+    // into the next Z-arena column (zero copies at the boundary). ---
+    std::span<double> zcol = zbasis.append();
+    M.apply(q.col(j), j, zcol);
 
     // --- Reliable phase resumes: sanitize, expand, orthogonalize. ---
     if (opts.sanitize_preconditioner_output &&
-        (!la::all_finite(z) || la::nrm2(z) == 0.0)) {
+        (!la::all_finite(std::span<const double>(zcol)) ||
+         la::nrm2(std::span<const double>(zcol)) == 0.0)) {
       // The sandbox guest produced theoretically impossible values (Inf or
       // NaN), or returned the zero vector -- impossible for any nonsingular
       // preconditioner.  Fall back to the identity preconditioner for this
       // step (z := q_j).
-      la::copy(qj, z);
+      la::copy(q.col(j), zcol);
       ++result.sanitized_outputs;
     }
-    zbasis.append(z.span());
 
     double hnext = 0.0;
     double est = 0.0;
@@ -124,7 +137,7 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
     // update -- is discarded and the iteration retried; a second failure
     // is then a property of A itself and is reported loudly below.
     for (int attempt = 0; attempt < 2; ++attempt) {
-      A.apply(zbasis.col(j), v);
+      A.apply(zbasis.col(j), v.span());
       const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
       orthogonalize(opts.ortho, q, j + 1, v, hcol, nullptr, ctx);
       hnext = la::nrm2(v);
@@ -152,16 +165,16 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
         // Saad's Proposition 2.2 case: loud failure, never a wrong answer.
         result.residual_history.push_back(est);
         form_iterate(x0, zbasis, qr, opts, result.x);
-        A.apply(result.x, r);
-        la::waxpby(1.0, b, -1.0, r, r);
+        A.apply(result.x.span(), r.span());
+        la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
         result.residual_norm = la::nrm2(r);
         result.status = FgmresStatus::RankDeficient;
         return result;
       }
       result.residual_history.push_back(est);
       form_iterate(x0, zbasis, qr, opts, result.x);
-      A.apply(result.x, r);
-      la::waxpby(1.0, b, -1.0, r, r);
+      A.apply(result.x.span(), r.span());
+      la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
       result.residual_norm = la::nrm2(r);
       result.status = result.residual_norm <= abs_target
                           ? FgmresStatus::Converged
@@ -180,8 +193,8 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
         result.status = FgmresStatus::Converged;
         return result;
       }
-      A.apply(result.x, r);
-      la::waxpby(1.0, b, -1.0, r, r);
+      A.apply(result.x.span(), r.span());
+      la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
       result.residual_norm = la::nrm2(r);
       if (result.residual_norm <= abs_target) {
         result.status = FgmresStatus::Converged;
@@ -193,8 +206,8 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   }
 
   form_iterate(x0, zbasis, qr, opts, result.x);
-  A.apply(result.x, r);
-  la::waxpby(1.0, b, -1.0, r, r);
+  A.apply(result.x.span(), r.span());
+  la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
   result.residual_norm = la::nrm2(r);
   result.status = result.residual_norm <= abs_target
                       ? FgmresStatus::Converged

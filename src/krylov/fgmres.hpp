@@ -16,6 +16,7 @@
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "krylov/precond.hpp"
+#include "krylov/workspace.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
@@ -69,9 +70,15 @@ struct FgmresResult {
 };
 
 /// Solve A x = b with flexible preconditioner \p M, starting from \p x0.
+/// \param ws optional reusable workspace (basis/direction arenas +
+///        projected QR); with a workspace of matching shape the solve
+///        performs no heap allocation on the iteration path.  The
+///        preconditioner receives basis columns and writes directly into
+///        Z-arena columns -- no owning la::Vector crosses the boundary.
 [[nodiscard]] FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
                                   const la::Vector& x0,
                                   const FgmresOptions& opts,
-                                  FlexiblePreconditioner& M);
+                                  FlexiblePreconditioner& M,
+                                  KrylovWorkspace* ws = nullptr);
 
 } // namespace sdcgmres::krylov

@@ -1,9 +1,12 @@
 #include "krylov/ft_gmres.hpp"
 
+#include <algorithm>
+
 namespace sdcgmres::krylov {
 
-void InnerGmresPreconditioner::apply(const la::Vector& q,
-                                     std::size_t outer_index, la::Vector& z) {
+void InnerGmresPreconditioner::apply(std::span<const double> q,
+                                     std::size_t outer_index,
+                                     std::span<double> z) {
   GmresOptions opts = opts_;
   if (robust_first_solve_ && outer_index == 0) {
     // Paper Section VII-E-1: spend extra effort where faults hurt most.
@@ -11,21 +14,28 @@ void InnerGmresPreconditioner::apply(const la::Vector& q,
     // coefficient after a single multiplicative fault in the first pass.
     opts.ortho = Orthogonalization::CGS2;
   }
-  const GmresResult inner =
-      gmres(*a_, q, la::Vector(a_->cols()), opts, hook_, outer_index);
+  // Zero initial guess, solved in place in the caller's z storage; the
+  // inner solve never sees an owning vector (b is the outer basis column,
+  // x the outer Z-arena column).
+  std::fill(z.begin(), z.end(), 0.0);
+  const GmresStats inner =
+      gmres_in_place(*a_, q, z, opts, hook_, outer_index, ws_,
+                     /*residual_history=*/nullptr);
   records_.push_back({.outer_index = outer_index,
                       .status = inner.status,
                       .iterations = inner.iterations,
                       .residual_norm = inner.residual_norm});
-  z = inner.x;
 }
 
 FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
-                       const FtGmresOptions& opts, ArnoldiHook* inner_hook) {
+                       const FtGmresOptions& opts, ArnoldiHook* inner_hook,
+                       FtGmresWorkspace* ws) {
   InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
-                                 opts.robust_first_inner);
+                                 opts.robust_first_inner,
+                                 ws != nullptr ? &ws->inner : nullptr);
   const FgmresResult outer =
-      fgmres(A, b, la::Vector(A.cols()), opts.outer, inner);
+      fgmres(A, b, la::Vector(A.cols()), opts.outer, inner,
+             ws != nullptr ? &ws->outer : nullptr);
 
   FtGmresResult result;
   result.x = outer.x;
@@ -42,9 +52,10 @@ FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
 }
 
 FtGmresResult ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,
-                       const FtGmresOptions& opts, ArnoldiHook* inner_hook) {
+                       const FtGmresOptions& opts, ArnoldiHook* inner_hook,
+                       FtGmresWorkspace* ws) {
   const CsrOperator op(A);
-  return ft_gmres(op, b, opts, inner_hook);
+  return ft_gmres(op, b, opts, inner_hook, ws);
 }
 
 } // namespace sdcgmres::krylov

@@ -64,19 +64,26 @@ struct FtGmresResult {
 };
 
 /// Inner GMRES exposed as a flexible preconditioner: each application
-/// approximately solves A z = q from a zero initial guess.  The optional
-/// hook observes/corrupts the inner Arnoldi process; the hook's
-/// solve_index equals the outer iteration index.
+/// approximately solves A z = q from a zero initial guess, running
+/// span-to-span out of the outer solver's arenas (q is an outer basis
+/// column, z an outer Z-arena column; no owning la::Vector crosses the
+/// boundary).  The optional hook observes/corrupts the inner Arnoldi
+/// process; the hook's solve_index equals the outer iteration index.
 class InnerGmresPreconditioner final : public FlexiblePreconditioner {
 public:
+  /// \param ws optional reusable workspace for the inner solves; one inner
+  ///        solve runs per outer iteration, so a matching workspace makes
+  ///        every inner solve after the first allocation-free.
   InnerGmresPreconditioner(const LinearOperator& A, const GmresOptions& opts,
                            ArnoldiHook* hook = nullptr,
-                           bool robust_first_solve = false)
+                           bool robust_first_solve = false,
+                           KrylovWorkspace* ws = nullptr)
       : a_(&A), opts_(opts), hook_(hook),
-        robust_first_solve_(robust_first_solve) {}
+        robust_first_solve_(robust_first_solve), ws_(ws) {}
 
-  void apply(const la::Vector& q, std::size_t outer_index,
-             la::Vector& z) override;
+  using FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t outer_index,
+             std::span<double> z) override;
 
   [[nodiscard]] const std::vector<InnerSolveRecord>& records() const {
     return records_;
@@ -87,21 +94,28 @@ private:
   GmresOptions opts_;
   ArnoldiHook* hook_;
   bool robust_first_solve_;
+  KrylovWorkspace* ws_;
   std::vector<InnerSolveRecord> records_;
 };
 
 /// Solve A x = b with FT-GMRES from a zero initial guess.
 /// \param inner_hook observes/corrupts inner solves only; the outer
 ///        iteration is always reliable.
+/// \param ws optional reusable nested workspace (outer + inner slots);
+///        reusing one across solves of the same shape removes all heap
+///        allocation from the iteration paths (the sweep engine checks
+///        out one per worker thread).
 [[nodiscard]] FtGmresResult ft_gmres(const LinearOperator& A,
                                      const la::Vector& b,
                                      const FtGmresOptions& opts,
-                                     ArnoldiHook* inner_hook = nullptr);
+                                     ArnoldiHook* inner_hook = nullptr,
+                                     FtGmresWorkspace* ws = nullptr);
 
 /// Convenience overload for CSR matrices.
 [[nodiscard]] FtGmresResult ft_gmres(const sparse::CsrMatrix& A,
                                      const la::Vector& b,
                                      const FtGmresOptions& opts,
-                                     ArnoldiHook* inner_hook = nullptr);
+                                     ArnoldiHook* inner_hook = nullptr,
+                                     FtGmresWorkspace* ws = nullptr);
 
 } // namespace sdcgmres::krylov

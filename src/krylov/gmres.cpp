@@ -1,5 +1,6 @@
 #include "krylov/gmres.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -30,20 +31,30 @@ struct CycleOutcome {
   SolveStatus status = SolveStatus::MaxIterations;
 };
 
-CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
-                       la::Vector& x, const GmresOptions& opts,
+CycleOutcome run_cycle(const LinearOperator& A, std::span<const double> b,
+                       std::span<double> x, const GmresOptions& opts,
                        std::size_t cycle_len, double abs_target,
                        ArnoldiHook* hook, std::size_t solve_index,
-                       GmresResult& result) {
+                       KrylovWorkspace& w, GmresStats& stats,
+                       std::vector<double>* history) {
   CycleOutcome outcome;
   const std::size_t n = A.rows();
 
+  // All per-cycle storage is checked out of the workspace; with a reused
+  // workspace of matching shape nothing below touches the heap.
+  la::Vector& r = w.arena.scratch(0);      // residual
+  la::Vector& v = w.arena.scratch(1);      // Arnoldi candidate
+  la::Vector& z = w.arena.scratch(2);      // preconditioned direction
+  la::Vector& update = w.arena.scratch(3); // Q_k y at cycle end
+  la::KrylovBasis& q = w.arena.basis();
+  std::vector<double>& hcol = w.arena.h_column();
+  std::fill(hcol.begin(), hcol.begin() + static_cast<std::ptrdiff_t>(cycle_len + 2), 0.0);
+
   // Reliable residual at cycle start: r = b - A*x.
-  la::Vector r(n);
-  A.apply(x, r);
-  la::waxpby(1.0, b, -1.0, r, r);
+  A.apply(x, r.span());
+  la::waxpby(1.0, b, -1.0, r.span(), r.span());
   const double beta = la::nrm2(r);
-  result.residual_norm = beta;
+  stats.residual_norm = beta;
   if (beta == 0.0 || (abs_target > 0.0 && beta <= abs_target)) {
     outcome.stop = true;
     outcome.status = SolveStatus::Converged;
@@ -58,32 +69,29 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
 
   // Contiguous column-major basis arena: the whole cycle's basis lives in
   // one buffer so orthogonalization runs as fused block kernels.
-  la::KrylovBasis q(n, cycle_len + 1);
+  q.clear();
   q.append(r);
   la::scal(1.0 / beta, q.col(0));
 
-  dense::HessenbergQr qr(cycle_len, beta);
-  la::Vector v(n);
-  la::Vector z(n);  // preconditioned direction when right_precond is set
-  la::Vector qj(n); // owning copy of q_j for the preconditioner interface
-  std::vector<double> hcol(cycle_len + 2, 0.0);
+  dense::HessenbergQr& qr = w.qr;
+  qr.reset(cycle_len, beta);
 
   bool aborted = false;
   bool breakdown = false;
   bool converged = false;
   bool qr_pop_pending = false;
-  while (qr.size() < cycle_len && result.iterations < opts.max_iters) {
+  while (qr.size() < cycle_len && stats.iterations < opts.max_iters) {
     const std::size_t j = qr.size();
     const ArnoldiContext ctx{.solve_index = solve_index, .iteration = j};
     if (hook != nullptr) hook->on_iteration_begin(ctx);
 
-    // v := A q_j (right-preconditioned: v := A M^{-1} q_j).
+    // v := A q_j (right-preconditioned: v := A M^{-1} q_j).  Both the
+    // preconditioner and the operator run span-to-span out of the arena.
     if (opts.right_precond != nullptr) {
-      la::copy(q.col(j), qj.span());
-      opts.right_precond->apply(qj, z);
-      A.apply(z, v);
+      opts.right_precond->apply(q.col(j), z.span());
+      A.apply(z.span(), v.span());
     } else {
-      A.apply(q.col(j), v);
+      A.apply(q.col(j), v.span());
     }
     if (hook != nullptr) hook->on_matvec_result(ctx, v);
     const double w_norm = la::nrm2(v); // scale reference for breakdown test
@@ -104,11 +112,10 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
     }
 
     hcol[j + 1] = hnext;
-    const double est =
-        qr.add_column({hcol.data(), j + 2});
-    result.residual_history.push_back(est);
-    ++result.iterations;
-    result.residual_norm = est;
+    const double est = qr.add_column({hcol.data(), j + 2});
+    if (history != nullptr) history->push_back(est);
+    ++stats.iterations;
+    stats.residual_norm = est;
 
     if (hnext <= opts.breakdown_tol * (w_norm > 0.0 ? w_norm : 1.0)) {
       breakdown = true;
@@ -130,8 +137,8 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
         q.pop_back();
         // The column is already in the QR factorization; the projected
         // solve below must not use it.
-        result.residual_history.pop_back();
-        --result.iterations;
+        if (history != nullptr) history->pop_back();
+        --stats.iterations;
         qr_pop_pending = true;
         break;
       }
@@ -146,24 +153,24 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
   // Form the update x += (M^{-1}) Q_k y from the accepted columns.
   if (qr_pop_pending) {
     qr.pop_column();
-    result.residual_norm = qr.residual_estimate();
+    stats.residual_norm = qr.residual_estimate();
   }
   const std::size_t k = qr.size();
   if (k > 0) {
     const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
                                               opts.lsq_policy,
                                               opts.truncation_tol);
-    result.lsq_effective_rank = solve.effective_rank;
-    result.lsq_fallback_triggered = solve.fallback_triggered;
+    stats.lsq_effective_rank = solve.effective_rank;
+    stats.lsq_fallback_triggered = solve.fallback_triggered;
     // update := Q_k y as one gemv over the contiguous block.
-    la::Vector update(n);
     la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k), 0.0,
-             update.span());
+             std::span<double>(update.data(), n));
     if (opts.right_precond != nullptr) {
-      opts.right_precond->apply(update, z);
-      la::axpy(1.0, z, x);
+      opts.right_precond->apply(std::span<const double>(update.data(), n),
+                                z.span());
+      la::axpy(1.0, std::span<const double>(z.data(), n), x);
     } else {
-      la::axpy(1.0, update, x);
+      la::axpy(1.0, std::span<const double>(update.data(), n), x);
     }
   }
 
@@ -177,7 +184,7 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
     outcome.stop = true;
     outcome.status = SolveStatus::Converged;
   } else {
-    outcome.stop = result.iterations >= opts.max_iters;
+    outcome.stop = stats.iterations >= opts.max_iters;
     outcome.status = SolveStatus::MaxIterations;
   }
   return outcome;
@@ -185,22 +192,22 @@ CycleOutcome run_cycle(const LinearOperator& A, const la::Vector& b,
 
 } // namespace
 
-GmresResult gmres(const LinearOperator& A, const la::Vector& b,
-                  const la::Vector& x0, const GmresOptions& opts,
-                  ArnoldiHook* hook, std::size_t solve_index) {
+GmresStats gmres_in_place(const LinearOperator& A, std::span<const double> b,
+                          std::span<double> x, const GmresOptions& opts,
+                          ArnoldiHook* hook, std::size_t solve_index,
+                          KrylovWorkspace* ws,
+                          std::vector<double>* residual_history) {
   if (A.rows() != A.cols()) {
     throw std::invalid_argument("gmres: operator must be square");
   }
-  if (b.size() != A.rows() || x0.size() != A.cols()) {
+  if (b.size() != A.rows() || x.size() != A.cols()) {
     throw std::invalid_argument("gmres: vector size mismatch");
   }
   if (opts.max_iters == 0) {
     throw std::invalid_argument("gmres: max_iters must be positive");
   }
 
-  GmresResult result;
-  result.x = x0;
-  result.residual_history.reserve(opts.max_iters);
+  GmresStats stats;
 
   const double bnorm = la::nrm2(b);
   const double abs_target =
@@ -208,14 +215,36 @@ GmresResult gmres(const LinearOperator& A, const la::Vector& b,
   const std::size_t cycle_len =
       (opts.restart == 0) ? opts.max_iters : opts.restart;
 
+  KrylovWorkspace local;
+  KrylovWorkspace& w = (ws != nullptr) ? *ws : local;
+  w.arena.reserve(A.rows(), cycle_len);
+
   if (hook != nullptr) hook->on_solve_begin(solve_index);
   while (true) {
-    const CycleOutcome outcome = run_cycle(A, b, result.x, opts, cycle_len,
-                                           abs_target, hook, solve_index,
-                                           result);
-    result.status = outcome.status;
+    const CycleOutcome outcome =
+        run_cycle(A, b, x, opts, cycle_len, abs_target, hook, solve_index, w,
+                  stats, residual_history);
+    stats.status = outcome.status;
     if (outcome.stop) break;
   }
+  return stats;
+}
+
+GmresResult gmres(const LinearOperator& A, const la::Vector& b,
+                  const la::Vector& x0, const GmresOptions& opts,
+                  ArnoldiHook* hook, std::size_t solve_index,
+                  KrylovWorkspace* ws) {
+  GmresResult result;
+  result.x = x0;
+  result.residual_history.reserve(opts.max_iters);
+  const GmresStats stats =
+      gmres_in_place(A, b.span(), result.x.span(), opts, hook, solve_index,
+                     ws, &result.residual_history);
+  result.status = stats.status;
+  result.iterations = stats.iterations;
+  result.residual_norm = stats.residual_norm;
+  result.lsq_effective_rank = stats.lsq_effective_rank;
+  result.lsq_fallback_triggered = stats.lsq_fallback_triggered;
   return result;
 }
 

@@ -9,6 +9,7 @@
 /// gives the plain solver.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "dense/lsq_policies.hpp"
@@ -16,6 +17,7 @@
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "krylov/precond.hpp"
+#include "krylov/workspace.hpp"
 #include "la/vector.hpp"
 #include "sparse/csr.hpp"
 
@@ -59,14 +61,43 @@ struct GmresResult {
   bool lsq_fallback_triggered = false;  ///< policy-2 fallback fired
 };
 
+/// Statistics of an in-place GMRES solve (everything in GmresResult except
+/// the owning iterate and history, which the span entry point leaves with
+/// the caller).
+struct GmresStats {
+  SolveStatus status = SolveStatus::MaxIterations;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  std::size_t lsq_effective_rank = 0;
+  bool lsq_fallback_triggered = false;
+};
+
+/// Span-core GMRES: solve A x = b with \p x holding the initial guess on
+/// entry and the final iterate on exit.  This is the zero-copy entry point
+/// the FT-GMRES inner solve uses: b is a basis column of the outer solver
+/// and x a Z-arena column, with no owning la::Vector at the boundary.
+/// \param ws optional reusable workspace (basis arena + projected QR);
+///        with a workspace of matching shape the solve performs no heap
+///        allocation.  nullptr allocates internally, as before.
+/// \param residual_history optional sink for the per-iteration residual
+///        estimates (appended; pass nullptr to skip recording).
+GmresStats gmres_in_place(const LinearOperator& A, std::span<const double> b,
+                          std::span<double> x, const GmresOptions& opts,
+                          ArnoldiHook* hook = nullptr,
+                          std::size_t solve_index = 0,
+                          KrylovWorkspace* ws = nullptr,
+                          std::vector<double>* residual_history = nullptr);
+
 /// Solve A x = b starting from \p x0.
 /// \param hook optional Arnoldi hook (fault injection / detection)
 /// \param solve_index forwarded to the hook as the solve identifier; in
 ///        FT-GMRES this is the outer iteration owning the inner solve.
+/// \param ws optional reusable workspace (see gmres_in_place)
 [[nodiscard]] GmresResult gmres(const LinearOperator& A, const la::Vector& b,
                                 const la::Vector& x0, const GmresOptions& opts,
                                 ArnoldiHook* hook = nullptr,
-                                std::size_t solve_index = 0);
+                                std::size_t solve_index = 0,
+                                KrylovWorkspace* ws = nullptr);
 
 /// Convenience overload for CSR matrices with a zero initial guess.
 [[nodiscard]] GmresResult gmres(const sparse::CsrMatrix& A, const la::Vector& b,

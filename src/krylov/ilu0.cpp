@@ -63,12 +63,12 @@ Ilu0Preconditioner::Ilu0Preconditioner(const sparse::CsrMatrix& A) : a_(&A) {
   }
 }
 
-void Ilu0Preconditioner::apply(const la::Vector& r, la::Vector& z) const {
+void Ilu0Preconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
   const std::size_t n = a_->rows();
-  if (r.size() != n) {
+  if (r.size() != n || z.size() != n) {
     throw std::invalid_argument("Ilu0Preconditioner: size mismatch");
   }
-  z.resize(n);
   const auto& row_ptr = a_->row_ptr();
   const auto& col_idx = a_->col_idx();
   // Forward solve L y = r (unit diagonal), in place in z.

@@ -26,7 +26,9 @@ class Ilu0Preconditioner final : public Preconditioner {
 public:
   explicit Ilu0Preconditioner(const sparse::CsrMatrix& A);
 
-  void apply(const la::Vector& r, la::Vector& z) const override;
+  using Preconditioner::apply;
+  /// Span core: the forward/backward sweeps run in place in z.
+  void apply(std::span<const double> r, std::span<double> z) const override;
 
   /// Access to the combined LU values (tests / diagnostics); layout
   /// matches the input matrix's CSR arrays.

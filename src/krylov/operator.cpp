@@ -1,18 +1,11 @@
 #include "krylov/operator.hpp"
 
-#include <algorithm>
-
 #include "la/blas1.hpp"
 
 namespace sdcgmres::krylov {
 
-void LinearOperator::apply(std::span<const double> x, la::Vector& y) const {
-  la::Vector tmp(x.size());
-  std::copy(x.begin(), x.end(), tmp.begin());
-  apply(tmp, y);
-}
-
-void ScaledOperator::apply(const la::Vector& x, la::Vector& y) const {
+void ScaledOperator::apply(std::span<const double> x,
+                           std::span<double> y) const {
   a_->apply(x, y);
   la::scal(alpha_, y);
 }

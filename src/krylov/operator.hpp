@@ -4,6 +4,12 @@
 ///
 /// Mirrors the role of Tpetra::Operator in the paper's Trilinos
 /// implementation: solvers see only y = A*x.
+///
+/// The virtual core is span-in/span-out so that solvers can feed basis
+/// columns straight out of a contiguous la::KrylovBasis arena and receive
+/// results straight into workspace storage, with zero owning-vector
+/// copies at the operator boundary.  Thin la::Vector overloads remain for
+/// callers that hold owning vectors; they resize the output and forward.
 
 #include <cstddef>
 #include <span>
@@ -21,13 +27,22 @@ public:
   [[nodiscard]] virtual std::size_t rows() const = 0;
   [[nodiscard]] virtual std::size_t cols() const = 0;
 
-  /// y := A*x.  Implementations must resize y as needed.
-  virtual void apply(const la::Vector& x, la::Vector& y) const = 0;
+  /// y := A*x, the span core.  x.size() must equal cols() and y.size()
+  /// must equal rows(); x and y must not alias.  Implementations must
+  /// write every entry of y.
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
 
-  /// y := A*x for a span operand (a column of a contiguous KrylovBasis).
-  /// The default copies into a temporary la::Vector; zero-copy-capable
-  /// operators (CsrOperator) override it.
-  virtual void apply(std::span<const double> x, la::Vector& y) const;
+  /// Convenience: y := A*x for owning vectors; resizes y to rows().
+  void apply(const la::Vector& x, la::Vector& y) const {
+    if (y.size() != rows()) y.resize(rows());
+    apply(std::span<const double>(x.span()), y.span());
+  }
+
+  /// Convenience: y := A*x for a span operand into an owning result.
+  void apply(std::span<const double> x, la::Vector& y) const {
+    if (y.size() != rows()) y.resize(rows());
+    apply(x, y.span());
+  }
 
   /// Convenience: A*x by value.
   [[nodiscard]] la::Vector operator()(const la::Vector& x) const {
@@ -42,13 +57,14 @@ class CsrOperator final : public LinearOperator {
 public:
   explicit CsrOperator(const sparse::CsrMatrix& A) : a_(&A) {}
 
+  using LinearOperator::apply; // keep the la::Vector conveniences visible
+
   [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
   [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
-  void apply(const la::Vector& x, la::Vector& y) const override {
-    a_->spmv(x, y);
-  }
-  /// Zero-copy SpMV straight from a basis column.
-  void apply(std::span<const double> x, la::Vector& y) const override {
+
+  /// Zero-copy SpMV straight between spans (basis column in, workspace
+  /// column out).
+  void apply(std::span<const double> x, std::span<double> y) const override {
     a_->spmv(x, y);
   }
 
@@ -63,11 +79,11 @@ class ScaledOperator final : public LinearOperator {
 public:
   ScaledOperator(const LinearOperator& A, double alpha) : a_(&A), alpha_(alpha) {}
 
-  using LinearOperator::apply; // keep the span overload visible
+  using LinearOperator::apply; // keep the la::Vector conveniences visible
 
   [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
   [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
-  void apply(const la::Vector& x, la::Vector& y) const override;
+  void apply(std::span<const double> x, std::span<double> y) const override;
 
 private:
   const LinearOperator* a_;

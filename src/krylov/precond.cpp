@@ -1,5 +1,6 @@
 #include "krylov/precond.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,7 +8,8 @@
 
 namespace sdcgmres::krylov {
 
-void IdentityPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+void IdentityPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
   la::copy(r, z);
 }
 
@@ -25,11 +27,12 @@ JacobiPreconditioner::JacobiPreconditioner(const sparse::CsrMatrix& A) {
   }
 }
 
-void JacobiPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
   if (r.size() != inv_diag_.size()) {
     throw std::invalid_argument("JacobiPreconditioner: size mismatch");
   }
-  la::hadamard(r, inv_diag_, z);
+  la::hadamard(r, std::span<const double>(inv_diag_.span()), z);
 }
 
 NeumannPolynomialPreconditioner::NeumannPolynomialPreconditioner(
@@ -45,19 +48,26 @@ NeumannPolynomialPreconditioner::NeumannPolynomialPreconditioner(
   }
 }
 
-void NeumannPolynomialPreconditioner::apply(const la::Vector& r,
-                                            la::Vector& z) const {
+void NeumannPolynomialPreconditioner::apply(std::span<const double> r,
+                                            std::span<double> z) const {
+  if (r.size() != a_->rows() || z.size() != r.size()) {
+    throw std::invalid_argument(
+        "NeumannPolynomialPreconditioner: size mismatch");
+  }
   // z = w * sum_{k=0}^{d} (I - w A)^k r, built by Horner-style recurrence:
   //   t_0 = r;  t_{k+1} = t_k - w*A*t_k;  z += w * t_k.
-  la::Vector t = r;
+  // The recurrence needs two internal length-n temporaries; they are local
+  // to this preconditioner (the solver boundary itself stays span-based)
+  // and keep apply() const and safe to share across threads.
+  la::Vector t(r.size());
+  la::copy(r, t.span());
   la::Vector at(a_->rows());
-  z.resize(r.size());
-  z.fill(0.0);
+  std::fill(z.begin(), z.end(), 0.0);
   for (std::size_t k = 0; k <= degree_; ++k) {
-    la::axpy(omega_, t, z);
+    la::axpy(omega_, t.span(), z);
     if (k == degree_) break;
-    a_->apply(t, at);
-    la::axpy(-omega_, at, t);
+    a_->apply(t.span(), at.span());
+    la::axpy(-omega_, at.span(), t.span());
   }
 }
 

@@ -2,9 +2,19 @@
 /// \file precond.hpp
 /// \brief Stationary preconditioners and the flexible-preconditioner
 /// interface used by FGMRES.
+///
+/// Both interfaces are span-in/span-out at the core: solvers hand the
+/// preconditioner a basis column (read-only span into the Krylov arena)
+/// and receive the output directly in workspace storage (a Z-basis
+/// column), with no owning la::Vector copies at the boundary.  Thin
+/// la::Vector convenience overloads resize the output and forward.
+///
+/// Span contract: r/q and z never alias; z.size() == r.size(); the
+/// implementation must write every entry of z.
 
 #include <cstddef>
 #include <memory>
+#include <span>
 
 #include "krylov/operator.hpp"
 #include "la/vector.hpp"
@@ -17,14 +27,21 @@ class Preconditioner {
 public:
   virtual ~Preconditioner() = default;
 
-  /// z := M^{-1} r.
-  virtual void apply(const la::Vector& r, la::Vector& z) const = 0;
+  /// z := M^{-1} r, the span core (see the span contract above).
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+
+  /// Convenience for owning vectors; resizes z and forwards.
+  void apply(const la::Vector& r, la::Vector& z) const {
+    if (z.size() != r.size()) z.resize(r.size());
+    apply(std::span<const double>(r.span()), z.span());
+  }
 };
 
 /// Identity preconditioner (no-op copy).
 class IdentityPreconditioner final : public Preconditioner {
 public:
-  void apply(const la::Vector& r, la::Vector& z) const override;
+  using Preconditioner::apply;
+  void apply(std::span<const double> r, std::span<double> z) const override;
 };
 
 /// Jacobi (diagonal) preconditioner: z_i = r_i / a_ii.
@@ -32,7 +49,8 @@ public:
 class JacobiPreconditioner final : public Preconditioner {
 public:
   explicit JacobiPreconditioner(const sparse::CsrMatrix& A);
-  void apply(const la::Vector& r, la::Vector& z) const override;
+  using Preconditioner::apply;
+  void apply(std::span<const double> r, std::span<double> z) const override;
 
 private:
   la::Vector inv_diag_;
@@ -46,7 +64,8 @@ class NeumannPolynomialPreconditioner final : public Preconditioner {
 public:
   NeumannPolynomialPreconditioner(const LinearOperator& A, std::size_t degree,
                                   double omega);
-  void apply(const la::Vector& r, la::Vector& z) const override;
+  using Preconditioner::apply;
+  void apply(std::span<const double> r, std::span<double> z) const override;
 
 private:
   const LinearOperator* a_;
@@ -61,18 +80,25 @@ class FlexiblePreconditioner {
 public:
   virtual ~FlexiblePreconditioner() = default;
 
-  /// z := M_j^{-1} q where j = \p outer_index; called once per outer
-  /// iteration.
-  virtual void apply(const la::Vector& q, std::size_t outer_index,
-                     la::Vector& z) = 0;
+  /// z := M_j^{-1} q where j = \p outer_index, the span core; called once
+  /// per outer iteration (see the span contract above).
+  virtual void apply(std::span<const double> q, std::size_t outer_index,
+                     std::span<double> z) = 0;
+
+  /// Convenience for owning vectors; resizes z and forwards.
+  void apply(const la::Vector& q, std::size_t outer_index, la::Vector& z) {
+    if (z.size() != q.size()) z.resize(q.size());
+    apply(std::span<const double>(q.span()), outer_index, z.span());
+  }
 };
 
 /// Adapts a fixed Preconditioner to the flexible interface.
 class FixedFlexibleAdapter final : public FlexiblePreconditioner {
 public:
   explicit FixedFlexibleAdapter(const Preconditioner& M) : m_(&M) {}
-  void apply(const la::Vector& q, std::size_t outer_index,
-             la::Vector& z) override {
+  using FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t outer_index,
+             std::span<double> z) override {
     (void)outer_index;
     m_->apply(q, z);
   }

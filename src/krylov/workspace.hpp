@@ -1,0 +1,36 @@
+#pragma once
+/// \file workspace.hpp
+/// \brief Check-out-able solver workspaces for the Krylov layer.
+///
+/// A KrylovWorkspace bundles everything one GMRES/FGMRES instance reuses
+/// across solves: the la-layer span arena (basis, directions, scratch,
+/// Hessenberg column) and the projected-problem QR factorization.  After
+/// the first solve of a given shape, every further solve through the same
+/// workspace performs no heap allocation on the iteration path.
+///
+/// FT-GMRES nests two solvers -- the reliable outer FGMRES and the faulty
+/// inner GMRES called once per outer iteration -- whose live ranges
+/// overlap, so it checks out one slot per nesting level.
+///
+/// Threading: workspaces are NOT shareable between threads.  The parallel
+/// injection sweep (experiment::run_injection_sweep) checks out one
+/// FtGmresWorkspace per worker thread.
+
+#include "dense/hessenberg_qr.hpp"
+#include "la/workspace.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Reusable state for one (F)GMRES solver instance.
+struct KrylovWorkspace {
+  la::SolverWorkspace arena;  ///< V/Z arenas, scratch vectors, h column
+  dense::HessenbergQr qr;     ///< projected least-squares factorization
+};
+
+/// Reusable state for one FT-GMRES instance: outer FGMRES + inner GMRES.
+struct FtGmresWorkspace {
+  KrylovWorkspace outer;
+  KrylovWorkspace inner;
+};
+
+} // namespace sdcgmres::krylov

@@ -76,6 +76,47 @@ void copy(std::span<const double> x, std::span<double> y) {
   }
 }
 
+void waxpby(double alpha, std::span<const double> x, double beta,
+            std::span<const double> y, std::span<double> w) {
+  require_same_size(x, y, "waxpby");
+  require_same_size(x, std::span<const double>(w), "waxpby");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  const double* py = y.data();
+  double* pw = w.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    pw[i] = alpha * px[i] + beta * py[i];
+  }
+}
+
+void hadamard(std::span<const double> x, std::span<const double> y,
+              std::span<double> z) {
+  require_same_size(x, y, "hadamard");
+  require_same_size(x, std::span<const double>(z), "hadamard");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+  const double* py = y.data();
+  double* pz = z.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    pz[i] = px[i] * py[i];
+  }
+}
+
+bool all_finite(std::span<const double> x) { return count_nonfinite(x) == 0; }
+
+std::size_t count_nonfinite(std::span<const double> x) {
+  std::int64_t bad = 0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  const double* px = x.data();
+#pragma omp parallel for reduction(+ : bad) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(px[i])) ++bad;
+  }
+  return static_cast<std::size_t>(bad);
+}
+
 namespace {
 
 double dot_axpy_impl(std::span<const double> x, std::span<double> y,
@@ -197,16 +238,10 @@ void hadamard(const Vector& x, const Vector& y, Vector& z) {
   }
 }
 
-bool all_finite(const Vector& x) { return count_nonfinite(x) == 0; }
+bool all_finite(const Vector& x) { return count_nonfinite(x.span()) == 0; }
 
 std::size_t count_nonfinite(const Vector& x) {
-  std::int64_t bad = 0;
-  const std::int64_t n = ssize(x);
-#pragma omp parallel for reduction(+ : bad) schedule(static) if (n > 4096)
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (!std::isfinite(x[static_cast<std::size_t>(i)])) ++bad;
-  }
-  return static_cast<std::size_t>(bad);
+  return count_nonfinite(std::span<const double>(x.span()));
 }
 
 } // namespace sdcgmres::la

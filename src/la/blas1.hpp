@@ -44,6 +44,20 @@ void scal(double alpha, std::span<double> x);
 /// y := x over spans (sizes must match).
 void copy(std::span<const double> x, std::span<double> y);
 
+/// w := alpha*x + beta*y over spans (sizes must match; w may alias x or y).
+void waxpby(double alpha, std::span<const double> x, double beta,
+            std::span<const double> y, std::span<double> w);
+
+/// Element-wise product z := x .* y over spans (sizes must match).
+void hadamard(std::span<const double> x, std::span<const double> y,
+              std::span<double> z);
+
+/// True when every entry of the span is finite (no Inf, no NaN).
+[[nodiscard]] bool all_finite(std::span<const double> x);
+
+/// Number of span entries that are NaN or infinite.
+[[nodiscard]] std::size_t count_nonfinite(std::span<const double> x);
+
 /// Fused MGS step: computes h = x.y, then y := y - h*x, in one kernel
 /// (single parallel region; one fork/join instead of two, and x is hot in
 /// cache for the correction).  The dot uses the same loop and reduction as

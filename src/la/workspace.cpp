@@ -1,0 +1,27 @@
+#include "la/workspace.hpp"
+
+#include <algorithm>
+
+namespace sdcgmres::la {
+
+void SolverWorkspace::reserve(std::size_t rows, std::size_t max_dim) {
+  if (rows != rows_ || max_dim > max_dim_) {
+    // Same row count: grow the column capacity monotonically.  A changed
+    // row count reshapes the arenas (their columns must be exactly
+    // rows-long spans), which reallocates -- the one case a workspace is
+    // not allocation-free, and one that repeated same-shape solves (the
+    // sweep pattern) never hit.
+    const std::size_t d = (rows == rows_) ? std::max(max_dim, max_dim_)
+                                          : max_dim;
+    v_ = KrylovBasis(rows, d + 1);
+    z_ = KrylovBasis(rows, d);
+    rows_ = rows;
+    max_dim_ = d;
+  }
+  for (Vector& s : scratch_) {
+    if (s.size() != rows_) s.resize(rows_);
+  }
+  if (hcol_.size() < max_dim_ + 2) hcol_.resize(max_dim_ + 2, 0.0);
+}
+
+} // namespace sdcgmres::la

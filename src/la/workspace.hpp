@@ -1,0 +1,82 @@
+#pragma once
+/// \file workspace.hpp
+/// \brief Reusable solver storage: the zero-allocation data plane.
+///
+/// Every GMRES-family solve needs the same storage shape: an orthonormal
+/// basis arena V, a (flexible solvers only) preconditioned-direction arena
+/// Z, a handful of length-n scratch vectors, and one Hessenberg column.
+/// Allocating these per solve is invisible for a single solve but dominates
+/// an injection sweep, which runs hundreds of independent solves of the
+/// same shape.  SolverWorkspace owns all of it once; reserve() grows the
+/// arenas monotonically (never shrinks), so a workspace checked out by a
+/// sweep worker thread reaches a fixed point after its first solve and
+/// every subsequent solve runs without touching the heap.
+///
+/// Ownership and aliasing rules (the span data plane contract):
+///   - A workspace serves ONE solver instance at a time.  Nested solvers
+///     (FT-GMRES: outer FGMRES + inner GMRES) need one workspace per
+///     nesting level, because the outer basis must survive inner solves.
+///   - Spans handed to operators/preconditioners point into these arenas;
+///     callees must treat input spans as read-only and write every entry
+///     of their output span.  Input and output spans never alias.
+///   - Threads must not share a workspace.  One workspace per thread is
+///     the parallel-sweep pattern (see experiment::run_injection_sweep).
+
+#include <cstddef>
+#include <vector>
+
+#include "la/krylov_basis.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::la {
+
+/// Arena of reusable solver storage (see file comment for the contract).
+class SolverWorkspace {
+public:
+  /// Number of length-n scratch vectors (residual, candidate,
+  /// preconditioner output, update -- the most any solver needs at once).
+  static constexpr std::size_t kScratchSlots = 4;
+
+  SolverWorkspace() = default;
+
+  /// Pre-size for solves with \p rows unknowns and up to \p max_dim basis
+  /// columns (V gets max_dim+1 columns for the final Arnoldi vector).
+  SolverWorkspace(std::size_t rows, std::size_t max_dim) {
+    reserve(rows, max_dim);
+  }
+
+  /// Shape the arenas for a solve of \p rows unknowns with up to
+  /// \p max_dim basis/direction columns.  With an unchanged row count the
+  /// column capacity grows monotonically and a fitting reserve is
+  /// allocation-free; changing the row count reshapes (reallocates) the
+  /// arenas.  Existing column contents are NOT preserved across a
+  /// reshaping reserve.
+  void reserve(std::size_t rows, std::size_t max_dim);
+
+  /// Orthonormal basis arena V (capacity >= max_dim+1 after reserve).
+  [[nodiscard]] KrylovBasis& basis() noexcept { return v_; }
+  /// Preconditioned-direction arena Z (capacity >= max_dim after reserve).
+  [[nodiscard]] KrylovBasis& directions() noexcept { return z_; }
+
+  /// Length-rows scratch vector \p slot (0 <= slot < kScratchSlots).
+  /// Contents are unspecified at checkout; callers must fully overwrite.
+  [[nodiscard]] Vector& scratch(std::size_t slot) noexcept {
+    return scratch_[slot];
+  }
+
+  /// Hessenberg column scratch (length >= max_dim+2 after reserve).
+  [[nodiscard]] std::vector<double>& h_column() noexcept { return hcol_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t max_dim() const noexcept { return max_dim_; }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t max_dim_ = 0;
+  KrylovBasis v_;
+  KrylovBasis z_;
+  Vector scratch_[kScratchSlots];
+  std::vector<double> hcol_;
+};
+
+} // namespace sdcgmres::la

@@ -6,8 +6,8 @@
 
 namespace sdcgmres::sdc {
 
-void Sandbox::apply(const la::Vector& q, std::size_t outer_index,
-                    la::Vector& z) {
+void Sandbox::apply(std::span<const double> q, std::size_t outer_index,
+                    std::span<double> z) {
   ++stats_.invocations;
   bool crashed = false;
   if (opts_.catch_exceptions) {
@@ -21,17 +21,13 @@ void Sandbox::apply(const la::Vector& q, std::size_t outer_index,
   }
   if (crashed) {
     // The guest crashed; the sandbox still returns *something*.  Identity
-    // output keeps the outer iteration mathematically valid (M_j = I).
+    // output keeps the outer iteration mathematically valid (M_j = I),
+    // and overwriting the whole span erases any partial guest write.
     ++stats_.exceptions;
     la::copy(q, z);
     return;
   }
-  if (z.size() != q.size()) {
-    ++stats_.wrong_shape_outputs;
-    la::copy(q, z);
-    return;
-  }
-  if (opts_.replace_nonfinite && !la::all_finite(z)) {
+  if (opts_.replace_nonfinite && !la::all_finite(std::span<const double>(z))) {
     ++stats_.nonfinite_outputs;
     la::copy(q, z);
   }

@@ -8,11 +8,17 @@
 /// faulty inner GMRES solve): exceptions escaping the guest -- crashes, in
 /// the taxonomy of Fig. 1 -- are converted into soft faults by substituting
 /// a fallback result, and non-finite guest output can optionally be
-/// filtered the same way.  Finite time is the guest's own iteration bound;
-/// the host additionally re-checks output size, since a guest gone astray
-/// may return a vector of the wrong shape.
+/// filtered the same way.  Finite time is the guest's own iteration bound.
+///
+/// Under the span data plane the host owns the output storage and hands
+/// the guest a fixed-size span, so the wrong-shape failure mode of the
+/// old owning-vector contract is structurally impossible: a guest cannot
+/// return a vector of the wrong length, only fail to write (crash) or
+/// write garbage (filtered here).  Partial writes from a crashing guest
+/// are harmless: the fallback overwrites the whole span.
 
 #include <cstddef>
+#include <span>
 
 #include "krylov/precond.hpp"
 #include "la/vector.hpp"
@@ -28,10 +34,9 @@ struct SandboxOptions {
 
 /// Per-sandbox statistics.
 struct SandboxStats {
-  std::size_t invocations = 0;      ///< guest calls
+  std::size_t invocations = 0;       ///< guest calls
   std::size_t nonfinite_outputs = 0; ///< outputs filtered for Inf/NaN
-  std::size_t wrong_shape_outputs = 0; ///< outputs resized by the host
-  std::size_t exceptions = 0;       ///< guest crashes converted to soft faults
+  std::size_t exceptions = 0;  ///< guest crashes converted to soft faults
 };
 
 /// Wraps a guest flexible preconditioner in the sandbox contract.
@@ -41,8 +46,9 @@ public:
                    SandboxOptions opts = {})
       : guest_(&guest), opts_(opts) {}
 
-  void apply(const la::Vector& q, std::size_t outer_index,
-             la::Vector& z) override;
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t outer_index,
+             std::span<double> z) override;
 
   [[nodiscard]] const SandboxStats& stats() const noexcept { return stats_; }
 

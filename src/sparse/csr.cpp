@@ -79,12 +79,15 @@ double CsrMatrix::at(std::size_t i, std::size_t j) const {
   return values_[row_ptr_[i] + static_cast<std::size_t>(it - cols.begin())];
 }
 
-void CsrMatrix::spmv(std::span<const double> x, la::Vector& y) const {
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_) {
     throw std::invalid_argument("CsrMatrix::spmv: x size mismatch");
   }
-  if (y.size() != rows_) y.resize(rows_);
+  if (y.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::spmv: y size mismatch");
+  }
   const double* px = x.data();
+  double* py = y.data();
   const auto n = static_cast<std::int64_t>(rows_);
 #pragma omp parallel for schedule(static) if (n > 2048)
   for (std::int64_t ii = 0; ii < n; ++ii) {
@@ -93,15 +96,75 @@ void CsrMatrix::spmv(std::span<const double> x, la::Vector& y) const {
     for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
       sum += values_[k] * px[col_idx_[k]];
     }
-    y[i] = sum;
+    py[i] = sum;
   }
+}
+
+void CsrMatrix::spmv(std::span<const double> x, la::Vector& y) const {
+  if (y.size() != rows_) y.resize(rows_);
+  spmv(x, y.span());
 }
 
 void CsrMatrix::spmv(const la::Vector& x, la::Vector& y) const {
   spmv(x.span(), y);
 }
 
-void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
+void CsrMatrix::spmm(std::size_t ncols, const double* x, std::size_t ldx,
+                     double* y, std::size_t ldy) const {
+  // Process right-hand sides in blocks of 4: one pass over the matrix per
+  // block, with 4 independent accumulator chains per row.  Each chain
+  // sums in the same order as spmv, so every output column is bitwise
+  // identical to a separate spmv of that column.
+  const auto n = static_cast<std::int64_t>(rows_);
+  for (std::size_t c0 = 0; c0 < ncols; c0 += 4) {
+    const std::size_t bw = std::min<std::size_t>(4, ncols - c0);
+    const double* x0 = x + c0 * ldx;
+    double* y0 = y + c0 * ldy;
+    if (bw == 4) {
+#pragma omp parallel for schedule(static) if (n > 2048)
+      for (std::int64_t ii = 0; ii < n; ++ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          const double a = values_[k];
+          const std::size_t j = col_idx_[k];
+          s0 += a * x0[j];
+          s1 += a * x0[j + ldx];
+          s2 += a * x0[j + 2 * ldx];
+          s3 += a * x0[j + 3 * ldx];
+        }
+        y0[i] = s0;
+        y0[i + ldy] = s1;
+        y0[i + 2 * ldy] = s2;
+        y0[i + 3 * ldy] = s3;
+      }
+    } else {
+#pragma omp parallel for schedule(static) if (n > 2048)
+      for (std::int64_t ii = 0; ii < n; ++ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        double s[4] = {0.0, 0.0, 0.0, 0.0};
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          const double a = values_[k];
+          const std::size_t j = col_idx_[k];
+          for (std::size_t c = 0; c < bw; ++c) s[c] += a * x0[j + c * ldx];
+        }
+        for (std::size_t c = 0; c < bw; ++c) y0[i + c * ldy] = s[c];
+      }
+    }
+  }
+}
+
+void CsrMatrix::spmm(const la::BasisView& x, la::KrylovBasis& y) const {
+  if (x.rows() != cols_) {
+    throw std::invalid_argument("CsrMatrix::spmm: X row count mismatch");
+  }
+  if (y.rows() != rows_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("CsrMatrix::spmm: Y shape mismatch");
+  }
+  spmm(x.cols(), x.data(), x.ld(), y.data(), y.ld());
+}
+
+void CsrMatrix::spmv_transpose(std::span<const double> x, la::Vector& y) const {
   if (x.size() != rows_) {
     throw std::invalid_argument("CsrMatrix::spmv_transpose: x size mismatch");
   }
@@ -114,7 +177,6 @@ void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
     std::vector<double> scratch(static_cast<std::size_t>(max_threads) * cols_,
                                 0.0);
     const auto n = static_cast<std::int64_t>(rows_);
-    const auto m = static_cast<std::int64_t>(cols_);
 #pragma omp parallel num_threads(max_threads)
     {
       double* buf =
@@ -129,16 +191,27 @@ void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
           buf[col_idx_[k]] += values_[k] * xi;
         }
       }
-      // Implicit barrier above: every thread's scatter is complete.
+      // Implicit barrier above: every thread's scatter is complete.  The
+      // buffers are reduced by COLUMN BLOCKS: each thread owns contiguous
+      // column ranges and streams the same range of every buffer at unit
+      // stride (one pass per buffer), instead of walking all buffers at a
+      // cols-sized stride per column -- a pure conflict-miss pattern at
+      // high thread counts.  Per-column summation order (buffer 0..nt-1)
+      // is unchanged, so results are bitwise identical to the old merge.
       const int nt = omp_get_num_threads();
+      constexpr std::size_t kColBlock = 4096;
+      const auto nblocks =
+          static_cast<std::int64_t>((cols_ + kColBlock - 1) / kColBlock);
 #pragma omp for schedule(static)
-      for (std::int64_t jj = 0; jj < m; ++jj) {
-        const auto j = static_cast<std::size_t>(jj);
-        double sum = 0.0;
-        for (int t = 0; t < nt; ++t) {
-          sum += scratch[static_cast<std::size_t>(t) * cols_ + j];
+      for (std::int64_t bb = 0; bb < nblocks; ++bb) {
+        const std::size_t lo = static_cast<std::size_t>(bb) * kColBlock;
+        const std::size_t hi = std::min(cols_, lo + kColBlock);
+        double* py = y.data();
+        std::copy(scratch.data() + lo, scratch.data() + hi, py + lo);
+        for (int t = 1; t < nt; ++t) {
+          const double* bt = scratch.data() + static_cast<std::size_t>(t) * cols_;
+          for (std::size_t j = lo; j < hi; ++j) py[j] += bt[j];
         }
-        y[j] = sum;
       }
     }
     return;
@@ -152,6 +225,10 @@ void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
       y[col_idx_[k]] += values_[k] * xi;
     }
   }
+}
+
+void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
+  spmv_transpose(x.span(), y);
 }
 
 la::Vector CsrMatrix::apply(const la::Vector& x) const {

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 #include "sparse/coo.hpp"
 
@@ -57,11 +58,35 @@ public:
   /// y := A*x for a span operand (zero-copy from a KrylovBasis column).
   void spmv(std::span<const double> x, la::Vector& y) const;
 
+  /// y := A*x, the span core: y.size() must equal rows() (never resized),
+  /// x and y must not alias.  This is the zero-copy path the solver data
+  /// plane uses (basis column in, workspace column out).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Y := A*X for a block of vectors (SpMM, blocked multi-vector SpMV).
+  /// X is a column-major view with X.rows() == cols(); Y must hold
+  /// X.cols() columns of length rows() (use KrylovBasis::append() to shape
+  /// it).  The matrix is streamed ONCE per block of right-hand sides
+  /// instead of once per vector, so b simultaneous products pay ~1/b of
+  /// the index/value traffic of b spmv calls.  Each output column
+  /// accumulates in exactly spmv's order: results are bitwise identical
+  /// to column-by-column spmv.
+  void spmm(const la::BasisView& x, la::KrylovBasis& y) const;
+
+  /// Raw SpMM core over column-major blocks: \p ncols vectors, x with
+  /// leading dimension \p ldx >= cols(), y with \p ldy >= rows().
+  void spmm(std::size_t ncols, const double* x, std::size_t ldx, double* y,
+            std::size_t ldy) const;
+
   /// y := A^T*x.  OpenMP-parallel over row blocks with per-thread
-  /// accumulation buffers (each thread scatters into its own dense buffer,
-  /// then the buffers are reduced column-wise); serial fallback without
-  /// OpenMP or for small matrices.
+  /// accumulation buffers (each thread scatters into its own dense
+  /// buffer, then the buffers are reduced in column blocks, each thread
+  /// streaming a contiguous range of every buffer at unit stride);
+  /// serial fallback without OpenMP or for small matrices.
   void spmv_transpose(const la::Vector& x, la::Vector& y) const;
+
+  /// A^T*x for a span operand (zero-copy from a basis column).
+  void spmv_transpose(std::span<const double> x, la::Vector& y) const;
 
   /// Convenience: returns A*x by value.
   [[nodiscard]] la::Vector apply(const la::Vector& x) const;

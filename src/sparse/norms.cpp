@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "la/blas1.hpp"
+#include "la/krylov_basis.hpp"
 
 namespace sdcgmres::sparse {
 
@@ -86,6 +87,62 @@ NormEstimate estimate_two_norm(const CsrMatrix& A, std::size_t max_iters,
     sigma = sigma_next;
   }
   est.value = sigma;
+  est.converged = false;
+  return est;
+}
+
+NormEstimate estimate_two_norm_batch(const CsrMatrix& A, std::size_t block,
+                                     std::size_t max_iters, double tol,
+                                     unsigned seed) {
+  NormEstimate est;
+  if (block == 0) block = 1;
+  if (A.rows() == 0 || A.cols() == 0 || A.nnz() == 0) {
+    est.converged = true;
+    return est;
+  }
+  // X: block replicas of the power iteration, one column each, in a
+  // contiguous arena so the forward product is a single SpMM.
+  la::KrylovBasis x(A.cols(), block);
+  la::KrylovBasis ax(A.rows(), block);
+  for (std::size_t c = 0; c < block; ++c) {
+    const la::Vector v0 = random_unit_vector(A.cols(), seed + 977u * (unsigned)c);
+    x.append(v0.span());
+    (void)ax.append();
+  }
+  la::Vector atav(A.cols());
+  std::vector<double> sigma(block, 0.0);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    A.spmm(x.view(), ax); // the batched half: one matrix pass for all replicas
+    est.iterations = it + 1;
+    double best_next = 0.0;
+    double best_prev = 0.0;
+    bool all_null = true;
+    for (std::size_t c = 0; c < block; ++c) {
+      A.spmv_transpose(std::span<const double>(ax.col(c)), atav);
+      const double lambda = la::nrm2(atav); // ~ sigma_c^2 since ||x_c|| = 1
+      if (lambda == 0.0) continue;          // replica landed in the nullspace
+      all_null = false;
+      const double sigma_next = std::sqrt(lambda);
+      la::copy(atav.span(), x.col(c));
+      la::scal(1.0 / lambda, x.col(c));
+      if (sigma_next > best_next) {
+        best_next = sigma_next;
+        best_prev = sigma[c];
+      }
+      sigma[c] = sigma_next;
+    }
+    if (all_null) {
+      est.value = 0.0;
+      est.converged = true;
+      return est;
+    }
+    if (it > 0 && std::abs(best_next - best_prev) <= tol * best_next) {
+      est.value = best_next;
+      est.converged = true;
+      return est;
+    }
+    est.value = best_next;
+  }
   est.converged = false;
   return est;
 }

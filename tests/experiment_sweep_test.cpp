@@ -70,6 +70,22 @@ TEST(Sweep, SiteLimitRestrictsSweep) {
   EXPECT_GT(sweep.baseline_total_inner, 7u);
 }
 
+TEST(Sweep, SolverErrorsInsideTheEngineStillThrow) {
+  // Solver-side validation errors fire inside the sweep's OpenMP regions;
+  // the engine must convert them back into normal exceptions rather than
+  // letting them terminate the process at the region boundary.
+  const auto A = gen::poisson2d(4);
+  const la::Vector wrong_b = la::ones(7); // size mismatch vs n = 16
+  auto config = small_config();
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, wrong_b, config),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::run_baseline(A, wrong_b, config.solver),
+               std::invalid_argument);
+  config.threads = 3;
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, wrong_b, config),
+               std::invalid_argument);
+}
+
 TEST(Sweep, ZeroStrideThrows) {
   const auto A = gen::poisson2d(4);
   auto config = small_config();
@@ -117,6 +133,48 @@ TEST(Sweep, DetectorCatchesAllFiredClass1Faults) {
     EXPECT_TRUE(p.converged) << "site " << p.aggregate_iteration;
   }
   EXPECT_GT(sweep.detected_runs(), 0u);
+}
+
+TEST(Sweep, ParallelSweepIsIdenticalToSerial) {
+  // The parallel engine must be a pure speedup: same points, same order,
+  // same doubles.  Every SweepPoint field participates via operator==.
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(49);
+  auto config = small_config();
+  config.solver.inner.max_iters = 6;
+  config.model = sdc::fault_classes::very_large();
+
+  config.threads = 1;
+  const auto serial = experiment::run_injection_sweep(A, b, config);
+  config.threads = 4;
+  const auto parallel = experiment::run_injection_sweep(A, b, config);
+
+  EXPECT_EQ(parallel.baseline_outer, serial.baseline_outer);
+  EXPECT_EQ(parallel.baseline_total_inner, serial.baseline_total_inner);
+  EXPECT_EQ(parallel.baseline_converged, serial.baseline_converged);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(parallel.points[i], serial.points[i]) << "site index " << i;
+  }
+}
+
+TEST(Sweep, ParallelSweepIsIdenticalToSerialWithDetector) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.model = sdc::fault_classes::very_large();
+  config.position = sdc::MgsPosition::Last;
+  config.with_detector = true;
+  config.detector_bound = A.frobenius_norm();
+
+  config.threads = 1;
+  const auto serial = experiment::run_injection_sweep(A, b, config);
+  config.threads = 0; // all hardware threads
+  const auto parallel = experiment::run_injection_sweep(A, b, config);
+
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  EXPECT_TRUE(parallel.points == serial.points);
+  EXPECT_EQ(parallel.detected_runs(), serial.detected_runs());
 }
 
 TEST(Sweep, SummaryCountsAreConsistent) {

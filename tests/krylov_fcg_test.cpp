@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "gen/poisson.hpp"
@@ -27,7 +28,9 @@ double explicit_residual(const sdcgmres::sparse::CsrMatrix& A,
 
 class IdentityFlexible final : public krylov::FlexiblePreconditioner {
 public:
-  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t,
+             std::span<double> z) override {
     la::copy(q, z);
   }
 };
@@ -38,9 +41,11 @@ class AlternatingFlexible final : public krylov::FlexiblePreconditioner {
 public:
   explicit AlternatingFlexible(la::Vector inv_diag)
       : inv_diag_(std::move(inv_diag)) {}
-  void apply(const la::Vector& q, std::size_t index, la::Vector& z) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t index,
+             std::span<double> z) override {
     if (index % 2 == 0) {
-      la::hadamard(q, inv_diag_, z);
+      la::hadamard(q, std::span<const double>(inv_diag_.span()), z);
     } else {
       la::copy(q, z);
     }
@@ -102,8 +107,9 @@ TEST(Fcg, DetectsIndefiniteOperator) {
 TEST(Fcg, SanitizesNonFinitePreconditionerOutput) {
   class PoisonOnce final : public krylov::FlexiblePreconditioner {
   public:
-    void apply(const la::Vector& q, std::size_t index,
-               la::Vector& z) override {
+    using krylov::FlexiblePreconditioner::apply;
+    void apply(std::span<const double> q, std::size_t index,
+               std::span<double> z) override {
       la::copy(q, z);
       if (index == 2) z[0] = std::nan("");
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "gen/convection_diffusion.hpp"
@@ -22,10 +23,11 @@ class AlternatingPreconditioner final : public krylov::FlexiblePreconditioner {
 public:
   explicit AlternatingPreconditioner(const la::Vector& inv_diag)
       : inv_diag_(inv_diag) {}
-  void apply(const la::Vector& q, std::size_t outer_index,
-             la::Vector& z) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t outer_index,
+             std::span<double> z) override {
     if (outer_index % 2 == 0) {
-      la::hadamard(q, inv_diag_, z);
+      la::hadamard(q, std::span<const double>(inv_diag_.span()), z);
     } else {
       la::copy(q, z);
     }
@@ -40,8 +42,9 @@ class PoisonedPreconditioner final : public krylov::FlexiblePreconditioner {
 public:
   explicit PoisonedPreconditioner(std::size_t poisoned_call)
       : poisoned_(poisoned_call) {}
-  void apply(const la::Vector& q, std::size_t outer_index,
-             la::Vector& z) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t outer_index,
+             std::span<double> z) override {
     la::copy(q, z);
     if (outer_index == poisoned_) {
       z[0] = std::numeric_limits<double>::quiet_NaN();
@@ -151,8 +154,9 @@ TEST(Fgmres, DegenerateGuestDirectionIsRetriedWithIdentity) {
   // fault whose truncated projected solve degenerates the inner update).
   class TinyGuest final : public krylov::FlexiblePreconditioner {
   public:
-    void apply(const la::Vector& q, std::size_t outer_index,
-               la::Vector& z) override {
+    using krylov::FlexiblePreconditioner::apply;
+    void apply(std::span<const double> q, std::size_t outer_index,
+               std::span<double> z) override {
       la::copy(q, z);
       if (outer_index == 1) la::scal(1e-150, z);
     }
@@ -171,8 +175,9 @@ TEST(Fgmres, DegenerateGuestDirectionIsRetriedWithIdentity) {
 TEST(Fgmres, DegenerateDirectionIsLoudFailureWhenSanitizationOff) {
   class TinyGuest final : public krylov::FlexiblePreconditioner {
   public:
-    void apply(const la::Vector& q, std::size_t outer_index,
-               la::Vector& z) override {
+    using krylov::FlexiblePreconditioner::apply;
+    void apply(std::span<const double> q, std::size_t outer_index,
+               std::span<double> z) override {
       la::copy(q, z);
       if (outer_index == 1) la::scal(1e-150, z);
     }

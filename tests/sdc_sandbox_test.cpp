@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "gen/poisson.hpp"
@@ -18,7 +20,9 @@ namespace {
 
 class WellBehavedGuest final : public krylov::FlexiblePreconditioner {
 public:
-  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double> q, std::size_t,
+             std::span<double> z) override {
     la::copy(q, z);
     la::scal(2.0, z);
   }
@@ -26,23 +30,33 @@ public:
 
 class NaNGuest final : public krylov::FlexiblePreconditioner {
 public:
-  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
-    z.resize(q.size());
-    z.fill(std::numeric_limits<double>::quiet_NaN());
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double>, std::size_t,
+             std::span<double> z) override {
+    std::fill(z.begin(), z.end(), std::numeric_limits<double>::quiet_NaN());
   }
 };
 
 class CrashingGuest final : public krylov::FlexiblePreconditioner {
 public:
-  void apply(const la::Vector&, std::size_t, la::Vector&) override {
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double>, std::size_t, std::span<double> z) override {
+    // Partial write before the crash: the sandbox must erase it.
+    if (!z.empty()) z[0] = 1e300;
     throw std::runtime_error("guest crashed");
   }
 };
 
-class WrongShapeGuest final : public krylov::FlexiblePreconditioner {
+/// A guest that writes only part of its output before returning -- the
+/// span-contract analogue of the old wrong-shape failure (the host owns
+/// the storage, so a wrong-SIZE output is structurally impossible now;
+/// what remains possible is a guest that fails to fill its span).
+class PartialWriteGuest final : public krylov::FlexiblePreconditioner {
 public:
-  void apply(const la::Vector& q, std::size_t, la::Vector& z) override {
-    z.resize(q.size() + 3);
+  using krylov::FlexiblePreconditioner::apply;
+  void apply(std::span<const double>, std::size_t,
+             std::span<double> z) override {
+    if (!z.empty()) z[0] = std::numeric_limits<double>::infinity();
   }
 };
 
@@ -99,14 +113,19 @@ TEST(Sandbox, CrashPropagatesWhenCatchingDisabled) {
   EXPECT_THROW(box.apply(la::Vector{1.0}, 0, z), std::runtime_error);
 }
 
-TEST(Sandbox, FixesWrongShapeOutput) {
-  WrongShapeGuest guest;
+TEST(Sandbox, HostOwnsOutputShapeAndFiltersPartialWrites) {
+  // Under the span data plane the host allocates z before the guest runs,
+  // so the output shape is host-enforced; a guest that only half-fills its
+  // span leaves non-finite-free garbage at worst -- here it leaves an Inf,
+  // which the non-finite filter replaces wholesale.
+  PartialWriteGuest guest;
   sdc::Sandbox box(guest);
   la::Vector z;
   const la::Vector q{1.0, 2.0, 3.0};
   box.apply(q, 0, z);
   EXPECT_EQ(z.size(), q.size());
-  EXPECT_EQ(box.stats().wrong_shape_outputs, 1u);
+  EXPECT_EQ(z, q); // identity fallback after the filter fired
+  EXPECT_EQ(box.stats().nonfinite_outputs, 1u);
 }
 
 TEST(Sandbox, ResetClearsStats) {

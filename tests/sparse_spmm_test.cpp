@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/poisson.hpp"
+#include "gen/random_sparse.hpp"
+#include "la/blas1.hpp"
+#include "la/krylov_basis.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/norms.hpp"
+
+namespace sparse = sdcgmres::sparse;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// Deterministic, non-trivial block of b test vectors.
+la::KrylovBasis test_block(std::size_t n, std::size_t b, double phase) {
+  la::KrylovBasis x(n, b);
+  for (std::size_t c = 0; c < b; ++c) {
+    std::span<double> col = x.append();
+    for (std::size_t i = 0; i < n; ++i) {
+      col[i] = std::sin(0.7 * static_cast<double>(i + 1) +
+                        phase * static_cast<double>(c + 1)) +
+               0.25 * static_cast<double>(c);
+    }
+  }
+  return x;
+}
+
+void expect_spmm_matches_spmv(const sparse::CsrMatrix& A, std::size_t b) {
+  const la::KrylovBasis x = test_block(A.cols(), b, 1.3);
+  la::KrylovBasis y(A.rows(), b);
+  for (std::size_t c = 0; c < b; ++c) (void)y.append();
+  A.spmm(x.view(), y);
+
+  la::Vector ref(A.rows());
+  for (std::size_t c = 0; c < b; ++c) {
+    A.spmv(x.col(c), ref);
+    const std::span<const double> got = y.col(c);
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      // Bitwise: each output column accumulates in exactly spmv's order.
+      EXPECT_EQ(got[i], ref[i]) << "column " << c << ", row " << i;
+    }
+  }
+}
+
+} // namespace
+
+TEST(Spmm, BitwiseMatchesColumnwiseSpmvPoisson) {
+  const auto A = gen::poisson2d(17); // n = 289
+  for (const std::size_t b : {1u, 2u, 3u, 4u, 5u, 8u, 11u}) {
+    expect_spmm_matches_spmv(A, b);
+  }
+}
+
+TEST(Spmm, BitwiseMatchesColumnwiseSpmvRandomRectangular) {
+  gen::RandomSparseOptions opts;
+  opts.rows = 120;
+  opts.cols = 75;
+  opts.nnz_per_row = 6;
+  opts.seed = 7;
+  const auto A = gen::random_sparse(opts);
+  ASSERT_NE(A.rows(), A.cols());
+  expect_spmm_matches_spmv(A, 6);
+}
+
+TEST(Spmm, RawPointerCoreHonorsLeadingDimensions) {
+  const auto A = gen::poisson2d(9); // n = 81
+  const std::size_t n = A.rows();
+  const std::size_t b = 3;
+  const std::size_t ldx = n + 5;
+  const std::size_t ldy = n + 9;
+  std::vector<double> x(ldx * b, -777.0);
+  std::vector<double> y(ldy * b, -777.0);
+  for (std::size_t c = 0; c < b; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[c * ldx + i] = static_cast<double>(i % 13) - 0.5 * static_cast<double>(c);
+    }
+  }
+  A.spmm(b, x.data(), ldx, y.data(), ldy);
+
+  la::Vector ref(n);
+  for (std::size_t c = 0; c < b; ++c) {
+    A.spmv(std::span<const double>(x.data() + c * ldx, n), ref);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[c * ldy + i], ref[i]);
+    }
+    // Padding between columns is untouched.
+    for (std::size_t i = n; i < ldy; ++i) {
+      EXPECT_EQ(y[c * ldy + i], -777.0);
+    }
+  }
+}
+
+TEST(Spmm, RejectsShapeMismatches) {
+  const auto A = gen::poisson2d(5);
+  la::KrylovBasis bad_rows(A.cols() + 1, 2);
+  (void)bad_rows.append();
+  (void)bad_rows.append();
+  la::KrylovBasis y(A.rows(), 2);
+  (void)y.append();
+  (void)y.append();
+  EXPECT_THROW(A.spmm(bad_rows.view(), y), std::invalid_argument);
+
+  la::KrylovBasis x = test_block(A.cols(), 2, 0.3);
+  la::KrylovBasis y_short(A.rows(), 2);
+  (void)y_short.append(); // one column only: count mismatch
+  EXPECT_THROW(A.spmm(x.view(), y_short), std::invalid_argument);
+}
+
+TEST(SpmvSpanCore, RejectsWrongOutputSize) {
+  const auto A = gen::poisson2d(4);
+  const la::Vector x = la::ones(16);
+  std::vector<double> y(15, 0.0);
+  EXPECT_THROW(A.spmv(std::span<const double>(x.span()),
+                      std::span<double>(y.data(), y.size())),
+               std::invalid_argument);
+}
+
+TEST(BatchedTwoNorm, AgreesWithScalarPowerIteration) {
+  const auto A = gen::poisson2d(12);
+  const auto scalar = sparse::estimate_two_norm(A);
+  const auto batch = sparse::estimate_two_norm_batch(A, 4);
+  ASSERT_TRUE(scalar.converged);
+  ASSERT_TRUE(batch.converged);
+  EXPECT_NEAR(batch.value, scalar.value, 1e-6 * scalar.value);
+  // The batch estimate is still a from-below sigma_max estimate.
+  EXPECT_LE(batch.value, A.frobenius_norm() * (1.0 + 1e-12));
+}
+
+TEST(BatchedTwoNorm, BlockOneMatchesScalarEstimate) {
+  const auto A = gen::poisson2d(8);
+  const auto scalar = sparse::estimate_two_norm(A);
+  const auto batch = sparse::estimate_two_norm_batch(A, 1);
+  EXPECT_NEAR(batch.value, scalar.value, 1e-8 * scalar.value);
+}
