@@ -84,7 +84,7 @@ void run_rate_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
 
         const auto show = [](const krylov::FtGmresResult& res) {
           std::string s = std::to_string(res.outer_iterations);
-          if (res.status != krylov::FgmresStatus::Converged) {
+          if (res.status != krylov::SolveStatus::Converged) {
             s += std::string(" (") + krylov::to_string(res.status) + ")";
           }
           return s;
@@ -112,7 +112,7 @@ void run_rate_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
 int main(int argc, char** argv) {
   benchcfg::print_mode_banner(
       "bench_ablation_fault_rate (recurring SDC, beyond the paper's model)");
-  const std::size_t threads = benchcfg::threads_arg(argc, argv);
+  const std::size_t threads = benchcfg::parse_cli(argc, argv).threads;
   const auto A = benchcfg::poisson_matrix();
   const auto b = benchcfg::poisson_rhs(A);
   run_rate_sweep(A, b, sdc::fault_classes::very_large(),

@@ -9,10 +9,15 @@
 /// done` finishes in minutes; the header of each run states which mode is
 /// active.
 
+#include <algorithm>
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "experiment/scenario_spec.hpp"
 #include "gen/circuit.hpp"
 #include "gen/poisson.hpp"
 #include "la/blas1.hpp"
@@ -73,22 +78,70 @@ inline std::string csv_dir() {
   return env != nullptr ? std::string(env) : std::string();
 }
 
-/// Value following \p flag on the command line, or nullptr.
-inline const char* arg_value(int argc, char** argv, const std::string& flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (flag == argv[i]) return argv[i + 1];
-  }
-  return nullptr;
-}
+/// Parsed bench/example command line, built on the same
+/// experiment::ScenarioSpec parser as the `sdc_run` example so every
+/// harness shares one flag vocabulary: `--threads N`, `--json F` (or the
+/// legacy `--sweep-json F`), `--n N`, any bench-specific flags the caller
+/// declares, plus free-form `key=value` scenario tokens.  Tokens the
+/// parser does not recognize are collected for passthrough (argv[0]
+/// first), which is how bench_kernels forwards --benchmark_* arguments.
+struct CliArgs {
+  experiment::ScenarioSpec spec; ///< every recognized flag, as key=value
+  std::vector<char*> passthrough; ///< unrecognized tokens, argv[0] first
+  std::size_t threads = 1; ///< worker threads for sweeps / parallel loops
+                           ///< (0 = all hardware threads)
+  std::string json;        ///< machine-readable output path ("" = off)
+  std::size_t n = 0;       ///< problem-size override (0 = bench default)
+};
 
-/// Worker-thread count from `--threads N` (default 1 = serial).  Passed to
-/// SweepConfig::threads / the bench's own parallel loops; 0 means "all
-/// hardware threads".
-inline std::size_t threads_arg(int argc, char** argv) {
-  if (const char* v = arg_value(argc, argv, "--threads")) {
-    return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+/// Parse \p argv.  \p value_flags declares bench-specific `--flag value`
+/// pairs and \p bool_flags valueless `--flag` switches, both stored in
+/// the spec under the flag name (booleans as "1"); `--threads/--json/
+/// --sweep-json/--n` are always recognized.  Malformed values exit(1)
+/// with a message (bench binaries have no caller to rethrow to).
+inline CliArgs parse_cli(int argc, char** argv,
+                         std::initializer_list<std::string_view> value_flags = {},
+                         std::initializer_list<std::string_view> bool_flags = {}) {
+  CliArgs args;
+  args.passthrough.push_back(argv[0]);
+  const auto known = [&](std::string_view name) {
+    static constexpr std::string_view shared[] = {"threads", "json",
+                                                  "sweep-json", "n"};
+    return std::find(std::begin(shared), std::end(shared), name) !=
+               std::end(shared) ||
+           std::find(value_flags.begin(), value_flags.end(), name) !=
+               value_flags.end();
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string_view name = tok.substr(2);
+        if (std::find(bool_flags.begin(), bool_flags.end(), name) !=
+            bool_flags.end()) {
+          args.spec.set(name, "1");
+        } else if (known(name) && i + 1 < argc) {
+          args.spec.set(name, argv[++i]);
+        } else if (known(name)) {
+          std::cerr << tok << " requires a value\n";
+          std::exit(1);
+        } else {
+          args.passthrough.push_back(argv[i]); // e.g. --benchmark_filter=...
+        }
+      } else if (tok.find('=') != std::string_view::npos) {
+        args.spec.merge(experiment::ScenarioSpec::parse(tok));
+      } else {
+        args.passthrough.push_back(argv[i]);
+      }
+    }
+    args.threads = args.spec.get_size("threads", 1);
+    args.json = args.spec.get("json", args.spec.get("sweep-json"));
+    args.n = args.spec.get_size("n", 0);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(1);
   }
-  return 1;
+  return args;
 }
 
 /// Print the standard mode banner.

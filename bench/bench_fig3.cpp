@@ -107,10 +107,11 @@ int main(int argc, char** argv) {
   const auto A = benchcfg::poisson_matrix();
   const auto b = benchcfg::poisson_rhs(A);
   const std::size_t inner = 25;
-  const std::size_t threads = benchcfg::threads_arg(argc, argv);
+  const benchcfg::CliArgs cli = benchcfg::parse_cli(argc, argv);
+  const std::size_t threads = cli.threads;
 
-  if (const char* json = benchcfg::arg_value(argc, argv, "--sweep-json")) {
-    return sweep_timing(A, b, inner, threads, json);
+  if (!cli.json.empty()) {
+    return sweep_timing(A, b, inner, threads, cli.json.c_str());
   }
 
   const struct {

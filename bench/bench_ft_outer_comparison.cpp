@@ -42,7 +42,7 @@ SweepStats sweep_ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,
         sdc::InjectionPlan::hessenberg(site, sdc::MgsPosition::First, model));
     const auto res = krylov::ft_gmres(A, b, opts, &campaign);
     ++stats.runs;
-    if (res.status != krylov::FgmresStatus::Converged) ++stats.failed;
+    if (res.status != krylov::SolveStatus::Converged) ++stats.failed;
     if (res.outer_iterations > stats.baseline) {
       stats.max_increase = std::max(stats.max_increase,
                                     res.outer_iterations - stats.baseline);
@@ -64,7 +64,7 @@ SweepStats sweep_ft_cg(const sparse::CsrMatrix& A, const la::Vector& b,
         sdc::InjectionPlan::hessenberg(site, sdc::MgsPosition::First, model));
     const auto res = krylov::ft_cg(A, b, opts, &campaign);
     ++stats.runs;
-    if (res.status != krylov::FcgStatus::Converged) ++stats.failed;
+    if (res.status != krylov::SolveStatus::Converged) ++stats.failed;
     if (res.outer_iterations > stats.baseline) {
       stats.max_increase = std::max(stats.max_increase,
                                     res.outer_iterations - stats.baseline);

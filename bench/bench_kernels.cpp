@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dense/hessenberg_qr.hpp"
 #include "dense/svd.hpp"
 #include "gen/poisson.hpp"
@@ -334,66 +335,42 @@ int run_ortho_comparison(std::size_t n, std::size_t k, int reps,
 } // namespace
 
 int main(int argc, char** argv) {
-  std::size_t ortho_n = 65536;
-  std::size_t ortho_k = 30;
-  int ortho_reps = 9;
-  std::string ortho_json;
-  bool ortho_requested = false;
-  bool ortho_only = false;
-
-  // Strip our flags; everything else goes to google-benchmark.
-  std::vector<char*> bench_args;
-  bench_args.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << flag << " requires a value\n";
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    auto next_count = [&](const char* flag, std::size_t min_value) {
-      const std::string text = next_value(flag);
-      try {
-        const unsigned long long v = std::stoull(text);
-        if (v < min_value) throw std::invalid_argument("too small");
-        return static_cast<std::size_t>(v);
-      } catch (const std::exception&) {
-        std::cerr << flag << ": expected a positive integer, got '" << text
-                  << "'\n";
-        std::exit(1);
-      }
-    };
-    if (arg == "--ortho-json") {
-      ortho_json = next_value("--ortho-json");
-      ortho_requested = true;
-    } else if (arg == "--ortho-n") {
-      ortho_n = next_count("--ortho-n", 1);
-      ortho_requested = true;
-    } else if (arg == "--ortho-k") {
-      ortho_k = next_count("--ortho-k", 1);
-      ortho_requested = true;
-    } else if (arg == "--ortho-reps") {
-      ortho_reps = static_cast<int>(next_count("--ortho-reps", 1));
-      ortho_requested = true;
-    } else if (arg == "--ortho-only") {
-      ortho_requested = true;
-      ortho_only = true;
-    } else {
-      bench_args.push_back(argv[i]);
-    }
-  }
+  // Shared spec-based flag handling (bench_common.hpp); unrecognized
+  // tokens (--benchmark_*) pass through to google-benchmark.
+  benchcfg::CliArgs cli = benchcfg::parse_cli(
+      argc, argv, {"ortho-json", "ortho-n", "ortho-k", "ortho-reps"},
+      {"ortho-only"});
+  const bool ortho_requested =
+      cli.spec.has("ortho-json") || cli.spec.has("ortho-n") ||
+      cli.spec.has("ortho-k") || cli.spec.has("ortho-reps") ||
+      cli.spec.has("ortho-only");
 
   if (ortho_requested) {
-    const int rc = run_ortho_comparison(ortho_n, ortho_k, ortho_reps,
-                                        ortho_json);
-    if (rc != 0 || ortho_only) return rc;
+    std::size_t ortho_n = 0;
+    std::size_t ortho_k = 0;
+    std::size_t ortho_reps = 0;
+    try {
+      ortho_n = cli.spec.get_size("ortho-n", 65536);
+      ortho_k = cli.spec.get_size("ortho-k", 30);
+      ortho_reps = cli.spec.get_size("ortho-reps", 9);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    if (ortho_n == 0 || ortho_k == 0 || ortho_reps == 0) {
+      std::cerr << "--ortho-n/--ortho-k/--ortho-reps must be positive\n";
+      return 1;
+    }
+    const int rc =
+        run_ortho_comparison(ortho_n, ortho_k, static_cast<int>(ortho_reps),
+                             cli.spec.get("ortho-json"));
+    if (rc != 0 || cli.spec.get_bool("ortho-only", false)) return rc;
   }
 
-  int bench_argc = static_cast<int>(bench_args.size());
-  benchmark::Initialize(&bench_argc, bench_args.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+  int bench_argc = static_cast<int>(cli.passthrough.size());
+  benchmark::Initialize(&bench_argc, cli.passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             cli.passthrough.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -4,70 +4,61 @@
 /// and both MGS positions, and report outer-iteration penalties.
 ///
 /// This is the same protocol as bench/bench_fig3 but on a smaller grid so
-/// it finishes in seconds; use it as a template for custom studies.
+/// it finishes in seconds.  Each cell of the grid is one scenario spec run
+/// through the spec-driven sweep entry point -- use it as a template for
+/// custom studies.
 ///
-/// Usage: ./fault_injection_study [grid_size] [inner_iters] [threads]
+/// Usage: ./fault_injection_study [key=value ...]
+///   e.g. ./fault_injection_study n=30 inner=15 threads=0
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "experiment/report.hpp"
+#include "experiment/scenario.hpp"
 #include "experiment/sweep.hpp"
-#include "gen/poisson.hpp"
-#include "la/blas1.hpp"
 
 using namespace sdcgmres;
 
 int main(int argc, char** argv) {
-  const std::size_t grid = (argc > 1) ? std::strtoul(argv[1], nullptr, 10) : 20;
-  const std::size_t inner =
-      (argc > 2) ? std::strtoul(argv[2], nullptr, 10) : 10;
-  // 1 = serial, 0 = all hardware threads; the sweep result is identical
-  // either way (deterministic site merge).
-  const std::size_t threads =
-      (argc > 3) ? std::strtoul(argv[3], nullptr, 10) : 1;
-
-  const sparse::CsrMatrix A = gen::poisson2d(grid);
-  const la::Vector b = la::ones(A.rows());
-  std::cout << "Fault-injection study on Poisson " << grid << "x" << grid
-            << " (n = " << A.rows() << "), " << inner
-            << " inner iterations per outer iteration\n\n";
-
-  const struct {
-    const char* name;
-    sdc::FaultModel model;
-  } classes[] = {
-      {"class 1 (x1e+150)", sdc::fault_classes::very_large()},
-      {"class 2 (x10^-0.5)", sdc::fault_classes::slightly_smaller()},
-      {"class 3 (x1e-300)", sdc::fault_classes::nearly_zero()},
-  };
-  const struct {
-    const char* name;
-    sdc::MgsPosition position;
-  } positions[] = {
-      {"first MGS step", sdc::MgsPosition::First},
-      {"last MGS step", sdc::MgsPosition::Last},
-  };
-
-  for (const auto& pos : positions) {
-    std::cout << "--- SDC on the " << pos.name << " ---\n";
-    for (const auto& cls : classes) {
-      experiment::SweepConfig config;
-      config.solver.inner.max_iters = inner;
-      config.solver.outer.tol = 1e-8;
-      config.solver.outer.max_outer = 250;
-      config.position = pos.position;
-      config.model = cls.model;
-      config.threads = threads;
-      const auto sweep = experiment::run_injection_sweep(A, b, config);
-      experiment::print_sweep_summary(std::cout, cls.name, sweep);
+  experiment::ScenarioSpec base = experiment::ScenarioSpec::parse(
+      "solver=ft_gmres matrix=poisson n=20 inner=10 tol=1e-8 max_iters=250 "
+      "sweep=1");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      base.merge(experiment::ScenarioSpec::parse(argv[i]));
     }
-    std::cout << '\n';
-  }
 
-  std::cout << "Reading: max_increase is the worst outer-iteration penalty\n"
-               "over all injection sites; 'unchanged' counts runs whose\n"
-               "time-to-solution was unaffected by the fault.\n";
-  return 0;
+    std::cout << "Fault-injection study: " << base.to_string() << "\n\n";
+
+    const char* positions[] = {"first", "last"};
+    const struct {
+      const char* name;
+      const char* key;
+    } classes[] = {
+        {"class 1 (x1e+150)", "class1"},
+        {"class 2 (x10^-0.5)", "class2"},
+        {"class 3 (x1e-300)", "class3"},
+    };
+
+    for (const char* position : positions) {
+      std::cout << "--- SDC on the " << position << " MGS step ---\n";
+      for (const auto& cls : classes) {
+        experiment::ScenarioSpec spec = base;
+        spec.set("position", position);
+        spec.set("fault", cls.key);
+        const auto sweep = experiment::run_injection_sweep(spec);
+        experiment::print_sweep_summary(std::cout, cls.name, sweep);
+      }
+      std::cout << '\n';
+    }
+
+    std::cout << "Reading: max_increase is the worst outer-iteration penalty\n"
+                 "over all injection sites; 'unchanged' counts runs whose\n"
+                 "time-to-solution was unaffected by the fault.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fault_injection_study: " << e.what() << "\n";
+    return 1;
+  }
 }

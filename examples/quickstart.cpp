@@ -2,8 +2,9 @@
 /// \brief Minimal tour of the sdcgmres public API.
 ///
 /// Builds the paper's Poisson test problem, solves it three ways (CG,
-/// GMRES, FT-GMRES), then injects one silent-data-corruption event into an
-/// inner solve and shows FT-GMRES "running through" it.
+/// GMRES, FT-GMRES) through the unified solver façade, then injects one
+/// silent-data-corruption event into an inner solve and shows FT-GMRES
+/// "running through" it.
 ///
 /// Usage: ./quickstart [grid_size]   (default 40, i.e. a 1600x1600 system)
 
@@ -11,12 +12,12 @@
 #include <iostream>
 
 #include "gen/poisson.hpp"
-#include "krylov/cg.hpp"
-#include "krylov/ft_gmres.hpp"
-#include "krylov/gmres.hpp"
+#include "krylov/operator.hpp"
 #include "la/blas1.hpp"
 #include "sdc/detector.hpp"
 #include "sdc/injection.hpp"
+#include "solver/registry.hpp"
+#include "solver/solver.hpp"
 
 using namespace sdcgmres;
 
@@ -28,45 +29,58 @@ int main(int argc, char** argv) {
 
   // 1. Build the matrix and a right-hand side.
   const sparse::CsrMatrix A = gen::poisson2d(grid);
+  const krylov::CsrOperator op(A);
   const la::Vector b = la::ones(A.rows());
   std::cout << "nnz = " << A.nnz() << ", ||A||_F = " << A.frobenius_norm()
             << "\n\n";
 
-  // 2. CG (the SPD baseline).
-  krylov::CgOptions cg_opts;
-  cg_opts.tol = 1e-8;
-  cg_opts.max_iters = 2000;
-  const auto cg_res = krylov::cg(A, b, cg_opts);
-  std::cout << "CG:       " << cg_res.iterations << " iterations, residual "
-            << cg_res.residual_norm << "\n";
+  // 2. Every solver is one IterativeSolver behind the façade; pick them
+  //    by name from the registry with one shared Options struct.
+  solver::Options opts;
+  opts.tol = 1e-8;
+  opts.max_iters = 2000;
 
-  // 3. Plain GMRES.
-  krylov::GmresOptions gmres_opts;
-  gmres_opts.tol = 1e-8;
-  gmres_opts.max_iters = 2000;
+  // CG (the SPD baseline).
+  const auto cg =
+      solver::solver_registry().make("cg", solver::SolverContext{op, opts});
+  solver::SolveReport cg_rep;
+  (void)cg->solve(b, &cg_rep);
+  std::cout << "CG:       " << cg_rep.iterations << " iterations, residual "
+            << cg_rep.residual_norm << "\n";
+
+  // 3. Plain GMRES with restart 50.
+  solver::Options gmres_opts = opts;
   gmres_opts.restart = 50;
-  const auto gm_res = krylov::gmres(A, b, gmres_opts);
-  std::cout << "GMRES(50): " << gm_res.iterations
-            << " iterations, status " << krylov::to_string(gm_res.status)
-            << "\n";
+  const auto gm = solver::solver_registry().make(
+      "gmres", solver::SolverContext{op, gmres_opts});
+  solver::SolveReport gm_rep;
+  (void)gm->solve(b, &gm_rep);
+  std::cout << "GMRES(50): " << gm_rep.iterations << " iterations, status "
+            << solver::to_string(gm_rep.status) << "\n";
 
-  // 4. FT-GMRES: 25 unreliable inner iterations per reliable outer one.
-  krylov::FtGmresOptions ft_opts; // paper defaults: 25 inner, tol 0
-  ft_opts.outer.tol = 1e-8;
-  const auto ft_res = krylov::ft_gmres(A, b, ft_opts);
-  std::cout << "FT-GMRES: " << ft_res.outer_iterations << " outer x "
-            << ft_opts.inner.max_iters << " inner iterations, status "
-            << krylov::to_string(ft_res.status) << "\n\n";
+  // 4. FT-GMRES: 25 unreliable inner iterations per reliable outer one
+  //    (the paper's defaults are the façade's defaults).
+  solver::Options ft_opts; // tol 1e-8, 25 fixed inner iterations
+  const auto ft = solver::solver_registry().make(
+      "ft_gmres", solver::SolverContext{op, ft_opts});
+  solver::SolveReport ft_rep;
+  (void)ft->solve(b, &ft_rep);
+  std::cout << "FT-GMRES: " << ft_rep.iterations << " outer x "
+            << ft_opts.inner_iters << " inner iterations, status "
+            << solver::to_string(ft_rep.status) << "\n\n";
 
   // 5. Inject a single SDC event (class 1: h *= 1e150) into the middle of
-  //    the run and watch FT-GMRES run through it.
+  //    the run and watch FT-GMRES run through it.  Hooks attach straight
+  //    to the façade.
   sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
-      ft_res.total_inner_iterations / 2, sdc::MgsPosition::Last,
+      ft_rep.total_inner_iterations / 2, sdc::MgsPosition::Last,
       sdc::fault_classes::very_large()));
-  const auto faulty = krylov::ft_gmres(A, b, ft_opts, &campaign);
-  std::cout << "FT-GMRES with one class-1 SDC event: "
-            << faulty.outer_iterations << " outer iterations ("
-            << krylov::to_string(faulty.status) << ")\n";
+  ft->set_hook(&campaign);
+  solver::SolveReport faulty;
+  (void)ft->solve(b, &faulty);
+  std::cout << "FT-GMRES with one class-1 SDC event: " << faulty.iterations
+            << " outer iterations (" << solver::to_string(faulty.status)
+            << ")\n";
   if (campaign.fired()) {
     const auto& e = campaign.log().events()[0];
     std::cout << "  injected at inner solve " << e.solve_index
@@ -79,9 +93,11 @@ int main(int argc, char** argv) {
   sdc::HessenbergBoundDetector detector(A.frobenius_norm(),
                                         sdc::DetectorResponse::AbortSolve);
   krylov::HookChain chain({&campaign, &detector});
-  const auto guarded = krylov::ft_gmres(A, b, ft_opts, &chain);
+  ft->set_hook(&chain);
+  solver::SolveReport guarded;
+  (void)ft->solve(b, &guarded);
   std::cout << "FT-GMRES with detector (|h| <= ||A||_F): "
-            << guarded.outer_iterations << " outer iterations, "
+            << guarded.iterations << " outer iterations, "
             << detector.detections() << " detection(s) in "
             << detector.checks() << " checks\n";
   return 0;

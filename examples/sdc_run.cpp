@@ -1,0 +1,205 @@
+/// \file sdc_run.cpp
+/// \brief The config-driven scenario runner CLI: one spec string, one
+/// experiment -- no new .cpp file per workload.
+///
+/// Usage:
+///   sdc_run [flags] key=value [key=value ...]
+///
+/// All non-flag tokens are joined into one scenario spec (see
+/// src/experiment/scenario.hpp for the key vocabulary), so quoting is
+/// optional:
+///
+///   # failure-free FT-GMRES solve of the paper's Poisson problem
+///   sdc_run solver=ft_gmres matrix=poisson n=40
+///
+///   # one Fig. 3a cell: class-1 fault at every site, first MGS step
+///   sdc_run matrix=poisson n=40 inner=25 sweep=1 fault=class1 position=first
+///
+///   # the same sweep guarded by the |h| <= ||A||_F detector, 2 workers
+///   sdc_run matrix=poisson n=40 inner=25 sweep=1 fault=class1 \
+///           detector=bound response=abort threads=2
+///
+/// Flags:
+///   --list              print every registered solver/preconditioner/
+///                       matrix/fault-model/detector name and exit
+///   --json FILE         also write a machine-readable result to FILE
+///   --assert-identical  (sweep mode) rerun the sweep serially and fail
+///                       with exit code 2 unless the threaded result is
+///                       identical -- the multi-core determinism check CI
+///                       runs
+///
+/// Exit code: 0 on success (converged solve / identical sweep), 1 on a
+/// non-converged solve or spec error, 2 on a sweep determinism mismatch.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "experiment/report.hpp"
+#include "experiment/scenario.hpp"
+#include "solver/registry.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+void print_registries() {
+  const auto print = [](const char* what, const std::vector<std::string>& k) {
+    std::cout << what << ":";
+    for (const std::string& name : k) std::cout << ' ' << name;
+    std::cout << '\n';
+  };
+  print("solvers", solver::solver_registry().keys());
+  print("preconditioners", solver::preconditioner_registry().keys());
+  print("matrices", solver::matrix_registry().keys());
+  print("fault models", solver::fault_model_registry().keys());
+  print("detectors", solver::detector_registry().keys());
+}
+
+/// Escape a string for embedding in a JSON double-quoted value.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Render a double as a valid JSON token: non-finite values (a NaN
+/// residual from an unsanitized fault) become strings, since bare
+/// nan/inf are not JSON.
+std::string json_number(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void write_sweep_json(std::ostream& out, const experiment::ScenarioResult& r,
+                      bool identical_checked, bool identical) {
+  out << "{\n"
+      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
+      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
+      << "  \"n\": " << r.n << ",\n"
+      << "  \"baseline_outer\": " << r.sweep.baseline_outer << ",\n"
+      << "  \"sites\": " << r.sweep.points.size() << ",\n"
+      << "  \"max_outer_increase\": " << r.sweep.max_outer_increase() << ",\n"
+      << "  \"unchanged_runs\": " << r.sweep.unchanged_runs() << ",\n"
+      << "  \"failed_runs\": " << r.sweep.failed_runs() << ",\n"
+      << "  \"detected_runs\": " << r.sweep.detected_runs();
+  if (identical_checked) {
+    out << ",\n  \"identical_results\": " << (identical ? "true" : "false");
+  }
+  out << "\n}\n";
+}
+
+void write_solve_json(std::ostream& out, const experiment::ScenarioResult& r) {
+  out << "{\n"
+      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
+      << "  \"solver\": \"" << json_escape(r.solver_name) << "\",\n"
+      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
+      << "  \"n\": " << r.n << ",\n"
+      << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
+      << "  \"iterations\": " << r.report.iterations << ",\n"
+      << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
+      << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"
+      << "  \"detected\": " << (r.detected ? "true" : "false") << "\n"
+      << "}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool assert_identical = false;
+  std::ostringstream spec_text;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok == "--list") {
+      print_registries();
+      return 0;
+    }
+    if (tok == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a value\n";
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (tok == "--assert-identical") {
+      assert_identical = true;
+      continue;
+    }
+    spec_text << tok << ' ';
+  }
+
+  try {
+    const auto spec = experiment::ScenarioSpec::parse(spec_text.str());
+    experiment::ScenarioResult result = experiment::run_scenario(spec);
+    std::cout << "spec:   " << result.spec_text << "\n"
+              << "matrix: " << result.matrix_name << " (n = " << result.n
+              << ", nnz = " << result.nnz << ")\n";
+
+    if (!result.is_sweep) {
+      std::cout << result.solver_name << ": "
+                << solver::to_string(result.report.status) << " in "
+                << result.report.iterations << " iterations, residual "
+                << result.report.residual_norm << "\n";
+      if (result.report.total_inner_iterations > 0) {
+        std::cout << "inner iterations: "
+                  << result.report.total_inner_iterations << "\n";
+      }
+      if (spec.get("fault", "none") != "none") {
+        std::cout << "fault " << (result.injected ? "fired" : "did not fire")
+                  << ", detector "
+                  << (result.detected ? "triggered" : "silent") << "\n";
+      }
+      if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+          std::cerr << "sdc_run: cannot write " << json_path << "\n";
+          return 1;
+        }
+        write_solve_json(out, result);
+      }
+      return result.report.converged() ? 0 : 1;
+    }
+
+    experiment::print_sweep_summary(std::cout, "sweep", result.sweep);
+
+    bool identical = true;
+    if (assert_identical) {
+      // Determinism contract check: the threaded sweep must be bitwise
+      // identical to the serial one (same points, same doubles).
+      experiment::ScenarioSpec serial = spec;
+      serial.set("threads", "1");
+      const experiment::SweepResult reference =
+          experiment::run_injection_sweep(serial);
+      identical =
+          reference.points == result.sweep.points &&
+          reference.baseline_outer == result.sweep.baseline_outer &&
+          reference.baseline_total_inner == result.sweep.baseline_total_inner;
+      std::cout << "identical_results (threads="
+                << spec.get("threads", "1") << " vs serial): "
+                << (identical ? "true" : "false") << "\n";
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "sdc_run: cannot write " << json_path << "\n";
+        return 1;
+      }
+      write_sweep_json(out, result, assert_identical, identical);
+    }
+    return identical ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "sdc_run: " << e.what() << "\n";
+    return 1;
+  }
+}

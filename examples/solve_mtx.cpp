@@ -2,98 +2,34 @@
 /// \brief End-user CLI: solve A x = b for a Matrix Market file with the
 /// resilient solver stack.
 ///
-/// Usage:
-///   solve_mtx <matrix.mtx> [--solver gmres|cg|fgmres|ftgmres|ftcg]
-///             [--tol 1e-8] [--inner 25] [--precond none|jacobi|ilu0]
-///             [--inject site[,class]] [--detector]
+/// A thin shell over the scenario runner (experiment/scenario.hpp): the
+/// .mtx path becomes `matrix=mtx:<path>` and every other argument is a
+/// scenario key=value token, so all registry names work here too.
 ///
-/// The right-hand side is b = A*ones, so the exact solution is known and
-/// the forward error is reported alongside the residual.  With no
-/// arguments it demonstrates itself on a generated problem.
+/// Usage:
+///   solve_mtx <matrix.mtx> [key=value ...]
+///   solve_mtx poisson.mtx solver=gmres restart=50 precond=ilu0
+///   solve_mtx circuit.mtx solver=ft_gmres inner=25 fault=class1 site=30 \
+///             detector=bound
+///
+/// The right-hand side defaults to b = A*ones (rhs=consistent), so the
+/// exact solution is known and the forward error is reported alongside
+/// the residual.  With no arguments it demonstrates itself on a generated
+/// convection-diffusion problem.
 
-#include <cstdlib>
-#include <cstring>
+#include <cmath>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "gen/convection_diffusion.hpp"
-#include "krylov/fcg.hpp"
-#include "krylov/ft_gmres.hpp"
-#include "krylov/gmres.hpp"
-#include "krylov/cg.hpp"
-#include "krylov/ilu0.hpp"
-#include "la/blas1.hpp"
-#include "sdc/detector.hpp"
-#include "sdc/injection.hpp"
-#include "sparse/matrix_market.hpp"
-#include "sparse/norms.hpp"
+#include "experiment/scenario.hpp"
+#include "solver/solver.hpp"
 
 using namespace sdcgmres;
 
 namespace {
 
-struct Args {
-  std::string path;
-  std::string solver = "ftgmres";
-  std::string precond = "none";
-  double tol = 1e-8;
-  std::size_t inner = 25;
-  bool inject = false;
-  std::size_t inject_site = 0;
-  int inject_class = 1;
-  bool detector = false;
-};
-
-Args parse(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << a << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--solver") {
-      args.solver = next();
-    } else if (a == "--tol") {
-      args.tol = std::strtod(next().c_str(), nullptr);
-    } else if (a == "--inner") {
-      args.inner = std::strtoul(next().c_str(), nullptr, 10);
-    } else if (a == "--precond") {
-      args.precond = next();
-    } else if (a == "--inject") {
-      args.inject = true;
-      const std::string v = next();
-      const auto comma = v.find(',');
-      args.inject_site = std::strtoul(v.c_str(), nullptr, 10);
-      if (comma != std::string::npos) {
-        args.inject_class = std::atoi(v.c_str() + comma + 1);
-      }
-    } else if (a == "--detector") {
-      args.detector = true;
-    } else if (!a.empty() && a[0] != '-') {
-      args.path = a;
-    } else {
-      std::cerr << "unknown option " << a << "\n";
-      std::exit(2);
-    }
-  }
-  return args;
-}
-
-sdc::FaultModel model_for_class(int cls) {
-  switch (cls) {
-    case 1: return sdc::fault_classes::very_large();
-    case 2: return sdc::fault_classes::slightly_smaller();
-    default: return sdc::fault_classes::nearly_zero();
-  }
-}
-
 double forward_error(const la::Vector& x) {
-  // Exact solution is ones.
+  // Exact solution is ones (consistent rhs).
   double worst = 0.0;
   for (const double v : x) worst = std::max(worst, std::abs(v - 1.0));
   return worst;
@@ -102,116 +38,61 @@ double forward_error(const la::Vector& x) {
 } // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+  experiment::ScenarioSpec spec;
+  spec.set("solver", "ft_gmres");
+  spec.set("rhs", "consistent");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string tok = argv[i];
+      if (tok.find('=') != std::string::npos) {
+        spec.merge(experiment::ScenarioSpec::parse(tok));
+      } else if (!tok.empty() && tok[0] == '-') {
+        std::cerr << "unknown option " << tok
+                  << "\nusage: solve_mtx <matrix.mtx> [key=value ...]  "
+                     "(see src/experiment/scenario.hpp for keys)\n";
+        return 2;
+      } else {
+        spec.set("matrix", "mtx:" + tok);
+      }
+    }
+    if (spec.get_bool("sweep", false)) {
+      std::cerr << "solve_mtx runs single solves; use sdc_run for "
+                   "sweep=1 scenarios\n";
+      return 2;
+    }
+    if (spec.get("matrix").empty()) {
+      std::cout << "(no .mtx given: demonstrating on a generated "
+                   "convection-diffusion problem)\n";
+      experiment::ScenarioSpec demo = experiment::ScenarioSpec::parse(
+          "matrix=convdiff n=40 beta_x=20 beta_y=-5");
+      demo.merge(spec); // user keys win over the demo defaults
+      spec = demo;
+    }
 
-  sparse::CsrMatrix A;
-  if (args.path.empty()) {
-    std::cout << "(no .mtx given: demonstrating on a generated "
-                 "convection-diffusion problem)\n";
-    A = gen::convection_diffusion2d(40, 20.0, -5.0);
-  } else {
-    A = sparse::read_matrix_market_file(args.path);
-  }
-  const la::Vector b = A.apply(la::ones(A.rows()));
-  std::cout << "matrix: " << A.rows() << " rows, " << A.nnz()
-            << " nonzeros, detector bound "
-            << sparse::cheapest_detector_bound(A) << "\n";
-
-  // Optional fixed preconditioner (gmres/cg paths).
-  std::unique_ptr<krylov::Preconditioner> precond;
-  if (args.precond == "jacobi") {
-    precond = std::make_unique<krylov::JacobiPreconditioner>(A);
-  } else if (args.precond == "ilu0") {
-    precond = std::make_unique<krylov::Ilu0Preconditioner>(A);
-  } else if (args.precond != "none") {
-    std::cerr << "unknown preconditioner " << args.precond << "\n";
-    return 2;
-  }
-
-  // Optional fault injection + detection (nested solvers only).
-  std::unique_ptr<sdc::FaultCampaign> campaign;
-  std::unique_ptr<sdc::HessenbergBoundDetector> detector;
-  krylov::HookChain hooks;
-  krylov::ArnoldiHook* hook = nullptr;
-  if (args.inject) {
-    campaign = std::make_unique<sdc::FaultCampaign>(
-        sdc::InjectionPlan::hessenberg(args.inject_site,
-                                       sdc::MgsPosition::First,
-                                       model_for_class(args.inject_class)));
-    hooks.add(campaign.get());
-    hook = &hooks;
-  }
-  if (args.detector) {
-    detector = std::make_unique<sdc::HessenbergBoundDetector>(
-        sparse::cheapest_detector_bound(A), sdc::DetectorResponse::AbortSolve);
-    hooks.add(detector.get());
-    hook = &hooks;
-  }
-
-  la::Vector x;
-  std::string status;
-  std::size_t iterations = 0;
-  double residual = 0.0;
-  if (args.solver == "gmres") {
-    krylov::GmresOptions opts;
-    opts.tol = args.tol;
-    opts.max_iters = 10000;
-    opts.restart = 50;
-    opts.right_precond = precond.get();
-    const krylov::CsrOperator op(A);
-    const auto res = krylov::gmres(op, b, la::Vector(A.cols()), opts, hook, 0);
-    x = res.x;
-    status = krylov::to_string(res.status);
-    iterations = res.iterations;
-    residual = res.residual_norm;
-  } else if (args.solver == "cg") {
-    krylov::CgOptions opts;
-    opts.tol = args.tol;
-    opts.max_iters = 10000;
-    opts.precond = precond.get();
-    const auto res = krylov::cg(A, b, opts);
-    x = res.x;
-    status = res.converged ? "converged"
-                           : (res.indefinite ? "indefinite" : "max-iterations");
-    iterations = res.iterations;
-    residual = res.residual_norm;
-  } else if (args.solver == "ftgmres" || args.solver == "fgmres") {
-    krylov::FtGmresOptions opts;
-    opts.inner.max_iters = args.inner;
-    opts.outer.tol = args.tol;
-    const auto res = krylov::ft_gmres(A, b, opts, hook);
-    x = res.x;
-    status = krylov::to_string(res.status);
-    iterations = res.outer_iterations;
-    residual = res.residual_norm;
-  } else if (args.solver == "ftcg") {
-    krylov::FtCgOptions opts;
-    opts.inner.max_iters = args.inner;
-    opts.outer.tol = args.tol;
-    const auto res = krylov::ft_cg(A, b, opts, hook);
-    x = res.x;
-    status = krylov::to_string(res.status);
-    iterations = res.outer_iterations;
-    residual = res.residual_norm;
-  } else {
-    std::cerr << "unknown solver " << args.solver << "\n";
-    return 2;
-  }
-
-  std::cout << args.solver << ": " << status << " in " << iterations
-            << " iterations, residual " << residual << ", max forward error "
-            << forward_error(x) << "\n";
-  if (campaign) {
-    std::cout << "fault " << (campaign->fired() ? "fired" : "did not fire");
-    if (campaign->fired()) {
-      const auto& e = campaign->log().events()[0];
-      std::cout << " (" << e.description << ")";
+    const experiment::ScenarioResult result = experiment::run_scenario(spec);
+    std::cout << "matrix: " << result.n << " rows, " << result.nnz
+              << " nonzeros\n"
+              << result.solver_name << ": "
+              << solver::to_string(result.report.status) << " in "
+              << result.report.iterations << " iterations, residual "
+              << result.report.residual_norm;
+    // The forward-error metric assumes the exact solution is ones, which
+    // only holds for the consistent rhs b = A*1.
+    if (spec.get("rhs") == "consistent") {
+      std::cout << ", max forward error " << forward_error(result.x);
     }
     std::cout << "\n";
+    if (spec.get("fault", "none") != "none") {
+      std::cout << "fault " << (result.injected ? "fired" : "did not fire")
+                << "\n";
+    }
+    if (spec.get("detector", "none") != "none") {
+      std::cout << "detector " << (result.detected ? "triggered" : "silent")
+                << "\n";
+    }
+    return result.report.converged() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "solve_mtx: " << e.what() << "\n";
+    return 2;
   }
-  if (detector) {
-    std::cout << "detector: " << detector->detections() << " detection(s) in "
-              << detector->checks() << " checks\n";
-  }
-  return status == "converged" ? 0 : 1;
 }

@@ -1,0 +1,267 @@
+#include "experiment/scenario.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "krylov/operator.hpp"
+#include "sdc/injection.hpp"
+#include "solver/registry.hpp"
+
+namespace sdcgmres::experiment {
+
+namespace {
+
+[[noreturn]] void bad_choice(const char* key, const std::string& value,
+                             const char* choices) {
+  throw std::invalid_argument(std::string("scenario: ") + key + "='" + value +
+                              "' is not one of: " + choices);
+}
+
+krylov::Orthogonalization parse_ortho(const ScenarioSpec& spec,
+                                      std::string_view key,
+                                      krylov::Orthogonalization dflt) {
+  const std::string name = spec.get(key);
+  if (name.empty()) return dflt;
+  if (name == "mgs") return krylov::Orthogonalization::MGS;
+  if (name == "cgs") return krylov::Orthogonalization::CGS;
+  if (name == "cgs2") return krylov::Orthogonalization::CGS2;
+  bad_choice(std::string(key).c_str(), name, "mgs cgs cgs2");
+}
+
+} // namespace
+
+void validate_scenario_keys(const ScenarioSpec& spec) {
+  spec.require_keys_in({
+      // problem
+      "solver", "matrix", "n", "nodes", "path", "seed", "eps_x", "eps_y",
+      "beta_x", "beta_y", "rhs",
+      // preconditioner
+      "precond", "neumann_degree", "neumann_omega",
+      // solver options
+      "tol", "max_iters", "restart", "ortho", "lsq", "inner", "inner_tol",
+      "inner_ortho", "robust_first_inner",
+      // fault + detector
+      "fault", "position", "site", "detector", "bound", "response",
+      // sweep
+      "sweep", "stride", "site_limit", "threads",
+  });
+}
+
+ScenarioProblem build_problem(const ScenarioSpec& spec) {
+  ScenarioProblem problem;
+  problem.matrix_name = spec.get("matrix", "poisson");
+  problem.A = solver::matrix_registry().make(problem.matrix_name, spec);
+
+  // The circuit problem defaults to the consistent rhs b = A*1: with
+  // kappa ~ 1e13 an arbitrary rhs would demand solution components beyond
+  // what double-precision residuals can certify (see bench_common.hpp).
+  const bool is_circuit = problem.matrix_name.rfind("circuit", 0) == 0;
+  const std::string rhs = spec.get("rhs", is_circuit ? "consistent" : "ones");
+  if (rhs == "ones") {
+    problem.b = la::ones(problem.A.rows());
+  } else if (rhs == "consistent") {
+    problem.b = problem.A.apply(la::ones(problem.A.rows()));
+  } else if (rhs == "random") {
+    std::mt19937 rng(static_cast<unsigned>(spec.get_size("seed", 42)));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    problem.b.resize(problem.A.rows());
+    for (std::size_t i = 0; i < problem.b.size(); ++i) problem.b[i] = dist(rng);
+  } else {
+    bad_choice("rhs", rhs, "ones consistent random");
+  }
+  return problem;
+}
+
+solver::Options solver_options_from_spec(const ScenarioSpec& spec) {
+  solver::Options opts;
+  opts.max_iters = spec.get_size("max_iters", 0);
+  opts.restart = spec.get_size("restart", 0);
+  opts.tol = spec.get_double("tol", opts.tol);
+  opts.ortho = parse_ortho(spec, "ortho", opts.ortho);
+  if (const std::string lsq = spec.get("lsq"); !lsq.empty()) {
+    if (lsq == "standard") {
+      opts.lsq_policy = dense::LsqPolicy::Standard;
+    } else if (lsq == "fallback") {
+      opts.lsq_policy = dense::LsqPolicy::Fallback;
+    } else if (lsq == "rank_revealing") {
+      opts.lsq_policy = dense::LsqPolicy::RankRevealing;
+    } else {
+      bad_choice("lsq", lsq, "standard fallback rank_revealing");
+    }
+  }
+  opts.inner_iters = spec.get_size("inner", opts.inner_iters);
+  opts.inner_tol = spec.get_double("inner_tol", opts.inner_tol);
+  opts.inner_ortho = parse_ortho(spec, "inner_ortho", opts.inner_ortho);
+  opts.robust_first_inner =
+      spec.get_bool("robust_first_inner", opts.robust_first_inner);
+  return opts;
+}
+
+sdc::MgsPosition position_from_spec(const ScenarioSpec& spec,
+                                    std::size_t& coefficient_index) {
+  coefficient_index = 0;
+  const std::string name = spec.get("position", "first");
+  if (name == "first") return sdc::MgsPosition::First;
+  if (name == "last") return sdc::MgsPosition::Last;
+  if (name.rfind("index:", 0) == 0) {
+    const std::string digits = name.substr(6);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      bad_choice("position", name, "first last index:<i>");
+    }
+    try {
+      coefficient_index = std::stoull(digits, nullptr, 10);
+    } catch (const std::exception&) {
+      bad_choice("position", name, "first last index:<i>");
+    }
+    return sdc::MgsPosition::Index;
+  }
+  bad_choice("position", name, "first last index:<i>");
+}
+
+/// The nested solvers' preconditioner IS the unreliable inner solve;
+/// silently dropping a requested fixed preconditioner would misattribute
+/// experiment results, so it is rejected loudly (same philosophy as
+/// IterativeSolver::set_hook on a hookless solver).
+static void reject_precond_for_nested(const ScenarioSpec& spec,
+                                      const std::string& solver_name) {
+  if (spec.get("precond", "none") != "none") {
+    throw std::invalid_argument(
+        "scenario: solver '" + solver_name +
+        "' is a nested solver whose preconditioner is the unreliable "
+        "inner solve; precond=" +
+        spec.get("precond") +
+        " would be silently ignored -- drop it or pick "
+        "gmres/fgmres/cg/fcg");
+  }
+}
+
+SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
+                                   double frobenius_norm) {
+  const std::string solver_name = spec.get("solver", "ft_gmres");
+  if (solver_name != "ft_gmres") {
+    throw std::invalid_argument(
+        "scenario: the injection sweep runs the paper's nested solver; "
+        "specify solver=ft_gmres (got solver=" +
+        solver_name + ")");
+  }
+  reject_precond_for_nested(spec, solver_name);
+
+  SweepConfig config;
+  config.solver = solver::to_ft_gmres_options(solver_options_from_spec(spec));
+
+  const std::string fault = spec.get("fault", "class1");
+  if (fault == "none") {
+    throw std::invalid_argument(
+        "scenario: a sweep injects one fault per site; fault=none is "
+        "meaningless (drop sweep=1 for a failure-free solve)");
+  }
+  config.model = solver::fault_model_registry().make(fault, spec);
+
+  std::size_t coefficient_index = 0;
+  config.position = position_from_spec(spec, coefficient_index);
+  if (config.position == sdc::MgsPosition::Index) {
+    throw std::invalid_argument(
+        "scenario: sweeps support position=first|last (the paper's two "
+        "series); per-index sweeps need the InjectionPlan API");
+  }
+
+  const std::string detector = spec.get("detector", "none");
+  if (detector != "none") {
+    // Build one detector to validate the spec and to resolve bound and
+    // response exactly as the registry does (inline arg wins over the
+    // `response` key); the sweep engine constructs per-site instances.
+    const auto probe =
+        solver::detector_registry().make(detector, frobenius_norm, spec);
+    if (probe == nullptr) {
+      throw std::invalid_argument("scenario: detector '" + detector +
+                                  "' produced no detector");
+    }
+    config.with_detector = true;
+    config.detector_bound = probe->bound();
+    config.detector_response = probe->response();
+  }
+
+  config.stride = spec.get_size("stride", 1);
+  config.site_limit = spec.get_size("site_limit", 0);
+  config.threads = spec.get_size("threads", 1);
+  return config;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  validate_scenario_keys(spec);
+
+  ScenarioResult result;
+  result.spec_text = spec.to_string();
+  result.solver_name = spec.get("solver", "ft_gmres");
+
+  ScenarioProblem problem = build_problem(spec);
+  result.matrix_name = problem.matrix_name;
+  result.n = problem.A.rows();
+  result.nnz = problem.A.nnz();
+
+  if (spec.get_bool("sweep", false)) {
+    result.is_sweep = true;
+    result.sweep = run_injection_sweep(
+        problem.A, problem.b,
+        sweep_config_from_spec(spec, problem.A.frobenius_norm()));
+    return result;
+  }
+
+  // --- Single solve through the façade. ---
+  if (result.solver_name == "ft_gmres" || result.solver_name == "ft_cg") {
+    reject_precond_for_nested(spec, result.solver_name);
+  }
+  solver::Options options = solver_options_from_spec(spec);
+  const auto precond = solver::preconditioner_registry().make(
+      spec.get("precond", "none"), problem.A, spec);
+  options.precond = precond.get();
+
+  const krylov::CsrOperator op(problem.A);
+  const auto iterative = solver::solver_registry().make(
+      result.solver_name, solver::SolverContext{op, options, nullptr});
+
+  // One planned fault (paper protocol: a single transient SDC event) and
+  // an optional detector, chained so the detector sees corrupted values.
+  std::unique_ptr<sdc::FaultCampaign> campaign;
+  const std::string fault = spec.get("fault", "none");
+  if (fault != "none") {
+    std::size_t coefficient_index = 0;
+    sdc::InjectionPlan plan;
+    plan.position = position_from_spec(spec, coefficient_index);
+    plan.coefficient_index = coefficient_index;
+    plan.aggregate_iteration = spec.get_size("site", 0);
+    plan.model = solver::fault_model_registry().make(fault, spec);
+    campaign = std::make_unique<sdc::FaultCampaign>(plan);
+  }
+  auto detector = solver::detector_registry().make(
+      spec.get("detector", "none"), problem.A.frobenius_norm(), spec);
+
+  krylov::HookChain chain;
+  if (campaign != nullptr) chain.add(campaign.get());
+  if (detector != nullptr) chain.add(detector.get());
+  if (campaign != nullptr || detector != nullptr) {
+    iterative->set_hook(&chain); // throws for solvers without a hook seam
+  }
+
+  result.x.resize(problem.A.rows());
+  result.report = iterative->solve(problem.b.span(), result.x.span());
+  result.injected = campaign != nullptr && campaign->fired();
+  result.detected = detector != nullptr && detector->triggered();
+  return result;
+}
+
+ScenarioResult run_scenario(std::string_view spec_text) {
+  return run_scenario(ScenarioSpec::parse(spec_text));
+}
+
+SweepResult run_injection_sweep(const ScenarioSpec& spec) {
+  validate_scenario_keys(spec);
+  const ScenarioProblem problem = build_problem(spec);
+  return run_injection_sweep(
+      problem.A, problem.b,
+      sweep_config_from_spec(spec, problem.A.frobenius_norm()));
+}
+
+} // namespace sdcgmres::experiment

@@ -1,0 +1,96 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Config-driven scenario runner: spec string in, experiment out.
+///
+/// A scenario spec (scenario_spec.hpp) names one cell of the paper's
+/// experiment grid.  This module turns the spec into concrete objects via
+/// the string-keyed registries (solver/registry.hpp) and runs it --
+/// either a single solve (optionally with one planned fault and a
+/// detector) or a full injection sweep (sweep.hpp).  The `sdc_run`
+/// example CLI is a thin shell around run_scenario().
+///
+/// Recognized keys (unknown keys throw, listing these):
+///   solver     gmres|fgmres|ft_gmres|cg|fcg|ft_cg   (default ft_gmres)
+///   matrix     poisson|poisson1d|poisson3d|aniso|convdiff|circuit|
+///              random|spd|mtx:<path>                (default poisson)
+///   n nodes path seed eps_x eps_y beta_x beta_y     matrix parameters
+///   rhs        ones|consistent|random               (default ones;
+///              consistent = A*1, the circuit default)
+///   precond    none|jacobi|ilu0|neumann[:degree]    (default none)
+///   neumann_degree neumann_omega                    preconditioner params
+///   tol max_iters restart ortho lsq                 solver options
+///   inner inner_tol inner_ortho robust_first_inner  nested solver options
+///   fault      none|class1|class2|class3|scale[:f]|set[:v]|add[:v]|
+///              bitflip[:b]                          (default none)
+///   position   first|last|index:<i>                 (default first)
+///   site       aggregate inner iteration of the single planned fault
+///              (single-solve mode; default 0)
+///   detector   none|bound[:abort|record]            (default none)
+///   bound      auto|<number>  response  record|abort
+///   sweep      0|1  -- run the full per-site injection sweep
+///   stride site_limit threads                       sweep parameters
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "experiment/scenario_spec.hpp"
+#include "experiment/sweep.hpp"
+#include "la/vector.hpp"
+#include "solver/solver.hpp"
+#include "sparse/csr.hpp"
+
+namespace sdcgmres::experiment {
+
+/// Matrix + right-hand side named by a spec.
+struct ScenarioProblem {
+  std::string matrix_name; ///< registry key used (with inline arg)
+  sparse::CsrMatrix A;
+  la::Vector b;
+};
+
+/// Throw std::invalid_argument when \p spec contains a key this runner
+/// does not recognize (typo protection for long sweep invocations).
+void validate_scenario_keys(const ScenarioSpec& spec);
+
+/// Build the matrix and right-hand side (`matrix`, `n`, `rhs`, ... keys).
+[[nodiscard]] ScenarioProblem build_problem(const ScenarioSpec& spec);
+
+/// Translate the solver-related keys into the shared façade options.
+[[nodiscard]] solver::Options solver_options_from_spec(
+    const ScenarioSpec& spec);
+
+/// Parse `position` (first | last | index:<i>) into the sweep/injection
+/// representation; the index (when given) goes to \p coefficient_index.
+[[nodiscard]] sdc::MgsPosition position_from_spec(const ScenarioSpec& spec,
+                                                  std::size_t& coefficient_index);
+
+/// Assemble a SweepConfig from the spec (requires solver=ft_gmres, the
+/// sweep engine's nested solver).  \p frobenius_norm seeds the detector
+/// bound for `bound=auto`.
+[[nodiscard]] SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
+                                                 double frobenius_norm);
+
+/// Outcome of run_scenario: a single-solve report or a sweep.
+struct ScenarioResult {
+  std::string spec_text;   ///< normalized round-trip of the input spec
+  std::string solver_name;
+  std::string matrix_name;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+
+  bool is_sweep = false;
+  solver::SolveReport report; ///< single-solve mode
+  la::Vector x;               ///< single-solve mode: final iterate
+  bool injected = false;      ///< single-solve: the planned fault fired
+  bool detected = false;      ///< single-solve: detector flagged it
+  SweepResult sweep;          ///< sweep mode
+};
+
+/// Run the scenario described by \p spec end to end.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Convenience: parse + run.
+[[nodiscard]] ScenarioResult run_scenario(std::string_view spec_text);
+
+} // namespace sdcgmres::experiment

@@ -10,7 +10,9 @@
 #include <omp.h>
 #endif
 
+#include "krylov/operator.hpp"
 #include "krylov/workspace.hpp"
+#include "solver/solver.hpp"
 
 namespace sdcgmres::experiment {
 
@@ -80,11 +82,14 @@ krylov::FtGmresResult run_baseline(const sparse::CsrMatrix& A,
 
 namespace {
 
-/// One faulty solve at one injection site.  All mutable state (campaign,
-/// detector, event logs, workspace) is owned by the caller's thread.
-SweepPoint run_site(const sparse::CsrMatrix& A, const la::Vector& b,
+/// One faulty solve at one injection site, run through the unified
+/// façade: \p ft is the worker's reusable FtGmresSolver (its internal
+/// workspace makes every solve after the first allocation-free) and \p x
+/// the worker's iterate buffer.  All mutable state (campaign, detector,
+/// event logs, solver workspace) is owned by the caller's thread.
+SweepPoint run_site(solver::FtGmresSolver& ft, const la::Vector& b,
                     const SweepConfig& config, std::size_t site,
-                    krylov::FtGmresWorkspace& ws) {
+                    la::Vector& x) {
   sdc::FaultCampaign campaign(
       sdc::InjectionPlan::hessenberg(site, config.position, config.model));
   std::unique_ptr<sdc::HessenbergBoundDetector> detector;
@@ -96,14 +101,14 @@ SweepPoint run_site(const sparse::CsrMatrix& A, const la::Vector& b,
     chain.add(detector.get());
   }
 
-  const krylov::FtGmresResult run =
-      krylov::ft_gmres(A, b, config.solver, &chain, &ws);
+  ft.set_hook(&chain);
+  const solver::SolveReport run = ft.solve(b.span(), x.span());
+  ft.set_hook(nullptr);
 
   SweepPoint point;
   point.aggregate_iteration = site;
-  point.outer_iterations = run.outer_iterations;
-  point.converged = run.status == krylov::FgmresStatus::Converged ||
-                    run.status == krylov::FgmresStatus::InvariantSubspace;
+  point.outer_iterations = run.iterations;
+  point.converged = run.converged();
   point.injected = campaign.fired();
   point.detected = detector != nullptr && detector->triggered();
   point.sanitized_outputs = run.sanitized_outputs;
@@ -113,16 +118,26 @@ SweepPoint run_site(const sparse::CsrMatrix& A, const la::Vector& b,
 
 } // namespace
 
-SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
-                                const la::Vector& b,
-                                const SweepConfig& config) {
+void validate_sweep_config(const SweepConfig& config) {
   if (config.with_detector && config.detector_bound <= 0.0) {
     throw std::invalid_argument(
-        "run_injection_sweep: detector enabled but bound not set");
+        "run_injection_sweep: detector enabled but detector_bound is not "
+        "positive (use e.g. ||A||_F)");
   }
   if (config.stride == 0) {
     throw std::invalid_argument("run_injection_sweep: stride must be >= 1");
   }
+  if (config.solver.inner.max_iters == 0) {
+    throw std::invalid_argument(
+        "run_injection_sweep: inner.max_iters == 0 admits no injection "
+        "sites (the site axis counts inner Arnoldi iterations)");
+  }
+}
+
+SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
+                                const la::Vector& b,
+                                const SweepConfig& config) {
+  validate_sweep_config(config);
 
   SweepResult result;
 
@@ -139,8 +154,8 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   result.baseline_outer = baseline.outer_iterations;
   result.baseline_total_inner = baseline.total_inner_iterations;
   result.baseline_converged =
-      baseline.status == krylov::FgmresStatus::Converged ||
-      baseline.status == krylov::FgmresStatus::InvariantSubspace;
+      baseline.status == krylov::SolveStatus::Converged ||
+      baseline.status == krylov::SolveStatus::HappyBreakdown;
 
   // --- One faulty solve per (sampled) injection site. ---
   std::size_t last_site = result.baseline_total_inner;
@@ -148,6 +163,14 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     last_site = std::min(last_site, config.site_limit);
   }
   const std::size_t n_points = (last_site + config.stride - 1) / config.stride;
+  if (n_points == 0) {
+    throw std::invalid_argument(
+        "run_injection_sweep: the site_limit/stride combination selects "
+        "zero injection sites (baseline produced " +
+        std::to_string(result.baseline_total_inner) +
+        " inner iterations, site_limit=" + std::to_string(config.site_limit) +
+        ", stride=" + std::to_string(config.stride) + ")");
+  }
   result.points.resize(n_points);
 
   int workers = 1;
@@ -164,17 +187,19 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
 #ifdef _OPENMP
     omp_set_num_threads(1); // solver kernels stay serial inside a worker
 #endif
-    // One reusable nested solver workspace per worker thread: after its
-    // first site, a worker's solves are allocation-free on the iteration
-    // path.
-    krylov::FtGmresWorkspace ws;
+    // One reusable façade solver per worker thread: its internal nested
+    // workspace makes every solve after the worker's first site
+    // allocation-free on the iteration path.
+    const krylov::CsrOperator op(A);
+    solver::FtGmresSolver ft(op, config.solver);
+    la::Vector x(b.size());
 #pragma omp for schedule(dynamic)
     for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(n_points);
          ++idx) {
       try {
         const std::size_t site =
             static_cast<std::size_t>(idx) * config.stride;
-        points[idx] = run_site(A, b, config, site, ws);
+        points[idx] = run_site(ft, b, config, site, x);
       } catch (...) {
         // An exception may not cross the region boundary (std::terminate);
         // keep the first one and rethrow it on the calling thread.

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "experiment/scenario_spec.hpp"
 #include "krylov/ft_gmres.hpp"
 #include "la/vector.hpp"
 #include "sdc/detector.hpp"
@@ -87,13 +88,27 @@ struct SweepResult {
   [[nodiscard]] std::size_t detected_runs() const;
 };
 
+/// Validate \p config before any solve runs.  Throws std::invalid_argument
+/// on: stride == 0; with_detector without a positive detector_bound; an
+/// inner iteration budget of zero (no injectable sites can exist).  Called
+/// by run_injection_sweep up front; exposed so scenario builders can fail
+/// fast before constructing matrices.
+void validate_sweep_config(const SweepConfig& config);
+
 /// Run the failure-free baseline followed by one faulty solve per
 /// injection site.  \p b is the right-hand side; the initial guess is zero
 /// for every run (paper: "same matrix, right-hand side, and initial
-/// guess").
+/// guess").  Throws std::invalid_argument when validate_sweep_config
+/// rejects \p config or when the site_limit/stride combination selects
+/// zero injection sites against the measured baseline.
 [[nodiscard]] SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
                                               const la::Vector& b,
                                               const SweepConfig& config);
+
+/// Spec-driven entry: build the matrix, right-hand side, and SweepConfig
+/// from a scenario spec (see scenario.hpp for the key vocabulary) and run
+/// the sweep.  This is the same path the `sdc_run` example CLI uses.
+[[nodiscard]] SweepResult run_injection_sweep(const ScenarioSpec& spec);
 
 /// Just the failure-free baseline (also used by examples).
 [[nodiscard]] krylov::FtGmresResult run_baseline(

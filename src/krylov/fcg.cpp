@@ -8,15 +8,6 @@
 
 namespace sdcgmres::krylov {
 
-const char* to_string(FcgStatus status) noexcept {
-  switch (status) {
-    case FcgStatus::Converged: return "converged";
-    case FcgStatus::MaxIterations: return "max-iterations";
-    case FcgStatus::Indefinite: return "indefinite";
-  }
-  return "unknown";
-}
-
 FcgResult fcg(const LinearOperator& A, const la::Vector& b,
               const la::Vector& x0, const FcgOptions& opts,
               FlexiblePreconditioner& M) {
@@ -41,7 +32,7 @@ FcgResult fcg(const LinearOperator& A, const la::Vector& b,
   la::waxpby(1.0, b, -1.0, r, r);
   result.residual_norm = la::nrm2(r);
   if (result.residual_norm <= abs_target) {
-    result.status = FcgStatus::Converged;
+    result.status = SolveStatus::Converged;
     return result;
   }
 
@@ -65,7 +56,7 @@ FcgResult fcg(const LinearOperator& A, const la::Vector& b,
     A.apply(p, ap);
     const double pap = la::dot(p, ap);
     if (!(pap > 0.0)) { // catches <= 0 and NaN
-      result.status = FcgStatus::Indefinite;
+      result.status = SolveStatus::Indefinite;
       return result;
     }
     const double alpha = rz / pap;
@@ -78,7 +69,7 @@ FcgResult fcg(const LinearOperator& A, const la::Vector& b,
 
     if (result.residual_norm <= abs_target) {
       if (!opts.verify_with_explicit_residual) {
-        result.status = FcgStatus::Converged;
+        result.status = SolveStatus::Converged;
         return result;
       }
       // Reliable phase: trust only the explicit residual.
@@ -88,7 +79,7 @@ FcgResult fcg(const LinearOperator& A, const la::Vector& b,
       const double true_norm = la::nrm2(true_r);
       if (true_norm <= abs_target) {
         result.residual_norm = true_norm;
-        result.status = FcgStatus::Converged;
+        result.status = SolveStatus::Converged;
         return result;
       }
       la::copy(true_r, r); // resynchronize the recurrence and continue
@@ -116,8 +107,8 @@ FcgResult fcg(const LinearOperator& A, const la::Vector& b,
       if (rz == 0.0) rz = la::dot(r, r); // last resort: steepest descent
     }
   }
-  result.status = result.residual_norm <= abs_target ? FcgStatus::Converged
-                                                     : FcgStatus::MaxIterations;
+  result.status = result.residual_norm <= abs_target ? SolveStatus::Converged
+                                                     : SolveStatus::MaxIterations;
   return result;
 }
 

@@ -30,15 +30,9 @@
 
 namespace sdcgmres::krylov {
 
-/// Terminal state of an FCG solve.
-enum class FcgStatus {
-  Converged,     ///< explicit residual reached the tolerance
-  MaxIterations, ///< iteration budget exhausted
-  Indefinite,    ///< p^T A p <= 0: A not SPD (or corrupted beyond use)
-};
-
-/// Human-readable status (for reports).
-[[nodiscard]] const char* to_string(FcgStatus status) noexcept;
+// FCG's terminal states (converged / budget exhausted / direction
+// breakdown p^T A p <= 0) use the shared SolveStatus vocabulary
+// (status.hpp); the breakdown case is SolveStatus::Indefinite.
 
 /// Configuration of an FCG solve.
 struct FcgOptions {
@@ -54,7 +48,7 @@ struct FcgOptions {
 /// Result of an FCG solve.
 struct FcgResult {
   la::Vector x;
-  FcgStatus status = FcgStatus::MaxIterations;
+  SolveStatus status = SolveStatus::MaxIterations;
   std::size_t outer_iterations = 0;
   double residual_norm = 0.0; ///< explicit ||b - A*x|| at exit
   std::vector<double> residual_history;
@@ -80,7 +74,7 @@ struct FtCgOptions {
 /// Result of an FT-CG solve.
 struct FtCgResult {
   la::Vector x;
-  FcgStatus status = FcgStatus::MaxIterations;
+  SolveStatus status = SolveStatus::MaxIterations;
   std::size_t outer_iterations = 0;
   std::size_t total_inner_iterations = 0;
   double residual_norm = 0.0;

@@ -13,16 +13,6 @@
 
 namespace sdcgmres::krylov {
 
-const char* to_string(FgmresStatus status) noexcept {
-  switch (status) {
-    case FgmresStatus::Converged: return "converged";
-    case FgmresStatus::InvariantSubspace: return "invariant-subspace";
-    case FgmresStatus::RankDeficient: return "rank-deficient";
-    case FgmresStatus::MaxIterations: return "max-iterations";
-  }
-  return "unknown";
-}
-
 namespace {
 
 /// sigma_min / sigma_max of the current triangular factor; 0 for singular.
@@ -83,7 +73,7 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   const double beta = la::nrm2(r);
   result.residual_norm = beta;
   if (beta <= abs_target) {
-    result.status = FgmresStatus::Converged;
+    result.status = SolveStatus::Converged;
     return result;
   }
 
@@ -168,7 +158,7 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
         A.apply(result.x.span(), r.span());
         la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
         result.residual_norm = la::nrm2(r);
-        result.status = FgmresStatus::RankDeficient;
+        result.status = SolveStatus::RankDeficient;
         return result;
       }
       result.residual_history.push_back(est);
@@ -177,8 +167,8 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
       la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
       result.residual_norm = la::nrm2(r);
       result.status = result.residual_norm <= abs_target
-                          ? FgmresStatus::Converged
-                          : FgmresStatus::InvariantSubspace;
+                          ? SolveStatus::Converged
+                          : SolveStatus::HappyBreakdown;
       return result;
     }
 
@@ -190,14 +180,14 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
       form_iterate(x0, zbasis, qr, opts, result.x);
       if (!opts.verify_with_explicit_residual) {
         result.residual_norm = est;
-        result.status = FgmresStatus::Converged;
+        result.status = SolveStatus::Converged;
         return result;
       }
       A.apply(result.x.span(), r.span());
       la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
       result.residual_norm = la::nrm2(r);
       if (result.residual_norm <= abs_target) {
-        result.status = FgmresStatus::Converged;
+        result.status = SolveStatus::Converged;
         return result;
       }
       // Estimate was optimistic (can happen with truncated updates);
@@ -210,8 +200,8 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
   result.residual_norm = la::nrm2(r);
   result.status = result.residual_norm <= abs_target
-                      ? FgmresStatus::Converged
-                      : FgmresStatus::MaxIterations;
+                      ? SolveStatus::Converged
+                      : SolveStatus::MaxIterations;
   return result;
 }
 

@@ -16,22 +16,15 @@
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "krylov/precond.hpp"
+#include "krylov/status.hpp"
 #include "krylov/workspace.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
 
-/// Terminal state of an FGMRES solve (the trichotomy, plus budget
-/// exhaustion).
-enum class FgmresStatus {
-  Converged,         ///< explicit residual reached the tolerance
-  InvariantSubspace, ///< happy breakdown with full-rank H: solution exact
-  RankDeficient,     ///< H(1:j,1:j) rank-deficient: loud failure report
-  MaxIterations,     ///< outer budget exhausted
-};
-
-/// Human-readable status (for reports).
-[[nodiscard]] const char* to_string(FgmresStatus status) noexcept;
+// The FGMRES trichotomy (converged / invariant subspace with full-rank H /
+// loud rank-deficiency report) is expressed in the shared SolveStatus
+// vocabulary (status.hpp): HappyBreakdown is the invariant-subspace case.
 
 /// Configuration of an FGMRES solve.
 struct FgmresOptions {
@@ -60,7 +53,7 @@ struct FgmresOptions {
 /// Result of an FGMRES solve.
 struct FgmresResult {
   la::Vector x;                 ///< final iterate
-  FgmresStatus status = FgmresStatus::MaxIterations;
+  SolveStatus status = SolveStatus::MaxIterations;
   std::size_t outer_iterations = 0;
   double residual_norm = 0.0;   ///< explicit ||b - A*x|| at exit
   std::vector<double> residual_history; ///< estimate after each iteration

@@ -54,7 +54,7 @@ struct InnerSolveRecord {
 /// Result of an FT-GMRES solve.
 struct FtGmresResult {
   la::Vector x;
-  FgmresStatus status = FgmresStatus::MaxIterations;
+  SolveStatus status = SolveStatus::MaxIterations;
   std::size_t outer_iterations = 0;
   std::size_t total_inner_iterations = 0;
   double residual_norm = 0.0; ///< explicit ||b - A*x|| at exit

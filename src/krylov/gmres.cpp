@@ -12,16 +12,6 @@
 
 namespace sdcgmres::krylov {
 
-const char* to_string(SolveStatus status) noexcept {
-  switch (status) {
-    case SolveStatus::Converged: return "converged";
-    case SolveStatus::MaxIterations: return "max-iterations";
-    case SolveStatus::HappyBreakdown: return "happy-breakdown";
-    case SolveStatus::AbortedByDetector: return "aborted-by-detector";
-  }
-  return "unknown";
-}
-
 namespace {
 
 /// One restart cycle of GMRES.  Returns true when the whole solve should

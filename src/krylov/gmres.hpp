@@ -17,22 +17,12 @@
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "krylov/precond.hpp"
+#include "krylov/status.hpp"
 #include "krylov/workspace.hpp"
 #include "la/vector.hpp"
 #include "sparse/csr.hpp"
 
 namespace sdcgmres::krylov {
-
-/// Terminal state of a (possibly restarted) GMRES solve.
-enum class SolveStatus {
-  Converged,         ///< residual estimate reached the tolerance
-  MaxIterations,     ///< iteration budget exhausted
-  HappyBreakdown,    ///< invariant subspace found; solution is exact
-  AbortedByDetector, ///< an attached hook requested abort (fault detected)
-};
-
-/// Human-readable status (for reports).
-[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
 /// Configuration of a GMRES solve.
 struct GmresOptions {

@@ -1,0 +1,17 @@
+#include "krylov/status.hpp"
+
+namespace sdcgmres::krylov {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::HappyBreakdown: return "happy-breakdown";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::RankDeficient: return "rank-deficient";
+    case SolveStatus::AbortedByDetector: return "aborted-by-detector";
+    case SolveStatus::Indefinite: return "indefinite";
+  }
+  return "unknown";
+}
+
+} // namespace sdcgmres::krylov

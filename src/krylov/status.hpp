@@ -1,0 +1,37 @@
+#pragma once
+/// \file status.hpp
+/// \brief The one terminal-state vocabulary shared by every solver.
+///
+/// Historically GMRES, FGMRES, and FCG each grew their own status enum
+/// (SolveStatus / FgmresStatus / FcgStatus) with overlapping but
+/// incompatible values; every caller that mixed solvers had to translate.
+/// This header collapses them: one enum covers the union of terminal
+/// states, and each solver simply never returns the states that cannot
+/// occur for it (e.g. only FGMRES-family solvers report RankDeficient,
+/// only the CG family reports Indefinite).
+
+namespace sdcgmres::krylov {
+
+/// Terminal state of any iterative solve.
+enum class SolveStatus {
+  Converged,         ///< residual reached the tolerance
+  HappyBreakdown,    ///< invariant subspace found (full-rank H for the
+                     ///< FGMRES trichotomy): the solution is exact
+  MaxIterations,     ///< iteration budget exhausted
+  RankDeficient,     ///< H(1:j,1:j) rank-deficient: loud failure report
+                     ///< (FGMRES trichotomy, paper Section VI-C)
+  AbortedByDetector, ///< an attached hook requested abort (fault detected)
+  Indefinite,        ///< p^T A p <= 0 observed: A not SPD (CG family)
+};
+
+/// Human-readable status (for reports).
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// True for the two states that certify a correct solution (tolerance
+/// reached, or an invariant subspace making the iterate exact).
+[[nodiscard]] constexpr bool is_success(SolveStatus status) noexcept {
+  return status == SolveStatus::Converged ||
+         status == SolveStatus::HappyBreakdown;
+}
+
+} // namespace sdcgmres::krylov

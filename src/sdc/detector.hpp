@@ -48,6 +48,11 @@ public:
   /// The bound in force.
   [[nodiscard]] double bound() const noexcept { return bound_; }
 
+  /// The configured response to a violation.
+  [[nodiscard]] DetectorResponse response() const noexcept {
+    return response_;
+  }
+
   /// Number of coefficients checked so far.
   [[nodiscard]] std::size_t checks() const noexcept { return checks_; }
 

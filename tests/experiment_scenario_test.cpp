@@ -1,0 +1,201 @@
+/// \file experiment_scenario_test.cpp
+/// \brief The spec parser and the config-driven scenario runner: parse /
+/// round-trip / error behaviour, and equality of spec-driven runs with
+/// their hand-assembled equivalents.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "experiment/scenario.hpp"
+#include "experiment/scenario_spec.hpp"
+#include "experiment/sweep.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "krylov/gmres.hpp"
+#include "la/blas1.hpp"
+#include "solver/solver.hpp"
+
+namespace experiment = sdcgmres::experiment;
+namespace solver = sdcgmres::solver;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace sdc = sdcgmres::sdc;
+namespace la = sdcgmres::la;
+using experiment::ScenarioSpec;
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec parser
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, ParsesAndRoundTrips) {
+  const auto spec =
+      ScenarioSpec::parse("  solver=ft_gmres  n=40\tfault=scale:1e150 ");
+  EXPECT_EQ(spec.get("solver"), "ft_gmres");
+  EXPECT_EQ(spec.get_size("n", 0), 40u);
+  EXPECT_EQ(spec.get("fault"), "scale:1e150"); // ':' survives in values
+  EXPECT_EQ(spec.to_string(), "solver=ft_gmres n=40 fault=scale:1e150");
+
+  // Round-trip: parse(to_string(s)) == s.
+  const auto again = ScenarioSpec::parse(spec.to_string());
+  EXPECT_EQ(again.to_string(), spec.to_string());
+}
+
+TEST(ScenarioSpec, LaterAssignmentsOverride) {
+  auto spec = ScenarioSpec::parse("n=10 n=20");
+  EXPECT_EQ(spec.get_size("n", 0), 20u);
+  spec.merge(ScenarioSpec::parse("n=30 tol=1e-6"));
+  EXPECT_EQ(spec.get_size("n", 0), 30u);
+  EXPECT_EQ(spec.get_double("tol", 0.0), 1e-6);
+  // Order is preserved: n first (where it was first assigned).
+  EXPECT_EQ(spec.keys().front(), "n");
+}
+
+TEST(ScenarioSpec, TypedAccessorsValidate) {
+  const auto spec =
+      ScenarioSpec::parse("n=ten tol=fast flag=maybe ok=7 neg=-5");
+  EXPECT_EQ(spec.get_size("ok", 0), 7u);
+  EXPECT_EQ(spec.get_size("absent", 3), 3u);
+  EXPECT_THROW((void)spec.get_size("n", 0), std::invalid_argument);
+  // std::stoull would silently wrap a negative value to ~1.8e19.
+  EXPECT_THROW((void)spec.get_size("neg", 0), std::invalid_argument);
+  EXPECT_EQ(spec.get_double("neg", 0.0), -5.0); // doubles may be negative
+  EXPECT_THROW((void)spec.get_double("tol", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)spec.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, MalformedTokensThrow) {
+  EXPECT_THROW((void)ScenarioSpec::parse("novalue"), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("=value"), std::invalid_argument);
+  EXPECT_NO_THROW((void)ScenarioSpec::parse("empty="));
+  EXPECT_NO_THROW((void)ScenarioSpec::parse(""));
+}
+
+TEST(ScenarioSpec, UnknownKeyValidationListsKnownKeys) {
+  const auto spec = ScenarioSpec::parse("solver=gmres positon=first");
+  try {
+    experiment::validate_scenario_keys(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("positon"), std::string::npos);
+    EXPECT_NE(what.find("position"), std::string::npos) << what;
+    EXPECT_NE(what.find("matrix"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario runner: single solves
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, SingleSolveMatchesDirectCallBitwise) {
+  const auto result = experiment::run_scenario(
+      "solver=gmres matrix=poisson n=8 restart=20 max_iters=200");
+
+  const auto A = gen::poisson2d(8);
+  krylov::GmresOptions opts;
+  opts.restart = 20;
+  opts.max_iters = 200;
+  const auto direct = krylov::gmres(A, la::ones(A.rows()), opts);
+
+  EXPECT_EQ(result.report.status, direct.status);
+  EXPECT_EQ(result.report.iterations, direct.iterations);
+  EXPECT_EQ(result.report.residual_norm, direct.residual_norm);
+  ASSERT_EQ(result.x.size(), direct.x.size());
+  for (std::size_t i = 0; i < direct.x.size(); ++i) {
+    EXPECT_EQ(result.x[i], direct.x[i]);
+  }
+}
+
+TEST(Scenario, FaultAndDetectorWireUp) {
+  // A class-1 fault at site 3 must fire and the bound detector must see
+  // it (the detector is chained after the campaign).
+  const auto result = experiment::run_scenario(
+      "solver=ft_gmres matrix=poisson n=8 inner=6 fault=class1 site=3 "
+      "position=first detector=bound response=record");
+  EXPECT_TRUE(result.injected);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.report.converged());
+}
+
+TEST(Scenario, HookOnHooklessSolverThrows) {
+  EXPECT_THROW((void)experiment::run_scenario(
+                   "solver=cg matrix=poisson n=6 fault=class1"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, UnknownNamesFailLoudly) {
+  EXPECT_THROW((void)experiment::run_scenario("solver=bicgstab n=6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::run_scenario("matrix=hilbert n=6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::run_scenario("precond=ssor n=6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::run_scenario("rhs=zeros n=6"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario runner: sweeps
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, SweepFromSpecEqualsHandAssembledSweep) {
+  const auto spec = ScenarioSpec::parse(
+      "solver=ft_gmres matrix=poisson n=6 inner=5 max_iters=120 sweep=1 "
+      "fault=class1 position=first stride=2");
+  const auto from_spec = experiment::run_injection_sweep(spec);
+
+  const auto A = gen::poisson2d(6);
+  experiment::SweepConfig config;
+  config.solver.inner.max_iters = 5;
+  config.solver.outer.max_outer = 120;
+  config.position = sdc::MgsPosition::First;
+  config.model = sdc::fault_classes::very_large();
+  config.stride = 2;
+  const auto direct =
+      experiment::run_injection_sweep(A, la::ones(A.rows()), config);
+
+  EXPECT_EQ(from_spec.baseline_outer, direct.baseline_outer);
+  EXPECT_EQ(from_spec.baseline_total_inner, direct.baseline_total_inner);
+  EXPECT_EQ(from_spec.points, direct.points);
+}
+
+TEST(Scenario, RunScenarioSweepModeReturnsSweep) {
+  const auto result = experiment::run_scenario(
+      "matrix=poisson n=6 inner=5 sweep=1 fault=class1 site_limit=5");
+  EXPECT_TRUE(result.is_sweep);
+  EXPECT_EQ(result.sweep.points.size(), 5u);
+  EXPECT_GT(result.sweep.baseline_total_inner, 5u);
+}
+
+TEST(Scenario, SweepSpecValidation) {
+  // Sweeps are the nested solver's protocol.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "solver=gmres matrix=poisson n=6 sweep=1")),
+               std::invalid_argument);
+  // A sweep without a fault is meaningless.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 fault=none")),
+               std::invalid_argument);
+  // Detector bound must be positive.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 detector=bound bound=-2")),
+               std::invalid_argument);
+  // stride=0 is rejected before any solve runs.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 stride=0")),
+               std::invalid_argument);
+}
+
+TEST(Scenario, ThreadedSweepFromSpecIdenticalToSerial) {
+  const char* base =
+      "matrix=poisson n=6 inner=5 sweep=1 fault=class1 position=last";
+  auto serial = ScenarioSpec::parse(base);
+  serial.set("threads", "1");
+  auto threaded = ScenarioSpec::parse(base);
+  threaded.set("threads", "2");
+  const auto a = experiment::run_injection_sweep(serial);
+  const auto b = experiment::run_injection_sweep(threaded);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.baseline_outer, b.baseline_outer);
+}

@@ -241,3 +241,43 @@ TEST(Report, SeriesAndSummaryDoNotThrow) {
   EXPECT_NE(out.str().find("failure-free outer iterations"),
             std::string::npos);
 }
+
+TEST(SweepValidation, StrideZeroRejectedUpFront) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.stride = 0;
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, b, config),
+               std::invalid_argument);
+  EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+}
+
+TEST(SweepValidation, DetectorWithoutBoundRejectedUpFront) {
+  auto config = small_config();
+  config.with_detector = true; // detector_bound stays 0.0
+  EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+  config.detector_bound = -1.0;
+  EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+  config.detector_bound = 50.0;
+  EXPECT_NO_THROW(experiment::validate_sweep_config(config));
+}
+
+TEST(SweepValidation, ZeroInnerBudgetRejectedUpFront) {
+  auto config = small_config();
+  config.solver.inner.max_iters = 0; // no injectable sites can exist
+  EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+}
+
+TEST(SweepValidation, ZeroSelectedSitesThrowInsteadOfEmptySweep) {
+  // b = 0 converges instantly: zero inner iterations, so the site set is
+  // empty for every site_limit/stride combination -- loud failure, not a
+  // silent empty SweepResult.
+  const auto A = gen::poisson2d(6);
+  const la::Vector b(36);
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, b, small_config()),
+               std::invalid_argument);
+}

@@ -45,7 +45,7 @@ TEST(Integration, RunsThroughAllThreeFaultClassesOnPoisson) {
   const la::Vector b = la::ones(64);
   const auto opts = paper_options();
   const auto baseline = krylov::ft_gmres(A, b, opts);
-  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged);
 
   for (const auto model : {sdc::fault_classes::very_large(),
                            sdc::fault_classes::slightly_smaller(),
@@ -55,7 +55,7 @@ TEST(Integration, RunsThroughAllThreeFaultClassesOnPoisson) {
       sdc::FaultCampaign campaign(
           sdc::InjectionPlan::hessenberg(10, position, model));
       const auto res = krylov::ft_gmres(A, b, opts, &campaign);
-      EXPECT_EQ(res.status, krylov::FgmresStatus::Converged)
+      EXPECT_EQ(res.status, krylov::SolveStatus::Converged)
           << sdc::to_string(model);
       EXPECT_TRUE(campaign.fired());
       EXPECT_LE(explicit_residual(A, b, res.x), 1e-8 * la::nrm2(b) * 1.1)
@@ -75,7 +75,7 @@ TEST(Integration, FaultyRunStillProducesCorrectSolution) {
       3, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
   const auto faulty = krylov::ft_gmres(A, b, opts, &campaign);
   ASSERT_TRUE(campaign.fired());
-  ASSERT_EQ(faulty.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(faulty.status, krylov::SolveStatus::Converged);
   EXPECT_LE(explicit_residual(A, b, faulty.x), 1e-7);
 }
 
@@ -95,7 +95,7 @@ TEST(Integration, DetectorAbortNeverHurtsConvergence) {
                                         sdc::DetectorResponse::AbortSolve);
   krylov::HookChain chain({&campaign, &detector});
   const auto res = krylov::ft_gmres(A, b, opts, &chain);
-  ASSERT_EQ(res.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(res.status, krylov::SolveStatus::Converged);
   ASSERT_TRUE(campaign.fired());
   EXPECT_TRUE(detector.triggered());
   EXPECT_LE(res.outer_iterations, baseline.outer_iterations + 2);
@@ -113,7 +113,7 @@ TEST(Integration, NonsymmetricIllConditionedProblemConverges) {
   auto opts = paper_options();
   opts.outer.max_outer = 400;
   const auto baseline = krylov::ft_gmres(A, b, opts);
-  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged)
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged)
       << "residual " << baseline.residual_norm;
 
   // One fault in the middle of the run; the solver must still converge.
@@ -122,7 +122,7 @@ TEST(Integration, NonsymmetricIllConditionedProblemConverges) {
       sdc::fault_classes::slightly_smaller()));
   const auto faulty = krylov::ft_gmres(A, b, opts, &campaign);
   EXPECT_TRUE(campaign.fired());
-  EXPECT_EQ(faulty.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(faulty.status, krylov::SolveStatus::Converged);
 }
 
 TEST(Integration, NaNInjectionIsSurvivedViaSanitization) {
@@ -138,7 +138,7 @@ TEST(Integration, NaNInjectionIsSurvivedViaSanitization) {
   sdc::FaultCampaign campaign(plan);
   const auto res = krylov::ft_gmres(A, b, opts, &campaign);
   ASSERT_TRUE(campaign.fired());
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_GE(res.sanitized_outputs, 1u);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-7);
 }
@@ -152,14 +152,14 @@ TEST(Integration, EveryInjectionSiteOnTinyProblemConverges) {
   opts.outer.tol = 1e-8;
   opts.outer.max_outer = 200;
   const auto baseline = krylov::ft_gmres(A, b, opts);
-  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged);
 
   std::size_t worst_increase = 0;
   for (std::size_t site = 0; site < baseline.total_inner_iterations; ++site) {
     sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
         site, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
     const auto res = krylov::ft_gmres(A, b, opts, &campaign);
-    ASSERT_EQ(res.status, krylov::FgmresStatus::Converged)
+    ASSERT_EQ(res.status, krylov::SolveStatus::Converged)
         << "site " << site;
     if (res.outer_iterations > baseline.outer_iterations) {
       worst_increase = std::max(

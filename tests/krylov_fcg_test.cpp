@@ -70,7 +70,7 @@ TEST(Fcg, IdentityPreconditionerMatchesPlainCgIterationCount) {
   copts.tol = 1e-8;
   const auto plain = krylov::cg(A, b, copts);
 
-  ASSERT_EQ(flex.status, krylov::FcgStatus::Converged);
+  ASSERT_EQ(flex.status, krylov::SolveStatus::Converged);
   ASSERT_TRUE(plain.converged);
   // With a fixed M, FCG reduces to PCG up to rounding; identical counts
   // modulo the explicit-residual verification step.
@@ -91,7 +91,7 @@ TEST(Fcg, ConvergesWithChangingPreconditioner) {
   opts.tol = 1e-8;
   opts.max_outer = 3000;
   const auto res = krylov::fcg(op, b, la::zeros(A.rows()), opts, M);
-  EXPECT_EQ(res.status, krylov::FcgStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-6);
 }
 
@@ -101,7 +101,7 @@ TEST(Fcg, DetectsIndefiniteOperator) {
   IdentityFlexible M;
   const auto res =
       krylov::fcg(op, la::ones(36), la::zeros(36), krylov::FcgOptions{}, M);
-  EXPECT_EQ(res.status, krylov::FcgStatus::Indefinite);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Indefinite);
 }
 
 TEST(Fcg, SanitizesNonFinitePreconditionerOutput) {
@@ -120,7 +120,7 @@ TEST(Fcg, SanitizesNonFinitePreconditionerOutput) {
   krylov::FcgOptions opts;
   opts.tol = 1e-8;
   const auto res = krylov::fcg(op, la::ones(64), la::zeros(64), opts, M);
-  EXPECT_EQ(res.status, krylov::FcgStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_GE(res.sanitized_outputs, 1u);
 }
 
@@ -137,10 +137,10 @@ TEST(Fcg, InvalidArgumentsThrow) {
 }
 
 TEST(Fcg, StatusNamesAreStable) {
-  EXPECT_STREQ(krylov::to_string(krylov::FcgStatus::Converged), "converged");
-  EXPECT_STREQ(krylov::to_string(krylov::FcgStatus::MaxIterations),
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::Converged), "converged");
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::MaxIterations),
                "max-iterations");
-  EXPECT_STREQ(krylov::to_string(krylov::FcgStatus::Indefinite),
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::Indefinite),
                "indefinite");
 }
 
@@ -150,7 +150,7 @@ TEST(FtCg, SolvesPoissonFailureFree) {
   krylov::FtCgOptions opts;
   opts.outer.tol = 1e-8;
   const auto res = krylov::ft_cg(A, b, opts);
-  EXPECT_EQ(res.status, krylov::FcgStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-8 * la::nrm2(b) * 1.01);
   EXPECT_GT(res.total_inner_iterations, 0u);
 }
@@ -164,7 +164,7 @@ TEST(FtCg, FewerOuterIterationsThanPlainCg) {
   krylov::CgOptions copts;
   copts.tol = 1e-8;
   const auto plain = krylov::cg(A, b, copts);
-  ASSERT_EQ(nested.status, krylov::FcgStatus::Converged);
+  ASSERT_EQ(nested.status, krylov::SolveStatus::Converged);
   ASSERT_TRUE(plain.converged);
   EXPECT_LT(nested.outer_iterations, plain.iterations / 2);
 }
@@ -178,7 +178,7 @@ TEST(FtCg, RunsThroughSingleFaults) {
   krylov::FtCgOptions opts;
   opts.outer.tol = 1e-8;
   const auto baseline = krylov::ft_cg(A, b, opts);
-  ASSERT_EQ(baseline.status, krylov::FcgStatus::Converged);
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged);
 
   for (const auto model : {sdc::fault_classes::very_large(),
                            sdc::fault_classes::slightly_smaller(),
@@ -187,7 +187,7 @@ TEST(FtCg, RunsThroughSingleFaults) {
         5, sdc::MgsPosition::Last, model));
     const auto res = krylov::ft_cg(A, b, opts, &campaign);
     ASSERT_TRUE(campaign.fired()) << sdc::to_string(model);
-    EXPECT_EQ(res.status, krylov::FcgStatus::Converged)
+    EXPECT_EQ(res.status, krylov::SolveStatus::Converged)
         << sdc::to_string(model);
     EXPECT_LE(res.outer_iterations, baseline.outer_iterations + 4)
         << sdc::to_string(model);

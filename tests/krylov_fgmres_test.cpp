@@ -82,7 +82,7 @@ TEST(Fgmres, IdentityPreconditionerMatchesGmres) {
   gopts.tol = 1e-10;
   const auto plain = krylov::gmres(A, b, gopts);
 
-  ASSERT_EQ(flex.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(flex.status, krylov::SolveStatus::Converged);
   ASSERT_EQ(plain.status, krylov::SolveStatus::Converged);
   // With M = I, FGMRES *is* GMRES: same iteration counts.
   EXPECT_EQ(flex.outer_iterations, plain.iterations);
@@ -101,7 +101,7 @@ TEST(Fgmres, ConvergesWithChangingPreconditioner) {
   opts.max_outer = 150;
   opts.tol = 1e-10;
   const auto res = krylov::fgmres(op, b, la::zeros(81), opts, M);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-8);
 }
 
@@ -127,7 +127,7 @@ TEST(Fgmres, SanitizesNonFinitePreconditionerOutput) {
   opts.max_outer = 120;
   opts.tol = 1e-9;
   const auto res = krylov::fgmres(op, b, la::zeros(49), opts, M);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(res.sanitized_outputs, 1u);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-7);
 }
@@ -142,7 +142,7 @@ TEST(Fgmres, SanitizationCanBeDisabled) {
   opts.max_outer = 10;
   const auto res = krylov::fgmres(op, b, la::zeros(25), opts, M);
   // NaN floods the iteration; the solver must not claim convergence.
-  EXPECT_NE(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_NE(res.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(res.sanitized_outputs, 0u);
 }
 
@@ -168,7 +168,7 @@ TEST(Fgmres, DegenerateGuestDirectionIsRetriedWithIdentity) {
   opts.max_outer = 120;
   opts.tol = 1e-8;
   const auto res = krylov::fgmres(op, la::ones(36), la::zeros(36), opts, M);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_GE(res.sanitized_outputs, 1u);
 }
 
@@ -192,7 +192,7 @@ TEST(Fgmres, DegenerateDirectionIsLoudFailureWhenSanitizationOff) {
   const auto res = krylov::fgmres(op, la::ones(36), la::zeros(36), opts, M);
   // Trichotomy: never a silent wrong answer -- the degenerate basis is
   // reported loudly.
-  EXPECT_EQ(res.status, krylov::FgmresStatus::RankDeficient);
+  EXPECT_EQ(res.status, krylov::SolveStatus::RankDeficient);
 }
 
 TEST(Fgmres, ZeroInitialResidualReturnsImmediately) {
@@ -203,7 +203,7 @@ TEST(Fgmres, ZeroInitialResidualReturnsImmediately) {
   krylov::IdentityPreconditioner ident;
   krylov::FixedFlexibleAdapter M(ident);
   const auto res = krylov::fgmres(op, b, x_true, krylov::FgmresOptions{}, M);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(res.outer_iterations, 0u);
 }
 
@@ -230,7 +230,7 @@ TEST(Fgmres, MaxIterationsReportedWhenBudgetTooSmall) {
   opts.max_outer = 3;
   opts.tol = 1e-12;
   const auto res = krylov::fgmres(op, la::ones(100), la::zeros(100), opts, M);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::MaxIterations);
+  EXPECT_EQ(res.status, krylov::SolveStatus::MaxIterations);
   EXPECT_EQ(res.outer_iterations, 3u);
   // Even without convergence the best iterate is returned.
   EXPECT_LT(res.residual_norm, la::nrm2(la::ones(100)));
@@ -252,12 +252,14 @@ TEST(Fgmres, InvalidArgumentsThrow) {
 }
 
 TEST(Fgmres, StatusNamesAreStable) {
-  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::Converged),
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::Converged),
                "converged");
-  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::InvariantSubspace),
-               "invariant-subspace");
-  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::RankDeficient),
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::HappyBreakdown),
+               "happy-breakdown");
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::Indefinite),
+               "indefinite");
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::RankDeficient),
                "rank-deficient");
-  EXPECT_STREQ(krylov::to_string(krylov::FgmresStatus::MaxIterations),
+  EXPECT_STREQ(krylov::to_string(krylov::SolveStatus::MaxIterations),
                "max-iterations");
 }

@@ -37,7 +37,7 @@ TEST(FtGmres, SolvesPoissonFailureFree) {
   krylov::FtGmresOptions opts;
   opts.outer.tol = 1e-8;
   const auto res = krylov::ft_gmres(A, b, opts);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_LE(explicit_residual(A, b, res.x), 1e-8 * la::nrm2(b) * 1.01);
 }
 
@@ -47,7 +47,7 @@ TEST(FtGmres, SolvesNonsymmetricFailureFree) {
   krylov::FtGmresOptions opts;
   opts.outer.tol = 1e-8;
   const auto res = krylov::ft_gmres(A, b, opts);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
 }
 
 TEST(FtGmres, InnerSolveBookkeepingIsConsistent) {
@@ -80,7 +80,7 @@ TEST(FtGmres, FewerOuterIterationsThanUnpreconditionedGmres) {
   plain.tol = 1e-8;
   const auto flat = krylov::gmres(A, b, plain);
 
-  ASSERT_EQ(nested.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(nested.status, krylov::SolveStatus::Converged);
   ASSERT_EQ(flat.status, krylov::SolveStatus::Converged);
   EXPECT_LT(nested.outer_iterations, flat.iterations / 2);
 }
@@ -94,8 +94,8 @@ TEST(FtGmres, LongerInnerSolvesReduceOuterIterations) {
   strong.inner.max_iters = 40;
   const auto res_weak = krylov::ft_gmres(A, b, weak);
   const auto res_strong = krylov::ft_gmres(A, b, strong);
-  ASSERT_EQ(res_weak.status, krylov::FgmresStatus::Converged);
-  ASSERT_EQ(res_strong.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(res_weak.status, krylov::SolveStatus::Converged);
+  ASSERT_EQ(res_strong.status, krylov::SolveStatus::Converged);
   EXPECT_LT(res_strong.outer_iterations, res_weak.outer_iterations);
 }
 
@@ -128,7 +128,7 @@ TEST(FtGmres, RobustFirstInnerHealsModerateFaultInFirstSolve) {
   opts.outer.tol = 1e-8;
   opts.robust_first_inner = true;
   const auto baseline = krylov::ft_gmres(A, b, opts);
-  ASSERT_EQ(baseline.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged);
 
   for (std::size_t site : {0u, 3u, 11u, 24u}) {
     sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
@@ -136,7 +136,7 @@ TEST(FtGmres, RobustFirstInnerHealsModerateFaultInFirstSolve) {
         sdc::fault_classes::slightly_smaller()));
     const auto res = krylov::ft_gmres(A, b, opts, &campaign);
     ASSERT_TRUE(campaign.fired());
-    EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+    EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
     EXPECT_EQ(res.outer_iterations, baseline.outer_iterations)
         << "site " << site;
   }

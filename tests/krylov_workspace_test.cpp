@@ -105,7 +105,7 @@ TEST(Workspace, RepeatedFgmresSolvesMatchFreshState) {
   const auto reused1 = krylov::fgmres(op, b, x0, opts, M, &ws);
   const auto reused2 = krylov::fgmres(op, b, x0, opts, M, &ws);
 
-  ASSERT_EQ(fresh1.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(fresh1.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(reused1.status, fresh1.status);
   EXPECT_EQ(reused2.status, fresh2.status);
   EXPECT_EQ(reused1.outer_iterations, fresh1.outer_iterations);

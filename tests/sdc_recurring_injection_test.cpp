@@ -67,7 +67,7 @@ TEST(RecurringInjection, CountsAcrossInnerSolves) {
   sdc::RecurringFaultCampaign campaign(0, 10, sdc::MgsPosition::Last,
                                        sdc::fault_classes::slightly_smaller());
   const auto res = krylov::ft_gmres(A, la::ones(64), opts, &campaign);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   // One fault per inner solve (period == inner length).
   EXPECT_EQ(campaign.fault_count(), res.outer_iterations);
 }
@@ -101,6 +101,6 @@ TEST(RecurringInjection, FtGmresSurvivesModerateRate) {
                                        sdc::fault_classes::very_large());
   const auto faulty = krylov::ft_gmres(A, la::ones(100), opts, &campaign);
   ASSERT_GE(campaign.fault_count(), 2u);
-  EXPECT_EQ(faulty.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(faulty.status, krylov::SolveStatus::Converged);
   EXPECT_LE(faulty.outer_iterations, baseline.outer_iterations + 4);
 }

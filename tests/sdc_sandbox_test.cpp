@@ -151,7 +151,7 @@ TEST(Sandbox, OuterSolverConvergesDespiteCrashingGuest) {
   opts.max_outer = 200;
   opts.tol = 1e-8;
   const auto res = krylov::fgmres(op, la::ones(49), la::zeros(49), opts, box);
-  EXPECT_EQ(res.status, krylov::FgmresStatus::Converged);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(box.stats().exceptions, res.outer_iterations);
 }
 
@@ -170,8 +170,8 @@ TEST(Sandbox, WrapsInnerGmresTransparently) {
   const auto sandboxed =
       krylov::fgmres(op, b, la::zeros(64), nested_opts.outer, box);
 
-  ASSERT_EQ(direct.status, krylov::FgmresStatus::Converged);
-  ASSERT_EQ(sandboxed.status, krylov::FgmresStatus::Converged);
+  ASSERT_EQ(direct.status, krylov::SolveStatus::Converged);
+  ASSERT_EQ(sandboxed.status, krylov::SolveStatus::Converged);
   EXPECT_EQ(sandboxed.outer_iterations, direct.outer_iterations);
   EXPECT_EQ(box.stats().invocations, sandboxed.outer_iterations);
 }

@@ -1,0 +1,235 @@
+/// \file solver_registry_test.cpp
+/// \brief Registry contract: every registered name round-trips through
+/// its factory, unknown names fail loudly listing the alternatives, and
+/// inline `name:arg` arguments parse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "gen/poisson.hpp"
+#include "krylov/operator.hpp"
+#include "la/blas1.hpp"
+#include "solver/registry.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace solver = sdcgmres::solver;
+namespace experiment = sdcgmres::experiment;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace sdc = sdcgmres::sdc;
+namespace la = sdcgmres::la;
+using sdcgmres::sparse::CsrMatrix;
+
+namespace {
+
+const experiment::ScenarioSpec kEmptySpec;
+
+/// Small spec so matrix construction stays fast for every key.
+experiment::ScenarioSpec small_spec() {
+  return experiment::ScenarioSpec::parse("n=6 nodes=64");
+}
+
+/// Expect that calling \p fn throws std::invalid_argument whose message
+/// contains every string in \p needles.
+template <typename Fn>
+void expect_lists(Fn&& fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message '" << what << "' does not mention '" << needle << "'";
+    }
+  }
+}
+
+} // namespace
+
+TEST(MatrixRegistry, EveryKeyRoundTrips) {
+  const auto spec = small_spec();
+  for (const std::string& key : solver::matrix_registry().keys()) {
+    if (key == "mtx") continue; // needs a file; covered below
+    SCOPED_TRACE(key);
+    const CsrMatrix A = solver::matrix_registry().make(key, spec);
+    EXPECT_GT(A.rows(), 0u);
+    EXPECT_GT(A.nnz(), 0u);
+    EXPECT_EQ(A.rows(), A.cols());
+  }
+}
+
+TEST(MatrixRegistry, InlineArgOverridesSpec) {
+  const auto spec = small_spec(); // n=6
+  const CsrMatrix by_spec = solver::matrix_registry().make("poisson", spec);
+  EXPECT_EQ(by_spec.rows(), 36u);
+  const CsrMatrix by_arg = solver::matrix_registry().make("poisson:9", spec);
+  EXPECT_EQ(by_arg.rows(), 81u);
+}
+
+TEST(MatrixRegistry, MtxReadsAFile) {
+  const CsrMatrix original = gen::poisson2d(4);
+  const std::string path = "registry_test_tmp.mtx";
+  sdcgmres::sparse::write_matrix_market_file(path, original);
+  const CsrMatrix loaded =
+      solver::matrix_registry().make("mtx:" + path, kEmptySpec);
+  EXPECT_EQ(loaded.rows(), original.rows());
+  EXPECT_EQ(loaded.nnz(), original.nnz());
+  std::remove(path.c_str());
+
+  expect_lists(
+      [] { (void)solver::matrix_registry().make("mtx", kEmptySpec); },
+      {"mtx", "path"});
+}
+
+TEST(MatrixRegistry, UnknownNameListsAvailableKeys) {
+  expect_lists(
+      [] { (void)solver::matrix_registry().make("laplace", kEmptySpec); },
+      {"unknown matrix 'laplace'", "poisson", "circuit", "convdiff", "mtx"});
+}
+
+TEST(PreconditionerRegistry, EveryKeyRoundTrips) {
+  const CsrMatrix A = gen::poisson2d(6);
+  const la::Vector r = la::ones(A.rows());
+  la::Vector z(A.rows());
+  for (const std::string& key : solver::preconditioner_registry().keys()) {
+    SCOPED_TRACE(key);
+    const auto p = solver::preconditioner_registry().make(key, A, kEmptySpec);
+    if (key == "none") {
+      EXPECT_EQ(p, nullptr);
+      continue;
+    }
+    ASSERT_NE(p, nullptr);
+    p->apply(r, z);
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(z[i]));
+    }
+  }
+}
+
+TEST(PreconditionerRegistry, UnknownNameListsAvailableKeys) {
+  const CsrMatrix A = gen::poisson2d(4);
+  expect_lists(
+      [&] {
+        (void)solver::preconditioner_registry().make("ssor", A, kEmptySpec);
+      },
+      {"unknown preconditioner 'ssor'", "jacobi", "ilu0", "neumann", "none"});
+}
+
+TEST(FaultModelRegistry, EveryKeyRoundTripsWithPaperSemantics) {
+  for (const std::string& key : solver::fault_model_registry().keys()) {
+    SCOPED_TRACE(key);
+    (void)solver::fault_model_registry().make(key, kEmptySpec);
+  }
+  const auto& reg = solver::fault_model_registry();
+  EXPECT_EQ(reg.make("class1", kEmptySpec).apply(2.0), 2.0 * 1e150);
+  EXPECT_EQ(reg.make("class3", kEmptySpec).apply(2.0), 2.0 * 1e-300);
+  EXPECT_EQ(reg.make("scale:0.5", kEmptySpec).apply(8.0), 4.0);
+  EXPECT_EQ(reg.make("set:3.25", kEmptySpec).apply(8.0), 3.25);
+  EXPECT_EQ(reg.make("add:1.5", kEmptySpec).apply(8.0), 9.5);
+  EXPECT_TRUE(std::isnan(reg.make("set", kEmptySpec).apply(8.0)));
+  EXPECT_EQ(reg.make("none", kEmptySpec).apply(8.0), 8.0);
+  // bitflip:63 flips the sign bit of binary64.
+  EXPECT_EQ(reg.make("bitflip:63", kEmptySpec).apply(8.0), -8.0);
+
+  expect_lists([&] { (void)reg.make("scale:huge", kEmptySpec); },
+               {"scale", "not a number"});
+}
+
+TEST(FaultModelRegistry, UnknownNameListsAvailableKeys) {
+  expect_lists(
+      [] { (void)solver::fault_model_registry().make("zap", kEmptySpec); },
+      {"unknown fault model 'zap'", "class1", "scale", "bitflip"});
+}
+
+TEST(DetectorRegistry, RoundTripAndResponses) {
+  const auto& reg = solver::detector_registry();
+  EXPECT_EQ(reg.make("none", 10.0, kEmptySpec), nullptr);
+
+  const auto abort_det = reg.make("bound", 10.0, kEmptySpec);
+  ASSERT_NE(abort_det, nullptr);
+  EXPECT_EQ(abort_det->bound(), 10.0);
+
+  const auto record_det = reg.make("bound:record", 10.0, kEmptySpec);
+  ASSERT_NE(record_det, nullptr);
+
+  const auto spec = experiment::ScenarioSpec::parse("bound=42.5");
+  EXPECT_EQ(reg.make("bound", 10.0, spec)->bound(), 42.5);
+
+  expect_lists([&] { (void)reg.make("bound:panic", 10.0, kEmptySpec); },
+               {"response", "abort", "record"});
+  expect_lists([&] { (void)reg.make("bound", -1.0, kEmptySpec); },
+               {"positive"});
+}
+
+TEST(DetectorRegistry, UnknownNameListsAvailableKeys) {
+  expect_lists(
+      [] { (void)solver::detector_registry().make("abft", 1.0, kEmptySpec); },
+      {"unknown detector 'abft'", "bound", "none"});
+}
+
+TEST(SolverRegistry, EveryKeyRoundTripsAndSolves) {
+  // SPD problem so even the CG-family solvers converge.
+  const CsrMatrix A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  const la::Vector b = la::ones(A.rows());
+  solver::Options opts;
+  opts.inner_iters = 5;
+
+  for (const std::string& key : solver::solver_registry().keys()) {
+    SCOPED_TRACE(key);
+    const auto s = solver::solver_registry().make(
+        key, solver::SolverContext{op, opts, nullptr});
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), key);
+    EXPECT_EQ(s->dimension(), A.rows());
+    solver::SolveReport rep;
+    (void)s->solve(b, &rep);
+    EXPECT_TRUE(rep.converged()) << solver::to_string(rep.status);
+  }
+}
+
+TEST(Registry, StrayInlineArgumentRejected) {
+  const CsrMatrix A = gen::poisson2d(4);
+  const krylov::CsrOperator op(A);
+  expect_lists(
+      [&] {
+        (void)solver::solver_registry().make(
+            "gmres:50", solver::SolverContext{op, solver::Options{}, nullptr});
+      },
+      {"takes no inline", "50"});
+  expect_lists(
+      [&] {
+        (void)solver::preconditioner_registry().make("jacobi:3", A,
+                                                     kEmptySpec);
+      },
+      {"takes no inline"});
+  expect_lists(
+      [] { (void)solver::fault_model_registry().make("class1:2", kEmptySpec); },
+      {"takes no inline"});
+}
+
+TEST(SolverRegistry, UnknownNameListsAvailableKeys) {
+  const CsrMatrix A = gen::poisson2d(4);
+  const krylov::CsrOperator op(A);
+  expect_lists(
+      [&] {
+        (void)solver::solver_registry().make(
+            "bicgstab", solver::SolverContext{op, solver::Options{}, nullptr});
+      },
+      {"unknown solver 'bicgstab'", "gmres", "ft_gmres", "cg", "fcg"});
+}
+
+TEST(Registry, UserExtensionIsVisible) {
+  auto& reg = solver::fault_model_registry();
+  reg.add("sticky-zero", [](const std::string&, const experiment::ScenarioSpec&) {
+    return sdc::FaultModel::set_value(0.0);
+  });
+  EXPECT_TRUE(reg.contains("sticky-zero"));
+  EXPECT_EQ(reg.make("sticky-zero", kEmptySpec).apply(7.0), 0.0);
+}
