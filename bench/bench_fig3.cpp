@@ -17,9 +17,13 @@
 /// Flags:
 ///   --threads N      run each sweep with N worker threads (0 = all
 ///                    hardware threads; results are identical to serial)
+///   --batch N        solve N injection sites in lockstep per worker
+///                    (multi-RHS FT-GMRES: one fused SpMM per outer
+///                    iteration instead of N SpMVs; results identical)
 ///   --sweep-json F   instead of the figure series, time one class-1
-///                    sweep serial vs parallel and write the wall-clock
-///                    comparison to F (machine-readable perf trace)
+///                    sweep serial vs parallel vs batched and write the
+///                    wall-clock comparison to F (machine-readable perf
+///                    trace; the batched leg uses --batch, default 4)
 
 #include <chrono>
 #include <fstream>
@@ -40,24 +44,31 @@ namespace {
 
 double run_timed(const sparse::CsrMatrix& A, const la::Vector& b,
                  experiment::SweepConfig config, std::size_t threads,
-                 experiment::SweepResult& out) {
+                 std::size_t batch, experiment::SweepResult& out) {
   config.threads = threads;
+  config.batch = batch;
   const auto t0 = std::chrono::steady_clock::now();
   out = experiment::run_injection_sweep(A, b, config);
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-/// Serial-vs-parallel wall-clock for one representative sweep (class 1,
-/// first MGS position), verifying the parallel result is identical.
+/// Serial vs parallel vs batched wall-clock for one representative sweep
+/// (class 1, first MGS position), verifying every mode's result is
+/// identical.  The batched legs run the lockstep multi-RHS engine: one
+/// fused SpMM per outer iteration per block instead of `batch` SpMVs, so
+/// (serial_seconds / batched_serial_seconds) isolates the matrix-traffic
+/// amortization from sweep-level threading.
 int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
-                 std::size_t inner, std::size_t threads, const char* path) {
+                 std::size_t inner, std::size_t threads, std::size_t batch,
+                 const char* path) {
   std::size_t hw = 1;
 #ifdef _OPENMP
   hw = static_cast<std::size_t>(omp_get_max_threads());
 #endif
   if (threads == 0) threads = hw;
   if (threads <= 1) threads = hw; // comparing 1 vs 1 tells nothing
+  if (batch <= 1) batch = 4;      // a 1-site block is not a batch
 
   experiment::SweepConfig config;
   config.solver.inner.max_iters = inner;
@@ -69,12 +80,20 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
 
   experiment::SweepResult serial;
   experiment::SweepResult parallel;
-  const double t_serial = run_timed(A, b, config, 1, serial);
-  const double t_parallel = run_timed(A, b, config, threads, parallel);
-  const bool identical =
-      serial.points == parallel.points &&
-      serial.baseline_outer == parallel.baseline_outer &&
-      serial.baseline_total_inner == parallel.baseline_total_inner;
+  experiment::SweepResult batched_serial;
+  experiment::SweepResult batched;
+  const double t_serial = run_timed(A, b, config, 1, 1, serial);
+  const double t_parallel = run_timed(A, b, config, threads, 1, parallel);
+  const double t_batched_serial =
+      run_timed(A, b, config, 1, batch, batched_serial);
+  const double t_batched = run_timed(A, b, config, threads, batch, batched);
+  const auto same = [&serial](const experiment::SweepResult& other) {
+    return serial.points == other.points &&
+           serial.baseline_outer == other.baseline_outer &&
+           serial.baseline_total_inner == other.baseline_total_inner;
+  };
+  const bool identical = same(parallel) && same(batched_serial) &&
+                         same(batched);
 
   std::ostringstream json;
   json << "{\n"
@@ -84,10 +103,17 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
        << "  \"sites\": " << serial.points.size() << ",\n"
        << "  \"hardware_threads\": " << hw << ",\n"
        << "  \"threads\": " << threads << ",\n"
+       << "  \"batch\": " << batch << ",\n"
        << "  \"serial_seconds\": " << t_serial << ",\n"
        << "  \"parallel_seconds\": " << t_parallel << ",\n"
+       << "  \"batched_serial_seconds\": " << t_batched_serial << ",\n"
+       << "  \"batched_parallel_seconds\": " << t_batched << ",\n"
        << "  \"speedup\": " << (t_parallel > 0.0 ? t_serial / t_parallel : 0.0)
        << ",\n"
+       << "  \"batched_speedup_serial\": "
+       << (t_batched_serial > 0.0 ? t_serial / t_batched_serial : 0.0) << ",\n"
+       << "  \"batched_speedup\": "
+       << (t_batched > 0.0 ? t_serial / t_batched : 0.0) << ",\n"
        << "  \"identical_results\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << json.str();
@@ -107,11 +133,13 @@ int main(int argc, char** argv) {
   const auto A = benchcfg::poisson_matrix();
   const auto b = benchcfg::poisson_rhs(A);
   const std::size_t inner = 25;
-  const benchcfg::CliArgs cli = benchcfg::parse_cli(argc, argv);
+  const benchcfg::CliArgs cli =
+      benchcfg::parse_cli(argc, argv, /*value_flags=*/{"batch"});
   const std::size_t threads = cli.threads;
+  const std::size_t batch = cli.spec.get_size("batch", 1);
 
   if (!cli.json.empty()) {
-    return sweep_timing(A, b, inner, threads, cli.json.c_str());
+    return sweep_timing(A, b, inner, threads, batch, cli.json.c_str());
   }
 
   const struct {
@@ -145,6 +173,8 @@ int main(int argc, char** argv) {
       config.model = cls.model;
       config.stride = benchcfg::sweep_stride(1);
       config.threads = threads;
+      // No silent batch=0 promotion: the library's validation rejects it.
+      config.batch = batch;
       const auto sweep = experiment::run_injection_sweep(A, b, config);
       experiment::print_sweep_series(std::cout, cls.name, sweep, inner);
       experiment::print_sweep_summary(std::cout, cls.name, sweep);

@@ -19,14 +19,23 @@
 ///   sdc_run matrix=poisson n=40 inner=25 sweep=1 fault=class1 \
 ///           detector=bound response=abort threads=2
 ///
+///   # 2 workers, each solving 4 injection sites in lockstep (multi-RHS
+///   # FT-GMRES: one matrix stream per outer iteration per block)
+///   sdc_run matrix=poisson n=40 inner=25 sweep=1 fault=class1 \
+///           --threads 2 --batch 4
+///
 /// Flags:
 ///   --list              print every registered solver/preconditioner/
 ///                       matrix/fault-model/detector name and exit
 ///   --json FILE         also write a machine-readable result to FILE
-///   --assert-identical  (sweep mode) rerun the sweep serially and fail
-///                       with exit code 2 unless the threaded result is
-///                       identical -- the multi-core determinism check CI
-///                       runs
+///   --threads N         shorthand for the threads=N spec key (sweep
+///                       worker threads; 0 = all hardware threads)
+///   --batch N           shorthand for the batch=N spec key (injection
+///                       sites solved in lockstep per worker)
+///   --assert-identical  (sweep mode) rerun the sweep serially and
+///                       unbatched (threads=1 batch=1) and fail with exit
+///                       code 2 unless the result is identical -- the
+///                       determinism check CI runs
 ///
 /// Exit code: 0 on success (converged solve / identical sweep), 1 on a
 /// non-converged solve or spec error, 2 on a sweep determinism mismatch.
@@ -132,6 +141,16 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
       continue;
     }
+    if (tok == "--threads" || tok == "--batch") {
+      if (i + 1 >= argc) {
+        std::cerr << tok << " requires a value\n";
+        return 1;
+      }
+      // Flag shorthand for the matching spec key; appended tokens win, so
+      // the flag overrides an earlier key=value and vice versa.
+      spec_text << tok.substr(2) << '=' << argv[++i] << ' ';
+      continue;
+    }
     if (tok == "--assert-identical") {
       assert_identical = true;
       continue;
@@ -175,19 +194,22 @@ int main(int argc, char** argv) {
 
     bool identical = true;
     if (assert_identical) {
-      // Determinism contract check: the threaded sweep must be bitwise
-      // identical to the serial one (same points, same doubles).
+      // Determinism contract check: a threaded and/or batched sweep must
+      // be bitwise identical to the serial solo-solve one (same points,
+      // same doubles).
       experiment::ScenarioSpec serial = spec;
       serial.set("threads", "1");
+      serial.set("batch", "1");
       const experiment::SweepResult reference =
           experiment::run_injection_sweep(serial);
       identical =
           reference.points == result.sweep.points &&
           reference.baseline_outer == result.sweep.baseline_outer &&
           reference.baseline_total_inner == result.sweep.baseline_total_inner;
-      std::cout << "identical_results (threads="
-                << spec.get("threads", "1") << " vs serial): "
-                << (identical ? "true" : "false") << "\n";
+      std::cout << "identical_results (threads=" << spec.get("threads", "1")
+                << " batch=" << spec.get("batch", "1")
+                << " vs serial batch=1): " << (identical ? "true" : "false")
+                << "\n";
     }
     if (!json_path.empty()) {
       std::ofstream out(json_path);

@@ -44,7 +44,7 @@ void validate_scenario_keys(const ScenarioSpec& spec) {
       // fault + detector
       "fault", "position", "site", "detector", "bound", "response",
       // sweep
-      "sweep", "stride", "site_limit", "threads",
+      "sweep", "stride", "site_limit", "threads", "batch",
   });
 }
 
@@ -140,11 +140,11 @@ static void reject_precond_for_nested(const ScenarioSpec& spec,
 SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
                                    double frobenius_norm) {
   const std::string solver_name = spec.get("solver", "ft_gmres");
-  if (solver_name != "ft_gmres") {
+  if (solver_name != "ft_gmres" && solver_name != "ft_gmres_batch") {
     throw std::invalid_argument(
         "scenario: the injection sweep runs the paper's nested solver; "
         "specify solver=ft_gmres (got solver=" +
-        solver_name + ")");
+        solver_name + "; lockstep batching is the batch= key)");
   }
   reject_precond_for_nested(spec, solver_name);
 
@@ -186,6 +186,15 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   config.stride = spec.get_size("stride", 1);
   config.site_limit = spec.get_size("site_limit", 0);
   config.threads = spec.get_size("threads", 1);
+  config.batch = spec.get_size("batch", 1);
+  if (solver_name == "ft_gmres_batch" && !spec.has("batch")) {
+    // The name promises lockstep batching; defaulting to batch=1 would
+    // silently run solo solves under it and misattribute measurements.
+    throw std::invalid_argument(
+        "scenario: solver=ft_gmres_batch in a sweep needs an explicit "
+        "batch=B (the sweep engine batches by the batch= key; use "
+        "solver=ft_gmres for solo solves)");
+  }
   return config;
 }
 
@@ -210,7 +219,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   }
 
   // --- Single solve through the façade. ---
-  if (result.solver_name == "ft_gmres" || result.solver_name == "ft_cg") {
+  if (result.solver_name == "ft_gmres" ||
+      result.solver_name == "ft_gmres_batch" ||
+      result.solver_name == "ft_cg") {
     reject_precond_for_nested(spec, result.solver_name);
   }
   solver::Options options = solver_options_from_spec(spec);

@@ -10,7 +10,8 @@
 /// example CLI is a thin shell around run_scenario().
 ///
 /// Recognized keys (unknown keys throw, listing these):
-///   solver     gmres|fgmres|ft_gmres|cg|fcg|ft_cg   (default ft_gmres)
+///   solver     gmres|fgmres|ft_gmres|ft_gmres_batch|cg|fcg|ft_cg
+///              (default ft_gmres)
 ///   matrix     poisson|poisson1d|poisson3d|aniso|convdiff|circuit|
 ///              random|spd|mtx:<path>                (default poisson)
 ///   n nodes path seed eps_x eps_y beta_x beta_y     matrix parameters
@@ -29,6 +30,8 @@
 ///   bound      auto|<number>  response  record|abort
 ///   sweep      0|1  -- run the full per-site injection sweep
 ///   stride site_limit threads                       sweep parameters
+///   batch      sites solved in lockstep per worker (multi-RHS FT-GMRES;
+///              default 1 = solo solves, results identical at any value)
 
 #include <cstddef>
 #include <string>

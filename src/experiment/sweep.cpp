@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -82,6 +85,23 @@ krylov::FtGmresResult run_baseline(const sparse::CsrMatrix& A,
 
 namespace {
 
+/// The one SolveReport -> SweepPoint translation, shared by the solo and
+/// batched site runners so batch=1 and batch>1 points can never diverge
+/// field-wise.
+SweepPoint make_sweep_point(const solver::SolveReport& run, std::size_t site,
+                            const sdc::FaultCampaign& campaign,
+                            const sdc::HessenbergBoundDetector* detector) {
+  SweepPoint point;
+  point.aggregate_iteration = site;
+  point.outer_iterations = run.iterations;
+  point.converged = run.converged();
+  point.injected = campaign.fired();
+  point.detected = detector != nullptr && detector->triggered();
+  point.sanitized_outputs = run.sanitized_outputs;
+  point.residual_norm = run.residual_norm;
+  return point;
+}
+
 /// One faulty solve at one injection site, run through the unified
 /// façade: \p ft is the worker's reusable FtGmresSolver (its internal
 /// workspace makes every solve after the first allocation-free) and \p x
@@ -105,15 +125,51 @@ SweepPoint run_site(solver::FtGmresSolver& ft, const la::Vector& b,
   const solver::SolveReport run = ft.solve(b.span(), x.span());
   ft.set_hook(nullptr);
 
-  SweepPoint point;
-  point.aggregate_iteration = site;
-  point.outer_iterations = run.iterations;
-  point.converged = run.converged();
-  point.injected = campaign.fired();
-  point.detected = detector != nullptr && detector->triggered();
-  point.sanitized_outputs = run.sanitized_outputs;
-  point.residual_norm = run.residual_norm;
-  return point;
+  return make_sweep_point(run, site, campaign, detector.get());
+}
+
+/// A block of faulty solves advanced in lockstep (config.batch > 1): one
+/// fault campaign + detector chain per site, all sites of the block
+/// sharing each outer iteration's matrix stream through
+/// BatchedFtGmresSolver.  Every site's result is bitwise identical to its
+/// run_site() solo run (asserted in tests and by sdc_run
+/// --assert-identical), so batching is purely a traffic optimization.
+/// \p first_point indexes the sweep's point array; \p xs provides one
+/// iterate buffer per instance.
+void run_block(solver::BatchedFtGmresSolver& ft, const la::Vector& b,
+               const SweepConfig& config, std::size_t first_point,
+               std::size_t count, SweepPoint* points,
+               std::vector<la::Vector>& xs) {
+  std::vector<sdc::FaultCampaign> campaigns;
+  campaigns.reserve(count);
+  std::vector<std::unique_ptr<sdc::HessenbergBoundDetector>> detectors(count);
+  std::vector<krylov::HookChain> chains(count);
+  std::vector<krylov::ArnoldiHook*> hooks(count);
+  std::vector<std::span<const double>> bs(count);
+  std::vector<std::span<double>> xspans(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t site = (first_point + s) * config.stride;
+    campaigns.emplace_back(
+        sdc::InjectionPlan::hessenberg(site, config.position, config.model));
+    chains[s].add(&campaigns.back());
+    if (config.with_detector) {
+      detectors[s] = std::make_unique<sdc::HessenbergBoundDetector>(
+          config.detector_bound, config.detector_response);
+      chains[s].add(detectors[s].get());
+    }
+    hooks[s] = &chains[s];
+    bs[s] = b.span();
+    xspans[s] = xs[s].span();
+  }
+
+  const std::vector<solver::SolveReport> runs =
+      ft.solve_batch(bs, xspans, hooks);
+
+  for (std::size_t s = 0; s < count; ++s) {
+    points[first_point + s] =
+        make_sweep_point(runs[s], (first_point + s) * config.stride,
+                         campaigns[s], detectors[s].get());
+  }
 }
 
 } // namespace
@@ -126,6 +182,10 @@ void validate_sweep_config(const SweepConfig& config) {
   }
   if (config.stride == 0) {
     throw std::invalid_argument("run_injection_sweep: stride must be >= 1");
+  }
+  if (config.batch == 0) {
+    throw std::invalid_argument(
+        "run_injection_sweep: batch must be >= 1 (1 = solo solves)");
   }
   if (config.solver.inner.max_iters == 0) {
     throw std::invalid_argument(
@@ -180,6 +240,14 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   if (workers < 1) workers = 1;
 #endif
 
+  // Batching: each worker packs `batch` consecutive sampled sites into
+  // one lockstep multi-RHS solve, so every outer iteration streams the
+  // matrix once for the whole block instead of once per site.  The
+  // schedule runs over BLOCKS; with batch == 1 this is exactly the
+  // per-site schedule of earlier generations.
+  const std::size_t batch = config.batch;
+  const std::size_t n_blocks = (n_points + batch - 1) / batch;
+
   SweepPoint* points = result.points.data();
   std::exception_ptr error;
 #pragma omp parallel num_threads(workers)
@@ -187,19 +255,33 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
 #ifdef _OPENMP
     omp_set_num_threads(1); // solver kernels stay serial inside a worker
 #endif
-    // One reusable façade solver per worker thread: its internal nested
-    // workspace makes every solve after the worker's first site
-    // allocation-free on the iteration path.
+    // One reusable façade solver per worker thread (solo or batched by
+    // mode): its internal nested workspace (per-instance slots + staging
+    // blocks in batch mode) makes every solve after the worker's first
+    // block allocation-free on the iteration path.
     const krylov::CsrOperator op(A);
-    solver::FtGmresSolver ft(op, config.solver);
-    la::Vector x(b.size());
+    std::optional<solver::FtGmresSolver> ft;
+    std::optional<solver::BatchedFtGmresSolver> ft_batch;
+    la::Vector x;
+    std::vector<la::Vector> xs;
+    if (batch == 1) {
+      ft.emplace(op, config.solver);
+      x.resize(b.size());
+    } else {
+      ft_batch.emplace(op, config.solver);
+      xs.assign(batch, la::Vector(b.size()));
+    }
 #pragma omp for schedule(dynamic)
-    for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(n_points);
+    for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(n_blocks);
          ++idx) {
       try {
-        const std::size_t site =
-            static_cast<std::size_t>(idx) * config.stride;
-        points[idx] = run_site(ft, b, config, site, x);
+        const std::size_t first = static_cast<std::size_t>(idx) * batch;
+        if (batch == 1) {
+          points[first] = run_site(*ft, b, config, first * config.stride, x);
+        } else {
+          const std::size_t count = std::min(batch, n_points - first);
+          run_block(*ft_batch, b, config, first, count, points, xs);
+        }
       } catch (...) {
         // An exception may not cross the region boundary (std::terminate);
         // keep the first one and rethrow it on the calling thread.

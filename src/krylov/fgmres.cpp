@@ -43,9 +43,16 @@ void form_iterate(const la::Vector& x0, const la::KrylovBasis& zbasis,
 
 } // namespace
 
-FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
-                    const la::Vector& x0, const FgmresOptions& opts,
-                    FlexiblePreconditioner& M, KrylovWorkspace* ws) {
+// ---------------------------------------------------------------------------
+// FgmresEngine: the one FGMRES implementation.  fgmres() below drives it
+// straight through; the batch drivers interleave many engines.  Any change
+// to the iteration math happens HERE and nowhere else.
+// ---------------------------------------------------------------------------
+
+FgmresEngine::FgmresEngine(const LinearOperator& A, std::span<const double> b,
+                           std::span<const double> x0,
+                           const FgmresOptions& opts, KrylovWorkspace& ws)
+    : a_(&A), b_(b), opts_(opts), w_(&ws), n_(A.rows()) {
   if (A.rows() != A.cols()) {
     throw std::invalid_argument("fgmres: operator must be square");
   }
@@ -55,26 +62,26 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   if (opts.max_outer == 0) {
     throw std::invalid_argument("fgmres: max_outer must be positive");
   }
+  x0_.resize(n_);
+  std::copy(x0.begin(), x0.end(), x0_.begin());
+  result_.x = x0_;
+}
 
-  FgmresResult result;
-  result.x = x0;
-  const std::size_t n = A.rows();
-  const double bnorm = la::nrm2(b);
-  const double abs_target = opts.tol * (bnorm > 0.0 ? bnorm : 1.0);
-
-  KrylovWorkspace local;
-  KrylovWorkspace& w = (ws != nullptr) ? *ws : local;
-  w.arena.reserve(n, opts.max_outer);
+bool FgmresEngine::start() {
+  bnorm_ = la::nrm2(b_);
+  abs_target_ = opts_.tol * (bnorm_ > 0.0 ? bnorm_ : 1.0);
+  w_->arena.reserve(n_, opts_.max_outer);
 
   // Reliable initial residual.
-  la::Vector& r = w.arena.scratch(0);
-  A.apply(x0.span(), r.span());
-  la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
-  const double beta = la::nrm2(r);
-  result.residual_norm = beta;
-  if (beta <= abs_target) {
-    result.status = SolveStatus::Converged;
-    return result;
+  la::Vector& r = w_->arena.scratch(0);
+  a_->apply(x0_.span(), r.span());
+  la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+  beta_ = la::nrm2(r);
+  result_.residual_norm = beta_;
+  if (beta_ <= abs_target_) {
+    result_.status = SolveStatus::Converged;
+    finished_ = true;
+    return true;
   }
 
   // Both bases live in contiguous column-major workspace arenas: q feeds
@@ -82,127 +89,164 @@ FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
   // form_iterate.  The preconditioner reads q's columns and writes z's
   // columns directly -- the whole per-iteration data plane is spans over
   // these two arenas plus two scratch vectors.
-  la::KrylovBasis& q = w.arena.basis();           // orthonormal basis
-  la::KrylovBasis& zbasis = w.arena.directions(); // preconditioned directions
+  la::KrylovBasis& q = w_->arena.basis();           // orthonormal basis
+  la::KrylovBasis& zbasis = w_->arena.directions(); // preconditioned dirs
   q.clear();
   zbasis.clear();
   q.append(r);
-  la::scal(1.0 / beta, q.col(0));
+  la::scal(1.0 / beta_, q.col(0));
 
-  dense::HessenbergQr& qr = w.qr;
-  qr.reset(opts.max_outer, beta);
-  la::Vector& v = w.arena.scratch(1);
-  std::vector<double>& hcol = w.arena.h_column();
+  w_->qr.reset(opts_.max_outer, beta_);
+  std::vector<double>& hcol = w_->arena.h_column();
   std::fill(hcol.begin(),
-            hcol.begin() + static_cast<std::ptrdiff_t>(opts.max_outer + 2),
+            hcol.begin() + static_cast<std::ptrdiff_t>(opts_.max_outer + 2),
             0.0);
+  return false;
+}
 
-  for (std::size_t j = 0; j < opts.max_outer; ++j) {
-    // --- Unreliable phase: apply the (flexible) preconditioner straight
-    // into the next Z-arena column (zero copies at the boundary). ---
-    std::span<double> zcol = zbasis.append();
-    M.apply(q.col(j), j, zcol);
+FgmresEngine::PrecondRequest FgmresEngine::begin_iteration() {
+  // --- Unreliable phase: the caller applies the (flexible) preconditioner
+  // straight into the next Z-arena column (zero copies at the boundary).
+  std::span<double> zcol = w_->arena.directions().append();
+  return {w_->arena.basis().col(j_), j_, zcol};
+}
 
-    // --- Reliable phase resumes: sanitize, expand, orthogonalize. ---
-    if (opts.sanitize_preconditioner_output &&
-        (!la::all_finite(std::span<const double>(zcol)) ||
-         la::nrm2(std::span<const double>(zcol)) == 0.0)) {
-      // The sandbox guest produced theoretically impossible values (Inf or
-      // NaN), or returned the zero vector -- impossible for any nonsingular
-      // preconditioner.  Fall back to the identity preconditioner for this
-      // step (z := q_j).
-      la::copy(q.col(j), zcol);
-      ++result.sanitized_outputs;
+std::span<const double> FgmresEngine::direction() {
+  // --- Reliable phase resumes: sanitize before the direction is used.
+  std::span<double> zcol = w_->arena.directions().col(j_);
+  if (opts_.sanitize_preconditioner_output &&
+      (!la::all_finite(std::span<const double>(zcol)) ||
+       la::nrm2(std::span<const double>(zcol)) == 0.0)) {
+    // The sandbox guest produced theoretically impossible values (Inf or
+    // NaN), or returned the zero vector -- impossible for any nonsingular
+    // preconditioner.  Fall back to the identity preconditioner for this
+    // step (z := q_j).
+    la::copy(w_->arena.basis().col(j_), zcol);
+    ++result_.sanitized_outputs;
+  }
+  return zcol;
+}
+
+std::span<double> FgmresEngine::v_target() {
+  return w_->arena.scratch(1).span();
+}
+
+bool FgmresEngine::advance() {
+  const std::size_t j = j_;
+  la::KrylovBasis& q = w_->arena.basis();
+  la::KrylovBasis& zbasis = w_->arena.directions();
+  dense::HessenbergQr& qr = w_->qr;
+  la::Vector& r = w_->arena.scratch(0);
+  la::Vector& v = w_->arena.scratch(1);
+  std::vector<double>& hcol = w_->arena.h_column();
+
+  double hnext = 0.0;
+  double est = 0.0;
+  double ratio = 1.0;
+  bool subdiag_small = false;
+  bool rank_deficient = false;
+  // At most two attempts: the caller-provided direction, then (when
+  // sanitizing) the identity-preconditioner fallback.  A direction that is
+  // (numerically) linearly dependent on the existing basis -- e.g. an
+  // inner solve whose faulty projected problem truncated to a ~zero
+  // update -- is discarded and the iteration retried; a second failure
+  // is then a property of A itself and is reported loudly below.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) a_->apply(zbasis.col(j), v.span());
+    const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
+    orthogonalize(opts_.ortho, q, j + 1, v, hcol, nullptr, ctx);
+    hnext = la::nrm2(v);
+    hcol[j + 1] = hnext;
+    est = qr.add_column({hcol.data(), j + 2});
+    result_.outer_iterations = j + 1;
+
+    // --- Rank-revealing bookkeeping (trichotomy, Section VI-C). ---
+    ratio = 1.0;
+    subdiag_small = hnext <= opts_.breakdown_tol * beta_;
+    if (opts_.rank_check_every_iteration || subdiag_small) {
+      ratio = sigma_ratio(qr);
+      ++result_.rank_checks;
+      result_.min_sigma_ratio = std::min(result_.min_sigma_ratio, ratio);
     }
-
-    double hnext = 0.0;
-    double est = 0.0;
-    double ratio = 1.0;
-    bool subdiag_small = false;
-    bool rank_deficient = false;
-    // At most two attempts: the guest's direction, then (when sanitizing)
-    // the identity-preconditioner fallback.  A direction that is
-    // (numerically) linearly dependent on the existing basis -- e.g. an
-    // inner solve whose faulty projected problem truncated to a ~zero
-    // update -- is discarded and the iteration retried; a second failure
-    // is then a property of A itself and is reported loudly below.
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      A.apply(zbasis.col(j), v.span());
-      const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
-      orthogonalize(opts.ortho, q, j + 1, v, hcol, nullptr, ctx);
-      hnext = la::nrm2(v);
-      hcol[j + 1] = hnext;
-      est = qr.add_column({hcol.data(), j + 2});
-      result.outer_iterations = j + 1;
-
-      // --- Rank-revealing bookkeeping (trichotomy, Section VI-C). ---
-      ratio = 1.0;
-      subdiag_small = hnext <= opts.breakdown_tol * beta;
-      if (opts.rank_check_every_iteration || subdiag_small) {
-        ratio = sigma_ratio(qr);
-        ++result.rank_checks;
-        result.min_sigma_ratio = std::min(result.min_sigma_ratio, ratio);
-      }
-      rank_deficient = subdiag_small && ratio <= opts.rank_tol;
-      if (!rank_deficient) break;
-      if (!opts.sanitize_preconditioner_output || attempt == 1) break;
-      ++result.sanitized_outputs;
-      qr.pop_column();
-      la::copy(q.col(j), zbasis.col(j));
+    rank_deficient = subdiag_small && ratio <= opts_.rank_tol;
+    if (!rank_deficient) break;
+    if (!opts_.sanitize_preconditioner_output || attempt == 1) break;
+    ++result_.sanitized_outputs;
+    qr.pop_column();
+    la::copy(q.col(j), zbasis.col(j));
+  }
+  if (subdiag_small) {
+    result_.residual_history.push_back(est);
+    form_iterate(x0_, zbasis, qr, opts_, result_.x);
+    a_->apply(result_.x.span(), r.span());
+    la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    result_.residual_norm = la::nrm2(r);
+    if (rank_deficient) {
+      // Saad's Proposition 2.2 case: loud failure, never a wrong answer.
+      result_.status = SolveStatus::RankDeficient;
+    } else {
+      result_.status = result_.residual_norm <= abs_target_
+                           ? SolveStatus::Converged
+                           : SolveStatus::HappyBreakdown;
     }
-    if (subdiag_small) {
-      if (rank_deficient) {
-        // Saad's Proposition 2.2 case: loud failure, never a wrong answer.
-        result.residual_history.push_back(est);
-        form_iterate(x0, zbasis, qr, opts, result.x);
-        A.apply(result.x.span(), r.span());
-        la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
-        result.residual_norm = la::nrm2(r);
-        result.status = SolveStatus::RankDeficient;
-        return result;
-      }
-      result.residual_history.push_back(est);
-      form_iterate(x0, zbasis, qr, opts, result.x);
-      A.apply(result.x.span(), r.span());
-      la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
-      result.residual_norm = la::nrm2(r);
-      result.status = result.residual_norm <= abs_target
-                          ? SolveStatus::Converged
-                          : SolveStatus::HappyBreakdown;
-      return result;
-    }
-
-    result.residual_history.push_back(est);
-    q.append(v.span());
-    la::scal(1.0 / hnext, q.col(j + 1));
-
-    if (est <= abs_target) {
-      form_iterate(x0, zbasis, qr, opts, result.x);
-      if (!opts.verify_with_explicit_residual) {
-        result.residual_norm = est;
-        result.status = SolveStatus::Converged;
-        return result;
-      }
-      A.apply(result.x.span(), r.span());
-      la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
-      result.residual_norm = la::nrm2(r);
-      if (result.residual_norm <= abs_target) {
-        result.status = SolveStatus::Converged;
-        return result;
-      }
-      // Estimate was optimistic (can happen with truncated updates);
-      // keep iterating.
-    }
+    finished_ = true;
+    return true;
   }
 
-  form_iterate(x0, zbasis, qr, opts, result.x);
-  A.apply(result.x.span(), r.span());
-  la::waxpby(1.0, b.span(), -1.0, r.span(), r.span());
-  result.residual_norm = la::nrm2(r);
-  result.status = result.residual_norm <= abs_target
-                      ? SolveStatus::Converged
-                      : SolveStatus::MaxIterations;
-  return result;
+  result_.residual_history.push_back(est);
+  q.append(v.span());
+  la::scal(1.0 / hnext, q.col(j + 1));
+
+  if (est <= abs_target_) {
+    form_iterate(x0_, zbasis, qr, opts_, result_.x);
+    if (!opts_.verify_with_explicit_residual) {
+      result_.residual_norm = est;
+      result_.status = SolveStatus::Converged;
+      finished_ = true;
+      return true;
+    }
+    a_->apply(result_.x.span(), r.span());
+    la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    result_.residual_norm = la::nrm2(r);
+    if (result_.residual_norm <= abs_target_) {
+      result_.status = SolveStatus::Converged;
+      finished_ = true;
+      return true;
+    }
+    // Estimate was optimistic (can happen with truncated updates);
+    // keep iterating.
+  }
+
+  ++j_;
+  if (j_ == opts_.max_outer) {
+    form_iterate(x0_, zbasis, qr, opts_, result_.x);
+    a_->apply(result_.x.span(), r.span());
+    la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    result_.residual_norm = la::nrm2(r);
+    result_.status = result_.residual_norm <= abs_target_
+                         ? SolveStatus::Converged
+                         : SolveStatus::MaxIterations;
+    finished_ = true;
+    return true;
+  }
+  return false;
+}
+
+FgmresResult fgmres(const LinearOperator& A, const la::Vector& b,
+                    const la::Vector& x0, const FgmresOptions& opts,
+                    FlexiblePreconditioner& M, KrylovWorkspace* ws) {
+  KrylovWorkspace local;
+  KrylovWorkspace& w = (ws != nullptr) ? *ws : local;
+  FgmresEngine engine(A, b.span(), x0.span(), opts, w);
+  if (!engine.start()) {
+    while (true) {
+      const FgmresEngine::PrecondRequest req = engine.begin_iteration();
+      M.apply(req.q, req.outer_index, req.z);
+      A.apply(engine.direction(), engine.v_target());
+      if (engine.advance()) break;
+    }
+  }
+  return engine.take_result();
 }
 
 } // namespace sdcgmres::krylov

@@ -62,6 +62,92 @@ struct FgmresResult {
   double min_sigma_ratio = 1.0;         ///< smallest sigma_min/sigma_max seen
 };
 
+/// Step-driveable FGMRES: the single implementation behind both the
+/// one-shot fgmres() free function and the lockstep batch drivers
+/// (krylov/ft_gmres_batch.hpp).  One outer iteration is split at its two
+/// external data dependencies so a driver can interleave many instances:
+///
+///   begin_iteration()  ->  caller runs the (flexible) preconditioner
+///   direction()        ->  caller computes v = A * direction() into
+///                          v_target() (a batch driver fuses the products
+///                          of all live instances into one apply_block)
+///   advance()          ->  orthogonalization, projected QR, trichotomy,
+///                          convergence checks
+///
+/// The per-instance floating-point operation sequence is EXACTLY the
+/// sequence fgmres() executes, and the engine touches no state outside
+/// its own workspace, so lockstep instances are bitwise identical to
+/// their solo runs as long as the caller-supplied products are (CSR SpMM
+/// columns are bitwise equal to SpMV -- see sparse::CsrMatrix::spmm).
+///
+/// Lifetime: \p b and \p ws must outlive the engine; \p x0 is copied at
+/// construction.  v_target() is valid only after start().
+class FgmresEngine {
+public:
+  /// Validates shapes/options (throws std::invalid_argument exactly as
+  /// fgmres() does) and binds the workspace.  No solve work yet.
+  FgmresEngine(const LinearOperator& A, std::span<const double> b,
+               std::span<const double> x0, const FgmresOptions& opts,
+               KrylovWorkspace& ws);
+
+  /// Compute the reliable initial residual and set up the basis/QR state.
+  /// Returns finished(): true when x0 already meets the tolerance (the
+  /// iteration protocol must then be skipped entirely).
+  bool start();
+
+  /// True once a terminal status has been reached; no further protocol
+  /// calls are allowed.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Current outer iteration index j (valid while !finished()).
+  [[nodiscard]] std::size_t iteration() const noexcept { return j_; }
+
+  /// What the caller's preconditioner application needs: read q, write z.
+  struct PrecondRequest {
+    std::span<const double> q; ///< basis column q_j (read-only)
+    std::size_t outer_index;   ///< outer iteration j
+    std::span<double> z;       ///< Z-arena column to fill completely
+  };
+
+  /// Begin outer iteration j: appends the Z-arena column and hands out
+  /// the preconditioner operands (the unreliable phase runs outside the
+  /// engine).
+  PrecondRequest begin_iteration();
+
+  /// Reliable phase, part 1: sanitize the direction the preconditioner
+  /// wrote (Inf/NaN/zero fallback to q_j when enabled) and return the
+  /// operand of the pending operator application.  Call exactly once per
+  /// iteration, after the preconditioner ran.
+  std::span<const double> direction();
+
+  /// Destination for v = A * direction(); the caller must fully overwrite
+  /// it before advance().
+  [[nodiscard]] std::span<double> v_target();
+
+  /// Reliable phase, part 2: orthogonalize, update the projected QR, run
+  /// the trichotomy bookkeeping and convergence checks (retries and
+  /// explicit-residual verification apply the operator internally).
+  /// Returns finished().
+  bool advance();
+
+  /// Move the result out (call once, after finished()).
+  [[nodiscard]] FgmresResult take_result() { return std::move(result_); }
+
+private:
+  const LinearOperator* a_;
+  std::span<const double> b_;
+  FgmresOptions opts_;
+  KrylovWorkspace* w_;
+  la::Vector x0_;
+  std::size_t n_ = 0;
+  std::size_t j_ = 0;
+  double bnorm_ = 0.0;
+  double abs_target_ = 0.0;
+  double beta_ = 0.0;
+  bool finished_ = false;
+  FgmresResult result_;
+};
+
 /// Solve A x = b with flexible preconditioner \p M, starting from \p x0.
 /// \param ws optional reusable workspace (basis/direction arenas +
 ///        projected QR); with a workspace of matching shape the solve

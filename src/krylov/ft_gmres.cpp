@@ -1,6 +1,7 @@
 #include "krylov/ft_gmres.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace sdcgmres::krylov {
 
@@ -27,28 +28,32 @@ void InnerGmresPreconditioner::apply(std::span<const double> q,
                       .residual_norm = inner.residual_norm});
 }
 
+FtGmresResult detail::make_ft_gmres_result(
+    FgmresResult&& outer, std::vector<InnerSolveRecord> inner_solves) {
+  FtGmresResult result;
+  result.x = std::move(outer.x);
+  result.status = outer.status;
+  result.outer_iterations = outer.outer_iterations;
+  result.residual_norm = outer.residual_norm;
+  result.residual_history = std::move(outer.residual_history);
+  result.inner_solves = std::move(inner_solves);
+  result.sanitized_outputs = outer.sanitized_outputs;
+  for (const InnerSolveRecord& rec : result.inner_solves) {
+    result.total_inner_iterations += rec.iterations;
+  }
+  return result;
+}
+
 FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
                        const FtGmresOptions& opts, ArnoldiHook* inner_hook,
                        FtGmresWorkspace* ws) {
   InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
                                  opts.robust_first_inner,
                                  ws != nullptr ? &ws->inner : nullptr);
-  const FgmresResult outer =
+  FgmresResult outer =
       fgmres(A, b, la::Vector(A.cols()), opts.outer, inner,
              ws != nullptr ? &ws->outer : nullptr);
-
-  FtGmresResult result;
-  result.x = outer.x;
-  result.status = outer.status;
-  result.outer_iterations = outer.outer_iterations;
-  result.residual_norm = outer.residual_norm;
-  result.residual_history = outer.residual_history;
-  result.inner_solves = inner.records();
-  result.sanitized_outputs = outer.sanitized_outputs;
-  for (const InnerSolveRecord& rec : result.inner_solves) {
-    result.total_inner_iterations += rec.iterations;
-  }
-  return result;
+  return detail::make_ft_gmres_result(std::move(outer), inner.records());
 }
 
 FtGmresResult ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,

@@ -98,6 +98,15 @@ private:
   std::vector<InnerSolveRecord> records_;
 };
 
+namespace detail {
+/// Assemble an FtGmresResult from the outer FGMRES result and the inner
+/// solve records (including the total-inner-iterations summation).
+/// Shared by ft_gmres() and ft_gmres_batch() so the two drivers can
+/// never diverge field-wise.
+[[nodiscard]] FtGmresResult make_ft_gmres_result(
+    FgmresResult&& outer, std::vector<InnerSolveRecord> inner_solves);
+} // namespace detail
+
 /// Solve A x = b with FT-GMRES from a zero initial guess.
 /// \param inner_hook observes/corrupts inner solves only; the outer
 ///        iteration is always reliable.

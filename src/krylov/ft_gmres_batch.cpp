@@ -1,0 +1,112 @@
+#include "krylov/ft_gmres_batch.hpp"
+
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+std::vector<FtGmresResult> ft_gmres_batch(
+    const LinearOperator& A, std::span<const std::span<const double>> bs,
+    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks,
+    FtGmresBatchWorkspace* ws) {
+  const std::size_t batch = bs.size();
+  if (!inner_hooks.empty() && inner_hooks.size() != batch) {
+    throw std::invalid_argument(
+        "ft_gmres_batch: inner_hooks must be empty or match bs in size");
+  }
+  std::vector<FtGmresResult> results(batch);
+  if (batch == 0) return results;
+
+  FtGmresBatchWorkspace local;
+  FtGmresBatchWorkspace& w = (ws != nullptr) ? *ws : local;
+  // Never shrink: a reused workspace keeps the warm arenas of earlier,
+  // larger batches (the monotone-reserve contract of the data plane).
+  if (w.instances.size() < batch) w.instances.resize(batch);
+  w.directions.reserve(A.cols(), batch);
+  w.products.reserve(A.rows(), batch);
+
+  // Paper protocol (same as ft_gmres): every instance starts from zero.
+  const la::Vector x0(A.cols());
+
+  std::vector<InnerGmresPreconditioner> inner;
+  inner.reserve(batch);
+  std::vector<FgmresEngine> engines;
+  engines.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    ArnoldiHook* hook = inner_hooks.empty() ? nullptr : inner_hooks[i];
+    inner.emplace_back(A, opts.inner, hook, opts.robust_first_inner,
+                       &w.instances[i].inner);
+    engines.emplace_back(A, bs[i], x0.span(), opts.outer,
+                         w.instances[i].outer);
+  }
+
+  // `active` holds the indices of instances still iterating, in input
+  // order; a terminated instance drops out without disturbing the rest.
+  std::vector<std::size_t> active;
+  active.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (!engines[i].start()) active.push_back(i);
+  }
+
+  std::vector<std::size_t> live;
+  live.reserve(batch);
+  while (!active.empty()) {
+    // --- Unreliable phase, one instance at a time: each inner solve runs
+    // against its own hook / campaign / workspace state, producing the
+    // exact event stream of the solo run.
+    for (const std::size_t i : active) {
+      const FgmresEngine::PrecondRequest req = engines[i].begin_iteration();
+      inner[i].apply(req.q, req.outer_index, req.z);
+    }
+
+    // --- The fused reliable product: pack every live instance's
+    // sanitized direction into the staging block and stream the matrix
+    // ONCE (the whole point of the batch).  Columns are bitwise equal to
+    // per-instance apply(), so packing order cannot affect any instance.
+    // A one-instance block (a batch of one, or the tail after everyone
+    // else dropped out) skips the staging copies and applies directly --
+    // the same operand and the same values, just without the detour.
+    const std::size_t cols = active.size();
+    if (cols == 1) {
+      FgmresEngine& only = engines[active[0]];
+      A.apply(only.direction(), only.v_target());
+      if (only.advance()) active.clear();
+      continue;
+    }
+    const la::BlockView zblock = w.directions.view(cols);
+    for (std::size_t s = 0; s < cols; ++s) {
+      la::copy(engines[active[s]].direction(), zblock.col(s));
+    }
+    const la::BlockView vblock = w.products.view(cols);
+    A.apply_block(zblock.as_basis_view(), vblock);
+
+    // --- Reliable phase, per instance: orthogonalize / project / check.
+    live.clear();
+    for (std::size_t s = 0; s < cols; ++s) {
+      const std::size_t i = active[s];
+      la::copy(std::span<const double>(vblock.col(s)), engines[i].v_target());
+      if (!engines[i].advance()) live.push_back(i);
+    }
+    active.swap(live);
+  }
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    results[i] =
+        detail::make_ft_gmres_result(engines[i].take_result(),
+                                     inner[i].records());
+  }
+  return results;
+}
+
+std::vector<FtGmresResult> ft_gmres_batch(
+    const LinearOperator& A, const std::vector<la::Vector>& bs,
+    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks,
+    FtGmresBatchWorkspace* ws) {
+  std::vector<std::span<const double>> spans;
+  spans.reserve(bs.size());
+  for (const la::Vector& b : bs) spans.push_back(b.span());
+  return ft_gmres_batch(A, spans, opts, inner_hooks, ws);
+}
+
+} // namespace sdcgmres::krylov

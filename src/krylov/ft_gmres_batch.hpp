@@ -1,0 +1,70 @@
+#pragma once
+/// \file ft_gmres_batch.hpp
+/// \brief Multi-RHS FT-GMRES: B independent nested solves in lockstep.
+///
+/// The paper's headline experiment runs thousands of independent FT-GMRES
+/// solves of the SAME matrix (one per injection site).  Run solo, each
+/// outer iteration pays a full matrix stream for its one A*z product;
+/// run B solves in lockstep, the B products of an outer iteration fuse
+/// into ONE apply_block/SpMM that streams the matrix once, cutting the
+/// reliable-phase matrix traffic to ~1/B (see CsrMatrix::spmm).
+///
+/// Determinism contract: every instance advances through EXACTLY the
+/// floating-point operation sequence of its solo krylov::ft_gmres run --
+/// the outer iteration is the shared FgmresEngine, the fused product's
+/// columns are bitwise equal to per-column apply(), and instances share
+/// no mutable state.  An instance that terminates early (converged,
+/// happy breakdown, rank-deficient, budget) simply drops out of the
+/// block; the survivors' packed columns are unchanged values, so their
+/// iterate streams are unperturbed.  This is what lets the injection
+/// sweep assert batch=B results are bitwise identical to batch=1.
+///
+/// The inner (unreliable) solves still run one instance at a time: each
+/// owns a fault campaign/detector hook whose event stream must match the
+/// solo run one-to-one.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "krylov/ft_gmres.hpp"
+#include "krylov/workspace.hpp"
+#include "la/block.hpp"
+#include "la/vector.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Reusable storage for one batch driver (NOT shareable between
+/// threads): one nested per-instance workspace slot plus the two staging
+/// blocks of the fused operator application.  Like the scalar
+/// workspaces, a driver that solved a (shape, batch) once re-solves it
+/// with no heap allocation on the iteration path.
+struct FtGmresBatchWorkspace {
+  std::vector<FtGmresWorkspace> instances; ///< one per lockstep instance
+  la::BlockWorkspace directions; ///< packed live Z columns (SpMM operand)
+  la::BlockWorkspace products;   ///< A * directions (SpMM result)
+};
+
+/// Solve A x_i = b_i for every right-hand side in \p bs with FT-GMRES
+/// from zero initial guesses, advancing all instances in lockstep (one
+/// fused operator application per outer iteration).  Results arrive in
+/// input order and are bitwise identical to ft_gmres() run per rhs.
+///
+/// \param inner_hooks per-instance hooks observing/corrupting the
+///        unreliable inner solves (the sweep engine passes one fault
+///        campaign + detector chain per injection site); empty = no
+///        hooks, otherwise must match \p bs in size (nullptr entries
+///        allowed).
+/// \param ws optional reusable batch workspace.
+[[nodiscard]] std::vector<FtGmresResult> ft_gmres_batch(
+    const LinearOperator& A, std::span<const std::span<const double>> bs,
+    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks = {},
+    FtGmresBatchWorkspace* ws = nullptr);
+
+/// Convenience overload for owning right-hand sides.
+[[nodiscard]] std::vector<FtGmresResult> ft_gmres_batch(
+    const LinearOperator& A, const std::vector<la::Vector>& bs,
+    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks = {},
+    FtGmresBatchWorkspace* ws = nullptr);
+
+} // namespace sdcgmres::krylov

@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <span>
 
+#include "la/block.hpp"
+#include "la/krylov_basis.hpp"
 #include "la/vector.hpp"
 #include "sparse/csr.hpp"
 
@@ -50,6 +52,19 @@ public:
     apply(x, y);
     return y;
   }
+
+  /// Y := A*X over a block of operand columns, the block core of the data
+  /// plane.  x.rows() must equal cols(), y.rows() must equal rows(), and
+  /// x.cols() must equal y.cols(); the blocks must not alias.  Each output
+  /// column must be BITWISE identical to apply() on the matching operand
+  /// column -- batch drivers rely on this to keep lockstep solves equal to
+  /// their solo runs.  The default walks the columns through the span
+  /// core, so every existing implementor is block-capable for free;
+  /// matrix-backed operators override with a fused SpMM that streams the
+  /// matrix once per block.  A zero-column block is a no-op.
+  virtual void apply_block(const la::BasisView& x, la::BlockView y) const {
+    for (std::size_t j = 0; j < x.cols(); ++j) apply(x.col(j), y.col(j));
+  }
 };
 
 /// Adapter exposing a CSR matrix as a LinearOperator (non-owning).
@@ -67,6 +82,11 @@ public:
   void apply(std::span<const double> x, std::span<double> y) const override {
     a_->spmv(x, y);
   }
+
+  /// Fused SpMM: one pass over the matrix for the whole block instead of
+  /// one per column (columns stay bitwise identical to spmv -- see
+  /// CsrMatrix::spmm).
+  void apply_block(const la::BasisView& x, la::BlockView y) const override;
 
   [[nodiscard]] const sparse::CsrMatrix& matrix() const { return *a_; }
 

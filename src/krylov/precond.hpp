@@ -17,6 +17,7 @@
 #include <span>
 
 #include "krylov/operator.hpp"
+#include "la/block.hpp"
 #include "la/vector.hpp"
 #include "sparse/csr.hpp"
 
@@ -34,6 +35,17 @@ public:
   void apply(const la::Vector& r, la::Vector& z) const {
     if (z.size() != r.size()) z.resize(r.size());
     apply(std::span<const double>(r.span()), z.span());
+  }
+
+  /// Z := M^{-1} R column by column, the block core.  r.cols() must equal
+  /// z.cols() and the blocks must not alias; each output column must be
+  /// bitwise identical to apply() on the matching operand column.  The
+  /// default walks the columns through the span core, so every existing
+  /// implementor keeps working; implementations with a fused multi-column
+  /// kernel (e.g. a batched triangular sweep) may override.  A
+  /// zero-column block is a no-op.
+  virtual void apply_block(const la::BasisView& r, la::BlockView z) const {
+    for (std::size_t j = 0; j < r.cols(); ++j) apply(r.col(j), z.col(j));
   }
 };
 

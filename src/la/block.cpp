@@ -1,0 +1,37 @@
+#include "la/block.hpp"
+
+#include <stdexcept>
+
+namespace sdcgmres::la {
+
+void BlockWorkspace::reserve(std::size_t rows, std::size_t capacity) {
+  if (rows == rows_ && capacity <= capacity_) return;
+  if (rows != rows_) {
+    // Reshape: new geometry, everything reallocates.
+    rows_ = rows;
+    capacity_ = capacity;
+    ld_ = padded_leading_dimension(rows);
+    data_.assign(ld_ * capacity_, 0.0);
+    return;
+  }
+  // Same rows, more columns: grow monotonically.
+  capacity_ = capacity;
+  data_.resize(ld_ * capacity_, 0.0);
+}
+
+BlockView BlockWorkspace::view(std::size_t cols) {
+  if (cols > capacity_) {
+    throw std::out_of_range(
+        "BlockWorkspace::view: more columns than reserved");
+  }
+  return {data_.data(), rows_, cols, ld_};
+}
+
+BlockView block(KrylovBasis& basis, std::size_t k) {
+  if (k > basis.cols()) {
+    throw std::out_of_range("la::block: more columns than present");
+  }
+  return {basis.data(), basis.rows(), k, basis.ld()};
+}
+
+} // namespace sdcgmres::la

@@ -1,0 +1,116 @@
+#pragma once
+/// \file block.hpp
+/// \brief Mutable multi-column views and a reusable block arena: the
+/// third generation of the solver data plane (Vector -> span -> block).
+///
+/// The injection-sweep workload runs thousands of independent solves of
+/// the SAME matrix.  Advancing B of them in lockstep turns the B per-
+/// iteration operator applications into one SpMM that streams the matrix
+/// once, but that requires the B operand columns to sit in one contiguous
+/// column-major block.  BlockView is the mutable counterpart of
+/// la::BasisView (same layout contract: leading dimension >= rows, padded
+/// against 4 KiB aliasing); BlockWorkspace owns such a block arena with
+/// the monotone reserve() semantics of la::SolverWorkspace, so a batch
+/// driver reaches a fixed point after its first solve and never touches
+/// the heap again.
+///
+/// Aliasing contract (same as the span data plane): a BlockView's columns
+/// never overlap, input and output blocks of a kernel never alias, and a
+/// callee must write every entry of every output column it is handed.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/krylov_basis.hpp"
+
+namespace sdcgmres::la {
+
+/// Non-owning MUTABLE view of the leading columns of a contiguous
+/// column-major block (leading dimension >= rows).  Trivially copyable;
+/// valid as long as the underlying storage is alive.  The read-only
+/// counterpart is la::BasisView (as_basis_view() converts).
+class BlockView {
+public:
+  BlockView() = default;
+  BlockView(double* data, std::size_t rows, std::size_t cols,
+            std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Leading dimension (distance in doubles between column starts).
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return cols_ == 0; }
+
+  /// Column \p j as a contiguous mutable span of length rows().
+  [[nodiscard]] std::span<double> col(std::size_t j) const noexcept {
+    return {data_ + j * ld_, rows_};
+  }
+
+  /// Start of the flat column-major storage.
+  [[nodiscard]] double* data() const noexcept { return data_; }
+
+  /// Read-only view of the same block (what spmm and the fused kernels
+  /// consume).
+  [[nodiscard]] BasisView as_basis_view() const noexcept {
+    return {data_, rows_, cols_, ld_};
+  }
+
+private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+/// Reusable block arena: one flat column-major buffer of rows x capacity
+/// doubles with the same anti-aliasing column padding as la::KrylovBasis.
+/// Unlike KrylovBasis there is no append()/cols() growth protocol -- all
+/// reserved columns are usable at once; view(k) hands out the leading k.
+///
+/// reserve() is monotone in the column count for a fixed row count (like
+/// SolverWorkspace): a batch worker that reserved (n, B) once never
+/// reallocates for blocks of <= B columns.  Not shareable between
+/// threads.
+class BlockWorkspace {
+public:
+  BlockWorkspace() = default;
+
+  BlockWorkspace(std::size_t rows, std::size_t capacity) {
+    reserve(rows, capacity);
+  }
+
+  /// Shape the arena for blocks of \p rows -vectors with up to
+  /// \p capacity columns.  Contents are unspecified after any reshaping
+  /// call; a fitting reserve is allocation-free and preserves contents.
+  void reserve(std::size_t rows, std::size_t capacity);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Leading dimension (la::padded_leading_dimension of rows()).
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+
+  /// Mutable view of the leading \p cols columns (cols <= capacity()).
+  /// Throws std::out_of_range past the reserved capacity.
+  [[nodiscard]] BlockView view(std::size_t cols);
+
+  /// Column \p j (j < capacity()) as a mutable span.
+  [[nodiscard]] std::span<double> col(std::size_t j) noexcept {
+    return {data_.data() + j * ld_, rows_};
+  }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t ld_ = 0;
+  std::vector<double> data_;
+};
+
+/// Mutable block view of the first \p k columns of a KrylovBasis arena
+/// (k <= basis.cols()).  This is how a batch driver hands a slice of an
+/// existing padded arena to a block kernel without copying.  Throws
+/// std::out_of_range past the current column count.
+[[nodiscard]] BlockView block(KrylovBasis& basis, std::size_t k);
+
+} // namespace sdcgmres::la

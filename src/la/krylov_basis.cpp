@@ -5,22 +5,18 @@
 
 namespace sdcgmres::la {
 
-namespace {
-
 /// Pad the leading dimension when a rows-sized column stride would be a
 /// multiple of 4 KiB: every column would then be congruent modulo all
 /// cache-set strides, turning the multi-column kernels (and the per-column
 /// streaming against v) into pure conflict-miss traffic (measured ~20%
 /// slowdown for MGS at n = 65536).  Eight doubles = one cache line.
-std::size_t padded_ld(std::size_t rows) {
+std::size_t padded_leading_dimension(std::size_t rows) noexcept {
   if (rows >= 512 && (rows * sizeof(double)) % 4096 == 0) return rows + 8;
   return rows;
 }
 
-} // namespace
-
 KrylovBasis::KrylovBasis(std::size_t rows, std::size_t capacity)
-    : rows_(rows), capacity_(capacity), ld_(padded_ld(rows)),
+    : rows_(rows), capacity_(capacity), ld_(padded_leading_dimension(rows)),
       data_(ld_ * capacity, 0.0) {}
 
 std::span<double> KrylovBasis::append() {

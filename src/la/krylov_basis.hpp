@@ -29,6 +29,12 @@
 
 namespace sdcgmres::la {
 
+/// Leading dimension used by every column-major arena in the la layer:
+/// rows, plus a one-cache-line pad when a rows-sized stride would be a
+/// multiple of the 4 KiB page (all columns congruent modulo every
+/// cache-set stride -> conflict misses on every multi-column kernel).
+[[nodiscard]] std::size_t padded_leading_dimension(std::size_t rows) noexcept;
+
 /// Non-owning read-only view of the leading columns of a contiguous
 /// column-major block (leading dimension >= rows).  This is what the
 /// fused kernels and the Arnoldi hook protocol consume; it is trivially

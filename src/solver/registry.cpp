@@ -300,6 +300,12 @@ solver_registry() {
       no_arg(arg, "ft_gmres");
       return std::make_unique<FtGmresSolver>(ctx.A, ctx.options);
     });
+    r->add("ft_gmres_batch", [](const std::string& arg,
+                                const SolverContext& ctx)
+               -> std::unique_ptr<IterativeSolver> {
+      no_arg(arg, "ft_gmres_batch");
+      return std::make_unique<BatchedFtGmresSolver>(ctx.A, ctx.options);
+    });
     r->add("cg", [](const std::string& arg, const SolverContext& ctx)
                -> std::unique_ptr<IterativeSolver> {
       no_arg(arg, "cg");

@@ -15,7 +15,7 @@
 /// models, or solvers next to the built-ins.
 ///
 /// Built-in keys:
-///   solvers:          gmres fgmres ft_gmres cg fcg ft_cg
+///   solvers:          gmres fgmres ft_gmres ft_gmres_batch cg fcg ft_cg
 ///   preconditioners:  none jacobi ilu0 neumann[:degree]
 ///   matrices:         poisson[:n] poisson1d[:n] poisson3d[:n] aniso[:n]
 ///                     convdiff[:n] circuit[:nodes] random[:n] spd[:n]

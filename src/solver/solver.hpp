@@ -30,6 +30,7 @@
 #include "krylov/fcg.hpp"
 #include "krylov/fgmres.hpp"
 #include "krylov/ft_gmres.hpp"
+#include "krylov/ft_gmres_batch.hpp"
 #include "krylov/gmres.hpp"
 #include "krylov/hooks.hpp"
 #include "krylov/operator.hpp"
@@ -242,6 +243,58 @@ private:
   krylov::ArnoldiHook* hook_ = nullptr;
   krylov::FtGmresWorkspace ws_;
   la::Vector b_scratch_;
+};
+
+/// Multi-RHS FT-GMRES (registry key "ft_gmres_batch"): B independent
+/// nested solves advanced in lockstep so the B reliable-phase operator
+/// applications of each outer iteration fuse into one apply_block/SpMM
+/// (krylov::ft_gmres_batch).  Every instance's iterate stream is bitwise
+/// identical to its FtGmresSolver solo run; instances that terminate
+/// early drop out of the block without perturbing the others.
+///
+/// The single-rhs IterativeSolver::solve() runs a batch of one (also
+/// bitwise identical to FtGmresSolver), so the solver is a drop-in
+/// registry citizen; the batch entry point is solve_batch().
+class BatchedFtGmresSolver final : public IterativeSolver {
+public:
+  explicit BatchedFtGmresSolver(const krylov::LinearOperator& A,
+                                const Options& opts = {});
+  /// Adapter over an already-translated native options struct (the sweep
+  /// engine's path: SweepConfig carries krylov::FtGmresOptions).
+  BatchedFtGmresSolver(const krylov::LinearOperator& A,
+                       const krylov::FtGmresOptions& opts);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ft_gmres_batch";
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return a_->rows();
+  }
+  using IterativeSolver::solve;
+  SolveReport solve(std::span<const double> b, std::span<double> x) override;
+  [[nodiscard]] bool supports_hooks() const noexcept override { return true; }
+  void set_hook(krylov::ArnoldiHook* hook) override { hook_ = hook; }
+  void release_workspace() override { ws_ = {}; }
+
+  /// Solve A x_i = b_i for all right-hand sides in lockstep (zero initial
+  /// guesses, the nested-solver protocol).  \p bs and \p xs must match in
+  /// size, each span of size dimension(); \p inner_hooks is empty or one
+  /// (possibly null) hook per instance observing that instance's
+  /// unreliable inner solves.  Batch fault campaigns are per-instance by
+  /// construction, so a hook installed via the single-solve set_hook()
+  /// seam does NOT apply here: calling solve_batch with such a hook
+  /// installed but no inner_hooks throws std::invalid_argument (silently
+  /// dropping a campaign would corrupt an experiment).
+  std::vector<SolveReport> solve_batch(
+      std::span<const std::span<const double>> bs,
+      std::span<const std::span<double>> xs,
+      std::span<krylov::ArnoldiHook* const> inner_hooks = {});
+
+private:
+  const krylov::LinearOperator* a_;
+  krylov::FtGmresOptions opts_;
+  krylov::ArnoldiHook* hook_ = nullptr;
+  krylov::FtGmresBatchWorkspace ws_;
 };
 
 /// Conjugate Gradient (the SPD baseline).

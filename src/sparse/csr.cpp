@@ -111,6 +111,10 @@ void CsrMatrix::spmv(const la::Vector& x, la::Vector& y) const {
 
 void CsrMatrix::spmm(std::size_t ncols, const double* x, std::size_t ldx,
                      double* y, std::size_t ldy) const {
+  // Zero-column blocks are a no-op, returned before any pointer
+  // arithmetic: an empty la::BasisView/BlockView carries a null data
+  // pointer, and even forming x + c0 * ldx from it would be UB.
+  if (ncols == 0) return;
   // Process right-hand sides in blocks of 4: one pass over the matrix per
   // block, with 4 independent accumulator chains per row.  Each chain
   // sums in the same order as spmv, so every output column is bitwise
@@ -155,6 +159,7 @@ void CsrMatrix::spmm(std::size_t ncols, const double* x, std::size_t ldx,
 }
 
 void CsrMatrix::spmm(const la::BasisView& x, la::KrylovBasis& y) const {
+  if (x.cols() == 0 && y.cols() == 0) return; // empty block: nothing to do
   if (x.rows() != cols_) {
     throw std::invalid_argument("CsrMatrix::spmm: X row count mismatch");
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "la/blas1.hpp"
@@ -95,7 +96,13 @@ NormEstimate estimate_two_norm_batch(const CsrMatrix& A, std::size_t block,
                                      std::size_t max_iters, double tol,
                                      unsigned seed) {
   NormEstimate est;
-  if (block == 0) block = 1;
+  if (block == 0) {
+    // A zero-replica calibration has no answer; the old silent block=1
+    // promotion hid caller bugs (and a zero-column arena would reach the
+    // SpMM with empty-span pointer arithmetic).
+    throw std::invalid_argument(
+        "estimate_two_norm_batch: block must be >= 1");
+  }
   if (A.rows() == 0 || A.cols() == 0 || A.nnz() == 0) {
     est.converged = true;
     return est;

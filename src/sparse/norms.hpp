@@ -39,7 +39,8 @@ struct NormEstimate {
 /// the detector-bound calibration wants: a start vector accidentally
 /// deficient in the top singular direction cannot drag the bound down.
 /// Converges when the best replica's relative change falls below \p tol.
-/// block == 1 reduces to estimate_two_norm's iteration.
+/// block == 1 reduces to estimate_two_norm's iteration; block == 0 throws
+/// std::invalid_argument (a zero-replica calibration has no answer).
 [[nodiscard]] NormEstimate estimate_two_norm_batch(const CsrMatrix& A,
                                                    std::size_t block = 4,
                                                    std::size_t max_iters = 200,

@@ -199,3 +199,47 @@ TEST(Scenario, ThreadedSweepFromSpecIdenticalToSerial) {
   EXPECT_EQ(a.points, b.points);
   EXPECT_EQ(a.baseline_outer, b.baseline_outer);
 }
+
+TEST(Scenario, BatchKeyDrivesLockstepSweepIdenticalToSolo) {
+  const char* base =
+      "matrix=poisson n=6 inner=5 sweep=1 fault=class1 position=first";
+  auto solo = ScenarioSpec::parse(base);
+  solo.set("batch", "1");
+  auto batched = ScenarioSpec::parse(base);
+  batched.set("batch", "4");
+  batched.set("threads", "2");
+  const auto a = experiment::run_injection_sweep(solo);
+  const auto b = experiment::run_injection_sweep(batched);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.baseline_outer, b.baseline_outer);
+  // batch=0 is rejected before any solve runs.
+  auto zero = ScenarioSpec::parse(base);
+  zero.set("batch", "0");
+  EXPECT_THROW((void)experiment::run_injection_sweep(zero),
+               std::invalid_argument);
+  // solver=ft_gmres_batch promises batching: a sweep without an explicit
+  // batch=B is rejected instead of silently running solo solves.
+  auto named = ScenarioSpec::parse(base);
+  named.set("solver", "ft_gmres_batch");
+  EXPECT_THROW((void)experiment::run_injection_sweep(named),
+               std::invalid_argument);
+  named.set("batch", "3");
+  const auto c = experiment::run_injection_sweep(named);
+  EXPECT_EQ(c.points, a.points);
+}
+
+TEST(Scenario, BatchedSolverRunsSingleSolveMode) {
+  // ft_gmres_batch is a full registry citizen: single-solve scenarios run
+  // it as a batch of one, matching ft_gmres exactly.
+  const auto batched = experiment::run_scenario(
+      "solver=ft_gmres_batch matrix=poisson n=6 inner=5");
+  const auto solo =
+      experiment::run_scenario("solver=ft_gmres matrix=poisson n=6 inner=5");
+  EXPECT_TRUE(batched.report.converged());
+  EXPECT_EQ(batched.report.iterations, solo.report.iterations);
+  EXPECT_EQ(batched.report.residual_norm, solo.report.residual_norm);
+  ASSERT_EQ(batched.x.size(), solo.x.size());
+  for (std::size_t i = 0; i < solo.x.size(); ++i) {
+    ASSERT_EQ(batched.x[i], solo.x[i]) << "x[" << i << "]";
+  }
+}

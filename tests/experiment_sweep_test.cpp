@@ -177,6 +177,101 @@ TEST(Sweep, ParallelSweepIsIdenticalToSerialWithDetector) {
   EXPECT_EQ(parallel.detected_runs(), serial.detected_runs());
 }
 
+TEST(Sweep, BatchedSweepIsIdenticalToSolo) {
+  // Multi-RHS lockstep batching must be a pure traffic optimization:
+  // every SweepPoint of a batch=4 sweep equals the batch=1 run bitwise,
+  // for both fault classes and both MGS positions of the paper protocol.
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(49);
+  const sdc::FaultModel models[] = {sdc::fault_classes::very_large(),
+                                    sdc::fault_classes::slightly_smaller()};
+  const sdc::MgsPosition positions[] = {sdc::MgsPosition::First,
+                                        sdc::MgsPosition::Last};
+  for (const auto& model : models) {
+    for (const auto position : positions) {
+      auto config = small_config();
+      config.solver.inner.max_iters = 6;
+      config.model = model;
+      config.position = position;
+
+      config.batch = 1;
+      const auto solo = experiment::run_injection_sweep(A, b, config);
+      config.batch = 4;
+      const auto batched = experiment::run_injection_sweep(A, b, config);
+
+      EXPECT_EQ(batched.baseline_outer, solo.baseline_outer);
+      EXPECT_EQ(batched.baseline_total_inner, solo.baseline_total_inner);
+      ASSERT_EQ(batched.points.size(), solo.points.size());
+      for (std::size_t i = 0; i < solo.points.size(); ++i) {
+        EXPECT_EQ(batched.points[i], solo.points[i]) << "site index " << i;
+      }
+    }
+  }
+}
+
+TEST(Sweep, BatchedSweepWithDetectorIsIdenticalToSolo) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  for (const auto response :
+       {sdc::DetectorResponse::AbortSolve, sdc::DetectorResponse::RecordOnly}) {
+    auto config = small_config();
+    config.model = sdc::fault_classes::very_large();
+    config.with_detector = true;
+    config.detector_bound = A.frobenius_norm();
+    config.detector_response = response;
+
+    config.batch = 1;
+    const auto solo = experiment::run_injection_sweep(A, b, config);
+    config.batch = 3;
+    const auto batched = experiment::run_injection_sweep(A, b, config);
+
+    ASSERT_EQ(batched.points.size(), solo.points.size());
+    EXPECT_TRUE(batched.points == solo.points);
+    EXPECT_EQ(batched.detected_runs(), solo.detected_runs());
+    EXPECT_GT(batched.detected_runs(), 0u); // class 1 is detectable
+  }
+}
+
+TEST(Sweep, BatchedAndThreadedSweepIsIdenticalToSerialSolo) {
+  // The two axes compose: threads=N batch=B must still reproduce the
+  // serial batch=1 points exactly (each worker's blocks are independent
+  // lockstep groups; kernel threading stays pinned).
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_config();
+  config.model = sdc::fault_classes::very_large();
+
+  config.threads = 1;
+  config.batch = 1;
+  const auto reference = experiment::run_injection_sweep(A, b, config);
+  for (const std::size_t threads : {1u, 3u}) {
+    for (const std::size_t batch : {2u, 5u}) {
+      config.threads = threads;
+      config.batch = batch;
+      const auto run = experiment::run_injection_sweep(A, b, config);
+      ASSERT_EQ(run.points.size(), reference.points.size());
+      EXPECT_TRUE(run.points == reference.points)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST(Sweep, BatchLargerThanSiteCountStillMatchesSolo) {
+  // One ragged block covering the whole sweep (batch > n_points) plus an
+  // early-dropout mix: sites that converge at different outer counts
+  // leave the block at different iterations.
+  const auto A = gen::poisson2d(5);
+  const la::Vector b = la::ones(25);
+  auto config = small_config();
+  config.model = sdc::fault_classes::very_large();
+
+  config.batch = 1;
+  const auto solo = experiment::run_injection_sweep(A, b, config);
+  config.batch = solo.points.size() + 7;
+  const auto batched = experiment::run_injection_sweep(A, b, config);
+  EXPECT_TRUE(batched.points == solo.points);
+}
+
 TEST(Sweep, SummaryCountsAreConsistent) {
   const auto A = gen::poisson2d(5);
   const la::Vector b = la::ones(25);
@@ -250,6 +345,17 @@ TEST(SweepValidation, StrideZeroRejectedUpFront) {
   EXPECT_THROW((void)experiment::run_injection_sweep(A, b, config),
                std::invalid_argument);
   EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+}
+
+TEST(SweepValidation, ZeroBatchRejectedUpFront) {
+  auto config = small_config();
+  config.batch = 0;
+  EXPECT_THROW(experiment::validate_sweep_config(config),
+               std::invalid_argument);
+  const auto A = gen::poisson2d(4);
+  const la::Vector b = la::ones(16);
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, b, config),
                std::invalid_argument);
 }
 

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/poisson.hpp"
+#include "krylov/ft_gmres.hpp"
+#include "krylov/ft_gmres_batch.hpp"
+#include "krylov/hooks.hpp"
+#include "krylov/operator.hpp"
+#include "sdc/detector.hpp"
+#include "sdc/fault_model.hpp"
+#include "sdc/injection.hpp"
+#include "solver/solver.hpp"
+#include "sparse/csr.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+/// Deterministic, mutually distinct right-hand sides.
+std::vector<la::Vector> test_rhs(std::size_t n, std::size_t count) {
+  std::vector<la::Vector> bs(count, la::Vector(n));
+  for (std::size_t c = 0; c < count; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bs[c][i] = std::sin(0.31 * static_cast<double>(i + 1) *
+                          static_cast<double>(c + 1)) +
+                 1.0;
+    }
+  }
+  return bs;
+}
+
+/// Every field of the two results must agree, the vectors bitwise.
+void expect_same_result(const krylov::FtGmresResult& got,
+                        const krylov::FtGmresResult& want,
+                        const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(got.status, want.status);
+  EXPECT_EQ(got.outer_iterations, want.outer_iterations);
+  EXPECT_EQ(got.total_inner_iterations, want.total_inner_iterations);
+  EXPECT_EQ(got.sanitized_outputs, want.sanitized_outputs);
+  EXPECT_EQ(got.residual_norm, want.residual_norm); // bitwise
+  ASSERT_EQ(got.x.size(), want.x.size());
+  for (std::size_t i = 0; i < got.x.size(); ++i) {
+    ASSERT_EQ(got.x[i], want.x[i]) << "x[" << i << "]";
+  }
+  ASSERT_EQ(got.residual_history.size(), want.residual_history.size());
+  for (std::size_t i = 0; i < got.residual_history.size(); ++i) {
+    ASSERT_EQ(got.residual_history[i], want.residual_history[i])
+        << "history[" << i << "]";
+  }
+  ASSERT_EQ(got.inner_solves.size(), want.inner_solves.size());
+  for (std::size_t i = 0; i < got.inner_solves.size(); ++i) {
+    EXPECT_EQ(got.inner_solves[i].outer_index,
+              want.inner_solves[i].outer_index);
+    EXPECT_EQ(got.inner_solves[i].status, want.inner_solves[i].status);
+    EXPECT_EQ(got.inner_solves[i].iterations,
+              want.inner_solves[i].iterations);
+    EXPECT_EQ(got.inner_solves[i].residual_norm,
+              want.inner_solves[i].residual_norm);
+  }
+}
+
+krylov::FtGmresOptions small_opts() {
+  krylov::FtGmresOptions opts;
+  opts.inner.max_iters = 8;
+  opts.outer.tol = 1e-8;
+  opts.outer.max_outer = 60;
+  return opts;
+}
+
+} // namespace
+
+TEST(FtGmresBatch, LockstepSolvesAreBitwiseIdenticalToSolo) {
+  const auto A = gen::poisson2d(12); // n = 144
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  const auto bs = test_rhs(A.rows(), 4);
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts);
+  ASSERT_EQ(batch.size(), bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const auto solo = krylov::ft_gmres(op, bs[i], opts);
+    expect_same_result(batch[i], solo, "instance vs solo");
+    EXPECT_EQ(batch[i].status, krylov::SolveStatus::Converged);
+  }
+}
+
+TEST(FtGmresBatch, EarlyDropoutDoesNotPerturbSurvivors) {
+  const auto A = gen::poisson2d(10); // n = 100
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+
+  // Heterogeneous convergence: a zero rhs drops out before the first
+  // iteration, a near-singular-direction rhs takes its own path, the
+  // rest converge at different outer counts.  The survivors must be
+  // bitwise equal to their solo runs regardless of who leaves when.
+  auto bs = test_rhs(A.rows(), 5);
+  for (std::size_t i = 0; i < A.rows(); ++i) bs[1][i] = 0.0;
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    bs[3][i] *= 1e-6; // same direction, tiny scale: different residuals
+  }
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts);
+  ASSERT_EQ(batch.size(), bs.size());
+  // The zero-rhs instance converges instantly (its solo run does too).
+  EXPECT_EQ(batch[1].outer_iterations, 0u);
+  bool heterogeneous = false;
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const auto solo = krylov::ft_gmres(op, bs[i], opts);
+    expect_same_result(batch[i], solo, "dropout instance vs solo");
+    heterogeneous |= batch[i].outer_iterations != batch[0].outer_iterations;
+  }
+  EXPECT_TRUE(heterogeneous) << "test wants staggered dropout";
+}
+
+TEST(FtGmresBatch, PerInstanceHooksSeeTheSoloEventStream) {
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  const auto bs = test_rhs(A.rows(), 3);
+  const double bound = A.frobenius_norm();
+
+  // One fault campaign + detector chain per instance, each planning a
+  // different injection site -- exactly the sweep engine's block shape.
+  const std::size_t sites[] = {0, 5, 11};
+  std::vector<sdc::FaultCampaign> campaigns;
+  campaigns.reserve(bs.size());
+  std::vector<sdc::HessenbergBoundDetector> detectors;
+  detectors.reserve(bs.size());
+  std::vector<krylov::HookChain> chains(bs.size());
+  std::vector<krylov::ArnoldiHook*> hooks(bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    campaigns.emplace_back(sdc::InjectionPlan::hessenberg(
+        sites[i], sdc::MgsPosition::First, sdc::FaultModel::scale(1e150)));
+    detectors.emplace_back(bound, sdc::DetectorResponse::AbortSolve);
+    chains[i].add(&campaigns[i]);
+    chains[i].add(&detectors[i]);
+    hooks[i] = &chains[i];
+  }
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts, hooks);
+
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    sdc::FaultCampaign solo_campaign(sdc::InjectionPlan::hessenberg(
+        sites[i], sdc::MgsPosition::First, sdc::FaultModel::scale(1e150)));
+    sdc::HessenbergBoundDetector solo_detector(
+        bound, sdc::DetectorResponse::AbortSolve);
+    krylov::HookChain solo_chain;
+    solo_chain.add(&solo_campaign);
+    solo_chain.add(&solo_detector);
+    const auto solo = krylov::ft_gmres(op, bs[i], opts, &solo_chain);
+    expect_same_result(batch[i], solo, "hooked instance vs solo");
+    EXPECT_EQ(campaigns[i].fired(), solo_campaign.fired());
+    EXPECT_EQ(detectors[i].triggered(), solo_detector.triggered());
+    EXPECT_TRUE(campaigns[i].fired());
+    EXPECT_TRUE(detectors[i].triggered()); // class-1 faults exceed ||A||_F
+  }
+}
+
+TEST(FtGmresBatch, EmptyBatchAndHookMismatch) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  EXPECT_TRUE(
+      krylov::ft_gmres_batch(op, std::vector<la::Vector>{}, opts).empty());
+
+  const auto bs = test_rhs(A.rows(), 2);
+  krylov::ArnoldiHook* one_hook[] = {nullptr};
+  EXPECT_THROW(
+      (void)krylov::ft_gmres_batch(op, bs, opts,
+                                   std::span<krylov::ArnoldiHook* const>(
+                                       one_hook, 1)),
+      std::invalid_argument);
+}
+
+TEST(FtGmresBatch, DefaultApplyBlockFallbackKeepsGuestOperatorsWorking) {
+  // ScaledOperator does not override apply_block, so the batch runs it
+  // through the loop-over-columns fallback -- results must still be
+  // bitwise equal to the solo solves (which use the same span core).
+  const auto A = gen::poisson2d(8);
+  const krylov::CsrOperator csr(A);
+  const krylov::ScaledOperator op(csr, 2.0);
+  const auto opts = small_opts();
+  const auto bs = test_rhs(A.rows(), 3);
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const auto solo = krylov::ft_gmres(op, bs[i], opts);
+    expect_same_result(batch[i], solo, "fallback operator vs solo");
+  }
+}
+
+TEST(FtGmresBatch, ReusedWorkspaceStaysBitwiseIdentical) {
+  const auto A = gen::poisson2d(9);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  krylov::FtGmresBatchWorkspace ws;
+
+  const auto bs4 = test_rhs(A.rows(), 4);
+  const auto first = krylov::ft_gmres_batch(op, bs4, opts, {}, &ws);
+  // Re-solving a smaller batch through the warm workspace (instances,
+  // staging blocks) must not change a single bit.
+  const auto bs2 = test_rhs(A.rows(), 2);
+  const auto second = krylov::ft_gmres_batch(op, bs2, opts, {}, &ws);
+  for (std::size_t i = 0; i < bs2.size(); ++i) {
+    const auto solo = krylov::ft_gmres(op, bs2[i], opts);
+    expect_same_result(second[i], solo, "warm workspace vs solo");
+  }
+  (void)first;
+}
+
+TEST(BatchedFtGmresSolverFacade, SingleSolveMatchesFtGmresSolver) {
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  solver::Options options;
+  options.inner_iters = 8;
+  const auto bs = test_rhs(A.rows(), 1);
+
+  solver::FtGmresSolver solo(op, options);
+  solver::BatchedFtGmresSolver batched(op, options);
+  la::Vector x_solo(A.rows());
+  la::Vector x_batch(A.rows());
+  const auto r_solo = solo.solve(bs[0].span(), x_solo.span());
+  const auto r_batch = batched.solve(bs[0].span(), x_batch.span());
+
+  EXPECT_EQ(r_batch.status, r_solo.status);
+  EXPECT_EQ(r_batch.iterations, r_solo.iterations);
+  EXPECT_EQ(r_batch.residual_norm, r_solo.residual_norm);
+  EXPECT_EQ(r_batch.residual_history, r_solo.residual_history);
+  for (std::size_t i = 0; i < x_solo.size(); ++i) {
+    ASSERT_EQ(x_batch[i], x_solo[i]) << "x[" << i << "]";
+  }
+}
+
+TEST(BatchedFtGmresSolverFacade, SolveBatchValidatesShapes) {
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  solver::BatchedFtGmresSolver batched(op);
+  la::Vector b(A.rows());
+  la::Vector x_short(A.rows() - 1);
+  const std::span<const double> bs[] = {b.span()};
+  std::span<double> xs_short[] = {x_short.span()};
+  EXPECT_THROW((void)batched.solve_batch(bs, xs_short),
+               std::invalid_argument);
+  EXPECT_THROW((void)batched.solve_batch(bs, {}), std::invalid_argument);
+}
+
+TEST(BatchedFtGmresSolverFacade, SingleSolveHookDoesNotLeakIntoSolveBatch) {
+  // The set_hook() seam covers solve() only; solve_batch() refuses to
+  // run with an installed single-solve hook but no per-instance hooks
+  // (silently dropping a fault campaign would corrupt an experiment).
+  const auto A = gen::poisson2d(6);
+  const krylov::CsrOperator op(A);
+  solver::BatchedFtGmresSolver batched(op);
+  krylov::HookChain chain;
+  batched.set_hook(&chain);
+  la::Vector b = la::ones(A.rows());
+  la::Vector x(A.rows());
+  const std::span<const double> bs[] = {b.span()};
+  std::span<double> xs[] = {x.span()};
+  EXPECT_THROW((void)batched.solve_batch(bs, xs), std::invalid_argument);
+  // Per-instance hooks (even the same chain) make it legal again.
+  krylov::ArnoldiHook* hooks[] = {&chain};
+  EXPECT_NO_THROW((void)batched.solve_batch(bs, xs, hooks));
+  batched.set_hook(nullptr);
+  EXPECT_NO_THROW((void)batched.solve_batch(bs, xs));
+}

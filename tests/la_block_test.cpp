@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <span>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+#include "la/block.hpp"
+#include "la/krylov_basis.hpp"
+
+namespace la = sdcgmres::la;
+
+TEST(BlockView, ColumnsFollowTheLeadingDimension) {
+  double storage[3 * 5] = {};
+  const la::BlockView v(storage, /*rows=*/3, /*cols=*/4, /*ld=*/5);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 4u);
+  EXPECT_EQ(v.ld(), 5u);
+  EXPECT_FALSE(v.empty());
+  for (std::size_t j = 0; j < v.cols(); ++j) {
+    EXPECT_EQ(v.col(j).data(), storage + j * 5);
+    EXPECT_EQ(v.col(j).size(), 3u);
+  }
+  v.col(2)[1] = 42.0;
+  EXPECT_EQ(storage[2 * 5 + 1], 42.0);
+}
+
+TEST(BlockView, AsBasisViewSharesLayout) {
+  double storage[4 * 2] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const la::BlockView v(storage, 4, 2, 4);
+  const la::BasisView c = v.as_basis_view();
+  EXPECT_EQ(c.rows(), v.rows());
+  EXPECT_EQ(c.cols(), v.cols());
+  EXPECT_EQ(c.ld(), v.ld());
+  EXPECT_EQ(c.data(), v.data());
+  EXPECT_EQ(c.col(1)[0], 5.0);
+}
+
+TEST(BlockWorkspace, PaddingMatchesKrylovBasis) {
+  // The block arena and the basis arena must agree on the anti-aliasing
+  // pad, so a block staged from basis columns has the same stride rules.
+  for (const std::size_t rows : {7u, 512u, 1024u, 1000u}) {
+    la::BlockWorkspace w(rows, 3);
+    la::KrylovBasis basis(rows, 3);
+    EXPECT_EQ(w.ld(), basis.ld()) << "rows = " << rows;
+    EXPECT_EQ(w.ld(), la::padded_leading_dimension(rows));
+  }
+}
+
+TEST(BlockWorkspace, ReserveIsMonotoneForFixedRows) {
+  la::BlockWorkspace w;
+  w.reserve(100, 4);
+  la::BlockView v4 = w.view(4);
+  v4.col(3)[99] = 7.0;
+  double* const before = v4.data();
+  w.reserve(100, 2); // smaller request: no reallocation, contents kept
+  EXPECT_EQ(w.capacity(), 4u);
+  EXPECT_EQ(w.view(4).data(), before);
+  EXPECT_EQ(w.view(4).col(3)[99], 7.0);
+  w.reserve(100, 8); // growth keeps the geometry
+  EXPECT_EQ(w.capacity(), 8u);
+  EXPECT_EQ(w.rows(), 100u);
+}
+
+TEST(BlockWorkspace, ViewPastCapacityThrows) {
+  la::BlockWorkspace w(10, 2);
+  EXPECT_THROW((void)w.view(3), std::out_of_range);
+  EXPECT_EQ(w.view(0).cols(), 0u); // empty views are fine
+}
+
+TEST(BlockOfKrylovBasis, MutableViewOverPresentColumns) {
+  la::KrylovBasis basis(6, 3);
+  (void)basis.append();
+  (void)basis.append();
+  la::BlockView v = la::block(basis, 2);
+  EXPECT_EQ(v.rows(), 6u);
+  EXPECT_EQ(v.cols(), 2u);
+  EXPECT_EQ(v.ld(), basis.ld());
+  v.col(1)[4] = -3.5;
+  EXPECT_EQ(basis.col(1)[4], -3.5);
+  EXPECT_THROW((void)la::block(basis, 3), std::out_of_range);
+}

@@ -139,3 +139,34 @@ TEST(BatchedTwoNorm, BlockOneMatchesScalarEstimate) {
   const auto batch = sparse::estimate_two_norm_batch(A, 1);
   EXPECT_NEAR(batch.value, scalar.value, 1e-8 * scalar.value);
 }
+
+TEST(Spmm, ZeroColumnBlockIsANoOp) {
+  const auto A = gen::poisson2d(6); // n = 36
+  // Raw core: must return before any pointer arithmetic (null operands
+  // are exactly what an empty view carries).
+  A.spmm(/*ncols=*/0, /*x=*/nullptr, /*ldx=*/0, /*y=*/nullptr, /*ldy=*/0);
+
+  // View overload: an empty operand against an empty result is legal and
+  // does nothing (a batch whose instances all dropped out).
+  la::KrylovBasis x(A.cols(), 4);
+  la::KrylovBasis y(A.rows(), 4);
+  A.spmm(x.view(0), y);
+  EXPECT_EQ(y.cols(), 0u);
+
+  // A default-constructed (null) view is the degenerate empty block.
+  A.spmm(la::BasisView(), y);
+}
+
+TEST(Spmm, ZeroColumnOperandAgainstNonEmptyResultStillThrows) {
+  const auto A = gen::poisson2d(6);
+  la::KrylovBasis x(A.cols(), 4);
+  la::KrylovBasis y(A.rows(), 4);
+  (void)y.append();
+  EXPECT_THROW(A.spmm(x.view(0), y), std::invalid_argument);
+}
+
+TEST(BatchedTwoNorm, ZeroBlockThrows) {
+  const auto A = gen::poisson2d(6);
+  EXPECT_THROW((void)sparse::estimate_two_norm_batch(A, 0),
+               std::invalid_argument);
+}
