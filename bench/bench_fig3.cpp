@@ -22,8 +22,13 @@
 ///                    iteration instead of N SpMVs; results identical)
 ///   --sweep-json F   instead of the figure series, time one class-1
 ///                    sweep serial vs parallel vs batched and write the
-///                    wall-clock comparison to F (machine-readable perf
-///                    trace; the batched leg uses --batch, default 4)
+///                    comparison to F (machine-readable perf trace; the
+///                    batched leg uses --batch, default 4).  Besides
+///                    wall-clock the trace records the MEASURED operator
+///                    traffic from the new LinearOperator counters:
+///                    operand columns (inner/outer split; identical in
+///                    every mode) and matrix streams per leg, whose
+///                    serial/batched ratio is the lockstep reduction.
 
 #include <chrono>
 #include <fstream>
@@ -95,6 +100,19 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
   const bool identical = same(parallel) && same(batched_serial) &&
                          same(batched);
 
+  // Measured operator traffic per leg (krylov::OperatorStats, summed over
+  // each leg's sweep workers).  The operand-column count is the WORK and
+  // is identical in every mode; the stream count is the matrix passes
+  // PAID for that work -- the batched legs divide it by ~batch, and
+  // that reduction is the whole point of the lockstep engine.  The
+  // inner/outer split comes from the per-point inner_applies counters
+  // (mode-independent): at inner=25 the inner solves own ~25/26 of the
+  // columns, which is why inner-level lockstep matters.
+  const std::size_t columns = serial.operator_stats.columns();
+  const std::size_t inner_columns = serial.inner_operand_columns();
+  const std::size_t serial_streams = serial.operator_stats.streams();
+  const std::size_t batched_streams = batched_serial.operator_stats.streams();
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"bench_fig3 injection sweep\",\n"
@@ -114,6 +132,22 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
        << (t_batched_serial > 0.0 ? t_serial / t_batched_serial : 0.0) << ",\n"
        << "  \"batched_speedup\": "
        << (t_batched > 0.0 ? t_serial / t_batched : 0.0) << ",\n"
+       << "  \"operand_columns\": " << columns << ",\n"
+       << "  \"inner_operand_columns\": " << inner_columns << ",\n"
+       << "  \"outer_operand_columns\": " << (columns - inner_columns)
+       << ",\n"
+       << "  \"serial_matrix_streams\": " << serial_streams << ",\n"
+       << "  \"parallel_matrix_streams\": "
+       << parallel.operator_stats.streams() << ",\n"
+       << "  \"batched_serial_matrix_streams\": " << batched_streams << ",\n"
+       << "  \"batched_parallel_matrix_streams\": "
+       << batched.operator_stats.streams() << ",\n"
+       << "  \"stream_reduction\": "
+       << (batched_streams > 0
+               ? static_cast<double>(serial_streams) /
+                     static_cast<double>(batched_streams)
+               : 0.0)
+       << ",\n"
        << "  \"identical_results\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << json.str();

@@ -100,7 +100,13 @@ void write_sweep_json(std::ostream& out, const experiment::ScenarioResult& r,
       << "  \"max_outer_increase\": " << r.sweep.max_outer_increase() << ",\n"
       << "  \"unchanged_runs\": " << r.sweep.unchanged_runs() << ",\n"
       << "  \"failed_runs\": " << r.sweep.failed_runs() << ",\n"
-      << "  \"detected_runs\": " << r.sweep.detected_runs();
+      << "  \"detected_runs\": " << r.sweep.detected_runs() << ",\n"
+      // Measured operator traffic: columns is the work (identical at any
+      // threads/batch), streams the matrix passes paid for it (divided by
+      // ~batch when sites run in lockstep).
+      << "  \"matrix_streams\": " << r.sweep.operator_stats.streams() << ",\n"
+      << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
+      << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns();
   if (identical_checked) {
     out << ",\n  \"identical_results\": " << (identical ? "true" : "false");
   }

@@ -18,6 +18,26 @@ namespace {
                               "' is not one of: " + choices);
 }
 
+/// Loud up-front range validation for sweep-critical integer keys.  The
+/// spec parser itself rejects negative values ("-4" is not a non-negative
+/// integer) but without naming the valid range, and zero used to surface
+/// only deep inside the sweep (after matrices were built) or as a silent
+/// promotion; here both fail immediately, stating what IS valid.
+std::size_t sweep_size_key(const ScenarioSpec& spec, std::string_view key,
+                           std::size_t dflt, const char* range_doc) {
+  const std::string raw = spec.get(key);
+  if (!raw.empty() && raw[0] == '-') {
+    throw std::invalid_argument(std::string("scenario: ") + std::string(key) +
+                                "=" + raw + " is out of range; " + range_doc);
+  }
+  const std::size_t value = spec.get_size(key, dflt);
+  if (value == 0) {
+    throw std::invalid_argument(std::string("scenario: ") + std::string(key) +
+                                "=0 is out of range; " + range_doc);
+  }
+  return value;
+}
+
 krylov::Orthogonalization parse_ortho(const ScenarioSpec& spec,
                                       std::string_view key,
                                       krylov::Orthogonalization dflt) {
@@ -148,6 +168,18 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   }
   reject_precond_for_nested(spec, solver_name);
 
+  // Fail fast, listing the valid ranges, before anything expensive runs:
+  // inner=0 would admit no injection sites at all, and batch=0 names no
+  // lockstep block shape.  (The default inner budget is the paper's 25.)
+  (void)sweep_size_key(spec, "inner", solver::Options{}.inner_iters,
+                       "the injection-site axis counts inner Arnoldi "
+                       "iterations, so the valid range is inner >= 1 "
+                       "(paper protocol: inner=25)");
+  const std::size_t batch =
+      sweep_size_key(spec, "batch", 1,
+                     "the valid range is batch >= 1 (1 = solo solves, "
+                     ">1 = sites solved in lockstep per sweep worker)");
+
   SweepConfig config;
   config.solver = solver::to_ft_gmres_options(solver_options_from_spec(spec));
 
@@ -186,7 +218,7 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   config.stride = spec.get_size("stride", 1);
   config.site_limit = spec.get_size("site_limit", 0);
   config.threads = spec.get_size("threads", 1);
-  config.batch = spec.get_size("batch", 1);
+  config.batch = batch;
   if (solver_name == "ft_gmres_batch" && !spec.has("batch")) {
     // The name promises lockstep batching; defaulting to batch=1 would
     // silently run solo solves under it and misattribute measurements.
@@ -195,6 +227,9 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
         "batch=B (the sweep engine batches by the batch= key; use "
         "solver=ft_gmres for solo solves)");
   }
+  // Everything the sweep engine would reject is rejected here, before
+  // any caller-built matrix or baseline solve is wasted on it.
+  validate_sweep_config(config);
   return config;
 }
 

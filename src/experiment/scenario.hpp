@@ -31,7 +31,9 @@
 ///   sweep      0|1  -- run the full per-site injection sweep
 ///   stride site_limit threads                       sweep parameters
 ///   batch      sites solved in lockstep per worker (multi-RHS FT-GMRES;
-///              default 1 = solo solves, results identical at any value)
+///              default 1 = solo solves, results identical at any value;
+///              batch=0 and negative batch=/inner= values are rejected up
+///              front by sweep_config_from_spec with the valid ranges)
 
 #include <cstddef>
 #include <string>
@@ -70,7 +72,10 @@ void validate_scenario_keys(const ScenarioSpec& spec);
 
 /// Assemble a SweepConfig from the spec (requires solver=ft_gmres, the
 /// sweep engine's nested solver).  \p frobenius_norm seeds the detector
-/// bound for `bound=auto`.
+/// bound for `bound=auto`.  Validates the whole config up front --
+/// out-of-range batch=/inner= values (0 or negative) and everything
+/// validate_sweep_config rejects throw std::invalid_argument here,
+/// listing the valid ranges, before any solve runs.
 [[nodiscard]] SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
                                                  double frobenius_norm);
 

@@ -48,6 +48,12 @@ std::size_t SweepResult::detected_runs() const {
       [](const SweepPoint& p) { return p.detected; }));
 }
 
+std::size_t SweepResult::inner_operand_columns() const {
+  std::size_t total = 0;
+  for (const SweepPoint& p : points) total += p.inner_applies;
+  return total;
+}
+
 namespace {
 
 /// Run \p fn inside a 1-thread OpenMP region with kernel threading pinned
@@ -98,6 +104,7 @@ SweepPoint make_sweep_point(const solver::SolveReport& run, std::size_t site,
   point.injected = campaign.fired();
   point.detected = detector != nullptr && detector->triggered();
   point.sanitized_outputs = run.sanitized_outputs;
+  point.inner_applies = run.total_inner_applies;
   point.residual_norm = run.residual_norm;
   return point;
 }
@@ -289,6 +296,10 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
         if (!error) error = std::current_exception();
       }
     }
+    // Each worker counted its own operator's traffic; the sum of counters
+    // is order-independent, so the merged stats are deterministic too.
+#pragma omp critical(sdcgmres_sweep_stats)
+    result.operator_stats += op.stats();
   }
   if (error) std::rethrow_exception(error);
   return result;

@@ -78,6 +78,13 @@ struct SweepPoint {
   bool detected = false;  ///< detector flagged the fault
   std::size_t sanitized_outputs = 0; ///< inner results the reliable outer
                                      ///< phase had to filter (Inf/NaN/zero)
+  std::size_t inner_applies = 0; ///< operator products the run's inner
+                                 ///< solves consumed -- a property of the
+                                 ///< per-instance operation sequence, so
+                                 ///< identical at every threads/batch
+                                 ///< setting (unlike the matrix STREAMS
+                                 ///< paid for them: see
+                                 ///< SweepResult::operator_stats)
   double residual_norm = 0.0; ///< explicit final residual
 
   bool operator==(const SweepPoint&) const = default;
@@ -89,6 +96,20 @@ struct SweepResult {
   std::size_t baseline_total_inner = 0;  ///< number of injectable sites
   bool baseline_converged = false;
   std::vector<SweepPoint> points;
+
+  /// Measured operator traffic of the per-site solves (baseline
+  /// excluded), summed over the sweep workers' operators.  columns() is
+  /// mode-independent (same work at any threads/batch); streams() is
+  /// NOT -- lockstep batching divides it by ~batch, which is exactly the
+  /// number this field exists to show -- so operator_stats is not part
+  /// of the sweep determinism contract and the identity assertions
+  /// compare points and baseline fields only.
+  krylov::OperatorStats operator_stats;
+
+  /// Sum of the points' inner_applies: operand columns consumed by the
+  /// unreliable inner solves (mode-independent; at the paper's inner=25
+  /// this is ~25/26 of columns()).
+  [[nodiscard]] std::size_t inner_operand_columns() const;
 
   /// Largest outer-iteration increase over the baseline (0 when all runs
   /// match the failure-free count).

@@ -5,9 +5,8 @@
 
 namespace sdcgmres::krylov {
 
-void InnerGmresPreconditioner::apply(std::span<const double> q,
-                                     std::size_t outer_index,
-                                     std::span<double> z) {
+GmresOptions InnerGmresPreconditioner::options_for(
+    std::size_t outer_index) const {
   GmresOptions opts = opts_;
   if (robust_first_solve_ && outer_index == 0) {
     // Paper Section VII-E-1: spend extra effort where faults hurt most.
@@ -15,17 +14,37 @@ void InnerGmresPreconditioner::apply(std::span<const double> q,
     // coefficient after a single multiplicative fault in the first pass.
     opts.ortho = Orthogonalization::CGS2;
   }
+  return opts;
+}
+
+GmresEngine InnerGmresPreconditioner::make_engine(std::span<const double> q,
+                                                  std::size_t outer_index,
+                                                  std::span<double> z) {
   // Zero initial guess, solved in place in the caller's z storage; the
   // inner solve never sees an owning vector (b is the outer basis column,
   // x the outer Z-arena column).
   std::fill(z.begin(), z.end(), 0.0);
-  const GmresStats inner =
-      gmres_in_place(*a_, q, z, opts, hook_, outer_index, ws_,
-                     /*residual_history=*/nullptr);
-  records_.push_back({.outer_index = outer_index,
+  return GmresEngine(*a_, q, z, options_for(outer_index), hook_, outer_index,
+                     workspace(), /*residual_history=*/nullptr);
+}
+
+void InnerGmresPreconditioner::finish_engine(const GmresEngine& engine) {
+  const GmresStats& inner = engine.stats();
+  records_.push_back({.outer_index = engine.solve_index(),
                       .status = inner.status,
                       .iterations = inner.iterations,
+                      .operator_applies = inner.operator_applies,
                       .residual_norm = inner.residual_norm});
+}
+
+void InnerGmresPreconditioner::apply(std::span<const double> q,
+                                     std::size_t outer_index,
+                                     std::span<double> z) {
+  // The canonical straight-through drive of the shared engine (the batch
+  // driver runs the same protocol with the products fused per block).
+  GmresEngine engine = make_engine(q, outer_index, z);
+  drive_to_completion(*a_, engine);
+  finish_engine(engine);
 }
 
 FtGmresResult detail::make_ft_gmres_result(
@@ -40,6 +59,7 @@ FtGmresResult detail::make_ft_gmres_result(
   result.sanitized_outputs = outer.sanitized_outputs;
   for (const InnerSolveRecord& rec : result.inner_solves) {
     result.total_inner_iterations += rec.iterations;
+    result.total_inner_applies += rec.operator_applies;
   }
   return result;
 }

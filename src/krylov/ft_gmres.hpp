@@ -47,6 +47,11 @@ struct InnerSolveRecord {
   std::size_t outer_index = 0;
   SolveStatus status = SolveStatus::MaxIterations;
   std::size_t iterations = 0;
+  std::size_t operator_applies = 0; ///< operator products this inner solve
+                                    ///< consumed (cycle residuals + Arnoldi
+                                    ///< products); identical whether they
+                                    ///< arrived as solo SpMVs or as columns
+                                    ///< of a lockstep batch's fused SpMM
   double residual_norm = 0.0; ///< inner least-squares estimate (may be
                               ///< corrupted when faults were injected)
 };
@@ -57,6 +62,9 @@ struct FtGmresResult {
   SolveStatus status = SolveStatus::MaxIterations;
   std::size_t outer_iterations = 0;
   std::size_t total_inner_iterations = 0;
+  std::size_t total_inner_applies = 0; ///< operator products consumed by
+                                       ///< the inner solves (the dominant
+                                       ///< matrix traffic at inner=25)
   double residual_norm = 0.0; ///< explicit ||b - A*x|| at exit
   std::vector<double> residual_history;
   std::vector<InnerSolveRecord> inner_solves;
@@ -69,11 +77,22 @@ struct FtGmresResult {
 /// column, z an outer Z-arena column; no owning la::Vector crosses the
 /// boundary).  The optional hook observes/corrupts the inner Arnoldi
 /// process; the hook's solve_index equals the outer iteration index.
+///
+/// There is ONE construction path for the inner solve -- make_engine() --
+/// shared by apply() (the solo FT-GMRES path, which drives the engine
+/// straight through) and the lockstep batch driver
+/// (krylov/ft_gmres_batch.cpp, which interleaves the engines of B
+/// instances so each inner Arnoldi iteration issues one fused
+/// apply_block).  finish_engine() closes the bookkeeping either way, so
+/// the two drivers can never diverge in options plumbing or records.
 class InnerGmresPreconditioner final : public FlexiblePreconditioner {
 public:
   /// \param ws optional reusable workspace for the inner solves; one inner
   ///        solve runs per outer iteration, so a matching workspace makes
-  ///        every inner solve after the first allocation-free.
+  ///        every inner solve after the first allocation-free.  nullptr
+  ///        falls back to an internally owned workspace (same reuse
+  ///        semantics, same results -- workspace contents never leak
+  ///        between solves).
   InnerGmresPreconditioner(const LinearOperator& A, const GmresOptions& opts,
                            ArnoldiHook* hook = nullptr,
                            bool robust_first_solve = false,
@@ -85,24 +104,49 @@ public:
   void apply(std::span<const double> q, std::size_t outer_index,
              std::span<double> z) override;
 
+  /// Batch seam: zero-fill \p z and construct the step-driveable engine
+  /// of the inner solve for outer iteration \p outer_index (b = \p q, the
+  /// outer basis column; x = \p z, the outer Z-arena column; hook,
+  /// robust-first-solve orthogonalization, and workspace plumbing exactly
+  /// as apply() uses).  The caller drives the engine to completion --
+  /// solo or interleaved with other instances -- and then hands it to
+  /// finish_engine().
+  [[nodiscard]] GmresEngine make_engine(std::span<const double> q,
+                                        std::size_t outer_index,
+                                        std::span<double> z);
+
+  /// Record the finished engine's inner-solve bookkeeping (exactly the
+  /// record apply() produces).
+  void finish_engine(const GmresEngine& engine);
+
   [[nodiscard]] const std::vector<InnerSolveRecord>& records() const {
     return records_;
   }
 
 private:
+  /// The per-solve options: the configured inner options, with CGS2
+  /// re-orthogonalization swapped in for the first inner solve when
+  /// robust_first_solve is set (paper Section VII-E-1).
+  [[nodiscard]] GmresOptions options_for(std::size_t outer_index) const;
+
+  [[nodiscard]] KrylovWorkspace& workspace() noexcept {
+    return ws_ != nullptr ? *ws_ : fallback_ws_;
+  }
+
   const LinearOperator* a_;
   GmresOptions opts_;
   ArnoldiHook* hook_;
   bool robust_first_solve_;
   KrylovWorkspace* ws_;
+  KrylovWorkspace fallback_ws_;
   std::vector<InnerSolveRecord> records_;
 };
 
 namespace detail {
 /// Assemble an FtGmresResult from the outer FGMRES result and the inner
-/// solve records (including the total-inner-iterations summation).
-/// Shared by ft_gmres() and ft_gmres_batch() so the two drivers can
-/// never diverge field-wise.
+/// solve records (including the total-inner summations).  Shared by
+/// ft_gmres() and ft_gmres_batch() so the two drivers can never diverge
+/// field-wise.
 [[nodiscard]] FtGmresResult make_ft_gmres_result(
     FgmresResult&& outer, std::vector<InnerSolveRecord> inner_solves);
 } // namespace detail

@@ -3,25 +3,34 @@
 /// \brief Multi-RHS FT-GMRES: B independent nested solves in lockstep.
 ///
 /// The paper's headline experiment runs thousands of independent FT-GMRES
-/// solves of the SAME matrix (one per injection site).  Run solo, each
-/// outer iteration pays a full matrix stream for its one A*z product;
-/// run B solves in lockstep, the B products of an outer iteration fuse
-/// into ONE apply_block/SpMM that streams the matrix once, cutting the
-/// reliable-phase matrix traffic to ~1/B (see CsrMatrix::spmm).
+/// solves of the SAME matrix (one per injection site).  Run solo, every
+/// operator product pays a full matrix stream; run B solves in lockstep,
+/// the B products of each step fuse into ONE apply_block/SpMM that
+/// streams the matrix once, cutting the matrix traffic to ~1/B (see
+/// CsrMatrix::spmm).  Both nesting levels advance in lockstep:
+///
+///   * the OUTER iteration interleaves B krylov::FgmresEngine instances
+///     (one fused product per outer iteration), and
+///   * the INNER (unreliable) GMRES solves interleave B
+///     krylov::GmresEngine instances, so each inner Arnoldi iteration --
+///     and each inner cycle-start residual -- is one fused product too.
+///     At the paper's 25 fixed inner iterations per outer step ~25/26 of
+///     all products happen inside the inner solves, so this is where the
+///     batching win actually lives.
 ///
 /// Determinism contract: every instance advances through EXACTLY the
 /// floating-point operation sequence of its solo krylov::ft_gmres run --
-/// the outer iteration is the shared FgmresEngine, the fused product's
-/// columns are bitwise equal to per-column apply(), and instances share
-/// no mutable state.  An instance that terminates early (converged,
-/// happy breakdown, rank-deficient, budget) simply drops out of the
-/// block; the survivors' packed columns are unchanged values, so their
-/// iterate streams are unperturbed.  This is what lets the injection
-/// sweep assert batch=B results are bitwise identical to batch=1.
-///
-/// The inner (unreliable) solves still run one instance at a time: each
-/// owns a fault campaign/detector hook whose event stream must match the
-/// solo run one-to-one.
+/// both nesting levels run the same step-driveable engines the solo path
+/// drives, the fused products' columns are bitwise equal to per-column
+/// apply(), and instances share no mutable state.  Inner hook streams
+/// (fault campaigns, detectors), Hessenberg/QR factorizations, and
+/// records stay strictly per-instance.  An instance that terminates
+/// early -- at either level: a detector-aborted or broken-down inner
+/// solve, a converged/rank-deficient/spent outer -- simply drops out of
+/// its block; the survivors' packed columns are unchanged values, so
+/// their iterate streams are unperturbed.  This is what lets the
+/// injection sweep assert batch=B results are bitwise identical to
+/// batch=1.
 
 #include <cstddef>
 #include <span>
@@ -41,7 +50,10 @@ namespace sdcgmres::krylov {
 /// with no heap allocation on the iteration path.
 struct FtGmresBatchWorkspace {
   std::vector<FtGmresWorkspace> instances; ///< one per lockstep instance
-  la::BlockWorkspace directions; ///< packed live Z columns (SpMM operand)
+  la::BlockWorkspace directions; ///< packed live operand columns (SpMM
+                                 ///< operand; outer Z directions and inner
+                                 ///< iterates/directions take turns -- the
+                                 ///< two lockstep levels never overlap)
   la::BlockWorkspace products;   ///< A * directions (SpMM result)
 };
 

@@ -12,181 +12,26 @@
 
 namespace sdcgmres::krylov {
 
-namespace {
+// ---------------------------------------------------------------------------
+// GmresEngine: the one GMRES implementation.  gmres_in_place() below drives
+// it straight through; the FT-GMRES batch driver interleaves many engines
+// (one per lockstep instance) so their products fuse into block applies.
+// Any change to the iteration math happens HERE and nowhere else.
+//
+// Workspace layout (all checked out of the bound KrylovWorkspace; with a
+// reused workspace of matching shape nothing on the solve path touches the
+// heap): scratch(0) = residual r, scratch(1) = Arnoldi candidate v,
+// scratch(2) = preconditioned direction z, scratch(3) = Q_k y at cycle end.
+// ---------------------------------------------------------------------------
 
-/// One restart cycle of GMRES.  Returns true when the whole solve should
-/// stop (converged / breakdown / abort); false means "restart and go on".
-struct CycleOutcome {
-  bool stop = false;
-  SolveStatus status = SolveStatus::MaxIterations;
-};
-
-CycleOutcome run_cycle(const LinearOperator& A, std::span<const double> b,
-                       std::span<double> x, const GmresOptions& opts,
-                       std::size_t cycle_len, double abs_target,
-                       ArnoldiHook* hook, std::size_t solve_index,
-                       KrylovWorkspace& w, GmresStats& stats,
-                       std::vector<double>* history) {
-  CycleOutcome outcome;
-  const std::size_t n = A.rows();
-
-  // All per-cycle storage is checked out of the workspace; with a reused
-  // workspace of matching shape nothing below touches the heap.
-  la::Vector& r = w.arena.scratch(0);      // residual
-  la::Vector& v = w.arena.scratch(1);      // Arnoldi candidate
-  la::Vector& z = w.arena.scratch(2);      // preconditioned direction
-  la::Vector& update = w.arena.scratch(3); // Q_k y at cycle end
-  la::KrylovBasis& q = w.arena.basis();
-  std::vector<double>& hcol = w.arena.h_column();
-  std::fill(hcol.begin(), hcol.begin() + static_cast<std::ptrdiff_t>(cycle_len + 2), 0.0);
-
-  // Reliable residual at cycle start: r = b - A*x.
-  A.apply(x, r.span());
-  la::waxpby(1.0, b, -1.0, r.span(), r.span());
-  const double beta = la::nrm2(r);
-  stats.residual_norm = beta;
-  if (beta == 0.0 || (abs_target > 0.0 && beta <= abs_target)) {
-    outcome.stop = true;
-    outcome.status = SolveStatus::Converged;
-    return outcome;
-  }
-  if (!std::isfinite(beta)) {
-    // A non-finite iterate cannot improve; report and stop.
-    outcome.stop = true;
-    outcome.status = SolveStatus::MaxIterations;
-    return outcome;
-  }
-
-  // Contiguous column-major basis arena: the whole cycle's basis lives in
-  // one buffer so orthogonalization runs as fused block kernels.
-  q.clear();
-  q.append(r);
-  la::scal(1.0 / beta, q.col(0));
-
-  dense::HessenbergQr& qr = w.qr;
-  qr.reset(cycle_len, beta);
-
-  bool aborted = false;
-  bool breakdown = false;
-  bool converged = false;
-  bool qr_pop_pending = false;
-  while (qr.size() < cycle_len && stats.iterations < opts.max_iters) {
-    const std::size_t j = qr.size();
-    const ArnoldiContext ctx{.solve_index = solve_index, .iteration = j};
-    if (hook != nullptr) hook->on_iteration_begin(ctx);
-
-    // v := A q_j (right-preconditioned: v := A M^{-1} q_j).  Both the
-    // preconditioner and the operator run span-to-span out of the arena.
-    if (opts.right_precond != nullptr) {
-      opts.right_precond->apply(q.col(j), z.span());
-      A.apply(z.span(), v.span());
-    } else {
-      A.apply(q.col(j), v.span());
-    }
-    if (hook != nullptr) hook->on_matvec_result(ctx, v);
-    const double w_norm = la::nrm2(v); // scale reference for breakdown test
-
-    orthogonalize(opts.ortho, q, j + 1, v, hcol, hook, ctx);
-    if (hook != nullptr && hook->abort_requested()) {
-      // Drop the tainted column entirely; solve with the j columns that
-      // were accepted before the detector fired.
-      aborted = true;
-      break;
-    }
-
-    double hnext = la::nrm2(v);
-    if (hook != nullptr) hook->on_subdiagonal(ctx, hnext);
-    if (hook != nullptr && hook->abort_requested()) {
-      aborted = true;
-      break;
-    }
-
-    hcol[j + 1] = hnext;
-    const double est = qr.add_column({hcol.data(), j + 2});
-    if (history != nullptr) history->push_back(est);
-    ++stats.iterations;
-    stats.residual_norm = est;
-
-    if (hnext <= opts.breakdown_tol * (w_norm > 0.0 ? w_norm : 1.0)) {
-      breakdown = true;
-      break;
-    }
-    q.append(v.span());
-    la::scal(1.0 / hnext, q.col(j + 1));
-
-    if (hook != nullptr) {
-      const ArnoldiIterationView view{
-          .basis = q.view(j + 2),
-          .h_column = {hcol.data(), j + 2},
-      };
-      hook->on_iteration_end(ctx, view);
-      if (hook->abort_requested()) {
-        // The whole-iteration check rejected this column (Online-ABFT
-        // style); drop it and stop, as for coefficient-level aborts.
-        aborted = true;
-        q.pop_back();
-        // The column is already in the QR factorization; the projected
-        // solve below must not use it.
-        if (history != nullptr) history->pop_back();
-        --stats.iterations;
-        qr_pop_pending = true;
-        break;
-      }
-    }
-
-    if (abs_target > 0.0 && est <= abs_target) {
-      converged = true;
-      break;
-    }
-  }
-
-  // Form the update x += (M^{-1}) Q_k y from the accepted columns.
-  if (qr_pop_pending) {
-    qr.pop_column();
-    stats.residual_norm = qr.residual_estimate();
-  }
-  const std::size_t k = qr.size();
-  if (k > 0) {
-    const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
-                                              opts.lsq_policy,
-                                              opts.truncation_tol);
-    stats.lsq_effective_rank = solve.effective_rank;
-    stats.lsq_fallback_triggered = solve.fallback_triggered;
-    // update := Q_k y as one gemv over the contiguous block.
-    la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k), 0.0,
-             std::span<double>(update.data(), n));
-    if (opts.right_precond != nullptr) {
-      opts.right_precond->apply(std::span<const double>(update.data(), n),
-                                z.span());
-      la::axpy(1.0, std::span<const double>(z.data(), n), x);
-    } else {
-      la::axpy(1.0, std::span<const double>(update.data(), n), x);
-    }
-  }
-
-  if (aborted) {
-    outcome.stop = true;
-    outcome.status = SolveStatus::AbortedByDetector;
-  } else if (breakdown) {
-    outcome.stop = true;
-    outcome.status = SolveStatus::HappyBreakdown;
-  } else if (converged) {
-    outcome.stop = true;
-    outcome.status = SolveStatus::Converged;
-  } else {
-    outcome.stop = stats.iterations >= opts.max_iters;
-    outcome.status = SolveStatus::MaxIterations;
-  }
-  return outcome;
-}
-
-} // namespace
-
-GmresStats gmres_in_place(const LinearOperator& A, std::span<const double> b,
-                          std::span<double> x, const GmresOptions& opts,
-                          ArnoldiHook* hook, std::size_t solve_index,
-                          KrylovWorkspace* ws,
-                          std::vector<double>* residual_history) {
+GmresEngine::GmresEngine(const LinearOperator& A, std::span<const double> b,
+                         std::span<double> x, const GmresOptions& opts,
+                         ArnoldiHook* hook, std::size_t solve_index,
+                         KrylovWorkspace& ws,
+                         std::vector<double>* residual_history)
+    : a_(&A), b_(b), x_(x), opts_(opts), hook_(hook),
+      solve_index_(solve_index), w_(&ws), history_(residual_history),
+      n_(A.rows()) {
   if (A.rows() != A.cols()) {
     throw std::invalid_argument("gmres: operator must be square");
   }
@@ -197,27 +42,217 @@ GmresStats gmres_in_place(const LinearOperator& A, std::span<const double> b,
     throw std::invalid_argument("gmres: max_iters must be positive");
   }
 
-  GmresStats stats;
+  const double bnorm = la::nrm2(b_);
+  abs_target_ =
+      (opts_.tol > 0.0) ? opts_.tol * (bnorm > 0.0 ? bnorm : 1.0) : 0.0;
+  cycle_len_ = (opts_.restart == 0) ? opts_.max_iters : opts_.restart;
+  w_->arena.reserve(n_, cycle_len_);
 
-  const double bnorm = la::nrm2(b);
-  const double abs_target =
-      (opts.tol > 0.0) ? opts.tol * (bnorm > 0.0 ? bnorm : 1.0) : 0.0;
-  const std::size_t cycle_len =
-      (opts.restart == 0) ? opts.max_iters : opts.restart;
+  if (hook_ != nullptr) hook_->on_solve_begin(solve_index_);
+}
 
+std::span<double> GmresEngine::residual_target() {
+  return w_->arena.scratch(0).span();
+}
+
+bool GmresEngine::start_cycle() {
+  ++stats_.operator_applies; // the caller-provided A*x this call consumes
+
+  la::Vector& r = w_->arena.scratch(0);
+  std::vector<double>& hcol = w_->arena.h_column();
+  std::fill(hcol.begin(),
+            hcol.begin() + static_cast<std::ptrdiff_t>(cycle_len_ + 2), 0.0);
+
+  // Reliable residual at cycle start: r = b - A*x (A*x is in r already).
+  la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+  const double beta = la::nrm2(r);
+  stats_.residual_norm = beta;
+  if (beta == 0.0 || (abs_target_ > 0.0 && beta <= abs_target_)) {
+    stats_.status = SolveStatus::Converged;
+    finished_ = true;
+    return true;
+  }
+  if (!std::isfinite(beta)) {
+    // A non-finite iterate cannot improve; report and stop.
+    stats_.status = SolveStatus::MaxIterations;
+    finished_ = true;
+    return true;
+  }
+
+  // Contiguous column-major basis arena: the whole cycle's basis lives in
+  // one buffer so orthogonalization runs as fused block kernels.
+  la::KrylovBasis& q = w_->arena.basis();
+  q.clear();
+  q.append(r);
+  la::scal(1.0 / beta, q.col(0));
+
+  w_->qr.reset(cycle_len_, beta);
+  awaiting_residual_ = false;
+  return false;
+}
+
+void GmresEngine::begin_iteration() {
+  const std::size_t j = w_->qr.size();
+  const ArnoldiContext ctx{.solve_index = solve_index_, .iteration = j};
+  if (hook_ != nullptr) hook_->on_iteration_begin(ctx);
+
+  // Right-preconditioned: the pending product is A * (M^{-1} q_j); the
+  // preconditioner runs span-to-span out of the arena, here and now.
+  if (opts_.right_precond != nullptr) {
+    opts_.right_precond->apply(w_->arena.basis().col(j),
+                               w_->arena.scratch(2).span());
+  }
+}
+
+std::span<const double> GmresEngine::direction() const {
+  if (opts_.right_precond != nullptr) {
+    return w_->arena.scratch(2).span();
+  }
+  return w_->arena.basis().col(w_->qr.size());
+}
+
+std::span<double> GmresEngine::v_target() {
+  return w_->arena.scratch(1).span();
+}
+
+bool GmresEngine::advance() {
+  ++stats_.operator_applies; // the caller-provided A*direction()
+
+  const std::size_t j = w_->qr.size();
+  la::KrylovBasis& q = w_->arena.basis();
+  la::Vector& v = w_->arena.scratch(1);
+  std::vector<double>& hcol = w_->arena.h_column();
+  const ArnoldiContext ctx{.solve_index = solve_index_, .iteration = j};
+
+  if (hook_ != nullptr) hook_->on_matvec_result(ctx, v);
+  const double w_norm = la::nrm2(v); // scale reference for breakdown test
+
+  orthogonalize(opts_.ortho, q, j + 1, v, hcol, hook_, ctx);
+  if (hook_ != nullptr && hook_->abort_requested()) {
+    // Drop the tainted column entirely; solve with the j columns that
+    // were accepted before the detector fired.
+    return finish_cycle(/*aborted=*/true, false, false, false);
+  }
+
+  double hnext = la::nrm2(v);
+  if (hook_ != nullptr) hook_->on_subdiagonal(ctx, hnext);
+  if (hook_ != nullptr && hook_->abort_requested()) {
+    return finish_cycle(/*aborted=*/true, false, false, false);
+  }
+
+  hcol[j + 1] = hnext;
+  const double est = w_->qr.add_column({hcol.data(), j + 2});
+  if (history_ != nullptr) history_->push_back(est);
+  ++stats_.iterations;
+  stats_.residual_norm = est;
+
+  if (hnext <= opts_.breakdown_tol * (w_norm > 0.0 ? w_norm : 1.0)) {
+    return finish_cycle(false, /*breakdown=*/true, false, false);
+  }
+  q.append(v.span());
+  la::scal(1.0 / hnext, q.col(j + 1));
+
+  if (hook_ != nullptr) {
+    const ArnoldiIterationView view{
+        .basis = q.view(j + 2),
+        .h_column = {hcol.data(), j + 2},
+    };
+    hook_->on_iteration_end(ctx, view);
+    if (hook_->abort_requested()) {
+      // The whole-iteration check rejected this column (Online-ABFT
+      // style); drop it and stop, as for coefficient-level aborts.
+      q.pop_back();
+      // The column is already in the QR factorization; the projected
+      // solve below must not use it.
+      if (history_ != nullptr) history_->pop_back();
+      --stats_.iterations;
+      return finish_cycle(/*aborted=*/true, false, false,
+                          /*qr_pop_pending=*/true);
+    }
+  }
+
+  if (abs_target_ > 0.0 && est <= abs_target_) {
+    return finish_cycle(false, false, /*converged=*/true, false);
+  }
+  if (w_->qr.size() >= cycle_len_ || stats_.iterations >= opts_.max_iters) {
+    // Cycle exhausted: restart (or stop on a spent budget).
+    return finish_cycle(false, false, false, false);
+  }
+  return false; // next step: begin_iteration()
+}
+
+bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
+                               bool qr_pop_pending) {
+  dense::HessenbergQr& qr = w_->qr;
+  la::KrylovBasis& q = w_->arena.basis();
+  la::Vector& z = w_->arena.scratch(2);
+  la::Vector& update = w_->arena.scratch(3);
+
+  // Form the update x += (M^{-1}) Q_k y from the accepted columns.
+  if (qr_pop_pending) {
+    qr.pop_column();
+    stats_.residual_norm = qr.residual_estimate();
+  }
+  const std::size_t k = qr.size();
+  if (k > 0) {
+    const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
+                                              opts_.lsq_policy,
+                                              opts_.truncation_tol);
+    stats_.lsq_effective_rank = solve.effective_rank;
+    stats_.lsq_fallback_triggered = solve.fallback_triggered;
+    // update := Q_k y as one gemv over the contiguous block.
+    la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k), 0.0,
+             std::span<double>(update.data(), n_));
+    if (opts_.right_precond != nullptr) {
+      opts_.right_precond->apply(std::span<const double>(update.data(), n_),
+                                 z.span());
+      la::axpy(1.0, std::span<const double>(z.data(), n_), x_);
+    } else {
+      la::axpy(1.0, std::span<const double>(update.data(), n_), x_);
+    }
+  }
+
+  if (aborted) {
+    stats_.status = SolveStatus::AbortedByDetector;
+    finished_ = true;
+  } else if (breakdown) {
+    stats_.status = SolveStatus::HappyBreakdown;
+    finished_ = true;
+  } else if (converged) {
+    stats_.status = SolveStatus::Converged;
+    finished_ = true;
+  } else {
+    stats_.status = SolveStatus::MaxIterations;
+    finished_ = stats_.iterations >= opts_.max_iters;
+    if (!finished_) awaiting_residual_ = true; // restart: next cycle
+  }
+  return finished_;
+}
+
+bool step_with_apply(const LinearOperator& A, GmresEngine& engine) {
+  if (engine.awaiting_residual()) {
+    A.apply(engine.residual_operand(), engine.residual_target());
+    return engine.start_cycle();
+  }
+  engine.begin_iteration();
+  A.apply(engine.direction(), engine.v_target());
+  return engine.advance();
+}
+
+void drive_to_completion(const LinearOperator& A, GmresEngine& engine) {
+  while (!engine.finished()) step_with_apply(A, engine);
+}
+
+GmresStats gmres_in_place(const LinearOperator& A, std::span<const double> b,
+                          std::span<double> x, const GmresOptions& opts,
+                          ArnoldiHook* hook, std::size_t solve_index,
+                          KrylovWorkspace* ws,
+                          std::vector<double>* residual_history) {
   KrylovWorkspace local;
   KrylovWorkspace& w = (ws != nullptr) ? *ws : local;
-  w.arena.reserve(A.rows(), cycle_len);
-
-  if (hook != nullptr) hook->on_solve_begin(solve_index);
-  while (true) {
-    const CycleOutcome outcome =
-        run_cycle(A, b, x, opts, cycle_len, abs_target, hook, solve_index, w,
-                  stats, residual_history);
-    stats.status = outcome.status;
-    if (outcome.stop) break;
-  }
-  return stats;
+  GmresEngine engine(A, b, x, opts, hook, solve_index, w, residual_history);
+  drive_to_completion(A, engine);
+  return engine.stats();
 }
 
 GmresResult gmres(const LinearOperator& A, const la::Vector& b,

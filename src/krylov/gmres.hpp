@@ -7,6 +7,12 @@
 /// the SDC framework injects faults into the projection coefficients and
 /// where the invariant detector checks |h(i,j)| <= ||A||_F; passing no hook
 /// gives the plain solver.
+///
+/// The one implementation is the step-driveable GmresEngine below (the
+/// inner-solve counterpart of krylov::FgmresEngine): gmres() and
+/// gmres_in_place() drive it straight through, and the lockstep batch
+/// driver (krylov/ft_gmres_batch.cpp) interleaves many engines so the B
+/// inner solves of a batch share one fused SpMM per inner iteration.
 
 #include <cstddef>
 #include <span>
@@ -58,14 +64,164 @@ struct GmresStats {
   SolveStatus status = SolveStatus::MaxIterations;
   std::size_t iterations = 0;
   double residual_norm = 0.0;
+  std::size_t operator_applies = 0; ///< operator products the solve consumed
+                                    ///< (one per restart-cycle residual, one
+                                    ///< per Arnoldi iteration); independent
+                                    ///< of whether the products arrived as
+                                    ///< solo SpMVs or fused SpMM columns
   std::size_t lsq_effective_rank = 0;
   bool lsq_fallback_triggered = false;
 };
+
+/// Step-driveable GMRES: the single implementation behind gmres(),
+/// gmres_in_place(), and the FT-GMRES inner solve
+/// (InnerGmresPreconditioner).  Mirrors krylov::FgmresEngine: the
+/// iteration is split at its external data dependencies -- the operator
+/// applications -- so a lockstep driver can interleave many engines and
+/// fuse their products into one apply_block per step.
+///
+/// GMRES consumes two kinds of products, and the engine exposes which one
+/// it is waiting for:
+///
+///   awaiting_residual() == true   (start of every restart cycle)
+///     caller computes A * residual_operand() into residual_target(),
+///     then calls start_cycle()
+///   awaiting_residual() == false  (one Arnoldi iteration)
+///     begin_iteration()  ->  hook events + optional right-precond z
+///     caller computes A * direction() into v_target()
+///     advance()          ->  orthogonalization, projected QR, breakdown/
+///                            abort/convergence checks, cycle turnover
+///
+/// The canonical driver loop (exactly what gmres_in_place runs):
+///
+///   while (!engine.finished()) {
+///     if (engine.awaiting_residual()) {
+///       A.apply(engine.residual_operand(), engine.residual_target());
+///       engine.start_cycle();
+///     } else {
+///       engine.begin_iteration();
+///       A.apply(engine.direction(), engine.v_target());
+///       engine.advance();
+///     }
+///   }
+///
+/// Both pending operands are single columns of A's operand space, so a
+/// batch driver can pack engines in either phase into the same fused
+/// apply_block.  The per-instance floating-point and hook-event sequence
+/// is EXACTLY the sequence gmres_in_place() executes, and the engine
+/// touches no state outside its own workspace, so lockstep instances are
+/// bitwise identical to their solo runs as long as the caller-supplied
+/// products are (CSR SpMM columns are bitwise equal to SpMV).
+///
+/// Lifetime: \p b, \p x, \p ws, and \p residual_history must outlive the
+/// engine; \p x is updated in place at the end of every restart cycle.
+class GmresEngine {
+public:
+  /// Validates shapes/options (throws std::invalid_argument exactly as
+  /// gmres() does), reserves the workspace, and reports the solve to the
+  /// hook (on_solve_begin).  The first step is always the initial
+  /// residual product: awaiting_residual() is true after construction.
+  GmresEngine(const LinearOperator& A, std::span<const double> b,
+              std::span<double> x, const GmresOptions& opts,
+              ArnoldiHook* hook, std::size_t solve_index, KrylovWorkspace& ws,
+              std::vector<double>* residual_history);
+
+  /// True once a terminal status has been reached; no further protocol
+  /// calls are allowed.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// True when the next step is a restart-cycle residual product
+  /// (A * residual_operand() -> residual_target() -> start_cycle());
+  /// false when it is an Arnoldi product (begin_iteration() ->
+  /// A * direction() -> v_target() -> advance()).
+  [[nodiscard]] bool awaiting_residual() const noexcept {
+    return awaiting_residual_;
+  }
+
+  /// Operand of the pending cycle-start product: the current iterate.
+  [[nodiscard]] std::span<const double> residual_operand() const noexcept {
+    return x_;
+  }
+
+  /// Destination for A * residual_operand(); the caller must fully
+  /// overwrite it before start_cycle().
+  [[nodiscard]] std::span<double> residual_target();
+
+  /// Consume the cycle-start product: form r = b - A*x, test for
+  /// immediate convergence / a non-finite iterate, and set up the basis
+  /// and projected-QR state of the new cycle.  Returns finished().
+  bool start_cycle();
+
+  /// Begin Arnoldi iteration j: hook on_iteration_begin, plus the
+  /// right-preconditioner application z = M^{-1} q_j when configured.
+  void begin_iteration();
+
+  /// Operand of the pending Arnoldi product (q_j, or z when
+  /// right-preconditioned).  Valid between begin_iteration() and
+  /// advance().
+  [[nodiscard]] std::span<const double> direction() const;
+
+  /// Destination for A * direction(); the caller must fully overwrite it
+  /// before advance().
+  [[nodiscard]] std::span<double> v_target();
+
+  /// Consume the Arnoldi product: hook on_matvec_result,
+  /// orthogonalization (with per-coefficient hook events), detector
+  /// aborts, the projected QR update, breakdown and convergence tests.
+  /// Ends the cycle (forming the iterate update in x) when one of those
+  /// fires or the cycle/budget is exhausted.  Returns finished().
+  bool advance();
+
+  /// Hook identifier of this solve (FT-GMRES: the owning outer iteration).
+  [[nodiscard]] std::size_t solve_index() const noexcept {
+    return solve_index_;
+  }
+
+  /// Accumulated statistics (final once finished()).
+  [[nodiscard]] const GmresStats& stats() const noexcept { return stats_; }
+
+private:
+  /// Everything after an iteration or budget check ends a cycle: form the
+  /// update x += (M^{-1}) Q_k y from the accepted columns and either
+  /// finish the solve or turn over into the next cycle's residual phase.
+  bool finish_cycle(bool aborted, bool breakdown, bool converged,
+                    bool qr_pop_pending);
+
+  const LinearOperator* a_;
+  std::span<const double> b_;
+  std::span<double> x_;
+  GmresOptions opts_;
+  ArnoldiHook* hook_;
+  std::size_t solve_index_;
+  KrylovWorkspace* w_;
+  std::vector<double>* history_;
+  std::size_t n_ = 0;
+  std::size_t cycle_len_ = 0;
+  double abs_target_ = 0.0;
+  bool awaiting_residual_ = true;
+  bool finished_ = false;
+  GmresStats stats_;
+};
+
+/// Advance \p engine by exactly one protocol step with a solo operator
+/// application: the cycle-start residual product + start_cycle() when
+/// awaiting_residual(), else begin_iteration() + Arnoldi product +
+/// advance().  Returns finished().  This is the unit the batch driver's
+/// one-live-engine tails reuse; lockstep blocks run the same step with
+/// the product replaced by a fused apply_block column.
+bool step_with_apply(const LinearOperator& A, GmresEngine& engine);
+
+/// Drive \p engine to completion with solo operator applications -- the
+/// canonical straight-through loop (shown in the GmresEngine docs),
+/// shared by gmres_in_place() and the solo FT-GMRES inner-solve path so
+/// the protocol exists exactly once.
+void drive_to_completion(const LinearOperator& A, GmresEngine& engine);
 
 /// Span-core GMRES: solve A x = b with \p x holding the initial guess on
 /// entry and the final iterate on exit.  This is the zero-copy entry point
 /// the FT-GMRES inner solve uses: b is a basis column of the outer solver
 /// and x a Z-arena column, with no owning la::Vector at the boundary.
+/// Implemented as the canonical straight-through drive of GmresEngine.
 /// \param ws optional reusable workspace (basis arena + projected QR);
 ///        with a workspace of matching shape the solve performs no heap
 ///        allocation.  nullptr allocates internally, as before.

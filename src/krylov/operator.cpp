@@ -6,7 +6,8 @@
 
 namespace sdcgmres::krylov {
 
-void CsrOperator::apply_block(const la::BasisView& x, la::BlockView y) const {
+void CsrOperator::do_apply_block(const la::BasisView& x,
+                                 la::BlockView y) const {
   if (x.rows() != a_->cols() || y.rows() != a_->rows() ||
       x.cols() != y.cols()) {
     throw std::invalid_argument("CsrOperator::apply_block: shape mismatch");
@@ -15,8 +16,8 @@ void CsrOperator::apply_block(const la::BasisView& x, la::BlockView y) const {
   a_->spmm(x.cols(), x.data(), x.ld(), y.data(), y.ld());
 }
 
-void ScaledOperator::apply(std::span<const double> x,
-                           std::span<double> y) const {
+void ScaledOperator::do_apply(std::span<const double> x,
+                              std::span<double> y) const {
   a_->apply(x, y);
   la::scal(alpha_, y);
 }

@@ -5,12 +5,19 @@
 /// Mirrors the role of Tpetra::Operator in the paper's Trilinos
 /// implementation: solvers see only y = A*x.
 ///
-/// The virtual core is span-in/span-out so that solvers can feed basis
-/// columns straight out of a contiguous la::KrylovBasis arena and receive
-/// results straight into workspace storage, with zero owning-vector
-/// copies at the operator boundary.  Thin la::Vector overloads remain for
-/// callers that hold owning vectors; they resize the output and forward.
+/// The virtual cores (do_apply / do_apply_block) are span-in/span-out so
+/// that solvers can feed basis columns straight out of a contiguous
+/// la::KrylovBasis arena and receive results straight into workspace
+/// storage, with zero owning-vector copies at the operator boundary.
+/// Thin la::Vector overloads remain for callers that hold owning vectors;
+/// they resize the output and forward.
+///
+/// The public apply()/apply_block() entry points are non-virtual counting
+/// wrappers: every application is tallied in per-instance OperatorStats
+/// (calls and operand columns), which is how the batched sweep proves its
+/// matrix-traffic reduction with measured numbers instead of wall-clock.
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 
@@ -21,6 +28,35 @@
 
 namespace sdcgmres::krylov {
 
+/// A snapshot of an operator's application counters.  apply() streams
+/// the matrix once for one operand column; apply_block() streams it once
+/// for a whole block of columns -- so streams() is the number of matrix
+/// passes paid and columns() the number of operand columns processed.
+/// The lockstep batch drivers keep columns() fixed while dividing
+/// streams() by ~B.
+struct OperatorStats {
+  std::size_t apply_calls = 0;       ///< span-core applications (1 column)
+  std::size_t apply_block_calls = 0; ///< fused block applications
+  std::size_t block_columns = 0;     ///< operand columns across all
+                                     ///< apply_block calls
+
+  /// Matrix passes paid (the traffic proxy the batch optimizes).
+  [[nodiscard]] std::size_t streams() const noexcept {
+    return apply_calls + apply_block_calls;
+  }
+  /// Total operand columns processed (the work, identical at any batch).
+  [[nodiscard]] std::size_t columns() const noexcept {
+    return apply_calls + block_columns;
+  }
+
+  OperatorStats& operator+=(const OperatorStats& other) noexcept {
+    apply_calls += other.apply_calls;
+    apply_block_calls += other.apply_block_calls;
+    block_columns += other.block_columns;
+    return *this;
+  }
+};
+
 /// Abstract y = A*x.
 class LinearOperator {
 public:
@@ -29,10 +65,13 @@ public:
   [[nodiscard]] virtual std::size_t rows() const = 0;
   [[nodiscard]] virtual std::size_t cols() const = 0;
 
-  /// y := A*x, the span core.  x.size() must equal cols() and y.size()
-  /// must equal rows(); x and y must not alias.  Implementations must
-  /// write every entry of y.
-  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+  /// y := A*x, the span entry point.  x.size() must equal cols() and
+  /// y.size() must equal rows(); x and y must not alias.  The
+  /// implementation (do_apply) must write every entry of y.
+  void apply(std::span<const double> x, std::span<double> y) const {
+    apply_calls_.fetch_add(1, std::memory_order_relaxed);
+    do_apply(x, y);
+  }
 
   /// Convenience: y := A*x for owning vectors; resizes y to rows().
   void apply(const la::Vector& x, la::Vector& y) const {
@@ -53,18 +92,67 @@ public:
     return y;
   }
 
-  /// Y := A*X over a block of operand columns, the block core of the data
-  /// plane.  x.rows() must equal cols(), y.rows() must equal rows(), and
-  /// x.cols() must equal y.cols(); the blocks must not alias.  Each output
-  /// column must be BITWISE identical to apply() on the matching operand
-  /// column -- batch drivers rely on this to keep lockstep solves equal to
-  /// their solo runs.  The default walks the columns through the span
-  /// core, so every existing implementor is block-capable for free;
-  /// matrix-backed operators override with a fused SpMM that streams the
-  /// matrix once per block.  A zero-column block is a no-op.
-  virtual void apply_block(const la::BasisView& x, la::BlockView y) const {
-    for (std::size_t j = 0; j < x.cols(); ++j) apply(x.col(j), y.col(j));
+  /// Y := A*X over a block of operand columns, the block entry point of
+  /// the data plane.  x.rows() must equal cols(), y.rows() must equal
+  /// rows(), and x.cols() must equal y.cols(); the blocks must not alias.
+  /// Each output column must be BITWISE identical to apply() on the
+  /// matching operand column -- batch drivers rely on this to keep
+  /// lockstep solves equal to their solo runs.  The default core walks
+  /// the columns through do_apply, so every implementor is block-capable
+  /// for free; matrix-backed operators override do_apply_block with a
+  /// fused SpMM that streams the matrix once per block.  A zero-column
+  /// block is a no-op.
+  void apply_block(const la::BasisView& x, la::BlockView y) const {
+    apply_block_calls_.fetch_add(1, std::memory_order_relaxed);
+    block_columns_.fetch_add(x.cols(), std::memory_order_relaxed);
+    do_apply_block(x, y);
   }
+
+  /// Snapshot of this instance's traffic counters.  The counters are
+  /// relaxed atomics, so a const operator shared across threads stays
+  /// well-defined and counts exactly; still prefer one operator per
+  /// thread over a shared matrix (the sweep engine's pattern) so each
+  /// phase's traffic is attributable, and sum the stats afterwards.
+  [[nodiscard]] OperatorStats stats() const noexcept {
+    return {.apply_calls = apply_calls_.load(std::memory_order_relaxed),
+            .apply_block_calls =
+                apply_block_calls_.load(std::memory_order_relaxed),
+            .block_columns = block_columns_.load(std::memory_order_relaxed)};
+  }
+
+  /// Zero the counters (e.g. between measured phases).
+  void reset_stats() const noexcept {
+    apply_calls_.store(0, std::memory_order_relaxed);
+    apply_block_calls_.store(0, std::memory_order_relaxed);
+    block_columns_.store(0, std::memory_order_relaxed);
+  }
+
+protected:
+  LinearOperator() = default;
+  /// Copies/assignments of an implementor carry its configuration, not
+  /// its traffic history: the copied-to operator's counters (re)start
+  /// at zero.
+  LinearOperator(const LinearOperator&) noexcept {}
+  LinearOperator& operator=(const LinearOperator&) noexcept {
+    reset_stats();
+    return *this;
+  }
+
+  /// Virtual span core (see apply() for the contract).
+  virtual void do_apply(std::span<const double> x,
+                        std::span<double> y) const = 0;
+
+  /// Virtual block core (see apply_block() for the contract).  The
+  /// default loops over do_apply so counting stays call-accurate: one
+  /// block call, x.cols() columns, however the block is realized.
+  virtual void do_apply_block(const la::BasisView& x, la::BlockView y) const {
+    for (std::size_t j = 0; j < x.cols(); ++j) do_apply(x.col(j), y.col(j));
+  }
+
+private:
+  mutable std::atomic<std::size_t> apply_calls_{0};
+  mutable std::atomic<std::size_t> apply_block_calls_{0};
+  mutable std::atomic<std::size_t> block_columns_{0};
 };
 
 /// Adapter exposing a CSR matrix as a LinearOperator (non-owning).
@@ -72,23 +160,23 @@ class CsrOperator final : public LinearOperator {
 public:
   explicit CsrOperator(const sparse::CsrMatrix& A) : a_(&A) {}
 
-  using LinearOperator::apply; // keep the la::Vector conveniences visible
-
   [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
   [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
 
+  [[nodiscard]] const sparse::CsrMatrix& matrix() const { return *a_; }
+
+protected:
   /// Zero-copy SpMV straight between spans (basis column in, workspace
   /// column out).
-  void apply(std::span<const double> x, std::span<double> y) const override {
+  void do_apply(std::span<const double> x,
+                std::span<double> y) const override {
     a_->spmv(x, y);
   }
 
   /// Fused SpMM: one pass over the matrix for the whole block instead of
   /// one per column (columns stay bitwise identical to spmv -- see
   /// CsrMatrix::spmm).
-  void apply_block(const la::BasisView& x, la::BlockView y) const override;
-
-  [[nodiscard]] const sparse::CsrMatrix& matrix() const { return *a_; }
+  void do_apply_block(const la::BasisView& x, la::BlockView y) const override;
 
 private:
   const sparse::CsrMatrix* a_;
@@ -99,11 +187,11 @@ class ScaledOperator final : public LinearOperator {
 public:
   ScaledOperator(const LinearOperator& A, double alpha) : a_(&A), alpha_(alpha) {}
 
-  using LinearOperator::apply; // keep the la::Vector conveniences visible
-
   [[nodiscard]] std::size_t rows() const override { return a_->rows(); }
   [[nodiscard]] std::size_t cols() const override { return a_->cols(); }
-  void apply(std::span<const double> x, std::span<double> y) const override;
+
+protected:
+  void do_apply(std::span<const double> x, std::span<double> y) const override;
 
 private:
   const LinearOperator* a_;

@@ -194,6 +194,7 @@ SolveReport report_from_ft_result(krylov::FtGmresResult res) {
   r.status = res.status;
   r.iterations = res.outer_iterations;
   r.total_inner_iterations = res.total_inner_iterations;
+  r.total_inner_applies = res.total_inner_applies;
   r.residual_norm = res.residual_norm;
   r.residual_history = std::move(res.residual_history);
   r.inner_solves = std::move(res.inner_solves);

@@ -101,6 +101,11 @@ struct SolveReport {
   std::size_t iterations = 0; ///< outer iterations (nested/flexible) or
                               ///< total iterations (gmres/cg)
   std::size_t total_inner_iterations = 0; ///< nested solvers only
+  std::size_t total_inner_applies = 0; ///< ft_gmres family: operator
+                              ///< products consumed by the unreliable
+                              ///< inner solves (the dominant matrix
+                              ///< traffic; mode-independent, whether the
+                              ///< products ran solo or lockstep-fused)
   double residual_norm = 0.0; ///< final residual (explicit where the
                               ///< underlying solver certifies explicitly)
   std::vector<double> residual_history; ///< per-(outer-)iteration estimates

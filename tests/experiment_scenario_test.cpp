@@ -243,3 +243,46 @@ TEST(Scenario, BatchedSolverRunsSingleSolveMode) {
     ASSERT_EQ(batched.x[i], solo.x[i]) << "x[" << i << "]";
   }
 }
+
+TEST(Scenario, SweepRangeValidationIsUpFrontAndListsRanges) {
+  // batch=0 / inner=0 and negative values fail inside
+  // sweep_config_from_spec itself -- before any matrix is built or solve
+  // runs -- with messages naming the offending key and the valid range.
+  const auto expect_range_throw = [](const char* spec_text, const char* key) {
+    const auto spec = ScenarioSpec::parse(spec_text);
+    try {
+      (void)experiment::sweep_config_from_spec(spec, /*frobenius_norm=*/1.0);
+      FAIL() << "expected std::invalid_argument for " << spec_text;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(key), std::string::npos) << what;
+    }
+  };
+  expect_range_throw("matrix=poisson n=6 sweep=1 fault=class1 batch=0",
+                     "batch");
+  expect_range_throw("matrix=poisson n=6 sweep=1 fault=class1 batch=-4",
+                     "batch");
+  expect_range_throw("matrix=poisson n=6 sweep=1 fault=class1 inner=0",
+                     "inner");
+  expect_range_throw("matrix=poisson n=6 sweep=1 fault=class1 inner=-25",
+                     "inner");
+  // The zero cases state what IS valid.
+  try {
+    (void)experiment::sweep_config_from_spec(
+        ScenarioSpec::parse("matrix=poisson n=6 sweep=1 fault=class1 inner=0"),
+        1.0);
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("inner >= 1"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)experiment::sweep_config_from_spec(
+        ScenarioSpec::parse("matrix=poisson n=6 sweep=1 fault=class1 batch=0"),
+        1.0);
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("batch >= 1"), std::string::npos)
+        << e.what();
+  }
+}

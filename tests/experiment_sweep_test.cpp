@@ -387,3 +387,54 @@ TEST(SweepValidation, ZeroSelectedSitesThrowInsteadOfEmptySweep) {
   EXPECT_THROW((void)experiment::run_injection_sweep(A, b, small_config()),
                std::invalid_argument);
 }
+
+TEST(Sweep, BatchedSweepCutsMatrixStreamsNotColumns) {
+  // The measured-traffic contract of the inner-lockstep engine, at the
+  // sweep level: batching leaves the operand-column count (the work)
+  // untouched and divides the matrix-stream count (the traffic) by ~batch,
+  // while every point stays bitwise identical.
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(A.rows());
+  auto config = small_config();
+  config.model = sdc::FaultModel::scale(1e150);
+
+  const auto solo = experiment::run_injection_sweep(A, b, config);
+  config.batch = 4;
+  const auto batched = experiment::run_injection_sweep(A, b, config);
+
+  EXPECT_EQ(batched.points, solo.points);
+  EXPECT_GT(solo.points[0].inner_applies, 0u);
+  EXPECT_EQ(batched.inner_operand_columns(), solo.inner_operand_columns());
+  EXPECT_EQ(batched.operator_stats.columns(), solo.operator_stats.columns());
+  // The inner solves dominate the columns (inner budget vs one outer
+  // product per iteration), which is why inner-level lockstep matters.
+  EXPECT_GT(2 * solo.inner_operand_columns(),
+            solo.operator_stats.columns());
+  EXPECT_EQ(solo.operator_stats.apply_block_calls, 0u);
+  EXPECT_GT(batched.operator_stats.apply_block_calls, 0u);
+  EXPECT_LT(2 * batched.operator_stats.streams(),
+            solo.operator_stats.streams());
+}
+
+TEST(Sweep, AbortingDetectorUnderThreadsAndBatchStaysIdentical) {
+  // threads=N batch=B == serial batch=1 with an inner-abort-inducing
+  // fault model: class-1 faults exceed ||A||_F, so the abort-response
+  // detector terminates inner solves mid-block at many sites.
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(A.rows());
+  auto config = small_config();
+  config.model = sdc::FaultModel::scale(1e150);
+  config.with_detector = true;
+  config.detector_bound = A.frobenius_norm();
+  config.detector_response = sdc::DetectorResponse::AbortSolve;
+
+  const auto serial = experiment::run_injection_sweep(A, b, config);
+  EXPECT_GT(serial.detected_runs(), 0u);
+
+  config.threads = 3;
+  config.batch = 3;
+  const auto batched = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(batched.points, serial.points);
+  EXPECT_EQ(batched.baseline_outer, serial.baseline_outer);
+  EXPECT_EQ(batched.baseline_total_inner, serial.baseline_total_inner);
+}

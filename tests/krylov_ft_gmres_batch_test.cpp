@@ -41,6 +41,7 @@ void expect_same_result(const krylov::FtGmresResult& got,
   EXPECT_EQ(got.status, want.status);
   EXPECT_EQ(got.outer_iterations, want.outer_iterations);
   EXPECT_EQ(got.total_inner_iterations, want.total_inner_iterations);
+  EXPECT_EQ(got.total_inner_applies, want.total_inner_applies);
   EXPECT_EQ(got.sanitized_outputs, want.sanitized_outputs);
   EXPECT_EQ(got.residual_norm, want.residual_norm); // bitwise
   ASSERT_EQ(got.x.size(), want.x.size());
@@ -59,6 +60,8 @@ void expect_same_result(const krylov::FtGmresResult& got,
     EXPECT_EQ(got.inner_solves[i].status, want.inner_solves[i].status);
     EXPECT_EQ(got.inner_solves[i].iterations,
               want.inner_solves[i].iterations);
+    EXPECT_EQ(got.inner_solves[i].operator_applies,
+              want.inner_solves[i].operator_applies);
     EXPECT_EQ(got.inner_solves[i].residual_norm,
               want.inner_solves[i].residual_norm);
   }
@@ -268,4 +271,150 @@ TEST(BatchedFtGmresSolverFacade, SingleSolveHookDoesNotLeakIntoSolveBatch) {
   EXPECT_NO_THROW((void)batched.solve_batch(bs, xs, hooks));
   batched.set_hook(nullptr);
   EXPECT_NO_THROW((void)batched.solve_batch(bs, xs));
+}
+
+// ---------------------------------------------------------------------------
+// Inner-lockstep coverage: with PR 5 the B inner GMRES solves of a batch
+// advance in lockstep too (one fused product per inner Arnoldi iteration),
+// so these tests pin the bitwise-identity contract across fault classes,
+// injection positions, and detector-triggered inner aborts mid-block.
+// ---------------------------------------------------------------------------
+
+TEST(FtGmresBatch, FaultClassesAndPositionsStayBitwiseIdentical) {
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  const auto bs = test_rhs(A.rows(), 3);
+  const std::size_t sites[] = {0, 5, 11};
+
+  const sdc::FaultModel models[] = {
+      sdc::fault_classes::very_large(),      // class 1
+      sdc::fault_classes::slightly_smaller(), // class 2
+      sdc::fault_classes::nearly_zero(),      // class 3
+  };
+  const sdc::MgsPosition positions[] = {sdc::MgsPosition::First,
+                                        sdc::MgsPosition::Last};
+  for (const auto& model : models) {
+    for (const auto position : positions) {
+      SCOPED_TRACE(static_cast<int>(position));
+      std::vector<sdc::FaultCampaign> campaigns;
+      campaigns.reserve(bs.size());
+      std::vector<krylov::ArnoldiHook*> hooks(bs.size());
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        campaigns.emplace_back(
+            sdc::InjectionPlan::hessenberg(sites[i], position, model));
+        hooks[i] = &campaigns[i];
+      }
+      const auto batch = krylov::ft_gmres_batch(op, bs, opts, hooks);
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        sdc::FaultCampaign solo_campaign(
+            sdc::InjectionPlan::hessenberg(sites[i], position, model));
+        const auto solo = krylov::ft_gmres(op, bs[i], opts, &solo_campaign);
+        expect_same_result(batch[i], solo, "fault class/position vs solo");
+        EXPECT_EQ(campaigns[i].fired(), solo_campaign.fired());
+      }
+    }
+  }
+}
+
+TEST(FtGmresBatch, PartialInnerAbortMidBlockKeepsEveryoneBitwise) {
+  // Only SOME instances carry an abort-response detector: their inner
+  // engines terminate mid-inner-block (dropping out of the fused inner
+  // products) while the unhooked instances' inner solves run to their
+  // full budget.  Every instance -- aborted and survivor alike -- must
+  // still match its solo run bitwise.
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  const auto bs = test_rhs(A.rows(), 4);
+  const double bound = A.frobenius_norm();
+  const std::size_t abort_sites[] = {3, 9};
+
+  std::vector<sdc::FaultCampaign> campaigns;
+  campaigns.reserve(2);
+  std::vector<sdc::HessenbergBoundDetector> detectors;
+  detectors.reserve(2);
+  std::vector<krylov::HookChain> chains(2);
+  std::vector<krylov::ArnoldiHook*> hooks(bs.size(), nullptr);
+  for (std::size_t k = 0; k < 2; ++k) {
+    campaigns.emplace_back(sdc::InjectionPlan::hessenberg(
+        abort_sites[k], sdc::MgsPosition::First,
+        sdc::FaultModel::scale(1e150)));
+    detectors.emplace_back(bound, sdc::DetectorResponse::AbortSolve);
+    chains[k].add(&campaigns[k]);
+    chains[k].add(&detectors[k]);
+    hooks[1 + k] = &chains[k]; // instances 1 and 2 abort, 0 and 3 do not
+  }
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts, hooks);
+  EXPECT_TRUE(detectors[0].triggered());
+  EXPECT_TRUE(detectors[1].triggered());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    sdc::FaultCampaign solo_campaign(sdc::InjectionPlan::hessenberg(
+        i == 1 || i == 2 ? abort_sites[i - 1] : 0, sdc::MgsPosition::First,
+        sdc::FaultModel::scale(1e150)));
+    sdc::HessenbergBoundDetector solo_detector(
+        bound, sdc::DetectorResponse::AbortSolve);
+    krylov::HookChain solo_chain;
+    solo_chain.add(&solo_campaign);
+    solo_chain.add(&solo_detector);
+    krylov::ArnoldiHook* solo_hook =
+        (i == 1 || i == 2) ? static_cast<krylov::ArnoldiHook*>(&solo_chain)
+                           : nullptr;
+    const auto solo = krylov::ft_gmres(op, bs[i], opts, solo_hook);
+    expect_same_result(batch[i], solo, "partial abort vs solo");
+  }
+  // The aborted instances record at least one AbortedByDetector inner.
+  const auto aborted = [](const krylov::FtGmresResult& r) {
+    for (const auto& rec : r.inner_solves) {
+      if (rec.status == krylov::SolveStatus::AbortedByDetector) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(aborted(batch[1]));
+  EXPECT_TRUE(aborted(batch[2]));
+  EXPECT_FALSE(aborted(batch[0]));
+  EXPECT_FALSE(aborted(batch[3]));
+}
+
+TEST(FtGmresBatch, InnerLockstepSharesMatrixStreams) {
+  // The acceptance criterion of the inner-lockstep engine, measured with
+  // the LinearOperator traffic counters: the batch consumes the SAME
+  // operand columns as the solo runs (identical work, bitwise identical
+  // results) while paying ~1/B of the matrix streams -- because every
+  // inner Arnoldi iteration (and inner cycle start, and outer product)
+  // is one fused apply_block across all live instances.
+  const auto A = gen::poisson2d(12);
+  const krylov::CsrOperator op(A);
+  const auto opts = small_opts();
+  const std::size_t B = 4;
+  const auto bs = test_rhs(A.rows(), B);
+
+  op.reset_stats();
+  std::size_t total_outer = 0;
+  std::vector<krylov::FtGmresResult> solos;
+  for (std::size_t i = 0; i < B; ++i) {
+    solos.push_back(krylov::ft_gmres(op, bs[i], opts));
+    total_outer += solos.back().outer_iterations;
+  }
+  const krylov::OperatorStats serial = op.stats();
+  EXPECT_EQ(serial.apply_block_calls, 0u);
+
+  op.reset_stats();
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts);
+  const krylov::OperatorStats batched = op.stats();
+
+  for (std::size_t i = 0; i < B; ++i) {
+    expect_same_result(batch[i], solos[i], "counter run vs solo");
+  }
+  // Same work: the per-instance operation sequences are identical, so the
+  // operand-column totals agree exactly.
+  EXPECT_EQ(batched.columns(), serial.columns());
+  // ~1/B the streams: fused blocks for every lockstep product.  The slack
+  // term covers the per-instance products that cannot fuse (FgmresEngine's
+  // initial residual and explicit convergence verification, one-live-
+  // instance tails after dropout).
+  EXPECT_GT(batched.apply_block_calls, 0u);
+  EXPECT_LE(batched.streams(), serial.streams() / B + 3 * B + total_outer);
+  EXPECT_LT(2 * batched.streams(), serial.streams());
 }

@@ -264,3 +264,80 @@ TEST(Gmres, SolutionMatchesDirectSubstitutionOnTinySystem) {
   EXPECT_NEAR(res.x[0], 0.1, 1e-12);
   EXPECT_NEAR(res.x[1], 0.6, 1e-12);
 }
+
+// ---------------------------------------------------------------------------
+// GmresEngine: the step-driveable protocol behind gmres()/gmres_in_place()
+// and the lockstep inner solves of ft_gmres_batch.
+// ---------------------------------------------------------------------------
+
+TEST(GmresEngine, ManualDriveIsBitwiseIdenticalToGmres) {
+  // Driving the engine by hand through the documented protocol must
+  // reproduce gmres() exactly -- including across restart cycles, where
+  // the engine turns over into a fresh residual phase.
+  const auto A = gen::convection_diffusion2d(9, 8.0, -3.0);
+  const krylov::CsrOperator op(A);
+  const la::Vector b = la::ones(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 60;
+  opts.restart = 7; // several cycles
+  opts.tol = 1e-10;
+
+  const auto reference = krylov::gmres(op, b, la::Vector(A.cols()), opts);
+
+  krylov::KrylovWorkspace ws;
+  la::Vector x(A.cols());
+  std::vector<double> history;
+  krylov::GmresEngine engine(op, b.span(), x.span(), opts, nullptr, 0, ws,
+                             &history);
+  EXPECT_TRUE(engine.awaiting_residual());
+  std::size_t residual_steps = 0;
+  std::size_t arnoldi_steps = 0;
+  while (!engine.finished()) {
+    if (engine.awaiting_residual()) {
+      ++residual_steps;
+      op.apply(engine.residual_operand(), engine.residual_target());
+      engine.start_cycle();
+    } else {
+      ++arnoldi_steps;
+      engine.begin_iteration();
+      op.apply(engine.direction(), engine.v_target());
+      engine.advance();
+    }
+  }
+  const krylov::GmresStats& stats = engine.stats();
+
+  EXPECT_EQ(stats.status, reference.status);
+  EXPECT_EQ(stats.iterations, reference.iterations);
+  EXPECT_EQ(stats.residual_norm, reference.residual_norm); // bitwise
+  ASSERT_EQ(history.size(), reference.residual_history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    ASSERT_EQ(history[i], reference.residual_history[i]) << "history " << i;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(x[i], reference.x[i]) << "x[" << i << "]";
+  }
+  EXPECT_GT(residual_steps, 1u) << "test wants multiple restart cycles";
+  EXPECT_EQ(stats.operator_applies, residual_steps + arnoldi_steps);
+}
+
+TEST(GmresEngine, OperatorApplyCountMatchesConsumedProducts) {
+  // Every operator product the solve consumes is exactly one apply() in
+  // the straight-through drive: the engine's operator_applies counter and
+  // the operator's own traffic stats must agree.
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  const la::Vector b = la::ones(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 12;
+  opts.tol = 0.0; // fixed-iteration mode, the paper's inner-solve shape
+
+  op.reset_stats();
+  la::Vector x(A.cols());
+  const auto stats = krylov::gmres_in_place(op, b.span(), x.span(), opts);
+  EXPECT_EQ(stats.iterations, 12u);
+  // One cycle-start residual + one product per Arnoldi iteration.
+  EXPECT_EQ(stats.operator_applies, 13u);
+  EXPECT_EQ(op.stats().apply_calls, stats.operator_applies);
+  EXPECT_EQ(op.stats().apply_block_calls, 0u);
+  EXPECT_EQ(op.stats().columns(), stats.operator_applies);
+}
