@@ -148,6 +148,16 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
                      static_cast<double>(batched_streams)
                : 0.0)
        << ",\n"
+       // Guard trips and recovery activity (serial leg; identical in every
+       // mode).  This trace runs no detector and no guards, so nonzero
+       // counters here flag a determinism bug, not a slow machine.
+       << "  \"guard\": {\n"
+       << "    \"diverged\": " << serial.diverged_runs() << ",\n"
+       << "    \"deadline_exceeded\": " << serial.deadline_exceeded_runs()
+       << "\n  },\n"
+       << "  \"recovery\": {\n"
+       << "    \"retried_reliable\": " << serial.retried_reliable() << ",\n"
+       << "    \"restarted_outer\": " << serial.restarted_outer() << "\n  },\n"
        << "  \"identical_results\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << json.str();

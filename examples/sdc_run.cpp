@@ -32,10 +32,16 @@
 ///                       worker threads; 0 = all hardware threads)
 ///   --batch N           shorthand for the batch=N spec key (injection
 ///                       sites solved in lockstep per worker)
-///   --assert-identical  (sweep mode) rerun the sweep serially and
-///                       unbatched (threads=1 batch=1) and fail with exit
-///                       code 2 unless the result is identical -- the
-///                       determinism check CI runs
+///   --workers N         shorthand for the workers=N spec key (worker
+///                       PROCESSES for the crash-tolerant sharded sweep;
+///                       needs journal=<path>)
+///   --worker-timeout S  shorthand for the worker_timeout=S spec key
+///                       (per-attempt worker deadline in seconds)
+///   --assert-identical  (sweep mode) rerun the sweep serially, unbatched
+///                       and unsharded (threads=1 batch=1 workers=1, no
+///                       journal) and fail with exit code 2 unless the
+///                       result is identical -- the determinism check CI
+///                       runs
 ///
 /// Exit code: 0 on success (converged solve / identical sweep), 1 on a
 /// non-converged solve or spec error, 2 on a sweep determinism mismatch.
@@ -65,6 +71,7 @@ void print_registries() {
   print("matrices", solver::matrix_registry().keys());
   print("fault models", solver::fault_model_registry().keys());
   print("detectors", solver::detector_registry().keys());
+  print("recovery modes", solver::recovery_registry().keys());
 }
 
 /// Escape a string for embedding in a JSON double-quoted value.
@@ -106,7 +113,25 @@ void write_sweep_json(std::ostream& out, const experiment::ScenarioResult& r,
       // ~batch when sites run in lockstep).
       << "  \"matrix_streams\": " << r.sweep.operator_stats.streams() << ",\n"
       << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
-      << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns();
+      << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns()
+      << ",\n"
+      // Solve-guard trips and detector-triggered recovery activity across
+      // the sweep (zero everywhere unless deadline=/divergence=/recovery=
+      // are in play).
+      << "  \"guard\": {\n"
+      << "    \"diverged\": " << r.sweep.diverged_runs() << ",\n"
+      << "    \"deadline_exceeded\": " << r.sweep.deadline_exceeded_runs()
+      << "\n  },\n"
+      << "  \"recovery\": {\n"
+      << "    \"retried_reliable\": " << r.sweep.retried_reliable() << ",\n"
+      << "    \"restarted_outer\": " << r.sweep.restarted_outer() << "\n  }";
+  if (r.sharded) {
+    out << ",\n  \"shard\": {\n"
+        << "    \"ranges\": " << r.shard.ranges << ",\n"
+        << "    \"worker_crashes\": " << r.shard.worker_crashes << ",\n"
+        << "    \"timeouts\": " << r.shard.timeouts << ",\n"
+        << "    \"ranges_requeued\": " << r.shard.ranges_requeued << "\n  }";
+  }
   if (identical_checked) {
     out << ",\n  \"identical_results\": " << (identical ? "true" : "false");
   }
@@ -123,7 +148,10 @@ void write_solve_json(std::ostream& out, const experiment::ScenarioResult& r) {
       << "  \"iterations\": " << r.report.iterations << ",\n"
       << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
       << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"
-      << "  \"detected\": " << (r.detected ? "true" : "false") << "\n"
+      << "  \"detected\": " << (r.detected ? "true" : "false") << ",\n"
+      << "  \"recovery\": {\n"
+      << "    \"retried_reliable\": " << r.report.reliable_retries << ",\n"
+      << "    \"restarted_outer\": " << r.report.outer_restarts << "\n  }\n"
       << "}\n";
 }
 
@@ -147,14 +175,17 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
       continue;
     }
-    if (tok == "--threads" || tok == "--batch") {
+    if (tok == "--threads" || tok == "--batch" || tok == "--workers" ||
+        tok == "--worker-timeout") {
       if (i + 1 >= argc) {
         std::cerr << tok << " requires a value\n";
         return 1;
       }
       // Flag shorthand for the matching spec key; appended tokens win, so
       // the flag overrides an earlier key=value and vice versa.
-      spec_text << tok.substr(2) << '=' << argv[++i] << ' ';
+      const std::string key =
+          tok == "--worker-timeout" ? "worker_timeout" : tok.substr(2);
+      spec_text << key << '=' << argv[++i] << ' ';
       continue;
     }
     if (tok == "--assert-identical") {
@@ -197,15 +228,24 @@ int main(int argc, char** argv) {
     }
 
     experiment::print_sweep_summary(std::cout, "sweep", result.sweep);
+    if (result.sharded) {
+      std::cout << "shard: ranges=" << result.shard.ranges
+                << " worker_crashes=" << result.shard.worker_crashes
+                << " timeouts=" << result.shard.timeouts
+                << " ranges_requeued=" << result.shard.ranges_requeued << "\n";
+    }
 
     bool identical = true;
     if (assert_identical) {
-      // Determinism contract check: a threaded and/or batched sweep must
-      // be bitwise identical to the serial solo-solve one (same points,
-      // same doubles).
+      // Determinism contract check: a threaded, batched and/or sharded
+      // sweep must be bitwise identical to the in-process serial
+      // solo-solve one (same points, same doubles).
       experiment::ScenarioSpec serial = spec;
       serial.set("threads", "1");
       serial.set("batch", "1");
+      serial.set("workers", "1");
+      serial.set("journal", "");
+      serial.set("resume", "0");
       const experiment::SweepResult reference =
           experiment::run_injection_sweep(serial);
       identical =
@@ -213,7 +253,8 @@ int main(int argc, char** argv) {
           reference.baseline_outer == result.sweep.baseline_outer &&
           reference.baseline_total_inner == result.sweep.baseline_total_inner;
       std::cout << "identical_results (threads=" << spec.get("threads", "1")
-                << " batch=" << spec.get("batch", "1")
+                << " batch=" << spec.get("batch", "1") << " workers="
+                << spec.get("workers", "1")
                 << " vs serial batch=1): " << (identical ? "true" : "false")
                 << "\n";
     }

@@ -1,0 +1,102 @@
+#pragma once
+/// \file journal.hpp
+/// \brief Append-only sweep journal: the checkpoint/resume substrate.
+///
+/// A sweep journal is a JSONL file -- one self-contained JSON object per
+/// line -- holding a header record (the sweep's shape, so a resume can
+/// refuse a journal written for a different sweep) followed by one point
+/// record per completed injection-site solve.  Records are appended as
+/// points finish and fsync'd in batches, so a crashed sweep (or a
+/// SIGKILL'd shard worker) loses at most the solves that were in flight.
+///
+/// Durability/consistency rules:
+///   * residual norms are stored as raw IEEE-754 bit patterns (u64), so a
+///     resumed point is bitwise identical to its originally-solved run --
+///     decimal round-trips would not be;
+///   * a final line without a trailing newline is ALWAYS discarded on
+///     load, even when it happens to parse (a truncated number can parse
+///     to the wrong value); the discarded point is simply re-solved;
+///   * a malformed INTERIOR line is corruption, not truncation: load()
+///     throws with the journal path and 1-based line number;
+///   * compact()/write_merged() replace a journal atomically
+///     (tmp-write + fsync + rename), so readers never observe a partially
+///     rewritten file.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/sweep.hpp"
+
+namespace sdcgmres::experiment {
+
+/// The sweep-shape header every journal starts with.  A resume checks it
+/// against the live sweep's measured baseline and sampling parameters and
+/// refuses a mismatch (a journal of some other sweep would silently
+/// poison the merged result).
+struct SweepJournalHeader {
+  std::size_t version = 1;
+  std::size_t baseline_outer = 0;
+  std::size_t baseline_total_inner = 0;
+  bool baseline_converged = false;
+  std::size_t n_points = 0; ///< total points of the FULL sweep (not the
+                            ///< shard range a given journal file covers)
+  std::size_t stride = 1;
+  std::size_t site_limit = 0;
+
+  bool operator==(const SweepJournalHeader&) const = default;
+};
+
+/// What load() recovered from an existing journal file.
+struct SweepJournalContents {
+  bool has_header = false;
+  SweepJournalHeader header;
+  /// (point index, point) pairs in file order; duplicates keep the LAST
+  /// occurrence (a re-queued shard range legitimately re-solves points).
+  std::vector<std::pair<std::size_t, SweepPoint>> points;
+  bool discarded_tail = false; ///< the final line had no trailing newline
+                               ///< and was dropped (crash mid-append)
+};
+
+/// Append-only writer + loader of sweep journals.
+class SweepJournal {
+public:
+  /// Parse \p path.  A missing file returns an empty contents object (a
+  /// fresh start); any other open failure, or a malformed interior line,
+  /// throws std::runtime_error naming the path (and line number).
+  [[nodiscard]] static SweepJournalContents load(const std::string& path);
+
+  /// Atomically replace \p path with a compact journal: one header line,
+  /// then \p points in the given order (tmp-write + fsync + rename).
+  /// Throws std::runtime_error naming the path and reason on any failure.
+  static void write_merged(
+      const std::string& path, const SweepJournalHeader& header,
+      const std::vector<std::pair<std::size_t, SweepPoint>>& points);
+
+  /// Open \p path for appending (created if missing).  Throws
+  /// std::runtime_error naming the path and reason when it cannot be
+  /// opened (e.g. the directory does not exist or is unwritable).
+  explicit SweepJournal(std::string path);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Append one record (buffered until flush()).
+  void append_header(const SweepJournalHeader& header);
+  void append_point(std::size_t index, const SweepPoint& point);
+
+  /// Write the buffered records and fsync: after flush() returns, every
+  /// appended record survives a crash of this process.
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+  std::string path_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+} // namespace sdcgmres::experiment

@@ -129,7 +129,20 @@ void print_sweep_summary(std::ostream& out, const std::string& title,
       << sweep.baseline_outer << " max_increase=" << sweep.max_outer_increase()
       << " unchanged=" << sweep.unchanged_runs() << "/" << sweep.points.size()
       << " failed=" << sweep.failed_runs()
-      << " detected=" << sweep.detected_runs() << '\n';
+      << " detected=" << sweep.detected_runs();
+  // Guard and recovery activity is exceptional: only clutter the line
+  // when a run actually diverged, overran its deadline, or recovered.
+  if (sweep.diverged_runs() > 0) out << " diverged=" << sweep.diverged_runs();
+  if (sweep.deadline_exceeded_runs() > 0) {
+    out << " deadline_exceeded=" << sweep.deadline_exceeded_runs();
+  }
+  if (sweep.retried_reliable() > 0) {
+    out << " retried_reliable=" << sweep.retried_reliable();
+  }
+  if (sweep.restarted_outer() > 0) {
+    out << " restarted_outer=" << sweep.restarted_outer();
+  }
+  out << '\n';
 }
 
 } // namespace sdcgmres::experiment

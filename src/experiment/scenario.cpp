@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "experiment/shard.hpp"
 #include "krylov/operator.hpp"
 #include "sdc/injection.hpp"
 #include "solver/registry.hpp"
@@ -61,10 +62,15 @@ void validate_scenario_keys(const ScenarioSpec& spec) {
       // solver options
       "tol", "max_iters", "restart", "ortho", "lsq", "inner", "inner_tol",
       "inner_ortho", "robust_first_inner",
-      // fault + detector
+      // fault + detector + recovery
       "fault", "position", "site", "detector", "bound", "response",
+      "recovery",
+      // solve guards
+      "deadline", "divergence",
       // sweep
       "sweep", "stride", "site_limit", "threads", "batch",
+      // resilient sweep runtime
+      "journal", "resume", "workers", "worker_timeout",
   });
 }
 
@@ -115,7 +121,37 @@ solver::Options solver_options_from_spec(const ScenarioSpec& spec) {
   opts.inner_ortho = parse_ortho(spec, "inner_ortho", opts.inner_ortho);
   opts.robust_first_inner =
       spec.get_bool("robust_first_inner", opts.robust_first_inner);
+  opts.deadline_seconds = spec.get_double("deadline", 0.0);
+  if (opts.deadline_seconds < 0.0) {
+    throw std::invalid_argument(
+        "scenario: deadline=" + spec.get("deadline") +
+        " is out of range; the wall-clock budget is in seconds, >= 0 "
+        "(0 disables the guard)");
+  }
+  opts.divergence_factor = spec.get_double("divergence", 0.0);
+  if (opts.divergence_factor < 0.0) {
+    throw std::invalid_argument(
+        "scenario: divergence=" + spec.get("divergence") +
+        " is out of range; the guard flags ||r|| > divergence * ||r0||, "
+        "so the factor must be >= 0 (0 disables it; typical values >= 10)");
+  }
   return opts;
+}
+
+ShardOptions shard_options_from_spec(const ScenarioSpec& spec) {
+  ShardOptions shard;
+  shard.workers =
+      sweep_size_key(spec, "workers", 1,
+                     "the valid range is workers >= 1 (1 = in-process "
+                     "sweep, >1 = crash-tolerant process sharding)");
+  shard.worker_timeout_seconds = spec.get_double("worker_timeout", 0.0);
+  if (shard.worker_timeout_seconds < 0.0) {
+    throw std::invalid_argument(
+        "scenario: worker_timeout=" + spec.get("worker_timeout") +
+        " is out of range; the per-attempt deadline is in seconds, >= 0 "
+        "(0 disables it)");
+  }
+  return shard;
 }
 
 sdc::MgsPosition position_from_spec(const ScenarioSpec& spec,
@@ -200,6 +236,12 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   }
 
   const std::string detector = spec.get("detector", "none");
+  if (detector == "none" && spec.has("recovery")) {
+    throw std::invalid_argument(
+        "scenario: recovery=" + spec.get("recovery") +
+        " needs a detector to trigger it; set detector=bound (or drop "
+        "the recovery key)");
+  }
   if (detector != "none") {
     // Build one detector to validate the spec and to resolve bound and
     // response exactly as the registry does (inline arg wins over the
@@ -219,6 +261,13 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   config.site_limit = spec.get_size("site_limit", 0);
   config.threads = spec.get_size("threads", 1);
   config.batch = batch;
+  config.journal = spec.get("journal");
+  config.resume = spec.get_bool("resume", false);
+  if (config.resume && config.journal.empty()) {
+    throw std::invalid_argument(
+        "scenario: resume=1 needs journal=<path> (the journal is what a "
+        "resumed sweep picks its completed points back up from)");
+  }
   if (solver_name == "ft_gmres_batch" && !spec.has("batch")) {
     // The name promises lockstep batching; defaulting to batch=1 would
     // silently run solo solves under it and misattribute measurements.
@@ -247,9 +296,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   if (spec.get_bool("sweep", false)) {
     result.is_sweep = true;
-    result.sweep = run_injection_sweep(
-        problem.A, problem.b,
-        sweep_config_from_spec(spec, problem.A.frobenius_norm()));
+    const SweepConfig config =
+        sweep_config_from_spec(spec, problem.A.frobenius_norm());
+    const ShardOptions shard = shard_options_from_spec(spec);
+    if (shard.workers > 1) {
+      result.sharded = true;
+      result.sweep = run_sharded_sweep(problem.A, problem.b, config, shard,
+                                       &result.shard);
+    } else {
+      result.sweep = run_injection_sweep(problem.A, problem.b, config);
+    }
     return result;
   }
 
@@ -264,12 +320,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       spec.get("precond", "none"), problem.A, spec);
   options.precond = precond.get();
 
-  const krylov::CsrOperator op(problem.A);
-  const auto iterative = solver::solver_registry().make(
-      result.solver_name, solver::SolverContext{op, options, nullptr});
-
   // One planned fault (paper protocol: a single transient SDC event) and
   // an optional detector, chained so the detector sees corrupted values.
+  // The detector is built BEFORE the solver: its response decides the
+  // nested solvers' recovery mode (options.recovery).
   std::unique_ptr<sdc::FaultCampaign> campaign;
   const std::string fault = spec.get("fault", "none");
   if (fault != "none") {
@@ -283,6 +337,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   }
   auto detector = solver::detector_registry().make(
       spec.get("detector", "none"), problem.A.frobenius_norm(), spec);
+  if (detector == nullptr && spec.has("recovery")) {
+    throw std::invalid_argument(
+        "scenario: recovery=" + spec.get("recovery") +
+        " needs a detector to trigger it; set detector=bound (or drop "
+        "the recovery key)");
+  }
+  if (detector != nullptr) {
+    options.recovery = sdc::inner_recovery_for(detector->response());
+  }
+
+  const krylov::CsrOperator op(problem.A);
+  const auto iterative = solver::solver_registry().make(
+      result.solver_name, solver::SolverContext{op, options, nullptr});
 
   krylov::HookChain chain;
   if (campaign != nullptr) chain.add(campaign.get());
@@ -305,9 +372,13 @@ ScenarioResult run_scenario(std::string_view spec_text) {
 SweepResult run_injection_sweep(const ScenarioSpec& spec) {
   validate_scenario_keys(spec);
   const ScenarioProblem problem = build_problem(spec);
-  return run_injection_sweep(
-      problem.A, problem.b,
-      sweep_config_from_spec(spec, problem.A.frobenius_norm()));
+  const SweepConfig config =
+      sweep_config_from_spec(spec, problem.A.frobenius_norm());
+  const ShardOptions shard = shard_options_from_spec(spec);
+  if (shard.workers > 1) {
+    return run_sharded_sweep(problem.A, problem.b, config, shard);
+  }
+  return run_injection_sweep(problem.A, problem.b, config);
 }
 
 } // namespace sdcgmres::experiment

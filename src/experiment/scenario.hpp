@@ -26,20 +26,32 @@
 ///   position   first|last|index:<i>                 (default first)
 ///   site       aggregate inner iteration of the single planned fault
 ///              (single-solve mode; default 0)
-///   detector   none|bound[:abort|record]            (default none)
-///   bound      auto|<number>  response  record|abort
+///   detector   none|bound[:<recovery>]              (default none)
+///   bound      auto|<number>  response  record|abort (legacy response key)
+///   recovery   none|record|abort|retry_reliable|restart_outer -- what a
+///              firing detector does to the solve (default abort; needs
+///              detector=bound)
+///   deadline   per-solve wall-clock budget in seconds (0 = off)
+///   divergence residual-explosion guard factor: flag ||r|| >
+///              divergence * ||r0|| (0 = off; typical values >= 10)
 ///   sweep      0|1  -- run the full per-site injection sweep
 ///   stride site_limit threads                       sweep parameters
 ///   batch      sites solved in lockstep per worker (multi-RHS FT-GMRES;
 ///              default 1 = solo solves, results identical at any value;
 ///              batch=0 and negative batch=/inner= values are rejected up
 ///              front by sweep_config_from_spec with the valid ranges)
+///   journal    append-only checkpoint file of completed sweep points
+///   resume     0|1  -- skip the points the journal already holds
+///   workers    worker processes for the crash-tolerant sharded sweep
+///              (default 1 = in-process; >1 needs journal=<path>)
+///   worker_timeout  per-attempt worker deadline in seconds (0 = off)
 
 #include <cstddef>
 #include <string>
 #include <string_view>
 
 #include "experiment/scenario_spec.hpp"
+#include "experiment/shard.hpp"
 #include "experiment/sweep.hpp"
 #include "la/vector.hpp"
 #include "solver/solver.hpp"
@@ -61,9 +73,14 @@ void validate_scenario_keys(const ScenarioSpec& spec);
 /// Build the matrix and right-hand side (`matrix`, `n`, `rhs`, ... keys).
 [[nodiscard]] ScenarioProblem build_problem(const ScenarioSpec& spec);
 
-/// Translate the solver-related keys into the shared façade options.
+/// Translate the solver-related keys into the shared façade options
+/// (including the `deadline` and `divergence` guard keys).
 [[nodiscard]] solver::Options solver_options_from_spec(
     const ScenarioSpec& spec);
+
+/// Translate the `workers` / `worker_timeout` keys into ShardOptions.
+/// workers defaults to 1 (no sharding); 0 and negatives throw.
+[[nodiscard]] ShardOptions shard_options_from_spec(const ScenarioSpec& spec);
 
 /// Parse `position` (first | last | index:<i>) into the sweep/injection
 /// representation; the index (when given) goes to \p coefficient_index.
@@ -93,6 +110,8 @@ struct ScenarioResult {
   bool injected = false;      ///< single-solve: the planned fault fired
   bool detected = false;      ///< single-solve: detector flagged it
   SweepResult sweep;          ///< sweep mode
+  bool sharded = false;       ///< sweep ran as worker processes
+  ShardReport shard;          ///< sweep mode with workers > 1
 };
 
 /// Run the scenario described by \p spec end to end.

@@ -7,12 +7,14 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "experiment/journal.hpp"
 #include "krylov/operator.hpp"
 #include "krylov/workspace.hpp"
 #include "solver/solver.hpp"
@@ -51,6 +53,33 @@ std::size_t SweepResult::detected_runs() const {
 std::size_t SweepResult::inner_operand_columns() const {
   std::size_t total = 0;
   for (const SweepPoint& p : points) total += p.inner_applies;
+  return total;
+}
+
+std::size_t SweepResult::diverged_runs() const {
+  return static_cast<std::size_t>(
+      std::count_if(points.begin(), points.end(), [](const SweepPoint& p) {
+        return p.status == krylov::SolveStatus::Diverged ||
+               p.inner_diverged > 0;
+      }));
+}
+
+std::size_t SweepResult::deadline_exceeded_runs() const {
+  return static_cast<std::size_t>(
+      std::count_if(points.begin(), points.end(), [](const SweepPoint& p) {
+        return p.status == krylov::SolveStatus::DeadlineExceeded;
+      }));
+}
+
+std::size_t SweepResult::retried_reliable() const {
+  std::size_t total = 0;
+  for (const SweepPoint& p : points) total += p.reliable_retries;
+  return total;
+}
+
+std::size_t SweepResult::restarted_outer() const {
+  std::size_t total = 0;
+  for (const SweepPoint& p : points) total += p.outer_restarts;
   return total;
 }
 
@@ -106,6 +135,12 @@ SweepPoint make_sweep_point(const solver::SolveReport& run, std::size_t site,
   point.sanitized_outputs = run.sanitized_outputs;
   point.inner_applies = run.total_inner_applies;
   point.residual_norm = run.residual_norm;
+  point.status = run.status;
+  for (const krylov::InnerSolveRecord& rec : run.inner_solves) {
+    if (rec.status == krylov::SolveStatus::Diverged) ++point.inner_diverged;
+  }
+  point.reliable_retries = run.reliable_retries;
+  point.outer_restarts = run.outer_restarts;
   return point;
 }
 
@@ -141,12 +176,14 @@ SweepPoint run_site(solver::FtGmresSolver& ft, const la::Vector& b,
 /// BatchedFtGmresSolver.  Every site's result is bitwise identical to its
 /// run_site() solo run (asserted in tests and by sdc_run
 /// --assert-identical), so batching is purely a traffic optimization.
-/// \p first_point indexes the sweep's point array; \p xs provides one
-/// iterate buffer per instance.
+/// \p point_indices names the sweep-point slots this block solves (not
+/// necessarily contiguous: a resumed sweep blocks over the PENDING
+/// points); \p xs provides one iterate buffer per instance.
 void run_block(solver::BatchedFtGmresSolver& ft, const la::Vector& b,
-               const SweepConfig& config, std::size_t first_point,
-               std::size_t count, SweepPoint* points,
+               const SweepConfig& config,
+               std::span<const std::size_t> point_indices, SweepPoint* points,
                std::vector<la::Vector>& xs) {
+  const std::size_t count = point_indices.size();
   std::vector<sdc::FaultCampaign> campaigns;
   campaigns.reserve(count);
   std::vector<std::unique_ptr<sdc::HessenbergBoundDetector>> detectors(count);
@@ -155,7 +192,7 @@ void run_block(solver::BatchedFtGmresSolver& ft, const la::Vector& b,
   std::vector<std::span<const double>> bs(count);
   std::vector<std::span<double>> xspans(count);
   for (std::size_t s = 0; s < count; ++s) {
-    const std::size_t site = (first_point + s) * config.stride;
+    const std::size_t site = point_indices[s] * config.stride;
     campaigns.emplace_back(
         sdc::InjectionPlan::hessenberg(site, config.position, config.model));
     chains[s].add(&campaigns.back());
@@ -173,8 +210,8 @@ void run_block(solver::BatchedFtGmresSolver& ft, const la::Vector& b,
       ft.solve_batch(bs, xspans, hooks);
 
   for (std::size_t s = 0; s < count; ++s) {
-    points[first_point + s] =
-        make_sweep_point(runs[s], (first_point + s) * config.stride,
+    points[point_indices[s]] =
+        make_sweep_point(runs[s], point_indices[s] * config.stride,
                          campaigns[s], detectors[s].get());
   }
 }
@@ -206,6 +243,17 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
                                 const SweepConfig& config) {
   validate_sweep_config(config);
 
+  // The detector response carries the recovery policy: any response
+  // beyond record/abort translates onto the nested solver's
+  // InnerRecovery (sdc::inner_recovery_for).  Runs where no detector
+  // fires are bitwise identical at every policy.
+  SweepConfig cfg = config;
+  if (cfg.with_detector) {
+    const krylov::InnerRecovery rec =
+        sdc::inner_recovery_for(cfg.detector_response);
+    if (rec != krylov::InnerRecovery::None) cfg.solver.recovery = rec;
+  }
+
   SweepResult result;
 
   // Determinism contract: the sweep owns ALL parallelism.  Every solve
@@ -217,7 +265,7 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   // (nthreads-var is a per-region ICV: the pin dies with the region.)
 
   // --- Failure-free baseline: learns the injection-site count. ---
-  const krylov::FtGmresResult baseline = run_baseline(A, b, config.solver);
+  const krylov::FtGmresResult baseline = run_baseline(A, b, cfg.solver);
   result.baseline_outer = baseline.outer_iterations;
   result.baseline_total_inner = baseline.total_inner_iterations;
   result.baseline_converged =
@@ -226,36 +274,95 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
 
   // --- One faulty solve per (sampled) injection site. ---
   std::size_t last_site = result.baseline_total_inner;
-  if (config.site_limit > 0) {
-    last_site = std::min(last_site, config.site_limit);
+  if (cfg.site_limit > 0) {
+    last_site = std::min(last_site, cfg.site_limit);
   }
-  const std::size_t n_points = (last_site + config.stride - 1) / config.stride;
+  const std::size_t n_points = (last_site + cfg.stride - 1) / cfg.stride;
   if (n_points == 0) {
     throw std::invalid_argument(
         "run_injection_sweep: the site_limit/stride combination selects "
         "zero injection sites (baseline produced " +
         std::to_string(result.baseline_total_inner) +
-        " inner iterations, site_limit=" + std::to_string(config.site_limit) +
-        ", stride=" + std::to_string(config.stride) + ")");
+        " inner iterations, site_limit=" + std::to_string(cfg.site_limit) +
+        ", stride=" + std::to_string(cfg.stride) + ")");
   }
   result.points.resize(n_points);
 
+  // --- Checkpoint/resume: load the journal, mark completed points, and
+  // open the append writer.  The journaled header must match the live
+  // sweep's measured shape -- resuming some OTHER sweep's journal would
+  // silently poison the merged result.
+  const SweepJournalHeader header{
+      .version = 1,
+      .baseline_outer = result.baseline_outer,
+      .baseline_total_inner = result.baseline_total_inner,
+      .baseline_converged = result.baseline_converged,
+      .n_points = n_points,
+      .stride = cfg.stride,
+      .site_limit = cfg.site_limit,
+  };
+  std::vector<char> done(n_points, 0);
+  std::optional<SweepJournal> writer;
+  if (!cfg.journal.empty()) {
+    if (cfg.resume) {
+      SweepJournalContents loaded = SweepJournal::load(cfg.journal);
+      if (loaded.has_header && loaded.header != header) {
+        throw std::invalid_argument(
+            "run_injection_sweep: journal '" + cfg.journal +
+            "' was written for a different sweep (header mismatch); "
+            "delete it or fix the scenario");
+      }
+      for (const auto& [index, point] : loaded.points) {
+        if (index >= n_points) {
+          throw std::invalid_argument(
+              "run_injection_sweep: journal '" + cfg.journal +
+              "' holds point index " + std::to_string(index) +
+              " but this sweep has only " + std::to_string(n_points) +
+              " points (header mismatch)");
+        }
+        result.points[index] = point; // duplicates: last occurrence wins
+        done[index] = 1;
+      }
+      // Compact before appending: drops a crash-truncated tail line so
+      // new records start on a clean line, and dedups re-queued ranges.
+      SweepJournal::write_merged(cfg.journal, header, loaded.points);
+    } else {
+      // Fresh run: truncate any stale journal down to the header.
+      SweepJournal::write_merged(cfg.journal, header, {});
+    }
+    writer.emplace(cfg.journal);
+  }
+
+  // --- Range restriction (the shard seam): this run solves only the
+  // pending points inside [point_offset, point_offset + point_count).
+  const std::size_t first_point = std::min(cfg.point_offset, n_points);
+  const std::size_t range_count =
+      cfg.point_count == 0
+          ? n_points - first_point
+          : std::min(cfg.point_count, n_points - first_point);
+  std::vector<std::size_t> pending;
+  pending.reserve(range_count);
+  for (std::size_t i = first_point; i < first_point + range_count; ++i) {
+    if (done[i] == 0) pending.push_back(i);
+  }
+
   int workers = 1;
 #ifdef _OPENMP
-  workers = config.threads == 0 ? omp_get_max_threads()
-                                : static_cast<int>(config.threads);
+  workers = cfg.threads == 0 ? omp_get_max_threads()
+                             : static_cast<int>(cfg.threads);
   if (workers < 1) workers = 1;
 #endif
 
-  // Batching: each worker packs `batch` consecutive sampled sites into
+  // Batching: each worker packs `batch` consecutive pending points into
   // one lockstep multi-RHS solve, so every outer iteration streams the
   // matrix once for the whole block instead of once per site.  The
   // schedule runs over BLOCKS; with batch == 1 this is exactly the
   // per-site schedule of earlier generations.
-  const std::size_t batch = config.batch;
-  const std::size_t n_blocks = (n_points + batch - 1) / batch;
+  const std::size_t batch = cfg.batch;
+  const std::size_t n_blocks = (pending.size() + batch - 1) / batch;
 
   SweepPoint* points = result.points.data();
+  std::size_t completed = 0;
   std::exception_ptr error;
 #pragma omp parallel num_threads(workers)
   {
@@ -272,10 +379,10 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     la::Vector x;
     std::vector<la::Vector> xs;
     if (batch == 1) {
-      ft.emplace(op, config.solver);
+      ft.emplace(op, cfg.solver);
       x.resize(b.size());
     } else {
-      ft_batch.emplace(op, config.solver);
+      ft_batch.emplace(op, cfg.solver);
       xs.assign(batch, la::Vector(b.size()));
     }
 #pragma omp for schedule(dynamic)
@@ -283,11 +390,26 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
          ++idx) {
       try {
         const std::size_t first = static_cast<std::size_t>(idx) * batch;
+        const std::size_t count = std::min(batch, pending.size() - first);
+        const std::span<const std::size_t> block(pending.data() + first,
+                                                 count);
         if (batch == 1) {
-          points[first] = run_site(*ft, b, config, first * config.stride, x);
+          points[block[0]] = run_site(*ft, b, cfg, block[0] * cfg.stride, x);
         } else {
-          const std::size_t count = std::min(batch, n_points - first);
-          run_block(*ft_batch, b, config, first, count, points, xs);
+          run_block(*ft_batch, b, cfg, block, points, xs);
+        }
+        if (writer) {
+          // Serialize journal traffic; each flush is a durability point
+          // (these records survive a SIGKILL of this process).
+#pragma omp critical(sdcgmres_sweep_journal)
+          {
+            for (const std::size_t p : block) {
+              writer->append_point(p, points[p]);
+            }
+            writer->flush();
+            completed += count;
+            if (cfg.on_progress) cfg.on_progress(completed);
+          }
         }
       } catch (...) {
         // An exception may not cross the region boundary (std::terminate);
@@ -298,6 +420,8 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     }
     // Each worker counted its own operator's traffic; the sum of counters
     // is order-independent, so the merged stats are deterministic too.
+    // (A resumed sweep only counts its re-executed solves here, which is
+    // fine: operator_stats is outside the identity contract.)
 #pragma omp critical(sdcgmres_sweep_stats)
     result.operator_stats += op.stats();
   }

@@ -9,6 +9,8 @@
 /// iterations to convergence.  Figures 3 and 4 plot exactly these series.
 
 #include <cstddef>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "experiment/scenario_spec.hpp"
@@ -66,6 +68,31 @@ struct SweepConfig {
                                     ///< columns == SpMV).  1 = solo
                                     ///< solves; 0 is rejected by
                                     ///< validate_sweep_config.
+
+  // --- resilience: checkpoint/resume and range restriction ---
+  std::string journal;              ///< path of the sweep journal (JSONL,
+                                    ///< see experiment/journal.hpp); every
+                                    ///< completed point is appended and
+                                    ///< fsync'd, so a crashed sweep loses
+                                    ///< at most in-flight solves.  Empty
+                                    ///< disables journaling.
+  bool resume = false;              ///< load `journal` first and skip the
+                                    ///< points it already holds; the
+                                    ///< resumed SweepResult is bitwise
+                                    ///< identical (points and baseline
+                                    ///< fields) to an uninterrupted run.
+                                    ///< A missing journal file is a fresh
+                                    ///< start, not an error.
+  std::size_t point_offset = 0;     ///< first point index this run solves
+                                    ///< (the shard seam: a worker process
+                                    ///< owns points [offset, offset+count))
+  std::size_t point_count = 0;      ///< number of points from point_offset
+                                    ///< (0 = through the end)
+  std::function<void(std::size_t)> on_progress; ///< called after each
+                                    ///< journal flush with the cumulative
+                                    ///< number of points this run solved
+                                    ///< (crash drills and progress bars;
+                                    ///< serialized, never concurrent)
 };
 
 /// Outcome of one faulty solve.
@@ -86,6 +113,16 @@ struct SweepPoint {
                                  ///< paid for them: see
                                  ///< SweepResult::operator_stats)
   double residual_norm = 0.0; ///< explicit final residual
+  krylov::SolveStatus status = krylov::SolveStatus::MaxIterations;
+                          ///< the outer solve's terminal state (converged
+                          ///< is status-derived; Diverged/DeadlineExceeded
+                          ///< mean a solve guard fired)
+  std::size_t inner_diverged = 0; ///< inner solves the residual-explosion
+                          ///< guard stopped (status Diverged)
+  std::size_t reliable_retries = 0; ///< inner solves recomputed reliably
+                          ///< (recovery retry_reliable)
+  std::size_t outer_restarts = 0;   ///< outer cycles restarted (recovery
+                          ///< restart_outer)
 
   bool operator==(const SweepPoint&) const = default;
 };
@@ -120,6 +157,19 @@ struct SweepResult {
   [[nodiscard]] std::size_t failed_runs() const;
   /// Number of runs where the detector fired.
   [[nodiscard]] std::size_t detected_runs() const;
+
+  // --- solve-guard counters ---
+  /// Runs where the residual-explosion guard fired (outer status Diverged
+  /// or at least one inner solve stopped Diverged).
+  [[nodiscard]] std::size_t diverged_runs() const;
+  /// Runs the wall-clock deadline guard stopped (status DeadlineExceeded).
+  [[nodiscard]] std::size_t deadline_exceeded_runs() const;
+
+  // --- recovery counters ---
+  /// Inner solves recomputed reliably across the sweep (retry_reliable).
+  [[nodiscard]] std::size_t retried_reliable() const;
+  /// Outer cycles restarted across the sweep (restart_outer).
+  [[nodiscard]] std::size_t restarted_outer() const;
 };
 
 /// Validate \p config before any solve runs.  Throws std::invalid_argument

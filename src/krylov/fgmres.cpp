@@ -67,16 +67,27 @@ FgmresEngine::FgmresEngine(const LinearOperator& A, std::span<const double> b,
   result_.x = x0_;
 }
 
+bool FgmresEngine::past_deadline() const {
+  return opts_.deadline_seconds > 0.0 &&
+         std::chrono::steady_clock::now() >= deadline_;
+}
+
 bool FgmresEngine::start() {
   bnorm_ = la::nrm2(b_);
   abs_target_ = opts_.tol * (bnorm_ > 0.0 ? bnorm_ : 1.0);
   w_->arena.reserve(n_, opts_.max_outer);
+  if (opts_.deadline_seconds > 0.0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(opts_.deadline_seconds));
+  }
 
   // Reliable initial residual.
   la::Vector& r = w_->arena.scratch(0);
   a_->apply(x0_.span(), r.span());
   la::waxpby(1.0, b_, -1.0, r.span(), r.span());
   beta_ = la::nrm2(r);
+  beta0_ = beta_;
   result_.residual_norm = beta_;
   if (beta_ <= abs_target_) {
     result_.status = SolveStatus::Converged;
@@ -158,7 +169,7 @@ bool FgmresEngine::advance() {
     hnext = la::nrm2(v);
     hcol[j + 1] = hnext;
     est = qr.add_column({hcol.data(), j + 2});
-    result_.outer_iterations = j + 1;
+    result_.outer_iterations = base_iters_ + j + 1;
 
     // --- Rank-revealing bookkeeping (trichotomy, Section VI-C). ---
     ratio = 1.0;
@@ -217,18 +228,93 @@ bool FgmresEngine::advance() {
     // keep iterating.
   }
 
-  ++j_;
-  if (j_ == opts_.max_outer) {
+  // --- Divergence guard: a residual estimate blowing past the initial
+  // residual (or going non-finite) certifies the iteration is not
+  // converging; finalize the best iterate instead of burning the budget.
+  if (opts_.divergence_factor > 0.0 &&
+      (!std::isfinite(est) || est > opts_.divergence_factor * beta0_)) {
     form_iterate(x0_, zbasis, qr, opts_, result_.x);
     a_->apply(result_.x.span(), r.span());
     la::waxpby(1.0, b_, -1.0, r.span(), r.span());
     result_.residual_norm = la::nrm2(r);
     result_.status = result_.residual_norm <= abs_target_
                          ? SolveStatus::Converged
-                         : SolveStatus::MaxIterations;
+                         : SolveStatus::Diverged;
     finished_ = true;
     return true;
   }
+
+  ++j_;
+  if (base_iters_ + j_ >= opts_.max_outer || past_deadline()) {
+    const bool deadline_hit = base_iters_ + j_ < opts_.max_outer;
+    form_iterate(x0_, zbasis, qr, opts_, result_.x);
+    a_->apply(result_.x.span(), r.span());
+    la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    result_.residual_norm = la::nrm2(r);
+    result_.status = result_.residual_norm <= abs_target_
+                         ? SolveStatus::Converged
+                     : deadline_hit ? SolveStatus::DeadlineExceeded
+                                    : SolveStatus::MaxIterations;
+    finished_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool FgmresEngine::restart_cycle() {
+  la::KrylovBasis& q = w_->arena.basis();
+  la::KrylovBasis& zbasis = w_->arena.directions();
+  dense::HessenbergQr& qr = w_->qr;
+  la::Vector& r = w_->arena.scratch(0);
+
+  // The flagged iteration consumed budget like any other (a persistently
+  // faulty inner solve must not loop forever): j_ accepted columns plus
+  // the one direction begin_iteration() appended but never committed.
+  base_iters_ += j_ + 1;
+  ++result_.outer_restarts;
+  result_.outer_iterations = base_iters_;
+
+  // Fold the accepted columns into the iterate -- the flagged direction
+  // never entered the projected QR factorization -- and restart from the
+  // reliable explicit residual.
+  form_iterate(x0_, zbasis, qr, opts_, result_.x);
+  x0_ = result_.x;
+  a_->apply(x0_.span(), r.span());
+  la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+  beta_ = la::nrm2(r);
+  result_.residual_norm = beta_;
+
+  if (beta_ <= abs_target_) {
+    result_.status = SolveStatus::Converged;
+    finished_ = true;
+    return true;
+  }
+  if (!std::isfinite(beta_)) {
+    result_.status = SolveStatus::Diverged;
+    finished_ = true;
+    return true;
+  }
+  if (base_iters_ >= opts_.max_outer) {
+    result_.status = SolveStatus::MaxIterations;
+    finished_ = true;
+    return true;
+  }
+  if (past_deadline()) {
+    result_.status = SolveStatus::DeadlineExceeded;
+    finished_ = true;
+    return true;
+  }
+
+  q.clear();
+  zbasis.clear();
+  q.append(r);
+  la::scal(1.0 / beta_, q.col(0));
+  qr.reset(opts_.max_outer, beta_);
+  std::vector<double>& hcol = w_->arena.h_column();
+  std::fill(hcol.begin(),
+            hcol.begin() + static_cast<std::ptrdiff_t>(opts_.max_outer + 2),
+            0.0);
+  j_ = 0;
   return false;
 }
 

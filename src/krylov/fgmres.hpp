@@ -9,6 +9,7 @@
 /// subspace (happy breakdown with full-rank H), or loudly reports rank
 /// deficiency of H -- it never silently returns a wrong answer.
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -48,6 +49,17 @@ struct FgmresOptions {
   bool verify_with_explicit_residual = true; ///< on estimated convergence,
                                  ///< recompute b - A*x reliably and keep
                                  ///< iterating if it disagrees
+  double deadline_seconds = 0.0; ///< wall-clock guard: a solve running past
+                                 ///< this many seconds finalizes its best
+                                 ///< iterate with status DeadlineExceeded
+                                 ///< (0 disables; enabling it trades the
+                                 ///< bitwise determinism contract for a
+                                 ///< bounded worst case)
+  double divergence_factor = 0.0; ///< residual-explosion guard: an outer
+                                 ///< residual estimate exceeding factor x
+                                 ///< the initial residual (or going
+                                 ///< non-finite) finalizes with status
+                                 ///< Diverged (0 disables)
 };
 
 /// Result of an FGMRES solve.
@@ -60,6 +72,7 @@ struct FgmresResult {
   std::size_t sanitized_outputs = 0;    ///< z_j replaced due to Inf/NaN
   std::size_t rank_checks = 0;          ///< rank-revealing updates performed
   double min_sigma_ratio = 1.0;         ///< smallest sigma_min/sigma_max seen
+  std::size_t outer_restarts = 0;       ///< recovery restarts (restart_cycle)
 };
 
 /// Step-driveable FGMRES: the single implementation behind both the
@@ -130,6 +143,18 @@ public:
   /// Returns finished().
   bool advance();
 
+  /// Recovery seam (FT-GMRES `restart_outer` policy): discard the
+  /// direction appended by the last begin_iteration() WITHOUT committing
+  /// it -- direction()/advance() must NOT have run for this iteration --
+  /// fold the accepted columns into the iterate, recompute the reliable
+  /// explicit residual, and restart the outer cycle from it.  The
+  /// discarded iteration still counts against max_outer (a persistently
+  /// faulty preconditioner cannot loop forever), and
+  /// FgmresResult::outer_restarts records the restart.  Returns
+  /// finished(): true when the restart point already meets the tolerance
+  /// or exhausts the budget/deadline.
+  bool restart_cycle();
+
   /// Move the result out (call once, after finished()).
   [[nodiscard]] FgmresResult take_result() { return std::move(result_); }
 
@@ -138,12 +163,19 @@ private:
   std::span<const double> b_;
   FgmresOptions opts_;
   KrylovWorkspace* w_;
+  /// True when the wall-clock guard is armed and the deadline has passed.
+  [[nodiscard]] bool past_deadline() const;
+
   la::Vector x0_;
   std::size_t n_ = 0;
   std::size_t j_ = 0;
+  std::size_t base_iters_ = 0; ///< iterations consumed by earlier
+                               ///< (recovery-restarted) cycles
   double bnorm_ = 0.0;
   double abs_target_ = 0.0;
-  double beta_ = 0.0;
+  double beta_ = 0.0;  ///< residual norm at the current cycle's start
+  double beta0_ = 0.0; ///< initial residual norm (divergence reference)
+  std::chrono::steady_clock::time_point deadline_{};
   bool finished_ = false;
   FgmresResult result_;
 };

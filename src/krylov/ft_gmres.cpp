@@ -23,27 +23,63 @@ GmresEngine InnerGmresPreconditioner::make_engine(std::span<const double> q,
   // Zero initial guess, solved in place in the caller's z storage; the
   // inner solve never sees an owning vector (b is the outer basis column,
   // x the outer Z-arena column).
+  cur_q_ = q;
+  cur_z_ = z;
+  cur_outer_ = outer_index;
+  retrying_ = false;
+  pending_retry_iters_ = 0;
+  pending_retry_applies_ = 0;
   std::fill(z.begin(), z.end(), 0.0);
   return GmresEngine(*a_, q, z, options_for(outer_index), hook_, outer_index,
                      workspace(), /*residual_history=*/nullptr);
 }
 
+GmresEngine InnerGmresPreconditioner::make_reliable_retry(
+    const GmresEngine& aborted) {
+  // Carry the aborted attempt's effort into the eventual record, then
+  // rebuild the identical solve with the hook detached: no campaign can
+  // re-inject and no detector can re-abort -- the recompute is reliable.
+  pending_retry_iters_ = aborted.stats().iterations;
+  pending_retry_applies_ = aborted.stats().operator_applies;
+  retrying_ = true;
+  std::fill(cur_z_.begin(), cur_z_.end(), 0.0);
+  return GmresEngine(*a_, cur_q_, cur_z_, options_for(cur_outer_),
+                     /*hook=*/nullptr, cur_outer_, workspace(),
+                     /*residual_history=*/nullptr);
+}
+
 void InnerGmresPreconditioner::finish_engine(const GmresEngine& engine) {
   const GmresStats& inner = engine.stats();
-  records_.push_back({.outer_index = engine.solve_index(),
-                      .status = inner.status,
-                      .iterations = inner.iterations,
-                      .operator_applies = inner.operator_applies,
-                      .residual_norm = inner.residual_norm});
+  InnerSolveRecord rec{.outer_index = engine.solve_index(),
+                       .status = inner.status,
+                       .iterations = pending_retry_iters_ + inner.iterations,
+                       .operator_applies =
+                           pending_retry_applies_ + inner.operator_applies,
+                       .residual_norm = inner.residual_norm};
+  rec.reliable_retries = retrying_ ? 1 : 0;
+  rec.triggered_outer_restart =
+      recovery_ == InnerRecovery::RestartOuter &&
+      inner.status == SolveStatus::AbortedByDetector;
+  records_.push_back(rec);
+  retrying_ = false;
+  pending_retry_iters_ = 0;
+  pending_retry_applies_ = 0;
 }
 
 void InnerGmresPreconditioner::apply(std::span<const double> q,
                                      std::size_t outer_index,
                                      std::span<double> z) {
   // The canonical straight-through drive of the shared engine (the batch
-  // driver runs the same protocol with the products fused per block).
+  // driver runs the same protocol with the products fused per block,
+  // including the reliable-retry turnover below).
   GmresEngine engine = make_engine(q, outer_index, z);
   drive_to_completion(*a_, engine);
+  if (wants_reliable_retry(engine)) {
+    GmresEngine retry = make_reliable_retry(engine);
+    drive_to_completion(*a_, retry);
+    finish_engine(retry);
+    return;
+  }
   finish_engine(engine);
 }
 
@@ -57,9 +93,11 @@ FtGmresResult detail::make_ft_gmres_result(
   result.residual_history = std::move(outer.residual_history);
   result.inner_solves = std::move(inner_solves);
   result.sanitized_outputs = outer.sanitized_outputs;
+  result.outer_restarts = outer.outer_restarts;
   for (const InnerSolveRecord& rec : result.inner_solves) {
     result.total_inner_iterations += rec.iterations;
     result.total_inner_applies += rec.operator_applies;
+    result.reliable_retries += rec.reliable_retries;
   }
   return result;
 }
@@ -67,13 +105,29 @@ FtGmresResult detail::make_ft_gmres_result(
 FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
                        const FtGmresOptions& opts, ArnoldiHook* inner_hook,
                        FtGmresWorkspace* ws) {
+  FtGmresWorkspace local;
+  FtGmresWorkspace& w = (ws != nullptr) ? *ws : local;
   InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
-                                 opts.robust_first_inner,
-                                 ws != nullptr ? &ws->inner : nullptr);
-  FgmresResult outer =
-      fgmres(A, b, la::Vector(A.cols()), opts.outer, inner,
-             ws != nullptr ? &ws->outer : nullptr);
-  return detail::make_ft_gmres_result(std::move(outer), inner.records());
+                                 opts.robust_first_inner, &w.inner,
+                                 opts.recovery);
+  // Drive the outer engine directly (the same loop fgmres() runs) so the
+  // RestartOuter policy can divert a flagged iteration into
+  // restart_cycle() instead of committing its direction.
+  const la::Vector x0(A.cols());
+  FgmresEngine engine(A, b.span(), x0.span(), opts.outer, w.outer);
+  if (!engine.start()) {
+    while (true) {
+      const FgmresEngine::PrecondRequest req = engine.begin_iteration();
+      inner.apply(req.q, req.outer_index, req.z);
+      if (inner.last_record_requests_outer_restart()) {
+        if (engine.restart_cycle()) break;
+        continue;
+      }
+      A.apply(engine.direction(), engine.v_target());
+      if (engine.advance()) break;
+    }
+  }
+  return detail::make_ft_gmres_result(engine.take_result(), inner.records());
 }
 
 FtGmresResult ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,

@@ -21,6 +21,21 @@
 
 namespace sdcgmres::krylov {
 
+/// What the nested solver does when a detector aborts an inner solve
+/// (an attached hook's abort_requested() fired).  This is the krylov-level
+/// vocabulary; sdc::DetectorResponse maps onto it via
+/// sdc::inner_recovery_for -- the krylov layer stays sdc-free.
+enum class InnerRecovery {
+  None,          ///< keep the aborted inner solve's pre-fault iterate as
+                 ///< the outer direction (the paper's AbortSolve behaviour)
+  RetryReliable, ///< re-run the flagged inner solve with injection
+                 ///< disabled (hook detached): the paper's selective-
+                 ///< reliability answer -- recompute in reliable mode
+  RestartOuter,  ///< discard the poisoned direction and restart the outer
+                 ///< cycle from the accepted columns' explicit residual
+                 ///< (FgmresEngine::restart_cycle)
+};
+
 /// Options of the nested solver.
 struct FtGmresOptions {
   GmresOptions inner;  ///< inner solve config; the paper uses tol = 0 and
@@ -34,6 +49,11 @@ struct FtGmresOptions {
                        ///< projection coefficient after a single
                        ///< multiplicative fault, at ~2x orthogonalization
                        ///< cost for that one solve.
+  InnerRecovery recovery = InnerRecovery::None; ///< detector-triggered
+                       ///< recovery policy; only acts on inner solves that
+                       ///< finish with status AbortedByDetector, so runs
+                       ///< where no detector fires are bitwise identical
+                       ///< at every setting
 
   /// Paper-style defaults: 25 fixed inner iterations, outer tol 1e-8.
   FtGmresOptions() {
@@ -54,6 +74,16 @@ struct InnerSolveRecord {
                                     ///< of a lockstep batch's fused SpMM
   double residual_norm = 0.0; ///< inner least-squares estimate (may be
                               ///< corrupted when faults were injected)
+  std::size_t reliable_retries = 0; ///< 1 when this record's inner solve
+                              ///< was recomputed in reliable mode after a
+                              ///< detector abort (recovery RetryReliable);
+                              ///< iterations/operator_applies then sum
+                              ///< BOTH attempts (total effort spent at
+                              ///< this outer step) while status and
+                              ///< residual_norm describe the final one
+  bool triggered_outer_restart = false; ///< this inner solve's detector
+                              ///< abort triggered an outer-cycle restart
+                              ///< (recovery RestartOuter)
 };
 
 /// Result of an FT-GMRES solve.
@@ -69,6 +99,10 @@ struct FtGmresResult {
   std::vector<double> residual_history;
   std::vector<InnerSolveRecord> inner_solves;
   std::size_t sanitized_outputs = 0; ///< inner results replaced by q_j
+  std::size_t reliable_retries = 0;  ///< inner solves recomputed reliably
+                                     ///< (recovery RetryReliable)
+  std::size_t outer_restarts = 0;    ///< outer cycles restarted (recovery
+                                     ///< RestartOuter)
 };
 
 /// Inner GMRES exposed as a flexible preconditioner: each application
@@ -96,9 +130,11 @@ public:
   InnerGmresPreconditioner(const LinearOperator& A, const GmresOptions& opts,
                            ArnoldiHook* hook = nullptr,
                            bool robust_first_solve = false,
-                           KrylovWorkspace* ws = nullptr)
+                           KrylovWorkspace* ws = nullptr,
+                           InnerRecovery recovery = InnerRecovery::None)
       : a_(&A), opts_(opts), hook_(hook),
-        robust_first_solve_(robust_first_solve), ws_(ws) {}
+        robust_first_solve_(robust_first_solve), ws_(ws),
+        recovery_(recovery) {}
 
   using FlexiblePreconditioner::apply;
   void apply(std::span<const double> q, std::size_t outer_index,
@@ -116,8 +152,34 @@ public:
                                         std::span<double> z);
 
   /// Record the finished engine's inner-solve bookkeeping (exactly the
-  /// record apply() produces).
+  /// record apply() produces).  With recovery RestartOuter, an engine
+  /// that finished AbortedByDetector marks its record
+  /// triggered_outer_restart -- the driver must then call
+  /// FgmresEngine::restart_cycle() instead of direction()/advance()
+  /// (query via last_record_requests_outer_restart()).
   void finish_engine(const GmresEngine& engine);
+
+  /// True when \p engine finished AbortedByDetector and the RetryReliable
+  /// policy wants it recomputed: hand the engine to
+  /// make_reliable_retry() instead of finish_engine().
+  [[nodiscard]] bool wants_reliable_retry(const GmresEngine& engine) const {
+    return recovery_ == InnerRecovery::RetryReliable && !retrying_ &&
+           engine.finished() &&
+           engine.stats().status == SolveStatus::AbortedByDetector;
+  }
+
+  /// Build the reliable recomputation of the flagged inner solve: same
+  /// operands and options as the engine make_engine() last produced, but
+  /// with the hook detached -- injection disabled, the paper's
+  /// selective-reliability recompute.  The aborted attempt's effort is
+  /// carried into the eventual record (finish_engine sums both attempts).
+  [[nodiscard]] GmresEngine make_reliable_retry(const GmresEngine& aborted);
+
+  /// True when the most recent record was flagged for the RestartOuter
+  /// policy (the driver's cue to call FgmresEngine::restart_cycle()).
+  [[nodiscard]] bool last_record_requests_outer_restart() const {
+    return !records_.empty() && records_.back().triggered_outer_restart;
+  }
 
   [[nodiscard]] const std::vector<InnerSolveRecord>& records() const {
     return records_;
@@ -139,7 +201,17 @@ private:
   bool robust_first_solve_;
   KrylovWorkspace* ws_;
   KrylovWorkspace fallback_ws_;
+  InnerRecovery recovery_ = InnerRecovery::None;
   std::vector<InnerSolveRecord> records_;
+  // Operands of the engine make_engine() last produced, kept so
+  // make_reliable_retry can rebuild the same solve hook-free; the pending_*
+  // counters carry the aborted attempt's effort into the final record.
+  std::span<const double> cur_q_;
+  std::span<double> cur_z_;
+  std::size_t cur_outer_ = 0;
+  std::size_t pending_retry_iters_ = 0;
+  std::size_t pending_retry_applies_ = 0;
+  bool retrying_ = false;
 };
 
 namespace detail {

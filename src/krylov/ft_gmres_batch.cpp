@@ -13,18 +13,22 @@ namespace {
 /// single columns of A's operand space -- into the staging block, stream
 /// the matrix ONCE with apply_block, distribute the product columns, and
 /// step each engine (start_cycle or advance).  Engines that reach a
-/// terminal state (detector abort, breakdown, convergence, budget) drop
-/// out of \p live without perturbing the survivors, exactly like the
-/// outer dropout protocol.  A one-engine block skips the staging copies
-/// and applies directly -- same operand, same values, no detour.
+/// terminal state (detector abort, breakdown, convergence, budget) are
+/// first offered to \p on_done(engine_index): returning true means the
+/// engine was replaced in place (the RetryReliable recompute) and stays
+/// live; returning false drops it out of \p live without perturbing the
+/// survivors, exactly like the outer dropout protocol.  A one-engine
+/// block skips the staging copies and applies directly -- same operand,
+/// same values, no detour.
+template <typename OnDone>
 void step_inner_block(const LinearOperator& A, std::vector<GmresEngine>& inners,
                       std::vector<std::size_t>& live,
                       std::vector<std::size_t>& still_live,
                       la::BlockWorkspace& directions,
-                      la::BlockWorkspace& products) {
+                      la::BlockWorkspace& products, OnDone&& on_done) {
   const std::size_t cols = live.size();
   if (cols == 1) {
-    if (step_with_apply(A, inners[live[0]])) live.clear();
+    if (step_with_apply(A, inners[live[0]]) && !on_done(live[0])) live.clear();
     return;
   }
 
@@ -53,6 +57,7 @@ void step_inner_block(const LinearOperator& A, std::vector<GmresEngine>& inners,
       la::copy(product, engine.v_target());
       done = engine.advance();
     }
+    if (done) done = !on_done(live[s]);
     if (!done) still_live.push_back(live[s]);
   }
   live.swap(still_live);
@@ -90,7 +95,7 @@ std::vector<FtGmresResult> ft_gmres_batch(
   for (std::size_t i = 0; i < batch; ++i) {
     ArnoldiHook* hook = inner_hooks.empty() ? nullptr : inner_hooks[i];
     inner.emplace_back(A, opts.inner, hook, opts.robust_first_inner,
-                       &w.instances[i].inner);
+                       &w.instances[i].inner, opts.recovery);
     engines.emplace_back(A, bs[i], x0.span(), opts.outer,
                          w.instances[i].outer);
   }
@@ -111,6 +116,9 @@ std::vector<FtGmresResult> ft_gmres_batch(
   inner_scratch.reserve(batch);
   std::vector<std::size_t> live;
   live.reserve(batch);
+  std::vector<std::size_t> producing;
+  producing.reserve(batch);
+  std::vector<char> alive;
   while (!active.empty()) {
     // --- Unreliable phase, in lockstep: one step-driveable inner engine
     // per live instance, all advanced together so each inner Arnoldi
@@ -130,38 +138,68 @@ std::vector<FtGmresResult> ft_gmres_batch(
     }
     while (!inner_live.empty()) {
       step_inner_block(A, inners, inner_live, inner_scratch, w.directions,
-                       w.products);
+                       w.products, [&](std::size_t s) {
+                         // Terminal inner engine: the RetryReliable policy
+                         // replaces a detector-aborted engine in place with
+                         // its hook-free recompute (same operands, same
+                         // lockstep slot), which simply keeps iterating in
+                         // the block.  Same turnover apply() performs solo.
+                         InnerGmresPreconditioner& p = inner[active[s]];
+                         if (!p.wants_reliable_retry(inners[s])) return false;
+                         inners[s] = p.make_reliable_retry(inners[s]);
+                         return true;
+                       });
     }
     for (std::size_t s = 0; s < active.size(); ++s) {
       inner[active[s]].finish_engine(inners[s]);
     }
 
-    // --- The fused reliable product: pack every live instance's
+    // --- RestartOuter recovery: a flagged instance folds its accepted
+    // columns and restarts its outer cycle (rejoining the next round's
+    // inner phase) instead of committing the poisoned direction; the
+    // rest advance through the fused reliable product below.
+    alive.assign(active.size(), 1);
+    producing.clear();
+    for (std::size_t s = 0; s < active.size(); ++s) {
+      const std::size_t i = active[s];
+      if (inner[i].last_record_requests_outer_restart()) {
+        if (engines[i].restart_cycle()) alive[s] = 0;
+      } else {
+        producing.push_back(s);
+      }
+    }
+
+    // --- The fused reliable product: pack every producing instance's
     // sanitized direction into the staging block and stream the matrix
     // ONCE (columns are bitwise equal to per-instance apply(), so
     // packing order cannot affect any instance).  A one-instance block
     // skips the staging copies and applies directly -- the same operand
     // and the same values, just without the detour.
-    const std::size_t cols = active.size();
+    const std::size_t cols = producing.size();
     if (cols == 1) {
-      FgmresEngine& only = engines[active[0]];
+      FgmresEngine& only = engines[active[producing[0]]];
       A.apply(only.direction(), only.v_target());
-      if (only.advance()) active.clear();
-      continue;
-    }
-    const la::BlockView zblock = w.directions.view(cols);
-    for (std::size_t s = 0; s < cols; ++s) {
-      la::copy(engines[active[s]].direction(), zblock.col(s));
-    }
-    const la::BlockView vblock = w.products.view(cols);
-    A.apply_block(zblock.as_basis_view(), vblock);
+      if (only.advance()) alive[producing[0]] = 0;
+    } else if (cols > 1) {
+      const la::BlockView zblock = w.directions.view(cols);
+      for (std::size_t s = 0; s < cols; ++s) {
+        la::copy(engines[active[producing[s]]].direction(), zblock.col(s));
+      }
+      const la::BlockView vblock = w.products.view(cols);
+      A.apply_block(zblock.as_basis_view(), vblock);
 
-    // --- Reliable phase, per instance: orthogonalize / project / check.
+      // --- Reliable phase, per instance: orthogonalize / project / check.
+      for (std::size_t s = 0; s < cols; ++s) {
+        const std::size_t i = active[producing[s]];
+        la::copy(std::span<const double>(vblock.col(s)), engines[i].v_target());
+        if (engines[i].advance()) alive[producing[s]] = 0;
+      }
+    }
+
+    // Survivors keep their input order (the dropout protocol).
     live.clear();
-    for (std::size_t s = 0; s < cols; ++s) {
-      const std::size_t i = active[s];
-      la::copy(std::span<const double>(vblock.col(s)), engines[i].v_target());
-      if (!engines[i].advance()) live.push_back(i);
+    for (std::size_t s = 0; s < active.size(); ++s) {
+      if (alive[s] != 0) live.push_back(active[s]);
     }
     active.swap(live);
   }

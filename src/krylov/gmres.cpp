@@ -67,6 +67,7 @@ bool GmresEngine::start_cycle() {
   la::waxpby(1.0, b_, -1.0, r.span(), r.span());
   const double beta = la::nrm2(r);
   stats_.residual_norm = beta;
+  if (beta0_ < 0.0) beta0_ = beta; // the solve's initial residual
   if (beta == 0.0 || (abs_target_ > 0.0 && beta <= abs_target_)) {
     stats_.status = SolveStatus::Converged;
     finished_ = true;
@@ -131,13 +132,13 @@ bool GmresEngine::advance() {
   if (hook_ != nullptr && hook_->abort_requested()) {
     // Drop the tainted column entirely; solve with the j columns that
     // were accepted before the detector fired.
-    return finish_cycle(/*aborted=*/true, false, false, false);
+    return finish_cycle(/*aborted=*/true, false, false, false, false);
   }
 
   double hnext = la::nrm2(v);
   if (hook_ != nullptr) hook_->on_subdiagonal(ctx, hnext);
   if (hook_ != nullptr && hook_->abort_requested()) {
-    return finish_cycle(/*aborted=*/true, false, false, false);
+    return finish_cycle(/*aborted=*/true, false, false, false, false);
   }
 
   hcol[j + 1] = hnext;
@@ -146,8 +147,21 @@ bool GmresEngine::advance() {
   ++stats_.iterations;
   stats_.residual_norm = est;
 
+  // --- Divergence guard: a least-squares estimate blowing past the
+  // initial residual (or going non-finite) means the projected problem is
+  // garbage -- in FT-GMRES, typically a corrupted Hessenberg column.
+  // Drop the exploding column and return the pre-explosion iterate, like
+  // a detector abort but guard-triggered.
+  if (opts_.divergence_factor > 0.0 && beta0_ > 0.0 &&
+      (!std::isfinite(est) || est > opts_.divergence_factor * beta0_)) {
+    if (history_ != nullptr) history_->pop_back();
+    --stats_.iterations;
+    return finish_cycle(false, false, false, /*diverged=*/true,
+                        /*qr_pop_pending=*/true);
+  }
+
   if (hnext <= opts_.breakdown_tol * (w_norm > 0.0 ? w_norm : 1.0)) {
-    return finish_cycle(false, /*breakdown=*/true, false, false);
+    return finish_cycle(false, /*breakdown=*/true, false, false, false);
   }
   q.append(v.span());
   la::scal(1.0 / hnext, q.col(j + 1));
@@ -166,23 +180,23 @@ bool GmresEngine::advance() {
       // solve below must not use it.
       if (history_ != nullptr) history_->pop_back();
       --stats_.iterations;
-      return finish_cycle(/*aborted=*/true, false, false,
+      return finish_cycle(/*aborted=*/true, false, false, false,
                           /*qr_pop_pending=*/true);
     }
   }
 
   if (abs_target_ > 0.0 && est <= abs_target_) {
-    return finish_cycle(false, false, /*converged=*/true, false);
+    return finish_cycle(false, false, /*converged=*/true, false, false);
   }
   if (w_->qr.size() >= cycle_len_ || stats_.iterations >= opts_.max_iters) {
     // Cycle exhausted: restart (or stop on a spent budget).
-    return finish_cycle(false, false, false, false);
+    return finish_cycle(false, false, false, false, false);
   }
   return false; // next step: begin_iteration()
 }
 
 bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
-                               bool qr_pop_pending) {
+                               bool diverged, bool qr_pop_pending) {
   dense::HessenbergQr& qr = w_->qr;
   la::KrylovBasis& q = w_->arena.basis();
   la::Vector& z = w_->arena.scratch(2);
@@ -214,6 +228,9 @@ bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
 
   if (aborted) {
     stats_.status = SolveStatus::AbortedByDetector;
+    finished_ = true;
+  } else if (diverged) {
+    stats_.status = SolveStatus::Diverged;
     finished_ = true;
   } else if (breakdown) {
     stats_.status = SolveStatus::HappyBreakdown;

@@ -44,6 +44,15 @@ struct GmresOptions {
                                  ///< the norm of the unorthogonalized vector
   const Preconditioner* right_precond = nullptr; ///< optional fixed M;
                                  ///< solves A M^{-1} u = b, x = M^{-1} u
+  double divergence_factor = 0.0; ///< residual-explosion guard: a residual
+                                 ///< estimate exceeding factor x the
+                                 ///< initial residual (or going non-finite)
+                                 ///< drops the exploding column and stops
+                                 ///< with status Diverged, returning the
+                                 ///< pre-explosion iterate (0 disables).
+                                 ///< In FT-GMRES this bounds how long a
+                                 ///< pathologically corrupted inner solve
+                                 ///< can churn on garbage.
 };
 
 /// Result of a GMRES solve.
@@ -185,7 +194,7 @@ private:
   /// update x += (M^{-1}) Q_k y from the accepted columns and either
   /// finish the solve or turn over into the next cycle's residual phase.
   bool finish_cycle(bool aborted, bool breakdown, bool converged,
-                    bool qr_pop_pending);
+                    bool diverged, bool qr_pop_pending);
 
   const LinearOperator* a_;
   std::span<const double> b_;
@@ -198,6 +207,8 @@ private:
   std::size_t n_ = 0;
   std::size_t cycle_len_ = 0;
   double abs_target_ = 0.0;
+  double beta0_ = -1.0; ///< initial residual norm (divergence reference);
+                        ///< negative until the first cycle measured it
   bool awaiting_residual_ = true;
   bool finished_ = false;
   GmresStats stats_;

@@ -1,5 +1,7 @@
 #include "krylov/status.hpp"
 
+#include <cstring>
+
 namespace sdcgmres::krylov {
 
 const char* to_string(SolveStatus status) noexcept {
@@ -10,8 +12,26 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::RankDeficient: return "rank-deficient";
     case SolveStatus::AbortedByDetector: return "aborted-by-detector";
     case SolveStatus::Indefinite: return "indefinite";
+    case SolveStatus::Diverged: return "diverged";
+    case SolveStatus::DeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
+}
+
+bool status_from_string(const char* name, SolveStatus& out) noexcept {
+  constexpr SolveStatus all[] = {
+      SolveStatus::Converged,         SolveStatus::HappyBreakdown,
+      SolveStatus::MaxIterations,     SolveStatus::RankDeficient,
+      SolveStatus::AbortedByDetector, SolveStatus::Indefinite,
+      SolveStatus::Diverged,          SolveStatus::DeadlineExceeded,
+  };
+  for (const SolveStatus s : all) {
+    if (std::strcmp(name, to_string(s)) == 0) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 } // namespace sdcgmres::krylov

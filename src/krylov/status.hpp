@@ -22,10 +22,23 @@ enum class SolveStatus {
                      ///< (FGMRES trichotomy, paper Section VI-C)
   AbortedByDetector, ///< an attached hook requested abort (fault detected)
   Indefinite,        ///< p^T A p <= 0 observed: A not SPD (CG family)
+  Diverged,          ///< residual-explosion guard fired: the residual
+                     ///< estimate exceeded divergence_factor x the initial
+                     ///< residual (or went non-finite) -- a pathological
+                     ///< faulty solve degrading gracefully instead of
+                     ///< burning its whole budget
+  DeadlineExceeded,  ///< wall-clock deadline guard fired: the solve ran
+                     ///< past deadline_seconds and returned its best
+                     ///< iterate so far
 };
 
 /// Human-readable status (for reports).
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// Inverse of to_string (sweep-journal round-trips).  Returns true and
+/// sets \p out when \p name is a known status spelling, false otherwise.
+[[nodiscard]] bool status_from_string(const char* name,
+                                      SolveStatus& out) noexcept;
 
 /// True for the two states that certify a correct solution (tolerance
 /// reached, or an invariant subspace making the iterate exact).

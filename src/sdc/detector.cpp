@@ -29,7 +29,9 @@ void HessenbergBoundDetector::check(const krylov::ArnoldiContext& ctx,
   // "|h| <= bound" and flag anything that fails it -- this catches NaN too.
   if (std::abs(value) <= bound_) return;
   ++detections_;
-  if (response_ == DetectorResponse::AbortSolve) abort_pending_ = true;
+  // Every non-observation response starts by aborting the inner solve;
+  // the recovery policies differ only in what the nested solver does next.
+  if (response_ != DetectorResponse::RecordOnly) abort_pending_ = true;
   std::ostringstream desc;
   desc << "|h(" << coefficient << "," << ctx.iteration
        << ")| > bound: " << value;

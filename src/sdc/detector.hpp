@@ -13,18 +13,48 @@
 
 #include <cstddef>
 
+#include "krylov/ft_gmres.hpp"
 #include "krylov/hooks.hpp"
 #include "sdc/event_log.hpp"
 
 namespace sdcgmres::sdc {
 
-/// What the detector does when the invariant is violated.
+/// What the detector does when the invariant is violated.  Every response
+/// except RecordOnly aborts the current inner solve; they differ in what
+/// the nested solver does NEXT with the flagged step (the krylov-level
+/// recovery policy, see inner_recovery_for below).
 enum class DetectorResponse {
-  RecordOnly, ///< log the event and continue (observation mode)
-  AbortSolve, ///< request that the current (inner) solve stop immediately
-              ///< and return its pre-fault iterate ("restart the inner
-              ///< solve" response from the paper's Section VII-B-1)
+  RecordOnly,    ///< log the event and continue (observation mode)
+  AbortSolve,    ///< request that the current (inner) solve stop immediately
+                 ///< and return its pre-fault iterate ("restart the inner
+                 ///< solve" response from the paper's Section VII-B-1)
+  RetryReliable, ///< abort, then recompute the flagged inner solve with
+                 ///< injection disabled (the paper's selective-reliability
+                 ///< recompute): FT-GMRES proceeds as if the solve had run
+                 ///< reliably, at the cost of a second inner solve
+  RestartOuter,  ///< abort, then discard the poisoned outer direction and
+                 ///< restart the outer cycle from the accepted columns'
+                 ///< explicit residual (heaviest recovery: throws away the
+                 ///< current outer basis, keeps the iterate)
 };
+
+/// Map a detector response onto the nested solver's recovery policy
+/// (krylov stays sdc-free; the seam points this way only).  RecordOnly and
+/// AbortSolve both map to None: the abort behaviour itself is carried by
+/// the hook's abort_requested(), not by the recovery policy.
+[[nodiscard]] constexpr krylov::InnerRecovery inner_recovery_for(
+    DetectorResponse response) noexcept {
+  switch (response) {
+  case DetectorResponse::RetryReliable:
+    return krylov::InnerRecovery::RetryReliable;
+  case DetectorResponse::RestartOuter:
+    return krylov::InnerRecovery::RestartOuter;
+  case DetectorResponse::RecordOnly:
+  case DetectorResponse::AbortSolve:
+    break;
+  }
+  return krylov::InnerRecovery::None;
+}
 
 /// Arnoldi hook checking |h| <= bound on every coefficient.
 class HessenbergBoundDetector final : public krylov::ArnoldiHook {

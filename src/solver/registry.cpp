@@ -248,18 +248,17 @@ detector_registry() {
     r->add("bound", [](const std::string& arg, double default_bound,
                        const ScenarioSpec& spec)
                -> std::unique_ptr<sdc::HessenbergBoundDetector> {
-      const std::string response_name =
-          !arg.empty() ? arg : spec.get("response", "abort");
-      sdc::DetectorResponse response;
-      if (response_name == "abort") {
-        response = sdc::DetectorResponse::AbortSolve;
-      } else if (response_name == "record") {
-        response = sdc::DetectorResponse::RecordOnly;
+      // Inline arg > `recovery` spec key > legacy `response` spec key.
+      std::string response_name;
+      if (!arg.empty()) {
+        response_name = arg;
+      } else if (spec.has("recovery")) {
+        response_name = spec.get("recovery");
       } else {
-        throw std::invalid_argument("detector 'bound': response '" +
-                                    response_name +
-                                    "' is not one of: abort record");
+        response_name = spec.get("response", "abort");
       }
+      const sdc::DetectorResponse response =
+          recovery_registry().make(response_name, spec);
       double bound = default_bound;
       if (const std::string text = spec.get("bound", "auto"); text != "auto") {
         bound = spec.get_double("bound", bound);
@@ -270,6 +269,39 @@ detector_registry() {
             "or a positive default, e.g. ||A||_F)");
       }
       return std::make_unique<sdc::HessenbergBoundDetector>(bound, response);
+    });
+    return r;
+  }();
+  return *reg;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery modes
+// ---------------------------------------------------------------------------
+
+Registry<sdc::DetectorResponse(const ScenarioSpec&)>& recovery_registry() {
+  static auto* reg = [] {
+    auto* r =
+        new Registry<sdc::DetectorResponse(const ScenarioSpec&)>("recovery mode");
+    r->add("none", [](const std::string& arg, const ScenarioSpec&) {
+      no_arg(arg, "none");
+      return sdc::DetectorResponse::RecordOnly;
+    });
+    r->add("record", [](const std::string& arg, const ScenarioSpec&) {
+      no_arg(arg, "record");
+      return sdc::DetectorResponse::RecordOnly;
+    });
+    r->add("abort", [](const std::string& arg, const ScenarioSpec&) {
+      no_arg(arg, "abort");
+      return sdc::DetectorResponse::AbortSolve;
+    });
+    r->add("retry_reliable", [](const std::string& arg, const ScenarioSpec&) {
+      no_arg(arg, "retry_reliable");
+      return sdc::DetectorResponse::RetryReliable;
+    });
+    r->add("restart_outer", [](const std::string& arg, const ScenarioSpec&) {
+      no_arg(arg, "restart_outer");
+      return sdc::DetectorResponse::RestartOuter;
     });
     return r;
   }();

@@ -22,7 +22,8 @@
 ///                     mtx:<path>
 ///   fault models:     none class1 class2 class3 scale[:factor]
 ///                     set[:value] add[:offset] bitflip[:bit]
-///   detectors:        none bound[:record|abort]
+///   detectors:        none bound[:<recovery mode>]
+///   recovery modes:   none record abort retry_reliable restart_outer
 
 #include <functional>
 #include <map>
@@ -132,11 +133,20 @@ fault_model_registry();
 
 /// Detectors; "none" yields nullptr.  `bound` reads the threshold from
 /// spec key `bound` ("auto" or absent uses \p default_bound, the caller's
-/// ||A||_F) and the response from the inline arg or spec key `response`
-/// ("record" | "abort", default abort).
+/// ||A||_F) and the response from the inline arg, the `recovery` spec
+/// key, or the legacy `response` spec key, in that order (a recovery_registry
+/// name; default abort).
 [[nodiscard]] Registry<std::unique_ptr<sdc::HessenbergBoundDetector>(
     double default_bound, const experiment::ScenarioSpec&)>&
 detector_registry();
+
+/// Recovery modes: what a firing detector does to the solve.  `none` and
+/// `record` observe only; `abort` discards the flagged inner result;
+/// `retry_reliable` re-runs the flagged inner solve with injection
+/// disabled; `restart_outer` discards the poisoned outer basis and
+/// restarts the outer cycle from the current iterate.
+[[nodiscard]] Registry<sdc::DetectorResponse(const experiment::ScenarioSpec&)>&
+recovery_registry();
 
 /// Solver adapters over the façade (solver/solver.hpp).
 [[nodiscard]] Registry<std::unique_ptr<IterativeSolver>(const SolverContext&)>&

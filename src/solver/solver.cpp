@@ -41,6 +41,7 @@ krylov::GmresOptions to_gmres_options(const Options& o) {
   g.truncation_tol = o.truncation_tol;
   g.breakdown_tol = o.breakdown_tol.value_or(g.breakdown_tol);
   g.right_precond = o.precond;
+  g.divergence_factor = o.divergence_factor;
   return g;
 }
 
@@ -56,6 +57,8 @@ krylov::FgmresOptions to_fgmres_options(const Options& o) {
   f.rank_check_every_iteration = o.rank_check_every_iteration;
   f.sanitize_preconditioner_output = o.sanitize_preconditioner_output;
   f.verify_with_explicit_residual = o.verify_with_explicit_residual;
+  f.deadline_seconds = o.deadline_seconds;
+  f.divergence_factor = o.divergence_factor;
   return f;
 }
 
@@ -70,7 +73,12 @@ krylov::FtGmresOptions to_ft_gmres_options(const Options& o) {
   ft.inner.truncation_tol = o.truncation_tol;
   ft.inner.breakdown_tol =
       o.breakdown_tol.value_or(krylov::GmresOptions{}.breakdown_tol);
+  // The divergence guard bites mostly in the unreliable inner solves,
+  // where a corrupted Hessenberg column explodes the lsq estimate; the
+  // outer FGMRES estimate is monotone, so its guard is a backstop.
+  ft.inner.divergence_factor = o.divergence_factor;
   ft.robust_first_inner = o.robust_first_inner;
+  ft.recovery = o.recovery;
   return ft;
 }
 
@@ -199,6 +207,8 @@ SolveReport report_from_ft_result(krylov::FtGmresResult res) {
   r.residual_history = std::move(res.residual_history);
   r.inner_solves = std::move(res.inner_solves);
   r.sanitized_outputs = res.sanitized_outputs;
+  r.reliable_retries = res.reliable_retries;
+  r.outer_restarts = res.outer_restarts;
   return r;
 }
 

@@ -77,11 +77,26 @@ struct Options {
   /// IS the unreliable inner solve.
   const krylov::Preconditioner* precond = nullptr;
 
+  // --- solve guards (gmres / fgmres family; 0 disables each) ---
+  double deadline_seconds = 0.0;  ///< wall-clock budget: the (outer) solve
+                              ///< stops with status DeadlineExceeded when
+                              ///< a deadline passes between iterations
+  double divergence_factor = 0.0; ///< residual-explosion guard: a residual
+                              ///< estimate exceeding factor x the initial
+                              ///< residual stops with status Diverged; in
+                              ///< ft_gmres the same factor also guards the
+                              ///< unreliable inner solves (where corrupted
+                              ///< Hessenberg columns blow up the estimate)
+
   // --- nested solvers (ft_gmres / ft_cg) only ---
   std::size_t inner_iters = 25; ///< fixed-effort inner budget (paper: 25)
   double inner_tol = 0.0;       ///< 0 = fixed-iteration inner solves
   krylov::Orthogonalization inner_ortho = krylov::Orthogonalization::MGS;
   bool robust_first_inner = false; ///< CGS2 on the first inner solve
+  krylov::InnerRecovery recovery = krylov::InnerRecovery::None;
+                              ///< ft_gmres detector-triggered recovery
+                              ///< policy (acts only on inner solves that
+                              ///< end AbortedByDetector)
 };
 
 /// Exact translations onto the native options structs.  Exposed so tests
@@ -115,6 +130,10 @@ struct SolveReport {
   bool lsq_fallback_triggered = false;  ///< gmres only
   std::size_t rank_checks = 0;          ///< fgmres family
   double min_sigma_ratio = 1.0;         ///< fgmres family
+  std::size_t reliable_retries = 0;     ///< ft_gmres: inner solves recomputed
+                                        ///< reliably (recovery RetryReliable)
+  std::size_t outer_restarts = 0;       ///< ft_gmres: outer cycles restarted
+                                        ///< (recovery RestartOuter)
 
   /// Tolerance reached or invariant subspace found.
   [[nodiscard]] bool converged() const noexcept { return is_success(status); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -12,6 +14,12 @@
 namespace sdcgmres::sparse {
 
 namespace {
+
+/// All reader errors go through here, so messages share one prefix and
+/// the file entry point below can splice the offending path in.
+[[noreturn]] void mm_fail(const std::string& reason) {
+  throw std::runtime_error("matrix_market: " + reason);
+}
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -30,11 +38,10 @@ Header parse_header(const std::string& line) {
   std::string banner, object, format, field, symmetry;
   ss >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket") {
-    throw std::runtime_error("matrix_market: missing %%MatrixMarket banner");
+    mm_fail("missing %%MatrixMarket banner (line 1)");
   }
   if (lower(object) != "matrix" || lower(format) != "coordinate") {
-    throw std::runtime_error(
-        "matrix_market: only 'matrix coordinate' files are supported");
+    mm_fail("only 'matrix coordinate' files are supported (line 1)");
   }
   Header h;
   const std::string f = lower(field);
@@ -43,8 +50,8 @@ Header parse_header(const std::string& line) {
   } else if (f == "pattern") {
     h.pattern = true;
   } else {
-    throw std::runtime_error("matrix_market: unsupported field '" + field +
-                             "' (complex matrices are out of scope)");
+    mm_fail("unsupported field '" + field +
+            "' (complex matrices are out of scope; line 1)");
   }
   const std::string s = lower(symmetry);
   if (s == "general") {
@@ -54,8 +61,7 @@ Header parse_header(const std::string& line) {
   } else if (s == "skew-symmetric") {
     h.symmetry = Header::Symmetry::SkewSymmetric;
   } else {
-    throw std::runtime_error("matrix_market: unsupported symmetry '" +
-                             symmetry + "'");
+    mm_fail("unsupported symmetry '" + symmetry + "' (line 1)");
   }
   return h;
 }
@@ -64,37 +70,47 @@ Header parse_header(const std::string& line) {
 
 CsrMatrix read_matrix_market(std::istream& in) {
   std::string line;
+  std::size_t line_no = 0;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("matrix_market: empty stream");
+    mm_fail("empty stream (no %%MatrixMarket banner)");
   }
+  ++line_no;
   const Header header = parse_header(line);
 
   // Skip comments and blank lines until the size line.
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line[0] != '%') break;
   }
   std::istringstream size_line(line);
   std::size_t rows = 0, cols = 0, nnz = 0;
   if (!(size_line >> rows >> cols >> nnz)) {
-    throw std::runtime_error("matrix_market: malformed size line");
+    mm_fail("malformed size line (line " + std::to_string(line_no) +
+            "): expected 'rows cols nnz', got '" + line + "'");
   }
 
   CooMatrix coo(rows, cols);
   coo.reserve(header.symmetry == Header::Symmetry::General ? nnz : 2 * nnz);
   std::size_t seen = 0;
   while (seen < nnz && std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     std::size_t i = 0, j = 0;
     double v = 1.0;
     if (!(entry >> i >> j)) {
-      throw std::runtime_error("matrix_market: malformed entry line");
+      mm_fail("malformed entry line (line " + std::to_string(line_no) +
+              "): '" + line + "'");
     }
     if (!header.pattern && !(entry >> v)) {
-      throw std::runtime_error("matrix_market: entry missing value");
+      mm_fail("entry missing its value (line " + std::to_string(line_no) +
+              "): '" + line + "'");
     }
     if (i == 0 || j == 0 || i > rows || j > cols) {
-      throw std::runtime_error("matrix_market: index out of range");
+      mm_fail("index (" + std::to_string(i) + ", " + std::to_string(j) +
+              ") out of the declared " + std::to_string(rows) + " x " +
+              std::to_string(cols) + " range (line " +
+              std::to_string(line_no) + ")");
     }
     coo.add(i - 1, j - 1, v);
     if (i != j) {
@@ -107,7 +123,8 @@ CsrMatrix read_matrix_market(std::istream& in) {
     ++seen;
   }
   if (seen != nnz) {
-    throw std::runtime_error("matrix_market: fewer entries than declared");
+    mm_fail("fewer entries than declared (" + std::to_string(seen) + " of " +
+            std::to_string(nnz) + "; truncated file?)");
   }
   return CsrMatrix(std::move(coo));
 }
@@ -115,9 +132,18 @@ CsrMatrix read_matrix_market(std::istream& in) {
 CsrMatrix read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("matrix_market: cannot open '" + path + "'");
+    mm_fail("cannot open '" + path + "': " + std::strerror(errno));
   }
-  return read_matrix_market(in);
+  try {
+    return read_matrix_market(in);
+  } catch (const std::runtime_error& e) {
+    // Splice the path into the stream reader's message so a failing
+    // scenario names the offending file, not just the line.
+    std::string what = e.what();
+    const std::string prefix = "matrix_market: ";
+    if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
+    mm_fail("'" + path + "': " + what);
+  }
 }
 
 void write_matrix_market(std::ostream& out, const CsrMatrix& A) {

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "experiment/journal.hpp"
+#include "experiment/sweep.hpp"
+#include "gen/poisson.hpp"
+#include "la/blas1.hpp"
+
+namespace experiment = sdcgmres::experiment;
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+/// Unique journal path under gtest's temp dir (tests may run in parallel).
+std::string journal_path(const char* name) {
+  return testing::TempDir() + "sdcgmres_journal_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+experiment::SweepJournalHeader sample_header() {
+  experiment::SweepJournalHeader h;
+  h.baseline_outer = 7;
+  h.baseline_total_inner = 70;
+  h.baseline_converged = true;
+  h.n_points = 70;
+  h.stride = 1;
+  h.site_limit = 0;
+  return h;
+}
+
+experiment::SweepPoint sample_point(std::size_t site) {
+  experiment::SweepPoint p;
+  p.aggregate_iteration = site;
+  p.outer_iterations = 7 + site % 3;
+  p.converged = true;
+  p.injected = true;
+  p.detected = site % 2 == 0;
+  p.sanitized_outputs = site % 2;
+  p.inner_applies = 25 * (7 + site % 3);
+  p.inner_diverged = site % 4 == 0 ? 1 : 0;
+  p.reliable_retries = site % 2;
+  p.outer_restarts = site % 3;
+  p.status = krylov::SolveStatus::Converged;
+  // A value with no short decimal representation: the bit-pattern
+  // round-trip is exactly what distinguishes the journal from a CSV.
+  p.residual_norm = 1.0 / 3.0 * static_cast<double>(site + 1) * 1e-9;
+  return p;
+}
+
+experiment::SweepConfig small_sweep_config() {
+  experiment::SweepConfig config;
+  config.solver.inner.max_iters = 5;
+  config.solver.outer.tol = 1e-8;
+  config.solver.outer.max_outer = 120;
+  return config;
+}
+
+} // namespace
+
+TEST(SweepJournal, MissingFileLoadsEmpty) {
+  const auto contents =
+      experiment::SweepJournal::load(journal_path("missing"));
+  EXPECT_FALSE(contents.has_header);
+  EXPECT_TRUE(contents.points.empty());
+  EXPECT_FALSE(contents.discarded_tail);
+}
+
+TEST(SweepJournal, WriteMergedRoundTripsBitwise) {
+  const std::string path = journal_path("roundtrip");
+  const auto header = sample_header();
+  std::vector<std::pair<std::size_t, experiment::SweepPoint>> points;
+  for (std::size_t i = 0; i < 5; ++i) points.emplace_back(i, sample_point(i));
+
+  experiment::SweepJournal::write_merged(path, header, points);
+  const auto contents = experiment::SweepJournal::load(path);
+
+  ASSERT_TRUE(contents.has_header);
+  EXPECT_EQ(contents.header, header);
+  ASSERT_EQ(contents.points.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(contents.points[i].first, points[i].first);
+    // SweepPoint::operator== compares the residual doubles exactly: this
+    // is the bitwise identity the u64 encoding exists for.
+    EXPECT_EQ(contents.points[i].second, points[i].second);
+  }
+  EXPECT_FALSE(contents.discarded_tail);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, AppendFlushLoadRoundTrips) {
+  const std::string path = journal_path("append");
+  const auto header = sample_header();
+  {
+    experiment::SweepJournal writer(path);
+    writer.append_header(header);
+    writer.append_point(3, sample_point(3));
+    writer.flush();
+    writer.append_point(4, sample_point(4));
+    writer.flush();
+  }
+  const auto contents = experiment::SweepJournal::load(path);
+  ASSERT_TRUE(contents.has_header);
+  EXPECT_EQ(contents.header, header);
+  ASSERT_EQ(contents.points.size(), 2u);
+  EXPECT_EQ(contents.points[0].first, 3u);
+  EXPECT_EQ(contents.points[1].second, sample_point(4));
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, UnterminatedTailIsDiscardedEvenWhenItParses) {
+  const std::string path = journal_path("tail");
+  std::vector<std::pair<std::size_t, experiment::SweepPoint>> points{
+      {0, sample_point(0)}, {1, sample_point(1)}};
+  experiment::SweepJournal::write_merged(path, sample_header(), points);
+
+  // Chop the trailing newline: the last line still parses, but a crash
+  // mid-append can truncate a number without breaking the syntax, so the
+  // loader must drop the tail unconditionally.
+  std::ifstream in(path);
+  std::stringstream data;
+  data << in.rdbuf();
+  in.close();
+  std::string text = data.str();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();
+  std::ofstream(path, std::ios::trunc) << text;
+
+  const auto contents = experiment::SweepJournal::load(path);
+  EXPECT_TRUE(contents.discarded_tail);
+  ASSERT_EQ(contents.points.size(), 1u);
+  EXPECT_EQ(contents.points[0].first, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, MalformedInteriorLineThrowsWithPathAndLineNumber) {
+  const std::string path = journal_path("corrupt");
+  experiment::SweepJournal::write_merged(
+      path, sample_header(), {{0, sample_point(0)}, {1, sample_point(1)}});
+  // Overwrite line 2 (the first point) with garbage of the same shape.
+  std::ifstream in(path);
+  std::string line, text;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    text += line_no == 2 ? "{\"type\":\"point\",garbage" : line;
+    text += '\n';
+  }
+  in.close();
+  std::ofstream(path, std::ios::trunc) << text;
+
+  try {
+    (void)experiment::SweepJournal::load(path);
+    FAIL() << "corrupt interior line must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, UnwritableDirectoryThrowsWithPathAndReason) {
+  const std::string path = "/nonexistent-dir/sweep.jsonl";
+  try {
+    experiment::SweepJournal writer(path);
+    FAIL() << "opening a journal in a missing directory must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("open for appending"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepJournal, DuplicateIndicesKeepTheLastOccurrence) {
+  const std::string path = journal_path("dup");
+  auto early = sample_point(2);
+  auto late = sample_point(2);
+  late.outer_iterations = 99;
+  experiment::SweepJournal::write_merged(path, sample_header(),
+                                         {{2, early}, {2, late}});
+  const auto contents = experiment::SweepJournal::load(path);
+  ASSERT_EQ(contents.points.size(), 2u);
+  EXPECT_EQ(contents.points.back().second.outer_iterations, 99u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume through the sweep engine.
+// ---------------------------------------------------------------------------
+
+TEST(SweepJournalResume, InterruptedSweepResumesBitwiseIdentical) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_sweep_config();
+
+  // Reference: one uninterrupted, journal-free sweep.
+  const auto reference = experiment::run_injection_sweep(A, b, config);
+
+  // "Interrupted" run: journal everything, then truncate the journal to
+  // the header plus half the points -- exactly what a crash leaves behind
+  // (the final partial line case is covered above).
+  const std::string path = journal_path("resume");
+  config.journal = path;
+  (void)experiment::run_injection_sweep(A, b, config);
+
+  auto full = experiment::SweepJournal::load(path);
+  ASSERT_TRUE(full.has_header);
+  ASSERT_EQ(full.points.size(), reference.points.size());
+  full.points.resize(full.points.size() / 2);
+  experiment::SweepJournal::write_merged(path, full.header, full.points);
+
+  config.resume = true;
+  const auto resumed = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(resumed.points, reference.points);
+  EXPECT_EQ(resumed.baseline_outer, reference.baseline_outer);
+  EXPECT_EQ(resumed.baseline_total_inner, reference.baseline_total_inner);
+
+  // The finished journal holds every point again, in index order.
+  const auto final_contents = experiment::SweepJournal::load(path);
+  EXPECT_EQ(final_contents.points.size(), reference.points.size());
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournalResume, HeaderMismatchRefusesToResume) {
+  const auto A = gen::poisson2d(6);
+  const la::Vector b = la::ones(36);
+  auto config = small_sweep_config();
+  const std::string path = journal_path("mismatch");
+  config.journal = path;
+  (void)experiment::run_injection_sweep(A, b, config);
+
+  // The same journal fed to a differently-shaped sweep must be refused:
+  // stride changes the point <-> site mapping.
+  config.resume = true;
+  config.stride = 2;
+  EXPECT_THROW((void)experiment::run_injection_sweep(A, b, config),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}

@@ -286,3 +286,98 @@ TEST(Scenario, SweepRangeValidationIsUpFrontAndListsRanges) {
         << e.what();
   }
 }
+
+// ---------------------------------------------------------------------------
+// Resilient sweep runtime keys: guards, recovery, journal, workers.
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, GuardKeysReachTheSolverOptions) {
+  const auto opts = experiment::solver_options_from_spec(
+      ScenarioSpec::parse("deadline=2.5 divergence=50"));
+  EXPECT_DOUBLE_EQ(opts.deadline_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(opts.divergence_factor, 50.0);
+  // Negative guard values are rejected with the valid range.
+  EXPECT_THROW((void)experiment::solver_options_from_spec(
+                   ScenarioSpec::parse("deadline=-1")),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::solver_options_from_spec(
+                   ScenarioSpec::parse("divergence=-3")),
+               std::invalid_argument);
+}
+
+TEST(Scenario, RecoveryKeyNeedsADetector) {
+  // A recovery mode nothing can trigger would silently run unprotected.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 fault=class1 "
+                   "recovery=retry_reliable")),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::run_scenario(
+                   "matrix=poisson n=6 recovery=retry_reliable"),
+               std::invalid_argument);
+  // Unknown recovery names list the registered modes.
+  try {
+    (void)experiment::run_injection_sweep(ScenarioSpec::parse(
+        "matrix=poisson n=6 sweep=1 fault=class1 detector=bound "
+        "recovery=bogus"));
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("retry_reliable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scenario, RecoveryKeyDrivesDetectorTriggeredRecovery) {
+  // retry_reliable heals every detected class-1 fault back to the
+  // failure-free outer count; with plain abort some sites pay extra outer
+  // iterations.  The counters surface through SweepResult.
+  const char* base =
+      "matrix=poisson n=6 inner=5 sweep=1 fault=class1 detector=bound";
+  auto retry = ScenarioSpec::parse(base);
+  retry.set("recovery", "retry_reliable");
+  const auto sweep = experiment::run_injection_sweep(retry);
+  EXPECT_GT(sweep.detected_runs(), 0u);
+  EXPECT_EQ(sweep.retried_reliable(), sweep.detected_runs());
+  EXPECT_EQ(sweep.max_outer_increase(), 0u);
+  EXPECT_EQ(sweep.unchanged_runs(), sweep.points.size());
+
+  auto restart = ScenarioSpec::parse(base);
+  restart.set("recovery", "restart_outer");
+  const auto restarted = experiment::run_injection_sweep(restart);
+  EXPECT_EQ(restarted.restarted_outer(), restarted.detected_runs());
+  EXPECT_EQ(restarted.failed_runs(), 0u);
+}
+
+TEST(Scenario, ResumeWithoutJournalIsRejected) {
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 fault=class1 resume=1")),
+               std::invalid_argument);
+}
+
+TEST(Scenario, WorkerKeysValidate) {
+  EXPECT_THROW((void)experiment::shard_options_from_spec(
+                   ScenarioSpec::parse("workers=0")),
+               std::invalid_argument);
+  EXPECT_THROW((void)experiment::shard_options_from_spec(
+                   ScenarioSpec::parse("workers=2 worker_timeout=-1")),
+               std::invalid_argument);
+  const auto shard = experiment::shard_options_from_spec(
+      ScenarioSpec::parse("workers=3 worker_timeout=2.5"));
+  EXPECT_EQ(shard.workers, 3u);
+  EXPECT_DOUBLE_EQ(shard.worker_timeout_seconds, 2.5);
+  // Sharding requires a journal: the merged result derives from it.
+  EXPECT_THROW((void)experiment::run_injection_sweep(ScenarioSpec::parse(
+                   "matrix=poisson n=6 sweep=1 fault=class1 workers=2")),
+               std::invalid_argument);
+}
+
+TEST(Scenario, MtxErrorsNameThePath) {
+  try {
+    (void)experiment::run_scenario("matrix=mtx:/no/such/file.mtx");
+    FAIL() << "expected a throw";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/no/such/file.mtx"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+  }
+}

@@ -438,3 +438,50 @@ TEST(Sweep, AbortingDetectorUnderThreadsAndBatchStaysIdentical) {
   EXPECT_EQ(batched.baseline_outer, serial.baseline_outer);
   EXPECT_EQ(batched.baseline_total_inner, serial.baseline_total_inner);
 }
+
+TEST(Sweep, RetryReliableHealsEveryDetectedSiteAndStaysIdentical) {
+  // retry_reliable under threads+batch: the healed sweep is bitwise
+  // identical to serial AND every detected site converges in the
+  // failure-free outer count (the whole point of the policy).
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(A.rows());
+  auto config = small_config();
+  config.model = sdc::FaultModel::scale(1e150);
+  config.with_detector = true;
+  config.detector_bound = A.frobenius_norm();
+  config.detector_response = sdc::DetectorResponse::RetryReliable;
+
+  const auto serial = experiment::run_injection_sweep(A, b, config);
+  EXPECT_GT(serial.detected_runs(), 0u);
+  EXPECT_EQ(serial.retried_reliable(), serial.detected_runs());
+  EXPECT_EQ(serial.max_outer_increase(), 0u);
+  EXPECT_EQ(serial.failed_runs(), 0u);
+
+  config.threads = 3;
+  config.batch = 3;
+  const auto batched = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(batched.points, serial.points);
+  EXPECT_EQ(batched.baseline_outer, serial.baseline_outer);
+  EXPECT_EQ(batched.baseline_total_inner, serial.baseline_total_inner);
+}
+
+TEST(Sweep, RestartOuterUnderThreadsAndBatchStaysIdentical) {
+  const auto A = gen::poisson2d(7);
+  const la::Vector b = la::ones(A.rows());
+  auto config = small_config();
+  config.model = sdc::FaultModel::scale(1e150);
+  config.with_detector = true;
+  config.detector_bound = A.frobenius_norm();
+  config.detector_response = sdc::DetectorResponse::RestartOuter;
+
+  const auto serial = experiment::run_injection_sweep(A, b, config);
+  EXPECT_GT(serial.detected_runs(), 0u);
+  EXPECT_EQ(serial.restarted_outer(), serial.detected_runs());
+
+  config.threads = 3;
+  config.batch = 3;
+  const auto batched = experiment::run_injection_sweep(A, b, config);
+  EXPECT_EQ(batched.points, serial.points);
+  EXPECT_EQ(batched.baseline_outer, serial.baseline_outer);
+  EXPECT_EQ(batched.baseline_total_inner, serial.baseline_total_inner);
+}

@@ -418,3 +418,91 @@ TEST(FtGmresBatch, InnerLockstepSharesMatrixStreams) {
   EXPECT_LE(batched.streams(), serial.streams() / B + 3 * B + total_outer);
   EXPECT_LT(2 * batched.streams(), serial.streams());
 }
+
+TEST(FtGmresBatch, RetryReliableMidBlockKeepsEveryoneBitwise) {
+  // Recovery in lockstep: instances 1 and 2 carry a retry_reliable
+  // detector and get their flagged inner solve recomputed reliably
+  // (in-place engine replacement inside the running block), while 0 and 3
+  // run untouched.  Every instance must still match its solo run bitwise.
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  auto opts = small_opts();
+  opts.recovery = krylov::InnerRecovery::RetryReliable;
+  const auto bs = test_rhs(A.rows(), 4);
+  const double bound = A.frobenius_norm();
+  const std::size_t fault_sites[] = {3, 9};
+
+  std::vector<sdc::FaultCampaign> campaigns;
+  campaigns.reserve(2);
+  std::vector<sdc::HessenbergBoundDetector> detectors;
+  detectors.reserve(2);
+  std::vector<krylov::HookChain> chains(2);
+  std::vector<krylov::ArnoldiHook*> hooks(bs.size(), nullptr);
+  for (std::size_t k = 0; k < 2; ++k) {
+    campaigns.emplace_back(sdc::InjectionPlan::hessenberg(
+        fault_sites[k], sdc::MgsPosition::First,
+        sdc::FaultModel::scale(1e150)));
+    detectors.emplace_back(bound, sdc::DetectorResponse::RetryReliable);
+    chains[k].add(&campaigns[k]);
+    chains[k].add(&detectors[k]);
+    hooks[1 + k] = &chains[k];
+  }
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts, hooks);
+  EXPECT_TRUE(detectors[0].triggered());
+  EXPECT_TRUE(detectors[1].triggered());
+  EXPECT_EQ(batch[1].reliable_retries, 1u);
+  EXPECT_EQ(batch[2].reliable_retries, 1u);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    krylov::HookChain solo_chain;
+    sdc::FaultCampaign solo_campaign(sdc::InjectionPlan::hessenberg(
+        i == 1 || i == 2 ? fault_sites[i - 1] : 0, sdc::MgsPosition::First,
+        sdc::FaultModel::scale(1e150)));
+    sdc::HessenbergBoundDetector solo_detector(
+        bound, sdc::DetectorResponse::RetryReliable);
+    krylov::ArnoldiHook* solo_hook = nullptr;
+    if (i == 1 || i == 2) {
+      solo_chain.add(&solo_campaign);
+      solo_chain.add(&solo_detector);
+      solo_hook = &solo_chain;
+    }
+    const auto solo = krylov::ft_gmres(op, bs[i], opts, solo_hook);
+    expect_same_result(batch[i], solo, "retry_reliable vs solo");
+    EXPECT_EQ(batch[i].reliable_retries, solo.reliable_retries);
+  }
+}
+
+TEST(FtGmresBatch, RestartOuterMidBlockKeepsEveryoneBitwise) {
+  // restart_outer discards a poisoned outer basis mid-batch: the
+  // restarting instance leaves the current lockstep round and rejoins
+  // with a fresh cycle, without perturbing the other instances.
+  const auto A = gen::poisson2d(10);
+  const krylov::CsrOperator op(A);
+  auto opts = small_opts();
+  opts.recovery = krylov::InnerRecovery::RestartOuter;
+  const auto bs = test_rhs(A.rows(), 3);
+  const double bound = A.frobenius_norm();
+
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      5, sdc::MgsPosition::First, sdc::FaultModel::scale(1e150)));
+  sdc::HessenbergBoundDetector detector(bound,
+                                        sdc::DetectorResponse::RestartOuter);
+  krylov::HookChain chain({&campaign, &detector});
+  std::vector<krylov::ArnoldiHook*> hooks(bs.size(), nullptr);
+  hooks[1] = &chain;
+
+  const auto batch = krylov::ft_gmres_batch(op, bs, opts, hooks);
+  EXPECT_TRUE(detector.triggered());
+  EXPECT_EQ(batch[1].outer_restarts, 1u);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    sdc::FaultCampaign solo_campaign(sdc::InjectionPlan::hessenberg(
+        5, sdc::MgsPosition::First, sdc::FaultModel::scale(1e150)));
+    sdc::HessenbergBoundDetector solo_detector(
+        bound, sdc::DetectorResponse::RestartOuter);
+    krylov::HookChain solo_chain({&solo_campaign, &solo_detector});
+    const auto solo = krylov::ft_gmres(
+        op, bs[i], opts, i == 1 ? &solo_chain : nullptr);
+    expect_same_result(batch[i], solo, "restart_outer vs solo");
+    EXPECT_EQ(batch[i].outer_restarts, solo.outer_restarts);
+  }
+}

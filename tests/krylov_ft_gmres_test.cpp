@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gen/convection_diffusion.hpp"
 #include "gen/poisson.hpp"
 #include "krylov/ft_gmres.hpp"
+#include "krylov/hooks.hpp"
 #include "la/blas1.hpp"
+#include "sdc/detector.hpp"
 #include "sdc/injection.hpp"
 
 namespace krylov = sdcgmres::krylov;
@@ -150,4 +153,182 @@ TEST(FtGmres, OperatorOverloadAgreesWithCsrOverload) {
   const auto r2 = krylov::ft_gmres(op, la::ones(36), opts);
   EXPECT_EQ(r1.outer_iterations, r2.outer_iterations);
   EXPECT_EQ(r1.status, r2.status);
+}
+
+// ---------------------------------------------------------------------------
+// Solve guards and detector-triggered recovery.
+// ---------------------------------------------------------------------------
+
+TEST(FtGmresGuards, DeadlineGuardStopsTheSolve) {
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(A.rows());
+  krylov::FtGmresOptions opts;
+  // An unreachable tolerance with a generous (but allocatable: the outer
+  // Hessenberg is max_outer^2 doubles) iteration cap, and a deadline
+  // shorter than any single outer iteration: the guard must fire at the
+  // first end-of-iteration check, long before the cap.  The inner effort
+  // is kept low so the inner solve stays inexact -- a near-exact inner
+  // solve triggers outer happy breakdown on iteration one, which returns
+  // before the deadline is ever consulted.
+  opts.outer.tol = 1e-30;
+  opts.outer.max_outer = 500;
+  opts.inner.max_iters = 5;
+  opts.outer.deadline_seconds = 1e-9;
+  const auto res = krylov::ft_gmres(A, b, opts);
+  EXPECT_EQ(res.status, krylov::SolveStatus::DeadlineExceeded);
+  EXPECT_GE(res.outer_iterations, 1u); // at least one full outer step ran
+}
+
+TEST(FtGmresGuards, ZeroDeadlineMeansNoGuard) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.outer.deadline_seconds = 0.0;
+  const auto res = krylov::ft_gmres(A, b, opts);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
+}
+
+TEST(FtGmresGuards, DivergenceGuardStopsNaNPoisonedInnerSolve) {
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.inner.divergence_factor = 10.0;
+  // Poison one Hessenberg coefficient with NaN: the projected inner
+  // least-squares estimate goes non-finite, which the guard converts into
+  // a clean Diverged stop (dropping the poisoned column) instead of
+  // letting NaN propagate through the inner iterate.
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      3, sdc::MgsPosition::First,
+      sdc::FaultModel::set_value(std::numeric_limits<double>::quiet_NaN())));
+  const auto res = krylov::ft_gmres(A, b, opts, &campaign);
+  ASSERT_TRUE(campaign.fired());
+  std::size_t diverged = 0;
+  for (const auto& rec : res.inner_solves) {
+    if (rec.status == krylov::SolveStatus::Diverged) ++diverged;
+  }
+  EXPECT_EQ(diverged, 1u);
+  EXPECT_EQ(res.status, krylov::SolveStatus::Converged); // outer recovers
+}
+
+TEST(FtGmresGuards, RecoverySettingAloneIsBitwiseInert) {
+  // The determinism contract: when no detector fires, every recovery mode
+  // produces the exact run of the unguarded solver.
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(64);
+  krylov::FtGmresOptions plain;
+  plain.outer.tol = 1e-8;
+  const auto reference = krylov::ft_gmres(A, b, plain);
+  for (const krylov::InnerRecovery mode :
+       {krylov::InnerRecovery::RetryReliable,
+        krylov::InnerRecovery::RestartOuter}) {
+    krylov::FtGmresOptions opts = plain;
+    opts.recovery = mode;
+    const auto res = krylov::ft_gmres(A, b, opts);
+    EXPECT_EQ(res.status, reference.status);
+    EXPECT_EQ(res.outer_iterations, reference.outer_iterations);
+    EXPECT_EQ(res.x, reference.x); // bitwise: identical operation sequence
+    EXPECT_EQ(res.reliable_retries, 0u);
+    EXPECT_EQ(res.outer_restarts, 0u);
+  }
+}
+
+TEST(FtGmresRecovery, RetryReliableMatchesTheFailureFreeRun) {
+  // A detected class-1 fault answered with retry_reliable re-runs the
+  // flagged inner solve with injection disabled, so the outer iteration
+  // count must equal the failure-free baseline at EVERY site.  This
+  // config runs 7 outer x 5 inner iterations, so the sites below span
+  // several distinct inner solves.
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(100);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.inner.max_iters = 5;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+  ASSERT_EQ(baseline.status, krylov::SolveStatus::Converged);
+
+  opts.recovery = krylov::InnerRecovery::RetryReliable;
+  const double bound = A.frobenius_norm();
+  for (std::size_t site : {0u, 7u, 15u, 23u}) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        site, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+    sdc::HessenbergBoundDetector detector(
+        bound, sdc::DetectorResponse::RetryReliable);
+    krylov::HookChain chain({&campaign, &detector});
+    const auto res = krylov::ft_gmres(A, b, opts, &chain);
+    ASSERT_TRUE(campaign.fired()) << "site " << site;
+    ASSERT_TRUE(detector.triggered()) << "site " << site;
+    EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
+    EXPECT_EQ(res.reliable_retries, 1u);
+    EXPECT_EQ(res.outer_iterations, baseline.outer_iterations)
+        << "site " << site;
+    EXPECT_EQ(res.x, baseline.x) << "site " << site; // bitwise identical
+  }
+}
+
+TEST(FtGmresRecovery, RetryRecordCarriesTheCombinedEffort) {
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(100);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.inner.max_iters = 5;
+  opts.recovery = krylov::InnerRecovery::RetryReliable;
+  sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+      4, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+  sdc::HessenbergBoundDetector detector(
+      A.frobenius_norm(), sdc::DetectorResponse::RetryReliable);
+  krylov::HookChain chain({&campaign, &detector});
+  const auto res = krylov::ft_gmres(A, b, opts, &chain);
+  ASSERT_TRUE(detector.triggered());
+  const auto& rec = res.inner_solves.at(0); // site 4 is in inner solve 0
+  EXPECT_EQ(rec.reliable_retries, 1u);
+  // iterations/operator_applies sum both attempts: the aborted one plus
+  // the full reliable re-run.
+  EXPECT_GT(rec.iterations, opts.inner.max_iters);
+}
+
+TEST(FtGmresRecovery, RestartOuterDiscardsThePoisonedBasisAndConverges) {
+  const auto A = gen::poisson2d(10);
+  const la::Vector b = la::ones(100);
+  krylov::FtGmresOptions opts;
+  opts.outer.tol = 1e-8;
+  opts.inner.max_iters = 5;
+  const auto baseline = krylov::ft_gmres(A, b, opts);
+
+  opts.recovery = krylov::InnerRecovery::RestartOuter;
+  const double bound = A.frobenius_norm();
+  for (std::size_t site : {0u, 7u, 15u}) {
+    sdc::FaultCampaign campaign(sdc::InjectionPlan::hessenberg(
+        site, sdc::MgsPosition::First, sdc::fault_classes::very_large()));
+    sdc::HessenbergBoundDetector detector(
+        bound, sdc::DetectorResponse::RestartOuter);
+    krylov::HookChain chain({&campaign, &detector});
+    const auto res = krylov::ft_gmres(A, b, opts, &chain);
+    ASSERT_TRUE(detector.triggered()) << "site " << site;
+    EXPECT_EQ(res.status, krylov::SolveStatus::Converged);
+    EXPECT_EQ(res.outer_restarts, 1u);
+    // A restart rebuilds the basis from the current iterate: convergence
+    // survives, with at most a few extra outer iterations.
+    EXPECT_LE(res.outer_iterations, baseline.outer_iterations + 4)
+        << "site " << site;
+    const bool flagged = [&] {
+      for (const auto& rec : res.inner_solves) {
+        if (rec.triggered_outer_restart) return true;
+      }
+      return false;
+    }();
+    EXPECT_TRUE(flagged) << "site " << site;
+  }
+}
+
+TEST(FtGmresRecovery, InnerRecoveryForMapsEveryDetectorResponse) {
+  EXPECT_EQ(sdc::inner_recovery_for(sdc::DetectorResponse::RecordOnly),
+            krylov::InnerRecovery::None);
+  EXPECT_EQ(sdc::inner_recovery_for(sdc::DetectorResponse::AbortSolve),
+            krylov::InnerRecovery::None);
+  EXPECT_EQ(sdc::inner_recovery_for(sdc::DetectorResponse::RetryReliable),
+            krylov::InnerRecovery::RetryReliable);
+  EXPECT_EQ(sdc::inner_recovery_for(sdc::DetectorResponse::RestartOuter),
+            krylov::InnerRecovery::RestartOuter);
 }

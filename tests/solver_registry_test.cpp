@@ -161,8 +161,11 @@ TEST(DetectorRegistry, RoundTripAndResponses) {
   const auto spec = experiment::ScenarioSpec::parse("bound=42.5");
   EXPECT_EQ(reg.make("bound", 10.0, spec)->bound(), 42.5);
 
+  // The inline response resolves through the recovery-mode registry, so an
+  // unknown name lists every registered mode.
   expect_lists([&] { (void)reg.make("bound:panic", 10.0, kEmptySpec); },
-               {"response", "abort", "record"});
+               {"recovery mode", "abort", "record", "retry_reliable",
+                "restart_outer"});
   expect_lists([&] { (void)reg.make("bound", -1.0, kEmptySpec); },
                {"positive"});
 }
@@ -171,6 +174,19 @@ TEST(DetectorRegistry, UnknownNameListsAvailableKeys) {
   expect_lists(
       [] { (void)solver::detector_registry().make("abft", 1.0, kEmptySpec); },
       {"unknown detector 'abft'", "bound", "none"});
+}
+
+TEST(RecoveryRegistry, EveryKeyMapsToItsResponse) {
+  const auto& reg = solver::recovery_registry();
+  EXPECT_EQ(reg.make("none", kEmptySpec), sdc::DetectorResponse::RecordOnly);
+  EXPECT_EQ(reg.make("record", kEmptySpec), sdc::DetectorResponse::RecordOnly);
+  EXPECT_EQ(reg.make("abort", kEmptySpec), sdc::DetectorResponse::AbortSolve);
+  EXPECT_EQ(reg.make("retry_reliable", kEmptySpec),
+            sdc::DetectorResponse::RetryReliable);
+  EXPECT_EQ(reg.make("restart_outer", kEmptySpec),
+            sdc::DetectorResponse::RestartOuter);
+  expect_lists([&] { (void)reg.make("bogus", kEmptySpec); },
+               {"unknown recovery mode 'bogus'", "abort", "retry_reliable"});
 }
 
 TEST(SolverRegistry, EveryKeyRoundTripsAndSolves) {

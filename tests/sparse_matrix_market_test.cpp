@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "sparse/matrix_market.hpp"
 
@@ -107,4 +110,64 @@ TEST(MatrixMarket, WriteReadRoundTrip) {
 TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW((void)sparse::read_matrix_market_file("/nonexistent/path.mtx"),
                std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorsCarryTheLineNumber) {
+  // A malformed entry reports the 1-based line it sits on (comments and
+  // blank lines count), plus the offending text.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "not an entry\n");
+  try {
+    (void)sparse::read_matrix_market(in);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("not an entry"), std::string::npos) << what;
+  }
+}
+
+TEST(MatrixMarket, OutOfRangeIndexNamesTheLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  try {
+    (void)sparse::read_matrix_market(in);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("(3, 1)"), std::string::npos) << what;
+  }
+}
+
+TEST(MatrixMarket, MissingFileNamesPathAndReason) {
+  try {
+    (void)sparse::read_matrix_market_file("/nonexistent/path.mtx");
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/nonexistent/path.mtx"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+  }
+}
+
+TEST(MatrixMarket, FileParseErrorsNameThePath) {
+  const std::string path = "registry_test_bad.mtx";
+  std::ofstream(path) << "%%MatrixMarket matrix coordinate real general\n"
+                         "garbage size line\n";
+  try {
+    (void)sparse::read_matrix_market_file(path);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("malformed size line"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
