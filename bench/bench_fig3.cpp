@@ -42,6 +42,9 @@
 #include "bench_common.hpp"
 #include "experiment/report.hpp"
 #include "experiment/sweep.hpp"
+#include "krylov/ft_gmres_batch.hpp"
+#include "krylov/mixed.hpp"
+#include "krylov/operator.hpp"
 
 using namespace sdcgmres;
 
@@ -92,13 +95,31 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
   const double t_batched_serial =
       run_timed(A, b, config, 1, batch, batched_serial);
   const double t_batched = run_timed(A, b, config, threads, batch, batched);
+
+  // Mixed-plane legs.  (double, int32) compresses the inner solves' CSR
+  // indices without touching arithmetic, so its points must be bitwise
+  // identical to the default legs; (float, int32) halves the scalar
+  // traffic too and is compared by bytes, not by points (float inner
+  // solves are a different -- still convergent -- perturbation).
+  experiment::SweepConfig mixed_config = config;
+  mixed_config.solver.index_width = krylov::IndexWidth::I32;
+  experiment::SweepResult d32_batched;
+  const double t_d32_batched =
+      run_timed(A, b, mixed_config, 1, batch, d32_batched);
+  mixed_config.solver.precision = krylov::Precision::Float;
+  experiment::SweepResult f32_serial;
+  experiment::SweepResult f32_batched;
+  const double t_f32_serial = run_timed(A, b, mixed_config, 1, 1, f32_serial);
+  const double t_f32_batched =
+      run_timed(A, b, mixed_config, 1, batch, f32_batched);
+
   const auto same = [&serial](const experiment::SweepResult& other) {
     return serial.points == other.points &&
            serial.baseline_outer == other.baseline_outer &&
            serial.baseline_total_inner == other.baseline_total_inner;
   };
   const bool identical = same(parallel) && same(batched_serial) &&
-                         same(batched);
+                         same(batched) && same(d32_batched);
 
   // Measured operator traffic per leg (krylov::OperatorStats, summed over
   // each leg's sweep workers).  The operand-column count is the WORK and
@@ -112,6 +133,62 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
   const std::size_t inner_columns = serial.inner_operand_columns();
   const std::size_t serial_streams = serial.operator_stats.streams();
   const std::size_t batched_streams = batched_serial.operator_stats.streams();
+
+  // Bytes actually streamed per leg (scalar = matrix values + operand/
+  // result columns, index = row_ptr + col_idx), each counted at the
+  // executing plane's own widths.  The headline ratio compares the
+  // float/int32 inner plane against the double/int64 one at the same
+  // batch: scalars and indices both halve, so the inner-dominated total
+  // lands near 0.5x (the reliable outer keeps streaming full doubles).
+  const auto bytes_json = [](const experiment::SweepResult& r) {
+    std::ostringstream o;
+    o << "{ \"scalar\": " << r.operator_stats.scalar_bytes
+      << ", \"index\": " << r.operator_stats.index_bytes
+      << ", \"total\": " << r.operator_stats.bytes() << " }";
+    return o.str();
+  };
+  const double float_over_double_sweep =
+      batched_serial.operator_stats.bytes() > 0
+          ? static_cast<double>(f32_batched.operator_stats.bytes()) /
+                static_cast<double>(batched_serial.operator_stats.bytes())
+          : 0.0;
+
+  // Failure-free lockstep solve legs: the same nested solver, `batch`
+  // right-hand sides in lockstep, NO injection.  Both planes converge in
+  // the same number of outer iterations here, so the byte ratio isolates
+  // the pure streaming cut of the narrowed inner plane (scalars and
+  // indices both halve on ~25/26 of the traffic -> ~0.52x).  The sweep
+  // ratio above is larger: under class-1 faults the float inner plane
+  // needs ~10% more outer iterations to absorb the perturbations, and
+  // those extra iterations stream extra (narrowed) bytes.
+  const auto solve_bytes = [&](const krylov::FtGmresOptions& opts,
+                               std::size_t& outers) {
+    const krylov::CsrOperator op(A);
+    krylov::FtGmresBatchWorkspace ws;
+    const std::vector<la::Vector> bs(batch, b);
+    const auto res = krylov::ft_gmres_batch(op, bs, opts, {}, &ws);
+    outers = res.empty() ? 0 : res.front().outer_iterations;
+    krylov::OperatorStats s = op.stats();
+    if (ws.plane != nullptr) s += ws.plane->stats();
+    return s;
+  };
+  std::size_t solve_outers_double = 0;
+  std::size_t solve_outers_float = 0;
+  const krylov::OperatorStats solve_double =
+      solve_bytes(config.solver, solve_outers_double);
+  const krylov::OperatorStats solve_float =
+      solve_bytes(mixed_config.solver, solve_outers_float);
+  const double float_over_double_batched =
+      solve_double.bytes() > 0
+          ? static_cast<double>(solve_float.bytes()) /
+                static_cast<double>(solve_double.bytes())
+          : 0.0;
+  const auto stats_json = [](const krylov::OperatorStats& s) {
+    std::ostringstream o;
+    o << "{ \"scalar\": " << s.scalar_bytes << ", \"index\": " << s.index_bytes
+      << ", \"total\": " << s.bytes() << " }";
+    return o.str();
+  };
 
   std::ostringstream json;
   json << "{\n"
@@ -148,6 +225,38 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
                      static_cast<double>(batched_streams)
                : 0.0)
        << ",\n"
+       << "  \"bytes\": {\n"
+       << "    \"serial\": " << bytes_json(serial) << ",\n"
+       << "    \"parallel\": " << bytes_json(parallel) << ",\n"
+       << "    \"batched_serial\": " << bytes_json(batched_serial) << ",\n"
+       << "    \"batched_parallel\": " << bytes_json(batched) << ",\n"
+       << "    \"d32_batched\": " << bytes_json(d32_batched) << ",\n"
+       << "    \"float_serial\": " << bytes_json(f32_serial) << ",\n"
+       << "    \"float_batched\": " << bytes_json(f32_batched) << ",\n"
+       << "    \"float_over_double_sweep_batched\": " << float_over_double_sweep
+       << ",\n"
+       << "    \"solve_double_batched\": " << stats_json(solve_double) << ",\n"
+       << "    \"solve_float_batched\": " << stats_json(solve_float) << ",\n"
+       << "    \"solve_outer_iterations\": { \"double\": "
+       << solve_outers_double << ", \"float\": " << solve_outers_float
+       << " },\n"
+       << "    \"float_over_double_batched\": " << float_over_double_batched
+       << "\n  },\n"
+       // The mixed legs run at threads=1 (like the serial/batched_serial
+       // references): on a 1-core container every leg is effectively
+       // serial anyway, so bytes -- not wall-clock -- is the comparable
+       // number here.
+       << "  \"mixed\": {\n"
+       << "    \"d32_batched_seconds\": " << t_d32_batched << ",\n"
+       << "    \"d32_identical\": "
+       << (same(d32_batched) ? "true" : "false") << ",\n"
+       << "    \"float_serial_seconds\": " << t_f32_serial << ",\n"
+       << "    \"float_batched_seconds\": " << t_f32_batched << ",\n"
+       << "    \"float_baseline_outer\": " << f32_serial.baseline_outer
+       << ",\n"
+       << "    \"float_failed_runs\": " << f32_serial.failed_runs() << ",\n"
+       << "    \"float_max_outer_increase\": "
+       << f32_serial.max_outer_increase() << "\n  },\n"
        // Guard trips and recovery activity (serial leg; identical in every
        // mode).  This trace runs no detector and no guards, so nonzero
        // counters here flag a determinism bug, not a slow machine.

@@ -115,6 +115,14 @@ void write_sweep_json(std::ostream& out, const experiment::ScenarioResult& r,
       << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
       << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns()
       << ",\n"
+      // Bytes actually streamed for those passes, split scalar (matrix
+      // values + operand/result columns) vs index (row_ptr + col_idx),
+      // each at the executing plane's own width -- this is where a
+      // precision=float/index=32 inner plane shows its traffic cut.
+      << "  \"scalar_bytes\": " << r.sweep.operator_stats.scalar_bytes
+      << ",\n"
+      << "  \"index_bytes\": " << r.sweep.operator_stats.index_bytes << ",\n"
+      << "  \"bytes_streamed\": " << r.sweep.operator_stats.bytes() << ",\n"
       // Solve-guard trips and detector-triggered recovery activity across
       // the sweep (zero everywhere unless deadline=/divergence=/recovery=
       // are in play).

@@ -1,31 +1,58 @@
 #pragma once
 /// \file givens.hpp
 /// \brief Givens plane rotations, the workhorse of the Hessenberg QR update.
+///
+/// Templated on the scalar type: the reliable plane uses the double
+/// instantiation (aliased GivensRotation, unchanged behaviour), the
+/// mixed-precision inner Hessenberg QR uses the float one.
+
+#include <cmath>
 
 namespace sdcgmres::dense {
 
 /// A 2x2 plane rotation [c s; -s c] chosen to zero the second component of
 /// a two-vector.
-struct GivensRotation {
-  double c = 1.0;
-  double s = 0.0;
+template <typename S>
+struct GivensRotationT {
+  S c = S(1);
+  S s = S(0);
 
   /// Apply the rotation to the pair (a, b) in place:
   ///   a' =  c*a + s*b
   ///   b' = -s*a + c*b
-  void apply(double& a, double& b) const noexcept {
-    const double ta = c * a + s * b;
-    const double tb = -s * a + c * b;
+  void apply(S& a, S& b) const noexcept {
+    const S ta = c * a + s * b;
+    const S tb = -s * a + c * b;
     a = ta;
     b = tb;
   }
 };
+
+using GivensRotation = GivensRotationT<double>;
 
 /// Compute the rotation that maps (a, b) to (r, 0) with r = hypot(a, b).
 /// Uses the LAPACK dlartg-style branch-free-overflow formulation: safe for
 /// huge and tiny inputs (including the paper's 1e+150-scaled faulty
 /// Hessenberg entries, whose squares would overflow a naive c = a/sqrt(a^2
 /// + b^2)).
-[[nodiscard]] GivensRotation make_givens(double a, double b) noexcept;
+template <typename S>
+[[nodiscard]] inline GivensRotationT<S> make_givens(S a, S b) noexcept {
+  GivensRotationT<S> g;
+  if (b == S(0)) {
+    g.c = S(1);
+    g.s = S(0);
+    return g;
+  }
+  if (a == S(0)) {
+    g.c = S(0);
+    g.s = (b > S(0)) ? S(1) : S(-1);
+    return g;
+  }
+  // std::hypot avoids overflow/underflow of a*a + b*b for extreme inputs.
+  const S r = std::hypot(a, b);
+  g.c = a / r;
+  g.s = b / r;
+  return g;
+}
 
 } // namespace sdcgmres::dense

@@ -6,6 +6,7 @@
 
 #include "experiment/shard.hpp"
 #include "krylov/operator.hpp"
+#include "krylov/precision.hpp"
 #include "sdc/injection.hpp"
 #include "solver/registry.hpp"
 
@@ -61,7 +62,7 @@ void validate_scenario_keys(const ScenarioSpec& spec) {
       "precond", "neumann_degree", "neumann_omega",
       // solver options
       "tol", "max_iters", "restart", "ortho", "lsq", "inner", "inner_tol",
-      "inner_ortho", "robust_first_inner",
+      "inner_ortho", "robust_first_inner", "precision", "index",
       // fault + detector + recovery
       "fault", "position", "site", "detector", "bound", "response",
       "recovery",
@@ -121,6 +122,25 @@ solver::Options solver_options_from_spec(const ScenarioSpec& spec) {
   opts.inner_ortho = parse_ortho(spec, "inner_ortho", opts.inner_ortho);
   opts.robust_first_inner =
       spec.get_bool("robust_first_inner", opts.robust_first_inner);
+  if (const std::string precision = spec.get("precision");
+      !precision.empty()) {
+    if (precision == "double") {
+      opts.precision = krylov::Precision::Double;
+    } else if (precision == "float") {
+      opts.precision = krylov::Precision::Float;
+    } else {
+      bad_choice("precision", precision, "double float");
+    }
+  }
+  if (const std::string index = spec.get("index"); !index.empty()) {
+    if (index == "64") {
+      opts.index_width = krylov::IndexWidth::I64;
+    } else if (index == "32") {
+      opts.index_width = krylov::IndexWidth::I32;
+    } else {
+      bad_choice("index", index, "32 64");
+    }
+  }
   opts.deadline_seconds = spec.get_double("deadline", 0.0);
   if (opts.deadline_seconds < 0.0) {
     throw std::invalid_argument(
@@ -316,6 +336,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     reject_precond_for_nested(spec, result.solver_name);
   }
   solver::Options options = solver_options_from_spec(spec);
+  if ((options.precision != krylov::Precision::Double ||
+       options.index_width != krylov::IndexWidth::I64) &&
+      result.solver_name != "ft_gmres" &&
+      result.solver_name != "ft_gmres_batch") {
+    throw std::invalid_argument(
+        "scenario: precision=/index= select the mixed inner data plane of "
+        "the nested GMRES solvers; they apply to solver=ft_gmres or "
+        "solver=ft_gmres_batch only (got solver=" +
+        result.solver_name + ")");
+  }
   const auto precond = solver::preconditioner_registry().make(
       spec.get("precond", "none"), problem.A, spec);
   options.precond = precond.get();

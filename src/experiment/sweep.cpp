@@ -421,9 +421,16 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     // Each worker counted its own operator's traffic; the sum of counters
     // is order-independent, so the merged stats are deterministic too.
     // (A resumed sweep only counts its re-executed solves here, which is
-    // fine: operator_stats is outside the identity contract.)
+    // fine: operator_stats is outside the identity contract.)  On mixed
+    // precision/index configurations the inner solves stream the narrowed
+    // mirror instead of the operator, so its counters are folded in too
+    // -- bytes then reflect the compressed traffic actually paid.
 #pragma omp critical(sdcgmres_sweep_stats)
-    result.operator_stats += op.stats();
+    {
+      result.operator_stats += op.stats();
+      if (ft) result.operator_stats += ft->mixed_stats();
+      if (ft_batch) result.operator_stats += ft_batch->mixed_stats();
+    }
   }
   if (error) std::rethrow_exception(error);
   return result;

@@ -1,7 +1,10 @@
 #include "krylov/ft_gmres.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
+
+#include "krylov/mixed.hpp"
 
 namespace sdcgmres::krylov {
 
@@ -102,17 +105,17 @@ FtGmresResult detail::make_ft_gmres_result(
   return result;
 }
 
-FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
-                       const FtGmresOptions& opts, ArnoldiHook* inner_hook,
-                       FtGmresWorkspace* ws) {
-  FtGmresWorkspace local;
-  FtGmresWorkspace& w = (ws != nullptr) ? *ws : local;
-  InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
-                                 opts.robust_first_inner, &w.inner,
-                                 opts.recovery);
-  // Drive the outer engine directly (the same loop fgmres() runs) so the
-  // RestartOuter policy can divert a flagged iteration into
-  // restart_cycle() instead of committing its direction.
+namespace {
+
+/// The shared solo drive: the outer engine's loop (same as fgmres()'s,
+/// driven directly so RestartOuter can divert a flagged iteration into
+/// restart_cycle()) around any inner preconditioner exposing the
+/// apply / last_record_requests_outer_restart / records protocol --
+/// the reliable InnerGmresPreconditioner or a MixedInnerGmresT mirror.
+template <typename Inner>
+FtGmresResult drive_solo(const LinearOperator& A, const la::Vector& b,
+                         const FtGmresOptions& opts, Inner& inner,
+                         FtGmresWorkspace& w) {
   const la::Vector x0(A.cols());
   FgmresEngine engine(A, b.span(), x0.span(), opts.outer, w.outer);
   if (!engine.start()) {
@@ -128,6 +131,45 @@ FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
     }
   }
   return detail::make_ft_gmres_result(engine.take_result(), inner.records());
+}
+
+/// Solo drive of a mixed-plane configuration: the inner solves run on
+/// the narrowed <S, I> mirror cached in the workspace; the outer
+/// iteration (and its products) stays on the original double operator.
+template <typename S, typename I>
+FtGmresResult ft_gmres_mixed(const LinearOperator& A, const la::Vector& b,
+                             const FtGmresOptions& opts,
+                             ArnoldiHook* inner_hook, FtGmresWorkspace& w) {
+  MixedPlane<S, I>& plane = ensure_plane<S, I>(w.plane, A);
+  MixedInnerGmresT<S, I> inner(plane.op, opts.inner, inner_hook,
+                               opts.robust_first_inner,
+                               &inner_workspace_for<S>(w), opts.recovery);
+  return drive_solo(A, b, opts, inner, w);
+}
+
+} // namespace
+
+FtGmresResult ft_gmres(const LinearOperator& A, const la::Vector& b,
+                       const FtGmresOptions& opts, ArnoldiHook* inner_hook,
+                       FtGmresWorkspace* ws) {
+  FtGmresWorkspace local;
+  FtGmresWorkspace& w = (ws != nullptr) ? *ws : local;
+  // Non-default (precision, index_width) pairs route the inner solves
+  // through the narrowed mirror; the default pair keeps the original
+  // path (no mirror is ever built, no staging copies happen).
+  if (opts.precision == Precision::Float) {
+    if (opts.index_width == IndexWidth::I32) {
+      return ft_gmres_mixed<float, std::int32_t>(A, b, opts, inner_hook, w);
+    }
+    return ft_gmres_mixed<float, std::int64_t>(A, b, opts, inner_hook, w);
+  }
+  if (opts.index_width == IndexWidth::I32) {
+    return ft_gmres_mixed<double, std::int32_t>(A, b, opts, inner_hook, w);
+  }
+  InnerGmresPreconditioner inner(A, opts.inner, inner_hook,
+                                 opts.robust_first_inner, &w.inner,
+                                 opts.recovery);
+  return drive_solo(A, b, opts, inner, w);
 }
 
 FtGmresResult ft_gmres(const sparse::CsrMatrix& A, const la::Vector& b,

@@ -17,6 +17,7 @@
 #include "krylov/gmres.hpp"
 #include "krylov/hooks.hpp"
 #include "krylov/operator.hpp"
+#include "krylov/precision.hpp"
 #include "la/vector.hpp"
 
 namespace sdcgmres::krylov {
@@ -54,6 +55,21 @@ struct FtGmresOptions {
                        ///< finish with status AbortedByDetector, so runs
                        ///< where no detector fires are bitwise identical
                        ///< at every setting
+  Precision precision = Precision::Double; ///< scalar of the inner-solve
+                       ///< data plane (basis, Hessenberg QR, operator
+                       ///< applies).  Float runs the inner solves on a
+                       ///< narrowed mirror of the matrix -- selective
+                       ///< reliability's answer to reduced precision: the
+                       ///< flexible outer absorbs it like any other inner
+                       ///< perturbation.  The outer iteration is always
+                       ///< double.
+  IndexWidth index_width = IndexWidth::I64; ///< CSR index width of the
+                       ///< inner-solve mirror; I32 halves index traffic
+                       ///< (narrowing validates, throws on overflow) and
+                       ///< never changes arithmetic, so double/I32 results
+                       ///< are bitwise identical to the default.  Any
+                       ///< non-default (precision, index_width) pair
+                       ///< requires a CSR-backed operator.
 
   /// Paper-style defaults: 25 fixed inner iterations, outer tol 1e-8.
   FtGmresOptions() {

@@ -1,7 +1,11 @@
 #include "krylov/ft_gmres_batch.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
+#include "krylov/mixed.hpp"
 #include "la/blas1.hpp"
 
 namespace sdcgmres::krylov {
@@ -20,21 +24,26 @@ namespace {
 /// survivors, exactly like the outer dropout protocol.  A one-engine
 /// block skips the staging copies and applies directly -- same operand,
 /// same values, no detour.
-template <typename OnDone>
-void step_inner_block(const LinearOperator& A, std::vector<GmresEngine>& inners,
+///
+/// Generic over the inner plane: Op is the LinearOperator on the default
+/// double path or a MixedCsrOperator mirror, S its scalar; the staging
+/// blocks are typed to match.
+template <typename Op, typename S, typename OnDone>
+void step_inner_block(const Op& A, std::vector<GmresEngineT<S>>& inners,
                       std::vector<std::size_t>& live,
                       std::vector<std::size_t>& still_live,
-                      la::BlockWorkspace& directions,
-                      la::BlockWorkspace& products, OnDone&& on_done) {
+                      la::BlockWorkspaceT<S>& directions,
+                      la::BlockWorkspaceT<S>& products, OnDone&& on_done) {
   const std::size_t cols = live.size();
   if (cols == 1) {
-    if (step_with_apply(A, inners[live[0]]) && !on_done(live[0])) live.clear();
+    if (step_with_apply_t(A, inners[live[0]]) && !on_done(live[0]))
+      live.clear();
     return;
   }
 
-  const la::BlockView zblock = directions.view(cols);
+  const la::BlockViewT<S> zblock = directions.view(cols);
   for (std::size_t s = 0; s < cols; ++s) {
-    GmresEngine& engine = inners[live[s]];
+    GmresEngineT<S>& engine = inners[live[s]];
     if (engine.awaiting_residual()) {
       la::copy(engine.residual_operand(), zblock.col(s));
     } else {
@@ -42,13 +51,13 @@ void step_inner_block(const LinearOperator& A, std::vector<GmresEngine>& inners,
       la::copy(engine.direction(), zblock.col(s));
     }
   }
-  const la::BlockView vblock = products.view(cols);
+  const la::BlockViewT<S> vblock = products.view(cols);
   A.apply_block(zblock.as_basis_view(), vblock);
 
   still_live.clear();
   for (std::size_t s = 0; s < cols; ++s) {
-    GmresEngine& engine = inners[live[s]];
-    const std::span<const double> product(vblock.col(s));
+    GmresEngineT<S>& engine = inners[live[s]];
+    const std::span<const S> product(vblock.col(s));
     bool done = false;
     if (engine.awaiting_residual()) {
       la::copy(product, engine.residual_target());
@@ -63,39 +72,98 @@ void step_inner_block(const LinearOperator& A, std::vector<GmresEngine>& inners,
   live.swap(still_live);
 }
 
-} // namespace
+/// Inner-plane facade of the default path: inner products stream the
+/// original double operator and the inner lockstep phase shares the
+/// outer phase's staging blocks (the two levels never overlap in time).
+struct DoublePlaneFacade {
+  using Scalar = double;
+  using Precond = InnerGmresPreconditioner;
 
-std::vector<FtGmresResult> ft_gmres_batch(
-    const LinearOperator& A, std::span<const std::span<const double>> bs,
-    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks,
-    FtGmresBatchWorkspace* ws) {
-  const std::size_t batch = bs.size();
-  if (!inner_hooks.empty() && inner_hooks.size() != batch) {
-    throw std::invalid_argument(
-        "ft_gmres_batch: inner_hooks must be empty or match bs in size");
+  const LinearOperator* a;
+  FtGmresBatchWorkspace* w;
+
+  [[nodiscard]] const LinearOperator& inner_op() const noexcept { return *a; }
+  [[nodiscard]] la::BlockWorkspace& directions() const noexcept {
+    return w->directions;
   }
-  std::vector<FtGmresResult> results(batch);
-  if (batch == 0) return results;
+  [[nodiscard]] la::BlockWorkspace& products() const noexcept {
+    return w->products;
+  }
+  [[nodiscard]] Precond make_precond(std::size_t i, const FtGmresOptions& opts,
+                                     ArnoldiHook* hook) const {
+    return Precond(*a, opts.inner, hook, opts.robust_first_inner,
+                   &w->instances[i].inner, opts.recovery);
+  }
+};
 
-  FtGmresBatchWorkspace local;
-  FtGmresBatchWorkspace& w = (ws != nullptr) ? *ws : local;
+/// Inner-plane facade of a mixed configuration: inner products stream
+/// the narrowed <S, I> mirror (one copy shared by the whole batch); a
+/// float plane stages through the dedicated float blocks, the
+/// (double, int32) plane reuses the double blocks bit-for-bit.
+template <typename S, typename I>
+struct MixedPlaneFacade {
+  using Scalar = S;
+  using Precond = MixedInnerGmresT<S, I>;
+
+  MixedPlane<S, I>* plane;
+  FtGmresBatchWorkspace* w;
+
+  [[nodiscard]] const MixedCsrOperator<S, I>& inner_op() const noexcept {
+    return plane->op;
+  }
+  [[nodiscard]] la::BlockWorkspaceT<S>& directions() const noexcept {
+    if constexpr (std::is_same_v<S, double>) {
+      return w->directions;
+    } else {
+      return w->directions_f32;
+    }
+  }
+  [[nodiscard]] la::BlockWorkspaceT<S>& products() const noexcept {
+    if constexpr (std::is_same_v<S, double>) {
+      return w->products;
+    } else {
+      return w->products_f32;
+    }
+  }
+  [[nodiscard]] Precond make_precond(std::size_t i, const FtGmresOptions& opts,
+                                     ArnoldiHook* hook) const {
+    return Precond(plane->op, opts.inner, hook, opts.robust_first_inner,
+                   &inner_workspace_for<S>(w->instances[i]), opts.recovery);
+  }
+};
+
+/// The lockstep driver, generic over the inner plane.  The outer
+/// (reliable) phase always runs in double against the original operator;
+/// only the inner phase's engines, staging, and products are typed on
+/// the plane's scalar.  Instantiated with DoublePlaneFacade this is
+/// operation-for-operation the pre-mixed-plane driver.
+template <typename Plane>
+std::vector<FtGmresResult> ft_gmres_batch_impl(
+    const LinearOperator& A, const Plane& plane,
+    std::span<const std::span<const double>> bs, const FtGmresOptions& opts,
+    std::span<ArnoldiHook* const> inner_hooks, FtGmresBatchWorkspace& w) {
+  using S = typename Plane::Scalar;
+  const std::size_t batch = bs.size();
+  std::vector<FtGmresResult> results(batch);
+
   // Never shrink: a reused workspace keeps the warm arenas of earlier,
   // larger batches (the monotone-reserve contract of the data plane).
   if (w.instances.size() < batch) w.instances.resize(batch);
   w.directions.reserve(A.cols(), batch);
   w.products.reserve(A.rows(), batch);
+  plane.directions().reserve(A.cols(), batch);
+  plane.products().reserve(A.rows(), batch);
 
   // Paper protocol (same as ft_gmres): every instance starts from zero.
   const la::Vector x0(A.cols());
 
-  std::vector<InnerGmresPreconditioner> inner;
+  std::vector<typename Plane::Precond> inner;
   inner.reserve(batch);
   std::vector<FgmresEngine> engines;
   engines.reserve(batch);
   for (std::size_t i = 0; i < batch; ++i) {
     ArnoldiHook* hook = inner_hooks.empty() ? nullptr : inner_hooks[i];
-    inner.emplace_back(A, opts.inner, hook, opts.robust_first_inner,
-                       &w.instances[i].inner, opts.recovery);
+    inner.push_back(plane.make_precond(i, opts, hook));
     engines.emplace_back(A, bs[i], x0.span(), opts.outer,
                          w.instances[i].outer);
   }
@@ -108,7 +176,7 @@ std::vector<FtGmresResult> ft_gmres_batch(
     if (!engines[i].start()) active.push_back(i);
   }
 
-  std::vector<GmresEngine> inners;
+  std::vector<GmresEngineT<S>> inners;
   inners.reserve(batch);
   std::vector<std::size_t> inner_live;
   inner_live.reserve(batch);
@@ -137,14 +205,15 @@ std::vector<FtGmresResult> ft_gmres_batch(
       inner_live.push_back(s);
     }
     while (!inner_live.empty()) {
-      step_inner_block(A, inners, inner_live, inner_scratch, w.directions,
-                       w.products, [&](std::size_t s) {
+      step_inner_block(plane.inner_op(), inners, inner_live, inner_scratch,
+                       plane.directions(), plane.products(),
+                       [&](std::size_t s) {
                          // Terminal inner engine: the RetryReliable policy
                          // replaces a detector-aborted engine in place with
                          // its hook-free recompute (same operands, same
                          // lockstep slot), which simply keeps iterating in
                          // the block.  Same turnover apply() performs solo.
-                         InnerGmresPreconditioner& p = inner[active[s]];
+                         typename Plane::Precond& p = inner[active[s]];
                          if (!p.wants_reliable_retry(inners[s])) return false;
                          inners[s] = p.make_reliable_retry(inners[s]);
                          return true;
@@ -210,6 +279,43 @@ std::vector<FtGmresResult> ft_gmres_batch(
                                      inner[i].records());
   }
   return results;
+}
+
+} // namespace
+
+std::vector<FtGmresResult> ft_gmres_batch(
+    const LinearOperator& A, std::span<const std::span<const double>> bs,
+    const FtGmresOptions& opts, std::span<ArnoldiHook* const> inner_hooks,
+    FtGmresBatchWorkspace* ws) {
+  const std::size_t batch = bs.size();
+  if (!inner_hooks.empty() && inner_hooks.size() != batch) {
+    throw std::invalid_argument(
+        "ft_gmres_batch: inner_hooks must be empty or match bs in size");
+  }
+  if (batch == 0) return {};
+
+  FtGmresBatchWorkspace local;
+  FtGmresBatchWorkspace& w = (ws != nullptr) ? *ws : local;
+  // Non-default (precision, index_width) pairs run the inner lockstep
+  // phase on the narrowed mirror (one copy shared by all instances);
+  // the default pair never builds a mirror and is the original driver.
+  if (opts.precision == Precision::Float) {
+    if (opts.index_width == IndexWidth::I32) {
+      MixedPlaneFacade<float, std::int32_t> plane{
+          &ensure_plane<float, std::int32_t>(w.plane, A), &w};
+      return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
+    }
+    MixedPlaneFacade<float, std::int64_t> plane{
+        &ensure_plane<float, std::int64_t>(w.plane, A), &w};
+    return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
+  }
+  if (opts.index_width == IndexWidth::I32) {
+    MixedPlaneFacade<double, std::int32_t> plane{
+        &ensure_plane<double, std::int32_t>(w.plane, A), &w};
+    return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
+  }
+  const DoublePlaneFacade plane{&A, &w};
+  return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
 }
 
 std::vector<FtGmresResult> ft_gmres_batch(

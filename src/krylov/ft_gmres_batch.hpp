@@ -33,6 +33,7 @@
 /// batch=1.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,16 @@ struct FtGmresBatchWorkspace {
                                  ///< iterates/directions take turns -- the
                                  ///< two lockstep levels never overlap)
   la::BlockWorkspace products;   ///< A * directions (SpMM result)
+  /// Float staging blocks of the inner lockstep phase for
+  /// precision=float configurations (unused and unallocated on double
+  /// paths, where the inner phase shares directions/products above).
+  la::BlockWorkspaceT<float> directions_f32;
+  la::BlockWorkspaceT<float> products_f32;
+  /// Narrowed-mirror cache shared by every lockstep instance for
+  /// non-default precision/index configurations (the mirror is
+  /// read-only during applies and its counters are atomic, so one copy
+  /// serves the whole batch); null on the default path.
+  std::shared_ptr<MixedPlaneBase> plane;
 };
 
 /// Solve A x_i = b_i for every right-hand side in \p bs with FT-GMRES

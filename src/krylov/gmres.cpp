@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "dense/hessenberg_qr.hpp"
@@ -24,25 +25,31 @@ namespace sdcgmres::krylov {
 // scratch(2) = preconditioned direction z, scratch(3) = Q_k y at cycle end.
 // ---------------------------------------------------------------------------
 
-GmresEngine::GmresEngine(const LinearOperator& A, std::span<const double> b,
-                         std::span<double> x, const GmresOptions& opts,
-                         ArnoldiHook* hook, std::size_t solve_index,
-                         KrylovWorkspace& ws,
-                         std::vector<double>* residual_history)
-    : a_(&A), b_(b), x_(x), opts_(opts), hook_(hook),
-      solve_index_(solve_index), w_(&ws), history_(residual_history),
-      n_(A.rows()) {
-  if (A.rows() != A.cols()) {
+template <typename S>
+GmresEngineT<S>::GmresEngineT(std::size_t rows, std::size_t cols,
+                              std::span<const S> b, std::span<S> x,
+                              const GmresOptions& opts, ArnoldiHook* hook,
+                              std::size_t solve_index, KrylovWorkspaceT<S>& ws,
+                              std::vector<double>* residual_history)
+    : b_(b), x_(x), opts_(opts), hook_(hook), solve_index_(solve_index),
+      w_(&ws), history_(residual_history), n_(rows) {
+  if (rows != cols) {
     throw std::invalid_argument("gmres: operator must be square");
   }
-  if (b.size() != A.rows() || x.size() != A.cols()) {
+  if (b.size() != rows || x.size() != cols) {
     throw std::invalid_argument("gmres: vector size mismatch");
   }
   if (opts.max_iters == 0) {
     throw std::invalid_argument("gmres: max_iters must be positive");
   }
+  if constexpr (!std::is_same_v<S, double>) {
+    if (opts.right_precond != nullptr) {
+      throw std::invalid_argument(
+          "gmres: the float engine does not support right preconditioning");
+    }
+  }
 
-  const double bnorm = la::nrm2(b_);
+  const double bnorm = static_cast<double>(la::nrm2(b_));
   abs_target_ =
       (opts_.tol > 0.0) ? opts_.tol * (bnorm > 0.0 ? bnorm : 1.0) : 0.0;
   cycle_len_ = (opts_.restart == 0) ? opts_.max_iters : opts_.restart;
@@ -51,21 +58,23 @@ GmresEngine::GmresEngine(const LinearOperator& A, std::span<const double> b,
   if (hook_ != nullptr) hook_->on_solve_begin(solve_index_);
 }
 
-std::span<double> GmresEngine::residual_target() {
+template <typename S>
+std::span<S> GmresEngineT<S>::residual_target() {
   return w_->arena.scratch(0).span();
 }
 
-bool GmresEngine::start_cycle() {
+template <typename S>
+bool GmresEngineT<S>::start_cycle() {
   ++stats_.operator_applies; // the caller-provided A*x this call consumes
 
-  la::Vector& r = w_->arena.scratch(0);
-  std::vector<double>& hcol = w_->arena.h_column();
+  la::VectorT<S>& r = w_->arena.scratch(0);
+  std::vector<S>& hcol = w_->arena.h_column();
   std::fill(hcol.begin(),
-            hcol.begin() + static_cast<std::ptrdiff_t>(cycle_len_ + 2), 0.0);
+            hcol.begin() + static_cast<std::ptrdiff_t>(cycle_len_ + 2), S(0));
 
   // Reliable residual at cycle start: r = b - A*x (A*x is in r already).
-  la::waxpby(1.0, b_, -1.0, r.span(), r.span());
-  const double beta = la::nrm2(r);
+  la::waxpby(S(1), b_, S(-1), r.span(), r.span());
+  const double beta = static_cast<double>(la::nrm2(std::span<const S>(r.span())));
   stats_.residual_norm = beta;
   if (beta0_ < 0.0) beta0_ = beta; // the solve's initial residual
   if (beta == 0.0 || (abs_target_ > 0.0 && beta <= abs_target_)) {
@@ -82,51 +91,77 @@ bool GmresEngine::start_cycle() {
 
   // Contiguous column-major basis arena: the whole cycle's basis lives in
   // one buffer so orthogonalization runs as fused block kernels.
-  la::KrylovBasis& q = w_->arena.basis();
+  la::KrylovBasisT<S>& q = w_->arena.basis();
   q.clear();
   q.append(r);
-  la::scal(1.0 / beta, q.col(0));
+  la::scal(static_cast<S>(1.0 / beta), q.col(0));
 
-  w_->qr.reset(cycle_len_, beta);
+  w_->qr.reset(cycle_len_, static_cast<S>(beta));
   awaiting_residual_ = false;
   return false;
 }
 
-void GmresEngine::begin_iteration() {
+template <typename S>
+void GmresEngineT<S>::begin_iteration() {
   const std::size_t j = w_->qr.size();
   const ArnoldiContext ctx{.solve_index = solve_index_, .iteration = j};
   if (hook_ != nullptr) hook_->on_iteration_begin(ctx);
 
   // Right-preconditioned: the pending product is A * (M^{-1} q_j); the
   // preconditioner runs span-to-span out of the arena, here and now.
-  if (opts_.right_precond != nullptr) {
-    opts_.right_precond->apply(w_->arena.basis().col(j),
-                               w_->arena.scratch(2).span());
+  // (Double engine only; the float constructor rejects right_precond.)
+  if constexpr (std::is_same_v<S, double>) {
+    if (opts_.right_precond != nullptr) {
+      opts_.right_precond->apply(w_->arena.basis().col(j),
+                                 w_->arena.scratch(2).span());
+    }
   }
 }
 
-std::span<const double> GmresEngine::direction() const {
-  if (opts_.right_precond != nullptr) {
-    return w_->arena.scratch(2).span();
+template <typename S>
+std::span<const S> GmresEngineT<S>::direction() const {
+  if constexpr (std::is_same_v<S, double>) {
+    if (opts_.right_precond != nullptr) {
+      return w_->arena.scratch(2).span();
+    }
   }
   return w_->arena.basis().col(w_->qr.size());
 }
 
-std::span<double> GmresEngine::v_target() {
+template <typename S>
+std::span<S> GmresEngineT<S>::v_target() {
   return w_->arena.scratch(1).span();
 }
 
-bool GmresEngine::advance() {
+template <typename S>
+bool GmresEngineT<S>::advance() {
   ++stats_.operator_applies; // the caller-provided A*direction()
 
   const std::size_t j = w_->qr.size();
-  la::KrylovBasis& q = w_->arena.basis();
-  la::Vector& v = w_->arena.scratch(1);
-  std::vector<double>& hcol = w_->arena.h_column();
+  la::KrylovBasisT<S>& q = w_->arena.basis();
+  la::VectorT<S>& v = w_->arena.scratch(1);
+  std::vector<S>& hcol = w_->arena.h_column();
   const ArnoldiContext ctx{.solve_index = solve_index_, .iteration = j};
 
-  if (hook_ != nullptr) hook_->on_matvec_result(ctx, v);
-  const double w_norm = la::nrm2(v); // scale reference for breakdown test
+  if (hook_ != nullptr) {
+    if constexpr (std::is_same_v<S, double>) {
+      hook_->on_matvec_result(ctx, v);
+    } else {
+      // Widen the float candidate for the double-typed hook, then narrow
+      // the (possibly mutated) copy back: faults injected at the matvec
+      // site land in the float data plane.
+      hook_vec_.resize(n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        hook_vec_[i] = static_cast<double>(v[i]);
+      }
+      hook_->on_matvec_result(ctx, hook_vec_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        v[i] = static_cast<S>(hook_vec_[i]);
+      }
+    }
+  }
+  const double w_norm = static_cast<double>(
+      la::nrm2(std::span<const S>(v.span()))); // breakdown scale reference
 
   orthogonalize(opts_.ortho, q, j + 1, v, hcol, hook_, ctx);
   if (hook_ != nullptr && hook_->abort_requested()) {
@@ -135,13 +170,13 @@ bool GmresEngine::advance() {
     return finish_cycle(/*aborted=*/true, false, false, false, false);
   }
 
-  double hnext = la::nrm2(v);
+  double hnext = static_cast<double>(la::nrm2(std::span<const S>(v.span())));
   if (hook_ != nullptr) hook_->on_subdiagonal(ctx, hnext);
   if (hook_ != nullptr && hook_->abort_requested()) {
     return finish_cycle(/*aborted=*/true, false, false, false, false);
   }
 
-  hcol[j + 1] = hnext;
+  hcol[j + 1] = static_cast<S>(hnext);
   const double est = w_->qr.add_column({hcol.data(), j + 2});
   if (history_ != nullptr) history_->push_back(est);
   ++stats_.iterations;
@@ -164,14 +199,40 @@ bool GmresEngine::advance() {
     return finish_cycle(false, /*breakdown=*/true, false, false, false);
   }
   q.append(v.span());
-  la::scal(1.0 / hnext, q.col(j + 1));
+  la::scal(static_cast<S>(1.0 / hnext), q.col(j + 1));
 
   if (hook_ != nullptr) {
-    const ArnoldiIterationView view{
-        .basis = q.view(j + 2),
-        .h_column = {hcol.data(), j + 2},
-    };
-    hook_->on_iteration_end(ctx, view);
+    if constexpr (std::is_same_v<S, double>) {
+      const ArnoldiIterationView view{
+          .basis = q.view(j + 2),
+          .h_column = {hcol.data(), j + 2},
+      };
+      hook_->on_iteration_end(ctx, view);
+    } else {
+      // Full widened mirror of the iteration state for the double-typed
+      // whole-iteration checks (Online-ABFT).  Rebuilt per event --
+      // correctness over speed; only paid when a hook is installed.
+      if (hook_basis_.rows() != n_ || hook_basis_.capacity() < cycle_len_ + 1) {
+        hook_basis_ = la::KrylovBasis(n_, cycle_len_ + 1);
+      }
+      hook_basis_.clear();
+      for (std::size_t c = 0; c < j + 2; ++c) {
+        std::span<double> dst = hook_basis_.append();
+        const std::span<const S> src = q.col(c);
+        for (std::size_t i = 0; i < n_; ++i) {
+          dst[i] = static_cast<double>(src[i]);
+        }
+      }
+      hook_hcol_.assign(j + 2, 0.0);
+      for (std::size_t i = 0; i < j + 2; ++i) {
+        hook_hcol_[i] = static_cast<double>(hcol[i]);
+      }
+      const ArnoldiIterationView view{
+          .basis = hook_basis_.view(j + 2),
+          .h_column = {hook_hcol_.data(), j + 2},
+      };
+      hook_->on_iteration_end(ctx, view);
+    }
     if (hook_->abort_requested()) {
       // The whole-iteration check rejected this column (Online-ABFT
       // style); drop it and stop, as for coefficient-level aborts.
@@ -195,12 +256,14 @@ bool GmresEngine::advance() {
   return false; // next step: begin_iteration()
 }
 
-bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
-                               bool diverged, bool qr_pop_pending) {
-  dense::HessenbergQr& qr = w_->qr;
-  la::KrylovBasis& q = w_->arena.basis();
-  la::Vector& z = w_->arena.scratch(2);
-  la::Vector& update = w_->arena.scratch(3);
+template <typename S>
+bool GmresEngineT<S>::finish_cycle(bool aborted, bool breakdown,
+                                   bool converged, bool diverged,
+                                   bool qr_pop_pending) {
+  dense::HessenbergQrT<S>& qr = w_->qr;
+  la::KrylovBasisT<S>& q = w_->arena.basis();
+  la::VectorT<S>& z = w_->arena.scratch(2);
+  la::VectorT<S>& update = w_->arena.scratch(3);
 
   // Form the update x += (M^{-1}) Q_k y from the accepted columns.
   if (qr_pop_pending) {
@@ -209,20 +272,34 @@ bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
   }
   const std::size_t k = qr.size();
   if (k > 0) {
+    // The projected least-squares solve is ALWAYS double: r_block() /
+    // rhs_block() widen float factors (O(restart^2) work, negligible
+    // against the length-n streams that the float plane narrows).
     const auto solve = dense::solve_projected(qr.r_block(), qr.rhs_block(),
                                               opts_.lsq_policy,
                                               opts_.truncation_tol);
     stats_.lsq_effective_rank = solve.effective_rank;
     stats_.lsq_fallback_triggered = solve.fallback_triggered;
-    // update := Q_k y as one gemv over the contiguous block.
-    la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k), 0.0,
-             std::span<double>(update.data(), n_));
-    if (opts_.right_precond != nullptr) {
-      opts_.right_precond->apply(std::span<const double>(update.data(), n_),
-                                 z.span());
-      la::axpy(1.0, std::span<const double>(z.data(), n_), x_);
+    if constexpr (std::is_same_v<S, double>) {
+      // update := Q_k y as one gemv over the contiguous block.
+      la::gemv(1.0, q.view(k), std::span<const double>(solve.y.data(), k),
+               0.0, std::span<double>(update.data(), n_));
+      if (opts_.right_precond != nullptr) {
+        opts_.right_precond->apply(std::span<const double>(update.data(), n_),
+                                   z.span());
+        la::axpy(1.0, std::span<const double>(z.data(), n_), x_);
+      } else {
+        la::axpy(1.0, std::span<const double>(update.data(), n_), x_);
+      }
     } else {
-      la::axpy(1.0, std::span<const double>(update.data(), n_), x_);
+      // Narrow the double solution coefficients, then run the length-n
+      // combination in the engine's own precision.
+      std::vector<S> y(k);
+      for (std::size_t i = 0; i < k; ++i) y[i] = static_cast<S>(solve.y[i]);
+      la::gemv(S(1), q.view(k), std::span<const S>(y.data(), k), S(0),
+               std::span<S>(update.data(), n_));
+      la::axpy(S(1), std::span<const S>(update.data(), n_), x_);
+      (void)z;
     }
   }
 
@@ -245,6 +322,11 @@ bool GmresEngine::finish_cycle(bool aborted, bool breakdown, bool converged,
   }
   return finished_;
 }
+
+// The two data planes: the reliable double engine and the mixed-precision
+// float inner engine.
+template class GmresEngineT<double>;
+template class GmresEngineT<float>;
 
 bool step_with_apply(const LinearOperator& A, GmresEngine& engine) {
   if (engine.awaiting_residual()) {

@@ -124,16 +124,42 @@ struct GmresStats {
 ///
 /// Lifetime: \p b, \p x, \p ws, and \p residual_history must outlive the
 /// engine; \p x is updated in place at the end of every restart cycle.
-class GmresEngine {
+///
+/// Templated on the scalar type.  GmresEngineT<double> (aliased
+/// GmresEngine) is the reliable-plane engine, arithmetic unchanged from
+/// the pre-template class.  GmresEngineT<float> is the mixed-precision
+/// inner engine: basis, Hessenberg recurrence, and orthogonalization run
+/// in float (the projected least-squares solve stays double, see
+/// dense::HessenbergQrT); control-flow comparisons are made on widened
+/// (double) values.  The double-typed ArnoldiHook protocol is preserved
+/// for the float engine by widening at each event: on_matvec_result and
+/// on_iteration_end observe double copies of the float state (narrowed
+/// back after possible mutation), a deliberate correctness-over-speed
+/// choice that only costs when a hook is installed.  The float engine
+/// does not support right preconditioning (the Preconditioner seam is
+/// double-typed; FT-GMRES inner solves never configure one) and throws
+/// std::invalid_argument if one is set.
+template <typename S>
+class GmresEngineT {
 public:
   /// Validates shapes/options (throws std::invalid_argument exactly as
   /// gmres() does), reserves the workspace, and reports the solve to the
   /// hook (on_solve_begin).  The first step is always the initial
   /// residual product: awaiting_residual() is true after construction.
-  GmresEngine(const LinearOperator& A, std::span<const double> b,
-              std::span<double> x, const GmresOptions& opts,
-              ArnoldiHook* hook, std::size_t solve_index, KrylovWorkspace& ws,
-              std::vector<double>* residual_history);
+  /// \p rows / \p cols describe the operator the caller will apply.
+  GmresEngineT(std::size_t rows, std::size_t cols, std::span<const S> b,
+               std::span<S> x, const GmresOptions& opts, ArnoldiHook* hook,
+               std::size_t solve_index, KrylovWorkspaceT<S>& ws,
+               std::vector<double>* residual_history);
+
+  /// Convenience: shapes taken from a LinearOperator (the operator itself
+  /// is not retained -- products are always caller-provided).
+  GmresEngineT(const LinearOperator& A, std::span<const S> b, std::span<S> x,
+               const GmresOptions& opts, ArnoldiHook* hook,
+               std::size_t solve_index, KrylovWorkspaceT<S>& ws,
+               std::vector<double>* residual_history)
+      : GmresEngineT(A.rows(), A.cols(), b, x, opts, hook, solve_index, ws,
+                     residual_history) {}
 
   /// True once a terminal status has been reached; no further protocol
   /// calls are allowed.
@@ -148,13 +174,13 @@ public:
   }
 
   /// Operand of the pending cycle-start product: the current iterate.
-  [[nodiscard]] std::span<const double> residual_operand() const noexcept {
+  [[nodiscard]] std::span<const S> residual_operand() const noexcept {
     return x_;
   }
 
   /// Destination for A * residual_operand(); the caller must fully
   /// overwrite it before start_cycle().
-  [[nodiscard]] std::span<double> residual_target();
+  [[nodiscard]] std::span<S> residual_target();
 
   /// Consume the cycle-start product: form r = b - A*x, test for
   /// immediate convergence / a non-finite iterate, and set up the basis
@@ -168,11 +194,11 @@ public:
   /// Operand of the pending Arnoldi product (q_j, or z when
   /// right-preconditioned).  Valid between begin_iteration() and
   /// advance().
-  [[nodiscard]] std::span<const double> direction() const;
+  [[nodiscard]] std::span<const S> direction() const;
 
   /// Destination for A * direction(); the caller must fully overwrite it
   /// before advance().
-  [[nodiscard]] std::span<double> v_target();
+  [[nodiscard]] std::span<S> v_target();
 
   /// Consume the Arnoldi product: hook on_matvec_result,
   /// orthogonalization (with per-coefficient hook events), detector
@@ -196,13 +222,12 @@ private:
   bool finish_cycle(bool aborted, bool breakdown, bool converged,
                     bool diverged, bool qr_pop_pending);
 
-  const LinearOperator* a_;
-  std::span<const double> b_;
-  std::span<double> x_;
+  std::span<const S> b_;
+  std::span<S> x_;
   GmresOptions opts_;
   ArnoldiHook* hook_;
   std::size_t solve_index_;
-  KrylovWorkspace* w_;
+  KrylovWorkspaceT<S>* w_;
   std::vector<double>* history_;
   std::size_t n_ = 0;
   std::size_t cycle_len_ = 0;
@@ -212,7 +237,14 @@ private:
   bool awaiting_residual_ = true;
   bool finished_ = false;
   GmresStats stats_;
+  // Hook adapters for the float instantiation: double mirrors handed to
+  // the double-typed hook protocol (unused, and empty, for S = double).
+  la::Vector hook_vec_;
+  la::KrylovBasis hook_basis_;
+  std::vector<double> hook_hcol_;
 };
+
+using GmresEngine = GmresEngineT<double>;
 
 /// Advance \p engine by exactly one protocol step with a solo operator
 /// application: the cycle-start residual product + start_cycle() when

@@ -39,6 +39,12 @@ struct OperatorStats {
   std::size_t apply_block_calls = 0; ///< fused block applications
   std::size_t block_columns = 0;     ///< operand columns across all
                                      ///< apply_block calls
+  std::size_t scalar_bytes = 0;      ///< bytes of scalar traffic (matrix
+                                     ///< values + operand/result columns)
+                                     ///< at the operator's own precision
+  std::size_t index_bytes = 0;       ///< bytes of index traffic (row_ptr +
+                                     ///< col_idx) at the operator's own
+                                     ///< index width
 
   /// Matrix passes paid (the traffic proxy the batch optimizes).
   [[nodiscard]] std::size_t streams() const noexcept {
@@ -48,11 +54,17 @@ struct OperatorStats {
   [[nodiscard]] std::size_t columns() const noexcept {
     return apply_calls + block_columns;
   }
+  /// Total bytes streamed (the traffic the mixed-precision plane halves).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return scalar_bytes + index_bytes;
+  }
 
   OperatorStats& operator+=(const OperatorStats& other) noexcept {
     apply_calls += other.apply_calls;
     apply_block_calls += other.apply_block_calls;
     block_columns += other.block_columns;
+    scalar_bytes += other.scalar_bytes;
+    index_bytes += other.index_bytes;
     return *this;
   }
 };
@@ -70,6 +82,8 @@ public:
   /// implementation (do_apply) must write every entry of y.
   void apply(std::span<const double> x, std::span<double> y) const {
     apply_calls_.fetch_add(1, std::memory_order_relaxed);
+    scalar_bytes_.fetch_add(do_scalar_bytes(1), std::memory_order_relaxed);
+    index_bytes_.fetch_add(do_index_bytes(1), std::memory_order_relaxed);
     do_apply(x, y);
   }
 
@@ -105,6 +119,10 @@ public:
   void apply_block(const la::BasisView& x, la::BlockView y) const {
     apply_block_calls_.fetch_add(1, std::memory_order_relaxed);
     block_columns_.fetch_add(x.cols(), std::memory_order_relaxed);
+    scalar_bytes_.fetch_add(do_scalar_bytes(x.cols()),
+                            std::memory_order_relaxed);
+    index_bytes_.fetch_add(do_index_bytes(x.cols()),
+                           std::memory_order_relaxed);
     do_apply_block(x, y);
   }
 
@@ -117,7 +135,9 @@ public:
     return {.apply_calls = apply_calls_.load(std::memory_order_relaxed),
             .apply_block_calls =
                 apply_block_calls_.load(std::memory_order_relaxed),
-            .block_columns = block_columns_.load(std::memory_order_relaxed)};
+            .block_columns = block_columns_.load(std::memory_order_relaxed),
+            .scalar_bytes = scalar_bytes_.load(std::memory_order_relaxed),
+            .index_bytes = index_bytes_.load(std::memory_order_relaxed)};
   }
 
   /// Zero the counters (e.g. between measured phases).
@@ -125,6 +145,8 @@ public:
     apply_calls_.store(0, std::memory_order_relaxed);
     apply_block_calls_.store(0, std::memory_order_relaxed);
     block_columns_.store(0, std::memory_order_relaxed);
+    scalar_bytes_.store(0, std::memory_order_relaxed);
+    index_bytes_.store(0, std::memory_order_relaxed);
   }
 
 protected:
@@ -149,10 +171,31 @@ protected:
     for (std::size_t j = 0; j < x.cols(); ++j) do_apply(x.col(j), y.col(j));
   }
 
+  /// Bytes of scalar traffic one application with \p columns operand
+  /// columns streams (matrix values once, plus operand and result columns
+  /// at the operator's own precision).  The default 0 keeps synthetic /
+  /// test operators out of the traffic accounting; matrix-backed
+  /// operators override.
+  [[nodiscard]] virtual std::size_t
+  do_scalar_bytes(std::size_t columns) const noexcept {
+    (void)columns;
+    return 0;
+  }
+
+  /// Bytes of index traffic one application streams (row_ptr + col_idx,
+  /// independent of the column count).  Default 0, see do_scalar_bytes.
+  [[nodiscard]] virtual std::size_t
+  do_index_bytes(std::size_t columns) const noexcept {
+    (void)columns;
+    return 0;
+  }
+
 private:
   mutable std::atomic<std::size_t> apply_calls_{0};
   mutable std::atomic<std::size_t> apply_block_calls_{0};
   mutable std::atomic<std::size_t> block_columns_{0};
+  mutable std::atomic<std::size_t> scalar_bytes_{0};
+  mutable std::atomic<std::size_t> index_bytes_{0};
 };
 
 /// Adapter exposing a CSR matrix as a LinearOperator (non-owning).
@@ -177,6 +220,21 @@ protected:
   /// one per column (columns stay bitwise identical to spmv -- see
   /// CsrMatrix::spmm).
   void do_apply_block(const la::BasisView& x, la::BlockView y) const override;
+
+  /// One stream with C operand columns touches the values once and C
+  /// operand + C result columns, all doubles.
+  [[nodiscard]] std::size_t
+  do_scalar_bytes(std::size_t columns) const noexcept override {
+    return sizeof(double) *
+           (a_->nnz() + columns * (a_->rows() + a_->cols()));
+  }
+
+  /// row_ptr (rows+1) + col_idx (nnz), stored as size_t.
+  [[nodiscard]] std::size_t
+  do_index_bytes(std::size_t columns) const noexcept override {
+    (void)columns;
+    return sizeof(std::size_t) * (a_->nnz() + a_->rows() + 1);
+  }
 
 private:
   const sparse::CsrMatrix* a_;

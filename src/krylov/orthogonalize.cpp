@@ -102,6 +102,48 @@ void validate_args(std::size_t basis_cols, std::size_t k,
   }
 }
 
+// --- Float fused kernels (mixed-precision inner plane) ---------------------
+//
+// Mirrors of the fused double kernels with all arithmetic in float.  The
+// hook protocol stays double-typed: coefficients are widened for the hook
+// and the mutated value narrowed back before application.
+
+void mgs_pass_fused_f(const la::KrylovBasisT<float>& q, std::size_t k,
+                      la::VectorT<float>& v, std::span<float> h,
+                      ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  for (std::size_t i = 0; i < k; ++i) {
+    float hij;
+    if (hook != nullptr) {
+      hij = la::dot_axpy(q.col(i), v.span(), [&](float& c) {
+        double wide = static_cast<double>(c);
+        hook->on_projection_coefficient(ctx, i, k, wide);
+        c = static_cast<float>(wide);
+      });
+    } else {
+      hij = la::dot_axpy(q.col(i), v.span());
+    }
+    h[i] += hij;
+  }
+}
+
+void cgs_pass_fused_f(const la::KrylovBasisT<float>& q, std::size_t k,
+                      la::VectorT<float>& v, std::span<float> h,
+                      ArnoldiHook* hook, const ArnoldiContext& ctx,
+                      bool fire_hook) {
+  std::vector<float> coeffs(k, 0.0f);
+  const la::BasisViewT<float> block = q.view(k);
+  la::gemv_t(1.0f, block, v.span(), 0.0f, coeffs);
+  if (fire_hook && hook != nullptr) {
+    for (std::size_t i = 0; i < k; ++i) {
+      double wide = static_cast<double>(coeffs[i]);
+      hook->on_projection_coefficient(ctx, i, k, wide);
+      coeffs[i] = static_cast<float>(wide);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) h[i] += coeffs[i];
+  la::gemv(-1.0f, block, coeffs, 1.0f, v.span());
+}
+
 } // namespace
 
 void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
@@ -141,6 +183,33 @@ void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
     case Orthogonalization::CGS2:
       cgs_pass_fused(q, k, v, h, hook, ctx, /*fire_hook=*/true);
       cgs_pass_fused(q, k, v, h, /*hook=*/nullptr, ctx, /*fire_hook=*/false);
+      break;
+  }
+}
+
+void orthogonalize(Orthogonalization kind, const la::KrylovBasisT<float>& q,
+                   std::size_t k, la::VectorT<float>& v, std::span<float> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  if (q.cols() < k) {
+    throw std::invalid_argument("orthogonalize: fewer basis vectors than k");
+  }
+  if (h.size() < k) {
+    throw std::invalid_argument("orthogonalize: coefficient span too small");
+  }
+  if (v.size() != q.rows()) {
+    throw std::invalid_argument("orthogonalize: v size must equal basis rows");
+  }
+  for (std::size_t i = 0; i < k; ++i) h[i] = 0.0f;
+  switch (kind) {
+    case Orthogonalization::MGS:
+      mgs_pass_fused_f(q, k, v, h, hook, ctx);
+      break;
+    case Orthogonalization::CGS:
+      cgs_pass_fused_f(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      break;
+    case Orthogonalization::CGS2:
+      cgs_pass_fused_f(q, k, v, h, hook, ctx, /*fire_hook=*/true);
+      cgs_pass_fused_f(q, k, v, h, /*hook=*/nullptr, ctx, /*fire_hook=*/false);
       break;
   }
 }

@@ -70,4 +70,15 @@ void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
                    std::size_t k, la::Vector& v, std::span<double> h,
                    ArnoldiHook* hook, const ArnoldiContext& ctx);
 
+/// Float instantiation of the fused contiguous-basis orthogonalization,
+/// for the mixed-precision inner engine.  All kernels (dot_axpy, gemv_t,
+/// gemv) run in float; the ArnoldiHook protocol is double-typed, so each
+/// first-pass coefficient is widened for the hook and the (possibly
+/// mutated) value narrowed back before it is applied -- injected faults
+/// land in the float data plane exactly where they land in the double
+/// one.
+void orthogonalize(Orthogonalization kind, const la::KrylovBasisT<float>& q,
+                   std::size_t k, la::VectorT<float>& v, std::span<float> h,
+                   ArnoldiHook* hook, const ArnoldiContext& ctx);
+
 } // namespace sdcgmres::krylov

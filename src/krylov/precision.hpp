@@ -1,0 +1,35 @@
+#pragma once
+/// \file precision.hpp
+/// \brief Scalar-precision and index-width selectors for the mixed plane.
+///
+/// FT-GMRES's selective-reliability split makes the inner solves the one
+/// place reduced precision is admissible: the flexible outer iteration
+/// treats an imprecise inner result as just another perturbed
+/// preconditioner application (the same argument that lets the paper run
+/// the inner solves on unreliable hardware).  These enums select, per
+/// FT-GMRES configuration, the scalar type of the inner data plane and
+/// the index width of the narrowed CSR mirror the inner solves stream.
+
+namespace sdcgmres::krylov {
+
+/// Scalar precision of the inner-solve data plane.
+enum class Precision {
+  Double, ///< default: inner solves run in double (bitwise-identical path)
+  Float,  ///< inner basis/Hessenberg/operator applies in float32
+};
+
+/// Index width of the inner-solve CSR mirror.
+enum class IndexWidth {
+  I64, ///< default: the original size_t-indexed CsrMatrix is streamed
+  I32, ///< int32 row_ptr/col_idx mirror (validated at construction)
+};
+
+[[nodiscard]] constexpr const char* to_string(Precision p) noexcept {
+  return p == Precision::Double ? "double" : "float";
+}
+
+[[nodiscard]] constexpr const char* to_string(IndexWidth w) noexcept {
+  return w == IndexWidth::I64 ? "64" : "32";
+}
+
+} // namespace sdcgmres::krylov

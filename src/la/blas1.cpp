@@ -160,6 +160,139 @@ double dot_axpy(std::span<const double> x, std::span<double> y,
   return dot_axpy_impl(x, y, &adjust);
 }
 
+// --- Float kernels ----------------------------------------------------------
+//
+// Same loops, thresholds, and summation order as the double kernels above,
+// instantiated for float.  Kept as a generic implementation block so a
+// future half-precision plane is a one-line instantiation.
+
+namespace {
+
+template <typename S>
+void require_same_size_t(std::span<const S> x, std::span<const S> y,
+                         const char* what) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string("la::") + what +
+                                ": span size mismatch");
+  }
+}
+
+template <typename S>
+S dot_t(std::span<const S> x, std::span<const S> y) {
+  require_same_size_t<S>(x, y, "dot");
+  S sum = S(0);
+  const auto n = static_cast<std::int64_t>(x.size());
+  const S* px = x.data();
+  const S* py = y.data();
+#pragma omp parallel for reduction(+ : sum) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += px[i] * py[i];
+  }
+  return sum;
+}
+
+template <typename S>
+S dot_axpy_impl_t(std::span<const S> x, std::span<S> y,
+                  const std::function<void(S&)>* adjust) {
+  require_same_size_t<S>(x, std::span<const S>(y), "dot_axpy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const S* px = x.data();
+  S* py = y.data();
+  S h = S(0);
+#pragma omp parallel if (n > 4096) default(shared)
+  {
+#pragma omp for reduction(+ : h) schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      h += px[i] * py[i];
+    }
+#pragma omp single
+    {
+      if (adjust != nullptr) (*adjust)(h);
+    }
+    const S hh = h;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      py[i] -= hh * px[i];
+    }
+  }
+  return h;
+}
+
+} // namespace
+
+float dot(std::span<const float> x, std::span<const float> y) {
+  return dot_t<float>(x, y);
+}
+
+float nrm2(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  require_same_size_t<float>(x, std::span<const float>(y), "axpy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const float* px = x.data();
+  float* py = y.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] += alpha * px[i];
+  }
+}
+
+void scal(float alpha, std::span<float> x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  float* px = x.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    px[i] *= alpha;
+  }
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+  require_same_size_t<float>(x, std::span<const float>(y), "copy");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const float* px = x.data();
+  float* py = y.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] = px[i];
+  }
+}
+
+void waxpby(float alpha, std::span<const float> x, float beta,
+            std::span<const float> y, std::span<float> w) {
+  require_same_size_t<float>(x, y, "waxpby");
+  require_same_size_t<float>(x, std::span<const float>(w), "waxpby");
+  const auto n = static_cast<std::int64_t>(x.size());
+  const float* px = x.data();
+  const float* py = y.data();
+  float* pw = w.data();
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    pw[i] = alpha * px[i] + beta * py[i];
+  }
+}
+
+bool all_finite(std::span<const float> x) { return count_nonfinite(x) == 0; }
+
+std::size_t count_nonfinite(std::span<const float> x) {
+  std::int64_t bad = 0;
+  const auto n = static_cast<std::int64_t>(x.size());
+  const float* px = x.data();
+#pragma omp parallel for reduction(+ : bad) schedule(static) if (n > 4096)
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(px[i])) ++bad;
+  }
+  return static_cast<std::size_t>(bad);
+}
+
+float dot_axpy(std::span<const float> x, std::span<float> y) {
+  return dot_axpy_impl_t<float>(x, y, nullptr);
+}
+
+float dot_axpy(std::span<const float> x, std::span<float> y,
+               const std::function<void(float&)>& adjust) {
+  return dot_axpy_impl_t<float>(x, y, &adjust);
+}
+
 double dot(const Vector& x, const Vector& y) {
   require_same_size(x, y, "dot");
   return dot(std::span<const double>(x.span()),

@@ -76,6 +76,34 @@ double dot_axpy(std::span<const double> x, std::span<double> y);
 double dot_axpy(std::span<const double> x, std::span<double> y,
                 const std::function<void(double&)>& adjust);
 
+// --- Float kernels (mixed-precision inner plane) ------------------------
+//
+// Concrete overloads (not deduced templates) so that the implicit
+// span<float> -> span<const float> conversions keep working at call
+// sites, exactly as they do for the double overloads above.  All
+// arithmetic, including the reductions, runs in float: the inner solve of
+// the mixed-precision plane is genuinely a float32 computation, not a
+// float-stored/double-accumulated hybrid.  Loop structure, OpenMP
+// thresholds, and summation order mirror the double kernels one-to-one.
+
+[[nodiscard]] float dot(std::span<const float> x, std::span<const float> y);
+[[nodiscard]] float nrm2(std::span<const float> x);
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+void scal(float alpha, std::span<float> x);
+void copy(std::span<const float> x, std::span<float> y);
+void waxpby(float alpha, std::span<const float> x, float beta,
+            std::span<const float> y, std::span<float> w);
+[[nodiscard]] bool all_finite(std::span<const float> x);
+[[nodiscard]] std::size_t count_nonfinite(std::span<const float> x);
+
+/// Fused MGS step in float (see the double overload for the contract).
+float dot_axpy(std::span<const float> x, std::span<float> y);
+
+/// Instrumented float variant; the hook observes/mutates the float
+/// coefficient directly (callers widen for double-typed hook protocols).
+float dot_axpy(std::span<const float> x, std::span<float> y,
+               const std::function<void(float&)>& adjust);
+
 /// 2-norm of \p x, computed as sqrt(dot(x, x)).
 [[nodiscard]] double nrm2(const Vector& x);
 

@@ -47,6 +47,24 @@ void gemv(double alpha, const BasisView& q, std::span<const double> x,
 void gemv_t(double alpha, const BasisView& q, std::span<const double> x,
             double beta, std::span<double> y);
 
+// --- Float kernels (mixed-precision inner plane) ------------------------
+//
+// Concrete float overloads of the raw and BasisView gemv/gemv_t kernels:
+// same column blocking, accumulator chains, and OpenMP thresholds as the
+// double kernels, with all arithmetic in float.
+
+void gemv(float alpha, std::size_t rows, std::size_t cols, const float* b,
+          std::size_t lda, const float* x, float beta, float* y);
+
+void gemv_t(float alpha, std::size_t rows, std::size_t cols, const float* b,
+            std::size_t lda, const float* x, float beta, float* y);
+
+void gemv(float alpha, const BasisViewT<float>& q, std::span<const float> x,
+          float beta, std::span<float> y);
+
+void gemv_t(float alpha, const BasisViewT<float>& q, std::span<const float> x,
+            float beta, std::span<float> y);
+
 /// y := alpha*A*x + beta*y.
 void gemv(double alpha, const DenseMatrix& A, const Vector& x, double beta,
           Vector& y);

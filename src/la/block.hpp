@@ -14,12 +14,19 @@
 /// driver reaches a fixed point after its first solve and never touches
 /// the heap again.
 ///
+/// Templated on the scalar type like the rest of the data plane: the
+/// reliable (outer) lockstep staging uses the double instantiations
+/// (aliased BlockView / BlockWorkspace), the float-inner lockstep staging
+/// of the mixed-precision plane uses BlockViewT<float> /
+/// BlockWorkspaceT<float>.
+///
 /// Aliasing contract (same as the span data plane): a BlockView's columns
 /// never overlap, input and output blocks of a kernel never alias, and a
 /// callee must write every entry of every output column it is handed.
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "la/krylov_basis.hpp"
@@ -29,43 +36,46 @@ namespace sdcgmres::la {
 /// Non-owning MUTABLE view of the leading columns of a contiguous
 /// column-major block (leading dimension >= rows).  Trivially copyable;
 /// valid as long as the underlying storage is alive.  The read-only
-/// counterpart is la::BasisView (as_basis_view() converts).
-class BlockView {
+/// counterpart is la::BasisViewT (as_basis_view() converts).
+template <typename S>
+class BlockViewT {
 public:
-  BlockView() = default;
-  BlockView(double* data, std::size_t rows, std::size_t cols,
-            std::size_t ld) noexcept
+  BlockViewT() = default;
+  BlockViewT(S* data, std::size_t rows, std::size_t cols,
+             std::size_t ld) noexcept
       : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-  /// Leading dimension (distance in doubles between column starts).
+  /// Leading dimension (distance in scalars between column starts).
   [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
   [[nodiscard]] bool empty() const noexcept { return cols_ == 0; }
 
   /// Column \p j as a contiguous mutable span of length rows().
-  [[nodiscard]] std::span<double> col(std::size_t j) const noexcept {
+  [[nodiscard]] std::span<S> col(std::size_t j) const noexcept {
     return {data_ + j * ld_, rows_};
   }
 
   /// Start of the flat column-major storage.
-  [[nodiscard]] double* data() const noexcept { return data_; }
+  [[nodiscard]] S* data() const noexcept { return data_; }
 
   /// Read-only view of the same block (what spmm and the fused kernels
   /// consume).
-  [[nodiscard]] BasisView as_basis_view() const noexcept {
+  [[nodiscard]] BasisViewT<S> as_basis_view() const noexcept {
     return {data_, rows_, cols_, ld_};
   }
 
 private:
-  double* data_ = nullptr;
+  S* data_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t ld_ = 0;
 };
 
+using BlockView = BlockViewT<double>;
+
 /// Reusable block arena: one flat column-major buffer of rows x capacity
-/// doubles with the same anti-aliasing column padding as la::KrylovBasis.
+/// scalars with the same anti-aliasing column padding as la::KrylovBasis.
 /// Unlike KrylovBasis there is no append()/cols() growth protocol -- all
 /// reserved columns are usable at once; view(k) hands out the leading k.
 ///
@@ -73,18 +83,32 @@ private:
 /// SolverWorkspace): a batch worker that reserved (n, B) once never
 /// reallocates for blocks of <= B columns.  Not shareable between
 /// threads.
-class BlockWorkspace {
+template <typename S>
+class BlockWorkspaceT {
 public:
-  BlockWorkspace() = default;
+  BlockWorkspaceT() = default;
 
-  BlockWorkspace(std::size_t rows, std::size_t capacity) {
+  BlockWorkspaceT(std::size_t rows, std::size_t capacity) {
     reserve(rows, capacity);
   }
 
   /// Shape the arena for blocks of \p rows -vectors with up to
   /// \p capacity columns.  Contents are unspecified after any reshaping
   /// call; a fitting reserve is allocation-free and preserves contents.
-  void reserve(std::size_t rows, std::size_t capacity);
+  void reserve(std::size_t rows, std::size_t capacity) {
+    if (rows == rows_ && capacity <= capacity_) return;
+    if (rows != rows_) {
+      // Reshape: new geometry, everything reallocates.
+      rows_ = rows;
+      capacity_ = capacity;
+      ld_ = padded_leading_dimension<S>(rows);
+      data_.assign(ld_ * capacity_, S(0));
+      return;
+    }
+    // Same rows, more columns: grow monotonically.
+    capacity_ = capacity;
+    data_.resize(ld_ * capacity_, S(0));
+  }
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -93,10 +117,16 @@ public:
 
   /// Mutable view of the leading \p cols columns (cols <= capacity()).
   /// Throws std::out_of_range past the reserved capacity.
-  [[nodiscard]] BlockView view(std::size_t cols);
+  [[nodiscard]] BlockViewT<S> view(std::size_t cols) {
+    if (cols > capacity_) {
+      throw std::out_of_range(
+          "BlockWorkspace::view: more columns than reserved");
+    }
+    return {data_.data(), rows_, cols, ld_};
+  }
 
   /// Column \p j (j < capacity()) as a mutable span.
-  [[nodiscard]] std::span<double> col(std::size_t j) noexcept {
+  [[nodiscard]] std::span<S> col(std::size_t j) noexcept {
     return {data_.data() + j * ld_, rows_};
   }
 
@@ -104,13 +134,21 @@ private:
   std::size_t rows_ = 0;
   std::size_t capacity_ = 0;
   std::size_t ld_ = 0;
-  std::vector<double> data_;
+  std::vector<S> data_;
 };
+
+using BlockWorkspace = BlockWorkspaceT<double>;
 
 /// Mutable block view of the first \p k columns of a KrylovBasis arena
 /// (k <= basis.cols()).  This is how a batch driver hands a slice of an
 /// existing padded arena to a block kernel without copying.  Throws
 /// std::out_of_range past the current column count.
-[[nodiscard]] BlockView block(KrylovBasis& basis, std::size_t k);
+template <typename S>
+[[nodiscard]] BlockViewT<S> block(KrylovBasisT<S>& basis, std::size_t k) {
+  if (k > basis.cols()) {
+    throw std::out_of_range("la::block: more columns than present");
+  }
+  return {basis.data(), basis.rows(), k, basis.ld()};
+}
 
 } // namespace sdcgmres::la

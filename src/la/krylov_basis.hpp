@@ -7,7 +7,7 @@
 /// `std::vector<la::Vector>` (one heap allocation per column) forces the
 /// projection and correction to run as k separate dot/axpy kernels over
 /// scattered buffers.  KrylovBasis instead owns ONE flat buffer of
-/// rows x capacity doubles, laid out column-major with leading dimension ==
+/// rows x capacity scalars, laid out column-major with leading dimension ==
 /// rows, so that
 ///   - the CGS/CGS2 projection is a single gemv_t over the block,
 ///   - the correction is a single gemv,
@@ -16,12 +16,18 @@
 /// arrange it.  Columns are exposed as std::span views, which all blas1/2
 /// kernels accept.
 ///
+/// The arena is templated on the scalar type: the reliable plane uses the
+/// double instantiations (aliased BasisView / KrylovBasis, unchanged
+/// behaviour), the mixed-precision inner plane uses the float ones.
+///
 /// The capacity is fixed at construction: growing would reallocate and
 /// silently invalidate column spans held by callers (solvers always know
 /// their restart length up front).  append() past capacity throws.
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "la/dense_matrix.hpp"
@@ -32,50 +38,64 @@ namespace sdcgmres::la {
 /// Leading dimension used by every column-major arena in the la layer:
 /// rows, plus a one-cache-line pad when a rows-sized stride would be a
 /// multiple of the 4 KiB page (all columns congruent modulo every
-/// cache-set stride -> conflict misses on every multi-column kernel).
-[[nodiscard]] std::size_t padded_leading_dimension(std::size_t rows) noexcept;
+/// cache-set stride -> conflict misses on every multi-column kernel;
+/// measured ~20% slowdown for MGS at n = 65536).  The pad is one 64-byte
+/// cache line in units of the scalar (8 doubles / 16 floats).
+template <typename S = double>
+[[nodiscard]] std::size_t padded_leading_dimension(std::size_t rows) noexcept {
+  if (rows >= 512 && (rows * sizeof(S)) % 4096 == 0) {
+    return rows + 64 / sizeof(S);
+  }
+  return rows;
+}
 
 /// Non-owning read-only view of the leading columns of a contiguous
 /// column-major block (leading dimension >= rows).  This is what the
 /// fused kernels and the Arnoldi hook protocol consume; it is trivially
 /// copyable and valid as long as the underlying basis is alive and not
 /// shrunk below `cols` columns.
-class BasisView {
+template <typename S>
+class BasisViewT {
 public:
-  BasisView() = default;
-  BasisView(const double* data, std::size_t rows, std::size_t cols,
-            std::size_t ld) noexcept
+  BasisViewT() = default;
+  BasisViewT(const S* data, std::size_t rows, std::size_t cols,
+             std::size_t ld) noexcept
       : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-  /// Leading dimension (distance in doubles between column starts).
+  /// Leading dimension (distance in scalars between column starts).
   [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
   [[nodiscard]] bool empty() const noexcept { return cols_ == 0; }
 
   /// Column \p j as a contiguous span of length rows().
-  [[nodiscard]] std::span<const double> col(std::size_t j) const noexcept {
+  [[nodiscard]] std::span<const S> col(std::size_t j) const noexcept {
     return {data_ + j * ld_, rows_};
   }
 
   /// Start of the flat column-major storage.
-  [[nodiscard]] const double* data() const noexcept { return data_; }
+  [[nodiscard]] const S* data() const noexcept { return data_; }
 
 private:
-  const double* data_ = nullptr;
+  const S* data_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t ld_ = 0;
 };
 
+using BasisView = BasisViewT<double>;
+
 /// Contiguous column-major Krylov basis arena.
-class KrylovBasis {
+template <typename S>
+class KrylovBasisT {
 public:
-  KrylovBasis() = default;
+  KrylovBasisT() = default;
 
   /// Arena for up to \p capacity vectors of length \p rows; allocates the
   /// whole buffer once, zero-initialized, with zero current columns.
-  KrylovBasis(std::size_t rows, std::size_t capacity);
+  KrylovBasisT(std::size_t rows, std::size_t capacity)
+      : rows_(rows), capacity_(capacity),
+        ld_(padded_leading_dimension<S>(rows)), data_(ld_ * capacity, S(0)) {}
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   /// Number of columns currently in the basis.
@@ -89,48 +109,100 @@ public:
 
   /// Append a zero column and return a mutable view of it.  Throws
   /// std::length_error when the arena is full.
-  std::span<double> append();
+  std::span<S> append() {
+    if (cols_ == capacity_) {
+      throw std::length_error(
+          "KrylovBasis::append: arena full (growing would invalidate "
+          "outstanding column views)");
+    }
+    ++cols_;
+    return col(cols_ - 1);
+  }
 
   /// Append a copy of \p v (length must equal rows()).
-  void append(std::span<const double> v);
-  void append(const Vector& v);
+  void append(std::span<const S> v) {
+    if (v.size() != rows_) {
+      throw std::invalid_argument(
+          "KrylovBasis::append: column length mismatch");
+    }
+    std::span<S> dst = append();
+    std::copy(v.begin(), v.end(), dst.begin());
+  }
+  void append(const VectorT<S>& v) { append(v.span()); }
 
   /// Drop the last column (its storage is re-zeroed so a later append()
   /// starts clean).  Throws std::out_of_range when empty.
-  void pop_back();
+  void pop_back() {
+    if (cols_ == 0) {
+      throw std::out_of_range("KrylovBasis::pop_back: basis is empty");
+    }
+    std::span<S> last = col(cols_ - 1);
+    std::fill(last.begin(), last.end(), S(0));
+    --cols_;
+  }
 
   /// Drop all columns; the arena stays allocated.
-  void clear();
+  void clear() {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::span<S> c = col(j);
+      std::fill(c.begin(), c.end(), S(0));
+    }
+    cols_ = 0;
+  }
 
   /// Column \p j as a span (no bounds check beyond debug assertions).
-  [[nodiscard]] std::span<double> col(std::size_t j) noexcept {
+  [[nodiscard]] std::span<S> col(std::size_t j) noexcept {
     return {data_.data() + j * ld_, rows_};
   }
-  [[nodiscard]] std::span<const double> col(std::size_t j) const noexcept {
+  [[nodiscard]] std::span<const S> col(std::size_t j) const noexcept {
     return {data_.data() + j * ld_, rows_};
   }
 
-  /// Copy of column \p j as an owning la::Vector (compat / test helper).
-  [[nodiscard]] Vector col_copy(std::size_t j) const;
+  /// Copy of column \p j as an owning vector (compat / test helper).
+  [[nodiscard]] VectorT<S> col_copy(std::size_t j) const {
+    if (j >= cols_) throw std::out_of_range("KrylovBasis::col_copy");
+    VectorT<S> out(rows_);
+    const std::span<const S> src = col(j);
+    std::copy(src.begin(), src.end(), out.begin());
+    return out;
+  }
 
   /// View of the first \p k columns (k <= cols()).
-  [[nodiscard]] BasisView view(std::size_t k) const;
+  [[nodiscard]] BasisViewT<S> view(std::size_t k) const {
+    if (k > cols_) {
+      throw std::out_of_range("KrylovBasis::view: more columns than present");
+    }
+    return {data_.data(), rows_, k, ld_};
+  }
   /// View of all current columns.
-  [[nodiscard]] BasisView view() const { return view(cols_); }
+  [[nodiscard]] BasisViewT<S> view() const { return view(cols_); }
 
-  [[nodiscard]] double* data() noexcept { return data_.data(); }
-  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] S* data() noexcept { return data_.data(); }
+  [[nodiscard]] const S* data() const noexcept { return data_.data(); }
 
-  /// Dense copy (rows x cols) of the current basis, for tests that measure
-  /// orthonormality with the DenseMatrix helpers.
-  [[nodiscard]] DenseMatrix to_dense() const;
+  /// Dense (double) copy (rows x cols) of the current basis, for tests
+  /// that measure orthonormality with the DenseMatrix helpers; float
+  /// columns are widened entry-wise.
+  [[nodiscard]] DenseMatrix to_dense() const {
+    DenseMatrix out(rows_, cols_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::span<const S> src = col(j);
+      double* dst = out.col(j);
+      for (std::size_t i = 0; i < rows_; ++i) {
+        dst[i] = static_cast<double>(src[i]);
+      }
+    }
+    return out;
+  }
 
 private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t capacity_ = 0;
   std::size_t ld_ = 0;
-  std::vector<double> data_;
+  std::vector<S> data_;
 };
+
+using KrylovBasis = KrylovBasisT<double>;
 
 } // namespace sdcgmres::la

@@ -1,11 +1,17 @@
 #pragma once
 /// \file vector.hpp
-/// \brief Dense double-precision vector type used throughout sdcgmres.
+/// \brief Dense vector type used throughout sdcgmres.
 ///
 /// A thin, RAII-managed wrapper over contiguous storage.  All numerical
 /// kernels that operate on vectors live in blas1.hpp; this header only
 /// defines the container and simple element-wise constructors so that the
 /// container stays cheap to include.
+///
+/// The container is templated on the scalar type: the reliable solver
+/// plane runs on VectorT<double> (aliased as la::Vector, the default
+/// everywhere), while the mixed-precision inner-solve plane instantiates
+/// VectorT<float>.  The template carries no behavioural switches -- the
+/// double instantiation is the exact pre-template container.
 
 #include <cstddef>
 #include <initializer_list>
@@ -14,23 +20,27 @@
 
 namespace sdcgmres::la {
 
-/// Dense vector of doubles.
+/// Dense vector of scalars \p S (double in the reliable plane, float in
+/// the mixed-precision inner plane).
 ///
 /// Invariants: storage is contiguous, size is fixed after construction
 /// unless resize() is called explicitly.  Elements are value-initialized
 /// (zero) by the sizing constructor.
-class Vector {
+template <typename S>
+class VectorT {
 public:
-  Vector() = default;
+  using value_type = S;
+
+  VectorT() = default;
 
   /// Create a vector of length \p n, all entries zero.
-  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  explicit VectorT(std::size_t n) : data_(n, S(0)) {}
 
   /// Create a vector of length \p n with every entry equal to \p value.
-  Vector(std::size_t n, double value) : data_(n, value) {}
+  VectorT(std::size_t n, S value) : data_(n, value) {}
 
   /// Create from an explicit list of entries, e.g. `Vector{1.0, 2.0}`.
-  Vector(std::initializer_list<double> init) : data_(init) {}
+  VectorT(std::initializer_list<S> init) : data_(init) {}
 
   /// Number of entries.
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
@@ -38,19 +48,19 @@ public:
   /// True when the vector has no entries.
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
-  [[nodiscard]] double& operator[](std::size_t i) noexcept { return data_[i]; }
-  [[nodiscard]] const double& operator[](std::size_t i) const noexcept {
+  [[nodiscard]] S& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const S& operator[](std::size_t i) const noexcept {
     return data_[i];
   }
 
   /// Raw contiguous storage (mutable).
-  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] S* data() noexcept { return data_.data(); }
   /// Raw contiguous storage (read-only).
-  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] const S* data() const noexcept { return data_.data(); }
 
   /// View of the storage as a std::span.
-  [[nodiscard]] std::span<double> span() noexcept { return {data_}; }
-  [[nodiscard]] std::span<const double> span() const noexcept { return {data_}; }
+  [[nodiscard]] std::span<S> span() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const S> span() const noexcept { return {data_}; }
 
   [[nodiscard]] auto begin() noexcept { return data_.begin(); }
   [[nodiscard]] auto end() noexcept { return data_.end(); }
@@ -58,16 +68,19 @@ public:
   [[nodiscard]] auto end() const noexcept { return data_.end(); }
 
   /// Resize to \p n entries; new entries are zero.
-  void resize(std::size_t n) { data_.resize(n, 0.0); }
+  void resize(std::size_t n) { data_.resize(n, S(0)); }
 
   /// Set every entry to \p value.
-  void fill(double value) { data_.assign(data_.size(), value); }
+  void fill(S value) { data_.assign(data_.size(), value); }
 
-  bool operator==(const Vector& other) const = default;
+  bool operator==(const VectorT& other) const = default;
 
 private:
-  std::vector<double> data_;
+  std::vector<S> data_;
 };
+
+/// The reliable-plane vector: every pre-existing API takes this alias.
+using Vector = VectorT<double>;
 
 /// Vector of length \p n with all entries zero.
 [[nodiscard]] Vector zeros(std::size_t n);

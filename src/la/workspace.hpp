@@ -12,6 +12,10 @@
 /// sweep worker thread reaches a fixed point after its first solve and
 /// every subsequent solve runs without touching the heap.
 ///
+/// Templated on the scalar type: the reliable plane uses the double
+/// instantiation (aliased SolverWorkspace), the mixed-precision inner
+/// GMRES engines check out SolverWorkspaceT<float> arenas.
+///
 /// Ownership and aliasing rules (the span data plane contract):
 ///   - A workspace serves ONE solver instance at a time.  Nested solvers
 ///     (FT-GMRES: outer FGMRES + inner GMRES) need one workspace per
@@ -22,6 +26,7 @@
 ///   - Threads must not share a workspace.  One workspace per thread is
 ///     the parallel-sweep pattern (see experiment::run_injection_sweep).
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -31,17 +36,18 @@
 namespace sdcgmres::la {
 
 /// Arena of reusable solver storage (see file comment for the contract).
-class SolverWorkspace {
+template <typename S>
+class SolverWorkspaceT {
 public:
   /// Number of length-n scratch vectors (residual, candidate,
   /// preconditioner output, update -- the most any solver needs at once).
   static constexpr std::size_t kScratchSlots = 4;
 
-  SolverWorkspace() = default;
+  SolverWorkspaceT() = default;
 
   /// Pre-size for solves with \p rows unknowns and up to \p max_dim basis
   /// columns (V gets max_dim+1 columns for the final Arnoldi vector).
-  SolverWorkspace(std::size_t rows, std::size_t max_dim) {
+  SolverWorkspaceT(std::size_t rows, std::size_t max_dim) {
     reserve(rows, max_dim);
   }
 
@@ -51,21 +57,39 @@ public:
   /// allocation-free; changing the row count reshapes (reallocates) the
   /// arenas.  Existing column contents are NOT preserved across a
   /// reshaping reserve.
-  void reserve(std::size_t rows, std::size_t max_dim);
+  void reserve(std::size_t rows, std::size_t max_dim) {
+    if (rows != rows_ || max_dim > max_dim_) {
+      // Same row count: grow the column capacity monotonically.  A changed
+      // row count reshapes the arenas (their columns must be exactly
+      // rows-long spans), which reallocates -- the one case a workspace is
+      // not allocation-free, and one that repeated same-shape solves (the
+      // sweep pattern) never hit.
+      const std::size_t d = (rows == rows_) ? std::max(max_dim, max_dim_)
+                                            : max_dim;
+      v_ = KrylovBasisT<S>(rows, d + 1);
+      z_ = KrylovBasisT<S>(rows, d);
+      rows_ = rows;
+      max_dim_ = d;
+    }
+    for (VectorT<S>& s : scratch_) {
+      if (s.size() != rows_) s.resize(rows_);
+    }
+    if (hcol_.size() < max_dim_ + 2) hcol_.resize(max_dim_ + 2, S(0));
+  }
 
   /// Orthonormal basis arena V (capacity >= max_dim+1 after reserve).
-  [[nodiscard]] KrylovBasis& basis() noexcept { return v_; }
+  [[nodiscard]] KrylovBasisT<S>& basis() noexcept { return v_; }
   /// Preconditioned-direction arena Z (capacity >= max_dim after reserve).
-  [[nodiscard]] KrylovBasis& directions() noexcept { return z_; }
+  [[nodiscard]] KrylovBasisT<S>& directions() noexcept { return z_; }
 
   /// Length-rows scratch vector \p slot (0 <= slot < kScratchSlots).
   /// Contents are unspecified at checkout; callers must fully overwrite.
-  [[nodiscard]] Vector& scratch(std::size_t slot) noexcept {
+  [[nodiscard]] VectorT<S>& scratch(std::size_t slot) noexcept {
     return scratch_[slot];
   }
 
   /// Hessenberg column scratch (length >= max_dim+2 after reserve).
-  [[nodiscard]] std::vector<double>& h_column() noexcept { return hcol_; }
+  [[nodiscard]] std::vector<S>& h_column() noexcept { return hcol_; }
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t max_dim() const noexcept { return max_dim_; }
@@ -73,10 +97,12 @@ public:
 private:
   std::size_t rows_ = 0;
   std::size_t max_dim_ = 0;
-  KrylovBasis v_;
-  KrylovBasis z_;
-  Vector scratch_[kScratchSlots];
-  std::vector<double> hcol_;
+  KrylovBasisT<S> v_;
+  KrylovBasisT<S> z_;
+  VectorT<S> scratch_[kScratchSlots];
+  std::vector<S> hcol_;
 };
+
+using SolverWorkspace = SolverWorkspaceT<double>;
 
 } // namespace sdcgmres::la

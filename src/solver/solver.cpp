@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "krylov/mixed.hpp"
+
 namespace sdcgmres::solver {
 
 namespace {
@@ -79,6 +81,8 @@ krylov::FtGmresOptions to_ft_gmres_options(const Options& o) {
   ft.inner.divergence_factor = o.divergence_factor;
   ft.robust_first_inner = o.robust_first_inner;
   ft.recovery = o.recovery;
+  ft.precision = o.precision;
+  ft.index_width = o.index_width;
   return ft;
 }
 
@@ -232,6 +236,10 @@ SolveReport FtGmresSolver::solve(std::span<const double> b,
   return report_from_ft_result(std::move(res));
 }
 
+krylov::OperatorStats FtGmresSolver::mixed_stats() const noexcept {
+  return ws_.plane != nullptr ? ws_.plane->stats() : krylov::OperatorStats{};
+}
+
 // ---------------------------------------------------------------------------
 // BatchedFtGmresSolver
 // ---------------------------------------------------------------------------
@@ -291,6 +299,10 @@ std::vector<SolveReport> BatchedFtGmresSolver::solve_batch(
     reports.push_back(report_from_ft_result(std::move(res[i])));
   }
   return reports;
+}
+
+krylov::OperatorStats BatchedFtGmresSolver::mixed_stats() const noexcept {
+  return ws_.plane != nullptr ? ws_.plane->stats() : krylov::OperatorStats{};
 }
 
 // ---------------------------------------------------------------------------

@@ -97,6 +97,14 @@ struct Options {
                               ///< ft_gmres detector-triggered recovery
                               ///< policy (acts only on inner solves that
                               ///< end AbortedByDetector)
+  krylov::Precision precision = krylov::Precision::Double;
+                              ///< ft_gmres family: scalar of the inner-solve
+                              ///< data plane (float = narrowed mirror; the
+                              ///< outer iteration is always double)
+  krylov::IndexWidth index_width = krylov::IndexWidth::I64;
+                              ///< ft_gmres family: CSR index width of the
+                              ///< inner-solve mirror (I32 halves index
+                              ///< traffic, bitwise-identical arithmetic)
 };
 
 /// Exact translations onto the native options structs.  Exposed so tests
@@ -261,6 +269,12 @@ public:
   void set_hook(krylov::ArnoldiHook* hook) override { hook_ = hook; }
   void release_workspace() override { ws_ = {}; }
 
+  /// Traffic counters of the narrowed inner-plane mirror (zero when the
+  /// configuration is the default double/int64 -- no mirror exists).
+  /// The original operator's own stats() keep counting the reliable
+  /// outer products; totals are the sum of both.
+  [[nodiscard]] krylov::OperatorStats mixed_stats() const noexcept;
+
 private:
   const krylov::LinearOperator* a_;
   krylov::FtGmresOptions opts_;
@@ -313,6 +327,10 @@ public:
       std::span<const std::span<const double>> bs,
       std::span<const std::span<double>> xs,
       std::span<krylov::ArnoldiHook* const> inner_hooks = {});
+
+  /// Traffic counters of the narrowed inner-plane mirror shared by the
+  /// batch (zero on the default double/int64 configuration).
+  [[nodiscard]] krylov::OperatorStats mixed_stats() const noexcept;
 
 private:
   const krylov::LinearOperator* a_;

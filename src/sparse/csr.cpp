@@ -176,46 +176,50 @@ void CsrMatrix::spmv_transpose(std::span<const double> x, la::Vector& y) const {
   y.resize(cols_);
 #ifdef _OPENMP
   const int max_threads = omp_get_max_threads();
-  // Per-thread dense accumulation buffers cost threads*cols doubles; only
-  // worth it when the scatter itself dominates.
   if (max_threads > 1 && nnz() > 16384) {
-    std::vector<double> scratch(static_cast<std::size_t>(max_threads) * cols_,
-                                0.0);
-    const auto n = static_cast<std::int64_t>(rows_);
-#pragma omp parallel num_threads(max_threads)
-    {
-      double* buf =
-          scratch.data() +
-          static_cast<std::size_t>(omp_get_thread_num()) * cols_;
-#pragma omp for schedule(static)
-      for (std::int64_t ii = 0; ii < n; ++ii) {
-        const auto i = static_cast<std::size_t>(ii);
+    // Column-ownership parallelization: a one-time O(nnz + cols) partition
+    // assigns each chunk a contiguous, nnz-balanced column range that it
+    // ALONE writes.  Every chunk scans all rows in ascending order (with
+    // the same xi == 0 skip as the serial path) and, per row, locates its
+    // column sub-range by binary search -- valid because validate()
+    // guarantees strictly increasing column indices per row.  Each output
+    // column therefore accumulates its terms in exactly the serial row
+    // order, so results are bitwise identical to the serial fallback, with
+    // NO per-thread dense buffers (the old scheme cost O(threads * cols)
+    // scratch plus a reduction pass; this writes y directly).
+    std::vector<std::size_t> col_prefix(cols_ + 1, 0);
+    for (const std::size_t j : col_idx_) ++col_prefix[j + 1];
+    for (std::size_t j = 0; j < cols_; ++j) col_prefix[j + 1] += col_prefix[j];
+    const int nchunks = max_threads;
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(nchunks) + 1);
+    bounds[0] = 0;
+    bounds[static_cast<std::size_t>(nchunks)] = cols_;
+    for (int t = 1; t < nchunks; ++t) {
+      const std::size_t target =
+          (nnz() * static_cast<std::size_t>(t)) / static_cast<std::size_t>(nchunks);
+      bounds[static_cast<std::size_t>(t)] = static_cast<std::size_t>(
+          std::lower_bound(col_prefix.begin(), col_prefix.end(), target) -
+          col_prefix.begin());
+    }
+    const std::size_t* cbeg = col_idx_.data();
+    double* py = y.data();
+#pragma omp parallel for schedule(static) num_threads(max_threads)
+    for (int t = 0; t < nchunks; ++t) {
+      const std::size_t c_lo = bounds[static_cast<std::size_t>(t)];
+      const std::size_t c_hi = bounds[static_cast<std::size_t>(t) + 1];
+      if (c_lo == c_hi) continue;
+      std::fill(py + c_lo, py + c_hi, 0.0);
+      for (std::size_t i = 0; i < rows_; ++i) {
         const double xi = x[i];
         if (xi == 0.0) continue;
-        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-          buf[col_idx_[k]] += values_[k] * xi;
-        }
-      }
-      // Implicit barrier above: every thread's scatter is complete.  The
-      // buffers are reduced by COLUMN BLOCKS: each thread owns contiguous
-      // column ranges and streams the same range of every buffer at unit
-      // stride (one pass per buffer), instead of walking all buffers at a
-      // cols-sized stride per column -- a pure conflict-miss pattern at
-      // high thread counts.  Per-column summation order (buffer 0..nt-1)
-      // is unchanged, so results are bitwise identical to the old merge.
-      const int nt = omp_get_num_threads();
-      constexpr std::size_t kColBlock = 4096;
-      const auto nblocks =
-          static_cast<std::int64_t>((cols_ + kColBlock - 1) / kColBlock);
-#pragma omp for schedule(static)
-      for (std::int64_t bb = 0; bb < nblocks; ++bb) {
-        const std::size_t lo = static_cast<std::size_t>(bb) * kColBlock;
-        const std::size_t hi = std::min(cols_, lo + kColBlock);
-        double* py = y.data();
-        std::copy(scratch.data() + lo, scratch.data() + hi, py + lo);
-        for (int t = 1; t < nt; ++t) {
-          const double* bt = scratch.data() + static_cast<std::size_t>(t) * cols_;
-          for (std::size_t j = lo; j < hi; ++j) py[j] += bt[j];
+        const std::size_t kb = row_ptr_[i];
+        const std::size_t ke = row_ptr_[i + 1];
+        const std::size_t k0 = static_cast<std::size_t>(
+            std::lower_bound(cbeg + kb, cbeg + ke, c_lo) - cbeg);
+        const std::size_t k1 = static_cast<std::size_t>(
+            std::lower_bound(cbeg + k0, cbeg + ke, c_hi) - cbeg);
+        for (std::size_t k = k0; k < k1; ++k) {
+          py[cbeg[k]] += values_[k] * xi;
         }
       }
     }

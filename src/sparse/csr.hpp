@@ -78,11 +78,13 @@ public:
   void spmm(std::size_t ncols, const double* x, std::size_t ldx, double* y,
             std::size_t ldy) const;
 
-  /// y := A^T*x.  OpenMP-parallel over row blocks with per-thread
-  /// accumulation buffers (each thread scatters into its own dense
-  /// buffer, then the buffers are reduced in column blocks, each thread
-  /// streaming a contiguous range of every buffer at unit stride);
-  /// serial fallback without OpenMP or for small matrices.
+  /// y := A^T*x.  OpenMP-parallel by column ownership: a one-time
+  /// nnz-balanced partition gives each thread a contiguous column range
+  /// that it alone writes; threads scan the rows in serial order and pick
+  /// out their columns by binary search (per-row indices are strictly
+  /// increasing), so results are bitwise identical to the serial fallback
+  /// and no per-thread dense scratch is needed.  Serial fallback without
+  /// OpenMP or for small matrices.
   void spmv_transpose(const la::Vector& x, la::Vector& y) const;
 
   /// A^T*x for a span operand (zero-copy from a basis column).

@@ -92,6 +92,14 @@ NormEstimate estimate_two_norm(const CsrMatrix& A, std::size_t max_iters,
   return est;
 }
 
+// Template-readiness audit (mixed-precision data plane): this calibration
+// belongs to the RELIABLE plane -- its output feeds the fault detector's
+// bound, which must not itself be perturbed -- so it intentionally stays
+// on the double/size_t instantiations (la::KrylovBasis == KrylovBasisT
+// <double>, CsrMatrix::spmm).  Nothing here assumes the arena types are
+// double beyond those aliases; the float instantiations of the kernels it
+// exercises (spmm, nrm2, copy, scal) are covered by the float smoke
+// tests.
 NormEstimate estimate_two_norm_batch(const CsrMatrix& A, std::size_t block,
                                      std::size_t max_iters, double tol,
                                      unsigned seed) {

@@ -1,0 +1,184 @@
+/// \file sparse_mixed_csr_test.cpp
+/// \brief The narrowed CSR mirror (CsrMatrixT): (double, int32) bitwise
+/// identity with the source matrix, float accuracy, construction-time
+/// overflow validation, and the hard-coded-width audit of the spmm /
+/// norm-estimation helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "la/krylov_basis.hpp"
+#include "la/vector.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/csr_mixed.hpp"
+#include "sparse/norms.hpp"
+
+namespace sparse = sdcgmres::sparse;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+la::Vector test_rhs(std::size_t n, double phase) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.7 * static_cast<double>(i + 1) + phase);
+  }
+  return v;
+}
+
+template <typename S>
+la::KrylovBasisT<S> test_block(std::size_t n, std::size_t b) {
+  la::KrylovBasisT<S> x(n, b);
+  for (std::size_t c = 0; c < b; ++c) {
+    std::span<S> col = x.append();
+    for (std::size_t i = 0; i < n; ++i) {
+      col[i] = static_cast<S>(
+          std::sin(0.9 * static_cast<double>(i + 1) +
+                   1.3 * static_cast<double>(c)));
+    }
+  }
+  return x;
+}
+
+} // namespace
+
+TEST(MixedCsr, NarrowingCopyPreservesStructure) {
+  const auto A = gen::poisson2d(12); // n = 144
+  const sparse::CsrMatrixT<double, std::int32_t> M(A);
+  ASSERT_EQ(M.rows(), A.rows());
+  ASSERT_EQ(M.cols(), A.cols());
+  ASSERT_EQ(M.nnz(), A.nnz());
+  ASSERT_EQ(M.row_ptr().size(), A.row_ptr().size());
+  for (std::size_t i = 0; i < A.row_ptr().size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(M.row_ptr()[i]), A.row_ptr()[i]) << i;
+  }
+  for (std::size_t k = 0; k < A.nnz(); ++k) {
+    EXPECT_EQ(static_cast<std::size_t>(M.col_idx()[k]), A.col_idx()[k]) << k;
+    EXPECT_EQ(M.values()[k], A.values()[k]) << k;
+  }
+}
+
+TEST(MixedCsr, DoubleInt32SpmvIsBitwiseIdenticalToSource) {
+  // Index narrowing never enters the arithmetic, so the (double, int32)
+  // mirror's spmv must be bitwise equal to the source CsrMatrix's -- the
+  // identity that makes index=32 solves equal to the default.
+  const auto A = gen::convection_diffusion2d(30, 1.0, 0.5); // n = 900
+  const sparse::CsrMatrixT<double, std::int32_t> M(A);
+  const la::Vector x = test_rhs(A.cols(), 0.4);
+  la::Vector y_ref(A.rows());
+  A.spmv(x.span(), y_ref.span());
+  std::vector<double> y(A.rows());
+  M.spmv(std::span<const double>(x.span()), std::span<double>(y));
+  for (std::size_t i = 0; i < A.rows(); ++i) EXPECT_EQ(y[i], y_ref[i]) << i;
+}
+
+TEST(MixedCsr, DoubleInt32SpmmIsBitwiseIdenticalToSource) {
+  const auto A = gen::poisson2d(25); // n = 625
+  const sparse::CsrMatrixT<double, std::int32_t> M(A);
+  for (const std::size_t b : {1u, 3u, 4u, 5u}) {
+    const auto x = test_block<double>(A.cols(), b);
+    la::KrylovBasis y_ref(A.rows(), b);
+    for (std::size_t c = 0; c < b; ++c) (void)y_ref.append();
+    A.spmm(x.view(), y_ref);
+
+    la::KrylovBasisT<double> y(A.rows(), b);
+    for (std::size_t c = 0; c < b; ++c) (void)y.append();
+    M.spmm(x.view(), la::block(y, b));
+    for (std::size_t c = 0; c < b; ++c) {
+      const std::span<const double> got = y.col(c);
+      const std::span<const double> ref = y_ref.col(c);
+      for (std::size_t i = 0; i < A.rows(); ++i) {
+        EXPECT_EQ(got[i], ref[i]) << "b=" << b << " col " << c << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(MixedCsr, FloatSpmvMatchesDoubleToSinglePrecision) {
+  const auto A = gen::poisson2d(20); // n = 400
+  const sparse::CsrMatrixT<float, std::int32_t> M(A);
+  const la::Vector x = test_rhs(A.cols(), 1.1);
+  la::Vector y_ref(A.rows());
+  A.spmv(x.span(), y_ref.span());
+
+  std::vector<float> xf(A.cols()), yf(A.rows());
+  for (std::size_t i = 0; i < A.cols(); ++i) {
+    xf[i] = static_cast<float>(x[i]);
+  }
+  M.spmv(std::span<const float>(xf), std::span<float>(yf));
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    // ~5 terms per row, values in [-1, 8]: single-precision roundoff.
+    EXPECT_NEAR(static_cast<double>(yf[i]), y_ref[i], 5e-6) << i;
+  }
+}
+
+TEST(MixedCsr, FloatSpmmMatchesColumnwiseFloatSpmv) {
+  // Same bitwise column contract as the double kernels: each SpMM output
+  // column accumulates in exactly spmv's order, in float.
+  const auto A = gen::poisson2d(18); // n = 324
+  const sparse::CsrMatrixT<float, std::int32_t> M(A);
+  for (const std::size_t b : {2u, 4u, 7u}) {
+    const auto x = test_block<float>(A.cols(), b);
+    la::KrylovBasisT<float> y(A.rows(), b);
+    for (std::size_t c = 0; c < b; ++c) (void)y.append();
+    M.spmm(x.view(), la::block(y, b));
+
+    std::vector<float> ref(A.rows());
+    for (std::size_t c = 0; c < b; ++c) {
+      M.spmv(x.col(c), std::span<float>(ref));
+      const std::span<const float> got = y.col(c);
+      for (std::size_t i = 0; i < A.rows(); ++i) {
+        EXPECT_EQ(got[i], ref[i]) << "b=" << b << " col " << c << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(MixedCsr, ConstructionThrowsWhenShapeOverflowsIndexType) {
+  // int16 mirror of a matrix with nnz > 32767: row_ptr entries reach nnz,
+  // so construction must refuse rather than truncate.
+  const auto big = gen::poisson2d(85); // n = 7225, nnz = 35705 > int16 max
+  ASSERT_GT(big.nnz(), 32767u);
+  EXPECT_THROW((sparse::CsrMatrixT<double, std::int16_t>(big)),
+               std::overflow_error);
+  // The same matrix fits int32 comfortably.
+  EXPECT_NO_THROW((sparse::CsrMatrixT<double, std::int32_t>(big)));
+
+  // Dimension overflow without large allocation: 1 row, 2^32 columns, one
+  // stored entry -- cols alone overflows int32.
+  const sparse::CsrMatrix wide(1, (std::size_t{1} << 32), {0, 1}, {0}, {1.0});
+  EXPECT_THROW((sparse::CsrMatrixT<double, std::int32_t>(wide)),
+               std::overflow_error);
+  EXPECT_NO_THROW((sparse::CsrMatrixT<double, std::int64_t>(wide)));
+}
+
+TEST(MixedCsr, SpmvShapeValidation) {
+  const auto A = gen::poisson2d(8);
+  const sparse::CsrMatrixT<float, std::int32_t> M(A);
+  std::vector<float> x(A.cols()), y(A.rows());
+  std::vector<float> bad_x(A.cols() + 1), bad_y(A.rows() - 1);
+  EXPECT_THROW(M.spmv(std::span<const float>(bad_x), std::span<float>(y)),
+               std::invalid_argument);
+  EXPECT_THROW(M.spmv(std::span<const float>(x), std::span<float>(bad_y)),
+               std::invalid_argument);
+}
+
+TEST(MixedCsr, NormEstimatorsAcceptAnyShapeAudit) {
+  // Satellite audit: estimate_two_norm_batch runs entirely on the
+  // double/size_t source matrix (the reliable plane) -- the mixed mirror
+  // never feeds the calibration.  This pins the contract: batched and
+  // scalar estimates agree on the matrix the mirror was narrowed FROM,
+  // so a detector bound calibrated once serves every precision plane.
+  const auto A = gen::poisson2d(10); // n = 100, sigma_max ~ 7.9
+  const auto scalar = sparse::estimate_two_norm(A);
+  const auto batched = sparse::estimate_two_norm_batch(A, 4);
+  EXPECT_NEAR(batched.value, scalar.value, 1e-6 * scalar.value);
+}
