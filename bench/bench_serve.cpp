@@ -1,0 +1,160 @@
+/// \file bench_serve.cpp
+/// \brief Service throughput harness: a 20-job burst over 3 matrices
+/// driven through service::SweepScheduler, cold cache vs warm cache.
+///
+/// The burst rotates small sweep jobs across three matrices from two
+/// tenants, so the scheduler exercises the fairness path while the
+/// ArtifactCache sees each matrix repeatedly.  The first burst starts
+/// from an empty cache (every problem/calibration is a miss); the second
+/// burst reuses the same scheduler, so only the per-job solves remain.
+/// Reported: wall seconds and jobs/minute per burst, and the cache
+/// hit/miss counters that explain the difference.
+///
+/// Usage: bench_serve [--json PATH] [--jobs N]
+///
+/// NOTE on scale: this container pins everything to one core, so
+/// jobs/minute here measures the single-worker pipeline (spool + journal
+/// + solve), not scheduling parallelism.  SDCGMRES_FULL=1 runs the
+/// paper-sized matrices.
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/scheduler.hpp"
+
+namespace service = sdcgmres::service;
+namespace benchcfg = sdcgmres::benchcfg;
+
+namespace {
+
+struct BurstResult {
+  double seconds = 0.0;
+  std::size_t jobs = 0;
+  service::SchedulerStats stats;
+
+  [[nodiscard]] double jobs_per_minute() const {
+    return seconds > 0.0 ? 60.0 * static_cast<double>(jobs) / seconds : 0.0;
+  }
+};
+
+/// Submit \p jobs jobs rotating over \p specs and two tenants, then wait
+/// for the scheduler to drain them all.
+BurstResult run_burst(service::SweepScheduler& scheduler,
+                      const std::vector<std::string>& specs,
+                      std::size_t jobs) {
+  const service::SchedulerStats before = scheduler.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const std::string tenant = i % 2 == 0 ? "alice" : "bob";
+    (void)scheduler.submit("tenant=" + tenant + "\n" +
+                           specs[i % specs.size()] + "\n");
+  }
+  for (;;) {
+    const service::SchedulerStats now = scheduler.stats();
+    if (now.completed + now.failed >= before.completed + before.failed + jobs) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  BurstResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.jobs = jobs;
+  r.stats = scheduler.stats();
+  return r;
+}
+
+std::string burst_json(const BurstResult& r) {
+  std::ostringstream o;
+  o << "{ \"seconds\": " << r.seconds
+    << ", \"jobs\": " << r.jobs
+    << ", \"jobs_per_minute\": " << r.jobs_per_minute()
+    << ", \"cache_hits\": " << r.stats.cache.hits
+    << ", \"cache_misses\": " << r.stats.cache.misses << " }";
+  return o.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchcfg::parse_cli(argc, argv, {"jobs", "root"});
+  const bool full = benchcfg::full_scale();
+  const std::size_t jobs = args.spec.get_size("jobs", 20);
+  const std::size_t n = full ? 100 : 16;
+
+  // Three matrices, so the burst re-visits each one ~jobs/3 times: the
+  // warm burst should serve every problem + calibration from cache.
+  const std::string sweep_tail =
+      " inner=8 sweep=1 fault=class1 site_limit=8";
+  const std::vector<std::string> specs = {
+      "matrix=poisson n=" + std::to_string(n) + sweep_tail,
+      "matrix=convdiff n=" + std::to_string(n) + sweep_tail,
+      "matrix=aniso n=" + std::to_string(n) + sweep_tail,
+  };
+
+  const std::string root =
+      args.spec.has("root") ? args.spec.get("root")
+                            : std::string("bench_serve_spool");
+  service::SchedulerOptions options;
+  options.root = root;
+  options.max_concurrent_jobs = args.threads == 0 ? 1 : args.threads;
+  options.poll_ms = 5;
+  service::SweepScheduler scheduler(options);
+  scheduler.start();
+
+  std::cout << "bench_serve: " << (full ? "FULL" : "default") << " scale, "
+            << jobs << "-job bursts over " << specs.size() << " matrices, "
+            << options.max_concurrent_jobs << " worker(s)\n";
+
+  const BurstResult cold = run_burst(scheduler, specs, jobs);
+  std::cout << "  cold cache: " << cold.seconds << " s, "
+            << cold.jobs_per_minute() << " jobs/min ("
+            << cold.stats.cache.misses << " cache misses)\n";
+
+  const BurstResult warm = run_burst(scheduler, specs, jobs);
+  const std::size_t warm_hits = warm.stats.cache.hits - cold.stats.cache.hits;
+  const std::size_t warm_misses =
+      warm.stats.cache.misses - cold.stats.cache.misses;
+  std::cout << "  warm cache: " << warm.seconds << " s, "
+            << warm.jobs_per_minute() << " jobs/min (" << warm_hits
+            << " hits, " << warm_misses << " misses)\n";
+  scheduler.stop();
+
+  const service::SchedulerStats final_stats = scheduler.stats();
+  const double hit_rate =
+      final_stats.cache.hits + final_stats.cache.misses > 0
+          ? static_cast<double>(final_stats.cache.hits) /
+                static_cast<double>(final_stats.cache.hits +
+                                    final_stats.cache.misses)
+          : 0.0;
+
+  if (!args.json.empty()) {
+    std::ofstream out(args.json);
+    out << "{\n"
+        << "  \"bench\": \"bench_serve job throughput\",\n"
+        << "  \"note\": \"single-core container: jobs/minute measures the "
+           "1-worker pipeline (spool + journal + solve), not scheduling "
+           "parallelism\",\n"
+        << "  \"matrices\": [\"poisson\", \"convdiff\", \"aniso\"],\n"
+        << "  \"n\": " << n << ",\n"
+        << "  \"jobs_per_burst\": " << jobs << ",\n"
+        << "  \"workers\": " << options.max_concurrent_jobs << ",\n"
+        << "  \"cold\": " << burst_json(cold) << ",\n"
+        << "  \"warm\": " << burst_json(warm) << ",\n"
+        << "  \"warm_speedup\": "
+        << (warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0) << ",\n"
+        << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+        << "  \"completed\": " << final_stats.completed << ",\n"
+        << "  \"failed\": " << final_stats.failed << "\n"
+        << "}\n";
+    std::cout << "  wrote " << args.json << "\n";
+  }
+  return final_stats.failed == 0 ? 0 : 1;
+}

@@ -37,6 +37,11 @@
 ///                       needs journal=<path>)
 ///   --worker-timeout S  shorthand for the worker_timeout=S spec key
 ///                       (per-attempt worker deadline in seconds)
+///   --journal PATH      journal the sweep at PATH WITHOUT entering the
+///                       spec (a runtime seam, like the sdc_serve
+///                       scheduler uses): the result JSON's spec field --
+///                       and hence its bytes -- match a journal-free run
+///   --resume            resume --journal's path (seam-level resume=1)
 ///   --assert-identical  (sweep mode) rerun the sweep serially, unbatched
 ///                       and unsharded (threads=1 batch=1 workers=1, no
 ///                       journal) and fail with exit code 2 unless the
@@ -74,100 +79,12 @@ void print_registries() {
   print("recovery modes", solver::recovery_registry().keys());
 }
 
-/// Escape a string for embedding in a JSON double-quoted value.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// Render a double as a valid JSON token: non-finite values (a NaN
-/// residual from an unsanitized fault) become strings, since bare
-/// nan/inf are not JSON.
-std::string json_number(double v) {
-  if (std::isnan(v)) return "\"nan\"";
-  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
-  std::ostringstream out;
-  out << v;
-  return out.str();
-}
-
-void write_sweep_json(std::ostream& out, const experiment::ScenarioResult& r,
-                      bool identical_checked, bool identical) {
-  out << "{\n"
-      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
-      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
-      << "  \"n\": " << r.n << ",\n"
-      << "  \"baseline_outer\": " << r.sweep.baseline_outer << ",\n"
-      << "  \"sites\": " << r.sweep.points.size() << ",\n"
-      << "  \"max_outer_increase\": " << r.sweep.max_outer_increase() << ",\n"
-      << "  \"unchanged_runs\": " << r.sweep.unchanged_runs() << ",\n"
-      << "  \"failed_runs\": " << r.sweep.failed_runs() << ",\n"
-      << "  \"detected_runs\": " << r.sweep.detected_runs() << ",\n"
-      // Measured operator traffic: columns is the work (identical at any
-      // threads/batch), streams the matrix passes paid for it (divided by
-      // ~batch when sites run in lockstep).
-      << "  \"matrix_streams\": " << r.sweep.operator_stats.streams() << ",\n"
-      << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
-      << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns()
-      << ",\n"
-      // Bytes actually streamed for those passes, split scalar (matrix
-      // values + operand/result columns) vs index (row_ptr + col_idx),
-      // each at the executing plane's own width -- this is where a
-      // precision=float/index=32 inner plane shows its traffic cut.
-      << "  \"scalar_bytes\": " << r.sweep.operator_stats.scalar_bytes
-      << ",\n"
-      << "  \"index_bytes\": " << r.sweep.operator_stats.index_bytes << ",\n"
-      << "  \"bytes_streamed\": " << r.sweep.operator_stats.bytes() << ",\n"
-      // Solve-guard trips and detector-triggered recovery activity across
-      // the sweep (zero everywhere unless deadline=/divergence=/recovery=
-      // are in play).
-      << "  \"guard\": {\n"
-      << "    \"diverged\": " << r.sweep.diverged_runs() << ",\n"
-      << "    \"deadline_exceeded\": " << r.sweep.deadline_exceeded_runs()
-      << "\n  },\n"
-      << "  \"recovery\": {\n"
-      << "    \"retried_reliable\": " << r.sweep.retried_reliable() << ",\n"
-      << "    \"restarted_outer\": " << r.sweep.restarted_outer() << "\n  }";
-  if (r.sharded) {
-    out << ",\n  \"shard\": {\n"
-        << "    \"ranges\": " << r.shard.ranges << ",\n"
-        << "    \"worker_crashes\": " << r.shard.worker_crashes << ",\n"
-        << "    \"timeouts\": " << r.shard.timeouts << ",\n"
-        << "    \"ranges_requeued\": " << r.shard.ranges_requeued << "\n  }";
-  }
-  if (identical_checked) {
-    out << ",\n  \"identical_results\": " << (identical ? "true" : "false");
-  }
-  out << "\n}\n";
-}
-
-void write_solve_json(std::ostream& out, const experiment::ScenarioResult& r) {
-  out << "{\n"
-      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
-      << "  \"solver\": \"" << json_escape(r.solver_name) << "\",\n"
-      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
-      << "  \"n\": " << r.n << ",\n"
-      << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
-      << "  \"iterations\": " << r.report.iterations << ",\n"
-      << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
-      << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"
-      << "  \"detected\": " << (r.detected ? "true" : "false") << ",\n"
-      << "  \"recovery\": {\n"
-      << "    \"retried_reliable\": " << r.report.reliable_retries << ",\n"
-      << "    \"restarted_outer\": " << r.report.outer_restarts << "\n  }\n"
-      << "}\n";
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   bool assert_identical = false;
+  experiment::ScenarioSeams seams;
   std::ostringstream spec_text;
   for (int i = 1; i < argc; ++i) {
     const std::string tok = argv[i];
@@ -181,6 +98,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       json_path = argv[++i];
+      continue;
+    }
+    if (tok == "--journal") {
+      if (i + 1 >= argc) {
+        std::cerr << "--journal requires a value\n";
+        return 1;
+      }
+      seams.journal = argv[++i];
+      continue;
+    }
+    if (tok == "--resume") {
+      seams.resume = true;
       continue;
     }
     if (tok == "--threads" || tok == "--batch" || tok == "--workers" ||
@@ -205,7 +134,12 @@ int main(int argc, char** argv) {
 
   try {
     const auto spec = experiment::ScenarioSpec::parse(spec_text.str());
-    experiment::ScenarioResult result = experiment::run_scenario(spec);
+    if (seams.resume && seams.journal.empty()) {
+      std::cerr << "sdc_run: --resume needs --journal PATH\n";
+      return 1;
+    }
+    experiment::ScenarioResult result =
+        experiment::run_scenario(spec, seams);
     std::cout << "spec:   " << result.spec_text << "\n"
               << "matrix: " << result.matrix_name << " (n = " << result.n
               << ", nnz = " << result.nnz << ")\n";
@@ -230,7 +164,7 @@ int main(int argc, char** argv) {
           std::cerr << "sdc_run: cannot write " << json_path << "\n";
           return 1;
         }
-        write_solve_json(out, result);
+        experiment::write_solve_json(out, result);
       }
       return result.report.converged() ? 0 : 1;
     }
@@ -272,7 +206,7 @@ int main(int argc, char** argv) {
         std::cerr << "sdc_run: cannot write " << json_path << "\n";
         return 1;
       }
-      write_sweep_json(out, result, assert_identical, identical);
+      experiment::write_sweep_json(out, result, assert_identical, identical);
     }
     return identical ? 0 : 2;
   } catch (const std::exception& e) {

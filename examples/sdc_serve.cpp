@@ -1,0 +1,162 @@
+/// \file sdc_serve.cpp
+/// \brief Multi-tenant sweep service daemon: filesystem spool + HTTP
+/// endpoint over the SweepScheduler.
+///
+/// Usage:
+///   sdc_serve --root DIR [--port N] [--jobs N] [--cache-bytes N]
+///             [--poll-ms N]
+///
+/// Flags:
+///   --root DIR        spool root (created if missing; REQUIRED).  Jobs
+///                     can also be submitted with no HTTP at all: write a
+///                     job file into DIR/tmp and rename it into DIR/queue
+///   --port N          HTTP port on 127.0.0.1 (default 0 = ephemeral;
+///                     the bound port is printed and written to DIR/port
+///                     so scripts can find it)
+///   --jobs N          concurrent jobs / scheduler worker threads
+///                     (default 1)
+///   --cache-bytes N   ArtifactCache byte budget (default 256 MiB)
+///   --poll-ms N       queue poll interval when idle (default 20)
+///
+/// HTTP routes (all JSON):
+///   POST /jobs             body = job file text -> 201 {"id": "..."}
+///   GET  /jobs/<id>        state + journal-tail progress
+///   GET  /jobs/<id>/result the result document -- byte-identical to
+///                          `sdc_run --json` on the same spec
+///   GET  /stats            job counters + cache hit/miss/eviction
+///
+/// SIGTERM/SIGINT drain gracefully: in-flight jobs finish and spool
+/// their results, queued jobs stay queued.  After kill -9, the next
+/// start re-queues running/ jobs and their journals make the re-run
+/// resume bitwise-identically.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/http.hpp"
+#include "service/scheduler.hpp"
+#include "service/spool.hpp"
+
+using namespace sdcgmres;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+[[noreturn]] void usage_exit(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root DIR [--port N] [--jobs N] [--cache-bytes N] "
+               "[--poll-ms N]\n";
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::uint16_t port = 0;
+  service::SchedulerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_exit(argv[0]);
+      return argv[++i];
+    };
+    if (tok == "--root") {
+      root = value();
+    } else if (tok == "--port") {
+      port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (tok == "--jobs") {
+      options.max_concurrent_jobs = std::stoul(value());
+    } else if (tok == "--cache-bytes") {
+      options.cache_bytes = std::stoull(value());
+    } else if (tok == "--poll-ms") {
+      options.poll_ms = std::stoul(value());
+    } else {
+      usage_exit(argv[0]);
+    }
+  }
+  if (root.empty()) usage_exit(argv[0]);
+  options.root = root;
+
+  try {
+    service::SweepScheduler scheduler(options);
+    scheduler.start();
+
+    service::HttpServer server(
+        port, [&scheduler](const service::HttpRequest& request) {
+          service::HttpResponse response;
+          if (request.method == "POST" && request.target == "/jobs") {
+            const std::string id = scheduler.submit(request.body);
+            response.status = 201;
+            response.body = "{\"id\": \"" + id + "\"}\n";
+            return response;
+          }
+          if (request.method == "GET" && request.target == "/stats") {
+            response.body = service::stats_json(scheduler.stats());
+            return response;
+          }
+          if (request.method == "GET" &&
+              request.target.rfind("/jobs/", 0) == 0) {
+            std::string id = request.target.substr(6);
+            const bool want_result =
+                id.size() > 7 && id.rfind("/result") == id.size() - 7;
+            if (want_result) id.resize(id.size() - 7);
+            const service::JobStatus status = scheduler.status(id);
+            if (status.state == service::JobStatus::State::Unknown) {
+              response.status = 404;
+              response.body = "{\"error\": \"unknown job\"}\n";
+              return response;
+            }
+            if (!want_result) {
+              response.body = service::status_json(status);
+              return response;
+            }
+            if (status.state == service::JobStatus::State::Failed) {
+              response.status = 409;
+              response.body = service::status_json(status);
+              return response;
+            }
+            if (!scheduler.read_result(id, &response.body)) {
+              response.status = 409; // queued or still running
+              response.body = service::status_json(status);
+            }
+            return response;
+          }
+          response.status =
+              request.method == "GET" || request.method == "POST" ? 404 : 405;
+          response.body = "{\"error\": \"no such route\"}\n";
+          return response;
+        });
+    server.start();
+
+    // Drop the bound port where scripts can poll for it (atomically, so
+    // a reader never sees a truncated number).
+    service::atomic_write(scheduler.spool().tmp,
+                          scheduler.spool().root + "/port",
+                          std::to_string(server.port()) + "\n");
+    std::cout << "sdc_serve: root=" << root << " port=" << server.port()
+              << " jobs=" << options.max_concurrent_jobs << "\n"
+              << std::flush;
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (g_shutdown == 0) {
+      ::usleep(50 * 1000);
+    }
+    std::cout << "sdc_serve: draining\n" << std::flush;
+    server.stop();
+    scheduler.stop();
+    std::cout << "sdc_serve: stopped\n" << std::flush;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sdc_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 #include <fcntl.h>
@@ -96,6 +97,21 @@ std::string format_point(std::size_t index, const SweepPoint& p) {
   put_u64(line, "retries", p.reliable_retries);
   put_u64(line, "restarts", p.outer_restarts);
   put_u64(line, "residual_bits", double_bits(p.residual_norm));
+  line += "}\n";
+  return line;
+}
+
+std::string format_stats(const SweepRunningStats& s) {
+  // The raw OperatorStats decomposition, not the derived streams/columns
+  // sums: a resume restores this record as its traffic baseline, so it
+  // must round-trip the exact counters operator_stats accumulates.
+  std::string line = "{\"type\":\"stats\"";
+  put_u64(line, "done", s.points_done);
+  put_u64(line, "applies", s.traffic.apply_calls);
+  put_u64(line, "block_applies", s.traffic.apply_block_calls);
+  put_u64(line, "block_columns", s.traffic.block_columns);
+  put_u64(line, "scalar_bytes", s.traffic.scalar_bytes);
+  put_u64(line, "index_bytes", s.traffic.index_bytes);
   line += "}\n";
   return line;
 }
@@ -198,6 +214,23 @@ bool parse_point(const std::string& line, std::size_t& index, SweepPoint& p) {
   return true;
 }
 
+bool parse_stats(const std::string& line, SweepRunningStats& s) {
+  std::uint64_t u = 0;
+  if (!get_u64(line, "done", u)) return false;
+  s.points_done = static_cast<std::size_t>(u);
+  if (!get_u64(line, "applies", u)) return false;
+  s.traffic.apply_calls = static_cast<std::size_t>(u);
+  if (!get_u64(line, "block_applies", u)) return false;
+  s.traffic.apply_block_calls = static_cast<std::size_t>(u);
+  if (!get_u64(line, "block_columns", u)) return false;
+  s.traffic.block_columns = static_cast<std::size_t>(u);
+  if (!get_u64(line, "scalar_bytes", u)) return false;
+  s.traffic.scalar_bytes = static_cast<std::size_t>(u);
+  if (!get_u64(line, "index_bytes", u)) return false;
+  s.traffic.index_bytes = static_cast<std::size_t>(u);
+  return true;
+}
+
 void write_fully(int fd, const std::string& path, const char* data,
                  std::size_t size) {
   std::size_t written = 0;
@@ -271,6 +304,12 @@ SweepJournalContents SweepJournal::load(const std::string& path) {
           contents.points.emplace_back(index, point);
           continue;
         }
+      } else if (type == "stats") {
+        // Cumulative progress counters; each record supersedes the last.
+        if (parse_stats(line, contents.stats)) {
+          contents.has_stats = true;
+          continue;
+        }
       }
     }
     // An interior line that is not a well-formed record is corruption,
@@ -339,11 +378,50 @@ void SweepJournal::append_point(std::size_t index, const SweepPoint& point) {
   buffer_ += format_point(index, point);
 }
 
+void SweepJournal::append_stats(const SweepRunningStats& stats) {
+  buffer_ += format_stats(stats);
+}
+
 void SweepJournal::flush() {
   if (buffer_.empty()) return;
   write_fully(fd_, path_, buffer_.data(), buffer_.size());
   buffer_.clear();
   if (::fsync(fd_) != 0) fail_errno(path_, "fsync");
+}
+
+// ---------------------------------------------------------------------------
+// Tailing: the journal as a progress stream
+// ---------------------------------------------------------------------------
+
+SweepProgress tail_sweep_journal(const std::string& path) {
+  const SweepJournalContents contents = SweepJournal::load(path);
+  SweepProgress progress;
+  progress.started = contents.has_header;
+  progress.header = contents.header;
+  progress.has_stats = contents.has_stats;
+  progress.stats = contents.stats;
+
+  // Re-queued shard ranges may journal a point twice; the LAST occurrence
+  // is what a resume would keep, so count and aggregate by unique index
+  // with last-wins (mirroring run_injection_sweep's resume path).
+  std::map<std::size_t, const SweepPoint*> latest;
+  for (const auto& [index, point] : contents.points) {
+    latest[index] = &point;
+  }
+  progress.points_done = latest.size();
+  for (const auto& [index, p] : latest) {
+    if (!p->converged) ++progress.failed;
+    if (p->detected) ++progress.detected;
+    if (p->status == krylov::SolveStatus::Diverged || p->inner_diverged > 0) {
+      ++progress.diverged;
+    }
+    if (p->status == krylov::SolveStatus::DeadlineExceeded) {
+      ++progress.deadline_exceeded;
+    }
+    progress.reliable_retries += p->reliable_retries;
+    progress.outer_restarts += p->outer_restarts;
+  }
+  return progress;
 }
 
 } // namespace sdcgmres::experiment

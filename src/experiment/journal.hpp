@@ -48,6 +48,25 @@ struct SweepJournalHeader {
   bool operator==(const SweepJournalHeader&) const = default;
 };
 
+/// Cumulative progress counters a running sweep appends alongside its
+/// point records (one `stats` line per journal flush).  These make the
+/// journal a live progress stream: a tailing reader sees points done and
+/// the bytes/streams paid so far without waiting for the SweepResult.
+/// The traffic counters are stored as the RAW OperatorStats decomposition
+/// (not the derived streams/columns sums) so a resumed sweep can restore
+/// the last record as its traffic baseline: the final operator_stats --
+/// and hence the result JSON's bytes-streamed fields -- come out bitwise
+/// identical to an uninterrupted run.  write_merged drops stats lines
+/// during compaction; the resume path re-appends the restored record so
+/// the baseline survives repeated crashes.
+struct SweepRunningStats {
+  std::size_t points_done = 0; ///< points this JOURNAL has recorded, i.e.
+                               ///< cumulative across resumed incarnations
+  krylov::OperatorStats traffic; ///< cumulative raw traffic counters
+
+  bool operator==(const SweepRunningStats&) const = default;
+};
+
 /// What load() recovered from an existing journal file.
 struct SweepJournalContents {
   bool has_header = false;
@@ -55,9 +74,37 @@ struct SweepJournalContents {
   /// (point index, point) pairs in file order; duplicates keep the LAST
   /// occurrence (a re-queued shard range legitimately re-solves points).
   std::vector<std::pair<std::size_t, SweepPoint>> points;
+  bool has_stats = false;  ///< at least one `stats` record was present
+  SweepRunningStats stats; ///< the LAST stats record (cumulative counters)
   bool discarded_tail = false; ///< the final line had no trailing newline
                                ///< and was dropped (crash mid-append)
 };
+
+/// Live progress view of a (possibly still-growing, possibly absent)
+/// journal: the journal IS the job's progress stream, and this is the
+/// tail.  points_done counts UNIQUE point indexes (re-queued ranges may
+/// journal a point twice); the outcome counters aggregate over those
+/// points exactly like the SweepResult accessors will once the sweep
+/// finishes.  A missing journal file reports zero progress (the job has
+/// not started solving), matching load().
+struct SweepProgress {
+  bool started = false; ///< the journal exists and has a header
+  SweepJournalHeader header;
+  std::size_t points_done = 0;
+  std::size_t failed = 0;            ///< points that did not converge
+  std::size_t detected = 0;          ///< points whose detector fired
+  std::size_t diverged = 0;          ///< divergence-guard trips
+  std::size_t deadline_exceeded = 0; ///< deadline-guard trips
+  std::size_t reliable_retries = 0;  ///< recovery: inner solves re-run
+  std::size_t outer_restarts = 0;    ///< recovery: outer cycles restarted
+  bool has_stats = false;
+  SweepRunningStats stats; ///< latest cumulative traffic counters
+};
+
+/// Tail \p path: load the journal (tolerating the in-flight tail a live
+/// writer leaves) and fold its records into a SweepProgress.  Throws only
+/// on what load() throws on (corrupt interior lines, unreadable files).
+[[nodiscard]] SweepProgress tail_sweep_journal(const std::string& path);
 
 /// Append-only writer + loader of sweep journals.
 class SweepJournal {
@@ -86,6 +133,7 @@ public:
   /// Append one record (buffered until flush()).
   void append_header(const SweepJournalHeader& header);
   void append_point(std::size_t index, const SweepPoint& point);
+  void append_stats(const SweepRunningStats& stats);
 
   /// Write the buffered records and fsync: after flush() returns, every
   /// appended record survives a crash of this process.

@@ -1,5 +1,6 @@
 #include "experiment/report.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -143,6 +144,99 @@ void print_sweep_summary(std::ostream& out, const std::string& title,
     out << " restarted_outer=" << sweep.restarted_outer();
   }
   out << '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void write_sweep_json(std::ostream& out, const ScenarioResult& r,
+                      bool identical_checked, bool identical) {
+  out << "{\n"
+      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
+      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
+      << "  \"n\": " << r.n << ",\n"
+      << "  \"baseline_outer\": " << r.sweep.baseline_outer << ",\n"
+      << "  \"sites\": " << r.sweep.points.size() << ",\n"
+      << "  \"max_outer_increase\": " << r.sweep.max_outer_increase() << ",\n"
+      << "  \"unchanged_runs\": " << r.sweep.unchanged_runs() << ",\n"
+      << "  \"failed_runs\": " << r.sweep.failed_runs() << ",\n"
+      << "  \"detected_runs\": " << r.sweep.detected_runs() << ",\n"
+      // Measured operator traffic: columns is the work (identical at any
+      // threads/batch), streams the matrix passes paid for it (divided by
+      // ~batch when sites run in lockstep).
+      << "  \"matrix_streams\": " << r.sweep.operator_stats.streams() << ",\n"
+      << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
+      << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns()
+      << ",\n"
+      // Bytes actually streamed for those passes, split scalar (matrix
+      // values + operand/result columns) vs index (row_ptr + col_idx),
+      // each at the executing plane's own width -- this is where a
+      // precision=float/index=32 inner plane shows its traffic cut.
+      << "  \"scalar_bytes\": " << r.sweep.operator_stats.scalar_bytes
+      << ",\n"
+      << "  \"index_bytes\": " << r.sweep.operator_stats.index_bytes << ",\n"
+      << "  \"bytes_streamed\": " << r.sweep.operator_stats.bytes() << ",\n"
+      // Solve-guard trips and detector-triggered recovery activity across
+      // the sweep (zero everywhere unless deadline=/divergence=/recovery=
+      // are in play).
+      << "  \"guard\": {\n"
+      << "    \"diverged\": " << r.sweep.diverged_runs() << ",\n"
+      << "    \"deadline_exceeded\": " << r.sweep.deadline_exceeded_runs()
+      << "\n  },\n"
+      << "  \"recovery\": {\n"
+      << "    \"retried_reliable\": " << r.sweep.retried_reliable() << ",\n"
+      << "    \"restarted_outer\": " << r.sweep.restarted_outer() << "\n  }";
+  if (r.sharded) {
+    out << ",\n  \"shard\": {\n"
+        << "    \"ranges\": " << r.shard.ranges << ",\n"
+        << "    \"worker_crashes\": " << r.shard.worker_crashes << ",\n"
+        << "    \"timeouts\": " << r.shard.timeouts << ",\n"
+        << "    \"ranges_requeued\": " << r.shard.ranges_requeued << "\n  }";
+  }
+  if (identical_checked) {
+    out << ",\n  \"identical_results\": " << (identical ? "true" : "false");
+  }
+  out << "\n}\n";
+}
+
+void write_solve_json(std::ostream& out, const ScenarioResult& r) {
+  out << "{\n"
+      << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
+      << "  \"solver\": \"" << json_escape(r.solver_name) << "\",\n"
+      << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
+      << "  \"n\": " << r.n << ",\n"
+      << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
+      << "  \"iterations\": " << r.report.iterations << ",\n"
+      << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
+      << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"
+      << "  \"detected\": " << (r.detected ? "true" : "false") << ",\n"
+      << "  \"recovery\": {\n"
+      << "    \"retried_reliable\": " << r.report.reliable_retries << ",\n"
+      << "    \"restarted_outer\": " << r.report.outer_restarts << "\n  }\n"
+      << "}\n";
+}
+
+void write_scenario_json(std::ostream& out, const ScenarioResult& r) {
+  if (r.is_sweep) {
+    write_sweep_json(out, r);
+  } else {
+    write_solve_json(out, r);
+  }
 }
 
 } // namespace sdcgmres::experiment

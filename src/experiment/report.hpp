@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "experiment/scenario.hpp"
 #include "experiment/sweep.hpp"
 #include "sparse/analysis.hpp"
 #include "sparse/csr.hpp"
@@ -46,5 +47,32 @@ void write_sweep_csv(std::ostream& out, const SweepResult& sweep);
 /// Compact per-sweep summary line (max increase, unchanged runs, ...).
 void print_sweep_summary(std::ostream& out, const std::string& title,
                          const SweepResult& sweep);
+
+// ---------------------------------------------------------------------------
+// Machine-readable result JSON, shared by the sdc_run CLI and the
+// sdc_serve service.  Both front ends emit EXACTLY these bytes, so a job
+// result fetched from the service is bitwise identical to `sdc_run
+// --json` on the same spec -- the service acceptance contract.
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON double-quoted value.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render a double as a valid JSON token: non-finite values (a NaN
+/// residual from an unsanitized fault) become strings, since bare
+/// nan/inf are not JSON.
+[[nodiscard]] std::string json_number(double v);
+
+/// Write a sweep-mode ScenarioResult as JSON.  \p identical_checked adds
+/// the `identical_results` field (the sdc_run --assert-identical flag);
+/// the service never sets it, matching a plain `sdc_run --json` run.
+void write_sweep_json(std::ostream& out, const ScenarioResult& r,
+                      bool identical_checked = false, bool identical = true);
+
+/// Write a single-solve ScenarioResult as JSON.
+void write_solve_json(std::ostream& out, const ScenarioResult& r);
+
+/// Dispatch on r.is_sweep (what the service's result files hold).
+void write_scenario_json(std::ostream& out, const ScenarioResult& r);
 
 } // namespace sdcgmres::experiment

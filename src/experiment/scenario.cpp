@@ -1,5 +1,6 @@
 #include "experiment/scenario.hpp"
 
+#include <memory>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -303,21 +304,43 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, ScenarioSeams{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ScenarioSeams& seams) {
   validate_scenario_keys(spec);
 
   ScenarioResult result;
   result.spec_text = spec.to_string();
   result.solver_name = spec.get("solver", "ft_gmres");
 
-  ScenarioProblem problem = build_problem(spec);
+  // A seam-provided problem (the service's artifact cache) replaces
+  // build_problem; it was built from the same problem keys, so the
+  // result is unchanged -- only the construction cost is.
+  std::shared_ptr<const ScenarioProblem> owned;
+  if (seams.problem == nullptr) {
+    owned = std::make_shared<const ScenarioProblem>(build_problem(spec));
+  }
+  const ScenarioProblem& problem = seams.problem ? *seams.problem : *owned;
   result.matrix_name = problem.matrix_name;
   result.n = problem.A.rows();
   result.nnz = problem.A.nnz();
 
+  const double frobenius_norm = seams.frobenius_norm >= 0.0
+                                    ? seams.frobenius_norm
+                                    : problem.A.frobenius_norm();
+
   if (spec.get_bool("sweep", false)) {
     result.is_sweep = true;
-    const SweepConfig config =
-        sweep_config_from_spec(spec, problem.A.frobenius_norm());
+    SweepConfig config = sweep_config_from_spec(spec, frobenius_norm);
+    // Runtime plumbing lands AFTER the spec translation so spec_text (and
+    // the result JSON) never reflects where the scheduler journals a job.
+    if (!seams.journal.empty()) {
+      config.journal = seams.journal;
+      config.resume = seams.resume;
+    }
+    if (seams.on_progress) config.on_progress = seams.on_progress;
     const ShardOptions shard = shard_options_from_spec(spec);
     if (shard.workers > 1) {
       result.sharded = true;
@@ -346,9 +369,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         "solver=ft_gmres_batch only (got solver=" +
         result.solver_name + ")");
   }
-  const auto precond = solver::preconditioner_registry().make(
-      spec.get("precond", "none"), problem.A, spec);
-  options.precond = precond.get();
+  // Preconditioner::apply is const, so a seam-shared instance (the
+  // service's ILU0 cache) is safe across concurrent jobs.
+  std::unique_ptr<krylov::Preconditioner> built_precond;
+  if (seams.precond == nullptr) {
+    built_precond = solver::preconditioner_registry().make(
+        spec.get("precond", "none"), problem.A, spec);
+  }
+  options.precond =
+      seams.precond ? seams.precond.get() : built_precond.get();
 
   // One planned fault (paper protocol: a single transient SDC event) and
   // an optional detector, chained so the detector sees corrupted values.
@@ -366,7 +395,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     campaign = std::make_unique<sdc::FaultCampaign>(plan);
   }
   auto detector = solver::detector_registry().make(
-      spec.get("detector", "none"), problem.A.frobenius_norm(), spec);
+      spec.get("detector", "none"), frobenius_norm, spec);
   if (detector == nullptr && spec.has("recovery")) {
     throw std::invalid_argument(
         "scenario: recovery=" + spec.get("recovery") +

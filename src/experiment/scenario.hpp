@@ -47,12 +47,15 @@
 ///   worker_timeout  per-attempt worker deadline in seconds (0 = off)
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "experiment/scenario_spec.hpp"
 #include "experiment/shard.hpp"
 #include "experiment/sweep.hpp"
+#include "krylov/precond.hpp"
 #include "la/vector.hpp"
 #include "solver/solver.hpp"
 #include "sparse/csr.hpp"
@@ -114,8 +117,43 @@ struct ScenarioResult {
   ShardReport shard;          ///< sweep mode with workers > 1
 };
 
+/// Injection points for callers that hold pre-built artifacts (the
+/// sdc_serve ArtifactCache) or need runtime plumbing (the scheduler's job
+/// journal) WITHOUT changing the spec: the result's spec_text -- and
+/// therefore the result JSON -- stays byte-identical to a direct
+/// `sdc_run --json` run of the same spec, which is the service's
+/// acceptance contract.
+struct ScenarioSeams {
+  /// Pre-built matrix + rhs.  Must be what build_problem(spec) would
+  /// construct for the same problem keys (callers key their cache on
+  /// exactly those keys); when null, build_problem runs as usual.
+  std::shared_ptr<const ScenarioProblem> problem;
+
+  /// Pre-built preconditioner for single-solve mode (apply() is const, so
+  /// one instance serves concurrent jobs).  Must match the spec's
+  /// precond= keys; when null, the preconditioner registry builds one.
+  std::shared_ptr<const krylov::Preconditioner> precond;
+
+  /// Cached ||A||_F -- the detector-bound calibration input for
+  /// bound=auto.  Negative (the default) recomputes it from the matrix.
+  double frobenius_norm = -1.0;
+
+  /// Sweep-mode runtime plumbing, applied AFTER sweep_config_from_spec:
+  /// the scheduler journals every job under its own id and resumes it
+  /// after a crash, but job files must not carry journal=/resume= keys
+  /// (the spec stays exactly what the tenant submitted).  Empty journal
+  /// leaves the spec's own journal/resume keys (if any) in effect.
+  std::string journal;
+  bool resume = false;
+  std::function<void(std::size_t)> on_progress; ///< see SweepConfig
+};
+
 /// Run the scenario described by \p spec end to end.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Run with pre-built artifacts / runtime overrides (see ScenarioSeams).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const ScenarioSeams& seams);
 
 /// Convenience: parse + run.
 [[nodiscard]] ScenarioResult run_scenario(std::string_view spec_text);

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -40,6 +44,62 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
     }
     spec.set(token.substr(0, eq), token.substr(eq + 1));
     i = end;
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("scenario spec '" + path +
+                             "': open for reading failed: " +
+                             std::strerror(errno));
+  }
+  ScenarioSpec spec;
+  // First-assignment line per key, for the duplicate-key diagnostic.
+  std::map<std::string, std::size_t, std::less<>> first_line;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i >= line.size()) break;
+      std::size_t end = i;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      const std::string token = line.substr(i, end - i);
+      i = end;
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::runtime_error("scenario spec '" + path + "': token '" +
+                                 token + "' at line " +
+                                 std::to_string(line_no) +
+                                 " is not of the form key=value");
+      }
+      const std::string key = token.substr(0, eq);
+      const auto [it, inserted] = first_line.emplace(key, line_no);
+      if (!inserted) {
+        // Last-wins merging is for command lines, where later tokens
+        // deliberately override; in a queued job file it would silently
+        // pick one of two conflicting lines.
+        throw std::runtime_error(
+            "scenario spec '" + path + "': duplicate key '" + key +
+            "' at line " + std::to_string(line_no) + " (first assigned at "
+            "line " + std::to_string(it->second) +
+            "); a job file must assign each key exactly once");
+      }
+      spec.set(key, token.substr(eq + 1));
+    }
   }
   return spec;
 }

@@ -35,6 +35,16 @@ public:
   /// std::invalid_argument on a token without '=' or with an empty key.
   [[nodiscard]] static ScenarioSpec parse(std::string_view text);
 
+  /// Parse a spec FILE (one or more `key=value` tokens per line; `#`
+  /// starts a comment through end of line).  Unlike parse(), assigning
+  /// the same key twice is REJECTED: on a command line, later tokens
+  /// deliberately override earlier ones, but in a queued job file a
+  /// silent last-wins would hide which of two conflicting lines the
+  /// service actually ran.  All errors -- unreadable file, malformed
+  /// token, duplicate key -- throw std::runtime_error carrying the path
+  /// and 1-based line number (the journal loader's error style).
+  [[nodiscard]] static ScenarioSpec parse_file(const std::string& path);
+
   /// Set (or override) one entry.
   void set(std::string_view key, std::string_view value);
 

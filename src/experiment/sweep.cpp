@@ -303,6 +303,14 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   };
   std::vector<char> done(n_points, 0);
   std::optional<SweepJournal> writer;
+  // Traffic baseline restored from the journal's last stats record: the
+  // counters the previous incarnation(s) paid for the already-journaled
+  // points.  Folding it into operator_stats makes a resumed run's totals
+  // -- and hence the result JSON -- bitwise identical to an uninterrupted
+  // run (each completed point's traffic is counted exactly once; partial
+  // work a crash destroyed was never published and is re-solved in full).
+  krylov::OperatorStats resumed_traffic;
+  bool restore_stats = false;
   if (!cfg.journal.empty()) {
     if (cfg.resume) {
       SweepJournalContents loaded = SweepJournal::load(cfg.journal);
@@ -323,6 +331,10 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
         result.points[index] = point; // duplicates: last occurrence wins
         done[index] = 1;
       }
+      if (loaded.has_stats) {
+        resumed_traffic = loaded.stats.traffic;
+        restore_stats = true;
+      }
       // Compact before appending: drops a crash-truncated tail line so
       // new records start on a clean line, and dedups re-queued ranges.
       SweepJournal::write_merged(cfg.journal, header, loaded.points);
@@ -331,6 +343,19 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
       SweepJournal::write_merged(cfg.journal, header, {});
     }
     writer.emplace(cfg.journal);
+  }
+  result.operator_stats = resumed_traffic;
+  const std::size_t journaled_points = static_cast<std::size_t>(
+      std::count(done.begin(), done.end(), static_cast<char>(1)));
+  if (writer && restore_stats) {
+    // write_merged's compaction dropped the stats lines; re-seed the
+    // restored baseline record so a tailing reader keeps seeing the
+    // cumulative traffic and a second crash still restores correctly.
+    SweepRunningStats restored;
+    restored.points_done = journaled_points;
+    restored.traffic = resumed_traffic;
+    writer->append_stats(restored);
+    writer->flush();
   }
 
   // --- Range restriction (the shard seam): this run solves only the
@@ -362,7 +387,14 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   const std::size_t n_blocks = (pending.size() + batch - 1) / batch;
 
   SweepPoint* points = result.points.data();
-  std::size_t completed = 0;
+  // Journal-level progress: already-journaled points plus what this run
+  // flushes, so the stats records stay cumulative across resumes.
+  std::size_t completed = journaled_points;
+  // Per-worker traffic snapshots, published under the journal critical
+  // section so each flush can append a cumulative `stats` progress record
+  // (the journal doubles as the job's live progress stream).
+  std::vector<krylov::OperatorStats> worker_stats(
+      static_cast<std::size_t>(workers));
   std::exception_ptr error;
 #pragma omp parallel num_threads(workers)
   {
@@ -406,8 +438,28 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
             for (const std::size_t p : block) {
               writer->append_point(p, points[p]);
             }
-            writer->flush();
             completed += count;
+            // Publish this worker's current traffic and append one
+            // cumulative stats record per flush: the journal is the
+            // job's live progress stream (tail_sweep_journal reads it
+            // back), and these counters are the incremental view of
+            // what SweepResult::operator_stats will total.
+            int tid = 0;
+#ifdef _OPENMP
+            tid = omp_get_thread_num();
+#endif
+            krylov::OperatorStats mine = op.stats();
+            if (ft) mine += ft->mixed_stats();
+            if (ft_batch) mine += ft_batch->mixed_stats();
+            worker_stats[static_cast<std::size_t>(tid)] = mine;
+            SweepRunningStats running;
+            running.points_done = completed;
+            running.traffic = resumed_traffic;
+            for (const krylov::OperatorStats& ws : worker_stats) {
+              running.traffic += ws;
+            }
+            writer->append_stats(running);
+            writer->flush();
             if (cfg.on_progress) cfg.on_progress(completed);
           }
         }
@@ -420,11 +472,12 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     }
     // Each worker counted its own operator's traffic; the sum of counters
     // is order-independent, so the merged stats are deterministic too.
-    // (A resumed sweep only counts its re-executed solves here, which is
-    // fine: operator_stats is outside the identity contract.)  On mixed
-    // precision/index configurations the inner solves stream the narrowed
-    // mirror instead of the operator, so its counters are folded in too
-    // -- bytes then reflect the compressed traffic actually paid.
+    // (A resumed sweep adds its re-executed solves on top of the baseline
+    // restored from the journal's last stats record, so the totals match
+    // an uninterrupted run exactly.)  On mixed precision/index
+    // configurations the inner solves stream the narrowed mirror instead
+    // of the operator, so its counters are folded in too -- bytes then
+    // reflect the compressed traffic actually paid.
 #pragma omp critical(sdcgmres_sweep_stats)
     {
       result.operator_stats += op.stats();

@@ -59,6 +59,8 @@ struct OperatorStats {
     return scalar_bytes + index_bytes;
   }
 
+  bool operator==(const OperatorStats&) const = default;
+
   OperatorStats& operator+=(const OperatorStats& other) noexcept {
     apply_calls += other.apply_calls;
     apply_block_calls += other.apply_block_calls;

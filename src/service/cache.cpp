@@ -1,0 +1,48 @@
+#include "service/cache.hpp"
+
+namespace sdcgmres::service {
+
+ArtifactCache::ArtifactCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {}
+
+std::shared_ptr<const void> ArtifactCache::get_or_build(const std::string& key,
+                                                        const Builder& build) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+    return it->second->value;
+  }
+  ++counters_.misses;
+  auto [value, bytes] = build();
+  if (bytes > byte_budget_) {
+    // Too big to ever be resident: hand it to this caller only.  Storing
+    // it would evict EVERYTHING else and still blow the budget.
+    ++counters_.oversize;
+    return value;
+  }
+  lru_.push_front(Entry{key, value, bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  while (bytes_ > byte_budget_) {
+    // The new entry cannot be the victim: bytes <= budget held above, so
+    // the list has at least one older entry to drop first.
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  return value;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = counters_;
+  out.entries = lru_.size();
+  out.bytes = bytes_;
+  out.byte_budget = byte_budget_;
+  return out;
+}
+
+} // namespace sdcgmres::service

@@ -1,0 +1,98 @@
+#pragma once
+/// \file cache.hpp
+/// \brief ArtifactCache: thread-safe, byte-budgeted LRU of shared
+/// immutable artifacts.
+///
+/// A sweep service sees the same matrices, transposes, ILU0 factors, and
+/// detector calibrations over and over: twenty queued jobs against three
+/// matrices should build three problems, not twenty.  The cache hands out
+/// shared_ptr<const T> -- every cached artifact is immutable after
+/// construction (CsrMatrix, Preconditioner::apply is const, a Frobenius
+/// norm is a double), so one instance safely serves concurrent jobs.
+///
+/// Eviction is least-recently-used by BYTES, not entry count: the caller
+/// states each artifact's resident size at insert time and the cache
+/// drops LRU entries until the budget holds.  Eviction only drops the
+/// cache's reference -- jobs still holding the shared_ptr keep the
+/// artifact alive until they finish, so eviction can never invalidate an
+/// in-flight solve.  An artifact larger than the whole budget is built
+/// and returned but never stored (counted in CacheStats::oversize).
+///
+/// get_or_build() runs the builder under the cache lock.  That serializes
+/// concurrent builds (deliberately: two jobs racing to build the same
+/// matrix would do the work twice and briefly double the memory), which
+/// is the right trade at this service's scale; a lock-per-key upgrade has
+/// a natural seam here if profiles ever demand it.
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace sdcgmres::service {
+
+/// Counter snapshot for GET /stats.
+struct CacheStats {
+  std::size_t hits = 0;      ///< get_or_build found the key resident
+  std::size_t misses = 0;    ///< key absent; the builder ran
+  std::size_t evictions = 0; ///< entries dropped to fit the byte budget
+  std::size_t oversize = 0;  ///< artifacts larger than the whole budget
+                             ///< (built, returned, never stored)
+  std::size_t entries = 0;   ///< currently resident artifacts
+  std::size_t bytes = 0;     ///< currently resident bytes
+  std::size_t byte_budget = 0;
+
+  bool operator==(const CacheStats&) const = default;
+};
+
+class ArtifactCache {
+public:
+  /// \p byte_budget caps the resident bytes (0 = cache nothing; every
+  /// lookup misses and counts oversize -- useful to measure cold costs).
+  explicit ArtifactCache(std::size_t byte_budget);
+
+  /// Type-erased builder: the artifact plus its resident size in bytes.
+  using Builder =
+      std::function<std::pair<std::shared_ptr<const void>, std::size_t>()>;
+
+  /// Return the artifact under \p key, building (and caching) it on a
+  /// miss.  A hit moves the entry to the front of the LRU order.
+  /// Exceptions from the builder propagate and cache nothing.
+  [[nodiscard]] std::shared_ptr<const void> get_or_build(
+      const std::string& key, const Builder& build);
+
+  /// Typed convenience: \p build returns {shared_ptr<const T>, bytes}.
+  template <typename T, typename F>
+  [[nodiscard]] std::shared_ptr<const T> get(const std::string& key,
+                                             F&& build) {
+    return std::static_pointer_cast<const T>(get_or_build(
+        key,
+        [&build]() -> std::pair<std::shared_ptr<const void>, std::size_t> {
+          std::pair<std::shared_ptr<const T>, std::size_t> built = build();
+          return {std::static_pointer_cast<const void>(std::move(built.first)),
+                  built.second};
+        }));
+  }
+
+  [[nodiscard]] CacheStats stats() const;
+
+private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t byte_budget_ = 0;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_; ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats counters_; ///< hits/misses/evictions/oversize only
+};
+
+} // namespace sdcgmres::service

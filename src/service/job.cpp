@@ -1,0 +1,61 @@
+#include "service/job.hpp"
+
+#include <stdexcept>
+
+#include "experiment/scenario.hpp"
+
+namespace sdcgmres::service {
+
+namespace {
+
+[[noreturn]] void job_fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("job file '" + path + "': " + why);
+}
+
+} // namespace
+
+JobRecord load_job_file(const std::string& path) {
+  const experiment::ScenarioSpec raw =
+      experiment::ScenarioSpec::parse_file(path);
+
+  JobRecord job;
+  for (const auto& [key, value] : raw.entries()) {
+    if (key == "tenant") {
+      if (value.empty()) {
+        job_fail(path, "tenant= must name a non-empty fairness bucket");
+      }
+      job.tenant = value;
+      continue;
+    }
+    if (key == "priority") {
+      std::size_t consumed = 0;
+      try {
+        job.priority = std::stol(value, &consumed, 10);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed == 0 || consumed != value.size()) {
+        job_fail(path, "priority='" + value +
+                           "' is not an integer (higher runs first within "
+                           "the tenant; negative = background)");
+      }
+      continue;
+    }
+    if (key == "journal" || key == "resume") {
+      job_fail(path,
+               key + "= is owned by the scheduler (every job is journaled "
+                     "under its own id and resumed automatically); drop it "
+                     "from the job file");
+    }
+    job.spec.set(key, value);
+  }
+
+  try {
+    experiment::validate_scenario_keys(job.spec);
+  } catch (const std::exception& e) {
+    job_fail(path, e.what());
+  }
+  return job;
+}
+
+} // namespace sdcgmres::service

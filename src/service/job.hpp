@@ -1,0 +1,41 @@
+#pragma once
+/// \file job.hpp
+/// \brief Job files: a scenario spec plus multi-tenant envelope keys.
+///
+/// A job file is a ScenarioSpec file (key=value tokens, '#' comments, see
+/// ScenarioSpec::parse_file) with two optional envelope keys the
+/// scheduler consumes and strips before the spec reaches the scenario
+/// runner:
+///
+///   tenant=<name>    fairness bucket (default "default")
+///   priority=<int>   higher runs first WITHIN the tenant (default 0;
+///                    negative allowed -- background work)
+///
+/// Stripping matters for the acceptance contract: the result's spec_text
+/// must match a direct `sdc_run --json` run of the scenario keys alone,
+/// so envelope keys must never leak into the spec.  journal= and resume=
+/// are REJECTED in job files -- the scheduler owns checkpointing (every
+/// job is journaled under its own id), and a tenant-chosen journal path
+/// could collide with another tenant's.
+
+#include <string>
+
+#include "experiment/scenario_spec.hpp"
+
+namespace sdcgmres::service {
+
+struct JobRecord {
+  std::string id;                ///< spool filename stem
+  std::string tenant = "default";
+  long priority = 0;
+  experiment::ScenarioSpec spec; ///< envelope keys stripped
+};
+
+/// Load and validate the job file at \p path (id left empty -- the spool
+/// filename carries it).  Throws std::runtime_error carrying the path on
+/// any rejection: parse_file errors (malformed tokens, duplicate keys),
+/// journal=/resume= present, a non-integer priority, an empty tenant, or
+/// scenario keys validate_scenario_keys refuses.
+[[nodiscard]] JobRecord load_job_file(const std::string& path);
+
+} // namespace sdcgmres::service

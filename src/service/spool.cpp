@@ -1,0 +1,149 @@
+#include "service/spool.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdcgmres::service {
+
+namespace {
+
+[[noreturn]] void spool_fail(const std::string& what,
+                             const std::string& path) {
+  throw std::runtime_error("spool: " + what + " '" + path +
+                           "' failed: " + std::strerror(errno));
+}
+
+void rename_or_throw(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    spool_fail("rename to '" + to + "' from", from);
+  }
+}
+
+} // namespace
+
+SpoolPaths spool_paths(const std::string& root) {
+  SpoolPaths p;
+  p.root = root;
+  p.queue = root + "/queue";
+  p.running = root + "/running";
+  p.done = root + "/done";
+  p.failed = root + "/failed";
+  p.journals = root + "/journals";
+  p.tmp = root + "/tmp";
+  return p;
+}
+
+SpoolPaths init_spool(const std::string& root) {
+  const SpoolPaths p = spool_paths(root);
+  for (const std::string* dir :
+       {&p.root, &p.queue, &p.running, &p.done, &p.failed, &p.journals,
+        &p.tmp}) {
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec) {
+      throw std::runtime_error("spool: create directory '" + *dir +
+                               "' failed: " + ec.message());
+    }
+  }
+  return p;
+}
+
+std::string job_path(const std::string& dir, const std::string& id) {
+  return dir + "/" + id + ".job";
+}
+
+void atomic_write(const std::string& tmp_dir, const std::string& path,
+                  const std::string& content) {
+  // pid + in-process counter: unique across concurrent worker threads
+  // AND across a crashed predecessor's leftover staging files.
+  static std::atomic<unsigned long> serial{0};
+  const std::string tmp = tmp_dir + "/." + std::to_string(::getpid()) + "." +
+                          std::to_string(serial.fetch_add(1)) + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) spool_fail("open for writing", tmp);
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      spool_fail("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    spool_fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) spool_fail("close", tmp);
+  rename_or_throw(tmp, path);
+}
+
+void submit_job(const SpoolPaths& spool, const std::string& id,
+                const std::string& body) {
+  atomic_write(spool.tmp, job_path(spool.queue, id), body);
+}
+
+bool claim_job(const SpoolPaths& spool, const std::string& id) {
+  return std::rename(job_path(spool.queue, id).c_str(),
+                     job_path(spool.running, id).c_str()) == 0;
+}
+
+void finish_job(const SpoolPaths& spool, const std::string& id) {
+  rename_or_throw(job_path(spool.running, id), job_path(spool.done, id));
+}
+
+void fail_job(const SpoolPaths& spool, const std::string& id,
+              const std::string& reason) {
+  atomic_write(spool.tmp, spool.failed + "/" + id + ".reason",
+               reason + "\n");
+  rename_or_throw(job_path(spool.running, id), job_path(spool.failed, id));
+}
+
+std::vector<std::string> list_jobs(const std::string& dir) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.rfind(".job") == name.size() - 4) {
+      ids.push_back(name.substr(0, name.size() - 4));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t requeue_running(const SpoolPaths& spool) {
+  std::size_t count = 0;
+  for (const std::string& id : list_jobs(spool.running)) {
+    rename_or_throw(job_path(spool.running, id), job_path(spool.queue, id));
+    ++count;
+  }
+  return count;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) spool_fail("open for reading", path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+} // namespace sdcgmres::service

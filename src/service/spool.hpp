@@ -1,0 +1,90 @@
+#pragma once
+/// \file spool.hpp
+/// \brief Filesystem job spool: queue/ -> running/ -> done/|failed/ with
+/// atomic-rename transitions.
+///
+/// The spool is the service's durable state -- jobs, results, and failure
+/// reasons are plain files, so `ls <root>/queue` IS the queue and any
+/// tool that can write a file can submit a job.  Every state transition
+/// is a single rename(2) within one filesystem, so a job file is always
+/// in exactly one state directory: a crash (even kill -9) between any
+/// two instructions leaves either the old state or the new, never a
+/// half-moved or half-written file.  Submission writes to tmp/ first and
+/// renames into queue/, so a queue scanner never observes a partially
+/// written job.
+///
+/// Layout under the spool root:
+///   queue/<id>.job      submitted, not yet claimed
+///   running/<id>.job    claimed by a scheduler worker
+///   done/<id>.job       finished; done/<id>.json holds the result
+///   failed/<id>.job     quarantined; failed/<id>.reason says why
+///   journals/<id>.jsonl the job's sweep journal (progress + resume)
+///   tmp/                staging for atomic writes (same filesystem)
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdcgmres::service {
+
+/// Resolved directory paths of one spool root.
+struct SpoolPaths {
+  std::string root;
+  std::string queue;
+  std::string running;
+  std::string done;
+  std::string failed;
+  std::string journals;
+  std::string tmp;
+};
+
+[[nodiscard]] SpoolPaths spool_paths(const std::string& root);
+
+/// Create the spool directory tree (idempotent).  Throws
+/// std::runtime_error naming the path on failure.
+[[nodiscard]] SpoolPaths init_spool(const std::string& root);
+
+/// Path of \p id's job file in state directory \p dir.
+[[nodiscard]] std::string job_path(const std::string& dir,
+                                   const std::string& id);
+
+/// Write \p content to \p path atomically: tmp-write + fsync + rename.
+/// \p tmp_dir must be on the same filesystem as \p path.
+void atomic_write(const std::string& tmp_dir, const std::string& path,
+                  const std::string& content);
+
+/// Submit a job: atomically materialize \p body as queue/<id>.job.
+void submit_job(const SpoolPaths& spool, const std::string& id,
+                const std::string& body);
+
+/// Claim: queue/<id>.job -> running/<id>.job.  Returns false when the
+/// job is no longer queued (another worker won the rename).
+[[nodiscard]] bool claim_job(const SpoolPaths& spool, const std::string& id);
+
+/// Finish: running/<id>.job -> done/<id>.job.  The caller writes the
+/// result to done/<id>.json BEFORE calling this, so "job is done"
+/// implies "result file exists".
+void finish_job(const SpoolPaths& spool, const std::string& id);
+
+/// Quarantine: running/<id>.job -> failed/<id>.job, with \p reason
+/// written to failed/<id>.reason first (same ordering rationale).
+void fail_job(const SpoolPaths& spool, const std::string& id,
+              const std::string& reason);
+
+/// Job ids (filename stems of *.job) in \p dir, lexicographically sorted
+/// -- submission order, since ids embed a zero-padded sequence number.
+[[nodiscard]] std::vector<std::string> list_jobs(const std::string& dir);
+
+/// Crash recovery at startup: move every running/ job back to queue/
+/// (their journals survive, so a re-run resumes instead of re-solving).
+/// Returns the number of jobs re-queued.
+std::size_t requeue_running(const SpoolPaths& spool);
+
+/// Read a whole file into a string.  Throws std::runtime_error naming
+/// the path when it cannot be read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// True when \p path names an existing file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+} // namespace sdcgmres::service

@@ -240,6 +240,113 @@ void CsrMatrix::spmv_transpose(const la::Vector& x, la::Vector& y) const {
   spmv_transpose(x.span(), y);
 }
 
+void CsrMatrix::spmm_transpose(std::size_t ncols, const double* x,
+                               std::size_t ldx, double* y,
+                               std::size_t ldy) const {
+  if (ncols == 0) return; // empty block: no pointer arithmetic (see spmm)
+  // Operand columns go in blocks of 4: one pass over the matrix per block
+  // instead of one per operand.  Each output column accumulates in
+  // ascending-row order with spmv_transpose's x_i == 0 row skip applied
+  // PER COLUMN (the skip only elides += of a*0 terms for that column), so
+  // every output column is bitwise identical to a separate spmv_transpose.
+  for (std::size_t c0 = 0; c0 < ncols; c0 += 4) {
+    const std::size_t bw = std::min<std::size_t>(4, ncols - c0);
+    const double* x0 = x + c0 * ldx;
+    double* y0 = y + c0 * ldy;
+#ifdef _OPENMP
+    const int max_threads = omp_get_max_threads();
+    if (max_threads > 1 && nnz() > 16384) {
+      // Same column-ownership parallelization as spmv_transpose: each
+      // chunk alone writes a contiguous, nnz-balanced matrix-column range
+      // of every output column, scanning the rows in serial order, so the
+      // threaded fused product stays bitwise identical too.
+      std::vector<std::size_t> col_prefix(cols_ + 1, 0);
+      for (const std::size_t j : col_idx_) ++col_prefix[j + 1];
+      for (std::size_t j = 0; j < cols_; ++j) {
+        col_prefix[j + 1] += col_prefix[j];
+      }
+      const int nchunks = max_threads;
+      std::vector<std::size_t> bounds(static_cast<std::size_t>(nchunks) + 1);
+      bounds[0] = 0;
+      bounds[static_cast<std::size_t>(nchunks)] = cols_;
+      for (int t = 1; t < nchunks; ++t) {
+        const std::size_t target = (nnz() * static_cast<std::size_t>(t)) /
+                                   static_cast<std::size_t>(nchunks);
+        bounds[static_cast<std::size_t>(t)] = static_cast<std::size_t>(
+            std::lower_bound(col_prefix.begin(), col_prefix.end(), target) -
+            col_prefix.begin());
+      }
+      const std::size_t* cbeg = col_idx_.data();
+#pragma omp parallel for schedule(static) num_threads(max_threads)
+      for (int t = 0; t < nchunks; ++t) {
+        const std::size_t c_lo = bounds[static_cast<std::size_t>(t)];
+        const std::size_t c_hi = bounds[static_cast<std::size_t>(t) + 1];
+        if (c_lo == c_hi) continue;
+        for (std::size_t c = 0; c < bw; ++c) {
+          std::fill(y0 + c * ldy + c_lo, y0 + c * ldy + c_hi, 0.0);
+        }
+        for (std::size_t i = 0; i < rows_; ++i) {
+          double xi[4];
+          bool any = false;
+          for (std::size_t c = 0; c < bw; ++c) {
+            xi[c] = x0[i + c * ldx];
+            any = any || xi[c] != 0.0;
+          }
+          if (!any) continue;
+          const std::size_t kb = row_ptr_[i];
+          const std::size_t ke = row_ptr_[i + 1];
+          const std::size_t k0 = static_cast<std::size_t>(
+              std::lower_bound(cbeg + kb, cbeg + ke, c_lo) - cbeg);
+          const std::size_t k1 = static_cast<std::size_t>(
+              std::lower_bound(cbeg + k0, cbeg + ke, c_hi) - cbeg);
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double a = values_[k];
+            const std::size_t j = cbeg[k];
+            for (std::size_t c = 0; c < bw; ++c) {
+              if (xi[c] != 0.0) y0[j + c * ldy] += a * xi[c];
+            }
+          }
+        }
+      }
+      continue;
+    }
+#endif
+    for (std::size_t c = 0; c < bw; ++c) {
+      std::fill(y0 + c * ldy, y0 + c * ldy + cols_, 0.0);
+    }
+    for (std::size_t i = 0; i < rows_; ++i) {
+      double xi[4];
+      bool any = false;
+      for (std::size_t c = 0; c < bw; ++c) {
+        xi[c] = x0[i + c * ldx];
+        any = any || xi[c] != 0.0;
+      }
+      if (!any) continue;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const double a = values_[k];
+        const std::size_t j = col_idx_[k];
+        for (std::size_t c = 0; c < bw; ++c) {
+          if (xi[c] != 0.0) y0[j + c * ldy] += a * xi[c];
+        }
+      }
+    }
+  }
+}
+
+void CsrMatrix::spmm_transpose(const la::BasisView& x,
+                               la::KrylovBasis& y) const {
+  if (x.cols() == 0 && y.cols() == 0) return; // empty block: nothing to do
+  if (x.rows() != rows_) {
+    throw std::invalid_argument("CsrMatrix::spmm_transpose: X row count "
+                                "mismatch");
+  }
+  if (y.rows() != cols_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("CsrMatrix::spmm_transpose: Y shape "
+                                "mismatch");
+  }
+  spmm_transpose(x.cols(), x.data(), x.ld(), y.data(), y.ld());
+}
+
 la::Vector CsrMatrix::apply(const la::Vector& x) const {
   la::Vector y(rows_);
   spmv(x, y);

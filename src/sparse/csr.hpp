@@ -90,6 +90,22 @@ public:
   /// A^T*x for a span operand (zero-copy from a basis column).
   void spmv_transpose(std::span<const double> x, la::Vector& y) const;
 
+  /// Y := A^T*X for a block of vectors (transpose SpMM): the matrix is
+  /// streamed ONCE per block of operands instead of once per operand, the
+  /// transpose-side counterpart of spmm().  X is a column-major view with
+  /// X.rows() == rows(); Y must hold X.cols() columns of length cols().
+  /// Each output column accumulates its terms in exactly
+  /// spmv_transpose's serial order (ascending rows, with the same
+  /// x_i == 0 row skip applied per operand column), so every output
+  /// column is bitwise identical to a separate spmv_transpose of that
+  /// column -- at any thread count.
+  void spmm_transpose(const la::BasisView& x, la::KrylovBasis& y) const;
+
+  /// Raw transpose-SpMM core over column-major blocks: \p ncols vectors,
+  /// x with leading dimension \p ldx >= rows(), y with \p ldy >= cols().
+  void spmm_transpose(std::size_t ncols, const double* x, std::size_t ldx,
+                      double* y, std::size_t ldy) const;
+
   /// Convenience: returns A*x by value.
   [[nodiscard]] la::Vector apply(const la::Vector& x) const;
 

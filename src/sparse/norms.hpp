@@ -30,12 +30,13 @@ struct NormEstimate {
                                              unsigned seed = 0x5DCu);
 
 /// Batched sigma_max calibration: \p block independent power-iteration
-/// replicas (distinct random starts) advanced simultaneously.  The
-/// forward products are ONE blocked SpMM per iteration; the transpose
-/// products still run per replica, so an iteration streams the matrix
-/// 1 + block times instead of 2 * block for separate scalar runs (~2x
-/// traffic saving at block = 4; a transpose SpMM closing the rest is a
-/// ROADMAP item).  Returns the largest replica's estimate, which is what
+/// replicas (distinct random starts) advanced simultaneously.  Both
+/// halves of each iteration are fused: ONE blocked SpMM for the forward
+/// products and ONE blocked transpose SpMM for the transpose products,
+/// so an iteration streams the matrix ~2 times at any block size instead
+/// of 2 * block for separate scalar runs (block-fold traffic saving; the
+/// fused transpose products are bitwise identical to per-replica
+/// spmv_transpose calls).  Returns the largest replica's estimate, which is what
 /// the detector-bound calibration wants: a start vector accidentally
 /// deficient in the top singular direction cannot drag the bound down.
 /// Converges when the best replica's relative change falls below \p tol.

@@ -247,3 +247,94 @@ TEST(SweepJournalResume, HeaderMismatchRefusesToResume) {
                std::invalid_argument);
   std::remove(path.c_str());
 }
+
+// --- stats records + progress tailing --------------------------------------
+
+namespace {
+
+experiment::SweepRunningStats sample_stats(std::size_t done) {
+  experiment::SweepRunningStats s;
+  s.points_done = done;
+  s.traffic.apply_calls = 100 * done;
+  s.traffic.apply_block_calls = 7 * done;
+  s.traffic.block_columns = 28 * done;
+  s.traffic.scalar_bytes = 1'000'000 * done + 13;
+  s.traffic.index_bytes = 800'000 * done + 5;
+  return s;
+}
+
+} // namespace
+
+TEST(SweepJournal, StatsRecordsRoundTripAndLastWins) {
+  const std::string path = journal_path("stats");
+  {
+    experiment::SweepJournal writer(path);
+    writer.append_header(sample_header());
+    writer.append_point(0, sample_point(0));
+    writer.append_stats(sample_stats(1));
+    writer.append_point(1, sample_point(1));
+    writer.append_stats(sample_stats(2));
+    writer.flush();
+  }
+  const auto contents = experiment::SweepJournal::load(path);
+  ASSERT_TRUE(contents.has_stats);
+  // The LAST record wins: it is the cumulative baseline a resume
+  // restores, so the raw traffic decomposition must round-trip exactly.
+  EXPECT_EQ(contents.stats, sample_stats(2));
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, WriteMergedDropsStatsRecords) {
+  const std::string path = journal_path("stats_merged");
+  {
+    experiment::SweepJournal writer(path);
+    writer.append_header(sample_header());
+    writer.append_point(0, sample_point(0));
+    writer.append_stats(sample_stats(1));
+    writer.flush();
+  }
+  auto contents = experiment::SweepJournal::load(path);
+  ASSERT_TRUE(contents.has_stats);
+  experiment::SweepJournal::write_merged(path, contents.header,
+                                         contents.points);
+  contents = experiment::SweepJournal::load(path);
+  EXPECT_FALSE(contents.has_stats)
+      << "compaction drops stats lines; the resume path re-appends the "
+         "restored baseline itself";
+  EXPECT_EQ(contents.points.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, TailOfMissingJournalIsNotStarted) {
+  const auto progress =
+      experiment::tail_sweep_journal(journal_path("tail_missing"));
+  EXPECT_FALSE(progress.started);
+  EXPECT_EQ(progress.points_done, 0u);
+  EXPECT_FALSE(progress.has_stats);
+}
+
+TEST(SweepJournal, TailAggregatesPointsWithLastWinsDedup) {
+  const std::string path = journal_path("tail_agg");
+  {
+    experiment::SweepJournal writer(path);
+    writer.append_header(sample_header());
+    writer.append_point(0, sample_point(0));
+    writer.append_point(1, sample_point(1));
+    // Point 0 journaled twice (a re-queued shard range re-solves it):
+    // the tail must count it once, keeping the LAST occurrence.
+    writer.append_point(0, sample_point(0));
+    writer.append_stats(sample_stats(2));
+    writer.flush();
+  }
+  const auto progress = experiment::tail_sweep_journal(path);
+  EXPECT_TRUE(progress.started);
+  EXPECT_EQ(progress.header, sample_header());
+  EXPECT_EQ(progress.points_done, 2u);
+  EXPECT_EQ(progress.detected, 1u); // sites 0 (even) of {0,1}
+  EXPECT_EQ(progress.diverged, 1u); // site 0 has inner_diverged == 1
+  EXPECT_EQ(progress.reliable_retries, 1u); // 0%2 + 1%2
+  EXPECT_EQ(progress.outer_restarts, 1u);   // 0%3 + 1%3
+  ASSERT_TRUE(progress.has_stats);
+  EXPECT_EQ(progress.stats, sample_stats(2));
+  std::remove(path.c_str());
+}

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <stdexcept>
+#include <string>
+
+#include <unistd.h>
 
 #include "experiment/scenario.hpp"
 #include "experiment/scenario_spec.hpp"
@@ -380,4 +384,74 @@ TEST(Scenario, MtxErrorsNameThePath) {
     EXPECT_NE(what.find("/no/such/file.mtx"), std::string::npos) << what;
     EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
   }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec::parse_file (job-file parsing: duplicates are errors)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string spec_file(const char* name, const std::string& body) {
+  const std::string path = testing::TempDir() + "sdcgmres_spec_" + name +
+                           "_" + std::to_string(::getpid()) + ".spec";
+  std::ofstream(path, std::ios::trunc) << body;
+  return path;
+}
+
+} // namespace
+
+TEST(ScenarioSpecFile, ParsesMultiLineSpecsWithComments) {
+  const std::string path = spec_file("ok",
+                                     "# a queued job\n"
+                                     "matrix=poisson n=20   # inline note\n"
+                                     "\n"
+                                     "  inner=10 sweep=1\n");
+  const auto spec = ScenarioSpec::parse_file(path);
+  EXPECT_EQ(spec.to_string(), "matrix=poisson n=20 inner=10 sweep=1");
+}
+
+TEST(ScenarioSpecFile, RejectsDuplicateKeysWithBothLineNumbers) {
+  const std::string path = spec_file("dup",
+                                     "matrix=poisson\n"
+                                     "n=20\n"
+                                     "n=40\n");
+  try {
+    (void)ScenarioSpec::parse_file(path);
+    FAIL() << "duplicate key must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("duplicate key 'n' at line 3"), std::string::npos);
+    EXPECT_NE(what.find("first assigned at line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecFile, RejectsMalformedTokensWithLineNumber) {
+  const std::string path = spec_file("tok", "matrix=poisson\ngarbage\n");
+  try {
+    (void)ScenarioSpec::parse_file(path);
+    FAIL() << "a token without '=' must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'garbage' at line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecFile, UnreadableFileThrowsWithPath) {
+  const std::string path = testing::TempDir() + "sdcgmres_spec_absent_" +
+                           std::to_string(::getpid()) + ".spec";
+  try {
+    (void)ScenarioSpec::parse_file(path);
+    FAIL() << "a missing spec file must be an error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecFile, CommandLineParseStillMergesLastWins) {
+  // The contrast that justifies parse_file's strictness: on a command
+  // line, a later token deliberately overrides an earlier one.
+  const auto spec = ScenarioSpec::parse("n=20 n=40");
+  EXPECT_EQ(spec.get_size("n", 0), 40u);
 }

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "service/http.hpp"
+
+namespace service = sdcgmres::service;
+
+namespace {
+
+/// Minimal raw-socket HTTP client: one request, whole response back.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& target) {
+  return raw_request(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::string post(std::uint16_t port, const std::string& target,
+                 const std::string& body) {
+  return raw_request(port, "POST " + target + " HTTP/1.1\r\nHost: localhost" +
+                               "\r\nContent-Length: " +
+                               std::to_string(body.size()) + "\r\n\r\n" +
+                               body);
+}
+
+} // namespace
+
+TEST(HttpServer, EphemeralPortRoundTripsGetAndPost) {
+  service::HttpServer server(0, [](const service::HttpRequest& request) {
+    service::HttpResponse response;
+    response.body = request.method + " " + request.target + " [" +
+                    request.body + "]";
+    return response;
+  });
+  EXPECT_GT(server.port(), 0) << "port 0 must resolve to a real port";
+  server.start();
+
+  const std::string got = get(server.port(), "/stats");
+  EXPECT_NE(got.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(got.find("GET /stats []"), std::string::npos);
+  EXPECT_NE(got.find("Content-Length:"), std::string::npos);
+
+  const std::string posted =
+      post(server.port(), "/jobs", "matrix=poisson n=10");
+  EXPECT_NE(posted.find("POST /jobs [matrix=poisson n=10]"),
+            std::string::npos)
+      << "the Content-Length body must reach the handler intact";
+  server.stop();
+}
+
+TEST(HttpServer, StatusCodesAndReasonPhrases) {
+  service::HttpServer server(0, [](const service::HttpRequest& request) {
+    service::HttpResponse response;
+    if (request.target == "/missing") response.status = 404;
+    if (request.target == "/conflict") response.status = 409;
+    if (request.target == "/created") response.status = 201;
+    return response;
+  });
+  server.start();
+  EXPECT_NE(get(server.port(), "/missing").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(get(server.port(), "/conflict").find("409 Conflict"),
+            std::string::npos);
+  EXPECT_NE(get(server.port(), "/created").find("201 Created"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500NotACrash) {
+  service::HttpServer server(0, [](const service::HttpRequest&)
+                                    -> service::HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  server.start();
+  const std::string got = get(server.port(), "/");
+  EXPECT_NE(got.find("500 Internal Server Error"), std::string::npos);
+  EXPECT_NE(got.find("boom"), std::string::npos);
+  // The server survived: a second request still answers.
+  EXPECT_NE(get(server.port(), "/").find("500"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  service::HttpServer server(0, [](const service::HttpRequest&) {
+    return service::HttpResponse{};
+  });
+  server.start();
+  const std::string got = raw_request(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(got.find("400 Bad Request"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndUnbindsThePort) {
+  auto server = std::make_unique<service::HttpServer>(
+      0, [](const service::HttpRequest&) { return service::HttpResponse{}; });
+  const std::uint16_t port = server->port();
+  server->start();
+  server->stop();
+  server->stop(); // idempotent
+  server.reset();
+  // The port is free again: a new server can bind it immediately.
+  service::HttpServer again(port, [](const service::HttpRequest&) {
+    return service::HttpResponse{};
+  });
+  EXPECT_EQ(again.port(), port);
+}

