@@ -26,7 +26,7 @@
 ///
 /// Flags:
 ///   --list              print every registered solver/preconditioner/
-///                       matrix/fault-model/detector name and exit
+///                       matrix/fault-model/detector/backend name and exit
 ///   --json FILE         also write a machine-readable result to FILE
 ///   --threads N         shorthand for the threads=N spec key (sweep
 ///                       worker threads; 0 = all hardware threads)
@@ -77,6 +77,7 @@ void print_registries() {
   print("fault models", solver::fault_model_registry().keys());
   print("detectors", solver::detector_registry().keys());
   print("recovery modes", solver::recovery_registry().keys());
+  print("backends", solver::backend_registry().keys());
 }
 
 } // namespace

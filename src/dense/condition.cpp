@@ -1,0 +1,114 @@
+#include "dense/condition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdcgmres::dense {
+
+void IncrementalConditionEstimator::reset() noexcept {
+  k_ = 0;
+  smin_ = 0.0;
+  smax_ = 0.0;
+  ymin_.clear();
+  ymax_.clear();
+  can_pop_ = false;
+}
+
+void IncrementalConditionEstimator::reserve(std::size_t max_cols) {
+  ymin_.reserve(max_cols);
+  ymax_.reserve(max_cols);
+  prev_ymin_.reserve(max_cols);
+  prev_ymax_.reserve(max_cols);
+}
+
+void IncrementalConditionEstimator::update(std::span<const double> r_col) {
+  if (r_col.size() != k_ + 1) {
+    throw std::invalid_argument(
+        "IncrementalConditionEstimator::update: column must hold size() + 1 "
+        "entries (R(0..k, k) including the diagonal)");
+  }
+  // Stash the one-level undo state.
+  prev_smin_ = smin_;
+  prev_smax_ = smax_;
+  prev_ymin_.assign(ymin_.begin(), ymin_.end());
+  prev_ymax_.assign(ymax_.begin(), ymax_.end());
+  can_pop_ = true;
+
+  const double gamma = r_col[k_];
+  if (k_ == 0) {
+    // R is the 1x1 matrix [gamma]: both singular values are exact.
+    smin_ = std::abs(gamma);
+    smax_ = smin_;
+    ymin_.assign(1, 1.0);
+    ymax_.assign(1, 1.0);
+    k_ = 1;
+    return;
+  }
+  step(ymin_, smin_, r_col, gamma, /*want_max=*/false);
+  step(ymax_, smax_, r_col, gamma, /*want_max=*/true);
+  ++k_;
+}
+
+void IncrementalConditionEstimator::step(std::vector<double>& y, double& sigma,
+                                         std::span<const double> v,
+                                         double gamma, bool want_max) {
+  const std::size_t k = y.size();
+  double beta = 0.0;
+  for (std::size_t i = 0; i < k; ++i) beta += y[i] * v[i];
+
+  // Extreme eigenpair of M = [[a, b], [b, d]] (see header).
+  const double a = sigma * sigma + beta * beta;
+  const double b = beta * gamma;
+  const double d = gamma * gamma;
+  const double tr = a + d;
+  const double disc = std::hypot(a - d, 2.0 * b);
+  const double lambda = want_max ? 0.5 * (tr + disc) : 0.5 * (tr - disc);
+
+  // Eigenvector: both (b, lambda - a) and (lambda - d, b) solve
+  // (M - lambda I) w = 0; take the larger one for numerical safety (one
+  // of them degenerates to ~0 whenever b is tiny).
+  double s = b;
+  double c = lambda - a;
+  const double s2 = lambda - d;
+  const double c2 = b;
+  if (s * s + c * c < s2 * s2 + c2 * c2) {
+    s = s2;
+    c = c2;
+  }
+  double norm = std::hypot(s, c);
+  if (norm == 0.0) {
+    // M is a multiple of the identity (b == 0, a == d): every unit vector
+    // attains lambda; keep the existing direction.
+    s = 1.0;
+    c = 0.0;
+    norm = 1.0;
+  }
+  s /= norm;
+  c /= norm;
+
+  for (std::size_t i = 0; i < k; ++i) y[i] *= s;
+  y.push_back(c);
+  sigma = std::sqrt(std::max(lambda, 0.0));
+}
+
+void IncrementalConditionEstimator::pop() {
+  if (!can_pop_) {
+    throw std::logic_error(
+        "IncrementalConditionEstimator::pop: no update to undo");
+  }
+  smin_ = prev_smin_;
+  smax_ = prev_smax_;
+  ymin_.assign(prev_ymin_.begin(), prev_ymin_.end());
+  ymax_.assign(prev_ymax_.begin(), prev_ymax_.end());
+  k_ = ymin_.size();
+  can_pop_ = false;
+}
+
+double IncrementalConditionEstimator::ratio() const noexcept {
+  if (k_ == 0) return 1.0;
+  if (!(smax_ > 0.0)) return 0.0;
+  return std::min(1.0, smin_ / smax_);
+}
+
+} // namespace sdcgmres::dense

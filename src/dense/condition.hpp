@@ -1,0 +1,92 @@
+#pragma once
+/// \file condition.hpp
+/// \brief Incremental condition estimation for a growing triangular factor.
+///
+/// FGMRES's trichotomy wants sigma_min/sigma_max of the projected QR's
+/// triangular factor R_k every iteration (`rank_check_every_iteration`).
+/// A full Jacobi SVD per iteration costs O(k^3); this estimator maintains
+/// the classic incremental condition estimate (Bischof 1990) instead:
+/// one approximate extreme singular pair per bound, updated in O(k) when
+/// a column is appended to R.
+///
+/// Invariant: each estimate keeps a UNIT vector y with sigma~ = ||y^T R||.
+/// Appending column [v; gamma] (v = R(0..k-1, k), gamma = R(k, k))
+/// restricts the new left vector to span{[y; 0], e_{k+1}}, i.e.
+/// y' = [s*y; c] with s^2 + c^2 = 1, where
+///
+///   ||y'^T R'||^2 = [s c] M [s c]^T,
+///   M = [[sigma~^2 + beta^2, beta*gamma], [beta*gamma, gamma^2]],
+///   beta = y . v.
+///
+/// Maximizing (resp. minimizing) the 2x2 quadratic form gives the new
+/// sigma~ as sqrt of the extreme eigenvalue and y' from its eigenvector.
+/// Because the optimization is over a SUBSPACE of unit vectors:
+///
+///   sigma~max <= sigma_max(R)   and   sigma~min >= sigma_min(R),
+///
+/// so ratio() = sigma~min/sigma~max UPPER-bounds the true
+/// sigma_min/sigma_max.  That makes it a sound cheap monitor (a healthy
+/// ratio estimate can hide deficiency, a tiny one is real trouble), but
+/// NOT a sound rank-deficiency certificate -- FGMRES therefore still
+/// runs the exact jacobi_svd oracle at the one place a decision is made
+/// (subdiagonal breakdown), keeping solve outcomes bitwise unchanged.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sdcgmres::dense {
+
+class IncrementalConditionEstimator {
+public:
+  /// Forget every column (a fresh factor / outer restart).  Keeps the
+  /// reserved storage, so reset-per-solve is allocation-free.
+  void reset() noexcept;
+
+  /// Pre-size the internal vectors for factors up to \p max_cols columns
+  /// so update() never allocates on the iteration path.
+  void reserve(std::size_t max_cols);
+
+  /// Number of columns folded in so far.
+  [[nodiscard]] std::size_t size() const noexcept { return k_; }
+
+  /// Fold in the next column of R: \p r_col holds R(0..k, k) for
+  /// k = size() -- the k entries above the diagonal followed by the new
+  /// diagonal R(k, k).  Throws std::invalid_argument on a size mismatch.
+  void update(std::span<const double> r_col);
+
+  /// Undo the most recent update() (ONE level -- FGMRES pairs this with
+  /// HessenbergQr::pop_column when it discards a degenerate direction).
+  /// Throws std::logic_error when there is no update to undo.
+  void pop();
+
+  /// Lower bound of sigma_max(R) (0 before any column).
+  [[nodiscard]] double sigma_max() const noexcept { return smax_; }
+  /// Upper bound of sigma_min(R) (0 before any column).
+  [[nodiscard]] double sigma_min() const noexcept { return smin_; }
+
+  /// sigma_min()/sigma_max(), clamped to [0, 1]; 1.0 for an empty factor
+  /// and 0.0 when sigma_max() is zero (an all-zero factor).
+  [[nodiscard]] double ratio() const noexcept;
+
+private:
+  /// Advance one estimate (y, sigma) by the new column; want_max picks
+  /// the maximizing or minimizing eigenpair of the 2x2 form.
+  static void step(std::vector<double>& y, double& sigma,
+                   std::span<const double> v, double gamma, bool want_max);
+
+  std::size_t k_ = 0;
+  double smin_ = 0.0;
+  double smax_ = 0.0;
+  std::vector<double> ymin_; ///< unit vector attaining sigma~min
+  std::vector<double> ymax_; ///< unit vector attaining sigma~max
+
+  // One-level undo stash for pop().
+  bool can_pop_ = false;
+  double prev_smin_ = 0.0;
+  double prev_smax_ = 0.0;
+  std::vector<double> prev_ymin_;
+  std::vector<double> prev_ymax_;
+};
+
+} // namespace sdcgmres::dense

@@ -170,7 +170,13 @@ void write_sweep_json(std::ostream& out, const ScenarioResult& r,
       << "  \"spec\": \"" << json_escape(r.spec_text) << "\",\n"
       << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
       << "  \"n\": " << r.n << ",\n"
-      << "  \"baseline_outer\": " << r.sweep.baseline_outer << ",\n"
+      << "  \"backend\": \"" << json_escape(r.backend_name) << "\",\n";
+  // The autotuner's reasoning, recorded only when backend=auto ran.
+  if (!r.backend_decision.empty()) {
+    out << "  \"backend_decision\": \"" << json_escape(r.backend_decision)
+        << "\",\n";
+  }
+  out << "  \"baseline_outer\": " << r.sweep.baseline_outer << ",\n"
       << "  \"sites\": " << r.sweep.points.size() << ",\n"
       << "  \"max_outer_increase\": " << r.sweep.max_outer_increase() << ",\n"
       << "  \"unchanged_runs\": " << r.sweep.unchanged_runs() << ",\n"
@@ -220,7 +226,12 @@ void write_solve_json(std::ostream& out, const ScenarioResult& r) {
       << "  \"solver\": \"" << json_escape(r.solver_name) << "\",\n"
       << "  \"matrix\": \"" << json_escape(r.matrix_name) << "\",\n"
       << "  \"n\": " << r.n << ",\n"
-      << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
+      << "  \"backend\": \"" << json_escape(r.backend_name) << "\",\n";
+  if (!r.backend_decision.empty()) {
+    out << "  \"backend_decision\": \"" << json_escape(r.backend_decision)
+        << "\",\n";
+  }
+  out << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
       << "  \"iterations\": " << r.report.iterations << ",\n"
       << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
       << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"

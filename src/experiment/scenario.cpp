@@ -63,7 +63,7 @@ void validate_scenario_keys(const ScenarioSpec& spec) {
       "precond", "neumann_degree", "neumann_omega",
       // solver options
       "tol", "max_iters", "restart", "ortho", "lsq", "inner", "inner_tol",
-      "inner_ortho", "robust_first_inner", "precision", "index",
+      "inner_ortho", "robust_first_inner", "precision", "index", "backend",
       // fault + detector + recovery
       "fault", "position", "site", "detector", "bound", "response",
       "recovery",
@@ -240,6 +240,12 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
   SweepConfig config;
   config.solver = solver::to_ft_gmres_options(solver_options_from_spec(spec));
 
+  // Loud up-front backend validation (unknown names list the registry's
+  // keys; bad sell geometry names the syntax) -- assembly itself waits
+  // until the matrix exists (run_scenario / run_injection_sweep).
+  config.backend_key = spec.get("backend", "csr");
+  solver::validate_backend_key(config.backend_key);
+
   const std::string fault = spec.get("fault", "class1");
   if (fault == "none") {
     throw std::invalid_argument(
@@ -331,9 +337,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
                                     ? seams.frobenius_norm
                                     : problem.A.frobenius_norm();
 
+  // Resolve the execution backend once per scenario (a seam-provided
+  // assembly -- the service's artifact cache -- must match the spec's
+  // backend= key, exactly like the problem seam).
+  std::shared_ptr<const krylov::MatrixBackend> backend = seams.backend;
+  if (backend == nullptr) {
+    backend =
+        solver::backend_registry().make(spec.get("backend", "csr"), problem.A);
+  }
+  result.backend_name = backend->name();
+  result.backend_decision = backend->decision();
+
   if (spec.get_bool("sweep", false)) {
     result.is_sweep = true;
     SweepConfig config = sweep_config_from_spec(spec, frobenius_norm);
+    config.backend = backend;
     // Runtime plumbing lands AFTER the spec translation so spec_text (and
     // the result JSON) never reflects where the scheduler journals a job.
     if (!seams.journal.empty()) {
@@ -406,9 +424,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     options.recovery = sdc::inner_recovery_for(detector->response());
   }
 
-  const krylov::CsrOperator op(problem.A);
+  const std::unique_ptr<krylov::LinearOperator> op =
+      backend->make_operator(problem.A);
   const auto iterative = solver::solver_registry().make(
-      result.solver_name, solver::SolverContext{op, options, nullptr});
+      result.solver_name, solver::SolverContext{*op, options, nullptr});
 
   krylov::HookChain chain;
   if (campaign != nullptr) chain.add(campaign.get());

@@ -21,6 +21,10 @@
 ///   neumann_degree neumann_omega                    preconditioner params
 ///   tol max_iters restart ortho lsq                 solver options
 ///   inner inner_tol inner_ortho robust_first_inner  nested solver options
+///   backend    csr|sell[:<C>[:<sigma>]]|auto -- matrix execution backend
+///              (default csr; sell = SELL-C-sigma storage, bitwise
+///              identical results; auto picks by row-length statistics
+///              and records its decision in the result JSON)
 ///   fault      none|class1|class2|class3|scale[:f]|set[:v]|add[:v]|
 ///              bitflip[:b]                          (default none)
 ///   position   first|last|index:<i>                 (default first)
@@ -106,6 +110,8 @@ struct ScenarioResult {
   std::string matrix_name;
   std::size_t n = 0;
   std::size_t nnz = 0;
+  std::string backend_name;     ///< normalized execution backend ("csr", ...)
+  std::string backend_decision; ///< autotuner reasoning (backend=auto only)
 
   bool is_sweep = false;
   solver::SolveReport report; ///< single-solve mode
@@ -137,6 +143,12 @@ struct ScenarioSeams {
   /// Cached ||A||_F -- the detector-bound calibration input for
   /// bound=auto.  Negative (the default) recomputes it from the matrix.
   double frobenius_norm = -1.0;
+
+  /// Pre-assembled execution backend (the service caches SELL assembly
+  /// keyed by matrix+backend).  Must be what backend_registry() would
+  /// assemble for the spec's backend= key over the same matrix; when
+  /// null, the registry assembles one.
+  std::shared_ptr<const krylov::MatrixBackend> backend;
 
   /// Sweep-mode runtime plumbing, applied AFTER sweep_config_from_spec:
   /// the scheduler journals every job under its own id and resumes it

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include <unistd.h>
 
 #include "experiment/journal.hpp"
+#include "solver/registry.hpp"
 
 namespace sdcgmres::experiment {
 
@@ -103,10 +105,22 @@ SweepResult run_sharded_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
 
   SweepResult result;
 
+  // --- Execution backend: resolved ONCE in the parent, before any fork.
+  // The shared_ptr lands in every child's copied address space, so one
+  // assembly (e.g. a SELL structure) serves the baseline and all worker
+  // processes without per-child re-sorting.
+  SweepConfig cfg = config;
+  if (!cfg.backend) {
+    cfg.backend = solver::backend_registry().make(cfg.backend_key, A);
+  }
+
   // --- The parent's only solve: the pinned failure-free baseline, which
   // fixes the point count and the journal header.  (1-thread OpenMP
   // region: no helper threads exist when we fork below.)
-  const krylov::FtGmresResult baseline = run_baseline(A, b, config.solver);
+  const std::unique_ptr<krylov::LinearOperator> baseline_op =
+      cfg.backend->make_operator(A);
+  const krylov::FtGmresResult baseline =
+      run_baseline(*baseline_op, b, config.solver);
   result.baseline_outer = baseline.outer_iterations;
   result.baseline_total_inner = baseline.total_inner_iterations;
   result.baseline_converged =
@@ -216,7 +230,7 @@ SweepResult run_sharded_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
               std::string("run_sharded_sweep: fork failed: ") +
               std::strerror(errno));
         }
-        if (pid == 0) run_child(A, b, config, range, shard); // never returns
+        if (pid == 0) run_child(A, b, cfg, range, shard); // never returns
         RunningWorker worker{.pid = pid, .range = range};
         if (shard.worker_timeout_seconds > 0.0) {
           worker.deadline =

@@ -17,6 +17,7 @@
 #include "experiment/journal.hpp"
 #include "krylov/operator.hpp"
 #include "krylov/workspace.hpp"
+#include "solver/registry.hpp"
 #include "solver/solver.hpp"
 
 namespace sdcgmres::experiment {
@@ -113,6 +114,14 @@ krylov::FtGmresResult run_baseline(const sparse::CsrMatrix& A,
                                    const krylov::FtGmresOptions& opts) {
   // Pinned like every sweep solve, so run_baseline always agrees with
   // run_injection_sweep's baseline fields exactly.
+  krylov::FtGmresResult baseline;
+  run_pinned([&] { baseline = krylov::ft_gmres(A, b, opts, nullptr); });
+  return baseline;
+}
+
+krylov::FtGmresResult run_baseline(const krylov::LinearOperator& A,
+                                   const la::Vector& b,
+                                   const krylov::FtGmresOptions& opts) {
   krylov::FtGmresResult baseline;
   run_pinned([&] { baseline = krylov::ft_gmres(A, b, opts, nullptr); });
   return baseline;
@@ -264,8 +273,19 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   // identical to threads == 1: same points, same order, same doubles.
   // (nthreads-var is a per-region ICV: the pin dies with the region.)
 
+  // --- Execution backend: one assembly serves the baseline and every
+  // worker (each worker still gets its OWN thin operator so traffic
+  // counters stay per-worker).  Every backend is bitwise identical to
+  // csr per solve, so the determinism contract above is unaffected.
+  const std::shared_ptr<const krylov::MatrixBackend> backend =
+      cfg.backend ? cfg.backend
+                  : solver::backend_registry().make(cfg.backend_key, A);
+
   // --- Failure-free baseline: learns the injection-site count. ---
-  const krylov::FtGmresResult baseline = run_baseline(A, b, cfg.solver);
+  const std::unique_ptr<krylov::LinearOperator> baseline_op =
+      backend->make_operator(A);
+  const krylov::FtGmresResult baseline =
+      run_baseline(*baseline_op, b, cfg.solver);
   result.baseline_outer = baseline.outer_iterations;
   result.baseline_total_inner = baseline.total_inner_iterations;
   result.baseline_converged =
@@ -405,7 +425,9 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
     // mode): its internal nested workspace (per-instance slots + staging
     // blocks in batch mode) makes every solve after the worker's first
     // block allocation-free on the iteration path.
-    const krylov::CsrOperator op(A);
+    const std::unique_ptr<krylov::LinearOperator> op_ptr =
+        backend->make_operator(A);
+    const krylov::LinearOperator& op = *op_ptr;
     std::optional<solver::FtGmresSolver> ft;
     std::optional<solver::BatchedFtGmresSolver> ft_batch;
     la::Vector x;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "experiment/scenario_spec.hpp"
+#include "krylov/backend.hpp"
 #include "krylov/ft_gmres.hpp"
 #include "la/vector.hpp"
 #include "sdc/detector.hpp"
@@ -68,6 +69,21 @@ struct SweepConfig {
                                     ///< columns == SpMV).  1 = solo
                                     ///< solves; 0 is rejected by
                                     ///< validate_sweep_config.
+
+  // --- matrix execution backend ---
+  std::string backend_key = "csr";  ///< backend_registry() key used when
+                                    ///< `backend` below is null; every
+                                    ///< backend is bitwise identical to
+                                    ///< csr per solve, so the sweep
+                                    ///< determinism contract is
+                                    ///< backend-agnostic
+  std::shared_ptr<const krylov::MatrixBackend> backend; ///< pre-assembled
+                                    ///< backend (run_scenario and the
+                                    ///< service seam set this so one
+                                    ///< assembly serves the baseline and
+                                    ///< every worker -- it also survives
+                                    ///< the fork into shard workers);
+                                    ///< null = assemble from backend_key
 
   // --- resilience: checkpoint/resume and range restriction ---
   std::string journal;              ///< path of the sweep journal (JSONL,
@@ -197,6 +213,14 @@ void validate_sweep_config(const SweepConfig& config);
 /// Just the failure-free baseline (also used by examples).
 [[nodiscard]] krylov::FtGmresResult run_baseline(
     const sparse::CsrMatrix& A, const la::Vector& b,
+    const krylov::FtGmresOptions& opts);
+
+/// Baseline over an already-built operator (the backend-agnostic form:
+/// the sweep and shard drivers stream the configured backend here too,
+/// with the kernel pinned to one OpenMP thread exactly like the CSR
+/// overload).
+[[nodiscard]] krylov::FtGmresResult run_baseline(
+    const krylov::LinearOperator& A, const la::Vector& b,
     const krylov::FtGmresOptions& opts);
 
 } // namespace sdcgmres::experiment

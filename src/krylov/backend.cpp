@@ -1,0 +1,35 @@
+#include "krylov/backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sdcgmres::krylov {
+
+SellBackend::SellBackend(const sparse::CsrMatrix& A, std::size_t chunk,
+                         std::size_t sigma_chunks, std::string decision)
+    : sell_(A, chunk, sigma_chunks), decision_(std::move(decision)) {
+  std::ostringstream name;
+  name << "sell:" << chunk << ':' << sigma_chunks;
+  name_ = name.str();
+}
+
+std::size_t SellBackend::resident_bytes() const noexcept {
+  return sizeof(double) * sell_.values().size() +
+         sizeof(std::size_t) *
+             (sell_.col_idx().size() + sell_.chunk_ptr().size() +
+              sell_.slot_lengths().size() + sell_.perm().size() +
+              sell_.inv_perm().size());
+}
+
+std::unique_ptr<LinearOperator>
+SellBackend::make_operator(const sparse::CsrMatrix& A) const {
+  if (A.rows() != sell_.rows() || A.cols() != sell_.cols() ||
+      A.nnz() != sell_.nnz()) {
+    throw std::invalid_argument(
+        "SellBackend::make_operator: matrix shape differs from the matrix "
+        "this backend was assembled from");
+  }
+  return std::make_unique<SellOperator>(sell_);
+}
+
+} // namespace sdcgmres::krylov

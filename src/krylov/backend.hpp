@@ -1,0 +1,120 @@
+#pragma once
+/// \file backend.hpp
+/// \brief Pluggable matrix execution backends behind the operator seam.
+///
+/// A MatrixBackend is an assembled execution format for one CsrMatrix:
+/// it owns whatever derived structure the format needs (nothing for
+/// CSR, the SELL-C-sigma structure for SELL) and hands out the
+/// LinearOperator that streams it.  Backends are shared_ptr-shared so
+/// one assembly serves a whole sweep (every worker's operator points at
+/// the same immutable structure), survives a fork into shard workers,
+/// and can live in the service's ArtifactCache keyed by matrix+backend.
+///
+/// Construction goes through solver::backend_registry() (keys `csr`,
+/// `sell`, `sell:<C>[:<sigma>]`, `auto`), which is what the `backend=`
+/// scenario key resolves against; `auto` is the format autotuner, and
+/// its reasoning is recorded in decision() and surfaced in the report
+/// JSON.
+///
+/// Every backend's operator is bitwise identical to CsrOperator per
+/// output column at any thread count -- the acceptance contract that
+/// keeps sweeps, journals, and the service's byte-identity guarantees
+/// backend-agnostic.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "krylov/operator.hpp"
+#include "krylov/sell_operator.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sell.hpp"
+
+namespace sdcgmres::krylov {
+
+/// An assembled execution format for one matrix.
+class MatrixBackend {
+public:
+  virtual ~MatrixBackend() = default;
+
+  /// Normalized registry key of the assembled format ("csr",
+  /// "sell:8:1", ...).  Reported in the result JSON.
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// The autotuner's reasoning when this backend came from `auto`
+  /// (empty for explicit selections).
+  [[nodiscard]] virtual const std::string& decision() const noexcept = 0;
+
+  /// Bytes of derived structure this backend keeps resident (0 for CSR,
+  /// which streams the source matrix itself) -- what the artifact cache
+  /// charges.
+  [[nodiscard]] virtual std::size_t resident_bytes() const noexcept = 0;
+
+  /// The counting operator streaming this backend's format.  \p A must
+  /// be the matrix the backend was assembled from (same shape; SELL
+  /// verifies).  The operator holds references into the backend, which
+  /// must outlive it.
+  [[nodiscard]] virtual std::unique_ptr<LinearOperator>
+  make_operator(const sparse::CsrMatrix& A) const = 0;
+};
+
+/// The trivial backend: operators stream the source CSR matrix
+/// directly; nothing is assembled.
+class CsrBackend final : public MatrixBackend {
+public:
+  explicit CsrBackend(std::string decision = std::string())
+      : decision_(std::move(decision)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const std::string& decision() const noexcept override {
+    return decision_;
+  }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override {
+    return 0;
+  }
+  [[nodiscard]] std::unique_ptr<LinearOperator>
+  make_operator(const sparse::CsrMatrix& A) const override {
+    return std::make_unique<CsrOperator>(A);
+  }
+
+private:
+  std::string name_{"csr"};
+  std::string decision_;
+};
+
+/// The SELL-C-sigma backend: owns the converted structure; operators
+/// stream it.  name() is the normalized "sell:<C>:<sigma>" key.
+class SellBackend final : public MatrixBackend {
+public:
+  /// Converts \p A (see SellMatrix for geometry validation).
+  SellBackend(const sparse::CsrMatrix& A,
+              std::size_t chunk = sparse::SellMatrix::kDefaultChunk,
+              std::size_t sigma_chunks = sparse::SellMatrix::kDefaultSigmaChunks,
+              std::string decision = std::string());
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const std::string& decision() const noexcept override {
+    return decision_;
+  }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept override;
+  /// Throws std::invalid_argument when \p A's shape differs from the
+  /// assembly-time matrix (the backend would silently stream stale
+  /// structure otherwise).
+  [[nodiscard]] std::unique_ptr<LinearOperator>
+  make_operator(const sparse::CsrMatrix& A) const override;
+
+  [[nodiscard]] const sparse::SellMatrix& matrix() const noexcept {
+    return sell_;
+  }
+
+private:
+  sparse::SellMatrix sell_;
+  std::string name_;
+  std::string decision_;
+};
+
+} // namespace sdcgmres::krylov

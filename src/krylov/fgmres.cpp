@@ -108,6 +108,11 @@ bool FgmresEngine::start() {
   la::scal(1.0 / beta_, q.col(0));
 
   w_->qr.reset(opts_.max_outer, beta_);
+  if (opts_.rank_check_every_iteration) {
+    ice_.reset();
+    ice_.reserve(opts_.max_outer);
+    ice_col_.resize(opts_.max_outer);
+  }
   std::vector<double>& hcol = w_->arena.h_column();
   std::fill(hcol.begin(),
             hcol.begin() + static_cast<std::ptrdiff_t>(opts_.max_outer + 2),
@@ -172,11 +177,24 @@ bool FgmresEngine::advance() {
     result_.outer_iterations = base_iters_ + j + 1;
 
     // --- Rank-revealing bookkeeping (trichotomy, Section VI-C). ---
+    // Per-iteration monitoring is the O(k) incremental estimate over the
+    // just-appended R column; the exact SVD oracle runs only at
+    // subdiagonal breakdown, where a DECISION (rank-deficient vs happy
+    // breakdown) is made -- the estimator only upper-bounds the true
+    // ratio, so it must never certify full rank on its own.
     ratio = 1.0;
     subdiag_small = hnext <= opts_.breakdown_tol * beta_;
-    if (opts_.rank_check_every_iteration || subdiag_small) {
-      ratio = sigma_ratio(qr);
+    if (opts_.rank_check_every_iteration) {
+      const std::size_t k = qr.size();
+      for (std::size_t i = 0; i < k; ++i) ice_col_[i] = qr.r(i, k - 1);
+      ice_.update({ice_col_.data(), k});
+      ratio = ice_.ratio();
       ++result_.rank_checks;
+      result_.min_sigma_ratio = std::min(result_.min_sigma_ratio, ratio);
+    }
+    if (subdiag_small) {
+      ratio = sigma_ratio(qr);
+      if (!opts_.rank_check_every_iteration) ++result_.rank_checks;
       result_.min_sigma_ratio = std::min(result_.min_sigma_ratio, ratio);
     }
     rank_deficient = subdiag_small && ratio <= opts_.rank_tol;
@@ -184,6 +202,7 @@ bool FgmresEngine::advance() {
     if (!opts_.sanitize_preconditioner_output || attempt == 1) break;
     ++result_.sanitized_outputs;
     qr.pop_column();
+    if (opts_.rank_check_every_iteration) ice_.pop();
     la::copy(q.col(j), zbasis.col(j));
   }
   if (subdiag_small) {
@@ -310,6 +329,7 @@ bool FgmresEngine::restart_cycle() {
   q.append(r);
   la::scal(1.0 / beta_, q.col(0));
   qr.reset(opts_.max_outer, beta_);
+  if (opts_.rank_check_every_iteration) ice_.reset();
   std::vector<double>& hcol = w_->arena.h_column();
   std::fill(hcol.begin(),
             hcol.begin() + static_cast<std::ptrdiff_t>(opts_.max_outer + 2),

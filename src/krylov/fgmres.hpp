@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dense/condition.hpp"
 #include "dense/lsq_policies.hpp"
 #include "krylov/operator.hpp"
 #include "krylov/orthogonalize.hpp"
@@ -38,10 +39,15 @@ struct FgmresOptions {
                                  ///< the initial residual norm)
   double rank_tol = 1e-12;       ///< sigma_min/sigma_max threshold declaring
                                  ///< H rank-deficient
-  bool rank_check_every_iteration = true; ///< maintain the rank-revealing
-                                 ///< decomposition each iteration (paper
-                                 ///< Section VI-C); false checks only at
-                                 ///< breakdown
+  bool rank_check_every_iteration = true; ///< monitor the triangular
+                                 ///< factor's conditioning each iteration
+                                 ///< (paper Section VI-C) via O(k)
+                                 ///< incremental condition estimation
+                                 ///< (dense/condition.hpp); the exact SVD
+                                 ///< oracle still decides rank deficiency
+                                 ///< at breakdown, so solve outcomes do
+                                 ///< not depend on this flag's estimator.
+                                 ///< false monitors only at breakdown
   bool sanitize_preconditioner_output = true; ///< reliable-phase filter: a
                                  ///< z_j with Inf/NaN (a guest that ran
                                  ///< wild) is replaced by q_j, i.e. the
@@ -70,8 +76,13 @@ struct FgmresResult {
   double residual_norm = 0.0;   ///< explicit ||b - A*x|| at exit
   std::vector<double> residual_history; ///< estimate after each iteration
   std::size_t sanitized_outputs = 0;    ///< z_j replaced due to Inf/NaN
-  std::size_t rank_checks = 0;          ///< rank-revealing updates performed
-  double min_sigma_ratio = 1.0;         ///< smallest sigma_min/sigma_max seen
+  std::size_t rank_checks = 0;          ///< conditioning checks performed
+                                        ///< (incremental per iteration,
+                                        ///< exact SVD at breakdown)
+  double min_sigma_ratio = 1.0;         ///< smallest sigma_min/sigma_max
+                                        ///< seen (per-iteration values are
+                                        ///< the incremental estimator's
+                                        ///< upper bound of the true ratio)
   std::size_t outer_restarts = 0;       ///< recovery restarts (restart_cycle)
 };
 
@@ -178,6 +189,10 @@ private:
   std::chrono::steady_clock::time_point deadline_{};
   bool finished_ = false;
   FgmresResult result_;
+  /// O(k)/iteration conditioning monitor of the projected QR's R factor
+  /// (rank_check_every_iteration); reset with the factor on every cycle.
+  dense::IncrementalConditionEstimator ice_;
+  std::vector<double> ice_col_; ///< scratch: the newest R column
 };
 
 /// Solve A x = b with flexible preconditioner \p M, starting from \p x0.

@@ -140,10 +140,10 @@ template <typename S, typename I>
 FtGmresResult ft_gmres_mixed(const LinearOperator& A, const la::Vector& b,
                              const FtGmresOptions& opts,
                              ArnoldiHook* inner_hook, FtGmresWorkspace& w) {
-  MixedPlane<S, I>& plane = ensure_plane<S, I>(w.plane, A);
-  MixedInnerGmresT<S, I> inner(plane.op, opts.inner, inner_hook,
-                               opts.robust_first_inner,
-                               &inner_workspace_for<S>(w), opts.recovery);
+  MixedPlaneOf<S>& plane = ensure_plane<S, I>(w.plane, A);
+  MixedInnerGmresT<S> inner(plane.typed_op(), opts.inner, inner_hook,
+                            opts.robust_first_inner,
+                            &inner_workspace_for<S>(w), opts.recovery);
   return drive_solo(A, b, opts, inner, w);
 }
 

@@ -100,16 +100,16 @@ struct DoublePlaneFacade {
 /// the narrowed <S, I> mirror (one copy shared by the whole batch); a
 /// float plane stages through the dedicated float blocks, the
 /// (double, int32) plane reuses the double blocks bit-for-bit.
-template <typename S, typename I>
+template <typename S>
 struct MixedPlaneFacade {
   using Scalar = S;
-  using Precond = MixedInnerGmresT<S, I>;
+  using Precond = MixedInnerGmresT<S>;
 
-  MixedPlane<S, I>* plane;
+  MixedPlaneOf<S>* plane;
   FtGmresBatchWorkspace* w;
 
-  [[nodiscard]] const MixedCsrOperator<S, I>& inner_op() const noexcept {
-    return plane->op;
+  [[nodiscard]] const MixedOperatorT<S>& inner_op() const noexcept {
+    return plane->typed_op();
   }
   [[nodiscard]] la::BlockWorkspaceT<S>& directions() const noexcept {
     if constexpr (std::is_same_v<S, double>) {
@@ -127,7 +127,8 @@ struct MixedPlaneFacade {
   }
   [[nodiscard]] Precond make_precond(std::size_t i, const FtGmresOptions& opts,
                                      ArnoldiHook* hook) const {
-    return Precond(plane->op, opts.inner, hook, opts.robust_first_inner,
+    return Precond(plane->typed_op(), opts.inner, hook,
+                   opts.robust_first_inner,
                    &inner_workspace_for<S>(w->instances[i]), opts.recovery);
   }
 };
@@ -301,16 +302,16 @@ std::vector<FtGmresResult> ft_gmres_batch(
   // the default pair never builds a mirror and is the original driver.
   if (opts.precision == Precision::Float) {
     if (opts.index_width == IndexWidth::I32) {
-      MixedPlaneFacade<float, std::int32_t> plane{
+      MixedPlaneFacade<float> plane{
           &ensure_plane<float, std::int32_t>(w.plane, A), &w};
       return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
     }
-    MixedPlaneFacade<float, std::int64_t> plane{
+    MixedPlaneFacade<float> plane{
         &ensure_plane<float, std::int64_t>(w.plane, A), &w};
     return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
   }
   if (opts.index_width == IndexWidth::I32) {
-    MixedPlaneFacade<double, std::int32_t> plane{
+    MixedPlaneFacade<double> plane{
         &ensure_plane<double, std::int32_t>(w.plane, A), &w};
     return ft_gmres_batch_impl(A, plane, bs, opts, inner_hooks, w);
   }

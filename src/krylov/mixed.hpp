@@ -13,28 +13,30 @@
 ///
 /// The pieces:
 ///
-///   * MixedPlaneBase / MixedPlane<S, I>: a type-erased cache slot (held
-///     by FtGmresWorkspace / FtGmresBatchWorkspace) owning the narrowed
-///     CsrMatrixT<S, I> mirror and its traffic counters.  ensure_plane()
-///     builds it on first use and reuses it while the source matrix is
-///     unchanged, so repeated solves (the sweep) pay the narrowing once.
+///   * MixedPlane<S, I>: the CSR instantiation of the mixed-plane cache
+///     slot (the abstract seam -- MixedOperatorT / MixedPlaneBase /
+///     MixedPlaneOf -- lives in mixed_plane.hpp, and the SELL
+///     instantiation in sell_operator.hpp).  ensure_plane() builds the
+///     right instantiation for the OUTER operator's storage format on
+///     first use and reuses it while the source matrix is unchanged, so
+///     repeated solves (the sweep) pay the narrowing once.
 ///   * MixedCsrOperator<S, I>: the counting apply/apply_block seam of the
-///     narrowed matrix.  Deliberately NOT a LinearOperator (that seam is
-///     double); it reports the same OperatorStats vocabulary, with
-///     scalar_bytes/index_bytes computed at sizeof(S)/sizeof(I).
-///   * MixedInnerGmresT<S, I>: the mixed mirror of
+///     narrowed CSR matrix.  Deliberately NOT a LinearOperator (that
+///     seam is double); it reports the same OperatorStats vocabulary,
+///     with scalar_bytes/index_bytes computed at sizeof(S)/sizeof(I).
+///   * MixedInnerGmresT<S>: the mixed mirror of
 ///     InnerGmresPreconditioner -- same make_engine/finish_engine batch
 ///     seam, same records, same recovery turnover -- that down-converts
 ///     the outer residual column on entry and up-converts the inner
-///     correction on exit.  For S = double (the index=32 configuration)
-///     the staging copies are bitwise exact, so (double, int32) results
-///     are bit-identical to the default path: indices never enter the
-///     arithmetic.
+///     correction on exit.  It drives any MixedOperatorT<S>, so one
+///     instantiation serves every storage format and index width.  For
+///     S = double (the index=32 configuration) the staging copies are
+///     bitwise exact, so (double, int32) results are bit-identical to
+///     the default path: indices never enter the arithmetic.
 ///
 /// step_with_apply_t / drive_to_completion_t generalize the gmres.hpp
 /// drivers over any operator exposing apply(span<const S>, span<S>).
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <span>
@@ -44,8 +46,10 @@
 
 #include "krylov/ft_gmres.hpp"
 #include "krylov/gmres.hpp"
+#include "krylov/mixed_plane.hpp"
 #include "krylov/operator.hpp"
 #include "krylov/precision.hpp"
+#include "krylov/sell_operator.hpp"
 #include "krylov/workspace.hpp"
 #include "la/vector.hpp"
 #include "sparse/csr_mixed.hpp"
@@ -80,95 +84,50 @@ inner_workspace_for(FtGmresWorkspace& w) noexcept {
   }
 }
 
-/// Counting apply seam of the narrowed CSR mirror.  Same counters and
-/// stats vocabulary as LinearOperator (relaxed atomics, so a const
-/// operator shared by lockstep instances counts exactly), but typed on
-/// the plane's scalar, and NOT part of the LinearOperator hierarchy --
-/// nothing double-typed can be handed this operator by accident.
+/// Counting apply seam of the narrowed CSR mirror: the CSR instantiation
+/// of MixedOperatorT<S> (counting wrappers and stats live in the base;
+/// see mixed_plane.hpp).
 template <typename S, typename I>
-class MixedCsrOperator {
+class MixedCsrOperator final : public MixedOperatorT<S> {
 public:
   explicit MixedCsrOperator(const sparse::CsrMatrixT<S, I>& A) : a_(&A) {}
 
-  [[nodiscard]] std::size_t rows() const noexcept { return a_->rows(); }
-  [[nodiscard]] std::size_t cols() const noexcept { return a_->cols(); }
+  [[nodiscard]] std::size_t rows() const noexcept override {
+    return a_->rows();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept override {
+    return a_->cols();
+  }
 
-  /// y := A*x at the plane's precision (counted: one stream, one column).
-  void apply(std::span<const S> x, std::span<S> y) const {
-    apply_calls_.fetch_add(1, std::memory_order_relaxed);
-    scalar_bytes_.fetch_add(scalar_bytes_for(1), std::memory_order_relaxed);
-    index_bytes_.fetch_add(index_bytes_for(), std::memory_order_relaxed);
+protected:
+  void do_apply(std::span<const S> x, std::span<S> y) const override {
     a_->spmv(x, y);
   }
-
-  /// Y := A*X fused over the block (counted: one stream, X.cols()
-  /// columns).  Columns are bitwise identical to apply() per column --
-  /// the lockstep contract, unchanged at reduced precision.
-  void apply_block(const la::BasisViewT<S>& x, la::BlockViewT<S> y) const {
-    apply_block_calls_.fetch_add(1, std::memory_order_relaxed);
-    block_columns_.fetch_add(x.cols(), std::memory_order_relaxed);
-    scalar_bytes_.fetch_add(scalar_bytes_for(x.cols()),
-                            std::memory_order_relaxed);
-    index_bytes_.fetch_add(index_bytes_for(), std::memory_order_relaxed);
+  /// Columns are bitwise identical to apply() per column -- the lockstep
+  /// contract, unchanged at reduced precision.
+  void do_apply_block(const la::BasisViewT<S>& x,
+                      la::BlockViewT<S> y) const override {
     a_->spmm(x, y);
   }
-
-  [[nodiscard]] OperatorStats stats() const noexcept {
-    return {.apply_calls = apply_calls_.load(std::memory_order_relaxed),
-            .apply_block_calls =
-                apply_block_calls_.load(std::memory_order_relaxed),
-            .block_columns = block_columns_.load(std::memory_order_relaxed),
-            .scalar_bytes = scalar_bytes_.load(std::memory_order_relaxed),
-            .index_bytes = index_bytes_.load(std::memory_order_relaxed)};
-  }
-
-  void reset_stats() const noexcept {
-    apply_calls_.store(0, std::memory_order_relaxed);
-    apply_block_calls_.store(0, std::memory_order_relaxed);
-    block_columns_.store(0, std::memory_order_relaxed);
-    scalar_bytes_.store(0, std::memory_order_relaxed);
-    index_bytes_.store(0, std::memory_order_relaxed);
-  }
-
-private:
   /// One stream with C operand columns: values once + C operand and C
   /// result columns, all at sizeof(S).
-  [[nodiscard]] std::size_t scalar_bytes_for(std::size_t columns) const
-      noexcept {
+  [[nodiscard]] std::size_t
+  do_scalar_bytes(std::size_t columns) const noexcept override {
     return sizeof(S) * (a_->nnz() + columns * (a_->rows() + a_->cols()));
   }
   /// row_ptr (rows+1) + col_idx (nnz) at the compressed sizeof(I).
-  [[nodiscard]] std::size_t index_bytes_for() const noexcept {
+  [[nodiscard]] std::size_t do_index_bytes() const noexcept override {
     return sizeof(I) * (a_->nnz() + a_->rows() + 1);
   }
 
+private:
   const sparse::CsrMatrixT<S, I>* a_;
-  mutable std::atomic<std::size_t> apply_calls_{0};
-  mutable std::atomic<std::size_t> apply_block_calls_{0};
-  mutable std::atomic<std::size_t> block_columns_{0};
-  mutable std::atomic<std::size_t> scalar_bytes_{0};
-  mutable std::atomic<std::size_t> index_bytes_{0};
 };
 
-/// Type-erased cache slot for one narrowed mirror (see
-/// FtGmresWorkspace::plane).  stats() surfaces the mirror's traffic so
-/// solvers and the sweep can fold inner-plane bytes into their totals
-/// without knowing the instantiation.
-class MixedPlaneBase {
-public:
-  virtual ~MixedPlaneBase() = default;
-  /// Traffic counters of the mirror's apply seam.
-  [[nodiscard]] virtual OperatorStats stats() const noexcept = 0;
-  /// Zero the mirror's counters (between measured phases).
-  virtual void reset_stats() const noexcept = 0;
-  /// Identity of the source CsrMatrix the mirror was narrowed from.
-  [[nodiscard]] virtual const void* source() const noexcept = 0;
-};
-
-/// One (scalar, index) instantiation of the narrowed mirror: the
+/// One (scalar, index) instantiation of the narrowed CSR mirror: the
 /// compressed matrix copy plus its counting operator.
 template <typename S, typename I>
-class MixedPlane final : public MixedPlaneBase {
+class MixedPlane final : public MixedPlaneOf<S> {
 public:
   /// Narrows \p a (throws std::overflow_error when the shape overflows
   /// the index type I -- see CsrMatrixT).
@@ -180,6 +139,9 @@ public:
   }
   void reset_stats() const noexcept override { op.reset_stats(); }
   [[nodiscard]] const void* source() const noexcept override { return src_; }
+  [[nodiscard]] const MixedOperatorT<S>& typed_op() const noexcept override {
+    return op;
+  }
 
   sparse::CsrMatrixT<S, I> matrix;
   MixedCsrOperator<S, I> op;
@@ -189,28 +151,42 @@ private:
 };
 
 /// Fetch (building or reusing) the <S, I> mirror of \p A in the cache
-/// slot \p cache.  The mirror is rebuilt only when the slot holds a
-/// different instantiation or a different source matrix, so repeated
-/// solves through one workspace narrow once.  Throws
-/// std::invalid_argument when \p A is not CSR-backed: the mixed plane
-/// narrows a concrete matrix, not an abstract operator.
+/// slot \p cache, narrowing whatever storage format the outer operator
+/// streams: a CsrOperator gets a CsrMatrixT mirror, a SellOperator gets
+/// a SellMatrixT mirror of the same chunk geometry (so inner results
+/// stay bitwise identical across backends at every precision).  The
+/// mirror is rebuilt only when the slot holds a different instantiation
+/// or a different source matrix, so repeated solves through one
+/// workspace narrow once.  Throws std::invalid_argument when \p A is
+/// not matrix-backed: the mixed plane narrows a concrete matrix, not an
+/// abstract operator.
 template <typename S, typename I>
-[[nodiscard]] inline MixedPlane<S, I>&
+[[nodiscard]] inline MixedPlaneOf<S>&
 ensure_plane(std::shared_ptr<MixedPlaneBase>& cache,
              const LinearOperator& A) {
-  const auto* csr = dynamic_cast<const CsrOperator*>(&A);
-  if (csr == nullptr) {
-    throw std::invalid_argument(
-        "ft_gmres: mixed precision/index configurations require a "
-        "CSR-backed operator");
+  if (const auto* csr = dynamic_cast<const CsrOperator*>(&A);
+      csr != nullptr) {
+    if (auto* hit = dynamic_cast<MixedPlane<S, I>*>(cache.get());
+        hit != nullptr && hit->source() == &csr->matrix()) {
+      return *hit;
+    }
+    auto fresh = std::make_shared<MixedPlane<S, I>>(csr->matrix());
+    cache = fresh;
+    return *fresh;
   }
-  if (auto* hit = dynamic_cast<MixedPlane<S, I>*>(cache.get());
-      hit != nullptr && hit->source() == &csr->matrix()) {
-    return *hit;
+  if (const auto* sell = dynamic_cast<const SellOperator*>(&A);
+      sell != nullptr) {
+    if (auto* hit = dynamic_cast<SellMixedPlane<S, I>*>(cache.get());
+        hit != nullptr && hit->source() == &sell->matrix()) {
+      return *hit;
+    }
+    auto fresh = std::make_shared<SellMixedPlane<S, I>>(sell->matrix());
+    cache = fresh;
+    return *fresh;
   }
-  auto fresh = std::make_shared<MixedPlane<S, I>>(csr->matrix());
-  cache = fresh;
-  return *fresh;
+  throw std::invalid_argument(
+      "ft_gmres: mixed precision/index configurations require a "
+      "matrix-backed (csr/sell) operator");
 }
 
 /// One protocol step of an S-typed engine against any operator exposing
@@ -247,10 +223,10 @@ inline void drive_to_completion_t(const Op& A, GmresEngineT<S>& engine) {
 /// turnover as the double preconditioner, so the solo and lockstep
 /// drivers can never diverge from their reliable counterparts in
 /// bookkeeping.
-template <typename S, typename I>
+template <typename S>
 class MixedInnerGmresT {
 public:
-  MixedInnerGmresT(const MixedCsrOperator<S, I>& A, const GmresOptions& opts,
+  MixedInnerGmresT(const MixedOperatorT<S>& A, const GmresOptions& opts,
                    ArnoldiHook* hook = nullptr,
                    bool robust_first_solve = false,
                    KrylovWorkspaceT<S>* ws = nullptr,
@@ -365,7 +341,7 @@ private:
     return ws_ != nullptr ? *ws_ : fallback_ws_;
   }
 
-  const MixedCsrOperator<S, I>* a_;
+  const MixedOperatorT<S>* a_;
   GmresOptions opts_;
   ArnoldiHook* hook_;
   bool robust_first_solve_;

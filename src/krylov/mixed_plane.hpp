@@ -1,0 +1,131 @@
+#pragma once
+/// \file mixed_plane.hpp
+/// \brief Backend-agnostic seam of the mixed-precision inner data plane.
+///
+/// PR 7 introduced the narrowed inner plane with exactly one storage
+/// format behind it (the CSR mirror).  The multi-backend matrix plane
+/// needs the inner solves to stream whatever format the outer operator
+/// streams -- a SELL-backed solve must narrow the SELL structure, not
+/// secretly fall back to CSR -- so the typed apply seam is split out
+/// here as an abstract base, mirroring LinearOperator's design one
+/// level down:
+///
+///   * MixedOperatorT<S>: public NON-virtual counting wrappers
+///     (apply/apply_block) over protected virtual cores, with the byte
+///     hooks reporting each format's true stored widths.  Deliberately
+///     NOT a LinearOperator (that seam is double-typed).
+///   * MixedPlaneBase: the type-erased cache slot held by the solver
+///     workspaces (moved here from mixed.hpp).
+///   * MixedPlaneOf<S>: the scalar-typed layer between the two -- what
+///     ensure_plane() returns, so inner engines can be constructed
+///     against the plane's typed operator without knowing the format or
+///     index width.
+///
+/// Virtual dispatch changes no arithmetic: a MixedCsrOperator reached
+/// through MixedOperatorT<S> produces the same bits it always did.
+
+#include <atomic>
+#include <cstddef>
+
+#include "krylov/operator.hpp"
+#include "la/block.hpp"
+#include "la/krylov_basis.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Abstract counting apply seam of a narrowed matrix mirror, typed on
+/// the plane's scalar S.  Same counters and stats vocabulary as
+/// LinearOperator (relaxed atomics, so a const operator shared by
+/// lockstep instances counts exactly); scalar/index byte accounting is
+/// delegated to the format so padding and index compression are both
+/// reflected at their true stored widths.
+template <typename S>
+class MixedOperatorT {
+public:
+  virtual ~MixedOperatorT() = default;
+
+  [[nodiscard]] virtual std::size_t rows() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t cols() const noexcept = 0;
+
+  /// y := A*x at the plane's precision (counted: one stream, one column).
+  void apply(std::span<const S> x, std::span<S> y) const {
+    apply_calls_.fetch_add(1, std::memory_order_relaxed);
+    scalar_bytes_.fetch_add(do_scalar_bytes(1), std::memory_order_relaxed);
+    index_bytes_.fetch_add(do_index_bytes(), std::memory_order_relaxed);
+    do_apply(x, y);
+  }
+
+  /// Y := A*X fused over the block (counted: one stream, X.cols()
+  /// columns).  Columns must be bitwise identical to apply() per column
+  /// -- the lockstep contract, unchanged at reduced precision.
+  void apply_block(const la::BasisViewT<S>& x, la::BlockViewT<S> y) const {
+    apply_block_calls_.fetch_add(1, std::memory_order_relaxed);
+    block_columns_.fetch_add(x.cols(), std::memory_order_relaxed);
+    scalar_bytes_.fetch_add(do_scalar_bytes(x.cols()),
+                            std::memory_order_relaxed);
+    index_bytes_.fetch_add(do_index_bytes(), std::memory_order_relaxed);
+    do_apply_block(x, y);
+  }
+
+  [[nodiscard]] OperatorStats stats() const noexcept {
+    return {.apply_calls = apply_calls_.load(std::memory_order_relaxed),
+            .apply_block_calls =
+                apply_block_calls_.load(std::memory_order_relaxed),
+            .block_columns = block_columns_.load(std::memory_order_relaxed),
+            .scalar_bytes = scalar_bytes_.load(std::memory_order_relaxed),
+            .index_bytes = index_bytes_.load(std::memory_order_relaxed)};
+  }
+
+  void reset_stats() const noexcept {
+    apply_calls_.store(0, std::memory_order_relaxed);
+    apply_block_calls_.store(0, std::memory_order_relaxed);
+    block_columns_.store(0, std::memory_order_relaxed);
+    scalar_bytes_.store(0, std::memory_order_relaxed);
+    index_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+protected:
+  virtual void do_apply(std::span<const S> x, std::span<S> y) const = 0;
+  virtual void do_apply_block(const la::BasisViewT<S>& x,
+                              la::BlockViewT<S> y) const = 0;
+  /// Scalar bytes of one matrix stream with \p columns operand/result
+  /// columns, at the format's true stored widths (padding included).
+  [[nodiscard]] virtual std::size_t
+  do_scalar_bytes(std::size_t columns) const noexcept = 0;
+  /// Index bytes of one matrix stream at the compressed index width.
+  [[nodiscard]] virtual std::size_t do_index_bytes() const noexcept = 0;
+
+private:
+  mutable std::atomic<std::size_t> apply_calls_{0};
+  mutable std::atomic<std::size_t> apply_block_calls_{0};
+  mutable std::atomic<std::size_t> block_columns_{0};
+  mutable std::atomic<std::size_t> scalar_bytes_{0};
+  mutable std::atomic<std::size_t> index_bytes_{0};
+};
+
+/// Type-erased cache slot for one narrowed mirror (see
+/// FtGmresWorkspace::plane).  stats() surfaces the mirror's traffic so
+/// solvers and the sweep can fold inner-plane bytes into their totals
+/// without knowing the instantiation.
+class MixedPlaneBase {
+public:
+  virtual ~MixedPlaneBase() = default;
+  /// Traffic counters of the mirror's apply seam.
+  [[nodiscard]] virtual OperatorStats stats() const noexcept = 0;
+  /// Zero the mirror's counters (between measured phases).
+  virtual void reset_stats() const noexcept = 0;
+  /// Identity of the source matrix the mirror was narrowed from.
+  [[nodiscard]] virtual const void* source() const noexcept = 0;
+};
+
+/// The scalar-typed plane layer: what ensure_plane() hands back, so the
+/// caller can reach the typed counting operator without knowing the
+/// storage format or index width behind it.
+template <typename S>
+class MixedPlaneOf : public MixedPlaneBase {
+public:
+  /// The plane's S-typed counting operator.
+  [[nodiscard]] virtual const MixedOperatorT<S>& typed_op() const noexcept = 0;
+};
+
+} // namespace sdcgmres::krylov

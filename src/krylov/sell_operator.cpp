@@ -1,0 +1,17 @@
+#include "krylov/sell_operator.hpp"
+
+#include <stdexcept>
+
+namespace sdcgmres::krylov {
+
+void SellOperator::do_apply_block(const la::BasisView& x,
+                                  la::BlockView y) const {
+  if (x.rows() != a_->cols() || y.rows() != a_->rows() ||
+      x.cols() != y.cols()) {
+    throw std::invalid_argument("SellOperator::apply_block: shape mismatch");
+  }
+  if (x.cols() == 0) return; // nothing to do; data() may be null
+  a_->spmm(x.cols(), x.data(), x.ld(), y.data(), y.ld());
+}
+
+} // namespace sdcgmres::krylov

@@ -1,5 +1,6 @@
 #include "service/artifacts.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "solver/registry.hpp"
@@ -110,6 +111,60 @@ std::shared_ptr<const sparse::CsrMatrix> cached_transpose(
             problem.A.transposed());
         const std::size_t bytes = csr_bytes(*at);
         return {std::move(at), bytes};
+      });
+}
+
+std::shared_ptr<const krylov::MatrixBackend> cached_backend(
+    ArtifactCache& cache, const experiment::ScenarioSpec& spec,
+    const experiment::ScenarioProblem& problem) {
+  const std::string backend_key = spec.get("backend", "csr");
+  if (backend_key == "csr") {
+    // The csr backend holds no assembled state (it streams the cached
+    // problem's matrix directly), so caching it would only pin a
+    // zero-byte entry; build a fresh one.
+    return solver::backend_registry().make(backend_key, problem.A);
+  }
+  std::string key = "backend|" + backend_key;
+  append_keys(key, spec);
+  return cache.get<krylov::MatrixBackend>(
+      key,
+      [&backend_key, &problem]()
+          -> std::pair<std::shared_ptr<const krylov::MatrixBackend>,
+                       std::size_t> {
+        std::shared_ptr<const krylov::MatrixBackend> built =
+            solver::backend_registry().make(backend_key, problem.A);
+        const std::size_t bytes = built->resident_bytes();
+        return {std::move(built), bytes};
+      });
+}
+
+std::shared_ptr<const sparse::SellMatrixT<float, std::int32_t>>
+cached_sell_mirror32(ArtifactCache& cache,
+                     const experiment::ScenarioSpec& spec,
+                     const experiment::ScenarioProblem& problem) {
+  using Mirror = sparse::SellMatrixT<float, std::int32_t>;
+  // Reuse (or assemble) the spec's backend first -- OUTSIDE the cache
+  // builder below, since get_or_build holds the cache lock while the
+  // builder runs and a nested lookup would deadlock.
+  const std::shared_ptr<const krylov::MatrixBackend> backend =
+      cached_backend(cache, spec, problem);
+  const auto* sell = dynamic_cast<const krylov::SellBackend*>(backend.get());
+  if (sell == nullptr) {
+    throw std::invalid_argument(
+        "cached_sell_mirror32: spec backend '" + backend->name() +
+        "' did not assemble a SELL structure (use backend=sell[:C[:sigma]])");
+  }
+  std::string key = "sell_mirror32|" + backend->name();
+  append_keys(key, spec);
+  return cache.get<Mirror>(
+      key,
+      [backend, sell]()
+          -> std::pair<std::shared_ptr<const Mirror>, std::size_t> {
+        auto mirror = std::make_shared<const Mirror>(sell->matrix());
+        const std::size_t bytes =
+            mirror->stored() * sizeof(float) +
+            mirror->index_slots() * sizeof(std::int32_t);
+        return {std::move(mirror), bytes};
       });
 }
 

@@ -17,10 +17,12 @@
 
 #include "experiment/scenario.hpp"
 #include "experiment/scenario_spec.hpp"
+#include "krylov/backend.hpp"
 #include "krylov/precond.hpp"
 #include "service/cache.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/csr_mixed.hpp"
+#include "sparse/sell.hpp"
 
 namespace sdcgmres::service {
 
@@ -62,5 +64,23 @@ cached_preconditioner(ArtifactCache& cache,
     const sparse::CsrMatrixT<float, std::int32_t>>
 cached_mirror32(ArtifactCache& cache, const experiment::ScenarioSpec& spec,
                 const experiment::ScenarioProblem& problem);
+
+/// The spec's execution backend (`backend=` key), assembled once per
+/// matrix+backend and shared across jobs.  `csr` (the default) carries no
+/// assembled state and is returned uncached; `sell`/`auto` cache the
+/// sorted SELL structure at its resident footprint so the byte budget
+/// sees it.  The result feeds ScenarioSeams::backend.
+[[nodiscard]] std::shared_ptr<const krylov::MatrixBackend> cached_backend(
+    ArtifactCache& cache, const experiment::ScenarioSpec& spec,
+    const experiment::ScenarioProblem& problem);
+
+/// The float32/int32 narrowed SELL mirror of the spec's sell backend
+/// (what a backend=sell precision=float index=32 job's inner plane would
+/// stream); exercised by the service tests alongside cached_mirror32.
+[[nodiscard]] std::shared_ptr<
+    const sparse::SellMatrixT<float, std::int32_t>>
+cached_sell_mirror32(ArtifactCache& cache,
+                     const experiment::ScenarioSpec& spec,
+                     const experiment::ScenarioProblem& problem);
 
 } // namespace sdcgmres::service

@@ -250,6 +250,7 @@ void SweepScheduler::run_one(const std::string& id) {
     seams.problem = cached_problem(cache_, job.spec);
     seams.frobenius_norm =
         *cached_calibration(cache_, job.spec, *seams.problem);
+    seams.backend = cached_backend(cache_, job.spec, *seams.problem);
     if (!job.spec.get_bool("sweep", false)) {
       seams.precond = cached_preconditioner(cache_, job.spec, *seams.problem);
     }

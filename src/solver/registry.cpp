@@ -10,6 +10,7 @@
 #include "gen/random_sparse.hpp"
 #include "krylov/ilu0.hpp"
 #include "krylov/operator.hpp"
+#include "sparse/analysis.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/norms.hpp"
 
@@ -356,6 +357,119 @@ solver_registry() {
     return r;
   }();
   return *reg;
+}
+
+// ---------------------------------------------------------------------------
+// Execution backends
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse `sell`'s inline geometry argument "C[:sigma]" (both decimal
+/// integers, C in [1, 256], sigma >= 1).  Empty selects the defaults.
+std::pair<std::size_t, std::size_t> parse_sell_geometry(
+    const std::string& arg) {
+  std::size_t chunk = sparse::SellMatrix::kDefaultChunk;
+  std::size_t sigma = sparse::SellMatrix::kDefaultSigmaChunks;
+  if (!arg.empty()) {
+    const std::size_t colon = arg.find(':');
+    const std::string c_str = arg.substr(0, colon);
+    chunk = arg_size(c_str, "sell", 0);
+    if (colon != std::string::npos) {
+      sigma = arg_size(arg.substr(colon + 1), "sell", 0);
+    }
+  }
+  if (chunk == 0 || chunk > sparse::SellMatrix::kMaxChunk) {
+    throw std::invalid_argument(
+        "registry: 'sell' chunk height C must be in [1, 256] "
+        "(syntax: backend=sell:<C>[:<sigma>])");
+  }
+  if (sigma == 0) {
+    throw std::invalid_argument(
+        "registry: 'sell' sorting window sigma must be >= 1 chunk "
+        "(syntax: backend=sell:<C>[:<sigma>])");
+  }
+  return {chunk, sigma};
+}
+
+/// The autotuner rule behind `backend=auto`: SELL pays off when rows
+/// are wide enough to vectorize over (mean nnz/row) and regular enough
+/// that padding stays cheap; otherwise keep CSR.  The thresholds are
+/// deliberately simple and the full reasoning is recorded in the
+/// decision string the report JSON surfaces.
+constexpr double kAutoMinMeanRowLength = 4.0;
+constexpr double kAutoMaxPaddingRatio = 1.25;
+
+std::shared_ptr<const krylov::MatrixBackend>
+autotune_backend(const sparse::CsrMatrix& A) {
+  const sparse::RowLengthStats rls = sparse::row_length_stats(A);
+  const double padding = sparse::sell_padding_ratio(
+      A, sparse::SellMatrix::kDefaultChunk,
+      sparse::SellMatrix::kDefaultSigmaChunks);
+  const bool pick_sell =
+      rls.mean >= kAutoMinMeanRowLength && padding <= kAutoMaxPaddingRatio;
+  std::ostringstream why;
+  why.precision(3);
+  why << "auto: mean nnz/row " << rls.mean << ", row-length dispersion "
+      << rls.dispersion() << ", sell:" << sparse::SellMatrix::kDefaultChunk
+      << ':' << sparse::SellMatrix::kDefaultSigmaChunks << " padding "
+      << padding << "x -> ";
+  if (pick_sell) {
+    why << "sell";
+    return std::make_shared<krylov::SellBackend>(
+        A, sparse::SellMatrix::kDefaultChunk,
+        sparse::SellMatrix::kDefaultSigmaChunks, why.str());
+  }
+  why << "csr ("
+      << (rls.mean < kAutoMinMeanRowLength ? "rows too short to vectorize over"
+                                           : "padding overhead too high")
+      << ")";
+  return std::make_shared<krylov::CsrBackend>(why.str());
+}
+
+} // namespace
+
+Registry<std::shared_ptr<const krylov::MatrixBackend>(
+    const sparse::CsrMatrix&)>&
+backend_registry() {
+  static auto* reg = [] {
+    auto* r = new Registry<std::shared_ptr<const krylov::MatrixBackend>(
+        const sparse::CsrMatrix&)>("backend");
+    r->add("csr",
+           [](const std::string& arg, const sparse::CsrMatrix&)
+               -> std::shared_ptr<const krylov::MatrixBackend> {
+             no_arg(arg, "csr");
+             return std::make_shared<krylov::CsrBackend>();
+           });
+    r->add("sell",
+           [](const std::string& arg, const sparse::CsrMatrix& A)
+               -> std::shared_ptr<const krylov::MatrixBackend> {
+             const auto [chunk, sigma] = parse_sell_geometry(arg);
+             return std::make_shared<krylov::SellBackend>(A, chunk, sigma);
+           });
+    r->add("auto",
+           [](const std::string& arg, const sparse::CsrMatrix& A)
+               -> std::shared_ptr<const krylov::MatrixBackend> {
+             no_arg(arg, "auto");
+             return autotune_backend(A);
+           });
+    return r;
+  }();
+  return *reg;
+}
+
+void validate_backend_key(std::string_view key) {
+  backend_registry().require(key);
+  const std::string k(key);
+  const std::size_t colon = k.find(':');
+  const std::string name = k.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : k.substr(colon + 1);
+  if (name == "sell") {
+    (void)parse_sell_geometry(arg);
+  } else if (name == "csr" || name == "auto") {
+    no_arg(arg, name.c_str());
+  }
 }
 
 } // namespace sdcgmres::solver

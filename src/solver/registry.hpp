@@ -24,6 +24,7 @@
 ///                     set[:value] add[:offset] bitflip[:bit]
 ///   detectors:        none bound[:<recovery mode>]
 ///   recovery modes:   none record abort retry_reliable restart_outer
+///   backends:         csr sell[:<C>[:<sigma>]] auto
 
 #include <functional>
 #include <map>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "experiment/scenario_spec.hpp"
+#include "krylov/backend.hpp"
 #include "krylov/precond.hpp"
 #include "sdc/detector.hpp"
 #include "sdc/fault_model.hpp"
@@ -66,18 +68,21 @@ public:
     return map_.find(split(key).first) != map_.end();
   }
 
+  /// Validate the (pre-colon) name of \p key without invoking a factory:
+  /// throws the same unknown-key std::invalid_argument make() would.
+  /// For spec validation paths that do not yet hold the factory's fixed
+  /// arguments (e.g. `backend=` names checked before the matrix exists).
+  void require(std::string_view key) const {
+    const auto [name, arg] = split(key);
+    if (map_.find(name) == map_.end()) throw_unknown(name);
+  }
+
   /// Construct the entry named by \p key.  Throws std::invalid_argument
   /// listing the registered keys when the name is unknown.
   [[nodiscard]] R make(std::string_view key, Args... args) const {
     const auto [name, arg] = split(key);
     const auto it = map_.find(name);
-    if (it == map_.end()) {
-      std::ostringstream msg;
-      msg << "unknown " << what_ << " '" << name << "'; available " << what_
-          << "s:";
-      for (const auto& [k, f] : map_) msg << ' ' << k;
-      throw std::invalid_argument(msg.str());
-    }
+    if (it == map_.end()) throw_unknown(name);
     return it->second(arg, args...);
   }
 
@@ -90,6 +95,14 @@ public:
   }
 
 private:
+  [[noreturn]] void throw_unknown(const std::string& name) const {
+    std::ostringstream msg;
+    msg << "unknown " << what_ << " '" << name << "'; available " << what_
+        << "s:";
+    for (const auto& [k, f] : map_) msg << ' ' << k;
+    throw std::invalid_argument(msg.str());
+  }
+
   [[nodiscard]] static std::pair<std::string, std::string>
   split(std::string_view key) {
     const std::size_t colon = key.find(':');
@@ -151,5 +164,23 @@ recovery_registry();
 /// Solver adapters over the façade (solver/solver.hpp).
 [[nodiscard]] Registry<std::unique_ptr<IterativeSolver>(const SolverContext&)>&
 solver_registry();
+
+/// Matrix execution backends (the `backend=` scenario key): `csr` (the
+/// default, streams the source matrix), `sell[:<C>[:<sigma>]]`
+/// (SELL-C-sigma with chunk height C, default 8, and a sorting window
+/// of sigma chunks, default 1), and `auto` (the format autotuner: picks
+/// csr or sell from row-length statistics and records its reasoning in
+/// MatrixBackend::decision()).  Factories assemble the backend for the
+/// given matrix; assembly is shared via shared_ptr so one structure
+/// serves a whole sweep and the service cache.
+[[nodiscard]] Registry<std::shared_ptr<const krylov::MatrixBackend>(
+    const sparse::CsrMatrix&)>&
+backend_registry();
+
+/// Fully validate a `backend=` key WITHOUT a matrix: unknown names
+/// throw the registry's key-listing error, and sell geometry arguments
+/// are parsed (so `sell:0` or `sell:x` fail at spec-validation time,
+/// before any assembly or solve work).
+void validate_backend_key(std::string_view key);
 
 } // namespace sdcgmres::solver

@@ -106,4 +106,52 @@ bool probe_positive_definite(const CsrMatrix& A, std::size_t trials,
   return true;
 }
 
+RowLengthStats row_length_stats(const CsrMatrix& A) {
+  RowLengthStats s;
+  const std::size_t n = A.rows();
+  if (n == 0) return s;
+  const std::vector<std::size_t>& rp = A.row_ptr();
+  s.min = rp[1] - rp[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = rp[i + 1] - rp[i];
+    s.min = std::min(s.min, len);
+    s.max = std::max(s.max, len);
+  }
+  s.mean = static_cast<double>(A.nnz()) / static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(rp[i + 1] - rp[i]) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(n));
+  return s;
+}
+
+double sell_padding_ratio(const CsrMatrix& A, std::size_t chunk,
+                          std::size_t sigma_chunks) {
+  if (A.nnz() == 0) return 1.0;
+  const std::size_t n = A.rows();
+  const std::vector<std::size_t>& rp = A.row_ptr();
+  std::vector<std::size_t> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) lengths[i] = rp[i + 1] - rp[i];
+  // Mirror SellMatrix's construction: descending sort inside windows of
+  // sigma_chunks*chunk rows, then each chunk pays chunk * (its longest
+  // slot) entry slots.
+  const std::size_t window = chunk * sigma_chunks;
+  for (std::size_t w0 = 0; w0 < n; w0 += window) {
+    const std::size_t w1 = std::min(n, w0 + window);
+    std::sort(lengths.begin() + static_cast<std::ptrdiff_t>(w0),
+              lengths.begin() + static_cast<std::ptrdiff_t>(w1),
+              std::greater<>());
+  }
+  // Each chunk stores (longest slot) * chunk entry slots -- the full
+  // chunk height even when the last chunk is ragged, exactly as
+  // SellMatrix allocates.
+  std::size_t padded = 0;
+  for (std::size_t c0 = 0; c0 < n; c0 += chunk) {
+    padded += lengths[c0] * chunk;
+  }
+  return static_cast<double>(padded) / static_cast<double>(A.nnz());
+}
+
 } // namespace sdcgmres::sparse

@@ -54,4 +54,28 @@ struct MatrixProperties {
                                            std::size_t trials = 16,
                                            unsigned seed = 0x5DCu);
 
+/// Row-length distribution summary: the structural inputs of the
+/// execution-backend autotuner (`backend=auto`).
+struct RowLengthStats {
+  std::size_t min = 0;  ///< shortest row (0 for an empty matrix)
+  std::size_t max = 0;  ///< longest row
+  double mean = 0.0;    ///< nnz / rows
+  double stddev = 0.0;  ///< population standard deviation of row lengths
+  /// Coefficient of variation (stddev/mean): the dispersion measure the
+  /// autotuner reports; 0 for uniform rows or an empty matrix.
+  [[nodiscard]] double dispersion() const noexcept {
+    return mean > 0.0 ? stddev / mean : 0.0;
+  }
+};
+
+/// One pass over row_ptr.
+[[nodiscard]] RowLengthStats row_length_stats(const CsrMatrix& A);
+
+/// Storage overhead SELL-C-sigma would pay for A: (padded entry slots) /
+/// nnz, simulated from the row lengths alone -- the windowed descending
+/// sort and per-chunk padding of sparse::SellMatrix without building
+/// anything (O(rows log rows)).  Returns 1.0 for an empty matrix.
+[[nodiscard]] double sell_padding_ratio(const CsrMatrix& A, std::size_t chunk,
+                                        std::size_t sigma_chunks);
+
 } // namespace sdcgmres::sparse

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -188,4 +189,68 @@ TEST(ArtifactCacheArtifacts, TightBudgetEvictsProblemsButJobsStillRun) {
   const service::CacheStats stats = cache.stats();
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_LE(stats.bytes, stats.byte_budget);
+}
+
+TEST(ArtifactCacheArtifacts, SellBackendIsCachedCsrIsNot) {
+  service::ArtifactCache cache(64u << 20);
+  const auto sell_spec = sdcgmres::experiment::ScenarioSpec::parse(
+      "matrix=poisson n=10 backend=sell:4:1");
+  const auto problem = service::cached_problem(cache, sell_spec);
+  const auto before = cache.stats();
+
+  const auto b1 = service::cached_backend(cache, sell_spec, *problem);
+  const auto b2 = service::cached_backend(cache, sell_spec, *problem);
+  ASSERT_NE(b1, nullptr);
+  EXPECT_EQ(b1.get(), b2.get()) << "SELL assembly must be shared";
+  EXPECT_EQ(b1->name(), "sell:4:1");
+  EXPECT_EQ(cache.stats().hits, before.hits + 1)
+      << "the second lookup is a cache hit";
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+  EXPECT_GT(b1->resident_bytes(), 0u);
+
+  // CSR carries no assembled state: it bypasses the cache entirely.
+  const auto csr_spec =
+      sdcgmres::experiment::ScenarioSpec::parse("matrix=poisson n=10");
+  const auto counters = cache.stats();
+  const auto c1 = service::cached_backend(cache, csr_spec, *problem);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->name(), "csr");
+  EXPECT_EQ(cache.stats().hits, counters.hits);
+  EXPECT_EQ(cache.stats().misses, counters.misses);
+  EXPECT_EQ(cache.stats().entries, counters.entries);
+}
+
+TEST(ArtifactCacheArtifacts, BackendKeyedByGeometryAndMatrix) {
+  service::ArtifactCache cache(64u << 20);
+  const auto spec_a = sdcgmres::experiment::ScenarioSpec::parse(
+      "matrix=poisson n=10 backend=sell:4:1");
+  const auto spec_b = sdcgmres::experiment::ScenarioSpec::parse(
+      "matrix=poisson n=10 backend=sell:8:1");
+  const auto spec_c = sdcgmres::experiment::ScenarioSpec::parse(
+      "matrix=poisson n=11 backend=sell:4:1");
+  const auto pa = service::cached_problem(cache, spec_a);
+  const auto pc = service::cached_problem(cache, spec_c);
+  const auto ba = service::cached_backend(cache, spec_a, *pa);
+  const auto bb = service::cached_backend(cache, spec_b, *pa);
+  const auto bc = service::cached_backend(cache, spec_c, *pc);
+  EXPECT_NE(ba.get(), bb.get()) << "different geometry, different entry";
+  EXPECT_NE(ba.get(), bc.get()) << "different matrix, different entry";
+}
+
+TEST(ArtifactCacheArtifacts, SellMirror32SharedAndCsrSpecThrows) {
+  service::ArtifactCache cache(64u << 20);
+  const auto spec = sdcgmres::experiment::ScenarioSpec::parse(
+      "matrix=poisson n=10 backend=sell");
+  const auto problem = service::cached_problem(cache, spec);
+  const auto m1 = service::cached_sell_mirror32(cache, spec, *problem);
+  const auto m2 = service::cached_sell_mirror32(cache, spec, *problem);
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m1.get(), m2.get());
+  EXPECT_EQ(m1->rows(), problem->A.rows());
+
+  const auto csr_spec =
+      sdcgmres::experiment::ScenarioSpec::parse("matrix=poisson n=10");
+  EXPECT_THROW(
+      (void)service::cached_sell_mirror32(cache, csr_spec, *problem),
+      std::invalid_argument);
 }

@@ -324,3 +324,27 @@ TEST(SweepScheduler, StatusTracksTheSpoolStates) {
   EXPECT_NE(rendered.find("\"bytes_streamed\""), std::string::npos);
   scheduler.stop();
 }
+
+TEST(SweepScheduler, BackendJobsFlowThroughTheCachedAssembly) {
+  // A backend=sell job must emit exactly the bytes a direct run emits,
+  // and a repeat submission must hit the cached SELL assembly.
+  service::SweepScheduler scheduler(quick_options(fresh_root("backend")));
+  scheduler.start();
+  const std::string spec =
+      std::string(kSweepSpec) + " backend=sell threads=2 batch=4";
+  const std::string first = scheduler.submit(spec + "\n");
+  const std::string second = scheduler.submit(spec + "\n");
+  ASSERT_TRUE(wait_for([&] {
+    return scheduler.status(second).state == service::JobStatus::State::Done;
+  }));
+  std::string got_first, got_second;
+  ASSERT_TRUE(scheduler.read_result(first, &got_first));
+  ASSERT_TRUE(scheduler.read_result(second, &got_second));
+  EXPECT_EQ(got_first, direct_json(spec));
+  EXPECT_EQ(got_second, got_first);
+  EXPECT_NE(got_first.find("\"backend\": \"sell:8:1\""), std::string::npos)
+      << got_first.substr(0, 400);
+  EXPECT_GT(scheduler.stats().cache.hits, 0u)
+      << "the second job must reuse the first job's SELL assembly";
+  scheduler.stop();
+}
