@@ -96,6 +96,18 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
       run_timed(A, b, config, 1, batch, batched_serial);
   const double t_batched = run_timed(A, b, config, threads, batch, batched);
 
+  // s-step leg: the same sweep with the inner solves staging s=4 matrix
+  // powers per block (2 global reductions per block instead of ~2 per
+  // column).  The iterates differ from the classical path -- the point of
+  // this leg is the synchronization axis: baseline_global_syncs and the
+  // per-sweep total drop by >= 2x while the outer-iteration penalty stays
+  // within the paper's budget.
+  experiment::SweepConfig sstep_config = config;
+  sstep_config.solver.inner.s_step = 4;
+  experiment::SweepResult sstep_serial;
+  const double t_sstep_serial = run_timed(A, b, sstep_config, 1, 1,
+                                          sstep_serial);
+
   // Mixed-plane legs.  (double, int32) compresses the inner solves' CSR
   // indices without touching arithmetic, so its points must be bitwise
   // identical to the default legs; (float, int32) halves the scalar
@@ -257,6 +269,27 @@ int sweep_timing(const sparse::CsrMatrix& A, const la::Vector& b,
        << "    \"float_failed_runs\": " << f32_serial.failed_runs() << ",\n"
        << "    \"float_max_outer_increase\": "
        << f32_serial.max_outer_increase() << "\n  },\n"
+       // Global-reduction accounting (the s-step axis): counts are
+       // deterministic, so the serial numbers speak for every mode.
+       << "  \"syncs\": {\n"
+       << "    \"baseline_global_syncs\": " << serial.baseline_global_syncs
+       << ",\n"
+       << "    \"total_global_syncs\": " << serial.total_global_syncs()
+       << ",\n"
+       << "    \"sstep\": " << sstep_config.solver.inner.s_step << ",\n"
+       << "    \"sstep_seconds\": " << t_sstep_serial << ",\n"
+       << "    \"sstep_baseline_global_syncs\": "
+       << sstep_serial.baseline_global_syncs << ",\n"
+       << "    \"sstep_total_global_syncs\": "
+       << sstep_serial.total_global_syncs() << ",\n"
+       << "    \"sstep_baseline_outer\": " << sstep_serial.baseline_outer
+       << ",\n"
+       << "    \"sync_reduction\": "
+       << (sstep_serial.total_global_syncs() > 0
+               ? static_cast<double>(serial.total_global_syncs()) /
+                     static_cast<double>(sstep_serial.total_global_syncs())
+               : 0.0)
+       << "\n  },\n"
        // Guard trips and recovery activity (serial leg; identical in every
        // mode).  This trace runs no detector and no guards, so nonzero
        // counters here flag a determinism bug, not a slow machine.

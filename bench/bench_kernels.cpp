@@ -36,7 +36,9 @@
 #include "krylov/gmres.hpp"
 #include "krylov/orthogonalize.hpp"
 #include "la/blas1.hpp"
+#include "la/block.hpp"
 #include "la/krylov_basis.hpp"
+#include "la/tsqr.hpp"
 #include "sdc/detector.hpp"
 
 using namespace sdcgmres;
@@ -267,6 +269,67 @@ double time_ms(Fn&& fn, int inner, int reps) {
   return best;
 }
 
+/// TSQR vs sequential CGS2 orthonormalization of one n x s candidate
+/// block -- the s-step commit kernel against the column-at-a-time
+/// alternative.  Wall-clock is secondary on a 1-core container; the
+/// headline column is the global-reduction count: CGS2 pays 3 per column
+/// (two projection sweeps + the norm) where TSQR pays ONE per block.
+struct BlockOrthoResult {
+  std::size_t s;
+  double cgs2_ms;
+  double tsqr_ms;
+  double speedup;
+  std::size_t cgs2_syncs;
+  std::size_t tsqr_syncs;
+};
+
+BlockOrthoResult run_tsqr_comparison(std::size_t n, std::size_t s, int reps) {
+  // Deterministic, well-conditioned candidate block.
+  la::BlockWorkspace source;
+  source.reserve(n, s);
+  for (std::size_t j = 0; j < s; ++j) {
+    const std::span<double> c = source.view(s).col(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = std::sin(0.9 * static_cast<double>(i) +
+                      1.3 * static_cast<double>(j)) +
+             0.05;
+    }
+  }
+  const int inner = std::max(1, static_cast<int>(20'000'000 / (n * s + 1)) + 2);
+
+  la::KrylovBasis basis(n, s);
+  la::Vector v(n);
+  std::vector<double> h(s, 0.0);
+  const double cgs2_ms = time_ms(
+      [&] {
+        basis.clear();
+        for (std::size_t j = 0; j < s; ++j) {
+          const std::span<const double> src = source.view(s).col(j);
+          std::memcpy(v.data(), src.data(), n * sizeof(double));
+          krylov::orthogonalize(krylov::Orthogonalization::CGS2, basis, j, v,
+                                h, nullptr, {});
+          la::scal(1.0 / la::nrm2(v), v);
+          basis.append(v);
+        }
+      },
+      inner, reps);
+
+  la::BlockWorkspace work;
+  work.reserve(n, s);
+  std::vector<double> r(s * s, 0.0);
+  const double tsqr_ms = time_ms(
+      [&] {
+        for (std::size_t j = 0; j < s; ++j) {
+          std::memcpy(work.view(s).col(j).data(),
+                      source.view(s).col(j).data(), n * sizeof(double));
+        }
+        la::tsqr(work.view(s), r.data(), s);
+      },
+      inner, reps);
+
+  return {s, cgs2_ms, tsqr_ms, cgs2_ms / tsqr_ms, 3 * s, 1};
+}
+
 int run_ortho_comparison(std::size_t n, std::size_t k, int reps,
                          const std::string& json_path) {
   const OrthoFixture fix(n, k);
@@ -298,6 +361,12 @@ int run_ortho_comparison(std::size_t n, std::size_t k, int reps,
     results.push_back({name, old_ms, new_ms, old_ms / new_ms});
   }
 
+  // s-step commit kernel: TSQR vs sequential CGS2 on one n x s block.
+  std::vector<BlockOrthoResult> tsqr_results;
+  for (const std::size_t s : {2u, 4u, 8u}) {
+    tsqr_results.push_back(run_tsqr_comparison(n, s, reps));
+  }
+
   std::ostream* out = &std::cout;
   std::ofstream file;
   if (!json_path.empty()) {
@@ -310,6 +379,9 @@ int run_ortho_comparison(std::size_t n, std::size_t k, int reps,
   }
   *out << "{\n"
        << "  \"benchmark\": \"orthogonalization_fused_vs_per_vector\",\n"
+       << "  \"note\": \"measured on a single core: tsqr_vs_cgs2 wall-clock "
+          "reflects flops only; the *_global_syncs columns carry the "
+          "communication story (1 reduction per block vs 3 per column)\",\n"
        << "  \"n\": " << n << ",\n"
        << "  \"k\": " << k << ",\n"
        << "  \"inner_iterations\": " << inner << ",\n"
@@ -322,12 +394,27 @@ int run_ortho_comparison(std::size_t n, std::size_t k, int reps,
          << ", \"speedup\": " << r.speedup << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  *out << "  ],\n"
+       << "  \"tsqr_vs_cgs2\": [\n";
+  for (std::size_t i = 0; i < tsqr_results.size(); ++i) {
+    const BlockOrthoResult& r = tsqr_results[i];
+    *out << "    {\"s\": " << r.s << ", \"cgs2_ms\": " << r.cgs2_ms
+         << ", \"tsqr_ms\": " << r.tsqr_ms << ", \"speedup\": " << r.speedup
+         << ", \"cgs2_global_syncs\": " << r.cgs2_syncs
+         << ", \"tsqr_global_syncs\": " << r.tsqr_syncs << "}"
+         << (i + 1 < tsqr_results.size() ? "," : "") << "\n";
+  }
   *out << "  ]\n}\n";
 
   for (const OrthoResult& r : results) {
     std::cerr << "ortho " << r.kind << ": per-vector " << r.per_vector_ms
               << " ms, fused " << r.fused_ms << " ms, speedup " << r.speedup
               << "x\n";
+  }
+  for (const BlockOrthoResult& r : tsqr_results) {
+    std::cerr << "block ortho s=" << r.s << ": cgs2 " << r.cgs2_ms
+              << " ms (" << r.cgs2_syncs << " syncs), tsqr " << r.tsqr_ms
+              << " ms (" << r.tsqr_syncs << " sync)\n";
   }
   return 0;
 }

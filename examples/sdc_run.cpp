@@ -149,7 +149,8 @@ int main(int argc, char** argv) {
       std::cout << result.solver_name << ": "
                 << solver::to_string(result.report.status) << " in "
                 << result.report.iterations << " iterations, residual "
-                << result.report.residual_norm << "\n";
+                << result.report.residual_norm << ", global syncs "
+                << result.report.global_syncs << "\n";
       if (result.report.total_inner_iterations > 0) {
         std::cout << "inner iterations: "
                   << result.report.total_inner_iterations << "\n";
@@ -194,7 +195,8 @@ int main(int argc, char** argv) {
       identical =
           reference.points == result.sweep.points &&
           reference.baseline_outer == result.sweep.baseline_outer &&
-          reference.baseline_total_inner == result.sweep.baseline_total_inner;
+          reference.baseline_total_inner == result.sweep.baseline_total_inner &&
+          reference.baseline_global_syncs == result.sweep.baseline_global_syncs;
       std::cout << "identical_results (threads=" << spec.get("threads", "1")
                 << " batch=" << spec.get("batch", "1") << " workers="
                 << spec.get("workers", "1")

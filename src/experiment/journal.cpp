@@ -96,6 +96,7 @@ std::string format_point(std::size_t index, const SweepPoint& p) {
   put_u64(line, "inner_diverged", p.inner_diverged);
   put_u64(line, "retries", p.reliable_retries);
   put_u64(line, "restarts", p.outer_restarts);
+  put_u64(line, "syncs", p.global_syncs);
   put_u64(line, "residual_bits", double_bits(p.residual_norm));
   line += "}\n";
   return line;
@@ -209,6 +210,9 @@ bool parse_point(const std::string& line, std::size_t& index, SweepPoint& p) {
   p.reliable_retries = static_cast<std::size_t>(u);
   if (!get_u64(line, "restarts", u)) return false;
   p.outer_restarts = static_cast<std::size_t>(u);
+  // "syncs" arrived with header version 2; leave a version-1 point's count
+  // at zero so the header mismatch (not a parse error) reports the problem.
+  if (get_u64(line, "syncs", u)) p.global_syncs = static_cast<std::size_t>(u);
   if (!get_u64(line, "residual_bits", u)) return false;
   p.residual_norm = bits_double(u);
   return true;

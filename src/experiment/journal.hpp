@@ -36,7 +36,8 @@ namespace sdcgmres::experiment {
 /// refuses a mismatch (a journal of some other sweep would silently
 /// poison the merged result).
 struct SweepJournalHeader {
-  std::size_t version = 1;
+  std::size_t version = 2; ///< 2 added the per-point "syncs" field; a
+                           ///< version-1 journal is a different sweep
   std::size_t baseline_outer = 0;
   std::size_t baseline_total_inner = 0;
   bool baseline_converged = false;

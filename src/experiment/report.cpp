@@ -189,6 +189,13 @@ void write_sweep_json(std::ostream& out, const ScenarioResult& r,
       << "  \"operand_columns\": " << r.sweep.operator_stats.columns() << ",\n"
       << "  \"inner_operand_columns\": " << r.sweep.inner_operand_columns()
       << ",\n"
+      // Global reductions: the synchronization axis of the s-step mode.
+      // Per-solve counts are mode-independent (same at any threads/batch);
+      // the baseline figure is the failure-free per-solve reference to
+      // compare across s= settings.
+      << "  \"baseline_global_syncs\": " << r.sweep.baseline_global_syncs
+      << ",\n"
+      << "  \"global_syncs\": " << r.sweep.total_global_syncs() << ",\n"
       // Bytes actually streamed for those passes, split scalar (matrix
       // values + operand/result columns) vs index (row_ptr + col_idx),
       // each at the executing plane's own width -- this is where a
@@ -233,6 +240,7 @@ void write_solve_json(std::ostream& out, const ScenarioResult& r) {
   }
   out << "  \"status\": \"" << solver::to_string(r.report.status) << "\",\n"
       << "  \"iterations\": " << r.report.iterations << ",\n"
+      << "  \"global_syncs\": " << r.report.global_syncs << ",\n"
       << "  \"residual\": " << json_number(r.report.residual_norm) << ",\n"
       << "  \"injected\": " << (r.injected ? "true" : "false") << ",\n"
       << "  \"detected\": " << (r.detected ? "true" : "false") << ",\n"

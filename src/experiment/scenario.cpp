@@ -52,6 +52,25 @@ krylov::Orthogonalization parse_ortho(const ScenarioSpec& spec,
   bad_choice(std::string(key).c_str(), name, "mgs cgs cgs2");
 }
 
+sdc::InjectionTarget parse_fault_target(const ScenarioSpec& spec,
+                                        std::size_t s_step) {
+  const std::string name = spec.get("fault_target", "coefficient");
+  if (name == "coefficient") return sdc::InjectionTarget::ProjectionCoefficient;
+  if (name == "subdiagonal") return sdc::InjectionTarget::SubdiagonalNorm;
+  if (name == "matvec") return sdc::InjectionTarget::MatvecElement;
+  if (name == "powers") {
+    if (s_step < 2) {
+      throw std::invalid_argument(
+          "scenario: fault_target=powers corrupts a staged matrix power, "
+          "which only exists in the s-step mode; set s=<block size> with "
+          "s >= 2 (got s=" +
+          std::to_string(s_step) + ")");
+    }
+    return sdc::InjectionTarget::PowerElement;
+  }
+  bad_choice("fault_target", name, "coefficient subdiagonal matvec powers");
+}
+
 } // namespace
 
 void validate_scenario_keys(const ScenarioSpec& spec) {
@@ -64,9 +83,10 @@ void validate_scenario_keys(const ScenarioSpec& spec) {
       // solver options
       "tol", "max_iters", "restart", "ortho", "lsq", "inner", "inner_tol",
       "inner_ortho", "robust_first_inner", "precision", "index", "backend",
+      "s",
       // fault + detector + recovery
-      "fault", "position", "site", "detector", "bound", "response",
-      "recovery",
+      "fault", "fault_target", "element", "position", "site", "detector",
+      "bound", "response", "recovery",
       // solve guards
       "deadline", "divergence",
       // sweep
@@ -142,6 +162,12 @@ solver::Options solver_options_from_spec(const ScenarioSpec& spec) {
       bad_choice("index", index, "32 64");
     }
   }
+  opts.s_step = sweep_size_key(
+      spec, "s", 1,
+      "the s-step block size ranges over s >= 1 (1 = the classical "
+      "bitwise-identical path; the solver additionally requires s <= the "
+      "restart cycle length, and only gmres/ft_gmres/ft_gmres_batch have "
+      "an s-step path)");
   opts.deadline_seconds = spec.get_double("deadline", 0.0);
   if (opts.deadline_seconds < 0.0) {
     throw std::invalid_argument(
@@ -253,6 +279,8 @@ SweepConfig sweep_config_from_spec(const ScenarioSpec& spec,
         "meaningless (drop sweep=1 for a failure-free solve)");
   }
   config.model = solver::fault_model_registry().make(fault, spec);
+  config.target = parse_fault_target(spec, config.solver.inner.s_step);
+  config.element_index = spec.get_size("element", 0);
 
   std::size_t coefficient_index = 0;
   config.position = position_from_spec(spec, coefficient_index);
@@ -403,12 +431,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   // nested solvers' recovery mode (options.recovery).
   std::unique_ptr<sdc::FaultCampaign> campaign;
   const std::string fault = spec.get("fault", "none");
+  if (fault == "none" && spec.has("fault_target")) {
+    throw std::invalid_argument(
+        "scenario: fault_target=" + spec.get("fault_target") +
+        " names what a fault corrupts, but fault=none plans no fault; "
+        "pick a fault class (or drop the fault_target key)");
+  }
   if (fault != "none") {
     std::size_t coefficient_index = 0;
     sdc::InjectionPlan plan;
+    plan.target = parse_fault_target(spec, options.s_step);
     plan.position = position_from_spec(spec, coefficient_index);
     plan.coefficient_index = coefficient_index;
     plan.aggregate_iteration = spec.get_size("site", 0);
+    plan.element_index = spec.get_size("element", 0);
     plan.model = solver::fault_model_registry().make(fault, spec);
     campaign = std::make_unique<sdc::FaultCampaign>(plan);
   }

@@ -20,6 +20,11 @@
 ///   precond    none|jacobi|ilu0|neumann[:degree]    (default none)
 ///   neumann_degree neumann_omega                    preconditioner params
 ///   tol max_iters restart ortho lsq                 solver options
+///   s          s-step block size of the GMRES Arnoldi loop (default 1 =
+///              classical, bitwise identical; s>=2 stages s matrix powers
+///              per block and pays ONE block projection + ONE TSQR, so
+///              global reductions drop ~s/2x; gmres applies it directly,
+///              the ft_gmres family to its unreliable inner solves)
 ///   inner inner_tol inner_ortho robust_first_inner  nested solver options
 ///   backend    csr|sell[:<C>[:<sigma>]]|auto -- matrix execution backend
 ///              (default csr; sell = SELL-C-sigma storage, bitwise
@@ -27,6 +32,11 @@
 ///              and records its decision in the result JSON)
 ///   fault      none|class1|class2|class3|scale[:f]|set[:v]|add[:v]|
 ///              bitflip[:b]                          (default none)
+///   fault_target  coefficient|subdiagonal|matvec|powers -- which value
+///              the fault corrupts (default coefficient, the paper's
+///              h(i,j) site; powers hits one element of a staged matrix
+///              power and needs the s-step mode, s>=2)
+///   element    element index for fault_target=matvec|powers (default 0)
 ///   position   first|last|index:<i>                 (default first)
 ///   site       aggregate inner iteration of the single planned fault
 ///              (single-solve mode; default 0)

@@ -126,6 +126,7 @@ SweepResult run_sharded_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
   result.baseline_converged =
       baseline.status == krylov::SolveStatus::Converged ||
       baseline.status == krylov::SolveStatus::HappyBreakdown;
+  result.baseline_global_syncs = baseline.global_syncs;
 
   std::size_t last_site = result.baseline_total_inner;
   if (config.site_limit > 0) last_site = std::min(last_site, config.site_limit);
@@ -139,7 +140,7 @@ SweepResult run_sharded_sweep(const sparse::CsrMatrix& A, const la::Vector& b,
   result.points.resize(n_points);
 
   const SweepJournalHeader header{
-      .version = 1,
+      .version = 2,
       .baseline_outer = result.baseline_outer,
       .baseline_total_inner = result.baseline_total_inner,
       .baseline_converged = result.baseline_converged,

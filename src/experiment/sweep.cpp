@@ -84,6 +84,12 @@ std::size_t SweepResult::restarted_outer() const {
   return total;
 }
 
+std::size_t SweepResult::total_global_syncs() const {
+  std::size_t total = 0;
+  for (const SweepPoint& p : points) total += p.global_syncs;
+  return total;
+}
+
 namespace {
 
 /// Run \p fn inside a 1-thread OpenMP region with kernel threading pinned
@@ -150,7 +156,21 @@ SweepPoint make_sweep_point(const solver::SolveReport& run, std::size_t site,
   }
   point.reliable_retries = run.reliable_retries;
   point.outer_restarts = run.outer_restarts;
+  point.global_syncs = run.global_syncs;
   return point;
+}
+
+/// The per-site injection plan: the paper's Hessenberg fault by default,
+/// or the fault_target= axis (subdiagonal / matvec / powers) at the same
+/// aggregate-iteration site vocabulary.
+sdc::InjectionPlan sweep_plan(const SweepConfig& config, std::size_t site) {
+  sdc::InjectionPlan plan;
+  plan.target = config.target;
+  plan.position = config.position;
+  plan.aggregate_iteration = site;
+  plan.element_index = config.element_index;
+  plan.model = config.model;
+  return plan;
 }
 
 /// One faulty solve at one injection site, run through the unified
@@ -161,8 +181,7 @@ SweepPoint make_sweep_point(const solver::SolveReport& run, std::size_t site,
 SweepPoint run_site(solver::FtGmresSolver& ft, const la::Vector& b,
                     const SweepConfig& config, std::size_t site,
                     la::Vector& x) {
-  sdc::FaultCampaign campaign(
-      sdc::InjectionPlan::hessenberg(site, config.position, config.model));
+  sdc::FaultCampaign campaign(sweep_plan(config, site));
   std::unique_ptr<sdc::HessenbergBoundDetector> detector;
   krylov::HookChain chain;
   chain.add(&campaign);
@@ -202,8 +221,7 @@ void run_block(solver::BatchedFtGmresSolver& ft, const la::Vector& b,
   std::vector<std::span<double>> xspans(count);
   for (std::size_t s = 0; s < count; ++s) {
     const std::size_t site = point_indices[s] * config.stride;
-    campaigns.emplace_back(
-        sdc::InjectionPlan::hessenberg(site, config.position, config.model));
+    campaigns.emplace_back(sweep_plan(config, site));
     chains[s].add(&campaigns.back());
     if (config.with_detector) {
       detectors[s] = std::make_unique<sdc::HessenbergBoundDetector>(
@@ -244,6 +262,13 @@ void validate_sweep_config(const SweepConfig& config) {
     throw std::invalid_argument(
         "run_injection_sweep: inner.max_iters == 0 admits no injection "
         "sites (the site axis counts inner Arnoldi iterations)");
+  }
+  if (config.target == sdc::InjectionTarget::PowerElement &&
+      config.solver.inner.s_step < 2) {
+    throw std::invalid_argument(
+        "run_injection_sweep: fault_target=powers corrupts a staged matrix "
+        "power, which only exists in the s-step inner mode; set s >= 2 "
+        "(valid range: 2..restart cycle length)");
   }
 }
 
@@ -291,6 +316,7 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   result.baseline_converged =
       baseline.status == krylov::SolveStatus::Converged ||
       baseline.status == krylov::SolveStatus::HappyBreakdown;
+  result.baseline_global_syncs = baseline.global_syncs;
 
   // --- One faulty solve per (sampled) injection site. ---
   std::size_t last_site = result.baseline_total_inner;
@@ -313,7 +339,7 @@ SweepResult run_injection_sweep(const sparse::CsrMatrix& A,
   // sweep's measured shape -- resuming some OTHER sweep's journal would
   // silently poison the merged result.
   const SweepJournalHeader header{
-      .version = 1,
+      .version = 2,
       .baseline_outer = result.baseline_outer,
       .baseline_total_inner = result.baseline_total_inner,
       .baseline_converged = result.baseline_converged,

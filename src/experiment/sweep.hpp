@@ -29,6 +29,13 @@ struct SweepConfig {
   krylov::FtGmresOptions solver;    ///< nested solver configuration
   sdc::MgsPosition position = sdc::MgsPosition::First; ///< MGS step faulted
   sdc::FaultModel model = sdc::FaultModel::scale(1e150); ///< fault class
+  sdc::InjectionTarget target =
+      sdc::InjectionTarget::ProjectionCoefficient; ///< faulted value (the
+                                    ///< fault_target= key; PowerElement
+                                    ///< needs the s-step inner mode,
+                                    ///< solver.inner.s_step >= 2)
+  std::size_t element_index = 0;    ///< element for the matvec/powers
+                                    ///< targets (element= key)
   std::size_t stride = 1;           ///< sample every stride-th site (1 =
                                     ///< every site, the paper's protocol)
   std::size_t site_limit = 0;       ///< only sweep sites < site_limit
@@ -139,6 +146,12 @@ struct SweepPoint {
                           ///< (recovery retry_reliable)
   std::size_t outer_restarts = 0;   ///< outer cycles restarted (recovery
                           ///< restart_outer)
+  std::size_t global_syncs = 0; ///< global reductions the run consumed
+                          ///< (outer + every inner solve) -- like
+                          ///< inner_applies a property of the per-instance
+                          ///< operation sequence, identical at every
+                          ///< threads/batch setting; the s-step inner mode
+                          ///< (s= key) is what shrinks it
 
   bool operator==(const SweepPoint&) const = default;
 };
@@ -148,6 +161,10 @@ struct SweepResult {
   std::size_t baseline_outer = 0;        ///< failure-free outer iterations
   std::size_t baseline_total_inner = 0;  ///< number of injectable sites
   bool baseline_converged = false;
+  std::size_t baseline_global_syncs = 0; ///< failure-free global reductions
+                                         ///< (the s-step speedup reference:
+                                         ///< compare per-solve syncs across
+                                         ///< s= settings at fixed problem)
   std::vector<SweepPoint> points;
 
   /// Measured operator traffic of the per-site solves (baseline
@@ -163,6 +180,10 @@ struct SweepResult {
   /// unreliable inner solves (mode-independent; at the paper's inner=25
   /// this is ~25/26 of columns()).
   [[nodiscard]] std::size_t inner_operand_columns() const;
+
+  /// Sum of the points' global_syncs (mode-independent, like
+  /// inner_operand_columns).
+  [[nodiscard]] std::size_t total_global_syncs() const;
 
   /// Largest outer-iteration increase over the baseline (0 when all runs
   /// match the failure-free count).

@@ -33,7 +33,7 @@ ArnoldiResult arnoldi(const LinearOperator& A, const la::Vector& v0,
     const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
     if (hook != nullptr) hook->on_iteration_begin(ctx);
     A.apply(out.q.col(j), v);
-    if (hook != nullptr) hook->on_matvec_result(ctx, v);
+    if (hook != nullptr) hook->on_matvec_result(ctx, v.span());
     orthogonalize(ortho, out.q, j + 1, v, hcol, hook, ctx);
     for (std::size_t i = 0; i <= j; ++i) out.h(i, j) = hcol[i];
     double hnext = la::nrm2(v);

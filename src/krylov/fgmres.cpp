@@ -73,6 +73,7 @@ bool FgmresEngine::past_deadline() const {
 }
 
 bool FgmresEngine::start() {
+  ++result_.global_syncs; // ||b||
   bnorm_ = la::nrm2(b_);
   abs_target_ = opts_.tol * (bnorm_ > 0.0 ? bnorm_ : 1.0);
   w_->arena.reserve(n_, opts_.max_outer);
@@ -86,6 +87,7 @@ bool FgmresEngine::start() {
   la::Vector& r = w_->arena.scratch(0);
   a_->apply(x0_.span(), r.span());
   la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+  ++result_.global_syncs; // beta = ||r||
   beta_ = la::nrm2(r);
   beta0_ = beta_;
   result_.residual_norm = beta_;
@@ -130,6 +132,9 @@ FgmresEngine::PrecondRequest FgmresEngine::begin_iteration() {
 std::span<const double> FgmresEngine::direction() {
   // --- Reliable phase resumes: sanitize before the direction is used.
   std::span<double> zcol = w_->arena.directions().col(j_);
+  if (opts_.sanitize_preconditioner_output) {
+    ++result_.global_syncs; // finiteness/zero screen of z_j
+  }
   if (opts_.sanitize_preconditioner_output &&
       (!la::all_finite(std::span<const double>(zcol)) ||
        la::nrm2(std::span<const double>(zcol)) == 0.0)) {
@@ -170,7 +175,13 @@ bool FgmresEngine::advance() {
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (attempt > 0) a_->apply(zbasis.col(j), v.span());
     const ArnoldiContext ctx{.solve_index = 0, .iteration = j};
+    switch (opts_.ortho) {
+      case Orthogonalization::MGS: result_.global_syncs += j + 1; break;
+      case Orthogonalization::CGS: result_.global_syncs += 1; break;
+      case Orthogonalization::CGS2: result_.global_syncs += 2; break;
+    }
     orthogonalize(opts_.ortho, q, j + 1, v, hcol, nullptr, ctx);
+    ++result_.global_syncs; // h(j+1,j) = ||v||
     hnext = la::nrm2(v);
     hcol[j + 1] = hnext;
     est = qr.add_column({hcol.data(), j + 2});
@@ -210,6 +221,7 @@ bool FgmresEngine::advance() {
     form_iterate(x0_, zbasis, qr, opts_, result_.x);
     a_->apply(result_.x.span(), r.span());
     la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    ++result_.global_syncs; // explicit ||b - A*x||
     result_.residual_norm = la::nrm2(r);
     if (rank_deficient) {
       // Saad's Proposition 2.2 case: loud failure, never a wrong answer.
@@ -237,6 +249,7 @@ bool FgmresEngine::advance() {
     }
     a_->apply(result_.x.span(), r.span());
     la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    ++result_.global_syncs; // explicit ||b - A*x||
     result_.residual_norm = la::nrm2(r);
     if (result_.residual_norm <= abs_target_) {
       result_.status = SolveStatus::Converged;
@@ -255,6 +268,7 @@ bool FgmresEngine::advance() {
     form_iterate(x0_, zbasis, qr, opts_, result_.x);
     a_->apply(result_.x.span(), r.span());
     la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    ++result_.global_syncs; // explicit ||b - A*x||
     result_.residual_norm = la::nrm2(r);
     result_.status = result_.residual_norm <= abs_target_
                          ? SolveStatus::Converged
@@ -269,6 +283,7 @@ bool FgmresEngine::advance() {
     form_iterate(x0_, zbasis, qr, opts_, result_.x);
     a_->apply(result_.x.span(), r.span());
     la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+    ++result_.global_syncs; // explicit ||b - A*x||
     result_.residual_norm = la::nrm2(r);
     result_.status = result_.residual_norm <= abs_target_
                          ? SolveStatus::Converged
@@ -300,6 +315,7 @@ bool FgmresEngine::restart_cycle() {
   x0_ = result_.x;
   a_->apply(x0_.span(), r.span());
   la::waxpby(1.0, b_, -1.0, r.span(), r.span());
+  ++result_.global_syncs; // explicit restart residual
   beta_ = la::nrm2(r);
   result_.residual_norm = beta_;
 

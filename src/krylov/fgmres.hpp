@@ -84,6 +84,11 @@ struct FgmresResult {
                                         ///< the incremental estimator's
                                         ///< upper bound of the true ratio)
   std::size_t outer_restarts = 0;       ///< recovery restarts (restart_cycle)
+  std::size_t global_syncs = 0;         ///< global reductions the OUTER
+                                        ///< iteration consumed (norms +
+                                        ///< orthogonalization passes; the
+                                        ///< inner solves count their own,
+                                        ///< see GmresStats::global_syncs)
 };
 
 /// Step-driveable FGMRES: the single implementation behind both the

@@ -32,6 +32,7 @@ GmresEngine InnerGmresPreconditioner::make_engine(std::span<const double> q,
   retrying_ = false;
   pending_retry_iters_ = 0;
   pending_retry_applies_ = 0;
+  pending_retry_syncs_ = 0;
   std::fill(z.begin(), z.end(), 0.0);
   return GmresEngine(*a_, q, z, options_for(outer_index), hook_, outer_index,
                      workspace(), /*residual_history=*/nullptr);
@@ -44,6 +45,7 @@ GmresEngine InnerGmresPreconditioner::make_reliable_retry(
   // re-inject and no detector can re-abort -- the recompute is reliable.
   pending_retry_iters_ = aborted.stats().iterations;
   pending_retry_applies_ = aborted.stats().operator_applies;
+  pending_retry_syncs_ = aborted.stats().global_syncs;
   retrying_ = true;
   std::fill(cur_z_.begin(), cur_z_.end(), 0.0);
   return GmresEngine(*a_, cur_q_, cur_z_, options_for(cur_outer_),
@@ -59,6 +61,7 @@ void InnerGmresPreconditioner::finish_engine(const GmresEngine& engine) {
                        .operator_applies =
                            pending_retry_applies_ + inner.operator_applies,
                        .residual_norm = inner.residual_norm};
+  rec.global_syncs = pending_retry_syncs_ + inner.global_syncs;
   rec.reliable_retries = retrying_ ? 1 : 0;
   rec.triggered_outer_restart =
       recovery_ == InnerRecovery::RestartOuter &&
@@ -67,6 +70,7 @@ void InnerGmresPreconditioner::finish_engine(const GmresEngine& engine) {
   retrying_ = false;
   pending_retry_iters_ = 0;
   pending_retry_applies_ = 0;
+  pending_retry_syncs_ = 0;
 }
 
 void InnerGmresPreconditioner::apply(std::span<const double> q,
@@ -97,10 +101,12 @@ FtGmresResult detail::make_ft_gmres_result(
   result.inner_solves = std::move(inner_solves);
   result.sanitized_outputs = outer.sanitized_outputs;
   result.outer_restarts = outer.outer_restarts;
+  result.global_syncs = outer.global_syncs;
   for (const InnerSolveRecord& rec : result.inner_solves) {
     result.total_inner_iterations += rec.iterations;
     result.total_inner_applies += rec.operator_applies;
     result.reliable_retries += rec.reliable_retries;
+    result.global_syncs += rec.global_syncs;
   }
   return result;
 }

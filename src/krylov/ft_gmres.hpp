@@ -100,6 +100,9 @@ struct InnerSolveRecord {
   bool triggered_outer_restart = false; ///< this inner solve's detector
                               ///< abort triggered an outer-cycle restart
                               ///< (recovery RestartOuter)
+  std::size_t global_syncs = 0; ///< global reductions this inner solve
+                              ///< consumed (both attempts when a reliable
+                              ///< retry ran); see GmresStats::global_syncs
 };
 
 /// Result of an FT-GMRES solve.
@@ -119,6 +122,12 @@ struct FtGmresResult {
                                      ///< (recovery RetryReliable)
   std::size_t outer_restarts = 0;    ///< outer cycles restarted (recovery
                                      ///< RestartOuter)
+  std::size_t global_syncs = 0;      ///< global reductions the whole nested
+                                     ///< solve consumed: the outer
+                                     ///< iteration's own plus every inner
+                                     ///< solve's.  The s-step inner mode
+                                     ///< (GmresOptions::s_step) shrinks the
+                                     ///< inner share by ~s/2x.
 };
 
 /// Inner GMRES exposed as a flexible preconditioner: each application
@@ -227,6 +236,7 @@ private:
   std::size_t cur_outer_ = 0;
   std::size_t pending_retry_iters_ = 0;
   std::size_t pending_retry_applies_ = 0;
+  std::size_t pending_retry_syncs_ = 0;
   bool retrying_ = false;
 };
 

@@ -41,9 +41,17 @@ void step_inner_block(const Op& A, std::vector<GmresEngineT<S>>& inners,
     return;
   }
 
+  // Each engine's product target is BOUND to its staging column for this
+  // step, so apply_block's output lands exactly where start_cycle/advance
+  // read it -- no per-column unpack copy.  Same values at a different
+  // address, hence bitwise identical to the copying driver.  The binding
+  // is per-step: column indices shift as engines drop out, so every round
+  // re-binds before the fused product and unbinds right after its step.
   const la::BlockViewT<S> zblock = directions.view(cols);
+  const la::BlockViewT<S> vblock = products.view(cols);
   for (std::size_t s = 0; s < cols; ++s) {
     GmresEngineT<S>& engine = inners[live[s]];
+    engine.bind_product_target(vblock.col(s));
     if (engine.awaiting_residual()) {
       la::copy(engine.residual_operand(), zblock.col(s));
     } else {
@@ -51,21 +59,18 @@ void step_inner_block(const Op& A, std::vector<GmresEngineT<S>>& inners,
       la::copy(engine.direction(), zblock.col(s));
     }
   }
-  const la::BlockViewT<S> vblock = products.view(cols);
   A.apply_block(zblock.as_basis_view(), vblock);
 
   still_live.clear();
   for (std::size_t s = 0; s < cols; ++s) {
     GmresEngineT<S>& engine = inners[live[s]];
-    const std::span<const S> product(vblock.col(s));
     bool done = false;
     if (engine.awaiting_residual()) {
-      la::copy(product, engine.residual_target());
       done = engine.start_cycle();
     } else {
-      la::copy(product, engine.v_target());
       done = engine.advance();
     }
+    engine.unbind_product_target();
     if (done) done = !on_done(live[s]);
     if (!done) still_live.push_back(live[s]);
   }

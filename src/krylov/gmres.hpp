@@ -53,6 +53,16 @@ struct GmresOptions {
                                  ///< In FT-GMRES this bounds how long a
                                  ///< pathologically corrupted inner solve
                                  ///< can churn on garbage.
+  std::size_t s_step = 1;        ///< s-step (communication-avoiding) mode:
+                                 ///< stage s matrix powers per block, then
+                                 ///< commit them with ONE block projection
+                                 ///< and ONE TSQR (2 global reductions per
+                                 ///< s columns instead of ~2 per column).
+                                 ///< 1 = the classical one-vector-at-a-time
+                                 ///< path, bitwise identical to pre-s-step
+                                 ///< builds.  Must be in 1..restart-cycle
+                                 ///< length and is incompatible with
+                                 ///< right_precond (validated up front).
 };
 
 /// Result of a GMRES solve.
@@ -64,6 +74,8 @@ struct GmresResult {
   std::vector<double> residual_history; ///< estimate after each iteration
   std::size_t lsq_effective_rank = 0;   ///< rank used by the final update
   bool lsq_fallback_triggered = false;  ///< policy-2 fallback fired
+  std::size_t global_syncs = 0;         ///< global reductions consumed (see
+                                        ///< GmresStats::global_syncs)
 };
 
 /// Statistics of an in-place GMRES solve (everything in GmresResult except
@@ -80,6 +92,17 @@ struct GmresStats {
                                     ///< solo SpMVs or fused SpMM columns
   std::size_t lsq_effective_rank = 0;
   bool lsq_fallback_triggered = false;
+  std::size_t global_syncs = 0; ///< global reductions the solve consumed:
+                                ///< every norm and every (blocked) inner-
+                                ///< product pass that would be an
+                                ///< all-reduce on a distributed machine.
+                                ///< MGS counts one per basis column, CGS
+                                ///< one per pass; the s-step block commit
+                                ///< counts exactly two (projection + TSQR)
+                                ///< per s columns.  This is the metric the
+                                ///< communication-avoiding mode improves,
+                                ///< measurable even where wall-clock is
+                                ///< flat (1-core containers).
 };
 
 /// Step-driveable GMRES: the single implementation behind gmres(),
@@ -212,6 +235,24 @@ public:
     return solve_index_;
   }
 
+  /// Lockstep-driver optimization: point residual_target()/v_target()
+  /// directly at \p target (a column of the driver's shared staging
+  /// BlockWorkspace) so the fused apply_block writes the product where
+  /// the engine consumes it, eliminating the per-column unpack copy.
+  /// The binding is transient -- the driver re-binds before every step
+  /// (column indices shift as instances finish) and must unbind after.
+  /// Values are read from the bound span exactly where the unbound path
+  /// reads its own scratch, so results are bitwise identical.
+  void bind_product_target(std::span<S> target) noexcept {
+    ext_target_ = target;
+    ext_bound_ = true;
+  }
+  /// Drop the external product-target binding (see bind_product_target).
+  void unbind_product_target() noexcept {
+    ext_target_ = {};
+    ext_bound_ = false;
+  }
+
   /// Accumulated statistics (final once finished()).
   [[nodiscard]] const GmresStats& stats() const noexcept { return stats_; }
 
@@ -221,6 +262,17 @@ private:
   /// finish the solve or turn over into the next cycle's residual phase.
   bool finish_cycle(bool aborted, bool breakdown, bool converged,
                     bool diverged, bool qr_pop_pending);
+
+  /// s-step mode: consume one staged matrix power (hook events, stage
+  /// bookkeeping); triggers commit_block() after the block's last power.
+  bool advance_staged();
+
+  /// s-step mode: turn the staged powers into committed basis columns --
+  /// one block projection against the existing basis (1 reduction), one
+  /// TSQR over the projected block (1 reduction), then per-column
+  /// Hessenberg recovery with the same hook/termination protocol as the
+  /// one-vector path.
+  bool commit_block();
 
   std::span<const S> b_;
   std::span<S> x_;
@@ -237,6 +289,24 @@ private:
   bool awaiting_residual_ = true;
   bool finished_ = false;
   GmresStats stats_;
+  // --- s-step staging state (opts_.s_step > 1 only) ---
+  std::size_t s_ = 1;           ///< opts_.s_step (validated)
+  std::size_t stage_count_ = 0; ///< powers in the current block; 0 = not
+                                ///< staging
+  std::size_t stage_idx_ = 0;   ///< next power within the block
+  std::size_t block_j0_ = 0;    ///< committed columns when the block began
+  std::vector<double> hmat_;    ///< committed (possibly hook-mutated)
+                                ///< Hessenberg columns of this cycle,
+                                ///< column-major, ld = cycle_len_+1; the
+                                ///< block recovery recursion reads them
+                                ///< back, so corruption propagates into
+                                ///< later columns as it does on the
+                                ///< one-vector path
+  std::vector<S> cs_, rs_;      ///< projection coeffs / TSQR R (scalar S)
+  std::vector<double> cmat_, rmat_, hraw_; ///< widened recovery buffers
+  // --- lockstep product-target binding (see bind_product_target) ---
+  std::span<S> ext_target_;
+  bool ext_bound_ = false;
   // Hook adapters for the float instantiation: double mirrors handed to
   // the double-typed hook protocol (unused, and empty, for S = double).
   la::Vector hook_vec_;

@@ -56,9 +56,30 @@ public:
 
   /// The candidate basis vector v = A*q_j has been computed, before
   /// orthogonalization.  May mutate \p v (models faults in the matvec).
-  virtual void on_matvec_result(const ArnoldiContext& ctx, la::Vector& v) {
+  /// \p v is a span so the solvers can hand out arena columns directly
+  /// (in s-step mode the candidate lives in the staging block, not in an
+  /// owning vector).
+  virtual void on_matvec_result(const ArnoldiContext& ctx,
+                                std::span<double> v) {
     (void)ctx;
     (void)v;
+  }
+
+  /// s-step mode only: power \p power_index (0-based; 0 is A*q_j, 1 is
+  /// A^2*q_j, ...) of a matrix-powers block of \p block_size powers has
+  /// been staged in \p power.  Fires after on_matvec_result of the same
+  /// protocol step.  May mutate \p power -- a fault here corrupts the
+  /// staged basis BEFORE the block orthogonalization, so it propagates
+  /// into every later column of the block (the `fault_target=powers`
+  /// scenario axis).  Never fires on the one-vector-at-a-time path.
+  virtual void on_power_computed(const ArnoldiContext& ctx,
+                                 std::size_t power_index,
+                                 std::size_t block_size,
+                                 std::span<double> power) {
+    (void)ctx;
+    (void)power_index;
+    (void)block_size;
+    (void)power;
   }
 
   /// Projection coefficient h(i, j) has been computed by the dot product
@@ -116,8 +137,16 @@ public:
   void on_iteration_begin(const ArnoldiContext& ctx) override {
     for (ArnoldiHook* h : hooks_) h->on_iteration_begin(ctx);
   }
-  void on_matvec_result(const ArnoldiContext& ctx, la::Vector& v) override {
+  void on_matvec_result(const ArnoldiContext& ctx,
+                        std::span<double> v) override {
     for (ArnoldiHook* h : hooks_) h->on_matvec_result(ctx, v);
+  }
+  void on_power_computed(const ArnoldiContext& ctx, std::size_t power_index,
+                         std::size_t block_size,
+                         std::span<double> power) override {
+    for (ArnoldiHook* h : hooks_) {
+      h->on_power_computed(ctx, power_index, block_size, power);
+    }
   }
   void on_projection_coefficient(const ArnoldiContext& ctx, std::size_t i,
                                  std::size_t mgs_steps, double& h) override {

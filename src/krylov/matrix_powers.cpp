@@ -1,0 +1,44 @@
+#include "krylov/matrix_powers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+
+namespace sdcgmres::krylov {
+
+void matrix_powers(const LinearOperator& A, std::span<const double> v,
+                   la::BlockView out, std::span<const double> shifts) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("matrix_powers: operator must be square");
+  }
+  if (out.cols() == 0) {
+    throw std::invalid_argument("matrix_powers: out needs >= 1 column");
+  }
+  if (out.rows() != A.rows() || v.size() != A.rows()) {
+    throw std::invalid_argument("matrix_powers: shape mismatch");
+  }
+  if (!shifts.empty() && shifts.size() < out.cols() - 1) {
+    throw std::invalid_argument(
+        "matrix_powers: need out.cols()-1 shifts (or none)");
+  }
+
+  const std::span<double> seed = out.col(0);
+  std::copy(v.begin(), v.end(), seed.begin());
+
+  for (std::size_t k = 1; k < out.cols(); ++k) {
+    // Width-1 apply_block on adjacent columns of the same arena: the CSR
+    // SpMM column contract makes each power bitwise equal to a solo SpMV,
+    // and the traffic lands in the operator's OperatorStats.
+    const la::BasisView x(out.data() + (k - 1) * out.ld(), out.rows(), 1,
+                          out.ld());
+    const la::BlockView y(out.data() + k * out.ld(), out.rows(), 1, out.ld());
+    A.apply_block(x, y);
+    if (!shifts.empty() && shifts[k - 1] != 0.0) {
+      la::axpy(-shifts[k - 1], std::span<const double>(out.col(k - 1)),
+               out.col(k));
+    }
+  }
+}
+
+} // namespace sdcgmres::krylov

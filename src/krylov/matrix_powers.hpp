@@ -1,0 +1,36 @@
+#pragma once
+/// \file matrix_powers.hpp
+/// \brief Matrix-powers kernel for the s-step (communication-avoiding)
+/// Krylov path.
+///
+/// Fills s+1 consecutive columns of a contiguous block arena with the
+/// monomial Krylov sequence {v, Av, A^2 v, ...} (optionally Newton-shifted:
+/// p_{k} = (A - shift_k I) p_{k-1}) by chaining width-1 apply_block calls,
+/// so the traffic is accounted through the operator's OperatorStats exactly
+/// like the solvers' own products.  The GmresEngine s-step staging loop
+/// computes the same chain through its step protocol; this standalone
+/// kernel is the reference the engine is tested against (bitwise) and the
+/// building block for offline basis studies.
+///
+/// No global reduction happens here -- that is the point of the s-step
+/// reformulation: the powers are staged untouched and the whole block is
+/// paid for later with one block projection + one TSQR.
+
+#include <cstddef>
+#include <span>
+
+#include "krylov/operator.hpp"
+#include "la/block.hpp"
+
+namespace sdcgmres::krylov {
+
+/// Fill \p out with the monomial (or Newton-shifted) power sequence seeded
+/// by \p v: out.col(0) = v, out.col(k) = A*out.col(k-1) - shifts[k-1]*
+/// out.col(k-1) for k = 1..out.cols()-1 (missing shifts are zero, i.e. the
+/// monomial basis).  \p out must have at least one column and rows ==
+/// v.size() == A.rows(); shifts, when given, must provide at least
+/// out.cols()-1 entries.  Throws std::invalid_argument on shape mismatch.
+void matrix_powers(const LinearOperator& A, std::span<const double> v,
+                   la::BlockView out, std::span<const double> shifts = {});
+
+} // namespace sdcgmres::krylov

@@ -262,6 +262,7 @@ public:
     retrying_ = false;
     pending_retry_iters_ = 0;
     pending_retry_applies_ = 0;
+    pending_retry_syncs_ = 0;
     q_staged_.resize(q.size());
     z_staged_.resize(z.size());
     narrow_into<S>(q, q_staged_.span());
@@ -286,6 +287,7 @@ public:
                          .operator_applies =
                              pending_retry_applies_ + inner.operator_applies,
                          .residual_norm = inner.residual_norm};
+    rec.global_syncs = pending_retry_syncs_ + inner.global_syncs;
     rec.reliable_retries = retrying_ ? 1 : 0;
     rec.triggered_outer_restart =
         recovery_ == InnerRecovery::RestartOuter &&
@@ -294,6 +296,7 @@ public:
     retrying_ = false;
     pending_retry_iters_ = 0;
     pending_retry_applies_ = 0;
+    pending_retry_syncs_ = 0;
   }
 
   [[nodiscard]] bool wants_reliable_retry(
@@ -311,6 +314,7 @@ public:
       const GmresEngineT<S>& aborted) {
     pending_retry_iters_ = aborted.stats().iterations;
     pending_retry_applies_ = aborted.stats().operator_applies;
+    pending_retry_syncs_ = aborted.stats().global_syncs;
     retrying_ = true;
     std::fill(z_staged_.span().begin(), z_staged_.span().end(), S(0));
     return GmresEngineT<S>(a_->rows(), a_->cols(),
@@ -358,6 +362,7 @@ private:
   std::size_t cur_outer_ = 0;
   std::size_t pending_retry_iters_ = 0;
   std::size_t pending_retry_applies_ = 0;
+  std::size_t pending_retry_syncs_ = 0;
   bool retrying_ = false;
 };
 

@@ -55,17 +55,17 @@ void cgs_pass(std::span<const la::Vector> q, std::size_t k, la::Vector& v,
 /// kernel (one parallel region per column instead of two); the hook's
 /// mutation point sits between the dot and the correction, exactly as in
 /// the reference path.
-void mgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
-                    std::span<double> h, ArnoldiHook* hook,
-                    const ArnoldiContext& ctx) {
+void mgs_pass_fused(const la::KrylovBasis& q, std::size_t k,
+                    std::span<double> v, std::span<double> h,
+                    ArnoldiHook* hook, const ArnoldiContext& ctx) {
   for (std::size_t i = 0; i < k; ++i) {
     double hij;
     if (hook != nullptr) {
-      hij = la::dot_axpy(q.col(i), v.span(), [&](double& c) {
+      hij = la::dot_axpy(q.col(i), v, [&](double& c) {
         hook->on_projection_coefficient(ctx, i, k, c);
       });
     } else {
-      hij = la::dot_axpy(q.col(i), v.span());
+      hij = la::dot_axpy(q.col(i), v);
     }
     h[i] += hij;
   }
@@ -73,12 +73,13 @@ void mgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
 
 /// One classical Gram-Schmidt pass over the arena: coefficients via a
 /// single gemv_t over the basis block, correction via a single gemv.
-void cgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
-                    std::span<double> h, ArnoldiHook* hook,
-                    const ArnoldiContext& ctx, bool fire_hook) {
+void cgs_pass_fused(const la::KrylovBasis& q, std::size_t k,
+                    std::span<double> v, std::span<double> h,
+                    ArnoldiHook* hook, const ArnoldiContext& ctx,
+                    bool fire_hook) {
   std::vector<double> coeffs(k, 0.0);
   const la::BasisView block = q.view(k);
-  la::gemv_t(1.0, block, v.span(), 0.0, coeffs);
+  la::gemv_t(1.0, block, v, 0.0, coeffs);
   if (fire_hook && hook != nullptr) {
     // All first-pass coefficients are dot products against the SAME
     // (untouched) v, so firing after the blocked projection preserves the
@@ -89,7 +90,7 @@ void cgs_pass_fused(const la::KrylovBasis& q, std::size_t k, la::Vector& v,
     }
   }
   for (std::size_t i = 0; i < k; ++i) h[i] += coeffs[i];
-  la::gemv(-1.0, block, coeffs, 1.0, v.span());
+  la::gemv(-1.0, block, coeffs, 1.0, v);
 }
 
 void validate_args(std::size_t basis_cols, std::size_t k,
@@ -109,30 +110,30 @@ void validate_args(std::size_t basis_cols, std::size_t k,
 // and the mutated value narrowed back before application.
 
 void mgs_pass_fused_f(const la::KrylovBasisT<float>& q, std::size_t k,
-                      la::VectorT<float>& v, std::span<float> h,
+                      std::span<float> v, std::span<float> h,
                       ArnoldiHook* hook, const ArnoldiContext& ctx) {
   for (std::size_t i = 0; i < k; ++i) {
     float hij;
     if (hook != nullptr) {
-      hij = la::dot_axpy(q.col(i), v.span(), [&](float& c) {
+      hij = la::dot_axpy(q.col(i), v, [&](float& c) {
         double wide = static_cast<double>(c);
         hook->on_projection_coefficient(ctx, i, k, wide);
         c = static_cast<float>(wide);
       });
     } else {
-      hij = la::dot_axpy(q.col(i), v.span());
+      hij = la::dot_axpy(q.col(i), v);
     }
     h[i] += hij;
   }
 }
 
 void cgs_pass_fused_f(const la::KrylovBasisT<float>& q, std::size_t k,
-                      la::VectorT<float>& v, std::span<float> h,
+                      std::span<float> v, std::span<float> h,
                       ArnoldiHook* hook, const ArnoldiContext& ctx,
                       bool fire_hook) {
   std::vector<float> coeffs(k, 0.0f);
   const la::BasisViewT<float> block = q.view(k);
-  la::gemv_t(1.0f, block, v.span(), 0.0f, coeffs);
+  la::gemv_t(1.0f, block, v, 0.0f, coeffs);
   if (fire_hook && hook != nullptr) {
     for (std::size_t i = 0; i < k; ++i) {
       double wide = static_cast<double>(coeffs[i]);
@@ -141,7 +142,7 @@ void cgs_pass_fused_f(const la::KrylovBasisT<float>& q, std::size_t k,
     }
   }
   for (std::size_t i = 0; i < k; ++i) h[i] += coeffs[i];
-  la::gemv(-1.0f, block, coeffs, 1.0f, v.span());
+  la::gemv(-1.0f, block, coeffs, 1.0f, v);
 }
 
 } // namespace
@@ -166,7 +167,7 @@ void orthogonalize(Orthogonalization kind, std::span<const la::Vector> q,
 }
 
 void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
-                   std::size_t k, la::Vector& v, std::span<double> h,
+                   std::size_t k, std::span<double> v, std::span<double> h,
                    ArnoldiHook* hook, const ArnoldiContext& ctx) {
   validate_args(q.cols(), k, h);
   if (v.size() != q.rows()) {
@@ -188,7 +189,7 @@ void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
 }
 
 void orthogonalize(Orthogonalization kind, const la::KrylovBasisT<float>& q,
-                   std::size_t k, la::VectorT<float>& v, std::span<float> h,
+                   std::size_t k, std::span<float> v, std::span<float> h,
                    ArnoldiHook* hook, const ArnoldiContext& ctx) {
   if (q.cols() < k) {
     throw std::invalid_argument("orthogonalize: fewer basis vectors than k");

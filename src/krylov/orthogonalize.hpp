@@ -66,9 +66,18 @@ void orthogonalize(Orthogonalization kind,
 /// over the basis block, and MGS streams each column through the fused
 /// la::dot_axpy kernel.  The CORRECTION rounding can also differ from the
 /// reference (blocked column combination), i.e. v agrees to roundoff.
+/// \p v is a span so callers can orthogonalize in place inside an arena
+/// column (s-step mode) or a bound staging block (lockstep batch driver).
 void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
-                   std::size_t k, la::Vector& v, std::span<double> h,
+                   std::size_t k, std::span<double> v, std::span<double> h,
                    ArnoldiHook* hook, const ArnoldiContext& ctx);
+
+/// Convenience wrapper for owning-vector callers.
+inline void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
+                          std::size_t k, la::Vector& v, std::span<double> h,
+                          ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  orthogonalize(kind, q, k, v.span(), h, hook, ctx);
+}
 
 /// Float instantiation of the fused contiguous-basis orthogonalization,
 /// for the mixed-precision inner engine.  All kernels (dot_axpy, gemv_t,
@@ -78,7 +87,15 @@ void orthogonalize(Orthogonalization kind, const la::KrylovBasis& q,
 /// land in the float data plane exactly where they land in the double
 /// one.
 void orthogonalize(Orthogonalization kind, const la::KrylovBasisT<float>& q,
-                   std::size_t k, la::VectorT<float>& v, std::span<float> h,
+                   std::size_t k, std::span<float> v, std::span<float> h,
                    ArnoldiHook* hook, const ArnoldiContext& ctx);
+
+/// Convenience wrapper for owning-vector callers.
+inline void orthogonalize(Orthogonalization kind,
+                          const la::KrylovBasisT<float>& q, std::size_t k,
+                          la::VectorT<float>& v, std::span<float> h,
+                          ArnoldiHook* hook, const ArnoldiContext& ctx) {
+  orthogonalize(kind, q, k, v.span(), h, hook, ctx);
+}
 
 } // namespace sdcgmres::krylov

@@ -1,0 +1,270 @@
+#pragma once
+/// \file tsqr.hpp
+/// \brief Tall-skinny QR (TSQR) over a contiguous column-major panel.
+///
+/// The s-step Arnoldi path stages s candidate basis vectors at once and
+/// must orthonormalize them in ONE global reduction instead of CGS2's two
+/// sweeps per vector.  TSQR is the standard communication-avoiding kernel
+/// for that shape (Demmel et al.): partition the n x m panel into row
+/// panels, factor each panel with a local Householder QR (no communication
+/// between panels), then reduce the per-panel m x m R factors up a binary
+/// tree -- the only step that touches data across panels, i.e. the single
+/// "global reduction" the SyncStats counter charges for.
+///
+/// Determinism contract: the row-panel partition depends only on (rows,
+/// cols, panel_rows) -- never on the thread count -- and the R-reduction
+/// tree is walked serially in a fixed pairwise order.  OpenMP parallelism
+/// is applied ONLY across independent row panels (local QR and the final
+/// panel-times-G multiply), so results are bitwise identical for any
+/// thread count, including serial.
+///
+/// Sign convention: the final R is normalized to a nonnegative diagonal
+/// (flipping the corresponding Q columns), so R(j,j) can serve directly as
+/// the Arnoldi subdiagonal entries, matching the nonnegative h(j+1,j)
+/// produced by the norm in the one-vector-at-a-time path.
+///
+/// Rank deficiency: a column whose remaining norm vanishes at step j gets
+/// tau = 0 and R(j,j) = 0 (H_j = I); Q stays orthonormal -- its column j
+/// is just no longer determined by the input.  Callers detect breakdown
+/// from the R diagonal, exactly as they detect h(j+1,j) = 0.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "la/block.hpp"
+
+namespace sdcgmres::la {
+
+namespace tsqr_detail {
+
+/// In-place Householder QR of a rows x m column-major block (leading
+/// dimension ld, rows >= m).  On return the upper triangle holds R, the
+/// entries below the diagonal hold the Householder vectors (implicit unit
+/// leading entry), and tau[j] the scalar factors (LAPACK geqrf layout).
+template <typename S>
+void householder_qr(S* a, std::size_t rows, std::size_t m, std::size_t ld,
+                    S* tau) {
+  for (std::size_t j = 0; j < m; ++j) {
+    S* col = a + j * ld;
+    // Norm of the active column tail (sequential order: deterministic).
+    S sq = S(0);
+    for (std::size_t i = j; i < rows; ++i) sq += col[i] * col[i];
+    const S norm = std::sqrt(sq);
+    if (norm == S(0)) {
+      tau[j] = S(0); // H_j = I; R(j,j) = 0 (rank-deficient column).
+      continue;
+    }
+    const S alpha = col[j];
+    const S beta = (alpha >= S(0)) ? -norm : norm;
+    tau[j] = (beta - alpha) / beta;
+    const S scale = S(1) / (alpha - beta);
+    for (std::size_t i = j + 1; i < rows; ++i) col[i] *= scale;
+    col[j] = beta;
+    // Apply H_j = I - tau v v^T to the trailing columns.
+    for (std::size_t k = j + 1; k < m; ++k) {
+      S* ck = a + k * ld;
+      S w = ck[j]; // v[0] == 1 implicitly.
+      for (std::size_t i = j + 1; i < rows; ++i) w += col[i] * ck[i];
+      w *= tau[j];
+      ck[j] -= w;
+      for (std::size_t i = j + 1; i < rows; ++i) ck[i] -= w * col[i];
+    }
+  }
+}
+
+/// Backward accumulation of the explicit thin Q (rows x m) in place over
+/// the geqrf-layout factors (LAPACK org2r).
+template <typename S>
+void accumulate_q(S* a, std::size_t rows, std::size_t m, std::size_t ld,
+                  const S* tau) {
+  for (std::size_t jj = m; jj-- > 0;) {
+    const std::size_t j = jj;
+    S* col = a + j * ld;
+    // Apply H_j to the already-accumulated trailing columns.
+    for (std::size_t k = j + 1; k < m; ++k) {
+      S* ck = a + k * ld;
+      S w = ck[j];
+      for (std::size_t i = j + 1; i < rows; ++i) w += col[i] * ck[i];
+      w *= tau[j];
+      ck[j] -= w;
+      for (std::size_t i = j + 1; i < rows; ++i) ck[i] -= w * col[i];
+    }
+    // Column j := H_j e_j.
+    for (std::size_t i = j + 1; i < rows; ++i) col[i] *= -tau[j];
+    col[j] = S(1) - tau[j];
+    for (std::size_t i = 0; i < j; ++i) col[i] = S(0);
+  }
+}
+
+} // namespace tsqr_detail
+
+/// Factor \p panel (n x m, n >= m >= 1) as Q * R: on return the panel
+/// columns hold the explicit orthonormal Q and the upper-triangular R
+/// (nonnegative diagonal) is written into \p r column-major with leading
+/// dimension \p ldr >= m (entries below the diagonal are zeroed).
+///
+/// \p panel_rows sets the row-panel granularity of the local-QR stage; the
+/// effective panel height is max(panel_rows, m) with the remainder rows
+/// folded into the LAST panel, so every panel has at least m rows and the
+/// partition is independent of the thread count (bitwise thread-invariant
+/// results; see file comment).
+template <typename S>
+void tsqr(BlockViewT<S> panel, S* r, std::size_t ldr,
+          std::size_t panel_rows = 2048) {
+  const std::size_t n = panel.rows();
+  const std::size_t m = panel.cols();
+  if (m == 0) throw std::invalid_argument("tsqr: panel has no columns");
+  if (n < m) throw std::invalid_argument("tsqr: panel has fewer rows than columns");
+  if (ldr < m) throw std::invalid_argument("tsqr: ldr smaller than cols");
+
+  // Thread-count-independent row partition: panels of `base` rows, the
+  // remainder folded into the last panel (every panel >= m rows).
+  const std::size_t base = panel_rows > m ? panel_rows : m;
+  const std::size_t num_panels = n / base > 0 ? n / base : 1;
+
+  // Per-panel R factors (m x m each, column-major, packed) and tau.
+  std::vector<S> rfac(num_panels * m * m, S(0));
+  std::vector<S> taus(num_panels * m, S(0));
+
+  auto panel_start = [&](std::size_t p) { return p * base; };
+  auto panel_rows_of = [&](std::size_t p) {
+    return (p + 1 == num_panels) ? n - p * base : base;
+  };
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ps = 0; ps < static_cast<std::ptrdiff_t>(num_panels);
+       ++ps) {
+    const std::size_t p = static_cast<std::size_t>(ps);
+    S* ap = panel.data() + panel_start(p);
+    const std::size_t rp = panel_rows_of(p);
+    S* tau = taus.data() + p * m;
+    tsqr_detail::householder_qr(ap, rp, m, panel.ld(), tau);
+    // Extract R_p, then expand the factors to the explicit local Q_p.
+    S* rploc = rfac.data() + p * m * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i = 0; i <= j; ++i) {
+        rploc[i + j * m] = ap[i + j * panel.ld()];
+      }
+    }
+    tsqr_detail::accumulate_q(ap, rp, m, panel.ld(), tau);
+  }
+
+  // Serial fixed-order pairwise reduction of the R factors.  Each live
+  // node carries its m x m R and the list of leaf panels beneath it; each
+  // leaf panel carries an m x m accumulator G_p (initially identity) that
+  // collects the tree Q factors applying to it.
+  std::vector<S> g(num_panels * m * m, S(0));
+  for (std::size_t p = 0; p < num_panels; ++p) {
+    for (std::size_t j = 0; j < m; ++j) g[p * m * m + j + j * m] = S(1);
+  }
+  std::vector<std::vector<std::size_t>> node_leaves(num_panels);
+  std::vector<std::size_t> node_r(num_panels); // index into rfac
+  for (std::size_t p = 0; p < num_panels; ++p) {
+    node_leaves[p] = {p};
+    node_r[p] = p;
+  }
+  std::vector<std::size_t> active(num_panels);
+  for (std::size_t p = 0; p < num_panels; ++p) active[p] = p;
+
+  const std::size_t two_m = 2 * m;
+  std::vector<S> stacked(two_m * m);
+  std::vector<S> tau2(m);
+  std::vector<S> gtmp(m * m);
+
+  while (active.size() > 1) {
+    std::vector<std::size_t> next;
+    next.reserve((active.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
+      const std::size_t na = active[i];
+      const std::size_t nb = active[i + 1];
+      const S* ra = rfac.data() + node_r[na] * m * m;
+      const S* rb = rfac.data() + node_r[nb] * m * m;
+      // Stack [R_a; R_b] and factor the 2m x m block.
+      for (std::size_t j = 0; j < m; ++j) {
+        for (std::size_t k = 0; k < m; ++k) {
+          stacked[k + j * two_m] = ra[k + j * m];
+          stacked[m + k + j * two_m] = rb[k + j * m];
+        }
+      }
+      tsqr_detail::householder_qr(stacked.data(), two_m, m, two_m,
+                                  tau2.data());
+      // The combined R overwrites node a's slot.
+      S* rc = rfac.data() + node_r[na] * m * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        for (std::size_t k = 0; k < m; ++k) {
+          rc[k + j * m] = (k <= j) ? stacked[k + j * two_m] : S(0);
+        }
+      }
+      // Explicit 2m x m tree Q, split into the blocks applying to the two
+      // subtrees, folded into every leaf accumulator beneath them.
+      tsqr_detail::accumulate_q(stacked.data(), two_m, m, two_m, tau2.data());
+      auto fold = [&](std::size_t leaf, const S* c, std::size_t ldc) {
+        S* gp = g.data() + leaf * m * m;
+        for (std::size_t j = 0; j < m; ++j) {
+          for (std::size_t k = 0; k < m; ++k) {
+            S acc = S(0);
+            for (std::size_t t = 0; t < m; ++t) {
+              acc += gp[k + t * m] * c[t + j * ldc];
+            }
+            gtmp[k + j * m] = acc;
+          }
+        }
+        for (std::size_t j = 0; j < m * m; ++j) gp[j] = gtmp[j];
+      };
+      for (std::size_t leaf : node_leaves[na]) {
+        fold(leaf, stacked.data(), two_m); // top block C_a
+      }
+      for (std::size_t leaf : node_leaves[nb]) {
+        fold(leaf, stacked.data() + m, two_m); // bottom block C_b
+      }
+      node_leaves[na].insert(node_leaves[na].end(), node_leaves[nb].begin(),
+                             node_leaves[nb].end());
+      next.push_back(na);
+    }
+    if (active.size() % 2 == 1) next.push_back(active.back());
+    active.swap(next);
+  }
+
+  // Final R; normalize to a nonnegative diagonal (flip R rows + the
+  // matching G columns so Q*R is unchanged).
+  S* rfinal = rfac.data() + node_r[active[0]] * m * m;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (rfinal[j + j * m] < S(0)) {
+      for (std::size_t k = j; k < m; ++k) rfinal[j + k * m] = -rfinal[j + k * m];
+      for (std::size_t p = 0; p < num_panels; ++p) {
+        S* gp = g.data() + p * m * m;
+        for (std::size_t k = 0; k < m; ++k) gp[k + j * m] = -gp[k + j * m];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      r[i + j * ldr] = (i <= j) ? rfinal[i + j * m] : S(0);
+    }
+  }
+
+  // panel_p := Q_p * G_p, in place with a per-row temp.
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ps = 0; ps < static_cast<std::ptrdiff_t>(num_panels);
+       ++ps) {
+    const std::size_t p = static_cast<std::size_t>(ps);
+    S* ap = panel.data() + panel_start(p);
+    const std::size_t rp = panel_rows_of(p);
+    const S* gp = g.data() + p * m * m;
+    std::vector<S> row(m);
+    for (std::size_t i = 0; i < rp; ++i) {
+      for (std::size_t c = 0; c < m; ++c) {
+        S acc = S(0);
+        for (std::size_t k = 0; k < m; ++k) {
+          acc += ap[i + k * panel.ld()] * gp[k + c * m];
+        }
+        row[c] = acc;
+      }
+      for (std::size_t c = 0; c < m; ++c) ap[i + c * panel.ld()] = row[c];
+    }
+  }
+}
+
+} // namespace sdcgmres::la

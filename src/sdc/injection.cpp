@@ -22,7 +22,7 @@ bool FaultCampaign::armed_for_current_iteration() const noexcept {
 }
 
 void FaultCampaign::on_matvec_result(const krylov::ArnoldiContext& ctx,
-                                     la::Vector& v) {
+                                     std::span<double> v) {
   if (plan_.target != InjectionTarget::MatvecElement) return;
   if (!armed_for_current_iteration()) return;
   if (plan_.element_index >= v.size()) return;
@@ -32,6 +32,30 @@ void FaultCampaign::on_matvec_result(const krylov::ArnoldiContext& ctx,
   fired_ = true;
   std::ostringstream desc;
   desc << "matvec element " << plan_.element_index << " " << to_string(plan_.model);
+  log_.record({.kind = EventKind::Injection,
+               .solve_index = ctx.solve_index,
+               .iteration = ctx.iteration,
+               .coefficient = plan_.element_index,
+               .value_before = before,
+               .value_after = after,
+               .bound = 0.0,
+               .description = desc.str()});
+}
+
+void FaultCampaign::on_power_computed(const krylov::ArnoldiContext& ctx,
+                                      std::size_t power_index,
+                                      std::size_t block_size,
+                                      std::span<double> power) {
+  if (plan_.target != InjectionTarget::PowerElement) return;
+  if (!armed_for_current_iteration()) return;
+  if (plan_.element_index >= power.size()) return;
+  const double before = power[plan_.element_index];
+  const double after = plan_.model.apply(before);
+  power[plan_.element_index] = after;
+  fired_ = true;
+  std::ostringstream desc;
+  desc << "power " << power_index << "/" << block_size << " element "
+       << plan_.element_index << " " << to_string(plan_.model);
   log_.record({.kind = EventKind::Injection,
                .solve_index = ctx.solve_index,
                .iteration = ctx.iteration,

@@ -25,6 +25,10 @@ enum class InjectionTarget {
                          ///< (the paper's site, Alg. 1 Line 6)
   SubdiagonalNorm,       ///< h(j+1,j) = ||v|| (Alg. 1 Line 9)
   MatvecElement,         ///< one element of v = A*q_j (Alg. 1 Line 4)
+  PowerElement,          ///< one element of a staged matrix power A^k*q_j
+                         ///< (s-step mode only; corrupts the block basis
+                         ///< before TSQR, so it taints every later column
+                         ///< of the block)
 };
 
 /// Which MGS step of the targeted iteration is corrupted.
@@ -71,7 +75,10 @@ public:
   void on_solve_begin(std::size_t solve_index) override;
   void on_iteration_begin(const krylov::ArnoldiContext& ctx) override;
   void on_matvec_result(const krylov::ArnoldiContext& ctx,
-                        la::Vector& v) override;
+                        std::span<double> v) override;
+  void on_power_computed(const krylov::ArnoldiContext& ctx,
+                         std::size_t power_index, std::size_t block_size,
+                         std::span<double> power) override;
   void on_projection_coefficient(const krylov::ArnoldiContext& ctx,
                                  std::size_t i, std::size_t mgs_steps,
                                  double& h) override;

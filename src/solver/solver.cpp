@@ -27,6 +27,18 @@ void copy_out(const la::Vector& src, std::span<double> dst) {
   std::copy(src.data(), src.data() + src.size(), dst.begin());
 }
 
+/// Solvers without an s-step path reject s_step > 1 up front (the same
+/// philosophy as the hookless set_hook: silently running the classical
+/// path under an s-step configuration would misattribute sync counts).
+void reject_s_step(const Options& o, const char* family) {
+  if (o.s_step > 1) {
+    throw std::invalid_argument(
+        std::string(family) +
+        ": s_step > 1 is not supported by this solver family; s-step "
+        "execution is available in gmres, ft_gmres, and ft_gmres_batch");
+  }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -44,6 +56,7 @@ krylov::GmresOptions to_gmres_options(const Options& o) {
   g.breakdown_tol = o.breakdown_tol.value_or(g.breakdown_tol);
   g.right_precond = o.precond;
   g.divergence_factor = o.divergence_factor;
+  g.s_step = o.s_step;
   return g;
 }
 
@@ -79,6 +92,10 @@ krylov::FtGmresOptions to_ft_gmres_options(const Options& o) {
   // where a corrupted Hessenberg column explodes the lsq estimate; the
   // outer FGMRES estimate is monotone, so its guard is a backstop.
   ft.inner.divergence_factor = o.divergence_factor;
+  // The s-step reformulation lives in the unreliable inner solves (the
+  // sync-dominant work: ~25/26 of all reductions at the paper's fixed 25
+  // inner iterations); the reliable outer FGMRES stays classical.
+  ft.inner.s_step = o.s_step;
   ft.robust_first_inner = o.robust_first_inner;
   ft.recovery = o.recovery;
   ft.precision = o.precision;
@@ -156,6 +173,7 @@ SolveReport GmresSolver::solve(std::span<const double> b,
   r.residual_norm = stats.residual_norm;
   r.lsq_effective_rank = stats.lsq_effective_rank;
   r.lsq_fallback_triggered = stats.lsq_fallback_triggered;
+  r.global_syncs = stats.global_syncs;
   return r;
 }
 
@@ -166,7 +184,7 @@ SolveReport GmresSolver::solve(std::span<const double> b,
 FgmresSolver::FgmresSolver(const krylov::LinearOperator& A,
                            const Options& opts,
                            krylov::FlexiblePreconditioner* M)
-    : a_(&A), opts_(to_fgmres_options(opts)),
+    : a_(&A), opts_((reject_s_step(opts, "fgmres"), to_fgmres_options(opts))),
       fixed_adapter_(opts.precond != nullptr
                          ? *opts.precond
                          : static_cast<const krylov::Preconditioner&>(
@@ -190,6 +208,7 @@ SolveReport FgmresSolver::solve(std::span<const double> b,
   r.sanitized_outputs = res.sanitized_outputs;
   r.rank_checks = res.rank_checks;
   r.min_sigma_ratio = res.min_sigma_ratio;
+  r.global_syncs = res.global_syncs;
   return r;
 }
 
@@ -213,6 +232,7 @@ SolveReport report_from_ft_result(krylov::FtGmresResult res) {
   r.sanitized_outputs = res.sanitized_outputs;
   r.reliable_retries = res.reliable_retries;
   r.outer_restarts = res.outer_restarts;
+  r.global_syncs = res.global_syncs;
   return r;
 }
 
@@ -310,7 +330,7 @@ krylov::OperatorStats BatchedFtGmresSolver::mixed_stats() const noexcept {
 // ---------------------------------------------------------------------------
 
 CgSolver::CgSolver(const krylov::LinearOperator& A, const Options& opts)
-    : a_(&A), opts_(to_cg_options(opts)) {}
+    : a_(&A), opts_((reject_s_step(opts, "cg"), to_cg_options(opts))) {}
 
 SolveReport CgSolver::solve(std::span<const double> b, std::span<double> x) {
   check_sizes(*this, b, x);
@@ -334,7 +354,7 @@ SolveReport CgSolver::solve(std::span<const double> b, std::span<double> x) {
 
 FcgSolver::FcgSolver(const krylov::LinearOperator& A, const Options& opts,
                      krylov::FlexiblePreconditioner* M)
-    : a_(&A), opts_(to_fcg_options(opts)),
+    : a_(&A), opts_((reject_s_step(opts, "fcg"), to_fcg_options(opts))),
       fixed_adapter_(opts.precond != nullptr
                          ? *opts.precond
                          : static_cast<const krylov::Preconditioner&>(
@@ -363,7 +383,7 @@ SolveReport FcgSolver::solve(std::span<const double> b, std::span<double> x) {
 // ---------------------------------------------------------------------------
 
 FtCgSolver::FtCgSolver(const krylov::LinearOperator& A, const Options& opts)
-    : a_(&A), opts_(to_ft_cg_options(opts)) {}
+    : a_(&A), opts_((reject_s_step(opts, "ft_cg"), to_ft_cg_options(opts))) {}
 
 SolveReport FtCgSolver::solve(std::span<const double> b,
                               std::span<double> x) {

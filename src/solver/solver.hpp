@@ -70,6 +70,19 @@ struct Options {
                               ///< filter of the flexible solvers
   bool verify_with_explicit_residual = true;  ///< recompute b - A*x on
                               ///< estimated convergence
+  std::size_t s_step = 1;     ///< s-step (communication-avoiding) block
+                              ///< size of the GMRES Arnoldi loop: stage s
+                              ///< matrix powers per block and pay ONE
+                              ///< block projection + ONE TSQR (2 global
+                              ///< reductions per s columns instead of
+                              ///< O(s) per column).  1 = the classical
+                              ///< path, bitwise identical to earlier
+                              ///< releases.  Applies to gmres and, for
+                              ///< the nested ft_gmres family, to the
+                              ///< unreliable INNER solves (the reliable
+                              ///< outer iteration stays classical).
+                              ///< Rejected by solvers without an s-step
+                              ///< path (fgmres/cg/fcg/ft_cg) when > 1.
 
   /// Optional fixed preconditioner (non-owning).  GMRES applies it on the
   /// right; CG directly; FGMRES/FCG wrap it in a FixedFlexibleAdapter.
@@ -142,6 +155,12 @@ struct SolveReport {
                                         ///< reliably (recovery RetryReliable)
   std::size_t outer_restarts = 0;       ///< ft_gmres: outer cycles restarted
                                         ///< (recovery RestartOuter)
+  std::size_t global_syncs = 0;         ///< global reductions (norms +
+                                        ///< blocked inner-product passes)
+                                        ///< the solve consumed; nested
+                                        ///< solvers report outer + all
+                                        ///< inner (see
+                                        ///< krylov::GmresStats::global_syncs)
 
   /// Tolerance reached or invariant subspace found.
   [[nodiscard]] bool converged() const noexcept { return is_success(status); }

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gen/convection_diffusion.hpp"
+#include "gen/poisson.hpp"
+#include "krylov/gmres.hpp"
+#include "krylov/operator.hpp"
+#include "la/block.hpp"
+#include "la/blas1.hpp"
+#include "la/vector.hpp"
+
+namespace krylov = sdcgmres::krylov;
+namespace gen = sdcgmres::gen;
+namespace la = sdcgmres::la;
+
+namespace {
+
+// Drive a GmresEngine through the canonical loop, routing every operator
+// product through an EXTERNAL staging column when `bind` is set -- the
+// lockstep batch drivers' zero-copy path (bind_product_target).  The
+// unbound run is the reference: the engine must read the bound column
+// exactly where it reads its own scratch, bitwise.
+krylov::GmresStats drive(const sdcgmres::sparse::CsrMatrix& A,
+                         const la::Vector& b, const krylov::GmresOptions& opts,
+                         bool bind, la::Vector& x_out) {
+  const krylov::CsrOperator op(A);
+  krylov::KrylovWorkspace ws;
+  la::Vector x(A.rows());
+  krylov::GmresEngine engine(op, b.span(), x.span(), opts, nullptr, 0, ws,
+                             nullptr);
+
+  la::BlockWorkspace staging;
+  staging.reserve(A.rows(), 1);
+  const std::span<double> stage_col = staging.view(1).col(0);
+
+  while (!engine.finished()) {
+    if (bind) engine.bind_product_target(stage_col);
+    if (engine.awaiting_residual()) {
+      op.apply(engine.residual_operand(), engine.residual_target());
+      engine.start_cycle();
+    } else {
+      engine.begin_iteration();
+      op.apply(engine.direction(), engine.v_target());
+      engine.advance();
+    }
+    if (bind) engine.unbind_product_target();
+  }
+  x_out = std::move(x);
+  return engine.stats();
+}
+
+bool bitwise_equal(const la::Vector& a, const la::Vector& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+} // namespace
+
+TEST(BindProductTarget, BoundRunIsBitwiseIdenticalToUnbound) {
+  const auto A = gen::convection_diffusion2d(9, 10.0, -4.0);
+  const la::Vector b = la::ones(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 120;
+  opts.restart = 20;
+  opts.tol = 1e-10;
+
+  la::Vector x_plain, x_bound;
+  const auto plain = drive(A, b, opts, /*bind=*/false, x_plain);
+  const auto bound = drive(A, b, opts, /*bind=*/true, x_bound);
+
+  EXPECT_EQ(plain.status, bound.status);
+  EXPECT_EQ(plain.iterations, bound.iterations);
+  EXPECT_EQ(plain.global_syncs, bound.global_syncs);
+  EXPECT_EQ(plain.residual_norm, bound.residual_norm);
+  EXPECT_TRUE(bitwise_equal(x_plain, x_bound));
+}
+
+TEST(BindProductTarget, BoundSStepRunIsBitwiseIdenticalToUnbound) {
+  // s-step staging consumes the bound column as the staged power -- the
+  // zero-copy seam must hold there too.
+  const auto A = gen::poisson2d(9);
+  const la::Vector b = la::ones(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 80;
+  opts.tol = 1e-10;
+  opts.s_step = 4;
+
+  la::Vector x_plain, x_bound;
+  const auto plain = drive(A, b, opts, /*bind=*/false, x_plain);
+  const auto bound = drive(A, b, opts, /*bind=*/true, x_bound);
+
+  EXPECT_EQ(plain.status, bound.status);
+  EXPECT_EQ(plain.iterations, bound.iterations);
+  EXPECT_EQ(plain.global_syncs, bound.global_syncs);
+  EXPECT_TRUE(bitwise_equal(x_plain, x_bound));
+}
+
+TEST(BindProductTarget, UnbindRestoresInternalScratch) {
+  // Bind for the first half of the solve only; the engine must fall back
+  // to its own scratch seamlessly (values were already consumed from the
+  // bound span by the time unbind runs).
+  const auto A = gen::poisson2d(8);
+  const la::Vector b = la::ones(A.rows());
+  krylov::GmresOptions opts;
+  opts.max_iters = 60;
+  opts.tol = 1e-10;
+
+  const krylov::CsrOperator op(A);
+  krylov::KrylovWorkspace ws;
+  la::Vector x(A.rows());
+  krylov::GmresEngine engine(op, b.span(), x.span(), opts, nullptr, 0, ws,
+                             nullptr);
+  la::BlockWorkspace staging;
+  staging.reserve(A.rows(), 1);
+
+  std::size_t step = 0;
+  while (!engine.finished()) {
+    const bool bind = (step < 10);
+    if (bind) engine.bind_product_target(staging.view(1).col(0));
+    if (engine.awaiting_residual()) {
+      op.apply(engine.residual_operand(), engine.residual_target());
+      engine.start_cycle();
+    } else {
+      engine.begin_iteration();
+      op.apply(engine.direction(), engine.v_target());
+      engine.advance();
+    }
+    if (bind) engine.unbind_product_target();
+    ++step;
+  }
+
+  la::Vector x_ref;
+  const auto ref = drive(A, b, opts, /*bind=*/false, x_ref);
+  EXPECT_EQ(engine.stats().iterations, ref.iterations);
+  EXPECT_EQ(engine.stats().global_syncs, ref.global_syncs);
+  EXPECT_TRUE(bitwise_equal(x, x_ref));
+}

@@ -26,9 +26,16 @@ public:
     trace_->push_back(tag_ + ":iter" + std::to_string(ctx.iteration));
   }
   void on_matvec_result(const krylov::ArnoldiContext&,
-                        la::Vector& v) override {
+                        std::span<double> v) override {
     trace_->push_back(tag_ + ":matvec");
     (void)v;
+  }
+  void on_power_computed(const krylov::ArnoldiContext&, std::size_t power_index,
+                         std::size_t block_size,
+                         std::span<double> power) override {
+    trace_->push_back(tag_ + ":pow" + std::to_string(power_index) + "/" +
+                      std::to_string(block_size));
+    (void)power;
   }
   void on_projection_coefficient(const krylov::ArnoldiContext&, std::size_t i,
                                  std::size_t, double& h) override {
@@ -60,10 +67,12 @@ TEST(HookChain, ForwardsEventsInOrder) {
   double h = 1.0;
   chain.on_projection_coefficient(ctx, 0, 1, h);
   chain.on_subdiagonal(ctx, h);
+  la::Vector v{0.5};
+  chain.on_power_computed(ctx, 1, 4, v.span());
 
   const std::vector<std::string> expected = {
-      "a:solve0", "b:solve0", "a:iter2", "b:iter2",
-      "a:h0",     "b:h0",     "a:sub",   "b:sub",
+      "a:solve0", "b:solve0", "a:iter2",   "b:iter2",  "a:h0",
+      "b:h0",     "a:sub",    "b:sub",     "a:pow1/4", "b:pow1/4",
   };
   EXPECT_EQ(trace, expected);
 }
@@ -111,7 +120,8 @@ TEST(HookChain, EmptyChainIsInert) {
   double h = 5.0;
   chain.on_projection_coefficient({}, 0, 1, h);
   la::Vector v{1.0};
-  chain.on_matvec_result({}, v);
+  chain.on_matvec_result({}, v.span());
+  chain.on_power_computed({}, 0, 2, v.span());
   EXPECT_EQ(h, 5.0);
   EXPECT_EQ(v[0], 1.0);
   EXPECT_FALSE(chain.abort_requested());
@@ -126,7 +136,8 @@ TEST(ArnoldiHook, DefaultImplementationsAreNoOps) {
   hook.on_projection_coefficient({}, 0, 1, h);
   hook.on_subdiagonal({}, h);
   la::Vector v{2.0};
-  hook.on_matvec_result({}, v);
+  hook.on_matvec_result({}, v.span());
+  hook.on_power_computed({}, 1, 4, v.span());
   EXPECT_EQ(h, 3.0);
   EXPECT_EQ(v[0], 2.0);
   EXPECT_FALSE(hook.abort_requested());
